@@ -1,0 +1,64 @@
+"""Ablation: the expansion step and the enumeration fallback (DESIGN.md §5).
+
+Two design choices of the reproduction are ablated here:
+
+* the Figure-9 *expansion* step can be disabled, in which case the search
+  falls back to enumerating paths in non-decreasing S order — the result must
+  stay optimal either way, and the benchmark compares the runtimes;
+* the elimination loop can be skipped entirely (``max_iterations=1``) to
+  quantify how much work the paper's edge-elimination idea saves over plain
+  enumeration.
+"""
+
+import pytest
+
+from repro.core.assignment_graph import build_assignment_graph
+from repro.core.colored_ssb import ColoredSSBSearch
+from repro.workloads.generators import random_problem
+
+
+def scattered_problem():
+    return random_problem(n_processing=12, n_satellites=3, seed=17, sensor_scatter=0.6)
+
+
+def clustered_problem():
+    return random_problem(n_processing=12, n_satellites=3, seed=17, sensor_scatter=0.0)
+
+
+def test_expansion_toggle_does_not_change_the_optimum():
+    for factory in (scattered_problem, clustered_problem):
+        problem = factory()
+        graph = build_assignment_graph(problem)
+        with_expansion = ColoredSSBSearch(enable_expansion=True).search(graph.dwg)
+        without_expansion = ColoredSSBSearch(enable_expansion=False).search(graph.dwg)
+        assert with_expansion.ssb_weight == pytest.approx(without_expansion.ssb_weight)
+
+
+def test_elimination_saves_enumerated_paths():
+    problem = clustered_problem()
+    graph = build_assignment_graph(problem)
+    full = ColoredSSBSearch().search(graph.dwg)
+    capped = ColoredSSBSearch(max_iterations=1).search(graph.dwg)
+    assert full.ssb_weight == pytest.approx(capped.ssb_weight)
+    assert full.enumerated_paths <= capped.enumerated_paths
+
+
+def test_bench_with_expansion(benchmark):
+    graph = build_assignment_graph(clustered_problem())
+    search = ColoredSSBSearch(enable_expansion=True, keep_trace=False)
+    result = benchmark(lambda: search.search(graph.dwg))
+    assert result.found
+
+
+def test_bench_without_expansion(benchmark):
+    graph = build_assignment_graph(clustered_problem())
+    search = ColoredSSBSearch(enable_expansion=False, keep_trace=False)
+    result = benchmark(lambda: search.search(graph.dwg))
+    assert result.found
+
+
+def test_bench_pure_enumeration(benchmark):
+    graph = build_assignment_graph(clustered_problem())
+    search = ColoredSSBSearch(max_iterations=1, keep_trace=False)
+    result = benchmark(lambda: search.search(graph.dwg))
+    assert result.found

@@ -1,0 +1,44 @@
+"""E7 (§5.4 complexity claim): scaling of the adapted algorithm.
+
+On the coloured assignment graph the paper's adapted algorithm runs in
+O(|E'|) where |E'| counts the edges of the expanded graph.  The benchmark
+sweeps clustered random CRU trees (the paper's regime: each satellite's
+sensors contiguous), records assignment-graph sizes and iteration counts, and
+measures the end-to-end pipeline runtime per tree size.
+"""
+
+import pytest
+
+from repro.analysis.experiments import complexity_colored_experiment
+from repro.core.assignment_graph import build_assignment_graph
+from repro.core.colored_ssb import ColoredSSBSearch
+from repro.workloads.generators import random_problem
+
+# The expanded graph |E'| — and with it the adapted algorithm's runtime —
+# grows rapidly with the size of a single-colour region (the paper's bound is
+# O(|E'|), not polynomial in the tree), so the swept tree sizes stay moderate;
+# repro.baselines.pareto_dp covers large instances in polynomial time.
+SIZES = (8, 12, 16, 20)
+
+
+def test_graph_size_grows_linearly_with_the_tree():
+    outcome = complexity_colored_experiment(sizes=SIZES)
+    for row in outcome["rows"]:
+        # every non-conflicted tree edge contributes exactly one assignment edge
+        assert row["assignment_graph_edges"] <= 3 * row["processing_crus"] + 1
+
+
+def test_iteration_counts_stay_small():
+    outcome = complexity_colored_experiment(sizes=SIZES)
+    for row in outcome["rows"]:
+        assert row["iterations"] <= row["assignment_graph_edges"] + 2
+
+
+@pytest.mark.parametrize("n_crus", SIZES)
+def test_bench_colored_ssb_scaling(benchmark, n_crus):
+    problem = random_problem(n_processing=n_crus, n_satellites=4, seed=11,
+                             sensor_scatter=0.0)
+    graph = build_assignment_graph(problem)
+    search = ColoredSSBSearch(keep_trace=False)
+    result = benchmark(lambda: search.search(graph.dwg))
+    assert result.found

@@ -1,0 +1,36 @@
+"""E6 (§4.2 complexity claim): scaling of the general SSB algorithm.
+
+The paper bounds the algorithm by O(|V|²·|E|): one O(|V|²) shortest-path
+search per iteration and at worst |E| iterations.  The benchmark sweeps random
+DWGs of growing size, records iteration counts, and measures the runtime per
+size with pytest-benchmark; the empirical growth exponent (time vs |V|) is
+asserted to stay below the cubic upper bound.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import complexity_ssb_experiment
+from repro.core.ssb import SSBSearch
+from repro.workloads.generators import random_dwg
+
+SIZES = (16, 32, 64, 128)
+
+
+def test_iterations_never_exceed_edge_count():
+    outcome = complexity_ssb_experiment(sizes=SIZES)
+    for row in outcome["rows"]:
+        assert row["iterations"] <= row["edges"] + 1
+
+
+def test_empirical_exponent_is_below_the_upper_bound():
+    outcome = complexity_ssb_experiment(sizes=SIZES)
+    assert outcome["fitted_exponent"] <= outcome["predicted_exponent_upper_bound"] + 0.5
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_bench_ssb_scaling(benchmark, n_nodes):
+    dwg = random_dwg(n_nodes=n_nodes, extra_edges=3 * n_nodes, seed=7)
+    search = SSBSearch(keep_trace=False)
+    result = benchmark(lambda: search.search(dwg))
+    assert result.found

@@ -1,0 +1,41 @@
+"""E12 (§6 future work): the DAG-tasks-to-DAG-resources generalisation.
+
+On small random DAG instances the exact optimum is computable by enumeration;
+HEFT-style list scheduling and the genetic algorithm must stay close to it
+(and never beat it), and their runtimes are measured.
+"""
+
+import pytest
+
+from repro.analysis.experiments import _sample_dag_instance, dag_extension_experiment
+from repro.extensions import genetic_dag_placement, heft_placement
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return dag_extension_experiment(seeds=range(4), n_tasks=7, n_resources=3)
+
+
+def test_heuristics_never_beat_the_exact_optimum(outcome):
+    for row in outcome["rows"]:
+        assert row["heft_makespan"] >= row["exact_makespan"] - 1e-9
+        assert row["genetic_makespan"] >= row["exact_makespan"] - 1e-9
+        assert row["random_makespan"] >= row["exact_makespan"] - 1e-9
+
+
+def test_heft_stays_within_a_modest_gap(outcome):
+    gaps = [row["heft_gap_pct"] for row in outcome["rows"]]
+    assert sum(gaps) / len(gaps) <= 30.0
+
+
+def test_bench_heft(benchmark):
+    tasks, resources = _sample_dag_instance(seed=1, n_tasks=10, n_resources=4)
+    placement, _ = benchmark(lambda: heft_placement(tasks, resources))
+    assert placement.is_feasible()
+
+
+def test_bench_genetic_dag(benchmark):
+    tasks, resources = _sample_dag_instance(seed=1, n_tasks=10, n_resources=4)
+    placement, _ = benchmark(lambda: genetic_dag_placement(tasks, resources, seed=1,
+                                                           generations=20))
+    assert placement.is_feasible()

@@ -1,0 +1,27 @@
+"""E1 (Figure 4): the SSB algorithm's walk-through on the example DWG.
+
+The paper reports: three iterations; the first candidate has SSB weight 29;
+the optimal path is <5,10>-<5,10> with SSB weight 20; the search terminates
+when the min-S weight reaches 33 ≥ 20.  The benchmark asserts those numbers
+and measures the runtime of the search.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure4_experiment
+from repro.core.ssb import SSBSearch
+
+
+def test_figure4_reproduces_the_paper_numbers(fig4):
+    outcome = figure4_experiment()
+    assert outcome["optimal_ssb_weight"] == pytest.approx(20.0)
+    assert outcome["shortest_path_searches"] == 3
+    assert outcome["rows"][0]["candidate_after"] == pytest.approx(29.0)
+    assert outcome["rows"][1]["candidate_after"] == pytest.approx(20.0)
+    assert outcome["termination"] == "s-weight-bound"
+
+
+def test_bench_figure4_ssb_search(benchmark, fig4):
+    search = SSBSearch(keep_trace=False)
+    result = benchmark(lambda: search.search(fig4))
+    assert result.ssb_weight == pytest.approx(20.0)

@@ -1,0 +1,22 @@
+"""E2 (Figures 2 & 5): colouring the CRU tree.
+
+The paper states that propagating the satellite colours towards the root
+leaves exactly the edges <CRU1,CRU2> and <CRU1,CRU3> conflicted, which forces
+CRU1, CRU2 and CRU3 onto the host.
+"""
+
+import pytest
+
+from repro.analysis.experiments import coloring_experiment
+from repro.core.coloring import color_tree
+
+
+def test_figure5_coloring_facts(paper_problem):
+    outcome = coloring_experiment(paper_problem)
+    assert set(outcome["conflicted_edges"]) == {("CRU1", "CRU2"), ("CRU1", "CRU3")}
+    assert set(outcome["forced_host_crus"]) == {"CRU1", "CRU2", "CRU3"}
+
+
+def test_bench_figure5_color_tree(benchmark, paper_problem):
+    colored = benchmark(lambda: color_tree(paper_problem))
+    assert len(colored.conflicted_edges()) == 2

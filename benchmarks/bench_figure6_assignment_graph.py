@@ -1,0 +1,32 @@
+"""E3 (Figure 6): building the coloured assignment graph.
+
+One assignment edge per non-conflicted tree edge, faces = sensors + 1, edges
+inherit the colour of the tree edge they cross, and the graph is a DAG whose
+S→T paths are exactly the feasible partitions.
+"""
+
+import pytest
+
+from repro.analysis.experiments import assignment_graph_experiment
+from repro.core.assignment_graph import build_assignment_graph
+from repro.baselines.brute_force import count_feasible_assignments
+from repro.core.dwg import SIGMA_ATTR
+from repro.graphs.kshortest import iter_paths_by_weight
+
+
+def test_figure6_structure(paper_problem):
+    outcome = assignment_graph_experiment(paper_problem)
+    assert outcome["faces"] == len(paper_problem.tree.sensor_ids()) + 1
+    assert outcome["edges"] == outcome["tree_edges"] - outcome["conflicted_tree_edges"]
+
+
+def test_figure6_paths_are_the_feasible_partitions(paper_problem):
+    graph = build_assignment_graph(paper_problem)
+    paths = list(iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                      graph.dwg.target, weight=SIGMA_ATTR))
+    assert len(paths) == count_feasible_assignments(paper_problem)
+
+
+def test_bench_figure6_build_assignment_graph(benchmark, paper_problem):
+    graph = benchmark(lambda: build_assignment_graph(paper_problem))
+    assert graph.number_of_edges() == 18

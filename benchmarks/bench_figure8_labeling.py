@@ -1,0 +1,26 @@
+"""E4 (Figures 7 & 8): labelling the assignment graph.
+
+The paper gives three concrete labels: σ of the edge crossing <CRU2,CRU4> is
+h1+h2 (Figure 8's pre-order host weights), β of the edge crossing <CRU3,CRU6>
+is s6+s13+c63, and β of the sensor edge <A,CRU10> is the raw transfer cost
+c_{s,10}.
+"""
+
+import pytest
+
+from repro.core.labeling import label_assignment_graph
+from repro.workloads import paper_example_profile_values
+
+
+def test_figure8_stated_labels(paper_problem):
+    sigma, beta = label_assignment_graph(paper_problem)
+    v = paper_example_profile_values()
+    h, s, c = v["host_times"], v["satellite_times"], v["comm_costs"]
+    assert sigma[("CRU2", "CRU4")] == pytest.approx(h["CRU1"] + h["CRU2"])
+    assert beta[("CRU3", "CRU6")] == pytest.approx(s["CRU6"] + s["CRU13"] + c[("CRU6", "CRU3")])
+    assert beta[("CRU10", "sR2")] == pytest.approx(c[("sR2", "CRU10")])
+
+
+def test_bench_figure8_labeling(benchmark, paper_problem):
+    sigma, beta = benchmark(lambda: label_assignment_graph(paper_problem))
+    assert len(sigma) == len(beta) == len(paper_problem.tree.edges())

@@ -1,0 +1,70 @@
+"""E11 (§6 future work): heuristics against the exact optimum.
+
+The paper names branch-and-bound and genetic algorithms as its follow-up
+plan for the general problem.  The benchmark calibrates them (plus greedy and
+random search) on tree instances where the exact optimum is known: B&B must
+match the optimum, the heuristics must stay within a modest gap, and the
+runtime of each approach is measured.
+"""
+
+import pytest
+
+from repro.analysis.experiments import heuristics_experiment
+from repro.baselines import (
+    branch_and_bound_assignment,
+    genetic_assignment,
+    greedy_assignment,
+    random_search_assignment,
+)
+from repro.core.solver import solve
+from repro.workloads.generators import random_problem
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return heuristics_experiment(seeds=range(6), n_processing=14, n_satellites=4,
+                                 sensor_scatter=0.3)
+
+
+def test_branch_and_bound_matches_the_optimum(outcome):
+    for row in outcome["rows"]:
+        assert row["branch_and_bound"] == pytest.approx(row["optimal"])
+
+
+def test_heuristics_never_beat_the_optimum(outcome):
+    for row in outcome["rows"]:
+        for key in ("greedy", "random_search", "genetic"):
+            assert row[key] >= row["optimal"] - 1e-9
+
+
+def test_genetic_stays_within_a_modest_gap(outcome):
+    gaps = [row["genetic_gap_pct"] for row in outcome["rows"]]
+    assert sum(gaps) / len(gaps) <= 25.0
+
+
+BENCH_PROBLEM = dict(n_processing=14, n_satellites=4, seed=3, sensor_scatter=0.3)
+
+
+def test_bench_greedy(benchmark):
+    problem = random_problem(**BENCH_PROBLEM)
+    assignment, _ = benchmark(lambda: greedy_assignment(problem))
+    assert assignment.is_feasible()
+
+
+def test_bench_random_search(benchmark):
+    problem = random_problem(**BENCH_PROBLEM)
+    assignment, _ = benchmark(lambda: random_search_assignment(problem, samples=100, seed=3))
+    assert assignment.is_feasible()
+
+
+def test_bench_genetic(benchmark):
+    problem = random_problem(**BENCH_PROBLEM)
+    assignment, _ = benchmark(lambda: genetic_assignment(problem, seed=3, generations=30,
+                                                         population_size=24))
+    assert assignment.is_feasible()
+
+
+def test_bench_branch_and_bound(benchmark):
+    problem = random_problem(**BENCH_PROBLEM)
+    assignment, _ = benchmark(lambda: branch_and_bound_assignment(problem))
+    assert assignment.is_feasible()

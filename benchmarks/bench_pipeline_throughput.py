@@ -1,0 +1,63 @@
+"""E13 (ablation of the objective choice): latency versus throughput.
+
+Grounds the SSB-vs-SB discussion in an executable pipeline model: streaming
+many frames through the SSB-optimal partition maximises responsiveness (first
+frame latency), streaming them through the SB-optimal partition maximises the
+sustainable frame rate (the steady-state period converges to Bokhari's
+bottleneck time).  The benchmark checks both directions of the trade-off and
+measures the pipeline simulator's cost.
+"""
+
+import pytest
+
+from repro.baselines import bokhari_sb_assignment
+from repro.core.solver import solve
+from repro.simulation import simulate_pipeline
+from repro.workloads.generators import random_problem
+
+SEEDS = tuple(range(8))
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    rows = []
+    for seed in SEEDS:
+        problem = random_problem(n_processing=12, n_satellites=4, seed=seed,
+                                 sensor_scatter=0.3)
+        ssb = solve(problem).assignment
+        sb, _ = bokhari_sb_assignment(problem)
+        ssb_run = simulate_pipeline(problem, ssb, frames=80)
+        sb_run = simulate_pipeline(problem, sb, frames=80)
+        rows.append({
+            "seed": seed,
+            "latency_ssb": ssb_run.first_frame_latency(),
+            "latency_sb": sb_run.first_frame_latency(),
+            "throughput_ssb": ssb_run.throughput(),
+            "throughput_sb": sb_run.throughput(),
+        })
+    return rows
+
+
+def test_ssb_partition_has_the_lower_latency(comparisons):
+    for row in comparisons:
+        assert row["latency_ssb"] <= row["latency_sb"] + 1e-9
+
+
+def test_sb_partition_has_the_higher_throughput(comparisons):
+    for row in comparisons:
+        assert row["throughput_sb"] >= row["throughput_ssb"] - 1e-9
+
+
+def test_steady_state_period_matches_the_bottleneck_objective():
+    problem = random_problem(n_processing=12, n_satellites=4, seed=1, sensor_scatter=0.3)
+    assignment, details = bokhari_sb_assignment(problem)
+    run = simulate_pipeline(problem, assignment, frames=100)
+    assert run.steady_state_period() == pytest.approx(assignment.bottleneck_time(),
+                                                      rel=1e-6)
+
+
+def test_bench_pipeline_simulation(benchmark):
+    problem = random_problem(n_processing=12, n_satellites=4, seed=1, sensor_scatter=0.3)
+    assignment = solve(problem).assignment
+    run = benchmark(lambda: simulate_pipeline(problem, assignment, frames=100))
+    assert run.frame_count == 100

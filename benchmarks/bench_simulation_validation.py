@@ -1,0 +1,45 @@
+"""E9 (§3 delay model): analytic SSB weight equals the executed delay.
+
+The paper's central modelling claim is that the coloured path's SSB weight is
+the end-to-end processing delay of the partition.  The discrete-event
+simulator executes the optimal assignment under the paper's timing assumptions
+(host barrier, transmissions occupy the satellite) and must land on exactly
+the analytic number; the relaxed policies (eager host, dedicated radio) are
+the ablation and may only be faster.
+"""
+
+import pytest
+
+from repro.analysis.experiments import simulation_validation_experiment
+from repro.core.solver import solve
+from repro.simulation import ExecutionPolicy, simulate_assignment
+
+
+def test_barrier_simulation_equals_analytic_delay(paper_problem, healthcare_problem,
+                                                  snmp_problem):
+    outcome = simulation_validation_experiment([paper_problem, healthcare_problem,
+                                                snmp_problem])
+    assert outcome["max_barrier_gap"] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_relaxed_policies_only_speed_things_up(paper_problem, healthcare_problem,
+                                               snmp_problem):
+    outcome = simulation_validation_experiment([paper_problem, healthcare_problem,
+                                                snmp_problem])
+    for row in outcome["rows"]:
+        assert row["simulated_delay_eager"] <= row["analytic_delay"] + 1e-9
+        assert row["eager_speedup"] >= -1e-9
+
+
+def test_bench_simulate_paper_example(benchmark, paper_problem):
+    assignment = solve(paper_problem).assignment
+    run = benchmark(lambda: simulate_assignment(paper_problem, assignment,
+                                                ExecutionPolicy.paper_model()))
+    assert run.end_to_end_delay == pytest.approx(assignment.end_to_end_delay())
+
+
+def test_bench_simulate_eager_ablation(benchmark, healthcare_problem):
+    assignment = solve(healthcare_problem).assignment
+    run = benchmark(lambda: simulate_assignment(healthcare_problem, assignment,
+                                                ExecutionPolicy.eager()))
+    assert run.end_to_end_delay <= assignment.end_to_end_delay() + 1e-9

@@ -1,0 +1,53 @@
+"""E8: the SSB objective (end-to-end delay) versus Bokhari's SB objective.
+
+The paper's motivation for replacing the SB measure: the partition minimising
+the bottleneck processing time is generally *not* the partition minimising the
+end-to-end delay of one context frame.  The benchmark sweeps random instances,
+solves each with both objectives on the same coloured assignment graph, and
+checks the expected shape: the SSB-optimal partition never has a larger delay,
+the SB-optimal partition never has a larger bottleneck, and the two disagree
+on a non-trivial fraction of instances.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ssb_vs_sb_experiment
+from repro.baselines import bokhari_sb_assignment
+from repro.core.solver import solve
+from repro.workloads.generators import random_problem
+
+SEEDS = tuple(range(12))
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return ssb_vs_sb_experiment(seeds=SEEDS, n_processing=12, n_satellites=4,
+                                sensor_scatter=0.3)
+
+
+def test_ssb_optimal_never_has_larger_delay(outcome):
+    for row in outcome["rows"]:
+        assert row["delay_ssb_optimal"] <= row["delay_sb_optimal"] + 1e-9
+    assert outcome["ssb_wins_or_ties"] == outcome["instances"]
+
+
+def test_sb_optimal_never_has_larger_bottleneck(outcome):
+    for row in outcome["rows"]:
+        assert row["bottleneck_sb_optimal"] <= row["bottleneck_ssb_optimal"] + 1e-9
+
+
+def test_the_two_objectives_disagree_somewhere(outcome):
+    ratios = [row["delay_ratio_sb_over_ssb"] for row in outcome["rows"]]
+    assert max(ratios) > 1.0 + 1e-9, "expected at least one instance where the objectives differ"
+
+
+def test_bench_ssb_objective(benchmark):
+    problem = random_problem(n_processing=12, n_satellites=4, seed=1, sensor_scatter=0.3)
+    result = benchmark(lambda: solve(problem))
+    assert result.assignment.is_feasible()
+
+
+def test_bench_sb_objective(benchmark):
+    problem = random_problem(n_processing=12, n_satellites=4, seed=1, sensor_scatter=0.3)
+    assignment, _ = benchmark(lambda: bokhari_sb_assignment(problem))
+    assert assignment.is_feasible()

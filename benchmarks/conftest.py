@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark corresponds to one experiment id of DESIGN.md / EXPERIMENTS.md
+and prints the reproduced table/figure content (via ``capsys``-independent
+plain prints under ``-s``, or the saved EXPERIMENTS.md) while pytest-benchmark
+measures the runtime of the underlying algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    figure4_dwg,
+    healthcare_scenario,
+    paper_example_problem,
+    snmp_scenario,
+)
+
+
+@pytest.fixture(scope="session")
+def fig4():
+    return figure4_dwg()
+
+
+@pytest.fixture(scope="session")
+def paper_problem():
+    return paper_example_problem()
+
+
+@pytest.fixture(scope="session")
+def healthcare_problem():
+    return healthcare_scenario()
+
+
+@pytest.fixture(scope="session")
+def snmp_problem():
+    return snmp_scenario()

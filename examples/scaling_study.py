@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Complexity study: empirical scaling of the two search algorithms.
+
+Reproduces the paper's two complexity statements empirically:
+
+* §4.2 — the general SSB algorithm is O(|V|²·|E|): one shortest-path search
+  per iteration, at worst one edge eliminated per iteration;
+* §5.4 — the adapted algorithm on the coloured assignment graph is O(|E'|).
+
+The script sweeps instance sizes, fits power laws to the measured run times,
+and prints the tables that also back benchmarks E6/E7 and EXPERIMENTS.md.
+
+Run with:  python examples/scaling_study.py
+"""
+
+from repro.analysis.experiments import (
+    complexity_colored_experiment,
+    complexity_ssb_experiment,
+)
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    ssb = complexity_ssb_experiment(sizes=(16, 32, 64, 128, 256))
+    print(format_table(ssb["rows"],
+                       title="E6 - general SSB algorithm on random DWGs (paper bound O(|V|^2 |E|))"))
+    print(f"fitted time exponent vs |V|: {ssb['fitted_exponent']:.2f} "
+          f"(upper bound {ssb['predicted_exponent_upper_bound']:.1f})")
+    print()
+
+    colored = complexity_colored_experiment(sizes=(8, 12, 16, 20, 24))
+    print(format_table(colored["rows"],
+                       title="E7 - adapted SSB on coloured assignment graphs (paper bound O(|E'|))"))
+    print(f"fitted time exponent vs |E'|: {colored['fitted_exponent_vs_edges']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

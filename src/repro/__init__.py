@@ -1,0 +1,84 @@
+"""repro — reproduction of Mei, Pawar & Widya (IPPS 2007).
+
+"Optimal Assignment of a Tree-Structured Context Reasoning Procedure onto a
+Host-Satellites System": given a tree of Context Reasoning Units (CRUs) whose
+leaf sensors are physically wired to specific satellite devices, find the
+partition of the tree between the host and the satellites that minimises the
+end-to-end processing delay.
+
+Quickstart
+----------
+>>> from repro import healthcare_scenario, solve
+>>> problem = healthcare_scenario()
+>>> result = solve(problem)                      # the paper's algorithm
+>>> round(result.objective, 3) == round(solve(problem, method="brute-force").objective, 3)
+True
+
+Package layout
+--------------
+``repro.model``        problem model (CRU trees, platforms, profiles, costs)
+``repro.graphs``       graph substrate (Dijkstra, k-shortest paths, trees)
+``repro.core``         the paper's constructions and algorithms
+``repro.baselines``    exact references and comparison heuristics
+``repro.simulation``   discrete-event simulator of the host-satellites system
+``repro.workloads``    scenario generators, incl. the paper's worked examples
+``repro.extensions``   DAG-to-DAG generalisation (paper §6 future work)
+``repro.analysis``     experiment drivers, complexity instrumentation, reports
+"""
+
+from repro.model import (
+    AssignmentProblem,
+    CRU,
+    CRUTree,
+    CommunicationCostModel,
+    ExecutionProfile,
+    Host,
+    HostSatelliteSystem,
+    Link,
+    Satellite,
+)
+from repro.core import (
+    Assignment,
+    ColoredSSBSearch,
+    DoublyWeightedGraph,
+    SSBSearch,
+    SSBWeighting,
+    build_assignment_graph,
+    color_tree,
+    solve,
+)
+from repro.workloads import (
+    healthcare_scenario,
+    snmp_scenario,
+    random_problem,
+    figure4_dwg,
+    paper_example_problem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssignmentProblem",
+    "CRU",
+    "CRUTree",
+    "CommunicationCostModel",
+    "ExecutionProfile",
+    "Host",
+    "HostSatelliteSystem",
+    "Link",
+    "Satellite",
+    "Assignment",
+    "ColoredSSBSearch",
+    "DoublyWeightedGraph",
+    "SSBSearch",
+    "SSBWeighting",
+    "build_assignment_graph",
+    "color_tree",
+    "solve",
+    "healthcare_scenario",
+    "snmp_scenario",
+    "random_problem",
+    "figure4_dwg",
+    "paper_example_problem",
+    "__version__",
+]

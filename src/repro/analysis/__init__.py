@@ -1,0 +1,50 @@
+"""Experiment drivers, complexity instrumentation and reporting.
+
+The benchmarks in ``benchmarks/`` are thin wrappers around the experiment
+functions in :mod:`~repro.analysis.experiments`; keeping the logic here means
+EXPERIMENTS.md, the CLI and the benchmark harness all report the same
+numbers.
+"""
+
+from repro.analysis.complexity import (
+    OperationCounter,
+    fit_power_law,
+    iteration_counts,
+)
+from repro.analysis.experiments import (
+    ExperimentRow,
+    figure4_experiment,
+    coloring_experiment,
+    labeling_experiment,
+    assignment_graph_experiment,
+    adapted_ssb_experiment,
+    ssb_vs_sb_experiment,
+    optimality_experiment,
+    simulation_validation_experiment,
+    heuristics_experiment,
+    complexity_ssb_experiment,
+    complexity_colored_experiment,
+    dag_extension_experiment,
+)
+from repro.analysis.reporting import format_table, rows_to_csv
+
+__all__ = [
+    "OperationCounter",
+    "fit_power_law",
+    "iteration_counts",
+    "ExperimentRow",
+    "figure4_experiment",
+    "coloring_experiment",
+    "labeling_experiment",
+    "assignment_graph_experiment",
+    "adapted_ssb_experiment",
+    "ssb_vs_sb_experiment",
+    "optimality_experiment",
+    "simulation_validation_experiment",
+    "heuristics_experiment",
+    "complexity_ssb_experiment",
+    "complexity_colored_experiment",
+    "dag_extension_experiment",
+    "format_table",
+    "rows_to_csv",
+]

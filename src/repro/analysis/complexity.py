@@ -1,0 +1,74 @@
+"""Complexity instrumentation.
+
+The paper's complexity claims (§4.2: ``O(|V|²·|E|)``; §5.4: ``O(|E'|)``) are
+checked empirically: run the algorithms on instance families of growing size,
+count iterations / measure time, and fit a power law ``t ≈ a·n^k`` to the
+measurements.  The fitted exponent is reported next to the predicted one; the
+reproduction does not expect exact agreement (constant factors, Python
+overheads) but the growth trend should match.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class OperationCounter:
+    """A simple named counter bag for algorithm instrumentation."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+
+def fit_power_law(sizes: Sequence[float], values: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``value ≈ a · size^k`` in log-log space.
+
+    Returns ``(a, k)``.  Zero or negative measurements are clamped to a tiny
+    positive value so timing noise on fast instances does not break the fit.
+    """
+    if len(sizes) != len(values):
+        raise ValueError("sizes and values must have the same length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    xs = [math.log(max(float(s), 1e-12)) for s in sizes]
+    ys = [math.log(max(float(v), 1e-12)) for v in values]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("all sizes are identical; cannot fit an exponent")
+    k = sxy / sxx
+    a = math.exp(mean_y - k * mean_x)
+    return a, k
+
+
+def timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` and return ``(result, elapsed seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def iteration_counts(results: Iterable[object]) -> List[int]:
+    """Extract ``iteration_count`` from a sequence of search results."""
+    out = []
+    for result in results:
+        count = getattr(result, "iteration_count", None)
+        if count is None:
+            raise AttributeError(f"{result!r} has no iteration_count")
+        out.append(int(count))
+    return out

@@ -1,0 +1,52 @@
+"""Plain-text tables and CSV series for the experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Cell]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None,
+                 precision: int = 5) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_cell(row.get(col, ""), precision) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in table)) for i, col in enumerate(columns)]
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(columns)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in table)
+    return "\n".join(out)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Cell]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as CSV text (no quoting of commas; keep cells simple)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_format_cell(row.get(col, ""), precision=10) for col in columns))
+    return "\n".join(lines)

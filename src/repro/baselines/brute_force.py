@@ -1,0 +1,106 @@
+"""Exhaustive enumeration of feasible partitions (ground-truth reference).
+
+A feasible assignment is fully described by its *cut*: the set of tree-edge
+children whose subtrees are offloaded to their correspondent satellites
+(sensors whose raw data crosses the link count as single-node "subtrees").
+Every root-to-sensor path crosses exactly one cut edge, and a subtree can
+only be offloaded when all of its sensors are wired to a single satellite.
+
+The enumeration is exponential in the tree size — the per-node recurrence is
+``count(v) = [v offloadable] + Π count(child)`` — so this module is a test
+oracle for small instances, not a solver.  The exact solver for realistic
+sizes is :mod:`repro.baselines.pareto_dp`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+
+
+def _subtree_cut_options(problem: AssignmentProblem, cru_id: str) -> List[Tuple[str, ...]]:
+    """All cuts of the subtree of ``cru_id``, as tuples of cut children.
+
+    Each option assumes the parent of ``cru_id`` runs on the host, so the
+    subtree either hangs below a cut at ``cru_id`` itself or keeps ``cru_id``
+    on the host and cuts somewhere below.
+    """
+    tree = problem.tree
+    options: List[Tuple[str, ...]] = []
+
+    if problem.correspondent_satellite(cru_id) is not None:
+        options.append((cru_id,))
+
+    if tree.cru(cru_id).is_processing:
+        children = tree.children_ids(cru_id)
+        child_options = [_subtree_cut_options(problem, c) for c in children]
+        if all(child_options):
+            for combo in itertools.product(*child_options):
+                merged: Tuple[str, ...] = tuple(itertools.chain.from_iterable(combo))
+                options.append(merged)
+    return options
+
+
+def enumerate_cuts(problem: AssignmentProblem) -> Iterator[Tuple[str, ...]]:
+    """Yield every feasible cut (the root always stays on the host)."""
+    tree = problem.tree
+    children = tree.children_ids(tree.root_id)
+    child_options = [_subtree_cut_options(problem, c) for c in children]
+    if not all(child_options):
+        return
+    for combo in itertools.product(*child_options):
+        yield tuple(itertools.chain.from_iterable(combo))
+
+
+def enumerate_assignments(problem: AssignmentProblem) -> Iterator[Assignment]:
+    """Yield every feasible assignment of the instance."""
+    for cut in enumerate_cuts(problem):
+        offloaded = [c for c in cut if problem.tree.cru(c).is_processing]
+        yield Assignment.from_cut(problem, offloaded)
+
+
+def count_feasible_assignments(problem: AssignmentProblem) -> int:
+    """Number of feasible assignments, computed by the product recurrence
+    (no enumeration)."""
+    tree = problem.tree
+
+    def count(cru_id: str) -> int:
+        total = 1 if problem.correspondent_satellite(cru_id) is not None else 0
+        if tree.cru(cru_id).is_processing:
+            product = 1
+            for child in tree.children_ids(cru_id):
+                product *= count(child)
+            total += product
+        return total
+
+    product = 1
+    for child in tree.children_ids(tree.root_id):
+        product *= count(child)
+    return product
+
+
+def brute_force_assignment(problem: AssignmentProblem,
+                           weighting: Optional[SSBWeighting] = None
+                           ) -> Tuple[Assignment, Dict[str, object]]:
+    """The delay-optimal assignment found by full enumeration.
+
+    ``weighting`` generalises the objective to
+    ``λ_S · host time + λ_B · max satellite load`` (default: plain sum, the
+    end-to-end delay).
+    """
+    weighting = weighting or SSBWeighting()
+    best: Optional[Assignment] = None
+    best_value = float("inf")
+    enumerated = 0
+    for assignment in enumerate_assignments(problem):
+        enumerated += 1
+        value = weighting.combine(assignment.host_load(), assignment.max_satellite_load())
+        if value < best_value:
+            best, best_value = assignment, value
+    if best is None:
+        raise RuntimeError("the instance admits no feasible assignment")
+    return best, {"enumerated": enumerated, "objective": best_value}

@@ -1,0 +1,152 @@
+"""Genetic-algorithm heuristic (paper §6 future work).
+
+The paper's conclusion names genetic algorithms (citing Wang et al. 1997) as
+the intended approach for the general DAG-to-DAG assignment problem where no
+polynomial exact algorithm is expected.  This module provides a GA for the
+tree-to-host-satellites case so the heuristic can be calibrated against the
+exact algorithms on instances where the optimum is known.
+
+Encoding: one binary gene per *offloadable* processing CRU (a CRU with a
+correspondent satellite), meaning "prefer to offload this subtree".  Decoding
+walks the tree top-down and cuts at the first node on each branch whose gene
+is set (sensors are always cut when reached), which yields a feasible
+assignment for every chromosome — no repair step is needed.  Fitness is the
+negative end-to-end delay.  Standard uniform crossover, bit-flip mutation,
+tournament selection and elitism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment
+from repro.model.problem import AssignmentProblem
+
+
+@dataclass
+class GAParameters:
+    """Hyper-parameters of the genetic search."""
+
+    population_size: int = 40
+    generations: int = 60
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.05
+    tournament_size: int = 3
+    elite_count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must lie in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must lie in [0, 1]")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be at least 1")
+        if self.elite_count < 0 or self.elite_count >= self.population_size:
+            raise ValueError("elite_count must be in [0, population_size)")
+
+
+def _offloadable_crus(problem: AssignmentProblem) -> List[str]:
+    """Processing CRUs (excluding the root) that could head an offloaded subtree."""
+    out = []
+    for cru_id in problem.tree.processing_ids():
+        if cru_id == problem.tree.root_id:
+            continue
+        if problem.correspondent_satellite(cru_id) is not None:
+            out.append(cru_id)
+    return out
+
+
+def decode_chromosome(problem: AssignmentProblem, genes: Sequence[int],
+                      offloadable: Sequence[str]) -> Assignment:
+    """Decode a chromosome into a feasible assignment (top-down first-set cut)."""
+    prefer = {cru_id for cru_id, gene in zip(offloadable, genes) if gene}
+    tree = problem.tree
+    cut: List[str] = []
+
+    def descend(cru_id: str) -> None:
+        offloadable_here = problem.correspondent_satellite(cru_id) is not None
+        if tree.cru(cru_id).is_sensor:
+            cut.append(cru_id)
+            return
+        if offloadable_here and cru_id in prefer:
+            cut.append(cru_id)
+            return
+        for child in tree.children_ids(cru_id):
+            descend(child)
+
+    for child in tree.children_ids(tree.root_id):
+        descend(child)
+    offloaded = [c for c in cut if tree.cru(c).is_processing]
+    return Assignment.from_cut(problem, offloaded)
+
+
+def genetic_assignment(problem: AssignmentProblem,
+                       parameters: Optional[GAParameters] = None,
+                       seed: Optional[int] = None,
+                       **overrides) -> Tuple[Assignment, Dict[str, object]]:
+    """Run the GA and return the best assignment found.
+
+    Keyword overrides (``generations=...``, ``population_size=...``) are
+    applied on top of ``parameters`` for convenience.
+    """
+    params = parameters or GAParameters()
+    if overrides:
+        params = GAParameters(**{**params.__dict__, **overrides})
+    rng = random.Random(seed)
+
+    offloadable = _offloadable_crus(problem)
+    n_genes = len(offloadable)
+
+    def random_chromosome() -> List[int]:
+        return [rng.randint(0, 1) for _ in range(n_genes)]
+
+    def fitness(chromosome: Sequence[int]) -> float:
+        return -decode_chromosome(problem, chromosome, offloadable).end_to_end_delay()
+
+    if n_genes == 0:
+        assignment = decode_chromosome(problem, [], offloadable)
+        return assignment, {"generations_run": 0, "evaluations": 1,
+                            "delay": assignment.end_to_end_delay()}
+
+    population = [random_chromosome() for _ in range(params.population_size)]
+    scores = [fitness(c) for c in population]
+    evaluations = len(population)
+    best_history: List[float] = []
+
+    def tournament() -> List[int]:
+        contenders = rng.sample(range(len(population)), min(params.tournament_size,
+                                                            len(population)))
+        winner = max(contenders, key=lambda i: scores[i])
+        return list(population[winner])
+
+    for _generation in range(params.generations):
+        ranked = sorted(range(len(population)), key=lambda i: scores[i], reverse=True)
+        next_population = [list(population[i]) for i in ranked[:params.elite_count]]
+        while len(next_population) < params.population_size:
+            parent_a, parent_b = tournament(), tournament()
+            if rng.random() < params.crossover_rate:
+                child = [a if rng.random() < 0.5 else b for a, b in zip(parent_a, parent_b)]
+            else:
+                child = parent_a
+            child = [1 - g if rng.random() < params.mutation_rate else g for g in child]
+            next_population.append(child)
+        population = next_population
+        scores = [fitness(c) for c in population]
+        evaluations += len(population)
+        best_history.append(-max(scores))
+
+    best_index = max(range(len(population)), key=lambda i: scores[i])
+    assignment = decode_chromosome(problem, population[best_index], offloadable)
+    return assignment, {
+        "generations_run": params.generations,
+        "evaluations": evaluations,
+        "delay": assignment.end_to_end_delay(),
+        "best_history": best_history,
+        "genes": n_genes,
+    }

@@ -1,0 +1,144 @@
+"""Exact Pareto dynamic program on the CRU tree.
+
+An independent exact solver used to validate the paper's algorithm on
+instances too large for brute force.  For every subtree (processed in
+post-order) it maintains the set of Pareto-optimal cost labels
+
+``(host time contributed by the subtree, per-satellite load vector, cut)``
+
+where the load vector records, for every satellite, the execution plus uplink
+time the subtree's cut contributes to it.  Combining children is additive in
+every component; dominated labels (componentwise ≥ another label) are pruned,
+which keeps the label sets small in practice.  At the root the label
+minimising ``λ_S · host + λ_B · max(load)`` is selected — with the default
+weighting this is exactly the end-to-end delay.
+
+The DP makes no use of the assignment graph, the colouring or the SSB search,
+so agreement with :mod:`repro.core.colored_ssb` on random instances is strong
+evidence that both are correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+
+
+@dataclass(frozen=True)
+class ParetoLabel:
+    """One non-dominated cost point of a subtree."""
+
+    host_time: float
+    loads: Tuple[float, ...]          #: per-satellite load, indexed like ``satellite_ids``
+    cut: Tuple[str, ...]              #: cut children realising the label
+
+    def dominates(self, other: "ParetoLabel") -> bool:
+        """True when this label is at least as good in every component."""
+        if self.host_time > other.host_time:
+            return False
+        return all(a <= b for a, b in zip(self.loads, other.loads))
+
+
+def _prune(labels: List[ParetoLabel]) -> List[ParetoLabel]:
+    """Remove dominated labels (quadratic, label sets stay small)."""
+    labels = sorted(labels, key=lambda l: (l.host_time, sum(l.loads)))
+    kept: List[ParetoLabel] = []
+    for label in labels:
+        if not any(existing.dominates(label) for existing in kept):
+            kept.append(label)
+    return kept
+
+
+def _combine(a: ParetoLabel, b: ParetoLabel) -> ParetoLabel:
+    return ParetoLabel(
+        host_time=a.host_time + b.host_time,
+        loads=tuple(x + y for x, y in zip(a.loads, b.loads)),
+        cut=a.cut + b.cut,
+    )
+
+
+def _combine_children(children_labels: Sequence[List[ParetoLabel]],
+                      n_satellites: int) -> List[ParetoLabel]:
+    acc = [ParetoLabel(host_time=0.0, loads=(0.0,) * n_satellites, cut=())]
+    for labels in children_labels:
+        acc = _prune([_combine(x, y) for x in acc for y in labels])
+    return acc
+
+
+def pareto_frontier(problem: AssignmentProblem) -> List[ParetoLabel]:
+    """Pareto-optimal (host time, per-satellite load) points of the instance.
+
+    Every returned label corresponds to a feasible assignment (its ``cut``
+    field) and no feasible assignment strictly dominates any returned label.
+    """
+    tree = problem.tree
+    satellite_ids = problem.system.satellite_ids()
+    sat_index = {sid: i for i, sid in enumerate(satellite_ids)}
+    n = len(satellite_ids)
+
+    def offload_label(cru_id: str, parent_id: str) -> Optional[ParetoLabel]:
+        satellite = problem.correspondent_satellite(cru_id)
+        if satellite is None:
+            return None
+        processing = [i for i in tree.subtree_ids(cru_id) if tree.cru(i).is_processing]
+        load = sum(problem.satellite_time(i) for i in processing)
+        load += problem.comm_cost(cru_id, parent_id)
+        loads = [0.0] * n
+        loads[sat_index[satellite]] = load
+        return ParetoLabel(host_time=0.0, loads=tuple(loads), cut=(cru_id,))
+
+    def labels_of(cru_id: str, parent_id: str) -> List[ParetoLabel]:
+        options: List[ParetoLabel] = []
+        offload = offload_label(cru_id, parent_id)
+        if offload is not None:
+            options.append(offload)
+        if tree.cru(cru_id).is_processing:
+            children = tree.children_ids(cru_id)
+            child_labels = [labels_of(c, cru_id) for c in children]
+            if all(child_labels):
+                combined = _combine_children(child_labels, n)
+                h = problem.host_time(cru_id)
+                options.extend(
+                    ParetoLabel(host_time=l.host_time + h, loads=l.loads, cut=l.cut)
+                    for l in combined)
+        return _prune(options)
+
+    root_children = tree.children_ids(tree.root_id)
+    child_labels = [labels_of(c, tree.root_id) for c in root_children]
+    if not all(child_labels):
+        raise RuntimeError("the instance admits no feasible assignment")
+    combined = _combine_children(child_labels, n)
+    h_root = problem.host_time(tree.root_id)
+    frontier = [ParetoLabel(host_time=l.host_time + h_root, loads=l.loads, cut=l.cut)
+                for l in combined]
+    return _prune(frontier)
+
+
+def pareto_dp_assignment(problem: AssignmentProblem,
+                         weighting: Optional[SSBWeighting] = None
+                         ) -> Tuple[Assignment, Dict[str, object]]:
+    """The optimal assignment selected from the Pareto frontier.
+
+    With the default weighting the objective is the end-to-end delay
+    ``host time + max satellite load``.
+    """
+    weighting = weighting or SSBWeighting()
+    frontier = pareto_frontier(problem)
+    best_label = min(
+        frontier,
+        key=lambda l: weighting.combine(l.host_time, max(l.loads) if l.loads else 0.0),
+    )
+    offloaded = [c for c in best_label.cut if problem.tree.cru(c).is_processing]
+    assignment = Assignment.from_cut(problem, offloaded)
+    objective = weighting.combine(best_label.host_time,
+                                  max(best_label.loads) if best_label.loads else 0.0)
+    return assignment, {
+        "frontier_size": len(frontier),
+        "objective": objective,
+        "host_time": best_label.host_time,
+        "max_load": max(best_label.loads) if best_label.loads else 0.0,
+    }

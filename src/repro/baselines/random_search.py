@@ -1,0 +1,70 @@
+"""Random-cut baseline (Monte-Carlo search).
+
+Feasible cuts are sampled by a top-down random walk: at every node that could
+be offloaded a biased coin decides between cutting there and recursing into
+the children; sensors are always cut when reached.  Sampling many cuts and
+keeping the best is the weakest sensible baseline and calibrates how much of
+the exact algorithms' advantage comes from actually optimising.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.assignment import Assignment
+from repro.model.problem import AssignmentProblem
+
+
+def random_cut(problem: AssignmentProblem, rng: random.Random,
+               offload_probability: float = 0.5) -> List[str]:
+    """Sample one feasible cut."""
+    tree = problem.tree
+    cut: List[str] = []
+
+    def descend(cru_id: str) -> None:
+        offloadable = problem.correspondent_satellite(cru_id) is not None
+        is_sensor = tree.cru(cru_id).is_sensor
+        if offloadable and (is_sensor or rng.random() < offload_probability):
+            cut.append(cru_id)
+            return
+        if is_sensor:
+            # not offloadable sensors cannot occur (validation), defensive only
+            cut.append(cru_id)
+            return
+        for child in tree.children_ids(cru_id):
+            descend(child)
+
+    for child in tree.children_ids(tree.root_id):
+        descend(child)
+    return cut
+
+
+def random_assignment(problem: AssignmentProblem, seed: Optional[int] = None,
+                      offload_probability: float = 0.5) -> Assignment:
+    """One uniformly sampled feasible assignment (sensors pinned, root on host)."""
+    rng = random.Random(seed)
+    cut = random_cut(problem, rng, offload_probability)
+    offloaded = [c for c in cut if problem.tree.cru(c).is_processing]
+    return Assignment.from_cut(problem, offloaded)
+
+
+def random_search_assignment(problem: AssignmentProblem, samples: int = 200,
+                             seed: Optional[int] = None,
+                             offload_probability: float = 0.5,
+                             **_ignored) -> Tuple[Assignment, Dict[str, object]]:
+    """Best of ``samples`` random feasible assignments."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = random.Random(seed)
+    best: Optional[Assignment] = None
+    best_delay = float("inf")
+    for _ in range(samples):
+        cut = random_cut(problem, rng, offload_probability)
+        offloaded = [c for c in cut if problem.tree.cru(c).is_processing]
+        assignment = Assignment.from_cut(problem, offloaded)
+        delay = assignment.end_to_end_delay()
+        if delay < best_delay:
+            best, best_delay = assignment, delay
+    assert best is not None
+    return best, {"samples": samples, "delay": best_delay}

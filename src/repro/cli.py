@@ -1,0 +1,183 @@
+"""Command line interface.
+
+``repro-assign`` (or ``python -m repro``) exposes the library's main entry
+points without writing any Python:
+
+* ``solve`` — solve one of the bundled scenarios (or a problem JSON file)
+  with any available method and print the assignment;
+* ``simulate`` — solve and then run the discrete-event simulator, printing a
+  Gantt-style trace;
+* ``experiment`` — run one of the DESIGN.md experiments and print its table;
+* ``describe`` — print the CRU tree, the colouring and the assignment-graph
+  structure of an instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import experiments as exp
+from repro.analysis.reporting import format_table
+from repro.core.assignment_graph import build_assignment_graph
+from repro.core.coloring import color_tree
+from repro.core.solver import available_methods, solve
+from repro.model.problem import AssignmentProblem
+from repro.model.serialization import problem_from_json
+from repro.simulation import ExecutionPolicy, simulate_assignment
+from repro.workloads import (
+    healthcare_scenario,
+    paper_example_problem,
+    random_problem,
+    snmp_scenario,
+)
+
+_SCENARIOS: Dict[str, Callable[[], AssignmentProblem]] = {
+    "paper-example": paper_example_problem,
+    "healthcare": healthcare_scenario,
+    "snmp": snmp_scenario,
+}
+
+_EXPERIMENTS: Dict[str, Callable[[], Dict[str, object]]] = {
+    "figure4": exp.figure4_experiment,
+    "coloring": exp.coloring_experiment,
+    "assignment-graph": exp.assignment_graph_experiment,
+    "labeling": exp.labeling_experiment,
+    "adapted-ssb": exp.adapted_ssb_experiment,
+    "complexity-ssb": exp.complexity_ssb_experiment,
+    "complexity-colored": exp.complexity_colored_experiment,
+    "ssb-vs-sb": exp.ssb_vs_sb_experiment,
+    "simulation": exp.simulation_validation_experiment,
+    "optimality": exp.optimality_experiment,
+    "heuristics": exp.heuristics_experiment,
+    "dag-extension": exp.dag_extension_experiment,
+}
+
+
+def _load_problem(args: argparse.Namespace) -> AssignmentProblem:
+    if args.problem_file:
+        with open(args.problem_file, "r", encoding="utf-8") as handle:
+            return problem_from_json(handle.read())
+    if args.scenario == "random":
+        return random_problem(n_processing=args.random_size, n_satellites=args.random_satellites,
+                              seed=args.seed)
+    return _SCENARIOS[args.scenario]()
+
+
+def _add_problem_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", choices=list(_SCENARIOS) + ["random"],
+                        default="paper-example",
+                        help="bundled scenario to solve (default: paper-example)")
+    parser.add_argument("--problem-file", help="JSON problem file (overrides --scenario)")
+    parser.add_argument("--random-size", type=int, default=12,
+                        help="processing CRUs for --scenario random")
+    parser.add_argument("--random-satellites", type=int, default=3,
+                        help="satellites for --scenario random")
+    parser.add_argument("--seed", type=int, default=0, help="seed for --scenario random")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    result = solve(problem, method=args.method)
+    print(problem.summary())
+    print(result.summary())
+    print(result.assignment.describe())
+    if args.json:
+        print(json.dumps({"method": result.method, "objective": result.objective,
+                          "placement": result.assignment.placement}, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    result = solve(problem, method=args.method)
+    policy = ExecutionPolicy(barrier=not args.eager, dedicated_links=args.dedicated_links)
+    run = simulate_assignment(problem, result.assignment, policy)
+    print(problem.summary())
+    print(result.summary())
+    print(f"simulated end-to-end delay: {run.end_to_end_delay:.6g} "
+          f"(analytic {result.assignment.end_to_end_delay():.6g})")
+    print(run.trace.to_ascii())
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    print(problem.summary())
+    print()
+    print("CRU tree (sensors marked with *):")
+    print(problem.tree.to_ascii())
+    print()
+    colored = color_tree(problem)
+    print("Edge colouring (conflicted edges force CRUs onto the host):")
+    for parent, child in problem.tree.edges():
+        color = colored.edge_color(parent, child) or "CONFLICT"
+        print(f"  {parent} -> {child}: {color}")
+    print(f"host-forced CRUs: {', '.join(colored.forced_host_crus())}")
+    graph = build_assignment_graph(problem, colored_tree=colored)
+    print(f"assignment graph: {graph.num_faces} faces, {graph.number_of_edges()} edges")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = _EXPERIMENTS[args.name]
+    outcome = driver()
+    rows = outcome.get("rows", [])
+    print(format_table(rows, title=f"experiment: {args.name}"))
+    extras = {k: v for k, v in outcome.items() if k != "rows" and not isinstance(v, (list, dict))}
+    for key, value in extras.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    for method in available_methods():
+        print(method)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-assign",
+        description="Optimal assignment of a CRU tree onto a host-satellites system "
+                    "(Mei, Pawar & Widya, IPPS 2007 — reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a scenario and print the assignment")
+    _add_problem_arguments(p_solve)
+    p_solve.add_argument("--method", choices=available_methods(), default="colored-ssb")
+    p_solve.add_argument("--json", action="store_true", help="also print the placement as JSON")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_sim = sub.add_parser("simulate", help="solve and simulate one context frame")
+    _add_problem_arguments(p_sim)
+    p_sim.add_argument("--method", choices=available_methods(), default="colored-ssb")
+    p_sim.add_argument("--eager", action="store_true",
+                       help="per-CRU precedence instead of the paper's host barrier")
+    p_sim.add_argument("--dedicated-links", action="store_true",
+                       help="transfers overlap with satellite computation")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_desc = sub.add_parser("describe", help="print tree, colouring and assignment graph")
+    _add_problem_arguments(p_desc)
+    p_desc.set_defaults(func=_cmd_describe)
+
+    p_exp = sub.add_parser("experiment", help="run one of the DESIGN.md experiments")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_methods = sub.add_parser("methods", help="list available solver methods")
+    p_methods.set_defaults(func=_cmd_methods)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

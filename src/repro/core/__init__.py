@@ -1,0 +1,54 @@
+"""The paper's primary contribution.
+
+This package implements, module by module, the constructions and algorithms
+of Mei, Pawar & Widya (IPPS 2007):
+
+======================  =====================================================
+Module                  Paper section
+======================  =====================================================
+``dwg``                 §4.1  Doubly weighted graph, S/B/SSB path measures
+``ssb``                 §4.2  SSB path-search algorithm on a general DWG
+``sb``                  §2    Bokhari's SB algorithm (comparison objective)
+``coloring``            §5.1  Colouring the CRU tree, conflict detection
+``assignment_graph``    §5.2  Building the coloured assignment graph
+``labeling``            §5.3  Labelling the assignment graph (σ and β weights)
+``colored_ssb``         §5.4  Finding the optimal SSB path in the coloured DWG
+``assignment``          §3    Assignments and the end-to-end delay objective
+``solver``              --    One-call facade combining the above
+======================  =====================================================
+"""
+
+from repro.core.dwg import DoublyWeightedGraph, SSBWeighting, PathMeasures
+from repro.core.ssb import SSBSearch, SSBResult, SSBIteration
+from repro.core.sb import SBSearch, SBResult
+from repro.core.coloring import ColoredTree, color_tree, HOST_FORCED
+from repro.core.assignment_graph import ColoredAssignmentGraph, build_assignment_graph
+from repro.core.labeling import label_assignment_graph, host_weight_labels
+from repro.core.colored_ssb import ColoredSSBSearch, ColoredSSBResult
+from repro.core.assignment import Assignment, HOST_DEVICE
+from repro.core.solver import solve, SolverResult, available_methods
+
+__all__ = [
+    "DoublyWeightedGraph",
+    "SSBWeighting",
+    "PathMeasures",
+    "SSBSearch",
+    "SSBResult",
+    "SSBIteration",
+    "SBSearch",
+    "SBResult",
+    "ColoredTree",
+    "color_tree",
+    "HOST_FORCED",
+    "ColoredAssignmentGraph",
+    "build_assignment_graph",
+    "label_assignment_graph",
+    "host_weight_labels",
+    "ColoredSSBSearch",
+    "ColoredSSBResult",
+    "Assignment",
+    "HOST_DEVICE",
+    "solve",
+    "SolverResult",
+    "available_methods",
+]

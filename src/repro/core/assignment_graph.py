@@ -1,0 +1,208 @@
+"""Building the coloured assignment graph (paper §5.2).
+
+Bokhari's construction — kept by the paper — closes the task tree by merging
+all sensors into a single dummy node ``A``, inserts a node into every face of
+the resulting planar graph plus one node on each side of the tree (``S`` on
+the left, ``T`` on the right), and connects two face nodes whenever their
+faces share a tree edge.  The resulting *assignment graph* is the planar dual
+of the closed tree: every tree edge is crossed by exactly one assignment
+edge, every ``S→T`` path crosses a set of tree edges that forms a valid cut
+(a partition of the CRU tree between host and satellites), and vice versa.
+Assignment edges inherit the colour of the tree edge they cross; conflicted
+tree edges (subtree spanning several satellites) are not cuttable and produce
+no assignment edge.
+
+Instead of drawing the tree we use the equivalent *interval dual*: number the
+leaves 1..m in DFS (left-to-right) order; every tree edge covers a contiguous
+leaf interval ``[i..j]`` and becomes the assignment edge ``F_{i-1} → F_j``
+(faces are numbered 0..m, ``S = F_0``, ``T = F_m``).  An ``S→T`` path is then
+a partition of the leaf sequence into consecutive runs, each run being the
+full leaf set of one cut subtree — exactly the cuts of the drawn construction.
+The graph is a DAG whose edges always advance the face index, which the
+adapted SSB search exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.coloring import ColoredTree, color_tree
+from repro.core.dwg import (
+    DoublyWeightedGraph,
+    SIGMA_ATTR,
+    TREE_EDGE_ATTR,
+)
+from repro.core.labeling import label_assignment_graph
+from repro.graphs.digraph import Edge
+from repro.graphs.paths import Path
+from repro.model.problem import AssignmentProblem
+
+#: Extra edge attributes stored on assignment-graph edges.
+SATELLITE_ATTR = "satellite"
+INTERVAL_ATTR = "leaf_interval"
+SUB_EDGES_ATTR = "sub_edges"   # set by the expansion step of the adapted search
+
+
+class AssignmentGraphError(ValueError):
+    """Raised when the problem instance cannot produce an assignment graph."""
+
+
+@dataclass
+class ColoredAssignmentGraph:
+    """The coloured, doubly weighted assignment graph of a problem instance.
+
+    Attributes
+    ----------
+    problem:
+        The instance the graph was built from.
+    colored_tree:
+        The §5.1 colouring used during construction.
+    dwg:
+        The doubly weighted graph; ``dwg.source`` is the left outer face
+        (``S``), ``dwg.target`` the right outer face (``T``).
+    leaf_positions:
+        Leaf CRU id -> 1-based position in DFS order.
+    num_faces:
+        Number of face nodes (``number of leaves + 1``).
+    """
+
+    problem: AssignmentProblem
+    colored_tree: ColoredTree
+    dwg: DoublyWeightedGraph
+    leaf_positions: Dict[str, int]
+    num_faces: int
+
+    # ----------------------------------------------------------------- edges
+    def tree_edge_of(self, edge: Edge) -> Tuple[str, str]:
+        """The CRU tree edge ``(parent, child)`` crossed by an assignment edge."""
+        return edge.data[TREE_EDGE_ATTR]
+
+    def satellite_of(self, edge: Edge) -> Optional[str]:
+        return edge.data.get(SATELLITE_ATTR)
+
+    def edge_for_tree_edge(self, parent_id: str, child_id: str) -> Edge:
+        """The assignment edge crossing a given (non-conflicted) tree edge."""
+        for edge in self.dwg.edges():
+            if edge.data.get(TREE_EDGE_ATTR) == (parent_id, child_id):
+                return edge
+        raise KeyError(f"no assignment edge crosses tree edge ({parent_id!r}, {child_id!r})")
+
+    # ----------------------------------------------------------- conversions
+    def path_to_cut(self, path: Path) -> List[str]:
+        """Children of the tree edges crossed by a path (the offloaded subtree
+        roots / raw-data sensors)."""
+        cut: List[str] = []
+        for edge in path.edges:
+            sub_edges = edge.data.get(SUB_EDGES_ATTR)
+            members = sub_edges if sub_edges else (edge,)
+            for member in members:
+                tree_edge = member.data.get(TREE_EDGE_ATTR)
+                if tree_edge is None:
+                    raise ValueError(f"assignment edge {member!r} lacks tree-edge provenance")
+                cut.append(tree_edge[1])
+        return cut
+
+    def path_to_assignment(self, path: Path) -> Assignment:
+        """Convert an ``S→T`` path into the partition it represents."""
+        cut_children = self.path_to_cut(path)
+        # sensors in the cut simply mean "raw data crosses the link"; only
+        # processing subtrees are offloaded
+        offloaded = [c for c in cut_children if self.problem.tree.cru(c).is_processing]
+        return Assignment.from_cut(self.problem, offloaded)
+
+    def assignment_to_path(self, assignment: Assignment) -> Path:
+        """Inverse conversion: the unique path crossing the assignment's cut edges."""
+        wanted = {tuple(edge) for edge in assignment.cut_edges()}
+        chosen: Dict[int, Edge] = {}
+        for edge in self.dwg.edges():
+            tree_edge = edge.data.get(TREE_EDGE_ATTR)
+            if tree_edge in wanted:
+                chosen[edge.tail] = edge
+        # stitch the edges together from S to T
+        edges: List[Edge] = []
+        node = self.dwg.source
+        while node != self.dwg.target:
+            if node not in chosen:
+                raise ValueError(
+                    "assignment does not correspond to a path of this graph "
+                    f"(stuck at face {node!r})")
+            edge = chosen[node]
+            edges.append(edge)
+            node = edge.head
+        return Path.from_edges(edges)
+
+    # ----------------------------------------------------------------- sizes
+    def number_of_edges(self) -> int:
+        return self.dwg.number_of_edges()
+
+    def number_of_nodes(self) -> int:
+        return self.dwg.number_of_nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ColoredAssignmentGraph(faces={self.num_faces}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+
+def build_assignment_graph(problem: AssignmentProblem,
+                           colored_tree: Optional[ColoredTree] = None) -> ColoredAssignmentGraph:
+    """Construct the coloured, doubly weighted assignment graph of an instance.
+
+    Raises
+    ------
+    AssignmentGraphError
+        If some leaf of the CRU tree is not a sensor (the closed tree then has
+        a branch that can never be cut, i.e. the instance is degenerate), or
+        if the instance has no sensors at all.
+    """
+    tree = problem.tree
+    leaves = tree.tree.leaves()
+    if not leaves:
+        raise AssignmentGraphError("the CRU tree has no leaves")
+    non_sensor_leaves = [l for l in leaves if not tree.cru(l).is_sensor]
+    if non_sensor_leaves:
+        raise AssignmentGraphError(
+            "every leaf of the CRU tree must be a sensor; offending leaves: "
+            f"{non_sensor_leaves!r}")
+
+    colored = colored_tree if colored_tree is not None else color_tree(problem)
+    sigma_labels, beta_labels = label_assignment_graph(problem)
+
+    leaf_positions = {leaf: i + 1 for i, leaf in enumerate(leaves)}
+    intervals = tree.tree.leaf_intervals()
+    num_leaves = len(leaves)
+
+    source = 0
+    target = num_leaves
+    dwg = DoublyWeightedGraph(source=source, target=target)
+    for face in range(num_leaves + 1):
+        dwg.graph.add_node(face)
+
+    for parent_id, child_id in tree.edges():
+        coloring = colored.edge_coloring(parent_id, child_id)
+        if coloring.is_conflicted:
+            continue  # not cuttable: the CRUs above must stay on the host
+        lo, hi = intervals[child_id]
+        dwg.add_edge(
+            lo - 1,
+            hi,
+            sigma=sigma_labels[(parent_id, child_id)],
+            beta=beta_labels[(parent_id, child_id)],
+            color=coloring.color,
+            **{
+                TREE_EDGE_ATTR: (parent_id, child_id),
+                SATELLITE_ATTR: coloring.satellite_id,
+                INTERVAL_ATTR: (lo, hi),
+            },
+        )
+
+    return ColoredAssignmentGraph(
+        problem=problem,
+        colored_tree=colored,
+        dwg=dwg,
+        leaf_positions=leaf_positions,
+        num_faces=num_leaves + 1,
+    )

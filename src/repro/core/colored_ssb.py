@@ -1,0 +1,330 @@
+"""Adapted SSB search on the coloured assignment graph (paper §5.4).
+
+The coloured DWG differs from the plain one of §4 in its bottleneck measure:
+the B weight of a path is the **maximum over colours of the per-colour β
+sums** — each colour is one satellite, its per-colour sum is the total work
+(execution + uplink) of that satellite, and the satellites run in parallel.
+
+The paper adapts the SSB algorithm in two ways:
+
+1. the min-S path can be read off the top of the assignment graph (we keep a
+   Dijkstra search, which is asymptotically irrelevant on these small DAGs
+   and works on arbitrary coloured DWGs);
+2. edge elimination must respect the per-colour sums: an edge may only be
+   deleted when one of its per-colour β components alone already reaches the
+   current path's B weight.  When the bottleneck colour's contribution is
+   spread over *several consecutive same-colour edges*, the paper expands
+   that part of the graph into explicit "super-edges", one per possible
+   sub-path between the region's end nodes, and then eliminates super-edges.
+
+This implementation performs the elimination and the expansion exactly as
+described, with one documented generalisation (DESIGN.md §5): when the
+bottleneck colour's edges along the current path are *not* consecutive (a
+satellite whose sensors are scattered over the CRU tree) or the expansion
+region is entered/left by edges that bypass its end nodes, the expansion is
+not applicable; the search then falls back to enumerating the remaining
+paths in non-decreasing S order (Yen/Lawler), which terminates as soon as the
+running S weight reaches the candidate SSB weight and therefore returns the
+true optimum.  Every elimination performed before the fallback provably
+preserves at least one optimal path, so the overall search is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dwg import (
+    DoublyWeightedGraph,
+    PathMeasures,
+    SSBWeighting,
+    SIGMA_ATTR,
+    BETA_ATTR,
+    COLOR_ATTR,
+)
+from repro.core.assignment_graph import SUB_EDGES_ATTR
+from repro.graphs.connectivity import is_dag, reachable_from
+from repro.graphs.digraph import DiGraph, Edge, Node
+from repro.graphs.dijkstra import shortest_path
+from repro.graphs.kshortest import iter_paths_by_weight
+from repro.graphs.paths import Path
+
+
+@dataclass(frozen=True)
+class ColoredSSBIteration:
+    """Record of one iteration of the adapted search."""
+
+    index: int
+    s_weight: float
+    b_weight: float
+    ssb_weight: float
+    candidate_after: float
+    action: str                  # "eliminate", "expand", "enumerate", "terminate"
+    removed_edges: int = 0
+    added_super_edges: int = 0
+
+
+@dataclass
+class ColoredSSBResult:
+    """Outcome of the adapted SSB search."""
+
+    path: Optional[Path]
+    ssb_weight: float
+    s_weight: float
+    b_weight: float
+    iterations: List[ColoredSSBIteration] = field(default_factory=list)
+    termination: str = "unknown"
+    expansions: int = 0
+    enumerated_paths: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.path is not None
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+
+class ColoredSSBSearch:
+    """Optimal-SSB path search on a coloured doubly weighted graph."""
+
+    def __init__(self,
+                 weighting: Optional[SSBWeighting] = None,
+                 enable_expansion: bool = True,
+                 keep_trace: bool = True,
+                 max_iterations: Optional[int] = None) -> None:
+        self.weighting = weighting or SSBWeighting()
+        self.measures = PathMeasures(self.weighting)
+        self.enable_expansion = enable_expansion
+        self.keep_trace = keep_trace
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ main
+    def search(self, dwg: DoublyWeightedGraph) -> ColoredSSBResult:
+        work = dwg.copy()
+        source, target = work.source, work.target
+
+        candidate: Optional[Path] = None
+        cand_ssb = float("inf")
+        cand_s = float("inf")
+        cand_b = float("inf")
+        iterations: List[ColoredSSBIteration] = []
+        termination = "disconnected"
+        expansions = 0
+        enumerated = 0
+
+        max_iterations = self.max_iterations
+        if max_iterations is None:
+            # generous upper bound; the fallback makes the search exact anyway
+            max_iterations = 4 * (work.number_of_edges() + 1) ** 2 + 16
+
+        index = 0
+        while True:
+            index += 1
+            if index > max_iterations:
+                candidate, cand_ssb, cand_s, cand_b, enumerated = self._enumerate(
+                    work, candidate, cand_ssb, cand_s, cand_b)
+                termination = "iteration-cap-enumeration"
+                break
+
+            path = shortest_path(work.graph, source, target, weight=SIGMA_ATTR)
+            if path is None:
+                termination = "disconnected"
+                break
+
+            s_weight = self.measures.s_weight(path)
+            if self.weighting.lambda_s * s_weight >= cand_ssb:
+                termination = "s-weight-bound"
+                break
+
+            b_weight = self.measures.b_weight_colored(path)
+            ssb_weight = self.weighting.combine(s_weight, b_weight)
+            if ssb_weight < cand_ssb:
+                candidate, cand_ssb, cand_s, cand_b = path, ssb_weight, s_weight, b_weight
+
+            if b_weight == 0.0:
+                # the min-S path has no bottleneck cost at all: no other path
+                # can do better than λ_S·S(P) + 0, which is the candidate.
+                termination = "zero-bottleneck"
+                self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                             cand_ssb, "terminate")
+                break
+
+            # ---- elimination: edges whose single-colour contribution already
+            # reaches B(P) force every path through them to B ≥ B(P) while
+            # S ≥ S(P) holds for all remaining paths, so they cannot improve.
+            removable = [e for e in work.graph.edges()
+                         if DoublyWeightedGraph.max_beta_component(e) >= b_weight]
+            if removable:
+                work.graph.remove_edges(e.key for e in removable)
+                self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                             cand_ssb, "eliminate", removed=len(removable))
+                continue
+
+            # ---- no single edge is removable: the bottleneck colour's weight
+            # is spread over several edges of the current path.
+            expanded = False
+            if self.enable_expansion:
+                expanded, added = self._try_expand(work, path, b_weight)
+                if expanded:
+                    expansions += 1
+                    self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                                 cand_ssb, "expand", added=added)
+                    continue
+
+            # ---- expansion not applicable: finish exactly by enumeration.
+            candidate, cand_ssb, cand_s, cand_b, enumerated = self._enumerate(
+                work, candidate, cand_ssb, cand_s, cand_b)
+            termination = "enumeration"
+            self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                         cand_ssb, "enumerate")
+            break
+
+        if candidate is None:
+            return ColoredSSBResult(path=None, ssb_weight=float("inf"),
+                                    s_weight=float("inf"), b_weight=float("inf"),
+                                    iterations=iterations, termination=termination,
+                                    expansions=expansions, enumerated_paths=enumerated)
+        return ColoredSSBResult(path=candidate, ssb_weight=cand_ssb, s_weight=cand_s,
+                                b_weight=cand_b, iterations=iterations,
+                                termination=termination, expansions=expansions,
+                                enumerated_paths=enumerated)
+
+    # ------------------------------------------------------------ inner steps
+    def _record(self, iterations: List[ColoredSSBIteration], index: int, s: float,
+                b: float, ssb: float, cand: float, action: str,
+                removed: int = 0, added: int = 0) -> None:
+        if not self.keep_trace:
+            return
+        iterations.append(ColoredSSBIteration(
+            index=index, s_weight=s, b_weight=b, ssb_weight=ssb,
+            candidate_after=cand, action=action, removed_edges=removed,
+            added_super_edges=added))
+
+    def _enumerate(self, work: DoublyWeightedGraph, candidate: Optional[Path],
+                   cand_ssb: float, cand_s: float, cand_b: float
+                   ) -> Tuple[Optional[Path], float, float, float, int]:
+        """Exhaustive fallback: walk paths in non-decreasing S order."""
+        count = 0
+        for path in iter_paths_by_weight(work.graph, work.source, work.target,
+                                         weight=SIGMA_ATTR):
+            count += 1
+            s_weight = self.measures.s_weight(path)
+            if self.weighting.lambda_s * s_weight >= cand_ssb:
+                break
+            b_weight = self.measures.b_weight_colored(path)
+            ssb_weight = self.weighting.combine(s_weight, b_weight)
+            if ssb_weight < cand_ssb:
+                candidate, cand_ssb, cand_s, cand_b = path, ssb_weight, s_weight, b_weight
+        return candidate, cand_ssb, cand_s, cand_b, count
+
+    # -------------------------------------------------------------- expansion
+    def _try_expand(self, work: DoublyWeightedGraph, path: Path,
+                    b_weight: float) -> Tuple[bool, int]:
+        """Apply the paper's expansion step if it is applicable.
+
+        Returns ``(expanded, number_of_super_edges_added)``.  The expansion is
+        applicable when
+
+        * the bottleneck colour's edges are consecutive along the current
+          path (the situation Figure 9 illustrates),
+        * the graph is a DAG (true for assignment graphs), and
+        * no edge crosses the boundary of the expansion region other than at
+          its two end nodes, so every path through the region's interior is
+          represented by one of the new super-edges.
+        """
+        loads = PathMeasures.color_loads(path)
+        bottleneck_color = max(loads, key=lambda c: loads[c])
+
+        positions = [i for i, edge in enumerate(path.edges)
+                     if DoublyWeightedGraph.beta_map(edge).get(bottleneck_color, 0.0) > 0.0]
+        if len(positions) <= 1:
+            return False, 0
+        if positions != list(range(positions[0], positions[-1] + 1)):
+            return False, 0  # not consecutive: Figure-9 expansion does not apply
+
+        region_start = path.edges[positions[0]].tail
+        region_end = path.edges[positions[-1]].head
+        if region_start == region_end:
+            return False, 0
+        if not is_dag(work.graph):
+            return False, 0
+
+        # Region = every node lying on some region_start -> region_end path.
+        forward = reachable_from(work.graph, region_start)
+        reversed_graph = _reverse_view(work.graph)
+        backward = reachable_from(reversed_graph, region_end)
+        region_nodes = (forward & backward) | {region_start, region_end}
+        interior = region_nodes - {region_start, region_end}
+
+        # Edges must not hop over the region boundary into/out of the interior.
+        for edge in work.graph.edges():
+            tail_in = edge.tail in interior
+            head_in = edge.head in interior
+            in_region = edge.tail in region_nodes and edge.head in region_nodes
+            if (tail_in or head_in) and not in_region:
+                return False, 0
+
+        region_edges = [e for e in work.graph.edges()
+                        if e.tail in region_nodes and e.head in region_nodes]
+        if not region_edges:
+            return False, 0
+
+        subpaths = self._region_paths(region_edges, region_start, region_end)
+        if not subpaths:
+            return False, 0
+
+        # Replace the region's edges by one super-edge per possible sub-path.
+        work.graph.remove_edges(e.key for e in region_edges)
+        added = 0
+        for sub in subpaths:
+            sigma = sum(DoublyWeightedGraph.sigma(e) for e in sub)
+            beta: Dict[Optional[str], float] = {}
+            constituents: List[Edge] = []
+            for e in sub:
+                for color, value in DoublyWeightedGraph.beta_map(e).items():
+                    beta[color] = beta.get(color, 0.0) + float(value)
+                nested = e.data.get(SUB_EDGES_ATTR)
+                constituents.extend(nested if nested else (e,))
+            work.add_edge(region_start, region_end, sigma=sigma, beta=beta,
+                          **{SUB_EDGES_ATTR: tuple(constituents)})
+            added += 1
+        return True, added
+
+    @staticmethod
+    def _region_paths(region_edges: Sequence[Edge], start: Node, end: Node
+                      ) -> List[Tuple[Edge, ...]]:
+        """All edge sequences from ``start`` to ``end`` within the region."""
+        out_edges: Dict[Node, List[Edge]] = {}
+        for edge in region_edges:
+            out_edges.setdefault(edge.tail, []).append(edge)
+
+        results: List[Tuple[Edge, ...]] = []
+        stack: List[Tuple[Node, Tuple[Edge, ...]]] = [(start, ())]
+        while stack:
+            node, so_far = stack.pop()
+            if node == end and so_far:
+                results.append(so_far)
+                continue
+            for edge in out_edges.get(node, []):
+                # region graphs are DAGs, so no visited-set is needed
+                stack.append((edge.head, so_far + (edge,)))
+        return results
+
+
+def _reverse_view(graph: DiGraph) -> DiGraph:
+    """A copy of ``graph`` with every edge reversed (used for co-reachability)."""
+    reversed_graph = DiGraph()
+    for node in graph.nodes():
+        reversed_graph.add_node(node)
+    for edge in graph.edges():
+        reversed_graph.add_edge(edge.head, edge.tail)
+    return reversed_graph
+
+
+def find_optimal_colored_ssb_path(dwg: DoublyWeightedGraph,
+                                  weighting: Optional[SSBWeighting] = None
+                                  ) -> ColoredSSBResult:
+    """Convenience wrapper: run :class:`ColoredSSBSearch` with default settings."""
+    return ColoredSSBSearch(weighting=weighting).search(dwg)

@@ -1,0 +1,148 @@
+"""Colouring the CRU tree (paper §5.1).
+
+Every satellite gets a distinguishable colour (the paper uses Red, Yellow,
+Blue and Green for its four sensor boxes).  The colour of a satellite is
+*propagated* from the sensors physically wired to it towards the root: a tree
+edge ``<parent, child>`` takes the colour of the satellite owning the sensors
+in the child's subtree.  When that subtree contains sensors of more than one
+satellite the propagated colours *conflict*; such an edge carries no colour
+and the CRUs at and above the conflict "have to be deployed on the host"
+because they combine context information obtained from multiple satellites
+and the satellites of a star network cannot talk to each other.
+
+The colouring is the mechanism by which the paper relaxes two of Bokhari's
+assumptions (freely assignable leaves, one satellite per leaf): the physical
+sensor attachment is a-priori known and simply painted onto the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.model.problem import AssignmentProblem
+
+#: Marker recorded for conflicted edges: the CRUs above them are host-bound.
+HOST_FORCED = None
+
+
+@dataclass(frozen=True)
+class EdgeColoring:
+    """Colouring information of one tree edge ``parent -> child``."""
+
+    parent_id: str
+    child_id: str
+    satellite_id: Optional[str]   #: owning satellite, ``None`` when conflicted
+    color: Optional[str]          #: satellite colour, ``None`` when conflicted
+
+    @property
+    def is_conflicted(self) -> bool:
+        return self.satellite_id is None
+
+
+class ColoredTree:
+    """The result of colouring a CRU tree against a problem instance.
+
+    The object is a read-only view computed by :func:`color_tree`; it answers
+    the queries the assignment-graph construction (§5.2) and the labelling
+    (§5.3) need:
+
+    * the colour / owning satellite of every tree edge,
+    * which edges are conflicted (not cuttable),
+    * which CRUs are structurally forced onto the host.
+    """
+
+    def __init__(self, problem: AssignmentProblem,
+                 edge_colorings: Dict[Tuple[str, str], EdgeColoring],
+                 forced_host: List[str]) -> None:
+        self.problem = problem
+        self._edges = dict(edge_colorings)
+        self._forced_host = list(forced_host)
+
+    # --------------------------------------------------------------- queries
+    def edge_coloring(self, parent_id: str, child_id: str) -> EdgeColoring:
+        return self._edges[(parent_id, child_id)]
+
+    def edge_color(self, parent_id: str, child_id: str) -> Optional[str]:
+        """Colour of a tree edge; ``None`` when the edge is conflicted."""
+        return self._edges[(parent_id, child_id)].color
+
+    def edge_satellite(self, parent_id: str, child_id: str) -> Optional[str]:
+        """Owning satellite of a tree edge; ``None`` when conflicted."""
+        return self._edges[(parent_id, child_id)].satellite_id
+
+    def is_conflicted(self, parent_id: str, child_id: str) -> bool:
+        return self._edges[(parent_id, child_id)].is_conflicted
+
+    def colorings(self) -> List[EdgeColoring]:
+        return list(self._edges.values())
+
+    def conflicted_edges(self) -> List[Tuple[str, str]]:
+        """Tree edges whose propagated colours conflict."""
+        return [key for key, ec in self._edges.items() if ec.is_conflicted]
+
+    def colorable_edges(self) -> List[Tuple[str, str]]:
+        """Tree edges carrying a single satellite colour (cuttable edges)."""
+        return [key for key, ec in self._edges.items() if not ec.is_conflicted]
+
+    def forced_host_crus(self) -> List[str]:
+        """Processing CRUs that every feasible assignment places on the host."""
+        return list(self._forced_host)
+
+    def used_colors(self) -> Set[str]:
+        return {ec.color for ec in self._edges.values() if ec.color is not None}
+
+    def color_of_satellite(self, satellite_id: str) -> str:
+        return self.problem.system.color_of(satellite_id)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        conflicted = len(self.conflicted_edges())
+        return (
+            f"ColoredTree(edges={len(self._edges)}, conflicted={conflicted}, "
+            f"forced_host={len(self._forced_host)})"
+        )
+
+
+def color_tree(problem: AssignmentProblem) -> ColoredTree:
+    """Paint the CRU tree edges by propagating satellite colours to the root.
+
+    For every tree edge ``parent -> child``:
+
+    * if all sensors in the child's subtree are wired to the same satellite,
+      the edge takes that satellite's colour;
+    * otherwise (zero or several satellites) the edge is conflicted and is
+      recorded with colour ``None``.
+
+    A processing CRU is *forced onto the host* when its own subtree spans
+    several satellites (or none): it needs context information from more than
+    one satellite, and satellites only talk to the host.  The root is always
+    host-bound in this model (the context-aware application consumes the
+    final context on the host).
+    """
+    tree = problem.tree
+    correspondent = problem.correspondent_satellites()
+
+    edge_colorings: Dict[Tuple[str, str], EdgeColoring] = {}
+    for parent_id, child_id in tree.edges():
+        satellite_id = correspondent[child_id]
+        color = problem.system.color_of(satellite_id) if satellite_id is not None else None
+        edge_colorings[(parent_id, child_id)] = EdgeColoring(
+            parent_id=parent_id,
+            child_id=child_id,
+            satellite_id=satellite_id,
+            color=color,
+        )
+
+    forced_host: List[str] = []
+    for cru_id in tree.processing_ids():
+        if cru_id == tree.root_id:
+            forced_host.append(cru_id)
+            continue
+        if correspondent[cru_id] is None:
+            forced_host.append(cru_id)
+
+    return ColoredTree(problem=problem, edge_colorings=edge_colorings,
+                       forced_host=forced_host)

@@ -1,0 +1,86 @@
+"""Labelling the assignment graph with σ and β weights (paper §5.3).
+
+Every edge of the coloured assignment graph crosses exactly one tree edge of
+the closed CRU tree; it receives
+
+* a **bottleneck weight β**: the satellite-side cost of cutting there — the
+  satellite execution times of every processing CRU in the cut subtree plus
+  the communication cost of shipping the cut edge's data over the
+  host-satellite link.  The paper's examples: β of the edge crossing
+  ``<CRU3, CRU6>`` is ``s6 + s13 + c63``; β of the edge crossing the sensor
+  edge ``<A, CRU10>`` is ``c_{s,10}`` (raw data transfer, no satellite
+  processing because sensors do not process).
+
+* a **sum weight σ**: the host-side cost, assigned through Bokhari's pre-order
+  "leftmost child" labelling (Figure 8): initialise every tree-edge weight to
+  0, walk the tree in pre-order, and when visiting ``CRU_j`` (whose parent
+  edge carries weight ``w``) give the edge towards its *leftmost* child the
+  weight ``w + h_j``; the left-most edge leaving the root gets ``h_root``.
+  With this labelling the σ weights of the edges of any S-T path sum to the
+  total host execution time of the CRUs above the cut — each host CRU is
+  counted exactly once, on the unique cut edge its leftmost-descendant chain
+  crosses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+from repro.model.cru import CRUTree
+
+
+def host_weight_labels(tree: CRUTree, profile: ExecutionProfile) -> Dict[Tuple[str, str], float]:
+    """Figure-8 σ labels: map each tree edge ``(parent, child)`` to its host weight.
+
+    Only edges leading to a *leftmost* child carry weight; all other edges are 0.
+    """
+    labels: Dict[Tuple[str, str], float] = {edge: 0.0 for edge in tree.edges()}
+    # weight of the edge entering each node (0 for the root)
+    incoming: Dict[str, float] = {tree.root_id: 0.0}
+
+    for cru_id in tree.preorder():
+        parent = tree.parent_id(cru_id)
+        if parent is not None and cru_id not in incoming:
+            incoming[cru_id] = labels[(parent, cru_id)]
+        w_in = incoming[cru_id]
+        leftmost = tree.leftmost_child_id(cru_id)
+        if leftmost is not None:
+            labels[(cru_id, leftmost)] = w_in + profile.host_time(cru_id)
+        # record incoming weights of all children now that labels are final
+        for child in tree.children_ids(cru_id):
+            incoming[child] = labels[(cru_id, child)]
+    return labels
+
+
+def satellite_cut_cost(problem: AssignmentProblem, parent_id: str, child_id: str) -> float:
+    """β label of the assignment edge crossing tree edge ``(parent, child)``.
+
+    Sum of satellite execution times of every processing CRU in the child's
+    subtree, plus the communication cost of shipping the child's output (or
+    raw sensor data) from the satellite to the host.
+    """
+    subtree = problem.tree.subtree_ids(child_id)
+    processing = [i for i in subtree if problem.tree.cru(i).is_processing]
+    sat_time = sum(problem.satellite_time(i) for i in processing)
+    return float(sat_time + problem.comm_cost(child_id, parent_id))
+
+
+def label_assignment_graph(problem: AssignmentProblem) -> Tuple[
+        Dict[Tuple[str, str], float], Dict[Tuple[str, str], float]]:
+    """Compute both label families for every tree edge.
+
+    Returns
+    -------
+    (sigma_labels, beta_labels):
+        Maps keyed by the tree edge ``(parent, child)``.  They are computed
+        for *every* tree edge, conflicted or not; the assignment-graph builder
+        simply skips the conflicted ones.
+    """
+    sigma_labels = host_weight_labels(problem.tree, problem.profile)
+    beta_labels = {
+        (parent, child): satellite_cut_cost(problem, parent, child)
+        for parent, child in problem.tree.edges()
+    }
+    return sigma_labels, beta_labels

@@ -1,0 +1,163 @@
+"""One-call solver facade.
+
+``solve(problem)`` runs the paper's pipeline end to end:
+
+1. colour the CRU tree (§5.1),
+2. build the coloured doubly weighted assignment graph (§5.2, §5.3),
+3. search it for the optimal SSB path with the adapted algorithm (§5.4),
+4. convert the path back into an assignment and report the delay.
+
+Alternative methods (exact references, Bokhari's objective, and the
+heuristics the paper lists as future work) are exposed through the same entry
+point so experiments can sweep over them uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.assignment import Assignment
+from repro.core.assignment_graph import ColoredAssignmentGraph, build_assignment_graph
+from repro.core.coloring import ColoredTree, color_tree
+from repro.core.colored_ssb import ColoredSSBResult, ColoredSSBSearch
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+
+
+@dataclass
+class SolverResult:
+    """Uniform result record returned by :func:`solve` for every method."""
+
+    method: str
+    assignment: Assignment
+    objective: float                      #: end-to-end delay of the assignment
+    elapsed_s: float
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_to_end_delay(self) -> float:
+        return self.assignment.end_to_end_delay()
+
+    @property
+    def bottleneck_time(self) -> float:
+        return self.assignment.bottleneck_time()
+
+    def summary(self) -> str:
+        return (f"[{self.method}] delay={self.objective:.6g} "
+                f"host={self.assignment.host_load():.6g} "
+                f"max-satellite={self.assignment.max_satellite_load():.6g} "
+                f"({self.elapsed_s * 1e3:.2f} ms)")
+
+
+def _solve_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeighting],
+                       **options: Any) -> SolverResult:
+    started = time.perf_counter()
+    colored = color_tree(problem)
+    graph = build_assignment_graph(problem, colored_tree=colored)
+    search = ColoredSSBSearch(weighting=weighting,
+                              enable_expansion=options.get("enable_expansion", True))
+    result = search.search(graph.dwg)
+    if not result.found:
+        raise RuntimeError("the coloured assignment graph has no S-T path; "
+                           "the instance admits no feasible assignment")
+    assignment = graph.path_to_assignment(result.path)
+    elapsed = time.perf_counter() - started
+    return SolverResult(
+        method="colored-ssb",
+        assignment=assignment,
+        objective=assignment.end_to_end_delay(),
+        elapsed_s=elapsed,
+        details={
+            "ssb_weight": result.ssb_weight,
+            "s_weight": result.s_weight,
+            "b_weight": result.b_weight,
+            "iterations": result.iteration_count,
+            "expansions": result.expansions,
+            "enumerated_paths": result.enumerated_paths,
+            "termination": result.termination,
+            "assignment_graph_edges": graph.number_of_edges(),
+            "search_result": result,
+            "assignment_graph": graph,
+        },
+    )
+
+
+def _solve_with_baseline(method: str, problem: AssignmentProblem,
+                         weighting: Optional[SSBWeighting], **options: Any) -> SolverResult:
+    # Imported lazily to keep repro.core importable without the baselines
+    # package (and to avoid import cycles).
+    from repro import baselines
+
+    started = time.perf_counter()
+    if method == "brute-force":
+        assignment, details = baselines.brute_force_assignment(problem, weighting=weighting)
+    elif method == "pareto-dp":
+        assignment, details = baselines.pareto_dp_assignment(problem, weighting=weighting)
+    elif method == "sb-bottleneck":
+        assignment, details = baselines.bokhari_sb_assignment(problem)
+    elif method == "greedy":
+        assignment, details = baselines.greedy_assignment(problem, **options)
+    elif method == "random-search":
+        assignment, details = baselines.random_search_assignment(problem, **options)
+    elif method == "genetic":
+        assignment, details = baselines.genetic_assignment(problem, **options)
+    elif method == "branch-and-bound":
+        assignment, details = baselines.branch_and_bound_assignment(problem, **options)
+    else:
+        raise ValueError(f"unknown method {method!r}; available: {available_methods()}")
+    elapsed = time.perf_counter() - started
+    return SolverResult(
+        method=method,
+        assignment=assignment,
+        objective=assignment.end_to_end_delay(),
+        elapsed_s=elapsed,
+        details=details,
+    )
+
+
+def available_methods() -> List[str]:
+    """Names accepted by :func:`solve`."""
+    return [
+        "colored-ssb",
+        "brute-force",
+        "pareto-dp",
+        "sb-bottleneck",
+        "greedy",
+        "random-search",
+        "genetic",
+        "branch-and-bound",
+    ]
+
+
+def solve(problem: AssignmentProblem,
+          method: str = "colored-ssb",
+          weighting: Optional[SSBWeighting] = None,
+          validate: bool = True,
+          **options: Any) -> SolverResult:
+    """Solve an assignment problem with the requested method.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    method:
+        One of :func:`available_methods`.  ``"colored-ssb"`` (default) is the
+        paper's algorithm; ``"brute-force"`` and ``"pareto-dp"`` are exact
+        references; ``"sb-bottleneck"`` optimises Bokhari's objective;
+        the rest are the heuristics the paper lists as future work.
+    weighting:
+        SSB weighting coefficients (default: plain sum ``S + B``, i.e. the
+        end-to-end delay).
+    validate:
+        Run structural validation of the instance before solving.
+    options:
+        Method-specific keyword options (e.g. ``seed`` for the stochastic
+        heuristics, ``generations`` for the genetic algorithm).
+    """
+    if validate:
+        problem.validate()
+    if method == "colored-ssb":
+        return _solve_colored_ssb(problem, weighting, **options)
+    return _solve_with_baseline(method, problem, weighting, **options)

@@ -1,0 +1,44 @@
+"""Paper §6 future work: beyond trees and star networks.
+
+The paper closes by announcing work on the general *DAG-tasks-to-DAG-resources*
+assignment problem, for which no polynomial exact algorithm is expected, and
+names branch-and-bound and genetic algorithms as candidate approaches.  This
+subpackage provides that generalisation so the reproduction covers the stated
+research agenda:
+
+* :mod:`~repro.extensions.dag_model` — DAG task graphs, arbitrary resource
+  graphs, placements and their makespan/delay evaluation;
+* :mod:`~repro.extensions.dag_heuristics` — list-scheduling (HEFT-style) and
+  genetic heuristics, plus an exhaustive solver for small instances;
+* :mod:`~repro.extensions.dynamic` — re-assignment when profiles drift at run
+  time (the "instantaneous application adaptation" motivation of §1).
+"""
+
+from repro.extensions.dag_model import (
+    DAGTask,
+    DAGTaskGraph,
+    Resource,
+    ResourceGraph,
+    DAGPlacement,
+)
+from repro.extensions.dag_heuristics import (
+    heft_placement,
+    random_dag_placement,
+    exhaustive_dag_placement,
+    genetic_dag_placement,
+)
+from repro.extensions.dynamic import DynamicReassigner, ProfileDrift
+
+__all__ = [
+    "DAGTask",
+    "DAGTaskGraph",
+    "Resource",
+    "ResourceGraph",
+    "DAGPlacement",
+    "heft_placement",
+    "random_dag_placement",
+    "exhaustive_dag_placement",
+    "genetic_dag_placement",
+    "DynamicReassigner",
+    "ProfileDrift",
+]

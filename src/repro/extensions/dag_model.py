@@ -1,0 +1,229 @@
+"""DAG task graphs onto arbitrary resource graphs (paper §6 future work).
+
+The tree model of the paper assumes (a) a tree-shaped reasoning procedure and
+(b) a star-shaped resource network.  The general problem drops both: tasks
+form a DAG (a context value may feed several higher-level reasoners) and
+resources form an arbitrary graph with per-link transfer rates.  This module
+defines that model and the evaluation of a placement's end-to-end delay
+(schedule length), which the heuristics of
+:mod:`repro.extensions.dag_heuristics` optimise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.graphs.connectivity import topological_order
+from repro.graphs.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class DAGTask:
+    """One task of the generalised model.
+
+    ``work`` is the nominal computation amount; the execution time on a
+    resource is ``work / resource.speed``.  Sources of the DAG (no
+    predecessors) usually model sensors and carry ``pinned_to`` — the resource
+    they must execute on, generalising the paper's sensor attachment.
+    """
+
+    task_id: str
+    work: float = 1.0
+    pinned_to: Optional[str] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError("task work must be non-negative")
+
+
+class DAGTaskGraph:
+    """A directed acyclic graph of tasks with per-edge data volumes."""
+
+    def __init__(self) -> None:
+        self._graph = DiGraph()
+        self._tasks: Dict[str, DAGTask] = {}
+        self._data: Dict[Tuple[str, str], float] = {}
+
+    # ---------------------------------------------------------------- build
+    def add_task(self, task: DAGTask) -> DAGTask:
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        self._tasks[task.task_id] = task
+        self._graph.add_node(task.task_id)
+        return task
+
+    def add_dependency(self, producer_id: str, consumer_id: str, data_volume: float = 0.0) -> None:
+        """``producer -> consumer``: the consumer needs the producer's output."""
+        if producer_id not in self._tasks or consumer_id not in self._tasks:
+            raise KeyError("both endpoints must be added as tasks first")
+        if data_volume < 0:
+            raise ValueError("data volume must be non-negative")
+        self._graph.add_edge(producer_id, consumer_id)
+        self._data[(producer_id, consumer_id)] = float(data_volume)
+        # adding the edge must keep the graph acyclic
+        topological_order(self._graph)
+
+    # --------------------------------------------------------------- queries
+    def task(self, task_id: str) -> DAGTask:
+        return self._tasks[task_id]
+
+    def task_ids(self) -> List[str]:
+        return list(self._tasks)
+
+    def dependencies(self) -> List[Tuple[str, str]]:
+        return list(self._data)
+
+    def data_volume(self, producer_id: str, consumer_id: str) -> float:
+        return self._data[(producer_id, consumer_id)]
+
+    def predecessors(self, task_id: str) -> List[str]:
+        return self._graph.predecessors(task_id)
+
+    def successors(self, task_id: str) -> List[str]:
+        return self._graph.successors(task_id)
+
+    def sources(self) -> List[str]:
+        return [t for t in self._tasks if not self.predecessors(t)]
+
+    def sinks(self) -> List[str]:
+        return [t for t in self._tasks if not self.successors(t)]
+
+    def topological_order(self) -> List[str]:
+        return topological_order(self._graph)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One execution resource (the generalisation of host / satellite)."""
+
+    resource_id: str
+    speed: float = 1.0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("resource speed must be positive")
+
+
+class ResourceGraph:
+    """Resources plus pairwise transfer rates (bytes per second).
+
+    Missing links mean the two resources cannot exchange data directly; the
+    transfer time between co-located tasks is always zero.
+    """
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, Resource] = {}
+        self._rates: Dict[Tuple[str, str], float] = {}
+
+    def add_resource(self, resource: Resource) -> Resource:
+        if resource.resource_id in self._resources:
+            raise ValueError(f"duplicate resource id {resource.resource_id!r}")
+        self._resources[resource.resource_id] = resource
+        return resource
+
+    def connect(self, a: str, b: str, rate: float) -> None:
+        """Symmetric link between two resources with the given transfer rate."""
+        if a not in self._resources or b not in self._resources:
+            raise KeyError("both resources must be added first")
+        if rate <= 0:
+            raise ValueError("link rate must be positive")
+        self._rates[(a, b)] = float(rate)
+        self._rates[(b, a)] = float(rate)
+
+    def resource(self, resource_id: str) -> Resource:
+        return self._resources[resource_id]
+
+    def resource_ids(self) -> List[str]:
+        return list(self._resources)
+
+    def are_connected(self, a: str, b: str) -> bool:
+        return a == b or (a, b) in self._rates
+
+    def transfer_time(self, a: str, b: str, data_volume: float) -> float:
+        """Time to move ``data_volume`` from resource ``a`` to resource ``b``."""
+        if a == b:
+            return 0.0
+        if (a, b) not in self._rates:
+            return float("inf")
+        return data_volume / self._rates[(a, b)]
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+
+class DAGPlacement:
+    """A mapping of every task onto a resource, with schedule evaluation.
+
+    The delay model generalises the paper's: tasks execute as early as their
+    inputs allow, each resource runs one task at a time (tasks are served in
+    topological order of readiness), transfers are charged to the producing
+    resource's outgoing link.  ``makespan()`` is the completion time of the
+    last sink — the end-to-end delay of one frame through the DAG.
+    """
+
+    def __init__(self, tasks: DAGTaskGraph, resources: ResourceGraph,
+                 mapping: Mapping[str, str]) -> None:
+        self.tasks = tasks
+        self.resources = resources
+        self.mapping: Dict[str, str] = dict(mapping)
+        missing = set(tasks.task_ids()) - set(self.mapping)
+        if missing:
+            raise ValueError(f"placement misses tasks: {sorted(missing)!r}")
+
+    def feasibility_errors(self) -> List[str]:
+        errors = []
+        for task_id, resource_id in self.mapping.items():
+            if resource_id not in self.resources.resource_ids():
+                errors.append(f"task {task_id!r} mapped to unknown resource {resource_id!r}")
+            pinned = self.tasks.task(task_id).pinned_to
+            if pinned is not None and resource_id != pinned:
+                errors.append(f"task {task_id!r} is pinned to {pinned!r} but mapped to {resource_id!r}")
+        for producer, consumer in self.tasks.dependencies():
+            a, b = self.mapping[producer], self.mapping[consumer]
+            if not self.resources.are_connected(a, b):
+                errors.append(f"dependency {producer!r}->{consumer!r} needs a link {a!r}->{b!r}")
+        return errors
+
+    def is_feasible(self) -> bool:
+        return not self.feasibility_errors()
+
+    def execution_time(self, task_id: str) -> float:
+        task = self.tasks.task(task_id)
+        resource = self.resources.resource(self.mapping[task_id])
+        return task.work / resource.speed
+
+    def schedule(self) -> Dict[str, Tuple[float, float]]:
+        """(start, finish) times per task under list scheduling in topological order."""
+        resource_free: Dict[str, float] = {r: 0.0 for r in self.resources.resource_ids()}
+        finish: Dict[str, float] = {}
+        start: Dict[str, float] = {}
+        for task_id in self.tasks.topological_order():
+            ready = 0.0
+            for producer in self.tasks.predecessors(task_id):
+                volume = self.tasks.data_volume(producer, task_id)
+                transfer = self.resources.transfer_time(
+                    self.mapping[producer], self.mapping[task_id], volume)
+                ready = max(ready, finish[producer] + transfer)
+            resource_id = self.mapping[task_id]
+            begin = max(ready, resource_free[resource_id])
+            end = begin + self.execution_time(task_id)
+            start[task_id] = begin
+            finish[task_id] = end
+            resource_free[resource_id] = end
+        return {t: (start[t], finish[t]) for t in finish}
+
+    def makespan(self) -> float:
+        """Completion time of the last task (end-to-end delay of one frame)."""
+        schedule = self.schedule()
+        if not schedule:
+            return 0.0
+        return max(end for _, end in schedule.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DAGPlacement(tasks={len(self.mapping)}, makespan={self.makespan():.6g})"

@@ -1,0 +1,117 @@
+"""Dynamic re-assignment when profiles drift (paper §1 motivation).
+
+Context-aware applications adapt to "communication and computation
+environment context" changes: link quality degrades, a device gets busy, a
+sensor's sampling rate changes.  This module models such drift as
+multiplicative factors applied to the execution-time profile and the
+communication costs, and provides :class:`DynamicReassigner`, a small
+controller that re-runs the optimal assignment when the currently deployed
+assignment's delay deviates from the optimum by more than a configurable
+threshold — the paper's "dynamic reconfiguration" research interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.solver import solve
+from repro.model.costs import CommunicationCostModel
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+
+
+@dataclass(frozen=True)
+class ProfileDrift:
+    """A multiplicative change of the timing environment.
+
+    ``host_factors`` / ``satellite_factors`` scale per-CRU execution times;
+    ``comm_factors`` scales per-edge communication costs.  Missing entries
+    default to 1.0 (no change).
+    """
+
+    host_factors: Mapping[str, float] = field(default_factory=dict)
+    satellite_factors: Mapping[str, float] = field(default_factory=dict)
+    comm_factors: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+
+    def apply(self, problem: AssignmentProblem) -> AssignmentProblem:
+        """A new problem instance with the drift applied."""
+        profile = ExecutionProfile()
+        for cru_id in problem.tree.cru_ids():
+            profile.set_host_time(
+                cru_id,
+                problem.host_time(cru_id) * float(self.host_factors.get(cru_id, 1.0)))
+            profile.set_satellite_time(
+                cru_id,
+                problem.satellite_time(cru_id) * float(self.satellite_factors.get(cru_id, 1.0)))
+        costs = CommunicationCostModel()
+        for (child, parent), seconds in problem.costs.costs().items():
+            factor = float(self.comm_factors.get((child, parent), 1.0))
+            costs.set_cost(child, parent, seconds * factor)
+        return AssignmentProblem(
+            tree=problem.tree,
+            system=problem.system,
+            sensor_attachment=problem.sensor_attachment,
+            profile=profile,
+            costs=costs,
+            name=f"{problem.name}+drift",
+        )
+
+
+@dataclass
+class ReassignmentDecision:
+    """Outcome of one controller step."""
+
+    reassigned: bool
+    deployed_delay: float
+    optimal_delay: float
+    relative_gap: float
+    assignment: Assignment
+
+
+class DynamicReassigner:
+    """Keeps an assignment deployed and re-optimises when it degrades.
+
+    ``threshold`` is the relative delay gap (deployed vs optimal under the
+    *current* profiles) above which a re-assignment is triggered; migrations
+    have a cost in practice, so small gaps are tolerated.
+    """
+
+    def __init__(self, problem: AssignmentProblem, threshold: float = 0.1,
+                 method: str = "colored-ssb") -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.method = method
+        self.problem = problem
+        self.deployed = solve(problem, method=method).assignment
+        self.history: List[ReassignmentDecision] = []
+
+    def step(self, drift: Optional[ProfileDrift] = None) -> ReassignmentDecision:
+        """Apply one drift step and decide whether to re-assign."""
+        if drift is not None:
+            self.problem = drift.apply(self.problem)
+
+        # evaluate the currently deployed placement under the new profiles
+        deployed_now = Assignment(self.problem, self.deployed.placement)
+        deployed_delay = deployed_now.end_to_end_delay()
+        optimal = solve(self.problem, method=self.method)
+        optimal_delay = optimal.objective
+        gap = 0.0 if optimal_delay == 0 else (deployed_delay - optimal_delay) / optimal_delay
+
+        reassign = gap > self.threshold
+        if reassign:
+            self.deployed = optimal.assignment
+        decision = ReassignmentDecision(
+            reassigned=reassign,
+            deployed_delay=deployed_delay,
+            optimal_delay=optimal_delay,
+            relative_gap=gap,
+            assignment=self.deployed,
+        )
+        self.history.append(decision)
+        return decision
+
+    def reassignment_count(self) -> int:
+        return sum(1 for d in self.history if d.reassigned)

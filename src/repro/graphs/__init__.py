@@ -1,0 +1,59 @@
+"""Graph substrate used by the assignment algorithms.
+
+The assignment algorithms of the paper operate on small-to-medium directed
+(multi)graphs: the doubly weighted assignment graph, the CRU tree and the
+star-shaped resource network.  The paper relies on standard graph machinery
+(Dijkstra shortest paths, connectivity checks, planar-dual construction on a
+tree).  This subpackage provides that machinery from scratch so the core
+algorithms do not depend on any external graph library and can expose exactly
+the hooks the algorithms need (edge keys in multigraphs, operation counters,
+iteration traces).
+
+Public API
+----------
+:class:`~repro.graphs.digraph.DiGraph`
+    Weighted directed multigraph with arbitrary edge attributes.
+:func:`~repro.graphs.dijkstra.dijkstra`
+    Single-source shortest paths with predecessor tracking.
+:func:`~repro.graphs.dijkstra.shortest_path`
+    Convenience s-t shortest path returning a :class:`~repro.graphs.paths.Path`.
+:func:`~repro.graphs.bellman_ford.bellman_ford`
+    Reference shortest-path implementation used for cross-checking.
+:func:`~repro.graphs.kshortest.k_shortest_paths`
+    Yen-style loopless path enumeration in non-decreasing weight order.
+:func:`~repro.graphs.connectivity.is_connected_st`
+    s-t reachability used by the SSB termination criterion.
+:class:`~repro.graphs.trees.RootedTree`
+    Rooted ordered tree with traversals, LCA and leaf-interval queries.
+"""
+
+from repro.graphs.digraph import DiGraph, Edge
+from repro.graphs.paths import Path
+from repro.graphs.dijkstra import dijkstra, shortest_path
+from repro.graphs.bellman_ford import bellman_ford, bellman_ford_path
+from repro.graphs.kshortest import k_shortest_paths, iter_paths_by_weight
+from repro.graphs.enumeration import iter_st_paths_dag, count_st_paths_dag
+from repro.graphs.connectivity import (
+    is_connected_st,
+    reachable_from,
+    weakly_connected_components,
+)
+from repro.graphs.trees import RootedTree
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "Path",
+    "dijkstra",
+    "shortest_path",
+    "bellman_ford",
+    "bellman_ford_path",
+    "k_shortest_paths",
+    "iter_paths_by_weight",
+    "iter_st_paths_dag",
+    "count_st_paths_dag",
+    "is_connected_st",
+    "reachable_from",
+    "weakly_connected_components",
+    "RootedTree",
+]

@@ -1,0 +1,89 @@
+"""Bellman-Ford shortest paths.
+
+A deliberately independent shortest-path implementation used as a
+cross-check for :mod:`repro.graphs.dijkstra` in the test-suite (two
+implementations written from different pseudocode are unlikely to share a
+bug), and usable on graphs with negative edge weights (which the assignment
+graphs never have, but generated test graphs may).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.graphs.digraph import DiGraph, Edge, Node
+from repro.graphs.paths import Path
+
+WeightSpec = Union[str, Callable[[Edge], float]]
+
+
+class NegativeCycleError(ValueError):
+    """Raised when a negative-weight cycle reachable from the source exists."""
+
+
+def _weight_fn(weight: WeightSpec) -> Callable[[Edge], float]:
+    if callable(weight):
+        return weight
+    name = weight
+    return lambda edge: float(edge.data[name])
+
+
+def bellman_ford(
+    graph: DiGraph,
+    source: Node,
+    weight: WeightSpec = "weight",
+) -> Tuple[Dict[Node, float], Dict[Node, Optional[Edge]]]:
+    """Distances and predecessor edges from ``source`` to all reachable nodes.
+
+    Raises :class:`NegativeCycleError` if a reachable negative cycle exists.
+    """
+    if not graph.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    wf = _weight_fn(weight)
+
+    dist: Dict[Node, float] = {source: 0.0}
+    pred: Dict[Node, Optional[Edge]] = {source: None}
+
+    edges = graph.edges()
+    n = graph.number_of_nodes()
+    for _ in range(max(n - 1, 0)):
+        changed = False
+        for edge in edges:
+            if edge.tail not in dist:
+                continue
+            cand = dist[edge.tail] + wf(edge)
+            if cand < dist.get(edge.head, float("inf")) - 1e-15:
+                dist[edge.head] = cand
+                pred[edge.head] = edge
+                changed = True
+        if not changed:
+            break
+    else:
+        # Ran all n-1 rounds with changes: check for a negative cycle.
+        for edge in edges:
+            if edge.tail in dist and dist[edge.tail] + wf(edge) < dist.get(edge.head, float("inf")) - 1e-9:
+                raise NegativeCycleError("negative-weight cycle reachable from source")
+    return dist, pred
+
+
+def bellman_ford_path(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+    weight: WeightSpec = "weight",
+) -> Optional[Path]:
+    """Shortest ``source -> target`` path via Bellman-Ford, or ``None``."""
+    dist, pred = bellman_ford(graph, source, weight=weight)
+    if target not in dist:
+        return None
+    edges = []
+    node = target
+    while node != source:
+        edge = pred[node]
+        assert edge is not None
+        edges.append(edge)
+        node = edge.tail
+    edges.reverse()
+    if not edges:
+        return Path.empty(source)
+    return Path.from_edges(edges)

@@ -1,0 +1,90 @@
+"""Reachability and connectivity queries.
+
+The SSB algorithm's first termination condition is "the graph becomes
+disconnected", meaning the two distinguished nodes S and T are no longer
+joined by any path.  ``is_connected_st`` answers exactly that; the component
+helpers are used by generators and validators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set
+
+from repro.graphs.digraph import DiGraph, Node
+
+
+def reachable_from(graph: DiGraph, source: Node) -> Set[Node]:
+    """All nodes reachable from ``source`` following edge directions."""
+    if not graph.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    seen: Set[Node] = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for edge in graph.out_edges(node):
+            if edge.head not in seen:
+                seen.add(edge.head)
+                queue.append(edge.head)
+    return seen
+
+
+def is_connected_st(graph: DiGraph, source: Node, target: Node) -> bool:
+    """True when ``target`` is reachable from ``source``."""
+    if not graph.has_node(source) or not graph.has_node(target):
+        return False
+    return target in reachable_from(graph, source)
+
+
+def weakly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """Connected components of the underlying undirected graph."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp: Set[Node] = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            neighbours = [e.head for e in graph.out_edges(node)]
+            neighbours += [e.tail for e in graph.in_edges(node)]
+            for nb in neighbours:
+                if nb not in seen:
+                    seen.add(nb)
+                    comp.add(nb)
+                    queue.append(nb)
+        components.append(comp)
+    return components
+
+
+def topological_order(graph: DiGraph) -> List[Node]:
+    """Topological ordering of a DAG (Kahn's algorithm).
+
+    Raises ``ValueError`` when the graph has a directed cycle.  The coloured
+    assignment graph is always a DAG (edges advance the face index), so the
+    coloured SSB search and the expansion step can rely on this ordering.
+    """
+    in_deg: Dict[Node, int] = {n: graph.in_degree(n) for n in graph.nodes()}
+    queue = deque([n for n, d in in_deg.items() if d == 0])
+    order: List[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for edge in graph.out_edges(node):
+            in_deg[edge.head] -= 1
+            if in_deg[edge.head] == 0:
+                queue.append(edge.head)
+    if len(order) != graph.number_of_nodes():
+        raise ValueError("graph has a directed cycle; no topological order exists")
+    return order
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """True when the graph has no directed cycle."""
+    try:
+        topological_order(graph)
+        return True
+    except ValueError:
+        return False

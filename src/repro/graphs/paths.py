@@ -1,0 +1,107 @@
+"""Path value objects.
+
+A path is an ordered sequence of edges of a :class:`~repro.graphs.digraph.DiGraph`.
+The SSB/SB algorithms reason about paths exclusively through their edges (each
+edge carries the σ/β weights and the colour), so the path object stores the
+edge sequence and derives the node sequence from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graphs.digraph import Edge, Node
+
+
+@dataclass(frozen=True)
+class Path:
+    """An s-t path represented as a tuple of edges.
+
+    The empty path is allowed (``source == target``); it has no edges and a
+    single-node node sequence.
+    """
+
+    source: Node
+    target: Node
+    edges: Tuple[Edge, ...]
+
+    def __post_init__(self) -> None:
+        if self.edges:
+            if self.edges[0].tail != self.source:
+                raise ValueError("first edge does not start at the path source")
+            if self.edges[-1].head != self.target:
+                raise ValueError("last edge does not end at the path target")
+            for prev, nxt in zip(self.edges, self.edges[1:]):
+                if prev.head != nxt.tail:
+                    raise ValueError(
+                        f"edges are not contiguous: {prev!r} then {nxt!r}"
+                    )
+        else:
+            if self.source != self.target:
+                raise ValueError("empty path must have source == target")
+
+    # ------------------------------------------------------------- structure
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """The node sequence visited by the path (length = #edges + 1)."""
+        if not self.edges:
+            return (self.source,)
+        return (self.edges[0].tail,) + tuple(e.head for e in self.edges)
+
+    def edge_keys(self) -> Tuple[int, ...]:
+        return tuple(e.key for e in self.edges)
+
+    def is_simple(self) -> bool:
+        """True if the path never revisits a node."""
+        nodes = self.nodes
+        return len(set(nodes)) == len(nodes)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self.edges)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self.edges
+
+    # ------------------------------------------------------------ operations
+    def total(self, weight: Callable[[Edge], float]) -> float:
+        """Sum of ``weight(edge)`` along the path."""
+        return float(sum(weight(e) for e in self.edges))
+
+    def maximum(self, weight: Callable[[Edge], float]) -> float:
+        """Maximum of ``weight(edge)`` along the path (0.0 for the empty path)."""
+        if not self.edges:
+            return 0.0
+        return float(max(weight(e) for e in self.edges))
+
+    def concat(self, other: "Path") -> "Path":
+        """Concatenate two paths sharing an endpoint."""
+        if self.target != other.source:
+            raise ValueError("paths are not concatenable")
+        return Path(source=self.source, target=other.target, edges=self.edges + other.edges)
+
+    def prefix(self, n_edges: int) -> "Path":
+        """First ``n_edges`` edges as a path."""
+        if n_edges < 0 or n_edges > len(self.edges):
+            raise ValueError("invalid prefix length")
+        edges = self.edges[:n_edges]
+        target = edges[-1].head if edges else self.source
+        return Path(source=self.source, target=target, edges=edges)
+
+    @staticmethod
+    def from_edges(edges: Sequence[Edge]) -> "Path":
+        """Build a path from a non-empty edge sequence."""
+        if not edges:
+            raise ValueError("from_edges requires at least one edge; use the constructor for empty paths")
+        return Path(source=edges[0].tail, target=edges[-1].head, edges=tuple(edges))
+
+    @staticmethod
+    def empty(node: Node) -> "Path":
+        return Path(source=node, target=node, edges=())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        route = " -> ".join(repr(n) for n in self.nodes)
+        return f"Path({route})"

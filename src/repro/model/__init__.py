@@ -1,0 +1,58 @@
+"""Problem-domain model: CRU trees, host-satellites platforms, profiles, costs.
+
+The paper's §3 problem formulation has three ingredients:
+
+1. a **context reasoning procedure** modelled as a tree of CRUs (Context
+   Reasoning Units) whose leaves are sensors that perform no processing,
+2. a **host-satellites system**: one host machine connected in a star to a
+   number of satellites; each sensor is physically wired to a specific
+   satellite (a-priori known),
+3. **timing data**: for every CRU the execution time on the host (``h_i``)
+   and on its correspondent satellite (``s_i``), and for every tree edge the
+   time to ship one frame of context data over the host-satellite link
+   (``c_ij`` and, for raw sensor data, ``c_{s,i}``).
+
+:class:`~repro.model.problem.AssignmentProblem` bundles the three and is the
+single input type of every solver in :mod:`repro.core` and
+:mod:`repro.baselines`.
+"""
+
+from repro.model.cru import CRU, CRUTree, SENSOR_KIND, PROCESSING_KIND
+from repro.model.platform import Host, Satellite, HostSatelliteSystem, Link
+from repro.model.profiles import ExecutionProfile, DeviceSpeedModel, profile_from_workload
+from repro.model.costs import CommunicationCostModel, LinkParameters
+from repro.model.problem import AssignmentProblem
+from repro.model.validation import ModelValidationError, validate_problem
+from repro.model.serialization import (
+    problem_to_dict,
+    problem_from_dict,
+    problem_to_json,
+    problem_from_json,
+    assignment_to_dict,
+    assignment_from_dict,
+)
+
+__all__ = [
+    "CRU",
+    "CRUTree",
+    "SENSOR_KIND",
+    "PROCESSING_KIND",
+    "Host",
+    "Satellite",
+    "HostSatelliteSystem",
+    "Link",
+    "ExecutionProfile",
+    "DeviceSpeedModel",
+    "profile_from_workload",
+    "CommunicationCostModel",
+    "LinkParameters",
+    "AssignmentProblem",
+    "ModelValidationError",
+    "validate_problem",
+    "problem_to_dict",
+    "problem_from_dict",
+    "problem_to_json",
+    "problem_from_json",
+    "assignment_to_dict",
+    "assignment_from_dict",
+]

@@ -1,0 +1,113 @@
+"""Communication cost model.
+
+The paper (§5.3) defines ``c_ij`` as the time required to transfer one frame
+of context data from ``CRU_i`` to ``CRU_j`` over the host-satellite link, and
+``c_{s,i}`` as the time to transfer one frame of *raw* sensor data to
+``CRU_i`` when the raw context crosses the link (the sensor's CRU runs on the
+host).  These costs only matter when the tree edge is cut by the partition —
+data flowing between two CRUs on the same device costs nothing.
+
+Costs can be specified explicitly per tree edge, or derived from the frame
+size of the producing CRU and the link parameters of the satellite involved
+(latency + size / bandwidth), mirroring the paper's remark that the costs are
+computable "based on the amount of data exchanged and the approximate
+characteristics of the communication link".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.model.cru import CRUTree
+from repro.model.platform import HostSatelliteSystem, Link
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Frame-size-based cost derivation parameters for one satellite link."""
+
+    latency_s: float = 0.0
+    bandwidth_bytes_per_s: float = float("inf")
+
+    def transfer_time(self, frame_bytes: float) -> float:
+        if frame_bytes < 0:
+            raise ValueError("frame size must be non-negative")
+        if self.bandwidth_bytes_per_s == float("inf"):
+            return self.latency_s
+        return self.latency_s + frame_bytes / self.bandwidth_bytes_per_s
+
+
+class CommunicationCostModel:
+    """Per-tree-edge transfer times.
+
+    The canonical key is the (child, parent) pair of the tree edge the data
+    flows along: ``cost(child, parent)`` is the time to ship the child's
+    output frame to the parent *when the edge is cut by the partition* (child
+    side on a satellite, parent side on the host).  For sensor edges this is
+    the paper's ``c_{s,i}`` (raw data transfer).
+    """
+
+    def __init__(self, explicit: Optional[Mapping[Tuple[str, str], float]] = None) -> None:
+        self._explicit: Dict[Tuple[str, str], float] = {}
+        for key, value in dict(explicit or {}).items():
+            self.set_cost(key[0], key[1], value)
+
+    # ---------------------------------------------------------------- write
+    def set_cost(self, child_id: str, parent_id: str, seconds: float) -> None:
+        """Set the transfer time of the edge ``child -> parent``."""
+        if seconds < 0:
+            raise ValueError("communication cost must be non-negative")
+        self._explicit[(child_id, parent_id)] = float(seconds)
+
+    # ----------------------------------------------------------------- read
+    def has_cost(self, child_id: str, parent_id: str) -> bool:
+        return (child_id, parent_id) in self._explicit
+
+    def cost(self, child_id: str, parent_id: str, default: float = 0.0) -> float:
+        """Transfer time of the edge ``child -> parent`` (``c_{child,parent}``)."""
+        return self._explicit.get((child_id, parent_id), default)
+
+    def costs(self) -> Dict[Tuple[str, str], float]:
+        return dict(self._explicit)
+
+    def __len__(self) -> int:
+        return len(self._explicit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CommunicationCostModel({len(self._explicit)} explicit edges)"
+
+    # ------------------------------------------------------------- builders
+    @staticmethod
+    def from_frame_sizes(
+        tree: CRUTree,
+        system: HostSatelliteSystem,
+        correspondent_satellite: Mapping[str, str],
+        default_frame_bytes: float = 0.0,
+    ) -> "CommunicationCostModel":
+        """Derive all edge costs from CRU output frame sizes and link models.
+
+        Every tree edge ``(parent, child)`` gets the cost of shipping the
+        child's output frame over the link of the child's correspondent
+        satellite.  CRUs without a correspondent satellite (their subtree
+        spans several satellites) never sit on the satellite side of a cut,
+        so their edges get cost 0.
+        """
+        model = CommunicationCostModel()
+        for parent_id, child_id in tree.edges():
+            sat_id = correspondent_satellite.get(child_id)
+            if sat_id is None:
+                model.set_cost(child_id, parent_id, 0.0)
+                continue
+            link = system.link(sat_id)
+            frame = tree.cru(child_id).output_frame_bytes or default_frame_bytes
+            model.set_cost(child_id, parent_id, link.transfer_time(frame))
+        return model
+
+    @staticmethod
+    def uniform(tree: CRUTree, seconds: float) -> "CommunicationCostModel":
+        """Same transfer time on every tree edge (useful in tests/benchmarks)."""
+        model = CommunicationCostModel()
+        for parent_id, child_id in tree.edges():
+            model.set_cost(child_id, parent_id, seconds)
+        return model

@@ -1,0 +1,225 @@
+"""Context Reasoning Units (CRUs) and CRU trees.
+
+A CRU is "a unit of context reasoning procedure which takes care of one of the
+functions involved in the reasoning of a higher level context from the lower
+level context" (paper §3).  Two kinds exist:
+
+* **sensor CRUs** — leaves that capture raw context information and perform no
+  processing,
+* **processing CRUs** — internal nodes (and the root) that transform the
+  context information flowing up the tree.
+
+The tree's directed links represent the precedence relation: a CRU can only
+start once all of its children have delivered their output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graphs.trees import RootedTree
+
+SENSOR_KIND = "sensor"
+PROCESSING_KIND = "processing"
+_VALID_KINDS = (SENSOR_KIND, PROCESSING_KIND)
+
+
+@dataclass(frozen=True)
+class CRU:
+    """A single Context Reasoning Unit.
+
+    Attributes
+    ----------
+    cru_id:
+        Unique identifier within its tree (e.g. ``"CRU5"`` or ``"ecg-sensor"``).
+    kind:
+        Either :data:`SENSOR_KIND` or :data:`PROCESSING_KIND`.
+    label:
+        Optional human-readable description (e.g. ``"QRS detection"``).
+    output_frame_bytes:
+        Size of one frame of this CRU's output; used by the communication
+        cost model to derive transfer times when explicit ``c_ij`` values are
+        not given.
+    """
+
+    cru_id: str
+    kind: str = PROCESSING_KIND
+    label: Optional[str] = None
+    output_frame_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown CRU kind {self.kind!r}; expected one of {_VALID_KINDS}")
+        if not self.cru_id:
+            raise ValueError("cru_id must be a non-empty string")
+        if self.output_frame_bytes < 0:
+            raise ValueError("output_frame_bytes must be non-negative")
+
+    @property
+    def is_sensor(self) -> bool:
+        return self.kind == SENSOR_KIND
+
+    @property
+    def is_processing(self) -> bool:
+        return self.kind == PROCESSING_KIND
+
+
+class CRUTree:
+    """A context reasoning procedure: a rooted, ordered tree of CRUs.
+
+    The class enforces the structural rules of the paper's model:
+
+    * the root is a processing CRU (it produces the higher-level context),
+    * sensor CRUs are leaves,
+    * identifiers are unique.
+
+    Children are ordered; the order is the left-to-right drawing order the
+    paper's constructions (Figure 6 and 8) assume.
+    """
+
+    def __init__(self, root: CRU) -> None:
+        if root.is_sensor:
+            raise ValueError("the root CRU must be a processing CRU")
+        self._crus: Dict[str, CRU] = {root.cru_id: root}
+        self._tree = RootedTree(root.cru_id)
+
+    # ---------------------------------------------------------------- build
+    @property
+    def root(self) -> CRU:
+        return self._crus[self._tree.root]
+
+    @property
+    def root_id(self) -> str:
+        return self._tree.root
+
+    def add_cru(self, parent_id: str, cru: CRU, index: Optional[int] = None) -> CRU:
+        """Attach ``cru`` as a child of ``parent_id``.
+
+        Raises ``ValueError`` when the parent is a sensor (sensors are leaves)
+        or when the identifier already exists.
+        """
+        if parent_id not in self._crus:
+            raise KeyError(f"parent {parent_id!r} not in tree")
+        if cru.cru_id in self._crus:
+            raise ValueError(f"duplicate CRU id {cru.cru_id!r}")
+        if self._crus[parent_id].is_sensor:
+            raise ValueError("sensor CRUs cannot have children")
+        self._crus[cru.cru_id] = cru
+        self._tree.add_child(parent_id, cru.cru_id, index=index)
+        return cru
+
+    def add_processing(self, parent_id: str, cru_id: str, label: Optional[str] = None,
+                       output_frame_bytes: float = 0.0) -> CRU:
+        """Convenience constructor for a processing CRU."""
+        return self.add_cru(parent_id, CRU(cru_id, PROCESSING_KIND, label, output_frame_bytes))
+
+    def add_sensor(self, parent_id: str, cru_id: str, label: Optional[str] = None,
+                   output_frame_bytes: float = 0.0) -> CRU:
+        """Convenience constructor for a sensor CRU (leaf)."""
+        return self.add_cru(parent_id, CRU(cru_id, SENSOR_KIND, label, output_frame_bytes))
+
+    # --------------------------------------------------------------- queries
+    def cru(self, cru_id: str) -> CRU:
+        return self._crus[cru_id]
+
+    def has_cru(self, cru_id: str) -> bool:
+        return cru_id in self._crus
+
+    def cru_ids(self) -> List[str]:
+        """All CRU ids in pre-order."""
+        return list(self._tree.preorder())
+
+    def crus(self) -> List[CRU]:
+        return [self._crus[i] for i in self.cru_ids()]
+
+    def parent_id(self, cru_id: str) -> Optional[str]:
+        return self._tree.parent(cru_id)
+
+    def children_ids(self, cru_id: str) -> List[str]:
+        return self._tree.children(cru_id)
+
+    def is_leaf(self, cru_id: str) -> bool:
+        return self._tree.is_leaf(cru_id)
+
+    def sensor_ids(self) -> List[str]:
+        """All sensor CRU ids in left-to-right order."""
+        return [i for i in self._tree.leaves() if self._crus[i].is_sensor]
+
+    def processing_ids(self) -> List[str]:
+        """All processing CRU ids in pre-order."""
+        return [i for i in self.cru_ids() if self._crus[i].is_processing]
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """(parent_id, child_id) pairs for every tree edge."""
+        return self._tree.edges()
+
+    def number_of_crus(self) -> int:
+        return len(self._crus)
+
+    def subtree_ids(self, cru_id: str) -> List[str]:
+        return self._tree.subtree_nodes(cru_id)
+
+    def subtree_sensor_ids(self, cru_id: str) -> List[str]:
+        return [i for i in self.subtree_ids(cru_id) if self._crus[i].is_sensor]
+
+    def subtree_processing_ids(self, cru_id: str) -> List[str]:
+        return [i for i in self.subtree_ids(cru_id) if self._crus[i].is_processing]
+
+    def ancestors(self, cru_id: str, include_self: bool = False) -> List[str]:
+        return self._tree.ancestors(cru_id, include_self=include_self)
+
+    def lca(self, a: str, b: str) -> str:
+        return self._tree.lca(a, b)
+
+    def depth(self, cru_id: str) -> int:
+        return self._tree.depth(cru_id)
+
+    def height(self) -> int:
+        return self._tree.height()
+
+    def preorder(self) -> Iterator[str]:
+        return self._tree.preorder()
+
+    def postorder(self) -> Iterator[str]:
+        return self._tree.postorder()
+
+    def leftmost_child_id(self, cru_id: str) -> Optional[str]:
+        return self._tree.leftmost_child(cru_id)
+
+    @property
+    def tree(self) -> RootedTree:
+        """The underlying ordered tree of CRU ids (read-only usage expected)."""
+        return self._tree
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structural violations."""
+        self._tree.validate()
+        for cru_id, cru in self._crus.items():
+            if cru.is_sensor and not self._tree.is_leaf(cru_id):
+                raise ValueError(f"sensor CRU {cru_id!r} has children")
+        if self.root.is_sensor:
+            raise ValueError("root CRU is a sensor")
+        if not self.sensor_ids():
+            raise ValueError("a CRU tree must contain at least one sensor")
+
+    # ----------------------------------------------------------------- misc
+    def to_ascii(self) -> str:
+        """ASCII rendering (sensor ids are suffixed with ``*``)."""
+        art = self._tree.to_ascii()
+        for sensor in self.sensor_ids():
+            art = art.replace(str(sensor), f"{sensor}*", 1)
+        return art
+
+    def __contains__(self, cru_id: str) -> bool:
+        return cru_id in self._crus
+
+    def __len__(self) -> int:
+        return len(self._crus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CRUTree(root={self.root_id!r}, crus={self.number_of_crus()}, "
+            f"sensors={len(self.sensor_ids())})"
+        )

@@ -1,0 +1,188 @@
+"""The host-satellites execution platform.
+
+"In many cases, the computation resources needed to execute the context
+reasoning procedure can be modeled as a star network, i.e. a single host
+machine connecting to a number of satellites" (paper §3).  In the epilepsy
+tele-monitoring example the sensor boxes are satellites and the patient's
+mobile terminal is the host.
+
+Satellites communicate only with the host (never with each other), which is
+why a CRU that combines context information originating from two different
+satellites can only run on the host — the structural fact the colouring
+scheme of §5.1 encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Host:
+    """The central machine (e.g. the patient's mobile terminal).
+
+    ``speed_factor`` scales nominal CRU workloads into host execution times
+    when profiles are derived from workloads rather than measured directly.
+    """
+
+    host_id: str = "host"
+    label: Optional[str] = None
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError("host speed_factor must be positive")
+
+
+@dataclass(frozen=True)
+class Satellite:
+    """A satellite device (e.g. a sensor box) connected to the host."""
+
+    satellite_id: str
+    label: Optional[str] = None
+    speed_factor: float = 1.0
+    color: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.satellite_id:
+            raise ValueError("satellite_id must be a non-empty string")
+        if self.speed_factor <= 0:
+            raise ValueError("satellite speed_factor must be positive")
+
+
+@dataclass(frozen=True)
+class Link:
+    """The communication link between one satellite and the host.
+
+    ``latency_s`` is the per-frame fixed cost and ``bandwidth_bytes_per_s`` the
+    throughput used to convert frame sizes into transfer times when explicit
+    ``c_ij`` values are not provided.
+    """
+
+    satellite_id: str
+    latency_s: float = 0.0
+    bandwidth_bytes_per_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("link latency must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+
+    def transfer_time(self, frame_bytes: float) -> float:
+        """Time to ship one frame of ``frame_bytes`` bytes to the host."""
+        if frame_bytes < 0:
+            raise ValueError("frame size must be non-negative")
+        if self.bandwidth_bytes_per_s == float("inf"):
+            return self.latency_s
+        return self.latency_s + frame_bytes / self.bandwidth_bytes_per_s
+
+
+class HostSatelliteSystem:
+    """A star network: one host plus a set of satellites and their links."""
+
+    #: Default colour palette used when satellites do not specify one.  The
+    #: first four match the paper's Figure 5 (Red, Yellow, Blue, Green).
+    DEFAULT_COLORS = (
+        "red", "yellow", "blue", "green", "orange", "purple", "cyan",
+        "magenta", "brown", "pink", "olive", "navy",
+    )
+
+    def __init__(self, host: Optional[Host] = None) -> None:
+        self._host = host if host is not None else Host()
+        self._satellites: Dict[str, Satellite] = {}
+        self._links: Dict[str, Link] = {}
+
+    # ---------------------------------------------------------------- build
+    @property
+    def host(self) -> Host:
+        return self._host
+
+    def add_satellite(self, satellite: Satellite, link: Optional[Link] = None) -> Satellite:
+        """Register a satellite (and optionally its link parameters)."""
+        if satellite.satellite_id in self._satellites:
+            raise ValueError(f"duplicate satellite id {satellite.satellite_id!r}")
+        if satellite.satellite_id == self._host.host_id:
+            raise ValueError("satellite id collides with the host id")
+        if satellite.color is None:
+            color = self.DEFAULT_COLORS[len(self._satellites) % len(self.DEFAULT_COLORS)]
+            satellite = Satellite(
+                satellite_id=satellite.satellite_id,
+                label=satellite.label,
+                speed_factor=satellite.speed_factor,
+                color=color,
+            )
+        self._satellites[satellite.satellite_id] = satellite
+        if link is None:
+            link = Link(satellite_id=satellite.satellite_id)
+        if link.satellite_id != satellite.satellite_id:
+            raise ValueError("link.satellite_id does not match the satellite")
+        self._links[satellite.satellite_id] = link
+        return satellite
+
+    def add_simple_satellite(self, satellite_id: str, label: Optional[str] = None,
+                             speed_factor: float = 1.0, latency_s: float = 0.0,
+                             bandwidth_bytes_per_s: float = float("inf")) -> Satellite:
+        """Convenience: add a satellite and its link in one call."""
+        return self.add_satellite(
+            Satellite(satellite_id=satellite_id, label=label, speed_factor=speed_factor),
+            Link(satellite_id=satellite_id, latency_s=latency_s,
+                 bandwidth_bytes_per_s=bandwidth_bytes_per_s),
+        )
+
+    # --------------------------------------------------------------- queries
+    def satellite(self, satellite_id: str) -> Satellite:
+        return self._satellites[satellite_id]
+
+    def has_satellite(self, satellite_id: str) -> bool:
+        return satellite_id in self._satellites
+
+    def satellite_ids(self) -> List[str]:
+        return list(self._satellites)
+
+    def satellites(self) -> List[Satellite]:
+        return list(self._satellites.values())
+
+    def number_of_satellites(self) -> int:
+        return len(self._satellites)
+
+    def link(self, satellite_id: str) -> Link:
+        return self._links[satellite_id]
+
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def color_of(self, satellite_id: str) -> str:
+        """The colour assigned to a satellite (paper §5.1)."""
+        color = self._satellites[satellite_id].color
+        assert color is not None  # assigned at registration
+        return color
+
+    def colors(self) -> Dict[str, str]:
+        """satellite_id -> colour for every satellite."""
+        return {sid: self.color_of(sid) for sid in self._satellites}
+
+    def device_ids(self) -> List[str]:
+        """Host id followed by all satellite ids."""
+        return [self._host.host_id] + self.satellite_ids()
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        if not self._satellites:
+            raise ValueError("a host-satellites system needs at least one satellite")
+        colors = [self.color_of(s) for s in self._satellites]
+        if len(set(colors)) != len(colors):
+            raise ValueError("satellite colours must be distinguishable (unique)")
+
+    def __contains__(self, satellite_id: str) -> bool:
+        return satellite_id in self._satellites
+
+    def __len__(self) -> int:
+        return len(self._satellites)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"HostSatelliteSystem(host={self._host.host_id!r}, "
+            f"satellites={self.satellite_ids()!r})"
+        )

@@ -1,0 +1,150 @@
+"""Execution-time profiles.
+
+The paper obtains, for every CRU ``i``, two processing-time indicators "by
+using the analytical benchmarking or task profiling techniques" (§5.3):
+
+* ``h_i`` — time to process one frame of context information on the **host**,
+* ``s_i`` — time to process one frame on the CRU's **correspondent satellite**
+  (the satellite its sensors are physically wired to).
+
+Sensors perform no processing, so their ``h`` and ``s`` are zero by
+definition.  Profiles can be given directly (measured values) or derived from
+a nominal per-CRU workload and per-device speed factors
+(:class:`DeviceSpeedModel`), which is the "analytical benchmarking"
+substitute this reproduction uses when no measurements exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.model.cru import CRUTree
+from repro.model.platform import HostSatelliteSystem
+
+
+class ExecutionProfile:
+    """Host and satellite execution times per CRU.
+
+    The satellite time of a CRU is the time on its *correspondent* satellite;
+    which satellite that is follows from the sensor attachment of the problem
+    instance, not from the profile, so the profile simply stores one satellite
+    time per CRU.
+    """
+
+    def __init__(self,
+                 host_times: Optional[Mapping[str, float]] = None,
+                 satellite_times: Optional[Mapping[str, float]] = None) -> None:
+        self._host: Dict[str, float] = dict(host_times or {})
+        self._sat: Dict[str, float] = dict(satellite_times or {})
+        for name, table in (("host", self._host), ("satellite", self._sat)):
+            for cru_id, value in table.items():
+                if value < 0:
+                    raise ValueError(f"negative {name} time for {cru_id!r}: {value}")
+
+    # ---------------------------------------------------------------- write
+    def set_host_time(self, cru_id: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("host time must be non-negative")
+        self._host[cru_id] = float(seconds)
+
+    def set_satellite_time(self, cru_id: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("satellite time must be non-negative")
+        self._sat[cru_id] = float(seconds)
+
+    def set_times(self, cru_id: str, host_seconds: float, satellite_seconds: float) -> None:
+        self.set_host_time(cru_id, host_seconds)
+        self.set_satellite_time(cru_id, satellite_seconds)
+
+    # ----------------------------------------------------------------- read
+    def host_time(self, cru_id: str) -> float:
+        """``h_i``: execution time of CRU ``i`` on the host (default 0)."""
+        return self._host.get(cru_id, 0.0)
+
+    def satellite_time(self, cru_id: str) -> float:
+        """``s_i``: execution time of CRU ``i`` on its correspondent satellite."""
+        return self._sat.get(cru_id, 0.0)
+
+    def host_times(self) -> Dict[str, float]:
+        return dict(self._host)
+
+    def satellite_times(self) -> Dict[str, float]:
+        return dict(self._sat)
+
+    def total_host_time(self, cru_ids: Iterable[str]) -> float:
+        return float(sum(self.host_time(i) for i in cru_ids))
+
+    def total_satellite_time(self, cru_ids: Iterable[str]) -> float:
+        return float(sum(self.satellite_time(i) for i in cru_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ExecutionProfile(host={len(self._host)} entries, satellite={len(self._sat)} entries)"
+
+
+@dataclass(frozen=True)
+class DeviceSpeedModel:
+    """Analytical-benchmarking substitute: derive times from nominal workloads.
+
+    ``host_time = workload / host_speed`` and
+    ``satellite_time = workload / satellite_speed`` where the speeds come from
+    the platform's :class:`~repro.model.platform.Host` and
+    :class:`~repro.model.platform.Satellite` ``speed_factor`` fields.  The
+    host of the motivating application (a PDA or mobile terminal) is usually
+    faster than the sensor boxes, so typical instances use
+    ``host speed > satellite speed``.
+    """
+
+    default_workload: float = 1.0
+
+    def host_time(self, workload: float, host_speed: float) -> float:
+        if workload < 0:
+            raise ValueError("workload must be non-negative")
+        return workload / host_speed
+
+    def satellite_time(self, workload: float, satellite_speed: float) -> float:
+        if workload < 0:
+            raise ValueError("workload must be non-negative")
+        return workload / satellite_speed
+
+
+def profile_from_workload(
+    tree: CRUTree,
+    system: HostSatelliteSystem,
+    workloads: Mapping[str, float],
+    correspondent_satellite: Mapping[str, str],
+    speed_model: Optional[DeviceSpeedModel] = None,
+) -> ExecutionProfile:
+    """Build an :class:`ExecutionProfile` from nominal CRU workloads.
+
+    Parameters
+    ----------
+    tree:
+        The CRU tree; sensors always get zero times.
+    system:
+        The platform whose device speed factors convert workloads into times.
+    workloads:
+        Nominal work (arbitrary units) per processing CRU; missing entries use
+        the speed model's ``default_workload``.
+    correspondent_satellite:
+        CRU id -> satellite id; only CRUs whose subtree sensors all sit on a
+        single satellite have a correspondent satellite, others may be omitted
+        (their satellite time is irrelevant and recorded as ``inf``-free 0).
+    speed_model:
+        Conversion model, defaults to :class:`DeviceSpeedModel()`.
+    """
+    speed_model = speed_model or DeviceSpeedModel()
+    profile = ExecutionProfile()
+    for cru_id in tree.processing_ids():
+        workload = float(workloads.get(cru_id, speed_model.default_workload))
+        profile.set_host_time(cru_id, speed_model.host_time(workload, system.host.speed_factor))
+        sat_id = correspondent_satellite.get(cru_id)
+        if sat_id is not None:
+            sat = system.satellite(sat_id)
+            profile.set_satellite_time(
+                cru_id, speed_model.satellite_time(workload, sat.speed_factor))
+        else:
+            profile.set_satellite_time(cru_id, 0.0)
+    for sensor_id in tree.sensor_ids():
+        profile.set_times(sensor_id, 0.0, 0.0)
+    return profile

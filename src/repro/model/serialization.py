@@ -1,0 +1,170 @@
+"""JSON / dict round-trips for problems and assignments.
+
+The serialisation format is deliberately plain (nested dicts of strings and
+numbers) so instances can be stored next to experiment results, diffed, and
+rebuilt by the CLI.  The format is versioned; loaders reject unknown versions
+instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, TYPE_CHECKING
+
+from repro.model.costs import CommunicationCostModel
+from repro.model.cru import CRU, CRUTree, PROCESSING_KIND, SENSOR_KIND
+from repro.model.platform import Host, HostSatelliteSystem, Link, Satellite
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.assignment import Assignment
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- problem
+def problem_to_dict(problem: AssignmentProblem) -> Dict[str, Any]:
+    """Serialise a problem instance into plain Python containers."""
+    tree = problem.tree
+    nodes = []
+    for cru_id in tree.cru_ids():
+        cru = tree.cru(cru_id)
+        nodes.append({
+            "id": cru.cru_id,
+            "kind": cru.kind,
+            "label": cru.label,
+            "parent": tree.parent_id(cru_id),
+            "output_frame_bytes": cru.output_frame_bytes,
+        })
+
+    satellites = []
+    for sat in problem.system.satellites():
+        link = problem.system.link(sat.satellite_id)
+        satellites.append({
+            "id": sat.satellite_id,
+            "label": sat.label,
+            "speed_factor": sat.speed_factor,
+            "color": sat.color,
+            "latency_s": link.latency_s,
+            "bandwidth_bytes_per_s": (
+                None if link.bandwidth_bytes_per_s == float("inf")
+                else link.bandwidth_bytes_per_s
+            ),
+        })
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": problem.name,
+        "tree": {"root": tree.root_id, "nodes": nodes},
+        "host": {
+            "id": problem.system.host.host_id,
+            "label": problem.system.host.label,
+            "speed_factor": problem.system.host.speed_factor,
+        },
+        "satellites": satellites,
+        "sensor_attachment": dict(problem.sensor_attachment),
+        "profile": {
+            "host_times": problem.profile.host_times(),
+            "satellite_times": problem.profile.satellite_times(),
+        },
+        "costs": [
+            {"child": child, "parent": parent, "seconds": seconds}
+            for (child, parent), seconds in sorted(problem.costs.costs().items())
+        ],
+    }
+
+
+def problem_from_dict(data: Mapping[str, Any]) -> AssignmentProblem:
+    """Rebuild a problem instance from :func:`problem_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported problem format version {version!r}")
+
+    tree_data = data["tree"]
+    nodes = {node["id"]: node for node in tree_data["nodes"]}
+    root_node = nodes[tree_data["root"]]
+    tree = CRUTree(CRU(
+        cru_id=root_node["id"],
+        kind=root_node["kind"],
+        label=root_node.get("label"),
+        output_frame_bytes=root_node.get("output_frame_bytes", 0.0),
+    ))
+    # insert children in the order they appear in the node list (which is the
+    # pre-order the serialiser produced, preserving child order)
+    for node in tree_data["nodes"]:
+        if node["id"] == tree_data["root"]:
+            continue
+        tree.add_cru(node["parent"], CRU(
+            cru_id=node["id"],
+            kind=node["kind"],
+            label=node.get("label"),
+            output_frame_bytes=node.get("output_frame_bytes", 0.0),
+        ))
+
+    host_data = data["host"]
+    system = HostSatelliteSystem(Host(
+        host_id=host_data["id"],
+        label=host_data.get("label"),
+        speed_factor=host_data.get("speed_factor", 1.0),
+    ))
+    for sat in data["satellites"]:
+        bandwidth = sat.get("bandwidth_bytes_per_s")
+        system.add_satellite(
+            Satellite(
+                satellite_id=sat["id"],
+                label=sat.get("label"),
+                speed_factor=sat.get("speed_factor", 1.0),
+                color=sat.get("color"),
+            ),
+            Link(
+                satellite_id=sat["id"],
+                latency_s=sat.get("latency_s", 0.0),
+                bandwidth_bytes_per_s=float("inf") if bandwidth is None else bandwidth,
+            ),
+        )
+
+    profile = ExecutionProfile(
+        host_times=data["profile"]["host_times"],
+        satellite_times=data["profile"]["satellite_times"],
+    )
+    costs = CommunicationCostModel()
+    for entry in data["costs"]:
+        costs.set_cost(entry["child"], entry["parent"], entry["seconds"])
+
+    return AssignmentProblem(
+        tree=tree,
+        system=system,
+        sensor_attachment=data["sensor_attachment"],
+        profile=profile,
+        costs=costs,
+        name=data.get("name", "assignment-problem"),
+    )
+
+
+def problem_to_json(problem: AssignmentProblem, indent: int = 2) -> str:
+    return json.dumps(problem_to_dict(problem), indent=indent, sort_keys=True)
+
+
+def problem_from_json(text: str) -> AssignmentProblem:
+    return problem_from_dict(json.loads(text))
+
+
+# ------------------------------------------------------------------ assignment
+def assignment_to_dict(assignment: "Assignment") -> Dict[str, Any]:
+    """Serialise an assignment (placement of CRUs onto devices)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "placement": dict(assignment.placement),
+        "objective": assignment.end_to_end_delay(),
+    }
+
+
+def assignment_from_dict(data: Mapping[str, Any], problem: AssignmentProblem) -> "Assignment":
+    """Rebuild an assignment against an existing problem instance."""
+    from repro.core.assignment import Assignment
+
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported assignment format version {version!r}")
+    return Assignment(problem=problem, placement=dict(data["placement"]))

@@ -1,0 +1,88 @@
+"""Structural validation of problem instances.
+
+The solvers assume a handful of structural invariants (sensors are leaves,
+every sensor is wired to a registered satellite, times and costs are
+non-negative, at least one sensor per instance).  Violations raise a single
+dedicated exception type with an explanatory message so callers can surface
+configuration mistakes before any algorithm runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.problem import AssignmentProblem
+
+
+class ModelValidationError(ValueError):
+    """Raised when an :class:`~repro.model.problem.AssignmentProblem` is malformed."""
+
+    def __init__(self, errors: List[str]) -> None:
+        self.errors = list(errors)
+        super().__init__("; ".join(self.errors))
+
+
+def collect_problem_errors(problem: "AssignmentProblem") -> List[str]:
+    """Return a list of human-readable problems (empty when valid)."""
+    errors: List[str] = []
+
+    # Tree structure
+    try:
+        problem.tree.validate()
+    except ValueError as exc:
+        errors.append(f"CRU tree invalid: {exc}")
+
+    # Platform structure
+    try:
+        problem.system.validate()
+    except ValueError as exc:
+        errors.append(f"platform invalid: {exc}")
+
+    # Every leaf must be a sensor: a processing CRU without any sensor below it
+    # would make the branch uncuttable and the instance degenerate.
+    for leaf in problem.tree.tree.leaves():
+        if not problem.tree.cru(leaf).is_sensor:
+            errors.append(f"leaf CRU {leaf!r} is not a sensor")
+
+    # Sensor attachment: every sensor wired, every target satellite known
+    sensor_ids = set(problem.tree.sensor_ids())
+    for sensor_id in sorted(sensor_ids):
+        sat = problem.sensor_attachment.get(sensor_id)
+        if sat is None:
+            errors.append(f"sensor {sensor_id!r} has no satellite attachment")
+        elif not problem.system.has_satellite(sat):
+            errors.append(f"sensor {sensor_id!r} attached to unknown satellite {sat!r}")
+    for sensor_id in sorted(problem.sensor_attachment):
+        if sensor_id not in sensor_ids:
+            errors.append(
+                f"attachment references {sensor_id!r}, which is not a sensor of the tree")
+
+    # Profiles and costs: non-negative, sensors cost nothing to execute
+    for cru_id in problem.tree.cru_ids():
+        h = problem.profile.host_time(cru_id)
+        s = problem.profile.satellite_time(cru_id)
+        if h < 0:
+            errors.append(f"negative host time for {cru_id!r}")
+        if s < 0:
+            errors.append(f"negative satellite time for {cru_id!r}")
+        if problem.tree.has_cru(cru_id) and problem.tree.cru(cru_id).is_sensor:
+            if h != 0 or s != 0:
+                errors.append(f"sensor {cru_id!r} must have zero execution times")
+    for (child, parent), cost in problem.costs.costs().items():
+        if cost < 0:
+            errors.append(f"negative communication cost on edge {child!r}->{parent!r}")
+        if not problem.tree.has_cru(child) or not problem.tree.has_cru(parent):
+            errors.append(f"communication cost on unknown edge {child!r}->{parent!r}")
+        elif problem.tree.parent_id(child) != parent:
+            errors.append(
+                f"communication cost on {child!r}->{parent!r}, which is not a tree edge")
+
+    return errors
+
+
+def validate_problem(problem: "AssignmentProblem") -> None:
+    """Raise :class:`ModelValidationError` when the instance is malformed."""
+    errors = collect_problem_errors(problem)
+    if errors:
+        raise ModelValidationError(errors)

@@ -1,0 +1,131 @@
+"""The discrete-event engine and single-server device resources.
+
+The engine is a classic event-driven simulator: a clock, a time-ordered event
+queue, and ``run()`` which pops events until the queue drains (or a horizon /
+event budget is reached).  :class:`DeviceResource` models one device (the
+host or a satellite) as a single server with a FIFO job queue — the paper's
+devices execute one CRU (or one uplink transmission) at a time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.simulation.events import Event, EventQueue
+
+
+class Simulator:
+    """Minimal deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    # ---------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    # ------------------------------------------------------------- schedule
+    def schedule_at(self, time: float, kind: str, callback: Callable[[], None],
+                    priority: int = 0) -> Event:
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = Event(time=max(time, self._now), kind=kind, callback=callback,
+                      priority=priority)
+        self._queue.push(event)
+        return event
+
+    def schedule_after(self, delay: float, kind: str, callback: Callable[[], None],
+                       priority: int = 0) -> Event:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, kind, callback, priority=priority)
+
+    # ------------------------------------------------------------------ run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains (or a limit is hit).
+
+        Returns the simulation time after the last processed event.
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if max_events is not None and self._processed >= max_events:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            self._processed += 1
+            event.fire()
+        return self._now
+
+
+@dataclass
+class _Job:
+    name: str
+    duration: float
+    on_complete: Optional[Callable[[float], None]]
+
+
+class DeviceResource:
+    """A single-server FIFO resource (one CPU, or one CPU + radio, per device).
+
+    Jobs submitted while the device is busy wait in arrival order.  The
+    completion callback receives the completion time.
+    """
+
+    def __init__(self, simulator: Simulator, name: str) -> None:
+        self.simulator = simulator
+        self.name = name
+        self._pending: Deque[_Job] = deque()
+        self._busy = False
+        self.busy_time = 0.0
+        self.completed_jobs: List[Tuple[str, float, float]] = []  # (job, start, end)
+
+    def submit(self, name: str, duration: float,
+               on_complete: Optional[Callable[[float], None]] = None) -> None:
+        if duration < 0:
+            raise ValueError("job duration must be non-negative")
+        self._pending.append(_Job(name=name, duration=duration, on_complete=on_complete))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._pending.popleft()
+        start = self.simulator.now
+
+        def finish() -> None:
+            end = self.simulator.now
+            self.busy_time += job.duration
+            self.completed_jobs.append((job.name, start, end))
+            if job.on_complete is not None:
+                job.on_complete(end)
+            self._start_next()
+
+        self.simulator.schedule_after(job.duration, kind=f"{self.name}:{job.name}",
+                                      callback=finish)
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    def utilisation(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the device was busy up to ``horizon`` (or now)."""
+        horizon = horizon if horizon is not None else self.simulator.now
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)

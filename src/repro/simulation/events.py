@@ -1,0 +1,59 @@
+"""Event records and the time-ordered event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled simulation event.
+
+    Events are ordered by time, then priority (lower first), then insertion
+    order, which makes simulation runs fully deterministic.
+    """
+
+    time: float
+    kind: str
+    callback: Callable[[], None] = field(compare=False, repr=False)
+    priority: int = 0
+    payload: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def fire(self) -> None:
+        self.callback()
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._size = 0
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, (event.time, event.priority, next(self._counter), event))
+        self._size += 1
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        _, _, _, event = heapq.heappop(self._heap)
+        self._size -= 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

@@ -1,0 +1,267 @@
+"""Executing an assigned CRU tree on the simulated host-satellites system.
+
+One *frame* of context information is pushed through the CRU tree:
+
+* sensors produce their raw output at time 0 on the satellite they are wired
+  to;
+* a CRU executes on the device the assignment places it on (``s_i`` seconds
+  on its satellite, ``h_i`` seconds on the host) once all of its children's
+  outputs are available on that device;
+* whenever a tree edge is cut (child on a satellite, parent on the host) the
+  child's output is transmitted over the satellite's uplink, which — in the
+  paper-faithful model — keeps the satellite busy for the edge's
+  communication cost;
+* the frame is done when the root CRU completes on the host.
+
+With the default *barrier* policy the host defers all of its processing until
+every satellite delivery has arrived (the paper's §3 assumption), which makes
+the simulated delay equal the analytic end-to-end delay of the assignment.
+The *eager* policy relaxes this to per-CRU precedence and the *dedicated
+links* option lets transmissions overlap with satellite computation; both
+refinements can only reduce the delay, which the ablation benchmark
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.assignment import Assignment, HOST_DEVICE
+from repro.model.problem import AssignmentProblem
+from repro.simulation.engine import DeviceResource, Simulator
+from repro.simulation.network import StarNetwork
+from repro.simulation.trace import ExecutionTrace, TraceEvent
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Timing assumptions of a simulation run.
+
+    Attributes
+    ----------
+    barrier:
+        ``True`` (paper model): the host starts processing only after every
+        satellite delivery has arrived.  ``False``: per-CRU precedence.
+    dedicated_links:
+        ``False`` (paper model): the satellite device itself is busy while
+        transmitting.  ``True``: transmissions use a separate link resource
+        and overlap with the satellite's remaining computation.
+    """
+
+    barrier: bool = True
+    dedicated_links: bool = False
+
+    @staticmethod
+    def paper_model() -> "ExecutionPolicy":
+        return ExecutionPolicy(barrier=True, dedicated_links=False)
+
+    @staticmethod
+    def eager() -> "ExecutionPolicy":
+        return ExecutionPolicy(barrier=False, dedicated_links=False)
+
+
+@dataclass
+class SimulationRun:
+    """Result of simulating one frame through an assigned CRU tree."""
+
+    problem: AssignmentProblem
+    assignment: Assignment
+    policy: ExecutionPolicy
+    end_to_end_delay: float
+    completion_times: Dict[str, float]
+    trace: ExecutionTrace
+    device_busy_times: Dict[str, float]
+    transfer_count: int
+    events_processed: int
+
+    def device_utilisation(self) -> Dict[str, float]:
+        """Busy fraction of every device over the frame's makespan."""
+        makespan = self.end_to_end_delay
+        if makespan <= 0:
+            return {d: 0.0 for d in self.device_busy_times}
+        return {d: min(t / makespan, 1.0) for d, t in self.device_busy_times.items()}
+
+
+class _AssignmentExecutor:
+    """Internal: wires the event-driven execution of one frame."""
+
+    def __init__(self, problem: AssignmentProblem, assignment: Assignment,
+                 policy: ExecutionPolicy) -> None:
+        self.problem = problem
+        self.assignment = assignment
+        self.policy = policy
+        self.simulator = Simulator()
+        self.trace = ExecutionTrace()
+
+        self.host_device = DeviceResource(self.simulator, name=HOST_DEVICE)
+        self.satellite_devices: Dict[str, DeviceResource] = {
+            sid: DeviceResource(self.simulator, name=sid)
+            for sid in problem.system.satellite_ids()
+        }
+        self.network = StarNetwork(self.simulator, problem.system,
+                                   dedicated_links=policy.dedicated_links)
+
+        tree = problem.tree
+        self.pending_inputs: Dict[str, int] = {
+            cru_id: len(tree.children_ids(cru_id)) for cru_id in tree.cru_ids()
+        }
+        self.completion_times: Dict[str, float] = {}
+        self.expected_deliveries = sum(
+            1 for parent, child in assignment.cut_edges()
+            if assignment.placement[parent] == HOST_DEVICE)
+        self.received_deliveries = 0
+        self.barrier_released = self.expected_deliveries == 0 or not policy.barrier
+        self.held_host_crus: List[str] = []
+
+    # --------------------------------------------------------------- helpers
+    def _device_of(self, cru_id: str) -> DeviceResource:
+        device = self.assignment.placement[cru_id]
+        if device == HOST_DEVICE:
+            return self.host_device
+        return self.satellite_devices[device]
+
+    def _execution_time(self, cru_id: str) -> float:
+        if self.assignment.placement[cru_id] == HOST_DEVICE:
+            return self.problem.host_time(cru_id)
+        return self.problem.satellite_time(cru_id)
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimulationRun:
+        tree = self.problem.tree
+
+        # processing CRUs without any children only occur in degenerate trees
+        # (validation rejects them); started immediately for robustness
+        for cru_id in tree.processing_ids():
+            if not tree.children_ids(cru_id):
+                self._make_ready(cru_id)
+
+        # sensors produce output at time 0 (they perform no processing)
+        for sensor_id in tree.sensor_ids():
+            self.completion_times[sensor_id] = 0.0
+            self._propagate_output(sensor_id, 0.0)
+
+        self.simulator.run()
+
+        root_id = tree.root_id
+        if root_id not in self.completion_times:
+            raise RuntimeError("the root CRU never completed; the assignment is infeasible "
+                               f"({self.assignment.feasibility_errors()})")
+
+        busy = {HOST_DEVICE: self.host_device.busy_time}
+        for sid, device in self.satellite_devices.items():
+            busy[sid] = device.busy_time
+            if self.policy.dedicated_links:
+                busy[f"link:{sid}"] = self.network.link_resource(sid).busy_time
+
+        return SimulationRun(
+            problem=self.problem,
+            assignment=self.assignment,
+            policy=self.policy,
+            end_to_end_delay=self.completion_times[root_id],
+            completion_times=dict(self.completion_times),
+            trace=self.trace,
+            device_busy_times=busy,
+            transfer_count=self.network.transfer_count(),
+            events_processed=self.simulator.processed_events,
+        )
+
+    # ----------------------------------------------------------- dependencies
+    def _propagate_output(self, cru_id: str, ready_time: float) -> None:
+        """The output of ``cru_id`` exists on its own device at ``ready_time``;
+        move it to the parent's device (transferring if needed) and update the
+        parent's dependency counter."""
+        tree = self.problem.tree
+        parent = tree.parent_id(cru_id)
+        if parent is None:
+            return
+        child_device = self.assignment.placement[cru_id]
+        parent_device = self.assignment.placement[parent]
+
+        if child_device == parent_device or (
+                tree.cru(cru_id).is_sensor and parent_device == child_device):
+            self._input_arrived(parent)
+            return
+
+        if parent_device == HOST_DEVICE:
+            satellite_id = child_device
+            duration = self.problem.comm_cost(cru_id, parent)
+            carrier = (self.network.link_resource(satellite_id)
+                       if self.policy.dedicated_links
+                       else self.satellite_devices[satellite_id])
+
+            def delivered(end_time: float) -> None:
+                self.trace.record(TraceEvent(
+                    device=satellite_id if not self.policy.dedicated_links
+                    else f"link:{satellite_id}",
+                    activity="transfer",
+                    subject=f"{cru_id}->{parent}",
+                    start_time=end_time - duration,
+                    end_time=end_time,
+                ))
+                self.received_deliveries += 1
+                self._input_arrived(parent)
+                self._maybe_release_barrier()
+
+            self.network.transfer(satellite_id, payload=f"{cru_id}->{parent}",
+                                  duration=duration, carrier=carrier,
+                                  on_delivered=delivered)
+            return
+
+        raise RuntimeError(
+            f"infeasible data flow: {cru_id!r} on {child_device!r} feeds {parent!r} "
+            f"on {parent_device!r} (satellites cannot talk to each other)")
+
+    def _input_arrived(self, cru_id: str) -> None:
+        self.pending_inputs[cru_id] -= 1
+        if self.pending_inputs[cru_id] == 0:
+            self._make_ready(cru_id)
+
+    def _maybe_release_barrier(self) -> None:
+        if self.barrier_released or not self.policy.barrier:
+            return
+        if self.received_deliveries >= self.expected_deliveries:
+            self.barrier_released = True
+            held, self.held_host_crus = self.held_host_crus, []
+            for cru_id in held:
+                self._start_execution(cru_id)
+
+    def _make_ready(self, cru_id: str) -> None:
+        on_host = self.assignment.placement[cru_id] == HOST_DEVICE
+        if on_host and self.policy.barrier and not self.barrier_released:
+            self.held_host_crus.append(cru_id)
+            return
+        self._start_execution(cru_id)
+
+    def _start_execution(self, cru_id: str) -> None:
+        device = self._device_of(cru_id)
+        duration = self._execution_time(cru_id)
+        device_name = self.assignment.placement[cru_id]
+
+        def completed(end_time: float) -> None:
+            self.completion_times[cru_id] = end_time
+            self.trace.record(TraceEvent(
+                device=device_name,
+                activity="execute",
+                subject=cru_id,
+                start_time=end_time - duration,
+                end_time=end_time,
+            ))
+            self._propagate_output(cru_id, end_time)
+
+        device.submit(name=f"execute:{cru_id}", duration=duration, on_complete=completed)
+
+
+def simulate_assignment(problem: AssignmentProblem, assignment: Assignment,
+                        policy: Optional[ExecutionPolicy] = None) -> SimulationRun:
+    """Simulate one context frame through an assigned CRU tree.
+
+    Raises ``ValueError`` when the assignment violates the feasibility rules
+    (the simulator only models feasible data flows).
+    """
+    errors = assignment.feasibility_errors()
+    if errors:
+        raise ValueError("cannot simulate an infeasible assignment: " + "; ".join(errors))
+    policy = policy or ExecutionPolicy.paper_model()
+    executor = _AssignmentExecutor(problem, assignment, policy)
+    return executor.run()

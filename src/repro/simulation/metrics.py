@@ -1,0 +1,53 @@
+"""Summary metrics of simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simulation.executor import SimulationRun
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregate view of one simulated frame."""
+
+    end_to_end_delay: float
+    analytic_delay: float
+    model_gap: float                  #: simulated minus analytic (≤ 0 for relaxed policies)
+    host_busy_time: float
+    max_satellite_busy_time: float
+    mean_device_utilisation: float
+    transfer_count: int
+    events_processed: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "end_to_end_delay": self.end_to_end_delay,
+            "analytic_delay": self.analytic_delay,
+            "model_gap": self.model_gap,
+            "host_busy_time": self.host_busy_time,
+            "max_satellite_busy_time": self.max_satellite_busy_time,
+            "mean_device_utilisation": self.mean_device_utilisation,
+            "transfer_count": float(self.transfer_count),
+            "events_processed": float(self.events_processed),
+        }
+
+
+def compute_metrics(run: SimulationRun) -> SimulationMetrics:
+    """Derive :class:`SimulationMetrics` from a :class:`SimulationRun`."""
+    analytic = run.assignment.end_to_end_delay()
+    satellite_busy = [t for d, t in run.device_busy_times.items()
+                      if d != "host" and not d.startswith("link:")]
+    utilisation = run.device_utilisation()
+    mean_util = sum(utilisation.values()) / len(utilisation) if utilisation else 0.0
+    return SimulationMetrics(
+        end_to_end_delay=run.end_to_end_delay,
+        analytic_delay=analytic,
+        model_gap=run.end_to_end_delay - analytic,
+        host_busy_time=run.device_busy_times.get("host", 0.0),
+        max_satellite_busy_time=max(satellite_busy) if satellite_busy else 0.0,
+        mean_device_utilisation=mean_util,
+        transfer_count=run.transfer_count,
+        events_processed=run.events_processed,
+    )

@@ -1,0 +1,72 @@
+"""Execution traces: per-device timelines of a simulated frame."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed activity (CRU execution or transfer) on a device."""
+
+    device: str
+    activity: str             #: "execute" or "transfer"
+    subject: str              #: CRU id or tree edge description
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class ExecutionTrace:
+    """Chronological record of everything that happened during a run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def events(self, device: Optional[str] = None,
+               activity: Optional[str] = None) -> List[TraceEvent]:
+        out = self._events
+        if device is not None:
+            out = [e for e in out if e.device == device]
+        if activity is not None:
+            out = [e for e in out if e.activity == activity]
+        return sorted(out, key=lambda e: (e.start_time, e.end_time))
+
+    def devices(self) -> List[str]:
+        return sorted({e.device for e in self._events})
+
+    def device_busy_time(self, device: str) -> float:
+        return sum(e.duration for e in self._events if e.device == device)
+
+    def makespan(self) -> float:
+        if not self._events:
+            return 0.0
+        return max(e.end_time for e in self._events)
+
+    def to_ascii(self, width: int = 60) -> str:
+        """A small Gantt-style rendering used by the examples and the CLI."""
+        makespan = self.makespan()
+        if makespan <= 0:
+            return "(empty trace)"
+        lines = []
+        for device in self.devices():
+            cells = [" "] * width
+            for event in self.events(device=device):
+                lo = int(event.start_time / makespan * (width - 1))
+                hi = max(lo, int(event.end_time / makespan * (width - 1)))
+                mark = "#" if event.activity == "execute" else "~"
+                for i in range(lo, hi + 1):
+                    cells[i] = mark
+            lines.append(f"{device:>12} |{''.join(cells)}|")
+        lines.append(f"{'':>12}  0{'':{width - 8}}t={makespan:.4g}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)

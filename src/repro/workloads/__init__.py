@@ -1,0 +1,43 @@
+"""Workload and instance generators.
+
+* :mod:`~repro.workloads.paper_examples` — the paper's own worked examples:
+  the Figure-4 doubly weighted graph and the Figure-2/5/6/8 CRU tree.
+* :mod:`~repro.workloads.healthcare` — the epilepsy tele-monitoring scenario
+  (Figure 1) that motivates the paper.
+* :mod:`~repro.workloads.snmp` — the SNMP network-monitoring scenario the
+  paper cites as a second application domain.
+* :mod:`~repro.workloads.generators` — seeded random instances (CRU trees,
+  platforms, profiles, plain DWGs) for property tests and benchmarks.
+* :mod:`~repro.workloads.scaling` — instance families swept by the
+  complexity experiments.
+"""
+
+from repro.workloads.paper_examples import (
+    figure4_dwg,
+    paper_example_problem,
+    paper_example_profile_values,
+)
+from repro.workloads.healthcare import healthcare_scenario
+from repro.workloads.snmp import snmp_scenario
+from repro.workloads.generators import (
+    random_problem,
+    random_dwg,
+    random_tree_spec,
+)
+from repro.workloads.scaling import (
+    dwg_scaling_family,
+    tree_scaling_family,
+)
+
+__all__ = [
+    "figure4_dwg",
+    "paper_example_problem",
+    "paper_example_profile_values",
+    "healthcare_scenario",
+    "snmp_scenario",
+    "random_problem",
+    "random_dwg",
+    "random_tree_spec",
+    "dwg_scaling_family",
+    "tree_scaling_family",
+]

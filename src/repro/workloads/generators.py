@@ -1,0 +1,186 @@
+"""Seeded random instance generators.
+
+Random instances drive the property-based tests (cross-solver agreement) and
+the complexity benchmarks.  Everything is seeded and deterministic: the same
+``seed`` always produces the same instance.
+
+Two families are provided:
+
+* :func:`random_problem` — random CRU trees on random host-satellites
+  platforms, with a knob for how *scattered* the sensors of a satellite are
+  over the tree (scattered sensors produce non-contiguous colour regions,
+  the regime where the paper's expansion step is not applicable and the
+  solver exercises its enumeration fallback);
+* :func:`random_dwg` — plain doubly weighted graphs for the §4 SSB algorithm
+  in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dwg import DoublyWeightedGraph
+from repro.model.costs import CommunicationCostModel
+from repro.model.cru import CRU, CRUTree, PROCESSING_KIND
+from repro.model.platform import Host, HostSatelliteSystem, Link, Satellite
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+
+
+def random_tree_spec(n_processing: int, seed: int = 0,
+                     max_children: int = 3) -> List[Tuple[int, int]]:
+    """A random ordered tree on ``n_processing`` nodes as (parent, child) index pairs.
+
+    Node 0 is the root; children are attached to uniformly chosen existing
+    nodes that still have capacity (< ``max_children`` children).
+    """
+    if n_processing < 1:
+        raise ValueError("n_processing must be at least 1")
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    child_count = {0: 0}
+    for node in range(1, n_processing):
+        candidates = [p for p, c in child_count.items() if c < max_children]
+        parent = rng.choice(candidates) if candidates else rng.randrange(node)
+        edges.append((parent, node))
+        child_count[parent] = child_count.get(parent, 0) + 1
+        child_count[node] = 0
+    return edges
+
+
+def random_problem(n_processing: int = 10,
+                   n_satellites: int = 3,
+                   seed: int = 0,
+                   max_children: int = 3,
+                   sensor_scatter: float = 0.3,
+                   extra_sensor_probability: float = 0.25,
+                   host_speedup: float = 3.0) -> AssignmentProblem:
+    """A random, valid assignment problem.
+
+    Parameters
+    ----------
+    n_processing:
+        Number of processing CRUs (≥ 1; the root is one of them).
+    n_satellites:
+        Number of satellites (≥ 1).
+    seed:
+        Seed for the deterministic generator.
+    max_children:
+        Maximum number of children per processing CRU in the random tree.
+    sensor_scatter:
+        Probability that a sensor is wired to a uniformly random satellite
+        instead of the satellite "owning" its branch.  0 produces perfectly
+        clustered sensors (each top-level branch one satellite, contiguous
+        colour regions); 1 produces fully scattered sensors.
+    extra_sensor_probability:
+        Probability of adding an additional sensor to an *internal*
+        processing CRU.
+    host_speedup:
+        How much faster the host is than the satellites.
+    """
+    if n_satellites < 1:
+        raise ValueError("n_satellites must be at least 1")
+    if not 0.0 <= sensor_scatter <= 1.0:
+        raise ValueError("sensor_scatter must lie in [0, 1]")
+    rng = random.Random(seed)
+
+    # ---- tree of processing CRUs
+    tree = CRUTree(CRU("P0", PROCESSING_KIND))
+    names = {0: "P0"}
+    for parent_idx, child_idx in random_tree_spec(n_processing, seed=seed,
+                                                  max_children=max_children):
+        names[child_idx] = f"P{child_idx}"
+        tree.add_processing(names[parent_idx], names[child_idx])
+
+    # ---- platform
+    system = HostSatelliteSystem(Host(host_id="host", speed_factor=host_speedup))
+    satellite_ids = [f"sat{i}" for i in range(n_satellites)]
+    for sid in satellite_ids:
+        system.add_satellite(Satellite(sid, speed_factor=1.0),
+                             Link(sid, latency_s=rng.uniform(0.001, 0.02)))
+
+    # ---- sensors: every processing leaf gets one, internal CRUs occasionally too
+    # "branch owner" satellites give clustered attachments; scatter overrides them
+    branch_owner: Dict[str, str] = {}
+    top_branches = tree.children_ids(tree.root_id) or [tree.root_id]
+    for i, branch in enumerate(top_branches):
+        owner = satellite_ids[i % n_satellites]
+        for cru_id in tree.subtree_ids(branch):
+            branch_owner[cru_id] = owner
+    branch_owner.setdefault(tree.root_id, satellite_ids[0])
+
+    sensor_attachment: Dict[str, str] = {}
+    sensor_counter = 0
+
+    def attach_sensor(parent_id: str) -> None:
+        nonlocal sensor_counter
+        sensor_id = f"sensor{sensor_counter}"
+        sensor_counter += 1
+        tree.add_sensor(parent_id, sensor_id,
+                        output_frame_bytes=rng.uniform(256, 4096))
+        if rng.random() < sensor_scatter:
+            sensor_attachment[sensor_id] = rng.choice(satellite_ids)
+        else:
+            sensor_attachment[sensor_id] = branch_owner.get(parent_id, satellite_ids[0])
+
+    processing_ids = list(tree.processing_ids())
+    for cru_id in processing_ids:
+        if not tree.children_ids(cru_id):
+            attach_sensor(cru_id)
+        elif cru_id != tree.root_id and rng.random() < extra_sensor_probability:
+            attach_sensor(cru_id)
+
+    # ---- profiles and costs
+    profile = ExecutionProfile()
+    for cru_id in tree.processing_ids():
+        work = rng.uniform(0.5, 3.0)
+        profile.set_host_time(cru_id, work / host_speedup)
+        profile.set_satellite_time(cru_id, work)
+    for sensor_id in tree.sensor_ids():
+        profile.set_times(sensor_id, 0.0, 0.0)
+
+    costs = CommunicationCostModel()
+    for parent_id, child_id in tree.edges():
+        if tree.cru(child_id).is_sensor:
+            costs.set_cost(child_id, parent_id, rng.uniform(0.05, 0.6))
+        else:
+            costs.set_cost(child_id, parent_id, rng.uniform(0.02, 0.3))
+
+    return AssignmentProblem(
+        tree=tree,
+        system=system,
+        sensor_attachment=sensor_attachment,
+        profile=profile,
+        costs=costs,
+        name=f"random-{n_processing}x{n_satellites}-seed{seed}",
+    )
+
+
+def random_dwg(n_nodes: int = 8, extra_edges: int = 10, seed: int = 0,
+               sigma_range: Tuple[float, float] = (1.0, 20.0),
+               beta_range: Tuple[float, float] = (1.0, 20.0)) -> DoublyWeightedGraph:
+    """A random doubly weighted DAG guaranteed to connect ``S`` and ``T``.
+
+    Nodes are ``0..n_nodes-1`` with ``0`` the source and ``n_nodes-1`` the
+    target; a backbone path ensures connectivity and ``extra_edges`` forward
+    edges are added on top.
+    """
+    if n_nodes < 2:
+        raise ValueError("n_nodes must be at least 2")
+    rng = random.Random(seed)
+    dwg = DoublyWeightedGraph(source=0, target=n_nodes - 1)
+
+    def rand_sigma() -> float:
+        return round(rng.uniform(*sigma_range), 3)
+
+    def rand_beta() -> float:
+        return round(rng.uniform(*beta_range), 3)
+
+    for node in range(n_nodes - 1):
+        dwg.add_edge(node, node + 1, sigma=rand_sigma(), beta=rand_beta())
+    for _ in range(extra_edges):
+        tail = rng.randrange(0, n_nodes - 1)
+        head = rng.randrange(tail + 1, n_nodes)
+        dwg.add_edge(tail, head, sigma=rand_sigma(), beta=rand_beta())
+    return dwg

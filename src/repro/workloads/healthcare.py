@@ -1,0 +1,146 @@
+"""The epilepsy tele-monitoring scenario (paper Figure 1).
+
+A patient's mobile terminal (the host) is connected to body-worn sensor
+boxes (the satellites).  Each box measures a different kind of lower-level
+context — ECG and accelerometer data in the paper's MobiHealth/AWARENESS
+deployment — and the context reasoning procedure combines them into the
+higher-level "probability of an epileptic seizure" context on which the
+alarm decision is taken.
+
+The CRU tree below follows the description in the paper and the cited
+AWARENESS deliverable: per-signal preprocessing and feature extraction close
+to the sensors, per-modality classification, and a final fusion plus alarm
+decision at the root.  The numeric profile models a PDA-class host a few
+times faster than the microcontroller-class sensor boxes and a Bluetooth-like
+body-area link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.model.costs import CommunicationCostModel
+from repro.model.cru import CRU, CRUTree, PROCESSING_KIND
+from repro.model.platform import Host, HostSatelliteSystem, Link, Satellite
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+
+
+def healthcare_scenario(
+    host_speed: float = 4.0,
+    satellite_speed: float = 1.0,
+    link_latency_s: float = 0.015,
+    link_bandwidth_bytes_per_s: float = 25_000.0,
+    accelerometer_boxes: int = 2,
+) -> AssignmentProblem:
+    """Build the epilepsy tele-monitoring instance.
+
+    Parameters
+    ----------
+    host_speed, satellite_speed:
+        Relative processing speeds (the mobile terminal is faster).
+    link_latency_s, link_bandwidth_bytes_per_s:
+        Body-area-network link characteristics used to derive the raw-data
+        transfer costs from frame sizes.
+    accelerometer_boxes:
+        Number of accelerometer sensor boxes (the paper's Figure 1 shows two
+        sensor boxes besides the ECG box).
+    """
+    if accelerometer_boxes < 1:
+        raise ValueError("at least one accelerometer box is required")
+
+    tree = CRUTree(CRU("seizure-risk", PROCESSING_KIND,
+                       label="epileptic seizure probability (alarm decision)"))
+
+    # --- ECG branch (sensor box "ecg-box")
+    tree.add_processing("seizure-risk", "cardiac-stress", label="cardiac stress classifier")
+    tree.add_processing("cardiac-stress", "hrv-features", label="heart-rate-variability features")
+    tree.add_processing("hrv-features", "qrs-detect", label="QRS complex detection")
+    tree.add_sensor("qrs-detect", "ecg-signal", label="ECG electrodes",
+                    output_frame_bytes=4096)
+
+    # --- activity branches (accelerometer boxes)
+    tree.add_processing("seizure-risk", "activity-fusion", label="activity level fusion")
+    for box in range(1, accelerometer_boxes + 1):
+        classify = f"activity-classify-{box}"
+        features = f"motion-features-{box}"
+        filtering = f"motion-filter-{box}"
+        tree.add_processing("activity-fusion", classify, label="activity classifier")
+        tree.add_processing(classify, features, label="motion feature extraction")
+        tree.add_processing(features, filtering, label="band-pass filtering")
+        tree.add_sensor(filtering, f"accel-{box}", label="3-axis accelerometer",
+                        output_frame_bytes=1536)
+
+    system = HostSatelliteSystem(Host(host_id="mobile-terminal",
+                                      label="patient's PDA", speed_factor=host_speed))
+    system.add_satellite(
+        Satellite("ecg-box", label="ECG sensor box", speed_factor=satellite_speed,
+                  color="red"),
+        Link("ecg-box", latency_s=link_latency_s,
+             bandwidth_bytes_per_s=link_bandwidth_bytes_per_s))
+    palette = ["blue", "green", "yellow", "orange", "purple", "cyan"]
+    for box in range(1, accelerometer_boxes + 1):
+        sid = f"motion-box-{box}"
+        system.add_satellite(
+            Satellite(sid, label=f"accelerometer box {box}", speed_factor=satellite_speed,
+                      color=palette[(box - 1) % len(palette)]),
+            Link(sid, latency_s=link_latency_s,
+                 bandwidth_bytes_per_s=link_bandwidth_bytes_per_s))
+
+    sensor_attachment: Dict[str, str] = {"ecg-signal": "ecg-box"}
+    for box in range(1, accelerometer_boxes + 1):
+        sensor_attachment[f"accel-{box}"] = f"motion-box-{box}"
+
+    # nominal per-CRU workloads (arbitrary work units)
+    workloads: Dict[str, float] = {
+        "seizure-risk": 3.0,
+        "cardiac-stress": 2.5, "hrv-features": 2.0, "qrs-detect": 1.5,
+        "activity-fusion": 1.5,
+    }
+    for box in range(1, accelerometer_boxes + 1):
+        workloads[f"activity-classify-{box}"] = 2.0
+        workloads[f"motion-features-{box}"] = 1.6
+        workloads[f"motion-filter-{box}"] = 1.0
+
+    profile = ExecutionProfile()
+    for cru_id in tree.processing_ids():
+        work = workloads[cru_id]
+        profile.set_host_time(cru_id, work / host_speed)
+        profile.set_satellite_time(cru_id, work / satellite_speed)
+    for sensor_id in tree.sensor_ids():
+        profile.set_times(sensor_id, 0.0, 0.0)
+
+    # processed features are an order of magnitude smaller than raw signals
+    feature_bytes: Dict[Tuple[str, str], float] = {}
+    for parent_id, child_id in tree.edges():
+        if tree.cru(child_id).is_sensor:
+            feature_bytes[(child_id, parent_id)] = tree.cru(child_id).output_frame_bytes
+        else:
+            feature_bytes[(child_id, parent_id)] = 256.0
+
+    costs = CommunicationCostModel()
+    correspondent_cache = None
+    for (child_id, parent_id), size in feature_bytes.items():
+        # the data crosses the link of the child's correspondent satellite;
+        # conflicted CRUs never sit on the satellite side of a cut
+        if correspondent_cache is None:
+            probe = AssignmentProblem(tree=tree, system=system,
+                                      sensor_attachment=sensor_attachment,
+                                      profile=profile, costs=CommunicationCostModel(),
+                                      name="probe")
+            correspondent_cache = probe.correspondent_satellites()
+        satellite_id = correspondent_cache.get(child_id)
+        if satellite_id is None:
+            costs.set_cost(child_id, parent_id, 0.0)
+            continue
+        link = system.link(satellite_id)
+        costs.set_cost(child_id, parent_id, link.transfer_time(size))
+
+    return AssignmentProblem(
+        tree=tree,
+        system=system,
+        sensor_attachment=sensor_attachment,
+        profile=profile,
+        costs=costs,
+        name="epilepsy-tele-monitoring",
+    )

@@ -1,0 +1,176 @@
+"""The paper's worked examples, reconstructed as runnable instances.
+
+Two artefacts are reproduced:
+
+* :func:`figure4_dwg` — the small doubly weighted graph of Figure 4 on which
+  the paper traces the SSB algorithm: three iterations, an intermediate
+  candidate of SSB weight 29, the optimal path ``<5,10>-<5,10>`` of SSB
+  weight 20, and termination when the min-S weight reaches 33.
+* :func:`paper_example_problem` — the 13-CRU context reasoning tree of
+  Figures 2/5/6/8 with four satellites (Red, Yellow, Blue, Green), including
+  the structural facts the paper states explicitly: the edges
+  ``<CRU1,CRU2>`` and ``<CRU1,CRU3>`` are the only conflicted ones (so CRU1,
+  CRU2 and CRU3 are host-bound), the sensors connected to CRU5 and CRU13 are
+  wired to satellite *B*, the σ label of the edge crossing ``<CRU2,CRU4>`` is
+  ``h1+h2``, and the β label of the edge crossing ``<CRU3,CRU6>`` is
+  ``s6+s13+c63``.
+
+The paper does not publish its numeric processing times; the default profile
+below uses a host (mobile terminal) roughly three times faster than the
+sensor-box satellites, which is the regime the introduction describes.  All
+values can be overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.dwg import DoublyWeightedGraph
+from repro.model.costs import CommunicationCostModel
+from repro.model.cru import CRU, CRUTree, PROCESSING_KIND, SENSOR_KIND
+from repro.model.platform import Host, HostSatelliteSystem, Link, Satellite
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+
+
+# --------------------------------------------------------------------- Figure 4
+def figure4_dwg() -> DoublyWeightedGraph:
+    """The doubly weighted graph of Figure 4.
+
+    Nodes ``S``, ``M`` and ``T``; the eight ``<σ, β>`` edges of the figure:
+    ``S→M``: <5,10>, <6,8>, <15,10>, <20,9> and ``M→T``: <4,20>, <5,10>,
+    <6,12>, <27,8>.  The optimal SSB path is <5,10>-<5,10> with SSB weight 20.
+    """
+    dwg = DoublyWeightedGraph(source="S", target="T")
+    for sigma, beta in ((5, 10), (6, 8), (15, 10), (20, 9)):
+        dwg.add_edge("S", "M", sigma=sigma, beta=beta)
+    for sigma, beta in ((4, 20), (5, 10), (6, 12), (27, 8)):
+        dwg.add_edge("M", "T", sigma=sigma, beta=beta)
+    return dwg
+
+
+# ---------------------------------------------------------------- Figure 2/5/6/8
+#: Host execution times h_i used by the default profile (seconds per frame).
+_DEFAULT_HOST_TIMES: Dict[str, float] = {
+    "CRU1": 0.8, "CRU2": 0.5, "CRU3": 0.6, "CRU4": 0.7, "CRU5": 0.4,
+    "CRU6": 0.5, "CRU7": 0.6, "CRU8": 0.3, "CRU9": 0.9, "CRU10": 0.4,
+    "CRU11": 0.5, "CRU12": 0.7, "CRU13": 0.6,
+}
+
+#: Satellite execution times s_i (the sensor boxes are ~3x slower).
+_DEFAULT_SATELLITE_TIMES: Dict[str, float] = {
+    cru_id: round(3.0 * h, 6) for cru_id, h in _DEFAULT_HOST_TIMES.items()
+}
+
+#: Communication costs c_{child,parent} for one frame over the link.
+_DEFAULT_COMM_COSTS: Dict[Tuple[str, str], float] = {
+    ("CRU4", "CRU2"): 0.30, ("CRU5", "CRU2"): 0.25, ("CRU11", "CRU2"): 0.20,
+    ("CRU6", "CRU3"): 0.35, ("CRU7", "CRU3"): 0.30, ("CRU8", "CRU3"): 0.20,
+    ("CRU9", "CRU4"): 0.25, ("CRU10", "CRU4"): 0.20,
+    ("CRU13", "CRU6"): 0.25, ("CRU12", "CRU7"): 0.25,
+    # raw sensor frames are larger than processed features
+    ("sR1", "CRU9"): 0.60, ("sR2", "CRU10"): 0.55,
+    ("sB1", "CRU5"): 0.50, ("sB2", "CRU5"): 0.50, ("sB3", "CRU13"): 0.45,
+    ("sY1", "CRU11"): 0.40,
+    ("sG1", "CRU12"): 0.50, ("sG2", "CRU8"): 0.45,
+}
+
+#: Sensor -> satellite wiring (the a-priori known physical attachment).
+_SENSOR_ATTACHMENT: Dict[str, str] = {
+    "sR1": "R", "sR2": "R",
+    "sB1": "B", "sB2": "B", "sB3": "B",
+    "sY1": "Y",
+    "sG1": "G", "sG2": "G",
+}
+
+
+def paper_example_profile_values() -> Dict[str, Dict]:
+    """The default numeric profile of the Figure-2/5/6/8 instance.
+
+    Returns a dict with keys ``"host_times"`` (h_i), ``"satellite_times"``
+    (s_i), ``"comm_costs"`` (c_{child,parent}) and ``"sensor_attachment"`` so
+    tests and experiments can recompute expected labels symbolically.
+    """
+    return {
+        "host_times": dict(_DEFAULT_HOST_TIMES),
+        "satellite_times": dict(_DEFAULT_SATELLITE_TIMES),
+        "comm_costs": dict(_DEFAULT_COMM_COSTS),
+        "sensor_attachment": dict(_SENSOR_ATTACHMENT),
+    }
+
+
+def _build_paper_tree() -> CRUTree:
+    """The 13-CRU tree of Figure 2 (children listed left to right)."""
+    tree = CRUTree(CRU("CRU1", PROCESSING_KIND, label="higher-level context fusion"))
+
+    tree.add_processing("CRU1", "CRU2", label="left reasoning branch")
+    tree.add_processing("CRU1", "CRU3", label="right reasoning branch")
+
+    tree.add_processing("CRU2", "CRU4", label="feature fusion (R)")
+    tree.add_processing("CRU2", "CRU5", label="feature extraction (B)")
+    tree.add_processing("CRU2", "CRU11", label="feature extraction (Y)")
+
+    tree.add_processing("CRU3", "CRU6", label="aggregation (B)")
+    tree.add_processing("CRU3", "CRU7", label="aggregation (G)")
+    tree.add_processing("CRU3", "CRU8", label="filtering (G)")
+
+    tree.add_processing("CRU4", "CRU9", label="preprocessing (R)")
+    tree.add_processing("CRU4", "CRU10", label="preprocessing (R)")
+
+    tree.add_processing("CRU6", "CRU13", label="preprocessing (B)")
+    tree.add_processing("CRU7", "CRU12", label="preprocessing (G)")
+
+    tree.add_sensor("CRU9", "sR1", label="sensor on satellite R")
+    tree.add_sensor("CRU10", "sR2", label="sensor on satellite R")
+    tree.add_sensor("CRU5", "sB1", label="sensor on satellite B")
+    tree.add_sensor("CRU5", "sB2", label="sensor on satellite B")
+    tree.add_sensor("CRU11", "sY1", label="sensor on satellite Y")
+    tree.add_sensor("CRU13", "sB3", label="sensor on satellite B")
+    tree.add_sensor("CRU12", "sG1", label="sensor on satellite G")
+    tree.add_sensor("CRU8", "sG2", label="sensor on satellite G")
+    return tree
+
+
+def paper_example_problem(
+    host_times: Optional[Mapping[str, float]] = None,
+    satellite_times: Optional[Mapping[str, float]] = None,
+    comm_costs: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> AssignmentProblem:
+    """The Figure-2/5/6/8 instance: 13 processing CRUs, 8 sensors, 4 satellites.
+
+    Any of the three numeric tables can be overridden; missing entries fall
+    back to the defaults of :func:`paper_example_profile_values`.
+    """
+    tree = _build_paper_tree()
+
+    system = HostSatelliteSystem(Host(host_id="host", label="mobile terminal",
+                                      speed_factor=3.0))
+    system.add_satellite(Satellite("R", label="sensor box R", speed_factor=1.0, color="red"),
+                         Link("R", latency_s=0.01))
+    system.add_satellite(Satellite("Y", label="sensor box Y", speed_factor=1.0, color="yellow"),
+                         Link("Y", latency_s=0.01))
+    system.add_satellite(Satellite("B", label="sensor box B", speed_factor=1.0, color="blue"),
+                         Link("B", latency_s=0.01))
+    system.add_satellite(Satellite("G", label="sensor box G", speed_factor=1.0, color="green"),
+                         Link("G", latency_s=0.01))
+
+    h = dict(_DEFAULT_HOST_TIMES)
+    h.update(host_times or {})
+    s = dict(_DEFAULT_SATELLITE_TIMES)
+    s.update(satellite_times or {})
+    profile = ExecutionProfile(host_times=h, satellite_times=s)
+    for sensor_id in tree.sensor_ids():
+        profile.set_times(sensor_id, 0.0, 0.0)
+
+    c = dict(_DEFAULT_COMM_COSTS)
+    c.update(comm_costs or {})
+    costs = CommunicationCostModel(explicit=c)
+
+    return AssignmentProblem(
+        tree=tree,
+        system=system,
+        sensor_attachment=_SENSOR_ATTACHMENT,
+        profile=profile,
+        costs=costs,
+        name="paper-figure-2-example",
+    )

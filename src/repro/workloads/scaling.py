@@ -1,0 +1,62 @@
+"""Instance families for the complexity experiments (paper §4.2 and §5.4).
+
+The paper states two complexity results:
+
+* the general SSB algorithm runs in ``O(|V|² · |E|)`` (one shortest-path
+  search per iteration, at worst one edge eliminated per iteration);
+* the adapted algorithm on the coloured assignment graph runs in
+  ``O(|E'|)`` where ``|E'|`` is the number of edges of the *expanded* graph.
+
+The families below sweep instance sizes so the benchmarks can plot measured
+time / iteration counts against the predicted growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.dwg import DoublyWeightedGraph
+from repro.model.problem import AssignmentProblem
+from repro.workloads.generators import random_dwg, random_problem
+
+
+def dwg_scaling_family(sizes: Sequence[int] = (8, 16, 32, 64, 128),
+                       edges_per_node: int = 3,
+                       seed: int = 7) -> List[Tuple[int, DoublyWeightedGraph]]:
+    """Plain DWGs of increasing size for the §4.2 complexity experiment.
+
+    Returns ``(n_nodes, dwg)`` pairs; the edge count grows linearly with the
+    node count so the predicted time grows roughly like ``n³``.
+    """
+    family = []
+    for i, n in enumerate(sizes):
+        dwg = random_dwg(n_nodes=n, extra_edges=edges_per_node * n, seed=seed + i)
+        family.append((n, dwg))
+    return family
+
+
+def tree_scaling_family(sizes: Sequence[int] = (8, 16, 32, 64),
+                        n_satellites: int = 4,
+                        sensor_scatter: float = 0.0,
+                        seed: int = 11) -> List[Tuple[int, AssignmentProblem]]:
+    """CRU-tree instances of increasing size for the §5.4 complexity experiment.
+
+    ``sensor_scatter=0`` keeps each satellite's sensors clustered (contiguous
+    colour regions, the paper's setting); increase it to probe the fallback
+    regime.
+    """
+    family = []
+    for i, n in enumerate(sizes):
+        problem = random_problem(n_processing=n, n_satellites=n_satellites,
+                                 seed=seed + i, sensor_scatter=sensor_scatter)
+        family.append((n, problem))
+    return family
+
+
+def assignment_graph_edge_counts(family: Iterable[Tuple[int, AssignmentProblem]]
+                                 ) -> Dict[int, int]:
+    """Edge count of the coloured assignment graph for every family member."""
+    from repro.core.assignment_graph import build_assignment_graph
+
+    return {n: build_assignment_graph(problem).number_of_edges()
+            for n, problem in family}

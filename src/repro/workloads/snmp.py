@@ -1,0 +1,114 @@
+"""SNMP-style network-monitoring scenario.
+
+The paper's §3 names "SNMP based network monitoring" as a second domain whose
+context reasoning procedures fit the tree model: per-subnet probe machines
+(the satellites) poll device counters (the sensors), aggregate them into
+per-subnet health indicators, and a central management station (the host)
+fuses the subnet indicators into a network-wide health context used for
+alerting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.costs import CommunicationCostModel
+from repro.model.cru import CRU, CRUTree, PROCESSING_KIND
+from repro.model.platform import Host, HostSatelliteSystem, Link, Satellite
+from repro.model.problem import AssignmentProblem
+from repro.model.profiles import ExecutionProfile
+
+
+def snmp_scenario(subnets: int = 3, devices_per_subnet: int = 4,
+                  host_speed: float = 6.0, probe_speed: float = 3.0,
+                  wan_latency_s: float = 0.05,
+                  wan_bandwidth_bytes_per_s: float = 20_000.0) -> AssignmentProblem:
+    """Build an SNMP monitoring instance.
+
+    Parameters
+    ----------
+    subnets:
+        Number of monitored subnets; each has its own probe machine
+        (satellite).
+    devices_per_subnet:
+        Number of polled devices (sensors) per subnet.
+    host_speed, probe_speed:
+        Relative processing speeds of the management station and the probes.
+    wan_latency_s, wan_bandwidth_bytes_per_s:
+        Probe-to-station link characteristics.
+    """
+    if subnets < 1:
+        raise ValueError("at least one subnet is required")
+    if devices_per_subnet < 1:
+        raise ValueError("at least one device per subnet is required")
+
+    tree = CRUTree(CRU("network-health", PROCESSING_KIND,
+                       label="network-wide health assessment"))
+
+    sensor_attachment: Dict[str, str] = {}
+    workloads: Dict[str, float] = {"network-health": 4.0}
+
+    for s in range(1, subnets + 1):
+        subnet_root = f"subnet-{s}-health"
+        tree.add_processing("network-health", subnet_root, label=f"subnet {s} health score")
+        workloads[subnet_root] = 2.5
+
+        util = f"subnet-{s}-utilisation"
+        errors = f"subnet-{s}-errors"
+        tree.add_processing(subnet_root, util, label="link utilisation aggregation")
+        tree.add_processing(subnet_root, errors, label="error-rate trend analysis")
+        workloads[util] = 1.5
+        workloads[errors] = 1.8
+
+        for d in range(1, devices_per_subnet + 1):
+            poller = f"subnet-{s}-poll-{d}"
+            parent = util if d % 2 == 1 else errors
+            tree.add_processing(parent, poller, label=f"counter normalisation device {d}")
+            workloads[poller] = 0.8
+            sensor = f"subnet-{s}-device-{d}"
+            tree.add_sensor(poller, sensor, label="SNMP counters", output_frame_bytes=2048)
+            sensor_attachment[sensor] = f"probe-{s}"
+
+    system = HostSatelliteSystem(Host(host_id="management-station",
+                                      label="central management station",
+                                      speed_factor=host_speed))
+    palette = ["red", "blue", "green", "yellow", "orange", "purple", "cyan", "magenta"]
+    for s in range(1, subnets + 1):
+        sid = f"probe-{s}"
+        system.add_satellite(
+            Satellite(sid, label=f"subnet {s} probe", speed_factor=probe_speed,
+                      color=palette[(s - 1) % len(palette)]),
+            Link(sid, latency_s=wan_latency_s,
+                 bandwidth_bytes_per_s=wan_bandwidth_bytes_per_s))
+
+    profile = ExecutionProfile()
+    for cru_id in tree.processing_ids():
+        work = workloads[cru_id]
+        profile.set_host_time(cru_id, work / host_speed)
+        profile.set_satellite_time(cru_id, work / probe_speed)
+    for sensor_id in tree.sensor_ids():
+        profile.set_times(sensor_id, 0.0, 0.0)
+
+    costs = CommunicationCostModel()
+    probe_problem = AssignmentProblem(tree=tree, system=system,
+                                      sensor_attachment=sensor_attachment,
+                                      profile=profile, costs=CommunicationCostModel(),
+                                      name="probe")
+    correspondent = probe_problem.correspondent_satellites()
+    for parent_id, child_id in tree.edges():
+        satellite_id = correspondent.get(child_id)
+        if satellite_id is None:
+            costs.set_cost(child_id, parent_id, 0.0)
+            continue
+        link = system.link(satellite_id)
+        size = tree.cru(child_id).output_frame_bytes if tree.cru(child_id).is_sensor else 384.0
+        costs.set_cost(child_id, parent_id, link.transfer_time(size))
+
+    return AssignmentProblem(
+        tree=tree,
+        system=system,
+        sensor_attachment=sensor_attachment,
+        profile=profile,
+        costs=costs,
+        name=f"snmp-monitoring-{subnets}x{devices_per_subnet}",
+    )

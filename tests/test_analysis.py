@@ -1,0 +1,138 @@
+"""Unit tests for the analysis utilities and experiment drivers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    OperationCounter,
+    figure4_experiment,
+    fit_power_law,
+    format_table,
+    optimality_experiment,
+    rows_to_csv,
+    simulation_validation_experiment,
+    ssb_vs_sb_experiment,
+)
+from repro.analysis.complexity import timed
+from repro.analysis.experiments import (
+    assignment_graph_experiment,
+    coloring_experiment,
+    complexity_colored_experiment,
+    complexity_ssb_experiment,
+    dag_extension_experiment,
+    heuristics_experiment,
+    labeling_experiment,
+    adapted_ssb_experiment,
+)
+
+
+class TestComplexityTools:
+    def test_operation_counter(self):
+        counter = OperationCounter()
+        counter.add("dijkstra")
+        counter.add("dijkstra", 2)
+        assert counter.get("dijkstra") == 3
+        counter.reset()
+        assert counter.get("dijkstra") == 0
+
+    def test_fit_power_law_recovers_exponent(self):
+        sizes = [10, 20, 40, 80]
+        values = [2.0 * n ** 2 for n in sizes]
+        a, k = fit_power_law(sizes, values)
+        assert k == pytest.approx(2.0, abs=1e-6)
+        assert a == pytest.approx(2.0, rel=1e-6)
+
+    def test_fit_power_law_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5], [1, 2])
+
+    def test_timed_returns_result_and_duration(self):
+        result, elapsed = timed(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert elapsed >= 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 7}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_rows_to_csv(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+        csv_text = rows_to_csv(rows)
+        assert csv_text.splitlines()[0] == "a,b"
+        assert len(csv_text.splitlines()) == 3
+        assert rows_to_csv([]) == ""
+
+
+class TestExperimentDrivers:
+    def test_figure4_experiment_reports_the_paper_numbers(self):
+        outcome = figure4_experiment()
+        assert outcome["optimal_ssb_weight"] == pytest.approx(20.0)
+        assert outcome["shortest_path_searches"] == 3
+        assert outcome["rows"][0]["candidate_after"] == pytest.approx(29.0)
+
+    def test_coloring_experiment(self):
+        outcome = coloring_experiment()
+        assert set(outcome["forced_host_crus"]) == {"CRU1", "CRU2", "CRU3"}
+        assert len(outcome["rows"]) == 20
+
+    def test_assignment_graph_experiment(self):
+        outcome = assignment_graph_experiment()
+        assert outcome["edges"] == outcome["tree_edges"] - outcome["conflicted_tree_edges"]
+
+    def test_labeling_experiment(self):
+        outcome = labeling_experiment()
+        assert ("CRU2", "CRU4") in outcome["sigma_labels"]
+
+    def test_adapted_ssb_experiment_rows(self):
+        outcome = adapted_ssb_experiment()
+        assert len(outcome["rows"]) == 3
+        for row in outcome["rows"]:
+            assert row["delay"] > 0
+
+    def test_optimality_experiment_has_no_mismatches(self):
+        outcome = optimality_experiment(seeds=range(4), n_processing=7)
+        assert outcome["mismatches"] == 0
+
+    def test_ssb_vs_sb_experiment_ssb_never_loses_on_delay(self):
+        outcome = ssb_vs_sb_experiment(seeds=range(4))
+        assert outcome["ssb_wins_or_ties"] == outcome["instances"]
+        for row in outcome["rows"]:
+            assert row["delay_sb_optimal"] >= row["delay_ssb_optimal"] - 1e-9
+            assert row["bottleneck_sb_optimal"] <= row["bottleneck_ssb_optimal"] + 1e-9
+
+    def test_simulation_validation_gap_is_zero(self):
+        outcome = simulation_validation_experiment()
+        assert outcome["max_barrier_gap"] == pytest.approx(0.0, abs=1e-9)
+        for row in outcome["rows"]:
+            assert row["simulated_delay_eager"] <= row["analytic_delay"] + 1e-9
+
+    def test_heuristics_experiment_gaps_are_nonnegative(self):
+        outcome = heuristics_experiment(seeds=range(2), n_processing=9)
+        for row in outcome["rows"]:
+            assert row["greedy"] >= row["optimal"] - 1e-9
+            assert row["branch_and_bound"] == pytest.approx(row["optimal"])
+
+    def test_complexity_experiments_produce_rows(self):
+        ssb = complexity_ssb_experiment(sizes=(8, 16))
+        colored = complexity_colored_experiment(sizes=(6, 10))
+        assert len(ssb["rows"]) == 2 and len(colored["rows"]) == 2
+        assert all(row["time_s"] >= 0 for row in ssb["rows"])
+
+    def test_dag_extension_experiment(self):
+        outcome = dag_extension_experiment(seeds=range(2), n_tasks=6)
+        for row in outcome["rows"]:
+            assert row["heft_makespan"] >= row["exact_makespan"] - 1e-9

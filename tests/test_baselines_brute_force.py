@@ -1,0 +1,59 @@
+"""Unit tests for the brute-force enumeration reference."""
+
+import pytest
+
+from repro.baselines.brute_force import (
+    brute_force_assignment,
+    count_feasible_assignments,
+    enumerate_assignments,
+    enumerate_cuts,
+)
+from repro.core.dwg import SSBWeighting
+from repro.workloads import paper_example_problem, random_problem
+
+
+class TestEnumeration:
+    def test_enumerated_count_matches_closed_form(self, paper_problem):
+        cuts = list(enumerate_cuts(paper_problem))
+        assert len(cuts) == count_feasible_assignments(paper_problem)
+
+    def test_cuts_are_distinct(self, paper_problem):
+        cuts = {frozenset(cut) for cut in enumerate_cuts(paper_problem)}
+        assert len(cuts) == count_feasible_assignments(paper_problem)
+
+    def test_every_enumerated_assignment_is_feasible(self, paper_problem):
+        for assignment in enumerate_assignments(paper_problem):
+            assert assignment.is_feasible()
+
+    def test_every_cut_covers_every_sensor_exactly_once(self, paper_problem):
+        tree = paper_problem.tree
+        sensors = set(tree.sensor_ids())
+        for cut in enumerate_cuts(paper_problem):
+            covered = []
+            for child in cut:
+                covered.extend(tree.subtree_sensor_ids(child))
+            assert sorted(covered) == sorted(sensors)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_count_matches_enumeration_on_random_instances(self, seed):
+        problem = random_problem(n_processing=7, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.5)
+        assert len(list(enumerate_cuts(problem))) == count_feasible_assignments(problem)
+
+
+class TestOptimum:
+    def test_optimum_is_minimal_over_enumeration(self, paper_problem):
+        best, details = brute_force_assignment(paper_problem)
+        for assignment in enumerate_assignments(paper_problem):
+            assert best.end_to_end_delay() <= assignment.end_to_end_delay() + 1e-12
+        assert details["enumerated"] == count_feasible_assignments(paper_problem)
+
+    def test_weighting_changes_the_selection(self, paper_problem):
+        host_focused, _ = brute_force_assignment(paper_problem,
+                                                 weighting=SSBWeighting(1.0, 0.0))
+        plain, _ = brute_force_assignment(paper_problem)
+        assert host_focused.host_load() <= plain.host_load() + 1e-12
+
+    def test_details_report_objective(self, paper_problem):
+        best, details = brute_force_assignment(paper_problem)
+        assert details["objective"] == pytest.approx(best.end_to_end_delay())

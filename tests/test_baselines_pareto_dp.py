@@ -1,0 +1,82 @@
+"""Unit tests for the exact Pareto dynamic program."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_assignment, enumerate_assignments
+from repro.baselines.pareto_dp import ParetoLabel, pareto_dp_assignment, pareto_frontier
+from repro.core.dwg import SSBWeighting
+from repro.workloads import paper_example_problem, random_problem, snmp_scenario
+
+
+class TestParetoLabel:
+    def test_dominance(self):
+        a = ParetoLabel(host_time=1.0, loads=(1.0, 2.0), cut=())
+        b = ParetoLabel(host_time=2.0, loads=(1.5, 2.0), cut=())
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert a.dominates(a)
+
+    def test_incomparable_labels(self):
+        a = ParetoLabel(host_time=1.0, loads=(5.0,), cut=())
+        b = ParetoLabel(host_time=3.0, loads=(1.0,), cut=())
+        assert not a.dominates(b) and not b.dominates(a)
+
+
+class TestFrontier:
+    def test_frontier_has_no_dominated_points(self, paper_problem):
+        frontier = pareto_frontier(paper_problem)
+        for i, label in enumerate(frontier):
+            for j, other in enumerate(frontier):
+                if i != j:
+                    assert not (other.dominates(label) and other != label)
+
+    def test_every_frontier_label_is_realisable(self, paper_problem):
+        from repro.core.assignment import Assignment
+
+        for label in pareto_frontier(paper_problem):
+            offloaded = [c for c in label.cut
+                         if paper_problem.tree.cru(c).is_processing]
+            assignment = Assignment.from_cut(paper_problem, offloaded)
+            assert assignment.host_load() == pytest.approx(label.host_time)
+            assert assignment.max_satellite_load() == pytest.approx(
+                max(label.loads) if label.loads else 0.0)
+
+    def test_frontier_dominates_every_feasible_assignment(self, paper_problem):
+        frontier = pareto_frontier(paper_problem)
+        sat_ids = paper_problem.system.satellite_ids()
+        for assignment in enumerate_assignments(paper_problem):
+            loads = tuple(assignment.satellite_load(s) for s in sat_ids)
+            covered = any(
+                label.host_time <= assignment.host_load() + 1e-9
+                and all(a <= b + 1e-9 for a, b in zip(label.loads, loads))
+                for label in frontier)
+            assert covered
+
+
+class TestOptimum:
+    def test_matches_brute_force_on_the_paper_example(self, paper_problem):
+        dp, details = pareto_dp_assignment(paper_problem)
+        brute, _ = brute_force_assignment(paper_problem)
+        assert dp.end_to_end_delay() == pytest.approx(brute.end_to_end_delay())
+        assert details["objective"] == pytest.approx(dp.end_to_end_delay())
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("scatter", [0.0, 0.7])
+    def test_matches_brute_force_on_random_instances(self, seed, scatter):
+        problem = random_problem(n_processing=8, n_satellites=3, seed=seed,
+                                 sensor_scatter=scatter)
+        dp, _ = pareto_dp_assignment(problem)
+        brute, _ = brute_force_assignment(problem)
+        assert dp.end_to_end_delay() == pytest.approx(brute.end_to_end_delay())
+
+    def test_scales_to_larger_instances(self):
+        problem = snmp_scenario(subnets=4, devices_per_subnet=5)
+        dp, details = pareto_dp_assignment(problem)
+        assert dp.is_feasible()
+        assert details["frontier_size"] >= 1
+
+    def test_weighted_objective(self, paper_problem):
+        weighting = SSBWeighting(1.0, 0.0)
+        dp, _ = pareto_dp_assignment(paper_problem, weighting=weighting)
+        brute, _ = brute_force_assignment(paper_problem, weighting=weighting)
+        assert dp.host_load() == pytest.approx(brute.host_load())

@@ -1,0 +1,77 @@
+"""Unit tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.model.serialization import problem_to_json
+from repro.workloads import paper_example_problem
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--method", "sorcery"])
+
+
+class TestSolveCommand:
+    def test_solve_paper_example(self, capsys):
+        assert main(["solve", "--scenario", "paper-example"]) == 0
+        out = capsys.readouterr().out
+        assert "colored-ssb" in out
+        assert "end-to-end delay" in out
+
+    def test_solve_with_json_output(self, capsys):
+        assert main(["solve", "--scenario", "healthcare", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        data = json.loads(payload)
+        assert "placement" in data and data["method"] == "colored-ssb"
+
+    def test_solve_random_scenario(self, capsys):
+        assert main(["solve", "--scenario", "random", "--random-size", "8",
+                     "--seed", "3", "--method", "pareto-dp"]) == 0
+        assert "pareto-dp" in capsys.readouterr().out
+
+    def test_solve_problem_file(self, tmp_path, capsys):
+        path = tmp_path / "problem.json"
+        path.write_text(problem_to_json(paper_example_problem()))
+        assert main(["solve", "--problem-file", str(path)]) == 0
+        assert "paper-figure-2-example" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--scenario", "snmp"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated end-to-end delay" in out
+
+    def test_simulate_eager(self, capsys):
+        assert main(["simulate", "--scenario", "healthcare", "--eager"]) == 0
+        assert "simulated" in capsys.readouterr().out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--scenario", "paper-example"]) == 0
+        out = capsys.readouterr().out
+        assert "CRU tree" in out
+        assert "CONFLICT" in out
+        assert "assignment graph" in out
+
+    def test_experiment_figure4(self, capsys):
+        assert main(["experiment", "figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal_ssb_weight: 20.0" in out
+
+    def test_experiment_coloring(self, capsys):
+        assert main(["experiment", "coloring"]) == 0
+        assert "conflict" in capsys.readouterr().out
+
+    def test_methods(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "colored-ssb" in out and "brute-force" in out

@@ -1,0 +1,122 @@
+"""Unit tests for the coloured assignment graph construction (paper §5.2)."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.assignment_graph import AssignmentGraphError, build_assignment_graph
+from repro.core.dwg import DoublyWeightedGraph, PathMeasures, SIGMA_ATTR
+from repro.graphs.connectivity import is_dag
+from repro.graphs.dijkstra import shortest_path
+from repro.graphs.kshortest import iter_paths_by_weight
+from repro.model import CRU, CRUTree, ExecutionProfile, Host, HostSatelliteSystem, Satellite
+from repro.model.problem import AssignmentProblem
+from repro.workloads import paper_example_problem, random_problem
+from repro.baselines.brute_force import count_feasible_assignments
+
+
+class TestStructure:
+    def test_faces_count_is_leaves_plus_one(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        assert graph.num_faces == len(paper_problem.tree.sensor_ids()) + 1
+
+    def test_one_edge_per_non_conflicted_tree_edge(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        conflicted = len(graph.colored_tree.conflicted_edges())
+        assert graph.number_of_edges() == len(paper_problem.tree.edges()) - conflicted
+
+    def test_graph_is_a_dag(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        assert is_dag(graph.dwg.graph)
+
+    def test_edges_advance_the_face_index(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        for edge in graph.dwg.edges():
+            assert edge.tail < edge.head
+
+    def test_edges_inherit_the_tree_edge_colour(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        for edge in graph.dwg.edges():
+            parent, child = graph.tree_edge_of(edge)
+            expected = graph.colored_tree.edge_color(parent, child)
+            assert DoublyWeightedGraph.colors(edge) == (expected,)
+
+    def test_edge_lookup_by_tree_edge(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        edge = graph.edge_for_tree_edge("CRU2", "CRU4")
+        assert graph.satellite_of(edge) == "R"
+        with pytest.raises(KeyError):
+            graph.edge_for_tree_edge("CRU1", "CRU2")   # conflicted, not in graph
+
+    def test_labels_match_the_labeling_module(self, paper_problem):
+        from repro.core.labeling import label_assignment_graph
+
+        sigma_labels, beta_labels = label_assignment_graph(paper_problem)
+        graph = build_assignment_graph(paper_problem)
+        for edge in graph.dwg.edges():
+            tree_edge = graph.tree_edge_of(edge)
+            assert DoublyWeightedGraph.sigma(edge) == pytest.approx(sigma_labels[tree_edge])
+            assert DoublyWeightedGraph.beta(edge) == pytest.approx(beta_labels[tree_edge])
+
+    def test_rejects_processing_leaves(self):
+        tree = CRUTree(CRU("root"))
+        tree.add_processing("root", "dangling")
+        tree.add_sensor("root", "s1")
+        system = HostSatelliteSystem(Host())
+        system.add_satellite(Satellite("sat"))
+        problem = AssignmentProblem(tree=tree, system=system,
+                                    sensor_attachment={"s1": "sat"},
+                                    profile=ExecutionProfile())
+        with pytest.raises(AssignmentGraphError, match="must be a sensor"):
+            build_assignment_graph(problem)
+
+
+class TestPathCutBijection:
+    def test_path_count_equals_feasible_assignment_count(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        paths = list(iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                          graph.dwg.target, weight=SIGMA_ATTR))
+        assert len(paths) == count_feasible_assignments(paper_problem)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_path_count_on_random_instances(self, seed):
+        problem = random_problem(n_processing=7, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.4)
+        graph = build_assignment_graph(problem)
+        paths = list(iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                          graph.dwg.target, weight=SIGMA_ATTR))
+        assert len(paths) == count_feasible_assignments(problem)
+
+    def test_every_path_maps_to_a_feasible_assignment(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        for path in iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                         graph.dwg.target, weight=SIGMA_ATTR):
+            assignment = graph.path_to_assignment(path)
+            assert assignment.is_feasible()
+
+    def test_path_weights_equal_assignment_costs(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        for path in iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                         graph.dwg.target, weight=SIGMA_ATTR):
+            assignment = graph.path_to_assignment(path)
+            assert PathMeasures.s_weight(path) == pytest.approx(assignment.host_load())
+            assert PathMeasures.b_weight_colored(path) == pytest.approx(
+                assignment.max_satellite_load())
+
+    def test_assignment_to_path_round_trip(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        path = shortest_path(graph.dwg.graph, graph.dwg.source, graph.dwg.target,
+                             weight=SIGMA_ATTR)
+        assignment = graph.path_to_assignment(path)
+        back = graph.assignment_to_path(assignment)
+        assert {graph.tree_edge_of(e) for e in back.edges} == \
+            {graph.tree_edge_of(e) for e in path.edges}
+
+    def test_per_colour_loads_equal_per_satellite_loads(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        path = shortest_path(graph.dwg.graph, graph.dwg.source, graph.dwg.target,
+                             weight=SIGMA_ATTR)
+        assignment = graph.path_to_assignment(path)
+        loads = PathMeasures.color_loads(path)
+        for satellite_id, load in assignment.satellite_loads().items():
+            color = paper_problem.color_of_satellite(satellite_id)
+            assert loads.get(color, 0.0) == pytest.approx(load)

@@ -1,0 +1,87 @@
+"""Unit tests for the colouring scheme (paper §5.1)."""
+
+import pytest
+
+from repro.core.coloring import color_tree
+from repro.workloads import paper_example_problem, random_problem
+
+
+class TestPaperExample:
+    """E2: the structural facts the paper states for the Figure-2/5 tree."""
+
+    def test_only_the_two_root_edges_conflict(self, paper_problem):
+        colored = color_tree(paper_problem)
+        assert set(colored.conflicted_edges()) == {("CRU1", "CRU2"), ("CRU1", "CRU3")}
+
+    def test_cru1_cru2_cru3_are_forced_onto_the_host(self, paper_problem):
+        colored = color_tree(paper_problem)
+        assert set(colored.forced_host_crus()) == {"CRU1", "CRU2", "CRU3"}
+
+    def test_edge_colours_follow_the_satellites(self, paper_problem):
+        colored = color_tree(paper_problem)
+        assert colored.edge_color("CRU2", "CRU4") == "red"
+        assert colored.edge_color("CRU2", "CRU5") == "blue"
+        assert colored.edge_color("CRU2", "CRU11") == "yellow"
+        assert colored.edge_color("CRU3", "CRU6") == "blue"
+        assert colored.edge_color("CRU3", "CRU7") == "green"
+        assert colored.edge_satellite("CRU6", "CRU13") == "B"
+
+    def test_sensor_edges_take_their_satellite_colour(self, paper_problem):
+        colored = color_tree(paper_problem)
+        assert colored.edge_color("CRU9", "sR1") == "red"
+        assert colored.edge_color("CRU13", "sB3") == "blue"
+
+    def test_conflicted_edges_have_no_colour(self, paper_problem):
+        colored = color_tree(paper_problem)
+        assert colored.edge_color("CRU1", "CRU2") is None
+        assert colored.edge_satellite("CRU1", "CRU3") is None
+        assert colored.is_conflicted("CRU1", "CRU2")
+
+    def test_all_four_colours_are_used(self, paper_problem):
+        colored = color_tree(paper_problem)
+        assert colored.used_colors() == {"red", "yellow", "blue", "green"}
+
+    def test_colorable_plus_conflicted_covers_all_edges(self, paper_problem):
+        colored = color_tree(paper_problem)
+        total = len(colored.colorable_edges()) + len(colored.conflicted_edges())
+        assert total == len(paper_problem.tree.edges()) == len(colored)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_conflicts_iff_multiple_satellites_below(self, seed):
+        problem = random_problem(n_processing=10, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.6)
+        colored = color_tree(problem)
+        for parent, child in problem.tree.edges():
+            expected_conflict = len(problem.satellites_under(child)) != 1
+            assert colored.is_conflicted(parent, child) == expected_conflict
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_forced_host_crus_are_exactly_the_multi_satellite_ones(self, seed):
+        problem = random_problem(n_processing=10, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.6)
+        colored = color_tree(problem)
+        forced = set(colored.forced_host_crus())
+        for cru_id in problem.tree.processing_ids():
+            multi = problem.correspondent_satellite(cru_id) is None
+            is_root = cru_id == problem.tree.root_id
+            assert (cru_id in forced) == (multi or is_root)
+
+    def test_ancestors_of_forced_crus_are_forced(self, small_random_problem):
+        colored = color_tree(small_random_problem)
+        forced = set(colored.forced_host_crus())
+        for cru_id in forced:
+            for ancestor in small_random_problem.tree.ancestors(cru_id):
+                assert ancestor in forced
+
+    def test_single_satellite_instance_has_no_conflicts(self):
+        problem = random_problem(n_processing=8, n_satellites=1, seed=1)
+        colored = color_tree(problem)
+        assert colored.conflicted_edges() == []
+        assert colored.forced_host_crus() == [problem.tree.root_id]
+
+    def test_edge_coloring_records_both_views(self, paper_problem):
+        colored = color_tree(paper_problem)
+        ec = colored.edge_coloring("CRU2", "CRU4")
+        assert ec.satellite_id == "R" and ec.color == "red" and not ec.is_conflicted

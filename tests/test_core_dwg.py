@@ -1,0 +1,117 @@
+"""Unit tests for doubly weighted graphs and path measures."""
+
+import pytest
+
+from repro.core.dwg import DoublyWeightedGraph, PathMeasures, SSBWeighting
+from repro.graphs.paths import Path
+
+
+def two_edge_path(dwg):
+    e1 = dwg.add_edge("S", "M", sigma=3.0, beta=4.0, color="red")
+    e2 = dwg.add_edge("M", "T", sigma=5.0, beta=6.0, color="blue")
+    return Path.from_edges([e1, e2])
+
+
+class TestSSBWeighting:
+    def test_default_is_plain_sum(self):
+        w = SSBWeighting()
+        assert w.combine(3.0, 4.0) == pytest.approx(7.0)
+
+    def test_convex_form(self):
+        w = SSBWeighting.convex(0.25)
+        assert w.combine(4.0, 8.0) == pytest.approx(0.25 * 4 + 0.75 * 8)
+
+    def test_convex_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SSBWeighting.convex(1.5)
+
+    def test_negative_coefficient_raises(self):
+        with pytest.raises(ValueError):
+            SSBWeighting(lambda_s=-1.0)
+
+    def test_both_zero_raises(self):
+        with pytest.raises(ValueError):
+            SSBWeighting(lambda_s=0.0, lambda_b=0.0)
+
+
+class TestGraphConstruction:
+    def test_add_edge_scalar_beta(self):
+        dwg = DoublyWeightedGraph()
+        edge = dwg.add_edge("S", "T", sigma=1.0, beta=2.0, color="red")
+        assert DoublyWeightedGraph.sigma(edge) == pytest.approx(1.0)
+        assert DoublyWeightedGraph.beta(edge) == pytest.approx(2.0)
+        assert DoublyWeightedGraph.beta_map(edge) == {"red": 2.0}
+        assert DoublyWeightedGraph.colors(edge) == ("red",)
+
+    def test_add_edge_mapping_beta(self):
+        dwg = DoublyWeightedGraph()
+        edge = dwg.add_edge("S", "T", sigma=1.0, beta={"red": 2.0, "blue": 3.0})
+        assert DoublyWeightedGraph.beta(edge) == pytest.approx(5.0)
+        assert DoublyWeightedGraph.max_beta_component(edge) == pytest.approx(3.0)
+
+    def test_negative_weights_rejected(self):
+        dwg = DoublyWeightedGraph()
+        with pytest.raises(ValueError):
+            dwg.add_edge("S", "T", sigma=-1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            dwg.add_edge("S", "T", sigma=1.0, beta=-1.0)
+
+    def test_copy_is_independent(self):
+        dwg = DoublyWeightedGraph()
+        edge = dwg.add_edge("S", "T", sigma=1.0, beta=1.0)
+        clone = dwg.copy()
+        clone.graph.remove_edge(edge.key)
+        assert dwg.number_of_edges() == 1
+        assert clone.number_of_edges() == 0
+        assert clone.source == dwg.source and clone.target == dwg.target
+
+    def test_all_colors(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "M", sigma=1, beta=1, color="red")
+        dwg.add_edge("M", "T", sigma=1, beta={"blue": 1.0, "green": 2.0})
+        assert set(dwg.all_colors()) == {"red", "blue", "green"}
+
+    def test_counts(self, fig4):
+        assert fig4.number_of_nodes() == 3
+        assert fig4.number_of_edges() == 8
+
+
+class TestPathMeasures:
+    def test_s_and_plain_b(self):
+        dwg = DoublyWeightedGraph()
+        path = two_edge_path(dwg)
+        assert PathMeasures.s_weight(path) == pytest.approx(8.0)
+        assert PathMeasures.b_weight_plain(path) == pytest.approx(6.0)
+
+    def test_colored_b_sums_per_color(self):
+        dwg = DoublyWeightedGraph()
+        e1 = dwg.add_edge("S", "M", sigma=1.0, beta=4.0, color="red")
+        e2 = dwg.add_edge("M", "N", sigma=1.0, beta=3.0, color="red")
+        e3 = dwg.add_edge("N", "T", sigma=1.0, beta=5.0, color="blue")
+        path = Path.from_edges([e1, e2, e3])
+        loads = PathMeasures.color_loads(path)
+        assert loads == pytest.approx({"red": 7.0, "blue": 5.0})
+        assert PathMeasures.b_weight_colored(path) == pytest.approx(7.0)
+        # the plain bottleneck looks only at individual edges
+        assert PathMeasures.b_weight_plain(path) == pytest.approx(5.0)
+
+    def test_ssb_measures(self):
+        dwg = DoublyWeightedGraph()
+        path = two_edge_path(dwg)
+        measures = PathMeasures()
+        assert measures.ssb_plain(path) == pytest.approx(8.0 + 6.0)
+        assert measures.ssb_colored(path) == pytest.approx(8.0 + 6.0)
+        half = PathMeasures(SSBWeighting.convex(0.5))
+        assert half.ssb_plain(path) == pytest.approx(0.5 * 8 + 0.5 * 6)
+
+    def test_sb_measures(self):
+        dwg = DoublyWeightedGraph()
+        path = two_edge_path(dwg)
+        assert PathMeasures.sb(path) == pytest.approx(8.0)
+        assert PathMeasures.sb_colored(path) == pytest.approx(8.0)
+
+    def test_empty_path_measures(self):
+        empty = Path.empty("S")
+        assert PathMeasures.s_weight(empty) == 0.0
+        assert PathMeasures.b_weight_plain(empty) == 0.0
+        assert PathMeasures.b_weight_colored(empty) == 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for the σ / β labelling (paper §5.3, Figure 8)."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.labeling import host_weight_labels, label_assignment_graph, satellite_cut_cost
+from repro.workloads import paper_example_problem, paper_example_profile_values, random_problem
+
+
+@pytest.fixture
+def labels(paper_problem):
+    return label_assignment_graph(paper_problem)
+
+
+@pytest.fixture
+def values():
+    return paper_example_profile_values()
+
+
+class TestSigmaLabelsOnPaperExample:
+    """E4: the Figure-8 host-weight labels."""
+
+    def test_leftmost_root_edge_gets_h1(self, labels, values):
+        sigma, _ = labels
+        h = values["host_times"]
+        assert sigma[("CRU1", "CRU2")] == pytest.approx(h["CRU1"])
+
+    def test_non_leftmost_root_edge_gets_zero(self, labels):
+        sigma, _ = labels
+        assert sigma[("CRU1", "CRU3")] == pytest.approx(0.0)
+
+    def test_cru2_cru4_gets_h1_plus_h2(self, labels, values):
+        # the example the paper states explicitly for edge S-B
+        sigma, _ = labels
+        h = values["host_times"]
+        assert sigma[("CRU2", "CRU4")] == pytest.approx(h["CRU1"] + h["CRU2"])
+
+    def test_deep_leftmost_chain_accumulates(self, labels, values):
+        # Figure 8 shows the label h1+h2+h4+h9 on the leftmost chain
+        sigma, _ = labels
+        h = values["host_times"]
+        assert sigma[("CRU4", "CRU9")] == pytest.approx(h["CRU1"] + h["CRU2"] + h["CRU4"])
+        assert sigma[("CRU9", "sR1")] == pytest.approx(
+            h["CRU1"] + h["CRU2"] + h["CRU4"] + h["CRU9"])
+
+    def test_chain_restarts_at_non_leftmost_children(self, labels, values):
+        sigma, _ = labels
+        h = values["host_times"]
+        # CRU10 is not the leftmost child of CRU4: its chain starts at h10
+        assert sigma[("CRU10", "sR2")] == pytest.approx(h["CRU10"])
+        # CRU3 is not the leftmost child of the root: chain h3+h6+h13 (Figure 8)
+        assert sigma[("CRU13", "sB3")] == pytest.approx(h["CRU3"] + h["CRU6"] + h["CRU13"])
+
+    def test_non_leftmost_edges_carry_zero(self, labels):
+        sigma, _ = labels
+        assert sigma[("CRU2", "CRU5")] == pytest.approx(0.0)
+        assert sigma[("CRU2", "CRU11")] == pytest.approx(0.0)
+        assert sigma[("CRU5", "sB2")] == pytest.approx(0.0)
+
+
+class TestBetaLabelsOnPaperExample:
+    def test_cru3_cru6_is_s6_plus_s13_plus_c63(self, labels, values):
+        # the example the paper states explicitly for edge <D,E>
+        _, beta = labels
+        s = values["satellite_times"]
+        c = values["comm_costs"]
+        assert beta[("CRU3", "CRU6")] == pytest.approx(
+            s["CRU6"] + s["CRU13"] + c[("CRU6", "CRU3")])
+
+    def test_sensor_edge_is_raw_transfer_only(self, labels, values):
+        # the paper's <A, CRU10> example: β equals c_{s,10}
+        _, beta = labels
+        c = values["comm_costs"]
+        assert beta[("CRU10", "sR2")] == pytest.approx(c[("sR2", "CRU10")])
+        assert beta[("CRU9", "sR1")] == pytest.approx(c[("sR1", "CRU9")])
+
+    def test_subtree_with_one_processing_cru(self, labels, values):
+        _, beta = labels
+        s, c = values["satellite_times"], values["comm_costs"]
+        assert beta[("CRU2", "CRU11")] == pytest.approx(s["CRU11"] + c[("CRU11", "CRU2")])
+
+    def test_satellite_cut_cost_helper(self, paper_problem, values):
+        s, c = values["satellite_times"], values["comm_costs"]
+        assert satellite_cut_cost(paper_problem, "CRU2", "CRU5") == pytest.approx(
+            s["CRU5"] + c[("CRU5", "CRU2")])
+
+
+class TestSigmaInvariant:
+    """The construction's purpose: path σ sums equal host loads."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_full_offload_cut_sums_to_forced_host_time(self, seed):
+        problem = random_problem(n_processing=9, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.0)
+        sigma = host_weight_labels(problem.tree, problem.profile)
+        # the cut right below the root: every root-child edge is cut
+        cut_edges = [(problem.tree.root_id, child)
+                     for child in problem.tree.children_ids(problem.tree.root_id)]
+        total = sum(sigma[e] for e in cut_edges)
+        assert total == pytest.approx(problem.host_time(problem.tree.root_id))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bottom_cut_sums_to_total_host_time(self, seed):
+        problem = random_problem(n_processing=9, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.4)
+        sigma = host_weight_labels(problem.tree, problem.profile)
+        # cutting every sensor edge puts every processing CRU on the host
+        cut_edges = [(problem.tree.parent_id(s), s) for s in problem.tree.sensor_ids()]
+        total = sum(sigma[e] for e in cut_edges)
+        host_only = Assignment.host_only(problem)
+        assert total == pytest.approx(host_only.host_load())

@@ -1,0 +1,80 @@
+"""Unit tests for Bokhari's SB (bottleneck) path search."""
+
+import pytest
+
+from repro.core.dwg import DoublyWeightedGraph, PathMeasures, SIGMA_ATTR
+from repro.core.sb import SBSearch, find_optimal_sb_path
+from repro.graphs.kshortest import iter_paths_by_weight
+from repro.workloads.generators import random_dwg
+
+
+def exhaustive_sb_optimum(dwg, colored=False):
+    best = float("inf")
+    for path in iter_paths_by_weight(dwg.graph, dwg.source, dwg.target, weight=SIGMA_ATTR):
+        b = PathMeasures.b_weight_colored(path) if colored else PathMeasures.b_weight_plain(path)
+        best = min(best, max(PathMeasures.s_weight(path), b))
+    return best
+
+
+class TestBasics:
+    def test_single_edge(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "T", sigma=2.0, beta=7.0)
+        result = SBSearch().search(dwg)
+        assert result.sb_weight == pytest.approx(7.0)
+
+    def test_figure4_sb_weight(self, fig4):
+        # For the Figure-4 graph the min-max path is <5,10>-<5,10>:
+        # max(S, B) = max(10, 10) = 10 (better than e.g. <6,8>-<27,8> with S=33).
+        result = SBSearch().search(fig4)
+        assert result.sb_weight == pytest.approx(10.0)
+        assert result.sb_weight == pytest.approx(exhaustive_sb_optimum(fig4))
+
+    def test_disconnected(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "M", sigma=1, beta=1)
+        result = SBSearch().search(dwg)
+        assert not result.found
+
+    def test_does_not_mutate_input(self, fig4):
+        before = fig4.number_of_edges()
+        SBSearch().search(fig4)
+        assert fig4.number_of_edges() == before
+
+    def test_convenience_wrapper(self, fig4):
+        assert find_optimal_sb_path(fig4).sb_weight == pytest.approx(10.0)
+
+    def test_sb_differs_from_ssb_objective(self):
+        # SB prefers a balanced path, SSB (the delay) prefers a small total.
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "T", sigma=10.0, beta=10.0)   # SB 10, SSB 20
+        dwg.add_edge("S", "T", sigma=2.0, beta=15.0)    # SB 15, SSB 17
+        from repro.core.ssb import SSBSearch
+
+        sb = SBSearch().search(dwg)
+        ssb = SSBSearch().search(dwg)
+        assert sb.sb_weight == pytest.approx(10.0)
+        assert ssb.ssb_weight == pytest.approx(17.0)
+        assert sb.path.edges[0].key != ssb.path.edges[0].key
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_enumeration_plain(self, seed):
+        dwg = random_dwg(n_nodes=7, extra_edges=9, seed=seed)
+        result = SBSearch().search(dwg)
+        assert result.sb_weight == pytest.approx(exhaustive_sb_optimum(dwg))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_enumeration_colored(self, seed):
+        # Build a coloured DWG by tagging the random edges with a few colours.
+        dwg = random_dwg(n_nodes=6, extra_edges=7, seed=seed)
+        colored = DoublyWeightedGraph(source=dwg.source, target=dwg.target)
+        palette = ["red", "blue", "green"]
+        for i, edge in enumerate(dwg.edges()):
+            colored.add_edge(edge.tail, edge.head,
+                             sigma=DoublyWeightedGraph.sigma(edge),
+                             beta=DoublyWeightedGraph.beta(edge),
+                             color=palette[i % len(palette)])
+        result = SBSearch(colored=True).search(colored)
+        assert result.sb_weight == pytest.approx(exhaustive_sb_optimum(colored, colored=True))

@@ -1,0 +1,140 @@
+"""Unit tests for the SSB algorithm (paper §4.2), including the Figure-4 walk-through."""
+
+import itertools
+
+import pytest
+
+from repro.core.dwg import DoublyWeightedGraph, PathMeasures, SSBWeighting, SIGMA_ATTR
+from repro.core.ssb import SSBSearch, find_optimal_ssb_path
+from repro.graphs.kshortest import iter_paths_by_weight
+from repro.workloads.generators import random_dwg
+
+
+def exhaustive_optimum(dwg, weighting=None):
+    """Oracle: enumerate all simple S-T paths and minimise the SSB weight."""
+    weighting = weighting or SSBWeighting()
+    measures = PathMeasures(weighting)
+    best = float("inf")
+    for path in iter_paths_by_weight(dwg.graph, dwg.source, dwg.target, weight=SIGMA_ATTR):
+        best = min(best, measures.ssb_plain(path))
+    return best
+
+
+class TestFigure4:
+    """E1: the paper's worked example."""
+
+    def test_optimal_ssb_weight_is_20(self, fig4):
+        result = SSBSearch().search(fig4)
+        assert result.ssb_weight == pytest.approx(20.0)
+        assert result.s_weight == pytest.approx(10.0)
+        assert result.b_weight == pytest.approx(10.0)
+
+    def test_optimal_path_is_5_10_5_10(self, fig4):
+        result = SSBSearch().search(fig4)
+        sigmas = [DoublyWeightedGraph.sigma(e) for e in result.path.edges]
+        betas = [DoublyWeightedGraph.beta(e) for e in result.path.edges]
+        assert sigmas == pytest.approx([5.0, 5.0])
+        assert betas == pytest.approx([10.0, 10.0])
+
+    def test_three_shortest_path_searches(self, fig4):
+        result = SSBSearch().search(fig4)
+        assert result.shortest_path_searches == 3
+
+    def test_first_iteration_candidate_is_29(self, fig4):
+        result = SSBSearch().search(fig4)
+        first = result.iterations[0]
+        assert first.s_weight == pytest.approx(9.0)
+        assert first.b_weight == pytest.approx(20.0)
+        assert first.candidate_after == pytest.approx(29.0)
+
+    def test_second_iteration_candidate_is_20(self, fig4):
+        result = SSBSearch().search(fig4)
+        second = result.iterations[1]
+        assert second.ssb_weight == pytest.approx(20.0)
+        assert second.candidate_after == pytest.approx(20.0)
+
+    def test_terminates_on_s_weight_bound(self, fig4):
+        result = SSBSearch().search(fig4)
+        assert result.termination == "s-weight-bound"
+
+    def test_iteration1_removes_only_the_4_20_edge(self, fig4):
+        result = SSBSearch().search(fig4)
+        assert len(result.iterations[0].removed_edge_keys) == 1
+        removed = fig4.graph.edge(result.iterations[0].removed_edge_keys[0])
+        assert DoublyWeightedGraph.beta(removed) == pytest.approx(20.0)
+
+    def test_iteration2_removes_four_edges(self, fig4):
+        result = SSBSearch().search(fig4)
+        assert len(result.iterations[1].removed_edge_keys) == 4
+
+
+class TestGeneralBehaviour:
+    def test_disconnected_graph_returns_not_found(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "M", sigma=1, beta=1)
+        result = SSBSearch().search(dwg)
+        assert not result.found
+        assert result.ssb_weight == float("inf")
+        assert result.termination == "disconnected"
+
+    def test_single_edge_graph(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "T", sigma=2.0, beta=3.0)
+        result = SSBSearch().search(dwg)
+        assert result.found
+        assert result.ssb_weight == pytest.approx(5.0)
+
+    def test_search_does_not_mutate_input(self, fig4):
+        edges_before = fig4.number_of_edges()
+        SSBSearch().search(fig4)
+        assert fig4.number_of_edges() == edges_before
+
+    def test_keep_trace_false_skips_iterations(self, fig4):
+        result = SSBSearch(keep_trace=False).search(fig4)
+        assert result.iterations == []
+        assert result.ssb_weight == pytest.approx(20.0)
+        assert result.iteration_count == result.shortest_path_searches
+
+    def test_convenience_wrapper(self, fig4):
+        assert find_optimal_ssb_path(fig4).ssb_weight == pytest.approx(20.0)
+
+    def test_zero_beta_graph(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "M", sigma=1.0, beta=0.0)
+        dwg.add_edge("M", "T", sigma=2.0, beta=0.0)
+        result = SSBSearch().search(dwg)
+        assert result.found
+        assert result.ssb_weight == pytest.approx(3.0)
+
+    def test_weighting_changes_the_optimum(self):
+        # Path A: tiny S, huge B.  Path B: moderate S, tiny B.
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "T", sigma=1.0, beta=100.0)
+        dwg.add_edge("S", "T", sigma=50.0, beta=1.0)
+        sum_result = SSBSearch().search(dwg)
+        assert sum_result.ssb_weight == pytest.approx(51.0)
+        s_heavy = SSBSearch(SSBWeighting(lambda_s=1.0, lambda_b=0.0)).search(dwg)
+        assert s_heavy.s_weight == pytest.approx(1.0)
+
+
+class TestOptimalityAgainstEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exhaustive_enumeration(self, seed):
+        dwg = random_dwg(n_nodes=7, extra_edges=9, seed=seed)
+        result = SSBSearch().search(dwg)
+        assert result.ssb_weight == pytest.approx(exhaustive_optimum(dwg))
+
+    @pytest.mark.parametrize("lam", [0.0, 0.3, 0.7, 1.0])
+    def test_matches_enumeration_for_convex_weightings(self, lam):
+        dwg = random_dwg(n_nodes=7, extra_edges=8, seed=42)
+        weighting = SSBWeighting.convex(lam)
+        result = SSBSearch(weighting).search(dwg)
+        assert result.ssb_weight == pytest.approx(exhaustive_optimum(dwg, weighting))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_result_weights_are_consistent(self, seed):
+        dwg = random_dwg(n_nodes=8, extra_edges=10, seed=seed)
+        result = SSBSearch().search(dwg)
+        assert result.s_weight == pytest.approx(PathMeasures.s_weight(result.path))
+        assert result.b_weight == pytest.approx(PathMeasures.b_weight_plain(result.path))
+        assert result.ssb_weight == pytest.approx(result.s_weight + result.b_weight)

@@ -1,0 +1,145 @@
+"""Unit tests for the DAG-to-DAG extension (paper §6 future work)."""
+
+import pytest
+
+from repro.extensions import (
+    DAGPlacement,
+    DAGTask,
+    DAGTaskGraph,
+    Resource,
+    ResourceGraph,
+    exhaustive_dag_placement,
+    genetic_dag_placement,
+    heft_placement,
+    random_dag_placement,
+)
+from repro.analysis.experiments import _sample_dag_instance
+
+
+def small_instance():
+    tasks = DAGTaskGraph()
+    tasks.add_task(DAGTask("sensor-a", work=0.0, pinned_to="edge-1"))
+    tasks.add_task(DAGTask("sensor-b", work=0.0, pinned_to="edge-2"))
+    tasks.add_task(DAGTask("feature-a", work=4.0))
+    tasks.add_task(DAGTask("feature-b", work=4.0))
+    tasks.add_task(DAGTask("fusion", work=2.0))
+    tasks.add_dependency("sensor-a", "feature-a", data_volume=100.0)
+    tasks.add_dependency("sensor-b", "feature-b", data_volume=100.0)
+    tasks.add_dependency("feature-a", "fusion", data_volume=10.0)
+    tasks.add_dependency("feature-b", "fusion", data_volume=10.0)
+
+    resources = ResourceGraph()
+    resources.add_resource(Resource("edge-1", speed=1.0))
+    resources.add_resource(Resource("edge-2", speed=1.0))
+    resources.add_resource(Resource("hub", speed=4.0))
+    resources.connect("edge-1", "hub", rate=100.0)
+    resources.connect("edge-2", "hub", rate=100.0)
+    resources.connect("edge-1", "edge-2", rate=10.0)
+    return tasks, resources
+
+
+class TestModel:
+    def test_task_graph_structure(self):
+        tasks, _ = small_instance()
+        assert set(tasks.sources()) == {"sensor-a", "sensor-b"}
+        assert tasks.sinks() == ["fusion"]
+        assert tasks.predecessors("fusion") == ["feature-a", "feature-b"]
+        order = tasks.topological_order()
+        assert order.index("sensor-a") < order.index("feature-a") < order.index("fusion")
+
+    def test_duplicate_task_rejected(self):
+        tasks = DAGTaskGraph()
+        tasks.add_task(DAGTask("x"))
+        with pytest.raises(ValueError):
+            tasks.add_task(DAGTask("x"))
+
+    def test_cycle_rejected(self):
+        tasks = DAGTaskGraph()
+        tasks.add_task(DAGTask("a"))
+        tasks.add_task(DAGTask("b"))
+        tasks.add_dependency("a", "b")
+        with pytest.raises(ValueError):
+            tasks.add_dependency("b", "a")
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            DAGTask("x", work=-1.0)
+
+    def test_resource_graph_transfer_times(self):
+        _, resources = small_instance()
+        assert resources.transfer_time("edge-1", "edge-1", 1000) == 0.0
+        assert resources.transfer_time("edge-1", "hub", 200) == pytest.approx(2.0)
+        assert resources.transfer_time("edge-1", "edge-2", 10) == pytest.approx(1.0)
+
+    def test_disconnected_resources_are_infinite(self):
+        resources = ResourceGraph()
+        resources.add_resource(Resource("a"))
+        resources.add_resource(Resource("b"))
+        assert resources.transfer_time("a", "b", 1.0) == float("inf")
+        assert not resources.are_connected("a", "b")
+
+    def test_placement_feasibility(self):
+        tasks, resources = small_instance()
+        mapping = {"sensor-a": "edge-1", "sensor-b": "edge-2",
+                   "feature-a": "hub", "feature-b": "hub", "fusion": "hub"}
+        placement = DAGPlacement(tasks, resources, mapping)
+        assert placement.is_feasible()
+        bad = dict(mapping, **{"sensor-a": "hub"})   # violates pinning
+        assert not DAGPlacement(tasks, resources, bad).is_feasible()
+
+    def test_placement_requires_every_task(self):
+        tasks, resources = small_instance()
+        with pytest.raises(ValueError):
+            DAGPlacement(tasks, resources, {"fusion": "hub"})
+
+    def test_schedule_respects_dependencies_and_resources(self):
+        tasks, resources = small_instance()
+        mapping = {"sensor-a": "edge-1", "sensor-b": "edge-2",
+                   "feature-a": "hub", "feature-b": "hub", "fusion": "hub"}
+        placement = DAGPlacement(tasks, resources, mapping)
+        schedule = placement.schedule()
+        for producer, consumer in tasks.dependencies():
+            assert schedule[consumer][0] >= schedule[producer][1] - 1e-9
+        # hub runs three tasks one after another
+        hub_tasks = sorted((schedule[t] for t in ("feature-a", "feature-b", "fusion")))
+        for (s1, e1), (s2, e2) in zip(hub_tasks, hub_tasks[1:]):
+            assert s2 >= e1 - 1e-9
+        assert placement.makespan() == pytest.approx(max(e for _, e in schedule.values()))
+
+
+class TestSolvers:
+    def test_heft_is_feasible_and_reasonable(self):
+        tasks, resources = small_instance()
+        placement, details = heft_placement(tasks, resources)
+        assert placement.is_feasible()
+        exact, _ = exhaustive_dag_placement(tasks, resources)
+        assert placement.makespan() <= 1.5 * exact.makespan()
+        assert details["makespan"] == pytest.approx(placement.makespan())
+
+    def test_exhaustive_is_a_lower_bound(self):
+        tasks, resources = small_instance()
+        exact, details = exhaustive_dag_placement(tasks, resources)
+        rand = random_dag_placement(tasks, resources, seed=0)
+        assert exact.makespan() <= rand.makespan() + 1e-9
+        assert details["enumerated"] > 0
+
+    def test_genetic_is_feasible_and_deterministic(self):
+        tasks, resources = small_instance()
+        a, _ = genetic_dag_placement(tasks, resources, seed=3, generations=10)
+        b, _ = genetic_dag_placement(tasks, resources, seed=3, generations=10)
+        assert a.is_feasible()
+        assert a.mapping == b.mapping
+
+    def test_random_placement_respects_pinning(self):
+        tasks, resources = small_instance()
+        placement = random_dag_placement(tasks, resources, seed=1)
+        assert placement.mapping["sensor-a"] == "edge-1"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heuristics_never_beat_the_exact_optimum(self, seed):
+        tasks, resources = _sample_dag_instance(seed=seed, n_tasks=7, n_resources=3)
+        exact, _ = exhaustive_dag_placement(tasks, resources)
+        heft, _ = heft_placement(tasks, resources)
+        ga, _ = genetic_dag_placement(tasks, resources, seed=seed, generations=15)
+        assert heft.makespan() >= exact.makespan() - 1e-9
+        assert ga.makespan() >= exact.makespan() - 1e-9

@@ -1,0 +1,73 @@
+"""Unit tests for dynamic re-assignment under profile drift."""
+
+import pytest
+
+from repro.core.solver import solve
+from repro.extensions import DynamicReassigner, ProfileDrift
+from repro.workloads import healthcare_scenario, paper_example_problem
+
+
+class TestProfileDrift:
+    def test_apply_scales_times_and_costs(self, paper_problem):
+        drift = ProfileDrift(host_factors={"CRU1": 2.0},
+                             satellite_factors={"CRU9": 0.5},
+                             comm_factors={("CRU9", "CRU4"): 3.0})
+        drifted = drift.apply(paper_problem)
+        assert drifted.host_time("CRU1") == pytest.approx(2.0 * paper_problem.host_time("CRU1"))
+        assert drifted.satellite_time("CRU9") == pytest.approx(
+            0.5 * paper_problem.satellite_time("CRU9"))
+        assert drifted.comm_cost("CRU9", "CRU4") == pytest.approx(
+            3.0 * paper_problem.comm_cost("CRU9", "CRU4"))
+        # unchanged entries keep their values
+        assert drifted.host_time("CRU2") == pytest.approx(paper_problem.host_time("CRU2"))
+
+    def test_apply_preserves_validity(self, paper_problem):
+        drifted = ProfileDrift(host_factors={"CRU1": 5.0}).apply(paper_problem)
+        drifted.validate()
+
+    def test_identity_drift_preserves_the_optimum(self, paper_problem):
+        drifted = ProfileDrift().apply(paper_problem)
+        assert solve(drifted).objective == pytest.approx(solve(paper_problem).objective)
+
+
+class TestDynamicReassigner:
+    def test_no_drift_means_no_reassignment(self, paper_problem):
+        controller = DynamicReassigner(paper_problem, threshold=0.05)
+        decision = controller.step()
+        assert not decision.reassigned
+        assert decision.relative_gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_large_drift_triggers_reassignment(self, healthcare_problem):
+        controller = DynamicReassigner(healthcare_problem, threshold=0.05)
+        deployed = controller.deployed
+        # make every CRU currently on the host extremely slow there, so the
+        # optimal partition moves work to the satellites
+        drift = ProfileDrift(host_factors={c: 30.0 for c in deployed.host_crus()})
+        decision = controller.step(drift)
+        assert decision.deployed_delay > decision.optimal_delay
+        assert decision.reassigned
+        assert controller.reassignment_count() == 1
+
+    def test_threshold_suppresses_small_gaps(self, paper_problem):
+        tolerant = DynamicReassigner(paper_problem, threshold=1e6)
+        drift = ProfileDrift(host_factors={"CRU1": 1.5})
+        decision = tolerant.step(drift)
+        assert not decision.reassigned
+
+    def test_history_accumulates(self, paper_problem):
+        controller = DynamicReassigner(paper_problem, threshold=0.1)
+        controller.step()
+        controller.step(ProfileDrift(host_factors={"CRU4": 2.0}))
+        assert len(controller.history) == 2
+
+    def test_negative_threshold_rejected(self, paper_problem):
+        with pytest.raises(ValueError):
+            DynamicReassigner(paper_problem, threshold=-0.1)
+
+    def test_deployed_assignment_tracks_reassignments(self, healthcare_problem):
+        controller = DynamicReassigner(healthcare_problem, threshold=0.01)
+        before = controller.deployed
+        drift = ProfileDrift(host_factors={c: 50.0 for c in before.host_crus()})
+        decision = controller.step(drift)
+        if decision.reassigned:
+            assert controller.deployed.placement == decision.assignment.placement

@@ -1,0 +1,68 @@
+"""Unit tests for Bellman-Ford (and agreement with Dijkstra)."""
+
+import pytest
+
+from repro.graphs import DiGraph, bellman_ford, bellman_ford_path, dijkstra
+from repro.graphs.bellman_ford import NegativeCycleError
+from repro.workloads.generators import random_dwg
+from repro.core.dwg import SIGMA_ATTR
+
+
+class TestBasics:
+    def test_simple_distances(self):
+        g = DiGraph()
+        g.add_edge("s", "a", weight=2.0)
+        g.add_edge("a", "t", weight=3.0)
+        dist, _ = bellman_ford(g, "s")
+        assert dist["t"] == pytest.approx(5.0)
+
+    def test_handles_negative_edges(self):
+        g = DiGraph()
+        g.add_edge("s", "a", weight=5.0)
+        g.add_edge("s", "b", weight=2.0)
+        g.add_edge("b", "a", weight=-4.0)
+        dist, _ = bellman_ford(g, "s")
+        assert dist["a"] == pytest.approx(-2.0)
+
+    def test_negative_cycle_detected(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "a", weight=-3.0)
+        with pytest.raises(NegativeCycleError):
+            bellman_ford(g, "a")
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            bellman_ford(DiGraph(), "x")
+
+    def test_path_reconstruction(self):
+        g = DiGraph()
+        g.add_edge("s", "a", weight=1.0)
+        g.add_edge("a", "t", weight=1.0)
+        g.add_edge("s", "t", weight=5.0)
+        p = bellman_ford_path(g, "s", "t")
+        assert p.nodes == ("s", "a", "t")
+
+    def test_path_unreachable_is_none(self):
+        g = DiGraph()
+        g.add_node("s")
+        g.add_node("t")
+        assert bellman_ford_path(g, "s", "t") is None
+
+    def test_path_trivial(self):
+        g = DiGraph()
+        g.add_node("s")
+        p = bellman_ford_path(g, "s", "s")
+        assert len(p) == 0
+
+
+class TestAgreementWithDijkstra:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_distances_on_random_dags(self, seed):
+        dwg = random_dwg(n_nodes=12, extra_edges=25, seed=seed)
+        g = dwg.graph
+        d_dij, _ = dijkstra(g, dwg.source, weight=SIGMA_ATTR)
+        d_bf, _ = bellman_ford(g, dwg.source, weight=SIGMA_ATTR)
+        assert set(d_dij) == set(d_bf)
+        for node in d_dij:
+            assert d_dij[node] == pytest.approx(d_bf[node])

@@ -1,0 +1,74 @@
+"""Unit tests for reachability, components and topological order."""
+
+import pytest
+
+from repro.graphs import DiGraph, is_connected_st, reachable_from, weakly_connected_components
+from repro.graphs.connectivity import is_dag, topological_order
+
+
+def two_islands():
+    g = DiGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("x", "y")
+    return g
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = two_islands()
+        assert reachable_from(g, "a") == {"a", "b", "c"}
+        assert reachable_from(g, "x") == {"x", "y"}
+
+    def test_reachable_respects_direction(self):
+        g = two_islands()
+        assert reachable_from(g, "c") == {"c"}
+
+    def test_reachable_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            reachable_from(DiGraph(), "nope")
+
+    def test_is_connected_st(self):
+        g = two_islands()
+        assert is_connected_st(g, "a", "c")
+        assert not is_connected_st(g, "a", "y")
+        assert not is_connected_st(g, "a", "missing")
+
+
+class TestComponents:
+    def test_weak_components(self):
+        comps = weakly_connected_components(two_islands())
+        assert sorted(sorted(c) for c in comps) == [["a", "b", "c"], ["x", "y"]]
+
+    def test_single_component_when_connected(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 2)
+        assert len(weakly_connected_components(g)) == 1
+
+    def test_empty_graph(self):
+        assert weakly_connected_components(DiGraph()) == []
+
+
+class TestTopologicalOrder:
+    def test_order_respects_edges(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("a", "c")
+        order = topological_order(g)
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_raises(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    def test_is_dag(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert is_dag(g)
+        g.add_edge("b", "a")
+        assert not is_dag(g)

@@ -1,0 +1,130 @@
+"""Unit tests for the directed multigraph substrate."""
+
+import pytest
+
+from repro.graphs import DiGraph
+
+
+def build_triangle():
+    g = DiGraph()
+    e1 = g.add_edge("a", "b", weight=1.0)
+    e2 = g.add_edge("b", "c", weight=2.0)
+    e3 = g.add_edge("a", "c", weight=5.0)
+    return g, (e1, e2, e3)
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.number_of_nodes() == 1
+
+    def test_has_node(self):
+        g = DiGraph()
+        g.add_node("x")
+        assert g.has_node("x")
+        assert not g.has_node("y")
+
+    def test_contains_and_len(self):
+        g, _ = build_triangle()
+        assert "a" in g and "z" not in g
+        assert len(g) == 3
+
+    def test_remove_node_removes_incident_edges(self):
+        g, _ = build_triangle()
+        g.remove_node("b")
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 1   # only a->c remains
+        assert [e.head for e in g.out_edges("a")] == ["c"]
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(KeyError):
+            g.remove_node("nope")
+
+
+class TestEdges:
+    def test_add_edge_creates_nodes(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_parallel_edges_have_distinct_keys(self):
+        g = DiGraph()
+        e1 = g.add_edge("a", "b", weight=1)
+        e2 = g.add_edge("a", "b", weight=2)
+        assert e1.key != e2.key
+        assert len(g.edges_between("a", "b")) == 2
+
+    def test_edge_lookup_by_key(self):
+        g, (e1, _, _) = build_triangle()
+        assert g.edge(e1.key) is e1 or g.edge(e1.key).data == e1.data
+
+    def test_edge_data_access(self):
+        g = DiGraph()
+        e = g.add_edge("a", "b", weight=3.5, color="red")
+        assert e["weight"] == 3.5
+        assert e.get("color") == "red"
+        assert e.get("missing", 7) == 7
+
+    def test_remove_edge(self):
+        g, (e1, e2, e3) = build_triangle()
+        removed = g.remove_edge(e2.key)
+        assert removed.endpoints() == ("b", "c")
+        assert g.number_of_edges() == 2
+        assert not g.has_edge(e2.key)
+
+    def test_remove_edges_bulk(self):
+        g, (e1, e2, e3) = build_triangle()
+        g.remove_edges([e1.key, e3.key])
+        assert g.number_of_edges() == 1
+
+    def test_remove_missing_edge_raises(self):
+        g, _ = build_triangle()
+        with pytest.raises(KeyError):
+            g.remove_edge(999)
+
+
+class TestAdjacency:
+    def test_out_edges_and_successors(self):
+        g, _ = build_triangle()
+        assert sorted(g.successors("a")) == ["b", "c"]
+        assert g.out_degree("a") == 2
+
+    def test_in_edges_and_predecessors(self):
+        g, _ = build_triangle()
+        assert sorted(g.predecessors("c")) == ["a", "b"]
+        assert g.in_degree("c") == 2
+
+    def test_out_edges_unknown_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(KeyError):
+            g.out_edges("missing")
+
+
+class TestCopyAndSubgraph:
+    def test_copy_is_independent(self):
+        g, (e1, _, _) = build_triangle()
+        h = g.copy()
+        h.remove_edge(e1.key)
+        assert g.has_edge(e1.key)
+        assert not h.has_edge(e1.key)
+
+    def test_copy_preserves_edge_keys_and_data(self):
+        g, (e1, _, _) = build_triangle()
+        h = g.copy()
+        assert h.edge(e1.key).data == e1.data
+
+    def test_copy_generates_fresh_keys_after_copy(self):
+        g, _ = build_triangle()
+        h = g.copy()
+        new_edge = h.add_edge("c", "a")
+        assert not g.has_edge(new_edge.key)
+
+    def test_subgraph_keeps_only_induced_edges(self):
+        g, _ = build_triangle()
+        sub = g.subgraph(["a", "b"])
+        assert sub.number_of_nodes() == 2
+        assert sub.number_of_edges() == 1
+        assert sub.edges()[0].endpoints() == ("a", "b")

@@ -1,0 +1,84 @@
+"""Unit tests for Dijkstra shortest paths."""
+
+import pytest
+
+from repro.graphs import DiGraph, dijkstra, shortest_path
+from repro.graphs.dijkstra import shortest_path_length
+
+
+def diamond():
+    g = DiGraph()
+    g.add_edge("s", "a", weight=1.0)
+    g.add_edge("s", "b", weight=4.0)
+    g.add_edge("a", "b", weight=2.0)
+    g.add_edge("a", "t", weight=6.0)
+    g.add_edge("b", "t", weight=1.0)
+    return g
+
+
+class TestDistances:
+    def test_distances(self):
+        dist, _ = dijkstra(diamond(), "s")
+        assert dist == pytest.approx({"s": 0.0, "a": 1.0, "b": 3.0, "t": 4.0})
+
+    def test_unreachable_nodes_absent(self):
+        g = diamond()
+        g.add_node("island")
+        dist, _ = dijkstra(g, "s")
+        assert "island" not in dist
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            dijkstra(diamond(), "nope")
+
+    def test_negative_weight_raises(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=-1.0)
+        with pytest.raises(ValueError):
+            dijkstra(g, "a")
+
+    def test_early_exit_with_target(self):
+        dist, _ = dijkstra(diamond(), "s", target="a")
+        assert dist["a"] == pytest.approx(1.0)
+
+
+class TestShortestPath:
+    def test_path_nodes(self):
+        p = shortest_path(diamond(), "s", "t")
+        assert p is not None
+        assert p.nodes == ("s", "a", "b", "t")
+        assert p.total(lambda e: e["weight"]) == pytest.approx(4.0)
+
+    def test_path_unreachable_returns_none(self):
+        g = diamond()
+        g.add_node("island")
+        assert shortest_path(g, "s", "island") is None
+
+    def test_path_source_equals_target(self):
+        p = shortest_path(diamond(), "s", "s")
+        assert p is not None and len(p) == 0
+
+    def test_length_helper(self):
+        assert shortest_path_length(diamond(), "s", "t") == pytest.approx(4.0)
+        g = diamond()
+        g.add_node("island")
+        assert shortest_path_length(g, "s", "island") is None
+
+    def test_callable_weight(self):
+        g = diamond()
+        p = shortest_path(g, "s", "t", weight=lambda e: 1.0)
+        assert p is not None
+        assert len(p) == 2  # fewest hops: s->b->t or s->a->t
+
+    def test_parallel_edges_pick_cheapest(self):
+        g = DiGraph()
+        g.add_edge("s", "t", weight=5.0)
+        cheap = g.add_edge("s", "t", weight=1.0)
+        p = shortest_path(g, "s", "t")
+        assert p.edges[0].key == cheap.key
+
+    def test_zero_weight_edges(self):
+        g = DiGraph()
+        g.add_edge("s", "a", weight=0.0)
+        g.add_edge("a", "t", weight=0.0)
+        assert shortest_path_length(g, "s", "t") == pytest.approx(0.0)

@@ -1,0 +1,70 @@
+"""Unit tests for exhaustive DAG path enumeration."""
+
+import pytest
+
+from repro.core.assignment_graph import build_assignment_graph
+from repro.core.dwg import SIGMA_ATTR
+from repro.graphs import DiGraph, count_st_paths_dag, iter_st_paths_dag, iter_paths_by_weight
+from repro.baselines.brute_force import count_feasible_assignments
+from repro.workloads import paper_example_problem, random_problem
+
+
+def diamond():
+    g = DiGraph()
+    g.add_edge("s", "a")
+    g.add_edge("s", "b")
+    g.add_edge("a", "t")
+    g.add_edge("b", "t")
+    g.add_edge("s", "t")
+    return g
+
+
+class TestEnumeration:
+    def test_diamond_has_three_paths(self):
+        paths = list(iter_st_paths_dag(diamond(), "s", "t"))
+        assert len(paths) == 3
+        assert count_st_paths_dag(diamond(), "s", "t") == 3
+
+    def test_every_path_is_simple_and_distinct(self):
+        paths = list(iter_st_paths_dag(diamond(), "s", "t"))
+        keys = {p.edge_keys() for p in paths}
+        assert len(keys) == len(paths)
+        assert all(p.is_simple() for p in paths)
+
+    def test_parallel_edges_count_separately(self):
+        g = DiGraph()
+        g.add_edge("s", "t")
+        g.add_edge("s", "t")
+        assert count_st_paths_dag(g, "s", "t") == 2
+        assert len(list(iter_st_paths_dag(g, "s", "t"))) == 2
+
+    def test_unreachable_target_yields_nothing(self):
+        g = DiGraph()
+        g.add_node("s")
+        g.add_node("t")
+        assert list(iter_st_paths_dag(g, "s", "t")) == []
+        assert count_st_paths_dag(g, "s", "t") == 0
+
+    def test_source_equals_target(self):
+        g = DiGraph()
+        g.add_node("s")
+        paths = list(iter_st_paths_dag(g, "s", "s"))
+        assert len(paths) == 1 and len(paths[0]) == 0
+
+    def test_missing_nodes(self):
+        assert list(iter_st_paths_dag(DiGraph(), "s", "t")) == []
+
+    def test_agrees_with_yen_enumeration(self):
+        graph = build_assignment_graph(random_problem(n_processing=7, n_satellites=3,
+                                                      seed=5, sensor_scatter=0.5))
+        dag_paths = list(iter_st_paths_dag(graph.dwg.graph, graph.dwg.source,
+                                           graph.dwg.target))
+        yen_paths = list(iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                              graph.dwg.target, weight=SIGMA_ATTR))
+        assert len(dag_paths) == len(yen_paths)
+        assert {p.edge_keys() for p in dag_paths} == {p.edge_keys() for p in yen_paths}
+
+    def test_count_matches_feasible_assignments_on_the_paper_instance(self, paper_problem):
+        graph = build_assignment_graph(paper_problem)
+        assert count_st_paths_dag(graph.dwg.graph, graph.dwg.source, graph.dwg.target) \
+            == count_feasible_assignments(paper_problem)

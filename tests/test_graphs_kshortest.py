@@ -1,0 +1,100 @@
+"""Unit tests for the k-shortest-path enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import DiGraph, k_shortest_paths, iter_paths_by_weight, shortest_path
+from repro.workloads.generators import random_dwg
+from repro.core.dwg import SIGMA_ATTR
+
+
+def small_dag():
+    g = DiGraph()
+    g.add_edge("s", "a", weight=1.0)
+    g.add_edge("s", "b", weight=2.0)
+    g.add_edge("a", "t", weight=1.0)
+    g.add_edge("b", "t", weight=1.0)
+    g.add_edge("a", "b", weight=0.5)
+    return g
+
+
+def brute_force_paths(graph, source, target, weight="weight"):
+    """Enumerate all simple paths by DFS and sort by weight (oracle)."""
+    results = []
+
+    def dfs(node, visited, edges_so_far):
+        if node == target and edges_so_far:
+            results.append(tuple(edges_so_far))
+            return
+        for edge in graph.out_edges(node):
+            if edge.head in visited:
+                continue
+            dfs(edge.head, visited | {edge.head}, edges_so_far + [edge])
+
+    dfs(source, {source}, [])
+    return sorted(results, key=lambda es: sum(e[weight] for e in es))
+
+
+class TestEnumeration:
+    def test_first_path_is_shortest(self):
+        g = small_dag()
+        first = next(iter_paths_by_weight(g, "s", "t"))
+        reference = shortest_path(g, "s", "t")
+        assert first.total(lambda e: e["weight"]) == pytest.approx(
+            reference.total(lambda e: e["weight"]))
+
+    def test_orders_are_non_decreasing(self):
+        g = small_dag()
+        weights = [p.total(lambda e: e["weight"])
+                   for p in iter_paths_by_weight(g, "s", "t")]
+        assert weights == sorted(weights)
+
+    def test_enumerates_all_simple_paths(self):
+        g = small_dag()
+        expected = brute_force_paths(g, "s", "t")
+        got = list(iter_paths_by_weight(g, "s", "t"))
+        assert len(got) == len(expected)
+        # every yielded path is simple and distinct
+        keys = {p.edge_keys() for p in got}
+        assert len(keys) == len(got)
+
+    def test_max_paths_cap(self):
+        g = small_dag()
+        got = list(iter_paths_by_weight(g, "s", "t", max_paths=2))
+        assert len(got) == 2
+
+    def test_k_shortest_k_zero(self):
+        assert k_shortest_paths(small_dag(), "s", "t", 0) == []
+
+    def test_k_larger_than_path_count(self):
+        g = small_dag()
+        expected = brute_force_paths(g, "s", "t")
+        got = k_shortest_paths(g, "s", "t", 100)
+        assert len(got) == len(expected)
+
+    def test_disconnected_yields_nothing(self):
+        g = DiGraph()
+        g.add_node("s")
+        g.add_node("t")
+        assert list(iter_paths_by_weight(g, "s", "t")) == []
+
+    def test_parallel_edges_counted_separately(self):
+        g = DiGraph()
+        g.add_edge("s", "t", weight=1.0)
+        g.add_edge("s", "t", weight=2.0)
+        got = k_shortest_paths(g, "s", "t", 5)
+        assert len(got) == 2
+        assert got[0].total(lambda e: e["weight"]) == pytest.approx(1.0)
+        assert got[1].total(lambda e: e["weight"]) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force_on_random_dags(self, seed):
+        dwg = random_dwg(n_nodes=7, extra_edges=8, seed=seed)
+        g = dwg.graph
+        expected = brute_force_paths(g, dwg.source, dwg.target, weight=SIGMA_ATTR)
+        got = list(iter_paths_by_weight(g, dwg.source, dwg.target, weight=SIGMA_ATTR))
+        assert len(got) == len(expected)
+        got_weights = [p.total(lambda e: e[SIGMA_ATTR]) for p in got]
+        exp_weights = [sum(e[SIGMA_ATTR] for e in es) for es in expected]
+        assert got_weights == pytest.approx(exp_weights)

@@ -1,0 +1,105 @@
+"""Unit tests for path value objects."""
+
+import pytest
+
+from repro.graphs import DiGraph, Path
+
+
+def chain_graph(n=4):
+    g = DiGraph()
+    edges = []
+    for i in range(n - 1):
+        edges.append(g.add_edge(i, i + 1, weight=float(i + 1)))
+    return g, edges
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        _, edges = chain_graph()
+        p = Path.from_edges(edges)
+        assert p.source == 0 and p.target == 3
+        assert p.nodes == (0, 1, 2, 3)
+
+    def test_from_edges_empty_raises(self):
+        with pytest.raises(ValueError):
+            Path.from_edges([])
+
+    def test_empty_path(self):
+        p = Path.empty("x")
+        assert len(p) == 0
+        assert p.nodes == ("x",)
+        assert p.maximum(lambda e: 1.0) == 0.0
+
+    def test_empty_path_source_target_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Path(source="a", target="b", edges=())
+
+    def test_non_contiguous_edges_raise(self):
+        g = DiGraph()
+        e1 = g.add_edge("a", "b")
+        e2 = g.add_edge("c", "d")
+        with pytest.raises(ValueError):
+            Path(source="a", target="d", edges=(e1, e2))
+
+    def test_wrong_source_raises(self):
+        g = DiGraph()
+        e1 = g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            Path(source="x", target="b", edges=(e1,))
+
+
+class TestAccessors:
+    def test_edge_keys_and_len(self):
+        _, edges = chain_graph()
+        p = Path.from_edges(edges)
+        assert len(p) == 3
+        assert p.edge_keys() == tuple(e.key for e in edges)
+
+    def test_iteration_and_contains(self):
+        _, edges = chain_graph()
+        p = Path.from_edges(edges)
+        assert list(p) == list(edges)
+        assert edges[0] in p
+
+    def test_is_simple(self):
+        g = DiGraph()
+        e1 = g.add_edge("a", "b")
+        e2 = g.add_edge("b", "a")
+        e3 = g.add_edge("a", "c")
+        loop = Path.from_edges([e1, e2, e3])
+        assert not loop.is_simple()
+        assert Path.from_edges([e1]).is_simple()
+
+
+class TestArithmetic:
+    def test_total_and_maximum(self):
+        _, edges = chain_graph()
+        p = Path.from_edges(edges)
+        assert p.total(lambda e: e["weight"]) == pytest.approx(6.0)
+        assert p.maximum(lambda e: e["weight"]) == pytest.approx(3.0)
+
+    def test_concat(self):
+        _, edges = chain_graph()
+        first = Path.from_edges(edges[:1])
+        rest = Path.from_edges(edges[1:])
+        combined = first.concat(rest)
+        assert combined.nodes == (0, 1, 2, 3)
+
+    def test_concat_mismatch_raises(self):
+        _, edges = chain_graph()
+        first = Path.from_edges(edges[:1])
+        with pytest.raises(ValueError):
+            first.concat(first)
+
+    def test_prefix(self):
+        _, edges = chain_graph()
+        p = Path.from_edges(edges)
+        pre = p.prefix(2)
+        assert pre.nodes == (0, 1, 2)
+        assert p.prefix(0).nodes == (0,)
+
+    def test_prefix_out_of_range_raises(self):
+        _, edges = chain_graph()
+        p = Path.from_edges(edges)
+        with pytest.raises(ValueError):
+            p.prefix(10)

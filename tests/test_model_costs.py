@@ -1,0 +1,68 @@
+"""Unit tests for the communication cost model."""
+
+import pytest
+
+from repro.model import CRU, CRUTree, CommunicationCostModel, Host, HostSatelliteSystem, Link, Satellite
+
+
+def tree_and_system():
+    tree = CRUTree(CRU("root"))
+    tree.add_processing("root", "mid")
+    tree.add_sensor("mid", "s1", output_frame_bytes=1000)
+    system = HostSatelliteSystem(Host())
+    system.add_satellite(Satellite("sat"), Link("sat", latency_s=0.1,
+                                                bandwidth_bytes_per_s=1000))
+    return tree, system
+
+
+class TestExplicitCosts:
+    def test_set_and_get(self):
+        model = CommunicationCostModel()
+        model.set_cost("child", "parent", 0.7)
+        assert model.cost("child", "parent") == pytest.approx(0.7)
+        assert model.has_cost("child", "parent")
+        assert len(model) == 1
+
+    def test_default_for_missing(self):
+        model = CommunicationCostModel()
+        assert model.cost("a", "b") == 0.0
+        assert model.cost("a", "b", default=9.0) == pytest.approx(9.0)
+
+    def test_negative_rejected(self):
+        model = CommunicationCostModel()
+        with pytest.raises(ValueError):
+            model.set_cost("a", "b", -0.5)
+        with pytest.raises(ValueError):
+            CommunicationCostModel({("a", "b"): -1.0})
+
+    def test_constructor_mapping(self):
+        model = CommunicationCostModel({("a", "b"): 1.0})
+        assert model.cost("a", "b") == pytest.approx(1.0)
+
+    def test_costs_returns_copy(self):
+        model = CommunicationCostModel({("a", "b"): 1.0})
+        model.costs()[("a", "b")] = 5.0
+        assert model.cost("a", "b") == pytest.approx(1.0)
+
+
+class TestDerivedCosts:
+    def test_from_frame_sizes(self):
+        tree, system = tree_and_system()
+        model = CommunicationCostModel.from_frame_sizes(
+            tree, system, correspondent_satellite={"mid": "sat", "s1": "sat"})
+        # sensor frame of 1000 bytes over 1000 B/s + 0.1 s latency
+        assert model.cost("s1", "mid") == pytest.approx(1.1)
+        # "mid" has no declared frame size -> latency only
+        assert model.cost("mid", "root") == pytest.approx(0.1)
+
+    def test_from_frame_sizes_unattached_edges_are_free(self):
+        tree, system = tree_and_system()
+        model = CommunicationCostModel.from_frame_sizes(tree, system,
+                                                        correspondent_satellite={})
+        assert model.cost("mid", "root") == 0.0
+
+    def test_uniform(self):
+        tree, _ = tree_and_system()
+        model = CommunicationCostModel.uniform(tree, 0.25)
+        for parent, child in tree.edges():
+            assert model.cost(child, parent) == pytest.approx(0.25)

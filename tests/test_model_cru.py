@@ -1,0 +1,119 @@
+"""Unit tests for CRUs and CRU trees."""
+
+import pytest
+
+from repro.model import CRU, CRUTree
+from repro.model.cru import PROCESSING_KIND, SENSOR_KIND
+
+
+def small_tree():
+    tree = CRUTree(CRU("root"))
+    tree.add_processing("root", "left")
+    tree.add_processing("root", "right")
+    tree.add_sensor("left", "s1")
+    tree.add_sensor("left", "s2")
+    tree.add_sensor("right", "s3")
+    return tree
+
+
+class TestCRU:
+    def test_defaults(self):
+        cru = CRU("x")
+        assert cru.is_processing and not cru.is_sensor
+
+    def test_sensor_kind(self):
+        cru = CRU("s", SENSOR_KIND)
+        assert cru.is_sensor
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ValueError):
+            CRU("x", "weird")
+
+    def test_empty_id_raises(self):
+        with pytest.raises(ValueError):
+            CRU("")
+
+    def test_negative_frame_raises(self):
+        with pytest.raises(ValueError):
+            CRU("x", output_frame_bytes=-1)
+
+
+class TestTreeBuilding:
+    def test_root_must_be_processing(self):
+        with pytest.raises(ValueError):
+            CRUTree(CRU("s", SENSOR_KIND))
+
+    def test_add_and_query(self):
+        tree = small_tree()
+        assert tree.root_id == "root"
+        assert tree.parent_id("s1") == "left"
+        assert tree.children_ids("root") == ["left", "right"]
+        assert tree.number_of_crus() == 6
+
+    def test_duplicate_id_raises(self):
+        tree = small_tree()
+        with pytest.raises(ValueError):
+            tree.add_processing("root", "left")
+
+    def test_unknown_parent_raises(self):
+        tree = small_tree()
+        with pytest.raises(KeyError):
+            tree.add_processing("nope", "x")
+
+    def test_sensor_cannot_have_children(self):
+        tree = small_tree()
+        with pytest.raises(ValueError):
+            tree.add_processing("s1", "child-of-sensor")
+
+
+class TestTreeQueries:
+    def test_sensor_and_processing_ids(self):
+        tree = small_tree()
+        assert tree.sensor_ids() == ["s1", "s2", "s3"]
+        assert tree.processing_ids() == ["root", "left", "right"]
+
+    def test_subtree_ids(self):
+        tree = small_tree()
+        assert tree.subtree_ids("left") == ["left", "s1", "s2"]
+        assert tree.subtree_sensor_ids("left") == ["s1", "s2"]
+        assert tree.subtree_processing_ids("left") == ["left"]
+
+    def test_edges_in_preorder_of_child(self):
+        tree = small_tree()
+        assert tree.edges()[0] == ("root", "left")
+        assert len(tree.edges()) == 5
+
+    def test_ancestors_and_lca(self):
+        tree = small_tree()
+        assert tree.ancestors("s1") == ["left", "root"]
+        assert tree.lca("s1", "s3") == "root"
+
+    def test_leftmost_child(self):
+        tree = small_tree()
+        assert tree.leftmost_child_id("root") == "left"
+        assert tree.leftmost_child_id("s1") is None
+
+    def test_depth_and_height(self):
+        tree = small_tree()
+        assert tree.depth("s1") == 2
+        assert tree.height() == 2
+
+    def test_contains_and_len(self):
+        tree = small_tree()
+        assert "s1" in tree and "zzz" not in tree
+        assert len(tree) == 6
+
+    def test_ascii_marks_sensors(self):
+        art = small_tree().to_ascii()
+        assert "s1*" in art
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_tree_without_sensors_fails(self):
+        tree = CRUTree(CRU("root"))
+        tree.add_processing("root", "only-child")
+        with pytest.raises(ValueError):
+            tree.validate()

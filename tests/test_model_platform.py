@@ -1,0 +1,101 @@
+"""Unit tests for the host-satellites platform model."""
+
+import pytest
+
+from repro.model import Host, HostSatelliteSystem, Link, Satellite
+
+
+class TestHostAndSatellite:
+    def test_host_defaults(self):
+        host = Host()
+        assert host.host_id == "host" and host.speed_factor == 1.0
+
+    def test_host_speed_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Host(speed_factor=0.0)
+
+    def test_satellite_requires_id(self):
+        with pytest.raises(ValueError):
+            Satellite("")
+
+    def test_satellite_speed_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Satellite("s", speed_factor=-1)
+
+
+class TestLink:
+    def test_transfer_time_with_bandwidth(self):
+        link = Link("s", latency_s=0.1, bandwidth_bytes_per_s=1000)
+        assert link.transfer_time(500) == pytest.approx(0.1 + 0.5)
+
+    def test_transfer_time_infinite_bandwidth(self):
+        link = Link("s", latency_s=0.2)
+        assert link.transfer_time(10_000) == pytest.approx(0.2)
+
+    def test_negative_latency_raises(self):
+        with pytest.raises(ValueError):
+            Link("s", latency_s=-0.1)
+
+    def test_nonpositive_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            Link("s", bandwidth_bytes_per_s=0)
+
+    def test_negative_frame_raises(self):
+        with pytest.raises(ValueError):
+            Link("s").transfer_time(-1)
+
+
+class TestSystem:
+    def test_add_and_query(self):
+        system = HostSatelliteSystem()
+        system.add_simple_satellite("a")
+        system.add_simple_satellite("b", latency_s=0.5)
+        assert system.satellite_ids() == ["a", "b"]
+        assert system.number_of_satellites() == 2
+        assert system.link("b").latency_s == pytest.approx(0.5)
+        assert "a" in system and len(system) == 2
+
+    def test_default_colours_are_unique(self):
+        system = HostSatelliteSystem()
+        for i in range(6):
+            system.add_simple_satellite(f"s{i}")
+        colors = [system.color_of(f"s{i}") for i in range(6)]
+        assert len(set(colors)) == 6
+        assert colors[0] == "red"  # Figure-5 palette starts with Red
+
+    def test_explicit_colour_preserved(self):
+        system = HostSatelliteSystem()
+        system.add_satellite(Satellite("s", color="teal"))
+        assert system.color_of("s") == "teal"
+
+    def test_duplicate_satellite_raises(self):
+        system = HostSatelliteSystem()
+        system.add_simple_satellite("a")
+        with pytest.raises(ValueError):
+            system.add_simple_satellite("a")
+
+    def test_satellite_id_cannot_collide_with_host(self):
+        system = HostSatelliteSystem(Host(host_id="hub"))
+        with pytest.raises(ValueError):
+            system.add_simple_satellite("hub")
+
+    def test_mismatched_link_raises(self):
+        system = HostSatelliteSystem()
+        with pytest.raises(ValueError):
+            system.add_satellite(Satellite("a"), Link("b"))
+
+    def test_device_ids_starts_with_host(self):
+        system = HostSatelliteSystem()
+        system.add_simple_satellite("a")
+        assert system.device_ids()[0] == "host"
+
+    def test_validate_requires_a_satellite(self):
+        with pytest.raises(ValueError):
+            HostSatelliteSystem().validate()
+
+    def test_validate_requires_unique_colours(self):
+        system = HostSatelliteSystem()
+        system.add_satellite(Satellite("a", color="red"))
+        system.add_satellite(Satellite("b", color="red"))
+        with pytest.raises(ValueError):
+            system.validate()

@@ -1,0 +1,74 @@
+"""Unit tests for AssignmentProblem derived quantities."""
+
+import pytest
+
+from repro.workloads import paper_example_problem
+
+
+class TestAccessors:
+    def test_timing_accessors(self, paper_problem):
+        assert paper_problem.host_time("CRU1") > 0
+        assert paper_problem.satellite_time("CRU9") > 0
+        assert paper_problem.comm_cost("CRU9", "CRU4") > 0
+        assert paper_problem.host_time("sR1") == 0.0
+
+    def test_satellite_of_sensor(self, paper_problem):
+        assert paper_problem.satellite_of_sensor("sR1") == "R"
+        assert paper_problem.satellite_of_sensor("sB3") == "B"
+
+    def test_color_of_satellite(self, paper_problem):
+        assert paper_problem.color_of_satellite("R") == "red"
+        assert paper_problem.color_of_satellite("G") == "green"
+
+    def test_summary_mentions_counts(self, paper_problem):
+        text = paper_problem.summary()
+        assert "13 processing" in text
+        assert "8 sensors" in text
+
+
+class TestCorrespondentSatellites:
+    def test_single_satellite_subtrees(self, paper_problem):
+        corr = paper_problem.correspondent_satellites()
+        assert corr["CRU4"] == "R"
+        assert corr["CRU9"] == "R"
+        assert corr["CRU5"] == "B"
+        assert corr["CRU13"] == "B"
+        assert corr["CRU11"] == "Y"
+        assert corr["CRU7"] == "G"
+
+    def test_multi_satellite_subtrees_have_none(self, paper_problem):
+        corr = paper_problem.correspondent_satellites()
+        assert corr["CRU1"] is None
+        assert corr["CRU2"] is None
+        assert corr["CRU3"] is None
+
+    def test_sensors_map_to_their_satellite(self, paper_problem):
+        corr = paper_problem.correspondent_satellites()
+        assert corr["sY1"] == "Y"
+        assert corr["sG2"] == "G"
+
+    def test_satellites_under(self, paper_problem):
+        assert paper_problem.satellites_under("CRU2") == {"R", "B", "Y"}
+        assert paper_problem.satellites_under("CRU3") == {"B", "G"}
+        assert paper_problem.satellites_under("CRU13") == {"B"}
+
+    def test_cache_invalidation(self, paper_problem):
+        first = paper_problem.correspondent_satellites()
+        paper_problem.invalidate_caches()
+        second = paper_problem.correspondent_satellites()
+        assert first == second
+
+
+class TestScenariosAreValid:
+    def test_paper_problem_valid(self, paper_problem):
+        paper_problem.validate()
+
+    def test_healthcare_valid(self, healthcare_problem):
+        healthcare_problem.validate()
+
+    def test_snmp_valid(self, snmp_problem):
+        snmp_problem.validate()
+
+    def test_random_problems_valid(self, small_random_problem, clustered_random_problem):
+        small_random_problem.validate()
+        clustered_random_problem.validate()

@@ -1,0 +1,88 @@
+"""Unit tests for execution profiles and workload-derived profiles."""
+
+import pytest
+
+from repro.model import CRU, CRUTree, ExecutionProfile, Host, HostSatelliteSystem, Satellite
+from repro.model.profiles import DeviceSpeedModel, profile_from_workload
+
+
+class TestExecutionProfile:
+    def test_defaults_to_zero(self):
+        profile = ExecutionProfile()
+        assert profile.host_time("anything") == 0.0
+        assert profile.satellite_time("anything") == 0.0
+
+    def test_set_and_get(self):
+        profile = ExecutionProfile()
+        profile.set_times("x", 1.5, 3.0)
+        assert profile.host_time("x") == pytest.approx(1.5)
+        assert profile.satellite_time("x") == pytest.approx(3.0)
+
+    def test_negative_values_rejected(self):
+        profile = ExecutionProfile()
+        with pytest.raises(ValueError):
+            profile.set_host_time("x", -1)
+        with pytest.raises(ValueError):
+            profile.set_satellite_time("x", -1)
+        with pytest.raises(ValueError):
+            ExecutionProfile(host_times={"x": -1})
+
+    def test_totals(self):
+        profile = ExecutionProfile(host_times={"a": 1.0, "b": 2.0},
+                                   satellite_times={"a": 3.0})
+        assert profile.total_host_time(["a", "b", "c"]) == pytest.approx(3.0)
+        assert profile.total_satellite_time(["a", "b"]) == pytest.approx(3.0)
+
+    def test_dict_accessors_are_copies(self):
+        profile = ExecutionProfile(host_times={"a": 1.0})
+        profile.host_times()["a"] = 99.0
+        assert profile.host_time("a") == pytest.approx(1.0)
+
+
+class TestDeviceSpeedModel:
+    def test_conversion(self):
+        model = DeviceSpeedModel()
+        assert model.host_time(6.0, host_speed=3.0) == pytest.approx(2.0)
+        assert model.satellite_time(6.0, satellite_speed=1.5) == pytest.approx(4.0)
+
+    def test_negative_workload_rejected(self):
+        model = DeviceSpeedModel()
+        with pytest.raises(ValueError):
+            model.host_time(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.satellite_time(-1.0, 1.0)
+
+
+class TestProfileFromWorkload:
+    def _setup(self):
+        tree = CRUTree(CRU("root"))
+        tree.add_processing("root", "child")
+        tree.add_sensor("child", "s1")
+        system = HostSatelliteSystem(Host(speed_factor=4.0))
+        system.add_satellite(Satellite("sat", speed_factor=2.0))
+        return tree, system
+
+    def test_derivation(self):
+        tree, system = self._setup()
+        profile = profile_from_workload(
+            tree, system,
+            workloads={"root": 8.0, "child": 4.0},
+            correspondent_satellite={"child": "sat"})
+        assert profile.host_time("root") == pytest.approx(2.0)
+        assert profile.host_time("child") == pytest.approx(1.0)
+        assert profile.satellite_time("child") == pytest.approx(2.0)
+        # no correspondent satellite -> satellite time defaults to 0
+        assert profile.satellite_time("root") == 0.0
+
+    def test_sensors_get_zero_times(self):
+        tree, system = self._setup()
+        profile = profile_from_workload(tree, system, workloads={},
+                                        correspondent_satellite={})
+        assert profile.host_time("s1") == 0.0
+        assert profile.satellite_time("s1") == 0.0
+
+    def test_missing_workload_uses_default(self):
+        tree, system = self._setup()
+        profile = profile_from_workload(tree, system, workloads={},
+                                        correspondent_satellite={"child": "sat"})
+        assert profile.host_time("child") == pytest.approx(1.0 / 4.0)

@@ -1,0 +1,79 @@
+"""Unit tests for JSON/dict round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.solver import solve
+from repro.model.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    problem_from_dict,
+    problem_from_json,
+    problem_to_dict,
+    problem_to_json,
+)
+from repro.workloads import paper_example_problem, snmp_scenario
+
+
+class TestProblemRoundTrip:
+    def test_round_trip_preserves_structure(self, paper_problem):
+        data = problem_to_dict(paper_problem)
+        rebuilt = problem_from_dict(data)
+        assert rebuilt.tree.cru_ids() == paper_problem.tree.cru_ids()
+        assert rebuilt.system.satellite_ids() == paper_problem.system.satellite_ids()
+        assert rebuilt.sensor_attachment == paper_problem.sensor_attachment
+        assert rebuilt.name == paper_problem.name
+
+    def test_round_trip_preserves_child_order(self, paper_problem):
+        rebuilt = problem_from_dict(problem_to_dict(paper_problem))
+        for cru_id in paper_problem.tree.processing_ids():
+            assert rebuilt.tree.children_ids(cru_id) == paper_problem.tree.children_ids(cru_id)
+
+    def test_round_trip_preserves_numbers(self, paper_problem):
+        rebuilt = problem_from_dict(problem_to_dict(paper_problem))
+        for cru_id in paper_problem.tree.cru_ids():
+            assert rebuilt.host_time(cru_id) == pytest.approx(paper_problem.host_time(cru_id))
+            assert rebuilt.satellite_time(cru_id) == pytest.approx(
+                paper_problem.satellite_time(cru_id))
+        assert rebuilt.costs.costs() == pytest.approx(paper_problem.costs.costs())
+
+    def test_round_trip_preserves_optimum(self, paper_problem):
+        rebuilt = problem_from_dict(problem_to_dict(paper_problem))
+        assert solve(rebuilt).objective == pytest.approx(solve(paper_problem).objective)
+
+    def test_json_round_trip(self, snmp_problem):
+        text = problem_to_json(snmp_problem)
+        json.loads(text)   # is valid JSON
+        rebuilt = problem_from_json(text)
+        assert rebuilt.tree.number_of_crus() == snmp_problem.tree.number_of_crus()
+
+    def test_rejects_unknown_version(self, paper_problem):
+        data = problem_to_dict(paper_problem)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            problem_from_dict(data)
+
+    def test_infinite_bandwidth_round_trips(self, paper_problem):
+        data = problem_to_dict(paper_problem)
+        rebuilt = problem_from_dict(data)
+        for sid in paper_problem.system.satellite_ids():
+            assert rebuilt.system.link(sid).bandwidth_bytes_per_s == \
+                paper_problem.system.link(sid).bandwidth_bytes_per_s
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        data = assignment_to_dict(assignment)
+        rebuilt = assignment_from_dict(data, paper_problem)
+        assert rebuilt.placement == assignment.placement
+        assert rebuilt.end_to_end_delay() == pytest.approx(assignment.end_to_end_delay())
+        assert data["objective"] == pytest.approx(assignment.end_to_end_delay())
+
+    def test_rejects_unknown_version(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        data = assignment_to_dict(assignment)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            assignment_from_dict(data, paper_problem)

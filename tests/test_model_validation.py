@@ -1,0 +1,106 @@
+"""Unit tests for problem validation."""
+
+import pytest
+
+from repro.model import (
+    CRU,
+    CRUTree,
+    CommunicationCostModel,
+    ExecutionProfile,
+    Host,
+    HostSatelliteSystem,
+    ModelValidationError,
+    Satellite,
+    validate_problem,
+)
+from repro.model.problem import AssignmentProblem
+from repro.model.validation import collect_problem_errors
+
+
+def valid_problem():
+    tree = CRUTree(CRU("root"))
+    tree.add_processing("root", "mid")
+    tree.add_sensor("mid", "s1")
+    system = HostSatelliteSystem(Host())
+    system.add_satellite(Satellite("sat"))
+    profile = ExecutionProfile(host_times={"root": 1.0, "mid": 1.0},
+                               satellite_times={"mid": 2.0})
+    costs = CommunicationCostModel({("s1", "mid"): 0.1, ("mid", "root"): 0.1})
+    return AssignmentProblem(tree=tree, system=system,
+                             sensor_attachment={"s1": "sat"},
+                             profile=profile, costs=costs)
+
+
+class TestValidProblem:
+    def test_passes(self):
+        validate_problem(valid_problem())
+
+    def test_collect_returns_empty(self):
+        assert collect_problem_errors(valid_problem()) == []
+
+
+class TestViolations:
+    def test_missing_sensor_attachment(self):
+        problem = valid_problem()
+        problem.sensor_attachment.pop("s1")
+        with pytest.raises(ModelValidationError, match="no satellite attachment"):
+            validate_problem(problem)
+
+    def test_unknown_satellite_attachment(self):
+        problem = valid_problem()
+        problem.sensor_attachment["s1"] = "ghost"
+        with pytest.raises(ModelValidationError, match="unknown satellite"):
+            validate_problem(problem)
+
+    def test_attachment_of_non_sensor(self):
+        problem = valid_problem()
+        problem.sensor_attachment["mid"] = "sat"
+        with pytest.raises(ModelValidationError, match="not a sensor"):
+            validate_problem(problem)
+
+    def test_processing_leaf_rejected(self):
+        tree = CRUTree(CRU("root"))
+        tree.add_processing("root", "dangling")
+        tree.add_sensor("root", "s1")
+        system = HostSatelliteSystem(Host())
+        system.add_satellite(Satellite("sat"))
+        problem = AssignmentProblem(tree=tree, system=system,
+                                    sensor_attachment={"s1": "sat"},
+                                    profile=ExecutionProfile())
+        errors = collect_problem_errors(problem)
+        assert any("leaf CRU" in e for e in errors)
+
+    def test_sensor_with_execution_time_rejected(self):
+        problem = valid_problem()
+        problem.profile.set_host_time("s1", 1.0)
+        with pytest.raises(ModelValidationError, match="zero execution times"):
+            validate_problem(problem)
+
+    def test_cost_on_non_tree_edge_rejected(self):
+        problem = valid_problem()
+        problem.costs.set_cost("root", "mid", 0.2)   # reversed direction
+        errors = collect_problem_errors(problem)
+        assert any("not a tree edge" in e for e in errors)
+
+    def test_cost_on_unknown_cru_rejected(self):
+        problem = valid_problem()
+        problem.costs.set_cost("ghost", "root", 0.2)
+        errors = collect_problem_errors(problem)
+        assert any("unknown edge" in e for e in errors)
+
+    def test_platform_without_satellites_rejected(self):
+        problem = valid_problem()
+        problem.system = HostSatelliteSystem(Host())
+        errors = collect_problem_errors(problem)
+        assert any("platform invalid" in e for e in errors)
+
+    def test_error_object_carries_all_messages(self):
+        problem = valid_problem()
+        problem.sensor_attachment["s1"] = "ghost"
+        problem.costs.set_cost("ghost", "root", 0.2)
+        try:
+            validate_problem(problem)
+        except ModelValidationError as exc:
+            assert len(exc.errors) >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected ModelValidationError")

@@ -1,0 +1,36 @@
+"""Smoke tests for the top-level package surface."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_mentions_the_paper(self):
+        assert "Host-Satellites" in repro.__doc__
+
+    def test_quickstart_snippet_from_the_docstring(self):
+        problem = repro.healthcare_scenario()
+        result = repro.solve(problem)
+        reference = repro.solve(problem, method="brute-force")
+        assert round(result.objective, 6) == round(reference.objective, 6)
+
+    def test_subpackages_import_cleanly(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.extensions
+        import repro.graphs
+        import repro.model
+        import repro.simulation
+        import repro.workloads
+
+        for module in (repro.core, repro.model, repro.graphs, repro.baselines,
+                       repro.simulation, repro.workloads, repro.extensions,
+                       repro.analysis):
+            assert module.__doc__

@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event engine, queue and device resources."""
+
+import pytest
+
+from repro.simulation.engine import DeviceResource, Simulator
+from repro.simulation.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(time=2.0, kind="b", callback=lambda: None))
+        q.push(Event(time=1.0, kind="a", callback=lambda: None))
+        assert q.pop().kind == "a"
+        assert q.pop().kind == "b"
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        q = EventQueue()
+        q.push(Event(time=1.0, kind="late", callback=lambda: None, priority=5))
+        q.push(Event(time=1.0, kind="early", callback=lambda: None, priority=0))
+        q.push(Event(time=1.0, kind="early2", callback=lambda: None, priority=0))
+        assert q.pop().kind == "early"
+        assert q.pop().kind == "early2"
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None and not q
+        q.push(Event(time=3.0, kind="x", callback=lambda: None))
+        assert q.peek_time() == pytest.approx(3.0)
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(time=-1.0, kind="x", callback=lambda: None))
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_after(1.0, "a", lambda: seen.append(sim.now))
+        sim.schedule_after(2.5, "b", lambda: seen.append(sim.now))
+        end = sim.run()
+        assert seen == pytest.approx([1.0, 2.5])
+        assert end == pytest.approx(2.5)
+        assert sim.processed_events == 2
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_after(1.0, "second", lambda: seen.append("second"))
+
+        sim.schedule_after(1.0, "first", first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_after(1.0, "a", lambda: seen.append("a"))
+        sim.schedule_after(5.0, "b", lambda: seen.append("b"))
+        sim.run(until=2.0)
+        assert seen == ["a"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_after(float(i + 1), "tick", lambda: None)
+        sim.run(max_events=3)
+        assert sim.processed_events == 3
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_after(1.0, "a", lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, "late", lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, "neg", lambda: None)
+
+
+class TestDeviceResource:
+    def test_fifo_serialisation(self):
+        sim = Simulator()
+        device = DeviceResource(sim, "cpu")
+        finished = []
+        device.submit("job1", 2.0, lambda t: finished.append(("job1", t)))
+        device.submit("job2", 1.0, lambda t: finished.append(("job2", t)))
+        sim.run()
+        assert finished == [("job1", pytest.approx(2.0)), ("job2", pytest.approx(3.0))]
+        assert device.busy_time == pytest.approx(3.0)
+
+    def test_jobs_submitted_later_start_after_current(self):
+        sim = Simulator()
+        device = DeviceResource(sim, "cpu")
+        finished = []
+
+        def on_first_done(t):
+            finished.append(t)
+            device.submit("job2", 0.5, lambda t2: finished.append(t2))
+
+        device.submit("job1", 1.0, on_first_done)
+        sim.run()
+        assert finished == pytest.approx([1.0, 1.5])
+
+    def test_zero_duration_jobs(self):
+        sim = Simulator()
+        device = DeviceResource(sim, "cpu")
+        finished = []
+        device.submit("instant", 0.0, lambda t: finished.append(t))
+        sim.run()
+        assert finished == pytest.approx([0.0])
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        device = DeviceResource(sim, "cpu")
+        with pytest.raises(ValueError):
+            device.submit("bad", -1.0)
+
+    def test_utilisation(self):
+        sim = Simulator()
+        device = DeviceResource(sim, "cpu")
+        device.submit("job", 1.0)
+        sim.schedule_after(4.0, "idle-tail", lambda: None)
+        sim.run()
+        assert device.utilisation() == pytest.approx(0.25)
+        assert device.utilisation(horizon=0) == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for simulating assigned CRU trees (experiment E9 invariants)."""
+
+import pytest
+
+from repro.baselines import random_search_assignment
+from repro.core.assignment import Assignment, HOST_DEVICE
+from repro.core.solver import solve
+from repro.simulation import ExecutionPolicy, compute_metrics, simulate_assignment
+from repro.workloads import healthcare_scenario, paper_example_problem, random_problem
+
+
+class TestBarrierPolicyMatchesAnalyticDelay:
+    def test_paper_example_optimal_assignment(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment, ExecutionPolicy.paper_model())
+        assert run.end_to_end_delay == pytest.approx(assignment.end_to_end_delay())
+
+    def test_host_only_assignment(self, paper_problem):
+        assignment = Assignment.host_only(paper_problem)
+        run = simulate_assignment(paper_problem, assignment)
+        assert run.end_to_end_delay == pytest.approx(assignment.end_to_end_delay())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_assignments_on_random_instances(self, seed):
+        problem = random_problem(n_processing=9, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.4)
+        assignment, _ = random_search_assignment(problem, samples=3, seed=seed)
+        run = simulate_assignment(problem, assignment)
+        assert run.end_to_end_delay == pytest.approx(assignment.end_to_end_delay())
+
+    def test_device_busy_times_match_loads(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        assert run.device_busy_times[HOST_DEVICE] == pytest.approx(assignment.host_load())
+        for satellite_id, load in assignment.satellite_loads().items():
+            assert run.device_busy_times[satellite_id] == pytest.approx(load)
+
+
+class TestRelaxedPolicies:
+    def test_eager_policy_never_slower(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        barrier = simulate_assignment(paper_problem, assignment, ExecutionPolicy.paper_model())
+        eager = simulate_assignment(paper_problem, assignment, ExecutionPolicy.eager())
+        assert eager.end_to_end_delay <= barrier.end_to_end_delay + 1e-9
+
+    def test_dedicated_links_never_slower(self, healthcare_problem):
+        assignment = solve(healthcare_problem).assignment
+        serial = simulate_assignment(healthcare_problem, assignment)
+        overlapped = simulate_assignment(
+            healthcare_problem, assignment,
+            ExecutionPolicy(barrier=True, dedicated_links=True))
+        assert overlapped.end_to_end_delay <= serial.end_to_end_delay + 1e-9
+
+    def test_policy_factories(self):
+        assert ExecutionPolicy.paper_model().barrier
+        assert not ExecutionPolicy.eager().barrier
+
+
+class TestRunArtifacts:
+    def test_completion_times_cover_every_cru(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        assert set(run.completion_times) == set(paper_problem.tree.cru_ids())
+        root = paper_problem.tree.root_id
+        assert run.completion_times[root] == pytest.approx(run.end_to_end_delay)
+        assert max(run.completion_times.values()) == pytest.approx(run.end_to_end_delay)
+
+    def test_trace_contains_executions_and_transfers(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        executions = run.trace.events(activity="execute")
+        transfers = run.trace.events(activity="transfer")
+        assert len(executions) == len(paper_problem.tree.processing_ids())
+        assert len(transfers) == len(assignment.cut_edges())
+        assert run.transfer_count == len(transfers)
+
+    def test_trace_ascii_rendering(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        art = run.trace.to_ascii(width=40)
+        assert "host" in art and "|" in art
+
+    def test_trace_timelines_do_not_overlap_per_device(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        for device in run.trace.devices():
+            events = run.trace.events(device=device)
+            for first, second in zip(events, events[1:]):
+                assert second.start_time >= first.end_time - 1e-9
+
+    def test_metrics(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        metrics = compute_metrics(run)
+        assert metrics.model_gap == pytest.approx(0.0, abs=1e-9)
+        assert metrics.host_busy_time == pytest.approx(assignment.host_load())
+        assert 0.0 < metrics.mean_device_utilisation <= 1.0
+        assert metrics.as_dict()["transfer_count"] == run.transfer_count
+
+    def test_device_utilisation_bounds(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_assignment(paper_problem, assignment)
+        for value in run.device_utilisation().values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestGuards:
+    def test_infeasible_assignment_rejected(self, paper_problem):
+        placement = Assignment.host_only(paper_problem).placement
+        placement["CRU4"] = "B"   # wrong satellite
+        broken = Assignment(paper_problem, placement)
+        with pytest.raises(ValueError, match="infeasible"):
+            simulate_assignment(paper_problem, broken)

@@ -1,0 +1,65 @@
+"""Unit tests for the star-network link model and transfer bookkeeping."""
+
+import pytest
+
+from repro.model import Host, HostSatelliteSystem, Satellite
+from repro.simulation.engine import DeviceResource, Simulator
+from repro.simulation.network import StarNetwork
+
+
+def make_network():
+    system = HostSatelliteSystem(Host())
+    system.add_simple_satellite("a")
+    system.add_simple_satellite("b")
+    sim = Simulator()
+    return sim, StarNetwork(sim, system)
+
+
+class TestTransfers:
+    def test_transfer_delivers_after_duration(self):
+        sim, network = make_network()
+        delivered = []
+        carrier = network.link_resource("a")
+        network.transfer("a", payload="x->y", duration=2.0, carrier=carrier,
+                         on_delivered=delivered.append)
+        sim.run()
+        assert delivered == pytest.approx([2.0])
+        assert network.transfer_count() == 1
+        record = network.transfers[0]
+        assert record.satellite_id == "a"
+        assert record.payload == "x->y"
+        assert record.duration == pytest.approx(2.0)
+        assert record.end_time - record.start_time == pytest.approx(2.0)
+
+    def test_transfers_serialise_on_the_same_carrier(self):
+        sim, network = make_network()
+        times = []
+        carrier = network.link_resource("a")
+        network.transfer("a", "first", 1.0, carrier, times.append)
+        network.transfer("a", "second", 1.0, carrier, times.append)
+        sim.run()
+        assert times == pytest.approx([1.0, 2.0])
+
+    def test_transfer_can_share_the_satellite_device(self):
+        # paper-faithful mode: the satellite CPU is the carrier, so a transfer
+        # queued behind an execution only starts when the execution finishes
+        sim, network = make_network()
+        satellite_cpu = DeviceResource(sim, "a")
+        satellite_cpu.submit("execute", 3.0)
+        done = []
+        network.transfer("a", "result", 1.0, satellite_cpu, done.append)
+        sim.run()
+        assert done == pytest.approx([4.0])
+
+    def test_unknown_satellite_rejected(self):
+        _, network = make_network()
+        with pytest.raises(KeyError):
+            network.transfer("ghost", "x", 1.0, None, lambda t: None)
+
+    def test_total_transfer_time_filters_by_satellite(self):
+        sim, network = make_network()
+        network.transfer("a", "x", 1.0, network.link_resource("a"), lambda t: None)
+        network.transfer("b", "y", 2.5, network.link_resource("b"), lambda t: None)
+        sim.run()
+        assert network.total_transfer_time() == pytest.approx(3.5)
+        assert network.total_transfer_time("b") == pytest.approx(2.5)

@@ -1,0 +1,100 @@
+"""Unit tests for the pipelined (multi-frame) execution model."""
+
+import pytest
+
+from repro.baselines import bokhari_sb_assignment
+from repro.core.assignment import Assignment
+from repro.core.solver import solve
+from repro.simulation import simulate_pipeline
+from repro.workloads import paper_example_problem, random_problem
+
+
+class TestSingleFrameConsistency:
+    def test_first_frame_latency_equals_the_analytic_delay(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_pipeline(paper_problem, assignment, frames=1)
+        assert run.first_frame_latency() == pytest.approx(assignment.end_to_end_delay())
+        assert run.frame_count == 1
+        assert run.makespan == pytest.approx(assignment.end_to_end_delay())
+
+    def test_single_frame_matches_the_event_driven_simulator(self, paper_problem):
+        from repro.simulation import ExecutionPolicy, simulate_assignment
+
+        assignment = Assignment.from_cut(paper_problem, ["CRU4", "CRU6"])
+        event_driven = simulate_assignment(paper_problem, assignment,
+                                           ExecutionPolicy.paper_model())
+        pipeline = simulate_pipeline(paper_problem, assignment, frames=1)
+        assert pipeline.first_frame_latency() == pytest.approx(event_driven.end_to_end_delay)
+
+
+class TestSteadyState:
+    def test_period_converges_to_the_bottleneck_time(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_pipeline(paper_problem, assignment, frames=60)
+        assert run.steady_state_period() == pytest.approx(assignment.bottleneck_time(),
+                                                          rel=1e-6)
+
+    def test_throughput_approaches_the_bottleneck_rate(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_pipeline(paper_problem, assignment, frames=200)
+        assert run.throughput() == pytest.approx(1.0 / assignment.bottleneck_time(),
+                                                 rel=0.05)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_convergence_on_random_instances(self, seed):
+        problem = random_problem(n_processing=10, n_satellites=3, seed=seed,
+                                 sensor_scatter=0.4)
+        assignment = solve(problem).assignment
+        run = simulate_pipeline(problem, assignment, frames=80)
+        assert run.steady_state_period() == pytest.approx(assignment.bottleneck_time(),
+                                                          rel=1e-6)
+
+    def test_latency_never_below_the_single_frame_delay(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        run = simulate_pipeline(paper_problem, assignment, frames=30)
+        for latency in run.latencies():
+            assert latency >= assignment.end_to_end_delay() - 1e-9
+
+    def test_slow_release_period_removes_queueing(self, paper_problem):
+        assignment = solve(paper_problem).assignment
+        slow = simulate_pipeline(paper_problem, assignment, frames=20,
+                                 release_period=10 * assignment.end_to_end_delay())
+        for latency in slow.latencies():
+            assert latency == pytest.approx(assignment.end_to_end_delay())
+
+
+class TestObjectiveTradeoff:
+    def test_ssb_optimum_wins_on_latency_sb_optimum_wins_on_throughput(self):
+        """The executable version of experiment E8's motivation."""
+        wins_latency = 0
+        wins_throughput = 0
+        instances = 0
+        for seed in range(8):
+            problem = random_problem(n_processing=12, n_satellites=4, seed=seed,
+                                     sensor_scatter=0.3)
+            ssb = solve(problem).assignment
+            sb, _ = bokhari_sb_assignment(problem)
+            ssb_run = simulate_pipeline(problem, ssb, frames=60)
+            sb_run = simulate_pipeline(problem, sb, frames=60)
+            instances += 1
+            if ssb_run.first_frame_latency() <= sb_run.first_frame_latency() + 1e-9:
+                wins_latency += 1
+            if sb_run.throughput() >= ssb_run.throughput() - 1e-9:
+                wins_throughput += 1
+        assert wins_latency == instances
+        assert wins_throughput == instances
+
+
+class TestGuards:
+    def test_rejects_infeasible_assignments(self, paper_problem):
+        placement = Assignment.host_only(paper_problem).placement
+        placement["CRU4"] = "B"
+        with pytest.raises(ValueError):
+            simulate_pipeline(paper_problem, Assignment(paper_problem, placement))
+
+    def test_rejects_bad_parameters(self, paper_problem):
+        assignment = Assignment.host_only(paper_problem)
+        with pytest.raises(ValueError):
+            simulate_pipeline(paper_problem, assignment, frames=0)
+        with pytest.raises(ValueError):
+            simulate_pipeline(paper_problem, assignment, release_period=-1.0)

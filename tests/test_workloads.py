@@ -1,0 +1,163 @@
+"""Unit tests for the workload generators and the paper's reconstructed examples."""
+
+import pytest
+
+from repro.core.dwg import DoublyWeightedGraph
+from repro.graphs.connectivity import is_connected_st, is_dag
+from repro.workloads import (
+    dwg_scaling_family,
+    figure4_dwg,
+    healthcare_scenario,
+    paper_example_problem,
+    paper_example_profile_values,
+    random_dwg,
+    random_problem,
+    random_tree_spec,
+    snmp_scenario,
+    tree_scaling_family,
+)
+from repro.workloads.scaling import assignment_graph_edge_counts
+
+
+class TestFigure4Graph:
+    def test_structure(self, fig4):
+        assert fig4.number_of_nodes() == 3
+        assert fig4.number_of_edges() == 8
+
+    def test_edge_weights_match_the_figure(self, fig4):
+        pairs = sorted((DoublyWeightedGraph.sigma(e), DoublyWeightedGraph.beta(e))
+                       for e in fig4.edges())
+        assert pairs == [(4, 20), (5, 10), (5, 10), (6, 8), (6, 12), (15, 10),
+                         (20, 9), (27, 8)]
+
+
+class TestPaperExampleProblem:
+    def test_thirteen_processing_crus(self, paper_problem):
+        assert len(paper_problem.tree.processing_ids()) == 13
+        assert paper_problem.tree.processing_ids()[0] == "CRU1"
+
+    def test_four_satellites_with_figure5_colours(self, paper_problem):
+        assert paper_problem.system.satellite_ids() == ["R", "Y", "B", "G"]
+        assert paper_problem.system.colors() == {
+            "R": "red", "Y": "yellow", "B": "blue", "G": "green"}
+
+    def test_cru5_and_cru13_sensors_are_on_satellite_b(self, paper_problem):
+        # the fact §5.3 states to define "correspondent satellite"
+        assert paper_problem.correspondent_satellite("CRU5") == "B"
+        assert paper_problem.correspondent_satellite("CRU13") == "B"
+
+    def test_profile_overrides(self):
+        problem = paper_example_problem(host_times={"CRU1": 9.0},
+                                        comm_costs={("CRU6", "CRU3"): 1.5})
+        assert problem.host_time("CRU1") == pytest.approx(9.0)
+        assert problem.comm_cost("CRU6", "CRU3") == pytest.approx(1.5)
+
+    def test_profile_values_export_is_consistent(self, paper_problem):
+        values = paper_example_profile_values()
+        for cru_id, h in values["host_times"].items():
+            assert paper_problem.host_time(cru_id) == pytest.approx(h)
+        for (child, parent), c in values["comm_costs"].items():
+            assert paper_problem.comm_cost(child, parent) == pytest.approx(c)
+        assert values["sensor_attachment"] == paper_problem.sensor_attachment
+
+
+class TestScenarios:
+    def test_healthcare_structure(self):
+        problem = healthcare_scenario(accelerometer_boxes=2)
+        assert problem.system.number_of_satellites() == 3
+        assert problem.tree.root_id == "seizure-risk"
+        problem.validate()
+
+    def test_healthcare_scaling_parameter(self):
+        problem = healthcare_scenario(accelerometer_boxes=4)
+        assert problem.system.number_of_satellites() == 5
+        problem.validate()
+
+    def test_healthcare_rejects_zero_boxes(self):
+        with pytest.raises(ValueError):
+            healthcare_scenario(accelerometer_boxes=0)
+
+    def test_healthcare_host_is_faster_than_satellites(self):
+        problem = healthcare_scenario(host_speed=4.0, satellite_speed=1.0)
+        for cru_id in problem.tree.processing_ids():
+            assert problem.host_time(cru_id) <= problem.satellite_time(cru_id) + 1e-12
+
+    def test_snmp_structure(self):
+        problem = snmp_scenario(subnets=2, devices_per_subnet=3)
+        assert problem.system.number_of_satellites() == 2
+        assert len(problem.tree.sensor_ids()) == 6
+        problem.validate()
+
+    def test_snmp_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            snmp_scenario(subnets=0)
+        with pytest.raises(ValueError):
+            snmp_scenario(devices_per_subnet=0)
+
+
+class TestRandomGenerators:
+    def test_random_tree_spec_is_a_tree(self):
+        edges = random_tree_spec(20, seed=1)
+        assert len(edges) == 19
+        children = [child for _, child in edges]
+        assert len(set(children)) == len(children)
+        for parent, child in edges:
+            assert parent < child
+
+    def test_random_problem_is_deterministic(self):
+        a = random_problem(n_processing=10, n_satellites=3, seed=4)
+        b = random_problem(n_processing=10, n_satellites=3, seed=4)
+        assert a.tree.cru_ids() == b.tree.cru_ids()
+        assert a.sensor_attachment == b.sensor_attachment
+        assert a.profile.host_times() == pytest.approx(b.profile.host_times())
+
+    def test_random_problem_is_valid_for_many_seeds(self):
+        for seed in range(10):
+            random_problem(n_processing=6, n_satellites=2, seed=seed,
+                           sensor_scatter=0.8).validate()
+
+    def test_clustered_sensors_follow_branch_owners(self):
+        problem = random_problem(n_processing=12, n_satellites=3, seed=2,
+                                 sensor_scatter=0.0)
+        # with no scatter, all sensors below one top-level branch share a satellite
+        for branch in problem.tree.children_ids(problem.tree.root_id):
+            sats = problem.satellites_under(branch)
+            assert len(sats) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            random_problem(n_satellites=0)
+        with pytest.raises(ValueError):
+            random_problem(sensor_scatter=2.0)
+        with pytest.raises(ValueError):
+            random_tree_spec(0)
+
+    def test_random_dwg_connects_s_and_t(self):
+        for seed in range(5):
+            dwg = random_dwg(n_nodes=10, extra_edges=5, seed=seed)
+            assert is_connected_st(dwg.graph, dwg.source, dwg.target)
+            assert is_dag(dwg.graph)
+
+    def test_random_dwg_rejects_tiny_graphs(self):
+        with pytest.raises(ValueError):
+            random_dwg(n_nodes=1)
+
+
+class TestScalingFamilies:
+    def test_dwg_family_sizes(self):
+        family = dwg_scaling_family(sizes=(8, 16), edges_per_node=2, seed=1)
+        assert [n for n, _ in family] == [8, 16]
+        for n, dwg in family:
+            assert dwg.number_of_nodes() == n
+
+    def test_tree_family_sizes_and_validity(self):
+        family = tree_scaling_family(sizes=(6, 10), n_satellites=3, seed=2)
+        assert [n for n, _ in family] == [6, 10]
+        for _, problem in family:
+            problem.validate()
+
+    def test_assignment_graph_edge_counts(self):
+        family = tree_scaling_family(sizes=(6, 10), n_satellites=3, seed=2)
+        counts = assignment_graph_edge_counts(family)
+        assert set(counts) == {6, 10}
+        assert all(v > 0 for v in counts.values())
