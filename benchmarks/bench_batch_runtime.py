@@ -1,0 +1,73 @@
+"""Batch runtime: parallel sweep speedup and warm-cache behaviour.
+
+The ROADMAP's production target is sweeping thousands of scenario instances;
+this benchmark keeps the two load-bearing properties of the runtime honest:
+
+* fanning a fleet of instances across a process pool must beat the serial
+  loop by a wide margin on multicore hosts (the slow test pins a >= 2x
+  floor on an 8-worker sweep; the ISSUE-1 acceptance sweep showed >= 3x);
+* a warm result cache must return identical objectives with zero re-solves.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.smoke import smoke_scaled
+from repro.runtime import BatchRunner, LRUResultCache, serial_sweep
+from repro.workloads.generators import random_problem
+
+FLEET_SIZE = smoke_scaled(16, 6)
+INSTANCE_CRUS = smoke_scaled(14, 10)
+
+
+def fleet(count=FLEET_SIZE, n_processing=INSTANCE_CRUS):
+    return [random_problem(n_processing=n_processing, n_satellites=4, seed=seed,
+                           sensor_scatter=0.3)
+            for seed in range(count)]
+
+
+@pytest.mark.slow
+def test_parallel_sweep_beats_the_serial_loop():
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 cores for a meaningful speedup floor")
+    problems = fleet(count=40, n_processing=16)
+    serial = BatchRunner(workers=0).solve_many(problems)
+    parallel = BatchRunner(workers=8).solve_many(problems)
+    assert parallel.objectives() == pytest.approx(serial.objectives())
+    assert serial.wall_s / parallel.wall_s >= 2.0, (
+        f"parallel sweep only {serial.wall_s / parallel.wall_s:.2f}x faster "
+        f"({serial.wall_s:.2f}s serial vs {parallel.wall_s:.2f}s parallel)")
+
+
+def test_warm_cache_skips_every_solve():
+    problems = fleet()
+    runner = BatchRunner(workers=0, cache=LRUResultCache())
+    cold = runner.solve_many(problems)
+    warm = runner.solve_many(problems)
+    assert warm.solved == 0
+    assert warm.cache_hits == len(problems)
+    assert warm.objectives() == pytest.approx(cold.objectives())
+    assert warm.wall_s < cold.wall_s
+
+
+def test_bench_serial_sweep(benchmark):
+    problems = fleet()
+    results = benchmark(lambda: serial_sweep(problems))
+    assert len(results) == len(problems)
+
+
+def test_bench_batch_runner_serial_overhead(benchmark):
+    """The runner's bookkeeping (hashing, registry, fan-out) over raw solves."""
+    problems = fleet()
+    runner = BatchRunner(workers=0)
+    report = benchmark(lambda: runner.solve_many(problems))
+    assert report.failed == 0
+
+
+def test_bench_warm_cache_sweep(benchmark):
+    problems = fleet()
+    runner = BatchRunner(workers=0, cache=LRUResultCache())
+    runner.solve_many(problems)     # prime
+    report = benchmark(lambda: runner.solve_many(problems))
+    assert report.cache_hits == len(problems)

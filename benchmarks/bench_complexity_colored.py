@@ -10,6 +10,7 @@ measures the end-to-end pipeline runtime per tree size.
 import pytest
 
 from repro.analysis.experiments import complexity_colored_experiment
+from repro.analysis.smoke import smoke_scaled
 from repro.core.assignment_graph import build_assignment_graph
 from repro.core.colored_ssb import ColoredSSBSearch
 from repro.workloads.generators import random_problem
@@ -18,7 +19,7 @@ from repro.workloads.generators import random_problem
 # grows rapidly with the size of a single-colour region (the paper's bound is
 # O(|E'|), not polynomial in the tree), so the swept tree sizes stay moderate;
 # repro.baselines.pareto_dp covers large instances in polynomial time.
-SIZES = (8, 12, 16, 20)
+SIZES = smoke_scaled((8, 12, 16, 20), (8, 12))
 
 
 def test_graph_size_grows_linearly_with_the_tree():

@@ -11,10 +11,11 @@ import pytest
 
 from repro.analysis.complexity import fit_power_law
 from repro.analysis.experiments import complexity_ssb_experiment
+from repro.analysis.smoke import smoke_scaled
 from repro.core.ssb import SSBSearch
 from repro.workloads.generators import random_dwg
 
-SIZES = (16, 32, 64, 128)
+SIZES = smoke_scaled((16, 32, 64, 128), (8, 16))
 
 
 def test_iterations_never_exceed_edge_count():

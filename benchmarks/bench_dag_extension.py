@@ -8,12 +8,14 @@ HEFT-style list scheduling and the genetic algorithm must stay close to it
 import pytest
 
 from repro.analysis.experiments import _sample_dag_instance, dag_extension_experiment
+from repro.analysis.smoke import smoke_scaled
 from repro.extensions import genetic_dag_placement, heft_placement
 
 
 @pytest.fixture(scope="module")
 def outcome():
-    return dag_extension_experiment(seeds=range(4), n_tasks=7, n_resources=3)
+    return dag_extension_experiment(seeds=range(smoke_scaled(4, 2)),
+                                    n_tasks=smoke_scaled(7, 6), n_resources=3)
 
 
 def test_heuristics_never_beat_the_exact_optimum(outcome):
@@ -36,6 +38,7 @@ def test_bench_heft(benchmark):
 
 def test_bench_genetic_dag(benchmark):
     tasks, resources = _sample_dag_instance(seed=1, n_tasks=10, n_resources=4)
+    generations = smoke_scaled(20, 5)
     placement, _ = benchmark(lambda: genetic_dag_placement(tasks, resources, seed=1,
-                                                           generations=20))
+                                                           generations=generations))
     assert placement.is_feasible()

@@ -10,6 +10,7 @@ runtime of each approach is measured.
 import pytest
 
 from repro.analysis.experiments import heuristics_experiment
+from repro.analysis.smoke import smoke_scaled
 from repro.baselines import (
     branch_and_bound_assignment,
     genetic_assignment,
@@ -22,8 +23,9 @@ from repro.workloads.generators import random_problem
 
 @pytest.fixture(scope="module")
 def outcome():
-    return heuristics_experiment(seeds=range(6), n_processing=14, n_satellites=4,
-                                 sensor_scatter=0.3)
+    return heuristics_experiment(seeds=range(smoke_scaled(6, 2)),
+                                 n_processing=smoke_scaled(14, 10),
+                                 n_satellites=4, sensor_scatter=0.3)
 
 
 def test_branch_and_bound_matches_the_optimum(outcome):
@@ -59,7 +61,9 @@ def test_bench_random_search(benchmark):
 
 def test_bench_genetic(benchmark):
     problem = random_problem(**BENCH_PROBLEM)
-    assignment, _ = benchmark(lambda: genetic_assignment(problem, seed=3, generations=30,
+    generations = smoke_scaled(30, 5)
+    assignment, _ = benchmark(lambda: genetic_assignment(problem, seed=3,
+                                                         generations=generations,
                                                          population_size=24))
     assert assignment.is_feasible()
 

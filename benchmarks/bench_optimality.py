@@ -12,6 +12,7 @@ each solver on a common instance.
 import pytest
 
 from repro.analysis.experiments import optimality_experiment
+from repro.analysis.smoke import smoke_scaled
 from repro.baselines import brute_force_assignment, pareto_dp_assignment
 from repro.core.solver import solve
 from repro.workloads.generators import random_problem
@@ -19,7 +20,8 @@ from repro.workloads.generators import random_problem
 
 @pytest.mark.parametrize("scatter", [0.0, 0.5, 1.0])
 def test_no_mismatch_against_exact_references(scatter):
-    outcome = optimality_experiment(seeds=range(8), n_processing=9, n_satellites=3,
+    outcome = optimality_experiment(seeds=range(smoke_scaled(8, 2)),
+                                    n_processing=9, n_satellites=3,
                                     sensor_scatter=scatter)
     assert outcome["mismatches"] == 0
 

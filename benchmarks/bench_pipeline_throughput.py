@@ -10,12 +10,13 @@ measures the pipeline simulator's cost.
 
 import pytest
 
+from repro.analysis.smoke import smoke_scaled
 from repro.baselines import bokhari_sb_assignment
 from repro.core.solver import solve
 from repro.simulation import simulate_pipeline
 from repro.workloads.generators import random_problem
 
-SEEDS = tuple(range(8))
+SEEDS = tuple(range(smoke_scaled(8, 2)))
 
 
 @pytest.fixture(scope="module")

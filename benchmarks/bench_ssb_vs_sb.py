@@ -12,11 +12,12 @@ on a non-trivial fraction of instances.
 import pytest
 
 from repro.analysis.experiments import ssb_vs_sb_experiment
+from repro.analysis.smoke import smoke_scaled
 from repro.baselines import bokhari_sb_assignment
 from repro.core.solver import solve
 from repro.workloads.generators import random_problem
 
-SEEDS = tuple(range(12))
+SEEDS = tuple(range(smoke_scaled(12, 4)))
 
 
 @pytest.fixture(scope="module")

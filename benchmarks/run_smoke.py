@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Run every benchmarks/bench_*.py in reduced "smoke" mode.
+
+Each benchmark file runs in its own pytest session with
+``REPRO_BENCH_SMOKE=1`` (the modules shrink their sweep parameters via
+:mod:`repro.analysis.smoke`) and pytest-benchmark's fastest settings, writing
+one ``BENCH_<name>.json`` per file into ``--out-dir``.  CI uploads those
+files as artifacts so performance-path regressions surface early.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py [--out-dir DIR] [--filter SUBSTR]
+
+Exits non-zero if any benchmark file fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+from repro.analysis.smoke import SMOKE_ENV_VAR
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+
+def run_one(path: str, out_dir: str, extra_args: list) -> int:
+    name = os.path.splitext(os.path.basename(path))[0]
+    json_path = os.path.join(out_dir, f"BENCH_{name}.json")
+    command = [
+        sys.executable, "-m", "pytest", "-q", path,
+        "-p", "no:cacheprovider",
+        "-m", "not slow",
+        "--benchmark-json", json_path,
+        "--benchmark-min-rounds", "1",
+        "--benchmark-max-time", "0.1",
+        "--benchmark-warmup", "off",
+        "--benchmark-disable-gc",
+        *extra_args,
+    ]
+    env = dict(os.environ)
+    env[SMOKE_ENV_VAR] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p)
+    print(f"== {name}", flush=True)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=REPO_ROOT,
+                        help="where BENCH_*.json files are written (default: repo root)")
+    parser.add_argument("--filter", default="",
+                        help="only run bench files whose name contains this substring")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    paths = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+    if args.filter:
+        paths = [p for p in paths if args.filter in os.path.basename(p)]
+    if not paths:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    failures = []
+    for path in paths:
+        if run_one(path, args.out_dir, args.pytest_args) != 0:
+            failures.append(os.path.basename(path))
+    if failures:
+        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {len(paths)} benchmark files passed (smoke mode); "
+          f"BENCH_*.json in {args.out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

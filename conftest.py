@@ -1,0 +1,70 @@
+"""Repository-level pytest configuration.
+
+Per-test timeout enforcement so the suite can never hang CI:
+
+* when **pytest-timeout** is installed it consumes the ``timeout`` ini option
+  from ``pyproject.toml`` and this file stays out of the way;
+* when the plugin is unavailable (offline containers), a SIGALRM-based
+  autouse fixture below enforces the same ini option with the same
+  semantics (``@pytest.mark.timeout(N)`` overrides per test, ``0`` disables).
+
+On platforms without ``SIGALRM`` (Windows) the fallback is a no-op.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import pytest
+
+_HAS_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAS_TIMEOUT_PLUGIN:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback for pytest-timeout)",
+            default="0",
+        )
+        parser.addoption(
+            "--timeout", dest="fallback_timeout", default=None,
+            help="per-test timeout in seconds, overriding the ini value "
+                 "(SIGALRM fallback for pytest-timeout)",
+        )
+
+
+if not _HAS_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.fixture(autouse=True)
+    def _per_test_deadline(request):
+        marker = request.node.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            seconds = float(marker.args[0])
+        elif request.config.getoption("fallback_timeout") is not None:
+            seconds = float(request.config.getoption("fallback_timeout"))
+        else:
+            seconds = float(request.config.getini("timeout") or 0)
+        if seconds <= 0:
+            yield
+            return
+
+        def _expired(signum, frame):
+            pytest.fail(f"test exceeded the {seconds:g}s timeout", pytrace=False)
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_configure(config):
+    if not _HAS_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test timeout override (pytest-timeout fallback)",
+        )

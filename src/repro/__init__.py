@@ -20,6 +20,7 @@ Package layout
 ``repro.graphs``       graph substrate (Dijkstra, k-shortest paths, trees)
 ``repro.core``         the paper's constructions and algorithms
 ``repro.baselines``    exact references and comparison heuristics
+``repro.runtime``      solver registry, parallel batch runner, result cache
 ``repro.simulation``   discrete-event simulator of the host-satellites system
 ``repro.workloads``    scenario generators, incl. the paper's worked examples
 ``repro.extensions``   DAG-to-DAG generalisation (paper §6 future work)
@@ -47,6 +48,12 @@ from repro.core import (
     color_tree,
     solve,
 )
+from repro.runtime import (
+    BatchRunner,
+    BatchTask,
+    SolverRegistry,
+    default_registry,
+)
 from repro.workloads import (
     healthcare_scenario,
     snmp_scenario,
@@ -55,7 +62,7 @@ from repro.workloads import (
     paper_example_problem,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssignmentProblem",
@@ -75,6 +82,10 @@ __all__ = [
     "build_assignment_graph",
     "color_tree",
     "solve",
+    "BatchRunner",
+    "BatchTask",
+    "SolverRegistry",
+    "default_registry",
     "healthcare_scenario",
     "snmp_scenario",
     "random_problem",

@@ -4,29 +4,22 @@ Each driver returns a list of plain dict rows (so the benchmarks, the CLI and
 EXPERIMENTS.md all print identical numbers) plus whatever summary values its
 assertions need.  The drivers deliberately avoid pytest/benchmark imports so
 they can be reused anywhere.
+
+Instance sweeps (E5, E8, E10, E11) fan out through the batch runtime
+(:class:`repro.runtime.BatchRunner`): serial and in-process by default so the
+numbers match the historical single-threaded drivers bit-for-bit, multicore
+when ``REPRO_BATCH_WORKERS`` is set.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.complexity import fit_power_law, timed
-from repro.baselines import (
-    bokhari_sb_assignment,
-    brute_force_assignment,
-    genetic_assignment,
-    greedy_assignment,
-    pareto_dp_assignment,
-    random_search_assignment,
-    branch_and_bound_assignment,
-)
 from repro.core.assignment_graph import build_assignment_graph
 from repro.core.coloring import color_tree
 from repro.core.colored_ssb import ColoredSSBSearch
 from repro.core.labeling import label_assignment_graph
-from repro.core.sb import SBSearch
 from repro.core.solver import solve
 from repro.core.ssb import SSBSearch
 from repro.extensions.dag_heuristics import (
@@ -37,6 +30,7 @@ from repro.extensions.dag_heuristics import (
 )
 from repro.extensions.dag_model import DAGTask, DAGTaskGraph, Resource, ResourceGraph
 from repro.model.problem import AssignmentProblem
+from repro.runtime import BatchRunner
 from repro.simulation import ExecutionPolicy, simulate_assignment
 from repro.workloads import (
     dwg_scaling_family,
@@ -49,6 +43,16 @@ from repro.workloads import (
 )
 
 ExperimentRow = Dict[str, object]
+
+
+def _solved(report):
+    """Re-raise batch errors-as-data so drivers fail with the solver's message
+    (the behaviour the pre-runner serial loops had)."""
+    for item in report:
+        if not item.ok:
+            raise RuntimeError(f"{item.method} failed on "
+                               f"{item.tag or f'task {item.index}'}: {item.error}")
+    return report
 
 
 # ----------------------------------------------------------------------- E1
@@ -134,18 +138,18 @@ def adapted_ssb_experiment(problems: Optional[Sequence[AssignmentProblem]] = Non
     """E5: the adapted SSB search end to end on representative instances."""
     if problems is None:
         problems = [paper_example_problem(), healthcare_scenario(), snmp_scenario()]
+    report = _solved(BatchRunner().solve_many(problems, method="colored-ssb"))
     rows: List[ExperimentRow] = []
-    for problem in problems:
-        result = solve(problem, method="colored-ssb")
+    for problem, item in zip(problems, report):
         rows.append({
             "instance": problem.name,
-            "delay": result.objective,
-            "host_load": result.assignment.host_load(),
-            "max_satellite_load": result.assignment.max_satellite_load(),
-            "iterations": result.details["iterations"],
-            "expansions": result.details["expansions"],
-            "termination": result.details["termination"],
-            "graph_edges": result.details["assignment_graph_edges"],
+            "delay": item.objective,
+            "host_load": item.assignment.host_load(),
+            "max_satellite_load": item.assignment.max_satellite_load(),
+            "iterations": item.details["iterations"],
+            "expansions": item.details["expansions"],
+            "termination": item.details["termination"],
+            "graph_edges": item.details["assignment_graph_edges"],
         })
     return {"rows": rows}
 
@@ -202,18 +206,20 @@ def ssb_vs_sb_experiment(seeds: Sequence[int] = tuple(range(10)),
                          n_processing: int = 12, n_satellites: int = 4,
                          sensor_scatter: float = 0.3) -> Dict[str, object]:
     """E8: end-to-end delay (SSB) versus bottleneck (SB) objective comparison."""
+    problems = [random_problem(n_processing=n_processing, n_satellites=n_satellites,
+                               seed=seed, sensor_scatter=sensor_scatter)
+                for seed in seeds]
+    runner = BatchRunner()
+    ssb_report = _solved(runner.solve_many(problems, method="colored-ssb"))
+    sb_report = _solved(runner.solve_many(problems, method="bokhari-sb"))
     rows: List[ExperimentRow] = []
     ssb_wins = 0
     ties = 0
-    for seed in seeds:
-        problem = random_problem(n_processing=n_processing, n_satellites=n_satellites,
-                                 seed=seed, sensor_scatter=sensor_scatter)
-        ssb_result = solve(problem, method="colored-ssb")
-        sb_assignment, sb_details = bokhari_sb_assignment(problem)
-        delay_ssb = ssb_result.objective
-        delay_sb = sb_assignment.end_to_end_delay()
-        bottleneck_ssb = ssb_result.assignment.bottleneck_time()
-        bottleneck_sb = sb_assignment.bottleneck_time()
+    for seed, ssb_item, sb_item in zip(seeds, ssb_report, sb_report):
+        delay_ssb = ssb_item.objective
+        delay_sb = sb_item.objective
+        bottleneck_ssb = ssb_item.assignment.bottleneck_time()
+        bottleneck_sb = sb_item.assignment.bottleneck_time()
         if delay_ssb < delay_sb - 1e-9:
             ssb_wins += 1
         elif abs(delay_ssb - delay_sb) <= 1e-9:
@@ -260,23 +266,26 @@ def optimality_experiment(seeds: Sequence[int] = tuple(range(12)),
                           n_processing: int = 9, n_satellites: int = 3,
                           sensor_scatter: float = 0.5) -> Dict[str, object]:
     """E10: the adapted SSB search agrees with brute force and the Pareto DP."""
+    problems = [random_problem(n_processing=n_processing, n_satellites=n_satellites,
+                               seed=seed, sensor_scatter=sensor_scatter)
+                for seed in seeds]
+    runner = BatchRunner()
+    by_method = {method: _solved(runner.solve_many(problems, method=method))
+                 for method in ("colored-ssb", "brute-force", "pareto-dp")}
     rows: List[ExperimentRow] = []
     mismatches = 0
-    for seed in seeds:
-        problem = random_problem(n_processing=n_processing, n_satellites=n_satellites,
-                                 seed=seed, sensor_scatter=sensor_scatter)
-        ssb = solve(problem, method="colored-ssb").objective
-        brute, _ = brute_force_assignment(problem)
-        dp, _ = pareto_dp_assignment(problem)
-        agree = abs(ssb - brute.end_to_end_delay()) < 1e-9 and \
-            abs(ssb - dp.end_to_end_delay()) < 1e-9
+    for i, seed in enumerate(seeds):
+        ssb = by_method["colored-ssb"].results[i].objective
+        brute = by_method["brute-force"].results[i].objective
+        dp = by_method["pareto-dp"].results[i].objective
+        agree = abs(ssb - brute) < 1e-9 and abs(ssb - dp) < 1e-9
         if not agree:
             mismatches += 1
         rows.append({
             "seed": seed,
             "colored_ssb": ssb,
-            "brute_force": brute.end_to_end_delay(),
-            "pareto_dp": dp.end_to_end_delay(),
+            "brute_force": brute,
+            "pareto_dp": dp,
             "agree": agree,
         })
     return {"rows": rows, "mismatches": mismatches}
@@ -287,24 +296,34 @@ def heuristics_experiment(seeds: Sequence[int] = tuple(range(8)),
                           n_processing: int = 14, n_satellites: int = 4,
                           sensor_scatter: float = 0.3) -> Dict[str, object]:
     """E11: heuristics (greedy / random / GA / B&B) against the exact optimum."""
+    seeds = list(seeds)
+    problems = [random_problem(n_processing=n_processing, n_satellites=n_satellites,
+                               seed=seed, sensor_scatter=sensor_scatter)
+                for seed in seeds]
+    runner = BatchRunner()
+    optimal_report = _solved(runner.solve_many(problems, method="colored-ssb"))
+    greedy_report = _solved(runner.solve_many(problems, method="greedy"))
+    rand_report = _solved(runner.solve_many(problems, method="random", samples=100,
+                                            seeds=seeds))
+    ga_report = _solved(runner.solve_many(problems, method="genetic", generations=30,
+                                          population_size=24, seeds=seeds))
+    bnb_report = _solved(runner.solve_many(problems, method="branch-and-bound"))
     rows: List[ExperimentRow] = []
-    for seed in seeds:
-        problem = random_problem(n_processing=n_processing, n_satellites=n_satellites,
-                                 seed=seed, sensor_scatter=sensor_scatter)
-        optimal = solve(problem, method="colored-ssb").objective
-        greedy, _ = greedy_assignment(problem)
-        rand, _ = random_search_assignment(problem, samples=100, seed=seed)
-        ga, _ = genetic_assignment(problem, seed=seed, generations=30, population_size=24)
-        bnb, _ = branch_and_bound_assignment(problem)
+    for i, seed in enumerate(seeds):
+        optimal = optimal_report.results[i].objective
+        greedy = greedy_report.results[i].objective
+        rand = rand_report.results[i].objective
+        ga = ga_report.results[i].objective
+        bnb = bnb_report.results[i].objective
         rows.append({
             "seed": seed,
             "optimal": optimal,
-            "greedy": greedy.end_to_end_delay(),
-            "random_search": rand.end_to_end_delay(),
-            "genetic": ga.end_to_end_delay(),
-            "branch_and_bound": bnb.end_to_end_delay(),
-            "greedy_gap_pct": 100.0 * (greedy.end_to_end_delay() / optimal - 1.0),
-            "genetic_gap_pct": 100.0 * (ga.end_to_end_delay() / optimal - 1.0),
+            "greedy": greedy,
+            "random_search": rand,
+            "genetic": ga,
+            "branch_and_bound": bnb,
+            "greedy_gap_pct": 100.0 * (greedy / optimal - 1.0),
+            "genetic_gap_pct": 100.0 * (ga / optimal - 1.0),
         })
     return {"rows": rows}
 

@@ -1,0 +1,27 @@
+"""Benchmark smoke mode.
+
+CI runs every ``benchmarks/bench_*.py`` file in a reduced "smoke" mode to
+catch performance-path regressions without paying for the full sweeps.  The
+switch is the ``REPRO_BENCH_SMOKE`` environment variable; benchmark modules
+declare both their full and reduced parameters through :func:`smoke_scaled`
+so the reduction is visible at the point of use.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TypeVar
+
+SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
+
+T = TypeVar("T")
+
+
+def smoke_mode() -> bool:
+    """True when benchmarks should run with reduced parameters."""
+    return os.environ.get(SMOKE_ENV_VAR, "") not in ("", "0")
+
+
+def smoke_scaled(full: T, reduced: T) -> T:
+    """``reduced`` in smoke mode, ``full`` otherwise."""
+    return reduced if smoke_mode() else full

@@ -89,16 +89,21 @@ def decode_chromosome(problem: AssignmentProblem, genes: Sequence[int],
 def genetic_assignment(problem: AssignmentProblem,
                        parameters: Optional[GAParameters] = None,
                        seed: Optional[int] = None,
+                       rng: Optional[random.Random] = None,
                        **overrides) -> Tuple[Assignment, Dict[str, object]]:
     """Run the GA and return the best assignment found.
 
-    Keyword overrides (``generations=...``, ``population_size=...``) are
-    applied on top of ``parameters`` for convenience.
+    Randomness comes exclusively from ``rng`` (or a ``random.Random(seed)``
+    built here) — never from the shared module-level generator — so runs are
+    reproducible and batch sweeps can thread one explicitly seeded stream per
+    task.  Keyword overrides (``generations=...``, ``population_size=...``)
+    are applied on top of ``parameters`` for convenience.
     """
     params = parameters or GAParameters()
     if overrides:
         params = GAParameters(**{**params.__dict__, **overrides})
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
 
     offloadable = _offloadable_crus(problem)
     n_genes = len(offloadable)

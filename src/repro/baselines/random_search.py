@@ -41,9 +41,11 @@ def random_cut(problem: AssignmentProblem, rng: random.Random,
 
 
 def random_assignment(problem: AssignmentProblem, seed: Optional[int] = None,
-                      offload_probability: float = 0.5) -> Assignment:
+                      offload_probability: float = 0.5,
+                      rng: Optional[random.Random] = None) -> Assignment:
     """One uniformly sampled feasible assignment (sensors pinned, root on host)."""
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     cut = random_cut(problem, rng, offload_probability)
     offloaded = [c for c in cut if problem.tree.cru(c).is_processing]
     return Assignment.from_cut(problem, offloaded)
@@ -52,11 +54,18 @@ def random_assignment(problem: AssignmentProblem, seed: Optional[int] = None,
 def random_search_assignment(problem: AssignmentProblem, samples: int = 200,
                              seed: Optional[int] = None,
                              offload_probability: float = 0.5,
+                             rng: Optional[random.Random] = None,
                              **_ignored) -> Tuple[Assignment, Dict[str, object]]:
-    """Best of ``samples`` random feasible assignments."""
+    """Best of ``samples`` random feasible assignments.
+
+    Randomness comes exclusively from ``rng`` (or a ``random.Random(seed)``
+    built here) — never from the shared module-level generator — so batch
+    sweeps can thread one explicitly seeded stream per task.
+    """
     if samples <= 0:
         raise ValueError("samples must be positive")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     best: Optional[Assignment] = None
     best_delay = float("inf")
     for _ in range(samples):

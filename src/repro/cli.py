@@ -9,7 +9,10 @@ points without writing any Python:
   Gantt-style trace;
 * ``experiment`` — run one of the DESIGN.md experiments and print its table;
 * ``describe`` — print the CRU tree, the colouring and the assignment-graph
-  structure of an instance.
+  structure of an instance;
+* ``batch`` — sweep a fleet of instances through the parallel
+  :class:`~repro.runtime.BatchRunner` (process pool, result cache, explicit
+  seeding) and print per-instance and aggregate statistics.
 """
 
 from __future__ import annotations
@@ -26,6 +29,13 @@ from repro.core.coloring import color_tree
 from repro.core.solver import available_methods, solve
 from repro.model.problem import AssignmentProblem
 from repro.model.serialization import problem_from_json
+from repro.runtime import (
+    BatchRunner,
+    JSONFileCache,
+    LRUResultCache,
+    TieredResultCache,
+    default_registry,
+)
 from repro.simulation import ExecutionPolicy, simulate_assignment
 from repro.workloads import (
     healthcare_scenario,
@@ -132,10 +142,99 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_methods(_args: argparse.Namespace) -> int:
+def _cmd_methods(args: argparse.Namespace) -> int:
+    if getattr(args, "verbose", False):
+        rows = [spec.metadata() for spec in default_registry().specs()]
+        for row in rows:
+            row["aliases"] = ", ".join(row["aliases"]) or "-"
+        print(format_table(rows, columns=["name", "exact", "stochastic",
+                                          "complexity", "aliases"],
+                           title="registered solvers"))
+        return 0
     for method in available_methods():
         print(method)
     return 0
+
+
+def _batch_problems(args: argparse.Namespace) -> List[AssignmentProblem]:
+    if args.problem_file:
+        problems = []
+        for path in args.problem_file:
+            with open(path, "r", encoding="utf-8") as handle:
+                problems.append(problem_from_json(handle.read()))
+        return problems
+    if args.scenario == "random":
+        problems = []
+        for i in range(args.count):
+            problem = random_problem(n_processing=args.random_size,
+                                     n_satellites=args.random_satellites,
+                                     seed=args.seed + i,
+                                     sensor_scatter=args.sensor_scatter)
+            problem.name = f"{problem.name}-{args.seed + i}"
+            problems.append(problem)
+        return problems
+    return [_SCENARIOS[args.scenario]() for _ in range(args.count)]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    cache = None
+    if not args.no_cache:
+        disk = JSONFileCache(args.cache_dir) if args.cache_dir else None
+        cache = TieredResultCache(memory=LRUResultCache(), disk=disk)
+    try:
+        problems = _batch_problems(args)
+        runner = BatchRunner(workers=args.workers,
+                             chunk_size=args.chunk_size,
+                             task_timeout=args.timeout,
+                             cache=cache,
+                             base_seed=args.seed)
+        report = runner.solve_many(problems, method=args.method)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [{
+        "instance": item.tag or f"#{item.index}",
+        "method": item.method,
+        "objective": item.objective if item.ok else "-",
+        "cached": item.cached,
+        "elapsed_ms": item.elapsed_s * 1e3,
+        "error": (item.error or "")[:60],
+    } for item in report]
+    if not args.quiet:
+        print(format_table(rows, title=f"batch: {len(problems)} instances, "
+                                       f"method={args.method}"))
+    objectives = [item.objective for item in report if item.ok]
+    print(report.summary())
+    if objectives:
+        print(f"objective: min={min(objectives):.6g} "
+              f"mean={sum(objectives) / len(objectives):.6g} "
+              f"max={max(objectives):.6g}")
+    if report.wall_s > 0:
+        print(f"throughput: {len(problems) / report.wall_s:.1f} instances/s")
+    if args.json:
+        payload = {
+            "method": args.method,
+            "workers": report.workers,
+            "wall_s": report.wall_s,
+            "cache_hits": report.cache_hits,
+            "solved": report.solved,
+            "failed": report.failed,
+            "results": [{
+                "instance": item.tag,
+                "key": item.key,
+                "objective": item.objective,
+                "cached": item.cached,
+                "elapsed_s": item.elapsed_s,
+                "seed": item.seed,
+                "error": item.error,
+                "placement": item.placement,
+            } for item in report],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if report.failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,7 +268,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_methods = sub.add_parser("methods", help="list available solver methods")
+    p_methods.add_argument("--verbose", action="store_true",
+                           help="print the registry's capability metadata")
     p_methods.set_defaults(func=_cmd_methods)
+
+    p_batch = sub.add_parser(
+        "batch", help="sweep many instances through the parallel batch runner")
+    p_batch.add_argument("--scenario", choices=list(_SCENARIOS) + ["random"],
+                         default="random",
+                         help="instance family to sweep (default: random)")
+    p_batch.add_argument("--problem-file", nargs="*",
+                         help="JSON problem files (overrides --scenario)")
+    p_batch.add_argument("--count", type=int, default=20,
+                         help="number of instances to generate (default: 20)")
+    p_batch.add_argument("--random-size", type=int, default=12,
+                         help="processing CRUs per random instance")
+    p_batch.add_argument("--random-satellites", type=int, default=3,
+                         help="satellites per random instance")
+    p_batch.add_argument("--sensor-scatter", type=float, default=0.3,
+                         help="sensor scatter of random instances")
+    p_batch.add_argument("--method", default="colored-ssb",
+                         help="solver method or alias (default: colored-ssb)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: REPRO_BATCH_WORKERS or serial)")
+    p_batch.add_argument("--chunk-size", type=int, default=None,
+                         help="tasks per worker message")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-task timeout in seconds")
+    p_batch.add_argument("--seed", type=int, default=0,
+                         help="base seed for instance generation and stochastic methods")
+    p_batch.add_argument("--cache-dir",
+                         help="on-disk result cache directory (warm runs skip solves)")
+    p_batch.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache entirely")
+    p_batch.add_argument("--json", help="write the full report to this JSON file")
+    p_batch.add_argument("--quiet", action="store_true",
+                         help="suppress the per-instance table")
+    p_batch.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -9,19 +9,17 @@
 
 Alternative methods (exact references, Bokhari's objective, and the
 heuristics the paper lists as future work) are exposed through the same entry
-point so experiments can sweep over them uniformly.
+point.  Dispatch goes through the solver registry
+(:mod:`repro.runtime.registry`), which also carries capability metadata the
+batch runtime uses — the facade stays the convenient single-instance door.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.assignment import Assignment
-from repro.core.assignment_graph import ColoredAssignmentGraph, build_assignment_graph
-from repro.core.coloring import ColoredTree, color_tree
-from repro.core.colored_ssb import ColoredSSBResult, ColoredSSBSearch
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 
@@ -51,84 +49,11 @@ class SolverResult:
                 f"({self.elapsed_s * 1e3:.2f} ms)")
 
 
-def _solve_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeighting],
-                       **options: Any) -> SolverResult:
-    started = time.perf_counter()
-    colored = color_tree(problem)
-    graph = build_assignment_graph(problem, colored_tree=colored)
-    search = ColoredSSBSearch(weighting=weighting,
-                              enable_expansion=options.get("enable_expansion", True))
-    result = search.search(graph.dwg)
-    if not result.found:
-        raise RuntimeError("the coloured assignment graph has no S-T path; "
-                           "the instance admits no feasible assignment")
-    assignment = graph.path_to_assignment(result.path)
-    elapsed = time.perf_counter() - started
-    return SolverResult(
-        method="colored-ssb",
-        assignment=assignment,
-        objective=assignment.end_to_end_delay(),
-        elapsed_s=elapsed,
-        details={
-            "ssb_weight": result.ssb_weight,
-            "s_weight": result.s_weight,
-            "b_weight": result.b_weight,
-            "iterations": result.iteration_count,
-            "expansions": result.expansions,
-            "enumerated_paths": result.enumerated_paths,
-            "termination": result.termination,
-            "assignment_graph_edges": graph.number_of_edges(),
-            "search_result": result,
-            "assignment_graph": graph,
-        },
-    )
-
-
-def _solve_with_baseline(method: str, problem: AssignmentProblem,
-                         weighting: Optional[SSBWeighting], **options: Any) -> SolverResult:
-    # Imported lazily to keep repro.core importable without the baselines
-    # package (and to avoid import cycles).
-    from repro import baselines
-
-    started = time.perf_counter()
-    if method == "brute-force":
-        assignment, details = baselines.brute_force_assignment(problem, weighting=weighting)
-    elif method == "pareto-dp":
-        assignment, details = baselines.pareto_dp_assignment(problem, weighting=weighting)
-    elif method == "sb-bottleneck":
-        assignment, details = baselines.bokhari_sb_assignment(problem)
-    elif method == "greedy":
-        assignment, details = baselines.greedy_assignment(problem, **options)
-    elif method == "random-search":
-        assignment, details = baselines.random_search_assignment(problem, **options)
-    elif method == "genetic":
-        assignment, details = baselines.genetic_assignment(problem, **options)
-    elif method == "branch-and-bound":
-        assignment, details = baselines.branch_and_bound_assignment(problem, **options)
-    else:
-        raise ValueError(f"unknown method {method!r}; available: {available_methods()}")
-    elapsed = time.perf_counter() - started
-    return SolverResult(
-        method=method,
-        assignment=assignment,
-        objective=assignment.end_to_end_delay(),
-        elapsed_s=elapsed,
-        details=details,
-    )
-
-
 def available_methods() -> List[str]:
-    """Names accepted by :func:`solve`."""
-    return [
-        "colored-ssb",
-        "brute-force",
-        "pareto-dp",
-        "sb-bottleneck",
-        "greedy",
-        "random-search",
-        "genetic",
-        "branch-and-bound",
-    ]
+    """Canonical names accepted by :func:`solve` (aliases excluded)."""
+    from repro.runtime.registry import default_registry
+
+    return default_registry().names()
 
 
 def solve(problem: AssignmentProblem,
@@ -143,7 +68,8 @@ def solve(problem: AssignmentProblem,
     problem:
         The instance to solve.
     method:
-        One of :func:`available_methods`.  ``"colored-ssb"`` (default) is the
+        One of :func:`available_methods` (or a registered alias such as
+        ``"bokhari-sb"`` / ``"random"``).  ``"colored-ssb"`` (default) is the
         paper's algorithm; ``"brute-force"`` and ``"pareto-dp"`` are exact
         references; ``"sb-bottleneck"`` optimises Bokhari's objective;
         the rest are the heuristics the paper lists as future work.
@@ -156,8 +82,11 @@ def solve(problem: AssignmentProblem,
         Method-specific keyword options (e.g. ``seed`` for the stochastic
         heuristics, ``generations`` for the genetic algorithm).
     """
+    # Imported lazily to keep repro.core importable without the runtime
+    # package (and to avoid import cycles).
+    from repro.runtime.registry import default_registry
+
+    spec = default_registry().resolve(method)
     if validate:
         problem.validate()
-    if method == "colored-ssb":
-        return _solve_colored_ssb(problem, weighting, **options)
-    return _solve_with_baseline(method, problem, weighting, **options)
+    return spec.solve(problem, weighting=weighting, **options)

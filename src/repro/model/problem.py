@@ -45,6 +45,7 @@ class AssignmentProblem:
         self.costs = costs if costs is not None else CommunicationCostModel()
         self.name = name
         self._correspondent_cache: Optional[Dict[str, Optional[str]]] = None
+        self._fingerprint_cache: Optional[str] = None
 
     # --------------------------------------------------------------- timing
     def host_time(self, cru_id: str) -> float:
@@ -115,6 +116,7 @@ class AssignmentProblem:
     def invalidate_caches(self) -> None:
         """Drop memoised derived data after in-place mutation (rarely needed)."""
         self._correspondent_cache = None
+        self._fingerprint_cache = None
 
     # ----------------------------------------------------------------- misc
     def summary(self) -> str:

@@ -1,0 +1,261 @@
+"""Result cache keyed by a canonical problem hash.
+
+A cache key identifies (instance, method, weighting, options) so a warm sweep
+can skip every instance that was already solved with identical settings.  The
+instance part of the key is a SHA-256 over the canonical JSON produced by
+:mod:`repro.model.serialization` — two structurally identical problems hash
+identically regardless of construction order of dict-valued fields.
+
+Two stores are provided, plus a tier combining them:
+
+* :class:`LRUResultCache` — bounded in-memory store with LRU eviction;
+* :class:`JSONFileCache` — one JSON file per key under a directory, written
+  atomically, so sweeps survive process restarts and can be shared between
+  workers;
+* :class:`TieredResultCache` — memory in front of disk, promoting disk hits.
+
+Entries are plain JSON-safe dicts (method, objective, placement, elapsed_s,
+details) so they can cross process boundaries and be diffed on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Protocol
+
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+from repro.model.serialization import problem_to_dict
+
+CacheEntry = Dict[str, Any]
+
+_ENTRY_VERSION = 1
+
+
+# ------------------------------------------------------------------- hashing
+def _canonical_json(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def problem_fingerprint(problem: AssignmentProblem) -> str:
+    """SHA-256 hex digest of the canonical serialised instance.
+
+    Memoised on the instance (serialising + hashing sits on the batch
+    dispatch hot path and sweeps hash the same problems repeatedly); the
+    model's ``invalidate_caches()`` drops the memo after in-place mutation.
+    """
+    cached = getattr(problem, "_fingerprint_cache", None)
+    if cached is not None:
+        return cached
+    fingerprint = hashlib.sha256(
+        _canonical_json(problem_to_dict(problem)).encode("utf-8")).hexdigest()
+    problem._fingerprint_cache = fingerprint
+    return fingerprint
+
+
+def options_fingerprint(options: Optional[Mapping[str, Any]] = None,
+                        weighting: Optional[SSBWeighting] = None) -> str:
+    """Stable digest of solver options + objective weighting."""
+    payload = {
+        "options": dict(sorted((options or {}).items())),
+        "weighting": (None if weighting is None
+                      else [weighting.lambda_s, weighting.lambda_b]),
+    }
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def result_key(problem: AssignmentProblem, method: str,
+               options: Optional[Mapping[str, Any]] = None,
+               weighting: Optional[SSBWeighting] = None,
+               problem_hash: Optional[str] = None) -> str:
+    """The full cache key for one (instance, method, options) combination.
+
+    ``problem_hash`` short-circuits re-hashing when the caller already
+    fingerprinted the instance (the BatchRunner hashes each instance once).
+    """
+    instance = problem_hash or problem_fingerprint(problem)
+    return f"{instance}-{method}-{options_fingerprint(options, weighting)[:16]}"
+
+
+def make_cache_entry(method: str, objective: float, elapsed_s: float,
+                     placement: Mapping[str, str],
+                     details: Mapping[str, Any]) -> CacheEntry:
+    """The one place the entry format (and its version stamp) is defined."""
+    return {
+        "entry_version": _ENTRY_VERSION,
+        "method": method,
+        "objective": objective,
+        "elapsed_s": elapsed_s,
+        "placement": dict(placement),
+        "details": json_safe_details(details),
+    }
+
+
+def cache_entry_from_result(result: "Any") -> CacheEntry:
+    """Build a JSON-safe cache entry from a :class:`SolverResult`."""
+    return make_cache_entry(result.method, result.objective, result.elapsed_s,
+                            result.assignment.placement, result.details)
+
+
+def json_safe_details(details: Mapping[str, Any]) -> Dict[str, Any]:
+    """Keep only the JSON-representable part of a details dict."""
+    safe: Dict[str, Any] = {}
+    for key, value in details.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (list, tuple)) and all(
+                isinstance(v, (str, int, float, bool)) or v is None for v in value):
+            safe[key] = list(value)
+    return safe
+
+
+# -------------------------------------------------------------------- stores
+class ResultCache(Protocol):
+    """Minimal store interface the runner relies on."""
+
+    def get(self, key: str) -> Optional[CacheEntry]: ...
+
+    def put(self, key: str, entry: CacheEntry) -> None: ...
+
+
+class _CacheStats:
+    """Hit/miss accounting shared by all stores."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class LRUResultCache(_CacheStats):
+    """Bounded in-memory result store with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        super().__init__()
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class JSONFileCache(_CacheStats):
+    """One JSON file per key under ``directory`` (created on demand).
+
+    Writes are atomic (tempfile + rename) so concurrent workers sharing the
+    directory can never observe a torn entry; unreadable files count as
+    misses instead of raising.
+    """
+
+    def __init__(self, directory: str) -> None:
+        super().__init__()
+        self.directory = directory
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("entry_version") != _ENTRY_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.directory)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+
+class TieredResultCache(_CacheStats):
+    """In-memory LRU in front of an optional on-disk store.
+
+    Disk hits are promoted into memory; writes go to both tiers.
+    """
+
+    def __init__(self, memory: Optional[LRUResultCache] = None,
+                 disk: Optional[JSONFileCache] = None) -> None:
+        super().__init__()
+        self.memory = memory if memory is not None else LRUResultCache()
+        self.disk = disk
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self.memory.get(key)
+        if entry is None and self.disk is not None:
+            entry = self.disk.get(key)
+            if entry is not None:
+                self.memory.put(key, entry)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self.memory.put(key, entry)
+        if self.disk is not None:
+            self.disk.put(key, entry)

@@ -1,0 +1,292 @@
+"""Solver registry.
+
+Every solving method is described by a :class:`SolverSpec`: a canonical name,
+the callable implementing it, aliases, and capability/complexity metadata
+(exact vs. heuristic, deterministic vs. stochastic, whether it honours an
+:class:`~repro.core.dwg.SSBWeighting`).  The registry replaces the ad-hoc
+``if method == ...`` dispatch that used to live in :mod:`repro.core.solver`:
+the facade now resolves the method name here, and higher layers (the
+:class:`~repro.runtime.runner.BatchRunner`, the CLI, the experiment drivers)
+can introspect capabilities — e.g. the runner only derives per-task seeds for
+specs flagged ``stochastic``.
+
+The default registry carries the paper's algorithm plus every baseline:
+
+``colored-ssb``        the paper's adapted SSB search (exact)
+``brute-force``        full enumeration (exact reference)
+``pareto-dp``          Pareto-frontier tree DP (exact reference)
+``branch-and-bound``   exact B&B over feasible cuts
+``sb-bottleneck``      Bokhari's bottleneck objective (alias ``bokhari-sb``)
+``greedy``             hill-climbing heuristic
+``random-search``      Monte-Carlo search (alias ``random``)
+``genetic``            GA heuristic
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+
+
+class UnknownSolverError(ValueError):
+    """Raised when a method name matches neither a solver nor an alias."""
+
+    def __init__(self, name: str, available: List[str]) -> None:
+        super().__init__(f"unknown method {name!r}; available: {available}")
+        self.name = name
+        self.available = available
+
+
+# A runner takes (problem, weighting, options) and returns (assignment, details).
+SolverCallable = Callable[
+    [AssignmentProblem, Optional[SSBWeighting], Mapping[str, Any]],
+    Tuple[Any, Dict[str, Any]],
+]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solving method plus its capability metadata."""
+
+    name: str
+    runner: SolverCallable
+    description: str = ""
+    exact: bool = False                 #: guaranteed to return the optimum
+    stochastic: bool = False            #: consumes a ``seed`` option
+    supports_weighting: bool = False    #: honours an SSBWeighting objective
+    complexity: str = "?"               #: informal worst-case complexity
+    aliases: Tuple[str, ...] = ()
+
+    def solve(self, problem: AssignmentProblem,
+              weighting: Optional[SSBWeighting] = None,
+              **options: Any) -> "SolverResult":
+        """Run the method and wrap the outcome in a uniform result record."""
+        from repro.core.solver import SolverResult
+
+        started = time.perf_counter()
+        assignment, details = self.runner(problem, weighting, dict(options))
+        elapsed = time.perf_counter() - started
+        return SolverResult(
+            method=self.name,
+            assignment=assignment,
+            objective=assignment.end_to_end_delay(),
+            elapsed_s=elapsed,
+            details=details,
+        )
+
+    def metadata(self) -> Dict[str, Any]:
+        """Capability metadata as a plain dict (for tables / JSON output)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "exact": self.exact,
+            "stochastic": self.stochastic,
+            "supports_weighting": self.supports_weighting,
+            "complexity": self.complexity,
+            "aliases": list(self.aliases),
+        }
+
+
+class SolverRegistry:
+    """Name -> :class:`SolverSpec` mapping with alias resolution."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, SolverSpec] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------ population
+    def register(self, spec: SolverSpec) -> SolverSpec:
+        if spec.name in self._specs or spec.name in self._aliases:
+            raise ValueError(f"solver {spec.name!r} is already registered")
+        for alias in spec.aliases:
+            if alias in self._specs or alias in self._aliases:
+                raise ValueError(f"alias {alias!r} is already registered")
+        self._specs[spec.name] = spec
+        for alias in spec.aliases:
+            self._aliases[alias] = spec.name
+        return spec
+
+    def register_solver(self, name: str, **metadata: Any
+                        ) -> Callable[[SolverCallable], SolverCallable]:
+        """Decorator form of :meth:`register`."""
+        def decorate(runner: SolverCallable) -> SolverCallable:
+            self.register(SolverSpec(name=name, runner=runner, **metadata))
+            return runner
+        return decorate
+
+    # ------------------------------------------------------------ resolution
+    def canonical_name(self, name: str) -> str:
+        if name in self._specs:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        raise UnknownSolverError(name, self.names())
+
+    def resolve(self, name: str) -> SolverSpec:
+        return self._specs[self.canonical_name(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs or name in self._aliases
+
+    def __iter__(self) -> Iterator[SolverSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self, include_aliases: bool = False) -> List[str]:
+        names = list(self._specs)
+        if include_aliases:
+            names += sorted(self._aliases)
+        return names
+
+    def specs(self) -> List[SolverSpec]:
+        return list(self._specs.values())
+
+
+# --------------------------------------------------------------------------
+# Default registry: the paper's algorithm and every baseline.
+# --------------------------------------------------------------------------
+def _run_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeighting],
+                     options: Mapping[str, Any]):
+    from repro.core.assignment_graph import build_assignment_graph
+    from repro.core.coloring import color_tree
+    from repro.core.colored_ssb import ColoredSSBSearch
+
+    colored = color_tree(problem)
+    graph = build_assignment_graph(problem, colored_tree=colored)
+    search = ColoredSSBSearch(weighting=weighting,
+                              enable_expansion=options.get("enable_expansion", True))
+    result = search.search(graph.dwg)
+    if not result.found:
+        raise RuntimeError("the coloured assignment graph has no S-T path; "
+                           "the instance admits no feasible assignment")
+    assignment = graph.path_to_assignment(result.path)
+    details = {
+        "ssb_weight": result.ssb_weight,
+        "s_weight": result.s_weight,
+        "b_weight": result.b_weight,
+        "iterations": result.iteration_count,
+        "expansions": result.expansions,
+        "enumerated_paths": result.enumerated_paths,
+        "termination": result.termination,
+        "assignment_graph_edges": graph.number_of_edges(),
+        "search_result": result,
+        "assignment_graph": graph,
+    }
+    return assignment, details
+
+
+def _run_brute_force(problem, weighting, options):
+    from repro.baselines import brute_force_assignment
+    return brute_force_assignment(problem, weighting=weighting)
+
+
+def _run_pareto_dp(problem, weighting, options):
+    from repro.baselines import pareto_dp_assignment
+    return pareto_dp_assignment(problem, weighting=weighting)
+
+
+def _run_bokhari_sb(problem, weighting, options):
+    from repro.baselines import bokhari_sb_assignment
+    return bokhari_sb_assignment(problem)
+
+
+def _run_greedy(problem, weighting, options):
+    from repro.baselines import greedy_assignment
+    return greedy_assignment(problem, **options)
+
+
+def _run_random_search(problem, weighting, options):
+    from repro.baselines import random_search_assignment
+    return random_search_assignment(problem, **options)
+
+
+def _run_genetic(problem, weighting, options):
+    from repro.baselines import genetic_assignment
+    return genetic_assignment(problem, **options)
+
+
+def _run_branch_and_bound(problem, weighting, options):
+    from repro.baselines import branch_and_bound_assignment
+    return branch_and_bound_assignment(problem, **options)
+
+
+_DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
+    SolverSpec(
+        name="colored-ssb",
+        runner=_run_colored_ssb,
+        description="the paper's adapted SSB search on the coloured assignment graph",
+        exact=True,
+        supports_weighting=True,
+        complexity="O(|V|^2 |E|) on the assignment graph",
+    ),
+    SolverSpec(
+        name="brute-force",
+        runner=_run_brute_force,
+        description="full enumeration of feasible cuts (exact reference)",
+        exact=True,
+        supports_weighting=True,
+        complexity="exponential in the number of offloadable subtrees",
+    ),
+    SolverSpec(
+        name="pareto-dp",
+        runner=_run_pareto_dp,
+        description="Pareto-frontier tree DP (exact reference)",
+        exact=True,
+        supports_weighting=True,
+        complexity="output-sensitive in the frontier size",
+    ),
+    SolverSpec(
+        name="sb-bottleneck",
+        runner=_run_bokhari_sb,
+        description="Bokhari's bottleneck objective max(host, max satellite)",
+        complexity="polynomial (SB path search)",
+        aliases=("bokhari-sb",),
+    ),
+    SolverSpec(
+        name="greedy",
+        runner=_run_greedy,
+        description="hill-climbing from the maximal-offload cut",
+        complexity="O(steps * |T|)",
+    ),
+    SolverSpec(
+        name="random-search",
+        runner=_run_random_search,
+        description="best of N uniformly sampled feasible cuts",
+        stochastic=True,
+        complexity="O(samples * |T|)",
+        aliases=("random",),
+    ),
+    SolverSpec(
+        name="genetic",
+        runner=_run_genetic,
+        description="genetic algorithm over offload-preference chromosomes",
+        stochastic=True,
+        complexity="O(generations * population * |T|)",
+    ),
+    SolverSpec(
+        name="branch-and-bound",
+        runner=_run_branch_and_bound,
+        description="exact branch-and-bound over feasible cuts",
+        exact=True,
+        complexity="exponential worst case, pruned in practice",
+    ),
+)
+
+_default: Optional[SolverRegistry] = None
+
+
+def default_registry() -> SolverRegistry:
+    """The process-wide registry holding the paper's method and all baselines."""
+    global _default
+    if _default is None:
+        registry = SolverRegistry()
+        for spec in _DEFAULT_SPECS:
+            registry.register(spec)
+        _default = registry
+    return _default

@@ -1,0 +1,481 @@
+"""Parallel batch solving.
+
+:class:`BatchRunner` fans a fleet of :class:`~repro.model.problem.AssignmentProblem`
+instances across ``concurrent.futures.ProcessPoolExecutor`` workers:
+
+* instances cross the process boundary as canonical JSON (the same format the
+  CLI reads/writes), so workers never depend on picklability of live objects;
+* tasks are grouped into **chunks** to amortise IPC overhead, and each chunk
+  gets a deadline of ``task_timeout * len(chunk)`` — a chunk that blows its
+  deadline is recorded as a per-task ``timeout`` error instead of hanging the
+  sweep;
+* stochastic methods (per the registry's ``stochastic`` flag) receive an
+  **explicitly derived seed** — a stable hash of ``(base_seed, problem hash,
+  method, options)`` — so a sweep is reproducible and *order-independent*:
+  shuffling the task list cannot change any task's seed or result;
+* an optional **result cache** is consulted before dispatch and fed after, so
+  a warm repeat of a sweep returns identical objectives without re-solving,
+  and duplicate instances inside one batch are solved only once.
+
+``workers=0`` (the default) solves in-process — no pickling, full
+:class:`~repro.core.solver.SolverResult` objects preserved — which is what
+the experiment drivers use unless ``REPRO_BATCH_WORKERS`` says otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+from repro.model.serialization import problem_from_json, problem_to_json
+from repro.runtime.cache import (
+    ResultCache,
+    cache_entry_from_result,
+    json_safe_details,
+    make_cache_entry,
+    problem_fingerprint,
+    result_key,
+)
+from repro.runtime.registry import SolverRegistry, default_registry
+
+WORKERS_ENV_VAR = "REPRO_BATCH_WORKERS"
+
+
+def _format_error(exc: BaseException) -> str:
+    """One-line error text carried in results instead of raising."""
+    return "".join(traceback.format_exception_only(type(exc), exc)).strip()
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """A stable 63-bit seed derived from ``base_seed`` and identifying parts.
+
+    Deterministic across processes and runs (unlike ``hash()``), and
+    independent of task submission order.
+    """
+    text = ":".join([str(base_seed), *map(str, parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass
+class BatchTask:
+    """One unit of work: solve ``problem`` with ``method``."""
+
+    problem: AssignmentProblem
+    method: str = "colored-ssb"
+    options: Dict[str, Any] = field(default_factory=dict)
+    weighting: Optional[SSBWeighting] = None
+    seed: Optional[int] = None          #: explicit seed (stochastic methods)
+    tag: Optional[str] = None           #: caller-provided identifier
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one task, in input order."""
+
+    index: int
+    tag: Optional[str]
+    method: str
+    key: str
+    objective: Optional[float] = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+    seed: Optional[int] = None
+    placement: Optional[Dict[str, str]] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+    assignment: Optional[Any] = None        #: reconstructed Assignment
+    solver_result: Optional[Any] = None     #: full SolverResult (in-process only)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchReport:
+    """All task outcomes plus sweep-level accounting."""
+
+    results: List[BatchItemResult]
+    wall_s: float
+    workers: int
+    cache_hits: int
+    solved: int
+    failed: int
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def objectives(self) -> List[Optional[float]]:
+        return [r.objective for r in self.results]
+
+    def summary(self) -> str:
+        return (f"{len(self.results)} tasks in {self.wall_s:.3f}s "
+                f"({self.workers} workers): {self.solved} solved, "
+                f"{self.cache_hits} cached, {self.failed} failed")
+
+
+# ----------------------------------------------------------------- worker fn
+def _solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Solve one JSON-encoded task; never raises (errors are data)."""
+    from repro.core.solver import solve
+
+    try:
+        problem = problem_from_json(payload["problem_json"])
+        weighting = payload.get("weighting")
+        if weighting is not None:
+            weighting = SSBWeighting(*weighting)
+        started = time.perf_counter()
+        result = solve(problem, method=payload["method"], weighting=weighting,
+                       validate=payload.get("validate", True),
+                       **payload.get("options", {}))
+        elapsed = time.perf_counter() - started
+        return {
+            "key": payload["key"],
+            "ok": True,
+            "method": result.method,
+            "objective": result.objective,
+            "elapsed_s": elapsed,
+            "placement": dict(result.assignment.placement),
+            "details": json_safe_details(result.details),
+        }
+    except Exception as exc:  # noqa: BLE001 - worker must report, not crash
+        return {
+            "key": payload["key"],
+            "ok": False,
+            "error": _format_error(exc),
+        }
+
+
+def _solve_payload_chunk(chunk: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [_solve_payload(payload) for payload in chunk]
+
+
+# -------------------------------------------------------------------- runner
+class BatchRunner:
+    """Fan assignment problems across processes, with caching and seeding.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``0`` solves in-process (serial);
+        ``>= 1`` uses a process pool of that size; ``None`` reads the
+        ``REPRO_BATCH_WORKERS`` environment variable and falls back to
+        serial.
+    chunk_size:
+        Tasks per inter-process message.  Default: enough chunks for ~4
+        rounds per worker.
+    task_timeout:
+        Per-task budget in seconds; a chunk's deadline is the sum over its
+        tasks.  Timed-out tasks are reported as errors, not exceptions.
+        Requires process workers (``workers >= 1``) — the in-process serial
+        path has no way to interrupt a running solver.  Worker-pool startup
+        and queue wait count toward the first chunks' deadlines, so budgets
+        well below a second will flag tasks that never got to run.
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`; consulted before
+        dispatch, fed after every successful solve.
+    registry:
+        Solver registry (default: the process-wide default registry).
+    base_seed:
+        When set, every stochastic task without an explicit seed receives a
+        seed derived from ``(base_seed, problem hash, method, options)``.
+    validate:
+        Forwarded to :func:`repro.core.solver.solve`.
+    """
+
+    def __init__(self,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 task_timeout: Optional[float] = None,
+                 cache: Optional[ResultCache] = None,
+                 registry: Optional[SolverRegistry] = None,
+                 base_seed: Optional[int] = None,
+                 validate: bool = True) -> None:
+        if workers is None:
+            workers = int(os.environ.get(WORKERS_ENV_VAR, "0") or "0")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if task_timeout is not None and workers == 0:
+            raise ValueError("task_timeout requires process workers (workers >= 1); "
+                             "the in-process serial path cannot interrupt a solver")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self.cache = cache
+        self.registry = registry if registry is not None else default_registry()
+        self.base_seed = base_seed
+        self.validate = validate
+
+    # ------------------------------------------------------------- frontend
+    def solve_many(self,
+                   problems: Iterable[AssignmentProblem],
+                   method: str = "colored-ssb",
+                   weighting: Optional[SSBWeighting] = None,
+                   seeds: Optional[Sequence[Optional[int]]] = None,
+                   **options: Any) -> BatchReport:
+        """Solve every problem with one method (the common sweep shape)."""
+        problems = list(problems)
+        if seeds is not None and len(seeds) != len(problems):
+            raise ValueError("seeds must match problems one-to-one")
+        tasks = [
+            BatchTask(problem=problem, method=method, options=dict(options),
+                      weighting=weighting,
+                      seed=None if seeds is None else seeds[i],
+                      tag=problem.name)
+            for i, problem in enumerate(problems)
+        ]
+        return self.run(tasks)
+
+    def run(self, tasks: Sequence[Union[BatchTask, AssignmentProblem]]) -> BatchReport:
+        """Execute a batch and return per-task results in input order."""
+        started = time.perf_counter()
+        normalized = [task if isinstance(task, BatchTask) else BatchTask(problem=task)
+                      for task in tasks]
+
+        items: List[BatchItemResult] = []
+        prepared: List[Dict[str, Any]] = []     # one per task, aligned with items
+        for index, task in enumerate(normalized):
+            spec = self.registry.resolve(task.method)
+            options = dict(task.options)
+            seed = task.seed
+            if spec.stochastic:
+                if seed is None:
+                    seed = options.get("seed")
+                problem_hash = problem_fingerprint(task.problem)
+                if seed is None and self.base_seed is not None:
+                    seed = derive_seed(self.base_seed, problem_hash, spec.name,
+                                       sorted(options.items()))
+                if seed is not None:
+                    options["seed"] = seed
+            else:
+                problem_hash = problem_fingerprint(task.problem)
+            key = result_key(task.problem, spec.name, options=options,
+                             weighting=task.weighting, problem_hash=problem_hash)
+            # A stochastic task without a seed is a fresh independent draw:
+            # it must not collapse into another task's result via dedup, and
+            # its result must not be replayed from the cache.
+            cacheable = not (spec.stochastic and options.get("seed") is None)
+            if not cacheable:
+                key = f"{key}#draw{index}"
+            items.append(BatchItemResult(index=index, tag=task.tag, method=spec.name,
+                                         key=key, seed=seed))
+            prepared.append({
+                "task": task,
+                "spec": spec,
+                "options": options,
+                "key": key,
+                "cacheable": cacheable,
+            })
+
+        # ------------------------------------------------------- cache probe
+        cache_hits = 0
+        pending: List[int] = []
+        for index, prep in enumerate(prepared):
+            entry = (self.cache.get(prep["key"])
+                     if self.cache is not None and prep["cacheable"] else None)
+            if entry is not None:
+                self._apply_entry(items[index], prep, entry, cached=True)
+                cache_hits += 1
+            else:
+                pending.append(index)
+
+        # Deduplicate identical keys inside the batch: solve once, fan out.
+        by_key: Dict[str, List[int]] = {}
+        for index in pending:
+            by_key.setdefault(prepared[index]["key"], []).append(index)
+        unique_indices = [indices[0] for indices in by_key.values()]
+
+        if unique_indices:
+            if self.workers == 0:
+                outcomes = self._run_serial(unique_indices, prepared)
+            else:
+                outcomes = self._run_parallel(unique_indices, prepared)
+            for key, outcome in outcomes.items():
+                for index in by_key[key]:
+                    self._apply_outcome(items[index], prepared[index], outcome)
+
+        solved = sum(1 for item in items if item.ok and not item.cached)
+        failed = sum(1 for item in items if not item.ok)
+        return BatchReport(results=items,
+                           wall_s=time.perf_counter() - started,
+                           workers=self.workers,
+                           cache_hits=cache_hits,
+                           solved=solved,
+                           failed=failed)
+
+    # ------------------------------------------------------------- backends
+    def _run_serial(self, indices: List[int],
+                    prepared: List[Dict[str, Any]]) -> Dict[str, Any]:
+        outcomes: Dict[str, Any] = {}
+        for index in indices:
+            prep = prepared[index]
+            task: BatchTask = prep["task"]
+            try:
+                if self.validate:
+                    task.problem.validate()
+                result = prep["spec"].solve(task.problem, weighting=task.weighting,
+                                            **prep["options"])
+                outcomes[prep["key"]] = result
+            except Exception as exc:  # noqa: BLE001 - batch keeps going
+                outcomes[prep["key"]] = {"ok": False, "error": _format_error(exc)}
+        return outcomes
+
+    def _run_parallel(self, indices: List[int],
+                      prepared: List[Dict[str, Any]]) -> Dict[str, Any]:
+        payloads = []
+        for index in indices:
+            prep = prepared[index]
+            task: BatchTask = prep["task"]
+            payloads.append({
+                "key": prep["key"],
+                "problem_json": problem_to_json(task.problem, indent=0),
+                "method": prep["spec"].name,
+                "options": prep["options"],
+                "weighting": (None if task.weighting is None else
+                              [task.weighting.lambda_s, task.weighting.lambda_b]),
+                "validate": self.validate,
+            })
+
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(len(payloads) / (self.workers * 4)))
+        chunks = [payloads[i:i + chunk_size]
+                  for i in range(0, len(payloads), chunk_size)]
+        if self.task_timeout is None:
+            return self._collect_executor(chunks)
+        return self._collect_pool_with_deadlines(chunks)
+
+    def _collect_executor(self, chunks: List[List[Dict[str, Any]]]
+                          ) -> Dict[str, Any]:
+        """No deadlines: ProcessPoolExecutor (detects dead workers)."""
+        outcomes: Dict[str, Any] = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as executor:
+            futures = [(executor.submit(_solve_payload_chunk, chunk), chunk)
+                       for chunk in chunks]
+            for future, chunk in futures:
+                try:
+                    for outcome in future.result():
+                        outcomes[outcome["key"]] = outcome
+                except Exception as exc:  # noqa: BLE001 - e.g. broken pool
+                    for payload in chunk:
+                        outcomes.setdefault(payload["key"], {
+                            "ok": False,
+                            "error": _format_error(exc),
+                        })
+        return outcomes
+
+    def _collect_pool_with_deadlines(self, chunks: List[List[Dict[str, Any]]]
+                                     ) -> Dict[str, Any]:
+        """With deadlines: multiprocessing.Pool, whose ``terminate()`` can
+        hard-kill workers still grinding on a timed-out task."""
+        outcomes: Dict[str, Any] = {}
+        timed_out = False
+        pool = multiprocessing.get_context().Pool(processes=self.workers)
+        try:
+            async_results = [(pool.apply_async(_solve_payload_chunk, (chunk,)),
+                              chunk) for chunk in chunks]
+            for async_result, chunk in async_results:
+                # After one chunk blows its deadline the pool is going to be
+                # terminated anyway, so later chunks only get a token wait:
+                # finished results are still collected, everything else is
+                # flagged instead of serially burning one deadline per chunk.
+                deadline = (0.05 if timed_out
+                            else self.task_timeout * len(chunk))
+                try:
+                    for outcome in async_result.get(timeout=deadline):
+                        outcomes[outcome["key"]] = outcome
+                except multiprocessing.TimeoutError:
+                    message = (f"timeout: batch aborted after an earlier chunk "
+                               f"exceeded its deadline" if timed_out else
+                               f"timeout: chunk exceeded {deadline:.3g}s "
+                               f"({self.task_timeout:.3g}s/task)")
+                    timed_out = True
+                    for payload in chunk:
+                        outcomes.setdefault(payload["key"], {
+                            "ok": False,
+                            "error": message,
+                        })
+                except Exception as exc:  # noqa: BLE001 - keep the batch going
+                    for payload in chunk:
+                        outcomes.setdefault(payload["key"], {
+                            "ok": False,
+                            "error": _format_error(exc),
+                        })
+        finally:
+            if timed_out:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        return outcomes
+
+    # ------------------------------------------------------------ result fan
+    def _apply_entry(self, item: BatchItemResult, prep: Dict[str, Any],
+                     entry: Mapping[str, Any], cached: bool) -> None:
+        from repro.core.assignment import Assignment
+
+        task: BatchTask = prep["task"]
+        item.cached = cached
+        item.objective = entry.get("objective")
+        item.elapsed_s = entry.get("elapsed_s", 0.0)
+        item.placement = dict(entry.get("placement") or {})
+        item.details = dict(entry.get("details") or {})
+        if item.placement:
+            item.assignment = Assignment(problem=task.problem,
+                                         placement=item.placement)
+
+    def _apply_outcome(self, item: BatchItemResult, prep: Dict[str, Any],
+                       outcome: Any) -> None:
+        # outcome is either a SolverResult (serial path) or a worker dict
+        if isinstance(outcome, dict):
+            if not outcome.get("ok", False):
+                item.error = outcome.get("error", "unknown error")
+                return
+            self._apply_entry(item, prep, outcome, cached=False)
+            if self.cache is not None and prep["cacheable"]:
+                self.cache.put(prep["key"], make_cache_entry(
+                    item.method, item.objective, item.elapsed_s,
+                    item.placement, item.details))
+            return
+        result = outcome
+        item.objective = result.objective
+        item.elapsed_s = result.elapsed_s
+        item.placement = dict(result.assignment.placement)
+        item.details = json_safe_details(result.details)
+        item.assignment = result.assignment
+        item.solver_result = result
+        if self.cache is not None and prep["cacheable"]:
+            self.cache.put(prep["key"], cache_entry_from_result(result))
+
+
+# ------------------------------------------------------------------ helpers
+def serial_sweep(problems: Iterable[AssignmentProblem],
+                 method: str = "colored-ssb",
+                 weighting: Optional[SSBWeighting] = None,
+                 **options: Any) -> List[Any]:
+    """Plain serial loop over :func:`repro.core.solver.solve`.
+
+    The baseline the BatchRunner's speedup is measured against (and a
+    convenient escape hatch when process pools are unavailable).
+    """
+    from repro.core.solver import solve
+
+    return [solve(problem, method=method, weighting=weighting, **options)
+            for problem in problems]

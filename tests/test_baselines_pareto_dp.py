@@ -69,6 +69,7 @@ class TestOptimum:
         brute, _ = brute_force_assignment(problem)
         assert dp.end_to_end_delay() == pytest.approx(brute.end_to_end_delay())
 
+    @pytest.mark.slow
     def test_scales_to_larger_instances(self):
         problem = snmp_scenario(subnets=4, devices_per_subnet=5)
         dp, details = pareto_dp_assignment(problem)

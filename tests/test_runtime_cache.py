@@ -1,0 +1,150 @@
+"""Unit tests for the result cache (hashing, LRU, disk store, tiering)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.dwg import SSBWeighting
+from repro.core.solver import solve
+from repro.model.serialization import problem_from_json, problem_to_json
+from repro.runtime import (
+    JSONFileCache,
+    LRUResultCache,
+    TieredResultCache,
+    cache_entry_from_result,
+    problem_fingerprint,
+    result_key,
+)
+from repro.workloads import paper_example_problem, random_problem
+
+
+class TestFingerprints:
+    def test_round_tripped_problem_hashes_identically(self, paper_problem):
+        clone = problem_from_json(problem_to_json(paper_problem))
+        assert problem_fingerprint(clone) == problem_fingerprint(paper_problem)
+
+    def test_different_instances_hash_differently(self):
+        a = random_problem(n_processing=8, n_satellites=3, seed=1)
+        b = random_problem(n_processing=8, n_satellites=3, seed=2)
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+
+    def test_key_varies_with_method_options_and_weighting(self, paper_problem):
+        base = result_key(paper_problem, "colored-ssb")
+        assert result_key(paper_problem, "greedy") != base
+        assert result_key(paper_problem, "colored-ssb",
+                          options={"seed": 1}) != base
+        assert result_key(paper_problem, "colored-ssb",
+                          weighting=SSBWeighting(1.0, 0.5)) != base
+        assert result_key(paper_problem, "colored-ssb") == base
+
+    def test_fingerprint_memo_is_dropped_on_invalidate(self):
+        problem = random_problem(n_processing=6, n_satellites=2, seed=9)
+        before = problem_fingerprint(problem)
+        assert problem_fingerprint(problem) == before    # memoised path
+        # mutate in place, then invalidate as the model documents
+        cru_id, seconds = next(iter(problem.profile.host_times().items()))
+        problem.profile.set_host_time(cru_id, seconds + 1.0)
+        problem.invalidate_caches()
+        assert problem_fingerprint(problem) != before
+        problem.profile.set_host_time(cru_id, seconds)
+        problem.invalidate_caches()
+        assert problem_fingerprint(problem) == before
+
+    def test_precomputed_problem_hash_short_circuits(self, paper_problem):
+        fingerprint = problem_fingerprint(paper_problem)
+        assert result_key(paper_problem, "greedy", problem_hash=fingerprint) == \
+            result_key(paper_problem, "greedy")
+
+
+class TestLRUResultCache:
+    def test_put_get_and_stats(self):
+        cache = LRUResultCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", {"objective": 1.0})
+        assert cache.get("k") == {"objective": 1.0}
+        assert cache.stats == {"hits": 1, "misses": 1}
+
+    def test_least_recently_used_is_evicted(self):
+        cache = LRUResultCache(maxsize=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") is not None     # refresh a; b is now LRU
+        cache.put("c", {"v": 3})
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUResultCache(maxsize=0)
+
+
+class TestJSONFileCache:
+    def test_round_trip_on_disk(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path / "store"))
+        entry = {"entry_version": 1, "objective": 2.5, "placement": {"F1": "host"}}
+        cache.put("key1", entry)
+        assert cache.get("key1") == entry
+        assert len(cache) == 1
+
+    def test_corrupt_or_missing_entries_are_misses(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path))
+        assert cache.get("absent") is None
+        (tmp_path / "bad.json").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+        cache.put("versioned", {"entry_version": 999, "objective": 0.0})
+        assert cache.get("versioned") is None   # unknown version rejected
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path))
+        cache.put("a", {"entry_version": 1})
+        cache.put("b", {"entry_version": 1})
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_writes_are_atomic_files(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path))
+        cache.put("a", {"entry_version": 1, "objective": 1.0})
+        names = os.listdir(tmp_path)
+        assert names == ["a.json"]
+        with open(tmp_path / "a.json", encoding="utf-8") as handle:
+            assert json.load(handle)["objective"] == 1.0
+
+
+class TestTieredResultCache:
+    def test_disk_hits_promote_into_memory(self, tmp_path):
+        disk = JSONFileCache(str(tmp_path))
+        disk.put("k", {"entry_version": 1, "objective": 3.0})
+        tiered = TieredResultCache(memory=LRUResultCache(maxsize=8), disk=disk)
+        assert tiered.get("k")["objective"] == 3.0
+        assert "k" in tiered.memory
+
+    def test_put_feeds_both_tiers(self, tmp_path):
+        disk = JSONFileCache(str(tmp_path))
+        tiered = TieredResultCache(disk=disk)
+        tiered.put("k", {"entry_version": 1, "objective": 4.0})
+        assert disk.get("k")["objective"] == 4.0
+        assert tiered.get("k")["objective"] == 4.0
+
+    def test_memory_only_when_no_disk(self):
+        tiered = TieredResultCache()
+        assert tiered.get("nope") is None
+        tiered.put("k", {"entry_version": 1})
+        assert tiered.get("k") == {"entry_version": 1}
+
+
+class TestEntryEquivalence:
+    def test_cached_entry_reproduces_fresh_solve(self, paper_problem):
+        """A cache entry round-trips the objective and placement exactly."""
+        from repro.core.assignment import Assignment
+
+        fresh = solve(paper_problem, method="colored-ssb")
+        entry = cache_entry_from_result(fresh)
+        # the entry must be JSON-serialisable as-is
+        restored = json.loads(json.dumps(entry))
+        rebuilt = Assignment(problem=paper_problem,
+                             placement=restored["placement"])
+        assert restored["objective"] == pytest.approx(fresh.objective)
+        assert rebuilt.end_to_end_delay() == pytest.approx(fresh.objective)
+        assert rebuilt == fresh.assignment

@@ -1,0 +1,214 @@
+"""Unit tests for the parallel BatchRunner."""
+
+import random
+
+import pytest
+
+from repro.runtime import (
+    BatchRunner,
+    BatchTask,
+    LRUResultCache,
+    JSONFileCache,
+    TieredResultCache,
+    derive_seed,
+    serial_sweep,
+)
+from repro.workloads import random_problem
+
+PROBLEMS = [random_problem(n_processing=8, n_satellites=3, seed=seed,
+                           sensor_scatter=0.3)
+            for seed in range(5)]
+
+
+class TestSerialRunner:
+    def test_matches_the_serial_sweep(self):
+        report = BatchRunner(workers=0).solve_many(PROBLEMS, method="colored-ssb")
+        expected = [r.objective for r in serial_sweep(PROBLEMS, method="colored-ssb")]
+        assert report.objectives() == pytest.approx(expected)
+        assert report.solved == len(PROBLEMS)
+        assert report.failed == 0 and report.cache_hits == 0
+
+    def test_results_align_with_input_order_and_tags(self):
+        report = BatchRunner(workers=0).solve_many(PROBLEMS)
+        assert [item.index for item in report] == list(range(len(PROBLEMS)))
+        assert [item.tag for item in report] == [p.name for p in PROBLEMS]
+
+    def test_assignment_and_details_are_reconstructed(self):
+        report = BatchRunner(workers=0).solve_many(PROBLEMS[:2])
+        for item in report:
+            assert item.assignment is not None and item.assignment.is_feasible()
+            assert item.details["iterations"] >= 1
+            assert item.solver_result is not None
+
+    def test_alias_methods_resolve(self):
+        report = BatchRunner(workers=0).solve_many(PROBLEMS[:2], method="bokhari-sb")
+        assert all(item.method == "sb-bottleneck" for item in report)
+
+    def test_errors_are_data_not_exceptions(self):
+        tasks = [BatchTask(problem=PROBLEMS[0], method="genetic",
+                           options={"generations": 0}),
+                 BatchTask(problem=PROBLEMS[1], method="greedy")]
+        report = BatchRunner(workers=0).run(tasks)
+        assert not report.results[0].ok
+        assert "generations" in report.results[0].error
+        assert report.results[1].ok
+        assert report.failed == 1
+
+    def test_unknown_method_raises_up_front(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            BatchRunner(workers=0).solve_many(PROBLEMS[:1], method="sorcery")
+
+    def test_seeds_argument_must_align(self):
+        with pytest.raises(ValueError, match="one-to-one"):
+            BatchRunner(workers=0).solve_many(PROBLEMS, method="genetic",
+                                              seeds=[1, 2])
+
+    def test_task_timeout_requires_process_workers(self):
+        with pytest.raises(ValueError, match="workers >= 1"):
+            BatchRunner(workers=0, task_timeout=5.0)
+
+
+class TestParallelRunner:
+    def test_parallel_objectives_equal_serial(self):
+        serial = BatchRunner(workers=0).solve_many(PROBLEMS)
+        parallel = BatchRunner(workers=2, chunk_size=2).solve_many(PROBLEMS)
+        assert parallel.objectives() == pytest.approx(serial.objectives())
+        assert parallel.workers == 2
+
+    def test_parallel_reconstructs_assignments(self):
+        report = BatchRunner(workers=2).solve_many(PROBLEMS[:3])
+        for item in report:
+            assert item.assignment is not None and item.assignment.is_feasible()
+            assert item.placement
+            # heavyweight objects never cross the process boundary
+            assert "assignment_graph" not in item.details
+
+    def test_parallel_worker_errors_are_reported(self):
+        tasks = [BatchTask(problem=PROBLEMS[0], method="genetic",
+                           options={"generations": 0}),
+                 BatchTask(problem=PROBLEMS[1], method="greedy")]
+        report = BatchRunner(workers=2, chunk_size=1).run(tasks)
+        assert not report.results[0].ok and "generations" in report.results[0].error
+        assert report.results[1].ok
+
+    @pytest.mark.slow
+    def test_per_task_timeout_marks_instead_of_hanging(self):
+        # a GA with an absurd budget reliably outlives the 0.75s/task budget
+        report = BatchRunner(workers=1, chunk_size=1, task_timeout=0.75).run(
+            [BatchTask(problem=PROBLEMS[0], method="genetic",
+                       options={"generations": 500_000, "population_size": 50,
+                                "seed": 1})])
+        assert report.failed == 1
+        assert "timeout" in report.results[0].error
+
+
+class TestSeeding:
+    def test_derive_seed_is_deterministic_and_spread(self):
+        a = derive_seed(7, "hash", "genetic")
+        assert a == derive_seed(7, "hash", "genetic")
+        assert a != derive_seed(8, "hash", "genetic")
+        assert a != derive_seed(7, "hash", "random-search")
+        assert 0 <= a < 2 ** 63
+
+    def test_stochastic_sweep_is_seed_stable(self):
+        runner = BatchRunner(workers=0, base_seed=11)
+        first = runner.solve_many(PROBLEMS, method="genetic", generations=5,
+                                  population_size=8)
+        second = runner.solve_many(PROBLEMS, method="genetic", generations=5,
+                                   population_size=8)
+        assert first.objectives() == second.objectives()
+        assert [i.seed for i in first] == [i.seed for i in second]
+        assert all(item.seed is not None for item in first)
+
+    def test_order_independence_of_derived_seeds(self):
+        tasks = [BatchTask(problem=p, method="genetic",
+                           options={"generations": 5, "population_size": 8},
+                           tag=p.name)
+                 for p in PROBLEMS]
+        shuffled = list(tasks)
+        random.Random(3).shuffle(shuffled)
+        runner = BatchRunner(workers=0, base_seed=42)
+        by_tag = {i.tag: (i.seed, i.objective) for i in runner.run(tasks)}
+        by_tag_shuffled = {i.tag: (i.seed, i.objective)
+                           for i in runner.run(shuffled)}
+        assert by_tag == by_tag_shuffled
+
+    def test_explicit_seed_wins_over_derivation(self):
+        runner = BatchRunner(workers=0, base_seed=1)
+        report = runner.run([BatchTask(problem=PROBLEMS[0], method="random-search",
+                                       seed=123)])
+        assert report.results[0].seed == 123
+
+    def test_deterministic_methods_ignore_base_seed(self):
+        runner = BatchRunner(workers=0, base_seed=1)
+        report = runner.solve_many(PROBLEMS[:1], method="colored-ssb")
+        assert report.results[0].seed is None
+
+    def test_seedless_stochastic_tasks_stay_independent(self):
+        """Without seeds, duplicate stochastic tasks are fresh draws: they
+        must not dedup into one result or be replayed from the cache."""
+        cache = LRUResultCache()
+        runner = BatchRunner(workers=0, cache=cache)
+        report = runner.run([BatchTask(problem=PROBLEMS[0], method="random-search",
+                                       options={"samples": 2})
+                             for _ in range(20)])
+        assert report.failed == 0 and report.cache_hits == 0
+        assert len(set(report.objectives())) > 1
+        assert len(cache) == 0      # nondeterministic results never cached
+        again = runner.run([BatchTask(problem=PROBLEMS[0], method="random-search",
+                                      options={"samples": 2})])
+        assert again.cache_hits == 0 and not again.results[0].cached
+
+
+class TestCaching:
+    def test_warm_cache_skips_solving_with_identical_objectives(self):
+        cache = LRUResultCache()
+        runner = BatchRunner(workers=0, cache=cache)
+        cold = runner.solve_many(PROBLEMS)
+        warm = runner.solve_many(PROBLEMS)
+        assert warm.cache_hits == len(PROBLEMS)
+        assert warm.solved == 0
+        assert warm.objectives() == pytest.approx(cold.objectives())
+        assert all(item.cached for item in warm)
+        assert all(item.assignment == cold_item.assignment
+                   for item, cold_item in zip(warm, cold))
+
+    def test_cache_distinguishes_methods_and_options(self):
+        cache = LRUResultCache()
+        runner = BatchRunner(workers=0, cache=cache)
+        runner.solve_many(PROBLEMS[:1], method="greedy")
+        other = runner.solve_many(PROBLEMS[:1], method="pareto-dp")
+        assert other.cache_hits == 0
+
+    def test_duplicate_instances_solved_once(self):
+        cache = LRUResultCache()
+        runner = BatchRunner(workers=0, cache=cache)
+        report = runner.solve_many([PROBLEMS[0], PROBLEMS[0], PROBLEMS[0]])
+        objectives = report.objectives()
+        assert objectives[0] == objectives[1] == objectives[2]
+        # only one entry was actually computed and stored
+        assert len(cache) == 1
+
+    def test_disk_cache_survives_runner_restarts(self, tmp_path):
+        disk_a = TieredResultCache(disk=JSONFileCache(str(tmp_path)))
+        cold = BatchRunner(workers=0, cache=disk_a).solve_many(PROBLEMS[:3])
+        disk_b = TieredResultCache(disk=JSONFileCache(str(tmp_path)))
+        warm = BatchRunner(workers=0, cache=disk_b).solve_many(PROBLEMS[:3])
+        assert warm.cache_hits == 3 and warm.solved == 0
+        assert warm.objectives() == pytest.approx(cold.objectives())
+
+    def test_parallel_run_feeds_cache_in_parent(self):
+        cache = LRUResultCache()
+        runner = BatchRunner(workers=2, cache=cache)
+        cold = runner.solve_many(PROBLEMS)
+        warm = runner.solve_many(PROBLEMS)
+        assert warm.cache_hits == len(PROBLEMS)
+        assert warm.objectives() == pytest.approx(cold.objectives())
+
+
+class TestReport:
+    def test_summary_mentions_counts(self):
+        report = BatchRunner(workers=0).solve_many(PROBLEMS[:2])
+        text = report.summary()
+        assert "2 tasks" in text and "2 solved" in text
+        assert len(report) == 2
