@@ -35,10 +35,13 @@ def test_expansion_toggle_does_not_change_the_optimum():
 
 
 def test_elimination_saves_enumerated_paths():
+    # pin the Yen finisher: with the (default) label finisher both runs
+    # report enumerated_paths == 0 and the ablation would be vacuous
     problem = clustered_problem()
     graph = build_assignment_graph(problem)
-    full = ColoredSSBSearch().search(graph.dwg)
-    capped = ColoredSSBSearch(max_iterations=1).search(graph.dwg)
+    full = ColoredSSBSearch(finisher="enumeration").search(graph.dwg)
+    capped = ColoredSSBSearch(max_iterations=1,
+                              finisher="enumeration").search(graph.dwg)
     assert full.ssb_weight == pytest.approx(capped.ssb_weight)
     assert full.enumerated_paths <= capped.enumerated_paths
 
@@ -59,6 +62,7 @@ def test_bench_without_expansion(benchmark):
 
 def test_bench_pure_enumeration(benchmark):
     graph = build_assignment_graph(clustered_problem())
-    search = ColoredSSBSearch(max_iterations=1, keep_trace=False)
+    search = ColoredSSBSearch(max_iterations=1, keep_trace=False,
+                              finisher="enumeration")
     result = benchmark(lambda: search.search(graph.dwg))
     assert result.found

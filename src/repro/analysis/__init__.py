@@ -24,6 +24,7 @@ from repro.analysis.experiments import (
     heuristics_experiment,
     complexity_ssb_experiment,
     complexity_colored_experiment,
+    label_engine_experiment,
     dag_extension_experiment,
 )
 from repro.analysis.reporting import format_table, rows_to_csv
@@ -44,6 +45,7 @@ __all__ = [
     "heuristics_experiment",
     "complexity_ssb_experiment",
     "complexity_colored_experiment",
+    "label_engine_experiment",
     "dag_extension_experiment",
     "format_table",
     "rows_to_csv",

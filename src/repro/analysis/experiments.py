@@ -201,6 +201,49 @@ def complexity_colored_experiment(sizes: Sequence[int] = (8, 12, 16, 20),
     return {"rows": rows, "fitted_exponent_vs_edges": exponent}
 
 
+# ---------------------------------------------------------------------- E7b
+def label_engine_experiment(sizes: Sequence[int] = (10, 14, 18, 22, 26, 30),
+                            n_satellites: int = 4, seed: int = 3,
+                            yen_cutoff: int = 18) -> Dict[str, object]:
+    """E7b: the label-dominance finisher across the scattered-sensor regime.
+
+    Sweeps fully scattered instances (``sensor_scatter=1.0`` — the regime
+    where the Figure-9 expansion never applies) with the label engine, and
+    runs the Yen-enumeration finisher head-to-head up to ``yen_cutoff``
+    processing CRUs (beyond that enumeration is infeasible; its column reads
+    NaN).  Both finishers must agree wherever both finish.
+    """
+    rows: List[ExperimentRow] = []
+    for n in sizes:
+        problem = random_problem(n_processing=n, n_satellites=n_satellites,
+                                 seed=seed, sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        label_search = ColoredSSBSearch(keep_trace=False, finisher="labels")
+        label_result, label_time = timed(lambda g=graph: label_search.search(g.dwg))
+        stats = label_result.label_stats
+        row: ExperimentRow = {
+            "processing_crus": n,
+            "assignment_graph_edges": graph.number_of_edges(),
+            "delay": label_result.ssb_weight,
+            "label_time_s": label_time,
+            "labels_created": stats.labels_created if stats else 0,
+            "labels_pruned": stats.labels_bound_pruned if stats else 0,
+            "yen_time_s": float("nan"),
+            "speedup": float("nan"),
+        }
+        if n <= yen_cutoff:
+            yen_search = ColoredSSBSearch(keep_trace=False, finisher="enumeration")
+            yen_result, yen_time = timed(lambda g=graph: yen_search.search(g.dwg))
+            if yen_result.ssb_weight != label_result.ssb_weight:
+                raise RuntimeError(
+                    f"finisher disagreement at n={n}: labels "
+                    f"{label_result.ssb_weight} vs enumeration {yen_result.ssb_weight}")
+            row["yen_time_s"] = yen_time
+            row["speedup"] = yen_time / max(label_time, 1e-9)
+        rows.append(row)
+    return {"rows": rows, "scatter": 1.0, "yen_cutoff": yen_cutoff}
+
+
 # ----------------------------------------------------------------------- E8
 def ssb_vs_sb_experiment(seeds: Sequence[int] = tuple(range(10)),
                          n_processing: int = 12, n_satellites: int = 4,

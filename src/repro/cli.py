@@ -58,6 +58,7 @@ _EXPERIMENTS: Dict[str, Callable[[], Dict[str, object]]] = {
     "adapted-ssb": exp.adapted_ssb_experiment,
     "complexity-ssb": exp.complexity_ssb_experiment,
     "complexity-colored": exp.complexity_colored_experiment,
+    "label-engine": exp.label_engine_experiment,
     "ssb-vs-sb": exp.ssb_vs_sb_experiment,
     "simulation": exp.simulation_validation_experiment,
     "optimality": exp.optimality_experiment,

@@ -13,6 +13,8 @@ Module                  Paper section
 ``assignment_graph``    §5.2  Building the coloured assignment graph
 ``labeling``            §5.3  Labelling the assignment graph (σ and β weights)
 ``colored_ssb``         §5.4  Finding the optimal SSB path in the coloured DWG
+``label_search``        --    Label-dominance DAG engine (exact finisher for
+                              the scattered-sensor regime; see DESIGN.md §5)
 ``assignment``          §3    Assignments and the end-to-end delay objective
 ``solver``              --    One-call facade combining the above
 ======================  =====================================================
@@ -25,6 +27,11 @@ from repro.core.coloring import ColoredTree, color_tree, HOST_FORCED
 from repro.core.assignment_graph import ColoredAssignmentGraph, build_assignment_graph
 from repro.core.labeling import label_assignment_graph, host_weight_labels
 from repro.core.colored_ssb import ColoredSSBSearch, ColoredSSBResult
+from repro.core.label_search import (
+    LabelDominanceSearch,
+    LabelSearchResult,
+    LabelSearchStats,
+)
 from repro.core.assignment import Assignment, HOST_DEVICE
 from repro.core.solver import solve, SolverResult, available_methods
 
@@ -46,6 +53,9 @@ __all__ = [
     "host_weight_labels",
     "ColoredSSBSearch",
     "ColoredSSBResult",
+    "LabelDominanceSearch",
+    "LabelSearchResult",
+    "LabelSearchStats",
     "Assignment",
     "HOST_DEVICE",
     "solve",

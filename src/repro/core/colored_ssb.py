@@ -22,32 +22,52 @@ described, with one documented generalisation (DESIGN.md §5): when the
 bottleneck colour's edges along the current path are *not* consecutive (a
 satellite whose sensors are scattered over the CRU tree) or the expansion
 region is entered/left by edges that bypass its end nodes, the expansion is
-not applicable; the search then falls back to enumerating the remaining
-paths in non-decreasing S order (Yen/Lawler), which terminates as soon as the
-running S weight reaches the candidate SSB weight and therefore returns the
-true optimum.  Every elimination performed before the fallback provably
-preserves at least one optimal path, so the overall search is exact.
+not applicable and the search finishes *exactly* with a different engine.
+
+Two exact finishers are available:
+
+* ``finisher="labels"`` (default) — the label-dominance DAG sweep of
+  :mod:`repro.core.label_search`: one topological pass propagating
+  ``(σ, per-colour loads)`` labels with Pareto-dominance and incumbent-bound
+  pruning.  It applies whenever the remaining search graph is a DAG (always
+  true for assignment graphs) and makes the scattered-sensor regime, where
+  the old path enumeration blew up around ``n_processing ≈ 20``, routinely
+  solvable.
+* ``finisher="enumeration"`` — the original Yen/Lawler walk of the remaining
+  paths in non-decreasing S order, kept for non-DAG coloured DWGs and as a
+  cross-check oracle.  It terminates as soon as the running S weight reaches
+  the candidate SSB weight and therefore also returns the true optimum.
+
+Every elimination performed before the finisher provably preserves at least
+one optimal path, so the overall search is exact either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dwg import (
     DoublyWeightedGraph,
+    MaxBetaIndex,
     PathMeasures,
     SSBWeighting,
     SIGMA_ATTR,
-    BETA_ATTR,
-    COLOR_ATTR,
 )
 from repro.core.assignment_graph import SUB_EDGES_ATTR
-from repro.graphs.connectivity import is_dag, reachable_from
-from repro.graphs.digraph import DiGraph, Edge, Node
+from repro.core.label_search import LabelDominanceSearch, LabelSearchStats
+from repro.graphs.dag import DagIndex
+from repro.graphs.digraph import Edge, Node
 from repro.graphs.dijkstra import shortest_path
 from repro.graphs.kshortest import iter_paths_by_weight
 from repro.graphs.paths import Path
+
+#: Valid values of the ``finisher`` option of :class:`ColoredSSBSearch`.
+FINISHERS = ("labels", "enumeration")
+
+#: Termination string reported per finisher, so result metadata never claims
+#: an enumeration that the label engine actually performed.
+_FINISH_TERMINATIONS = {"labels": "label-finish", "enumeration": "enumeration"}
 
 
 @dataclass(frozen=True)
@@ -59,7 +79,7 @@ class ColoredSSBIteration:
     b_weight: float
     ssb_weight: float
     candidate_after: float
-    action: str                  # "eliminate", "expand", "enumerate", "terminate"
+    action: str   # "eliminate", "expand", "enumerate", "finish-labels", "terminate"
     removed_edges: int = 0
     added_super_edges: int = 0
 
@@ -76,6 +96,10 @@ class ColoredSSBResult:
     termination: str = "unknown"
     expansions: int = 0
     enumerated_paths: int = 0
+    #: which exact finisher ran ("labels", "enumeration", or "none" when the
+    #: elimination/expansion machinery terminated the search by itself)
+    finisher: str = "none"
+    label_stats: Optional[LabelSearchStats] = None
 
     @property
     def found(self) -> bool:
@@ -93,17 +117,23 @@ class ColoredSSBSearch:
                  weighting: Optional[SSBWeighting] = None,
                  enable_expansion: bool = True,
                  keep_trace: bool = True,
-                 max_iterations: Optional[int] = None) -> None:
+                 max_iterations: Optional[int] = None,
+                 finisher: str = "labels") -> None:
+        if finisher not in FINISHERS:
+            raise ValueError(f"finisher must be one of {FINISHERS}, got {finisher!r}")
         self.weighting = weighting or SSBWeighting()
         self.measures = PathMeasures(self.weighting)
         self.enable_expansion = enable_expansion
         self.keep_trace = keep_trace
         self.max_iterations = max_iterations
+        self.finisher = finisher
 
     # ------------------------------------------------------------------ main
     def search(self, dwg: DoublyWeightedGraph) -> ColoredSSBResult:
         work = dwg.copy()
         source, target = work.source, work.target
+        index = DagIndex(work.graph)
+        beta_index = MaxBetaIndex(work.graph, DoublyWeightedGraph.max_beta_component)
 
         candidate: Optional[Path] = None
         cand_ssb = float("inf")
@@ -113,19 +143,22 @@ class ColoredSSBSearch:
         termination = "disconnected"
         expansions = 0
         enumerated = 0
+        finisher_used = "none"
+        label_stats: Optional[LabelSearchStats] = None
 
         max_iterations = self.max_iterations
         if max_iterations is None:
-            # generous upper bound; the fallback makes the search exact anyway
+            # generous upper bound; the finisher makes the search exact anyway
             max_iterations = 4 * (work.number_of_edges() + 1) ** 2 + 16
 
-        index = 0
+        index_count = 0
         while True:
-            index += 1
-            if index > max_iterations:
-                candidate, cand_ssb, cand_s, cand_b, enumerated = self._enumerate(
-                    work, candidate, cand_ssb, cand_s, cand_b)
-                termination = "iteration-cap-enumeration"
+            index_count += 1
+            if index_count > max_iterations:
+                (candidate, cand_ssb, cand_s, cand_b,
+                 enumerated, finisher_used, label_stats) = self._finish(
+                    work, index, candidate, cand_ssb, cand_s, cand_b)
+                termination = f"iteration-cap-{_FINISH_TERMINATIONS[finisher_used]}"
                 break
 
             path = shortest_path(work.graph, source, target, weight=SIGMA_ATTR)
@@ -147,18 +180,17 @@ class ColoredSSBSearch:
                 # the min-S path has no bottleneck cost at all: no other path
                 # can do better than λ_S·S(P) + 0, which is the candidate.
                 termination = "zero-bottleneck"
-                self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                self._record(iterations, index_count, s_weight, b_weight, ssb_weight,
                              cand_ssb, "terminate")
                 break
 
             # ---- elimination: edges whose single-colour contribution already
             # reaches B(P) force every path through them to B ≥ B(P) while
             # S ≥ S(P) holds for all remaining paths, so they cannot improve.
-            removable = [e for e in work.graph.edges()
-                         if DoublyWeightedGraph.max_beta_component(e) >= b_weight]
+            removable = beta_index.pop_at_least(b_weight)
             if removable:
                 work.graph.remove_edges(e.key for e in removable)
-                self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                self._record(iterations, index_count, s_weight, b_weight, ssb_weight,
                              cand_ssb, "eliminate", removed=len(removable))
                 continue
 
@@ -166,30 +198,35 @@ class ColoredSSBSearch:
             # is spread over several edges of the current path.
             expanded = False
             if self.enable_expansion:
-                expanded, added = self._try_expand(work, path, b_weight)
+                expanded, added = self._try_expand(work, path, b_weight,
+                                                   index, beta_index)
                 if expanded:
                     expansions += 1
-                    self._record(iterations, index, s_weight, b_weight, ssb_weight,
+                    self._record(iterations, index_count, s_weight, b_weight, ssb_weight,
                                  cand_ssb, "expand", added=added)
                     continue
 
-            # ---- expansion not applicable: finish exactly by enumeration.
-            candidate, cand_ssb, cand_s, cand_b, enumerated = self._enumerate(
-                work, candidate, cand_ssb, cand_s, cand_b)
-            termination = "enumeration"
-            self._record(iterations, index, s_weight, b_weight, ssb_weight,
-                         cand_ssb, "enumerate")
+            # ---- expansion not applicable: finish exactly.
+            (candidate, cand_ssb, cand_s, cand_b,
+             enumerated, finisher_used, label_stats) = self._finish(
+                work, index, candidate, cand_ssb, cand_s, cand_b)
+            termination = _FINISH_TERMINATIONS[finisher_used]
+            self._record(iterations, index_count, s_weight, b_weight, ssb_weight,
+                         cand_ssb,
+                         "enumerate" if finisher_used == "enumeration" else "finish-labels")
             break
 
         if candidate is None:
             return ColoredSSBResult(path=None, ssb_weight=float("inf"),
                                     s_weight=float("inf"), b_weight=float("inf"),
                                     iterations=iterations, termination=termination,
-                                    expansions=expansions, enumerated_paths=enumerated)
+                                    expansions=expansions, enumerated_paths=enumerated,
+                                    finisher=finisher_used, label_stats=label_stats)
         return ColoredSSBResult(path=candidate, ssb_weight=cand_ssb, s_weight=cand_s,
                                 b_weight=cand_b, iterations=iterations,
                                 termination=termination, expansions=expansions,
-                                enumerated_paths=enumerated)
+                                enumerated_paths=enumerated,
+                                finisher=finisher_used, label_stats=label_stats)
 
     # ------------------------------------------------------------ inner steps
     def _record(self, iterations: List[ColoredSSBIteration], index: int, s: float,
@@ -201,6 +238,24 @@ class ColoredSSBSearch:
             index=index, s_weight=s, b_weight=b, ssb_weight=ssb,
             candidate_after=cand, action=action, removed_edges=removed,
             added_super_edges=added))
+
+    def _finish(self, work: DoublyWeightedGraph, index: DagIndex,
+                candidate: Optional[Path], cand_ssb: float, cand_s: float,
+                cand_b: float) -> Tuple[Optional[Path], float, float, float,
+                                        int, str, Optional[LabelSearchStats]]:
+        """Exact finisher: label sweep on DAGs, Yen enumeration otherwise."""
+        if self.finisher == "labels" and index.is_dag():
+            engine = LabelDominanceSearch(self.weighting)
+            result = engine.search(work, incumbent=cand_ssb, index=index)
+            if result.found and result.ssb_weight < cand_ssb:
+                candidate = result.path
+                cand_ssb = result.ssb_weight
+                cand_s = result.s_weight
+                cand_b = result.b_weight
+            return candidate, cand_ssb, cand_s, cand_b, 0, "labels", result.stats
+        candidate, cand_ssb, cand_s, cand_b, count = self._enumerate(
+            work, candidate, cand_ssb, cand_s, cand_b)
+        return candidate, cand_ssb, cand_s, cand_b, count, "enumeration", None
 
     def _enumerate(self, work: DoublyWeightedGraph, candidate: Optional[Path],
                    cand_ssb: float, cand_s: float, cand_b: float
@@ -221,7 +276,8 @@ class ColoredSSBSearch:
 
     # -------------------------------------------------------------- expansion
     def _try_expand(self, work: DoublyWeightedGraph, path: Path,
-                    b_weight: float) -> Tuple[bool, int]:
+                    b_weight: float, index: DagIndex,
+                    beta_index: MaxBetaIndex) -> Tuple[bool, int]:
         """Apply the paper's expansion step if it is applicable.
 
         Returns ``(expanded, number_of_super_edges_added)``.  The expansion is
@@ -233,6 +289,11 @@ class ColoredSSBSearch:
         * no edge crosses the boundary of the expansion region other than at
           its two end nodes, so every path through the region's interior is
           represented by one of the new super-edges.
+
+        Reachability questions go through the :class:`DagIndex`, whose cache
+        is keyed to the graph's mutation counter — within one iteration the
+        graph is stable, so the former per-call reversed-graph copy and
+        re-sweeps are gone.
         """
         loads = PathMeasures.color_loads(path)
         bottleneck_color = max(loads, key=lambda c: loads[c])
@@ -248,26 +309,24 @@ class ColoredSSBSearch:
         region_end = path.edges[positions[-1]].head
         if region_start == region_end:
             return False, 0
-        if not is_dag(work.graph):
+        if not index.is_dag():
             return False, 0
 
         # Region = every node lying on some region_start -> region_end path.
-        forward = reachable_from(work.graph, region_start)
-        reversed_graph = _reverse_view(work.graph)
-        backward = reachable_from(reversed_graph, region_end)
+        forward = index.reachable_from(region_start)
+        backward = index.reachable_to(region_end)
         region_nodes = (forward & backward) | {region_start, region_end}
         interior = region_nodes - {region_start, region_end}
 
-        # Edges must not hop over the region boundary into/out of the interior.
+        # One pass: collect the region's edges and reject edges hopping over
+        # the region boundary into/out of the interior.
+        region_edges = []
         for edge in work.graph.edges():
-            tail_in = edge.tail in interior
-            head_in = edge.head in interior
             in_region = edge.tail in region_nodes and edge.head in region_nodes
-            if (tail_in or head_in) and not in_region:
+            if in_region:
+                region_edges.append(edge)
+            elif edge.tail in interior or edge.head in interior:
                 return False, 0
-
-        region_edges = [e for e in work.graph.edges()
-                        if e.tail in region_nodes and e.head in region_nodes]
         if not region_edges:
             return False, 0
 
@@ -287,8 +346,9 @@ class ColoredSSBSearch:
                     beta[color] = beta.get(color, 0.0) + float(value)
                 nested = e.data.get(SUB_EDGES_ATTR)
                 constituents.extend(nested if nested else (e,))
-            work.add_edge(region_start, region_end, sigma=sigma, beta=beta,
-                          **{SUB_EDGES_ATTR: tuple(constituents)})
+            super_edge = work.add_edge(region_start, region_end, sigma=sigma, beta=beta,
+                                       **{SUB_EDGES_ATTR: tuple(constituents)})
+            beta_index.push(super_edge)
             added += 1
         return True, added
 
@@ -311,16 +371,6 @@ class ColoredSSBSearch:
                 # region graphs are DAGs, so no visited-set is needed
                 stack.append((edge.head, so_far + (edge,)))
         return results
-
-
-def _reverse_view(graph: DiGraph) -> DiGraph:
-    """A copy of ``graph`` with every edge reversed (used for co-reachability)."""
-    reversed_graph = DiGraph()
-    for node in graph.nodes():
-        reversed_graph.add_node(node)
-    for edge in graph.edges():
-        reversed_graph.add_edge(edge.head, edge.tail)
-    return reversed_graph
 
 
 def find_optimal_colored_ssb_path(dwg: DoublyWeightedGraph,

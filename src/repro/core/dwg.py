@@ -26,8 +26,9 @@ uncoloured graphs).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.graphs.digraph import DiGraph, Edge, Node
 from repro.graphs.paths import Path
@@ -175,6 +176,42 @@ class DoublyWeightedGraph:
             f"DoublyWeightedGraph(source={self.source!r}, target={self.target!r}, "
             f"|V|={self.number_of_nodes()}, |E|={self.number_of_edges()})"
         )
+
+
+class MaxBetaIndex:
+    """Descending-β index over the edges of a shrinking search graph.
+
+    Every iteration of the SSB searches removes all edges whose β measure
+    reaches the current path's B weight.  Scanning every edge per iteration
+    costs O(|E|) even when nothing is removable; this index keeps edge keys in
+    a max-heap ordered by β so an iteration only touches the edges it actually
+    eliminates.  Entries for edges that left the graph through other means
+    (the expansion step replaces whole regions) are discarded lazily, and
+    edges added later (super-edges) are pushed as they appear.
+    """
+
+    def __init__(self, graph: DiGraph, key: Callable[[Edge], float]) -> None:
+        self._graph = graph
+        self._key = key
+        self._heap: List[Tuple[float, int]] = [(-key(e), e.key) for e in graph.edges()]
+        heapq.heapify(self._heap)
+
+    def push(self, edge: Edge) -> None:
+        heapq.heappush(self._heap, (-self._key(edge), edge.key))
+
+    def pop_at_least(self, threshold: float) -> List[Edge]:
+        """Edges still present whose β measure is ``>= threshold``.
+
+        The returned edges leave the index; the caller is expected to remove
+        them from the graph (the elimination step of the SSB searches).
+        """
+        out: List[Edge] = []
+        heap = self._heap
+        while heap and -heap[0][0] >= threshold:
+            _, edge_key = heapq.heappop(heap)
+            if self._graph.has_edge(edge_key):
+                out.append(self._graph.edge(edge_key))
+        return out
 
 
 class PathMeasures:

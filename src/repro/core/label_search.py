@@ -1,0 +1,325 @@
+"""Label-dominance search for the optimal coloured-SSB path on a DAG.
+
+The adapted SSB search of §5.4 needs an *exact finisher* whenever the paper's
+Figure-9 expansion is inapplicable — scattered-sensor instances, where a
+satellite's edges are not consecutive along the current path.  The original
+finisher enumerated simple paths in non-decreasing σ order (Yen/Lawler),
+whose cost grows with the number of feasible cuts and therefore explodes
+around ``n_processing ≈ 20``.
+
+The assignment graph, however, is a DAG whose edges strictly advance the face
+index, which admits the classic multi-criteria labelling technique (used for
+cost/complexity bounds in multi-context systems, Novák & Witteveen,
+arXiv:1405.7295; combined with search-side bounding as in HS-CAI,
+arXiv:1911.12716): sweep the nodes in topological order and propagate
+*labels* ``(σ-so-far, per-colour load vector, predecessor)``.  Three
+mechanisms keep the label sets small:
+
+* **Bound pruning** — with ``pot[v]`` the min σ from ``v`` to the target
+  (one backward DAG pass), any completion of a label ``(s, loads)`` at ``v``
+  costs at least ``λ_S·(s + pot[v]) + λ_B·max(loads)``; labels whose bound
+  reaches the incumbent SSB candidate are discarded.  A cheap *beam* pre-pass
+  (same sweep, buckets truncated to the ``beam_width`` most promising labels)
+  finds a strong feasible path first, so the exact pass starts with a tight
+  incumbent — on scattered instances this cuts the surviving labels by an
+  order of magnitude.
+* **Pareto dominance** — a label whose σ and *every* per-colour load are
+  simultaneously ``>=`` another label's at the same node can never complete
+  into a better path (suffixes add the same increments to both, and
+  ``SSB = λ_S·S + λ_B·max_c load_c`` is monotone in each component), so it is
+  dropped.  Colours are interned to indices and load vectors packed into
+  plain tuples so the componentwise comparisons are cheap.
+* **Adaptive capping** — dominance is an optimisation, never needed for
+  correctness (a kept dominated label only costs time), so the scans are
+  capped per insert and switched off entirely when they stop paying
+  (random-weight instances produce mostly incomparable labels; structured
+  graphs with super-edges and ties benefit from the dedup).
+
+The sweep is a single pass: when node ``v`` is processed every label it will
+ever receive is already present (all in-edges come from earlier nodes), so
+each surviving label is extended along each out-edge exactly once.  The
+result is the exact optimum — bit-identical to brute force — without ever
+enumerating paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dwg import (
+    DoublyWeightedGraph,
+    PathMeasures,
+    SSBWeighting,
+    SIGMA_ATTR,
+)
+from repro.graphs.dag import DagIndex, NotADagError
+from repro.graphs.digraph import Edge, Node
+from repro.graphs.paths import Path
+
+# A label is (sigma_so_far, loads_tuple, edge_into_node, parent_label).
+# Plain tuples (not dataclasses) keep allocation and comparison cheap in the
+# hot sweep; the predecessor chain doubles as the path reconstruction.
+_Label = Tuple[float, Tuple[float, ...], Optional[Edge], Optional[tuple]]
+
+#: Per-insert cap on dominance comparisons; beyond it a label is appended
+#: unchecked (exactness-preserving — see the module docstring).
+_DOM_SCAN_CAP = 128
+#: Buckets beyond this size stop evicting newly dominated members (the
+#: rebuild is the expensive half of an insert).
+_EVICT_CAP = 256
+#: The adaptive dominance switch is re-evaluated every this many created
+#: labels: once the observed hit-rate drops under the threshold the checks
+#: are switched off for the rest of the run.
+_ADAPTIVE_CHECK_EVERY = 1024
+_ADAPTIVE_MIN_HIT_RATE = 1.0 / 32.0
+
+
+@dataclass(frozen=True)
+class LabelSearchStats:
+    """Counters describing one label sweep (exposed via solver details)."""
+
+    labels_created: int = 0
+    labels_dominated: int = 0
+    labels_bound_pruned: int = 0
+    nodes_swept: int = 0
+    colors: int = 0
+    beam_ssb: float = float("inf")   #: incumbent produced by the beam pre-pass
+
+
+@dataclass
+class LabelSearchResult:
+    """Outcome of a label-dominance search."""
+
+    path: Optional[Path]
+    ssb_weight: float
+    s_weight: float
+    b_weight: float
+    stats: LabelSearchStats = LabelSearchStats()
+
+    @property
+    def found(self) -> bool:
+        return self.path is not None
+
+
+def _not_found(stats: LabelSearchStats) -> LabelSearchResult:
+    return LabelSearchResult(path=None, ssb_weight=float("inf"),
+                             s_weight=float("inf"), b_weight=float("inf"),
+                             stats=stats)
+
+
+class LabelDominanceSearch:
+    """Exact coloured-SSB optimiser for DAG-shaped doubly weighted graphs.
+
+    ``search`` accepts an optional ``incumbent`` bound (the adapted SSB
+    search passes its current candidate's SSB weight): labels that provably
+    cannot beat it are pruned, and the result's path is ``None`` when no
+    path beats the incumbent strictly — the caller keeps its candidate.
+    Without a caller incumbent the min-σ path and the beam pre-pass seed the
+    bound, so a connected graph always yields a path.
+    """
+
+    def __init__(self, weighting: Optional[SSBWeighting] = None,
+                 beam_width: int = 128) -> None:
+        if beam_width < 0:
+            raise ValueError("beam_width must be non-negative (0 disables the pre-pass)")
+        self.weighting = weighting or SSBWeighting()
+        self.measures = PathMeasures(self.weighting)
+        self.beam_width = beam_width
+
+    # ------------------------------------------------------------------ main
+    def search(self, dwg: DoublyWeightedGraph,
+               incumbent: float = float("inf"),
+               index: Optional[DagIndex] = None) -> LabelSearchResult:
+        """Run the sweep; raises :class:`NotADagError` on cyclic graphs."""
+        graph = dwg.graph
+        source, target = dwg.source, dwg.target
+        index = index or DagIndex(graph)
+        if not index.is_dag():
+            raise NotADagError(
+                "label-dominance search requires a DAG; use the enumeration "
+                "finisher for cyclic doubly weighted graphs")
+        order = index.order()
+        pot = index.potentials_to(target, SIGMA_ATTR)
+        if source not in pot:
+            return _not_found(LabelSearchStats())
+
+        # ---- colour interning and per-edge packing
+        colors = dwg.all_colors()
+        color_index = {c: i for i, c in enumerate(colors)}
+        n_colors = len(colors)
+        zero_loads: Tuple[float, ...] = (0.0,) * n_colors
+        out_edge_data: Dict[Node, List[Tuple[Edge, float, Tuple[Tuple[int, float], ...], Node]]] = {}
+        for node in order:
+            packed = []
+            for edge in graph.out_edges(node):
+                if edge.head not in pot:
+                    continue  # dead end: the target is unreachable from here
+                betas = tuple((color_index[c], float(v))
+                              for c, v in DoublyWeightedGraph.beta_map(edge).items()
+                              if v != 0.0)
+                packed.append((edge, DoublyWeightedGraph.sigma(edge), betas, edge.head))
+            if packed:
+                out_edge_data[node] = packed
+
+        # ---- fallback candidates: the min-σ path is always a real path, and
+        # the beam pre-pass usually finds a much better one, giving the exact
+        # pass a tight incumbent to prune against
+        seed_path = index.shortest_path(source, target, weight=SIGMA_ATTR)
+        assert seed_path is not None  # source in pot implies reachability
+        fallback_path = seed_path
+        fallback_ssb = self.measures.ssb_colored(seed_path)
+        beam_ssb = float("inf")
+        if self.beam_width:
+            beam_label, beam_ssb, _ = self._sweep(
+                order, out_edge_data, pot, source, target, zero_loads,
+                min(incumbent, fallback_ssb), beam_width=self.beam_width)
+            if beam_label is not None and beam_ssb < fallback_ssb:
+                fallback_path = _reconstruct(beam_label)
+                fallback_ssb = beam_ssb
+        bound = min(incumbent, fallback_ssb)
+
+        # ---- exact pass
+        best_label, best_ssb, stats = self._sweep(
+            order, out_edge_data, pot, source, target, zero_loads, bound)
+        stats = LabelSearchStats(
+            labels_created=stats[0], labels_dominated=stats[1],
+            labels_bound_pruned=stats[2], nodes_swept=len(order),
+            colors=n_colors, beam_ssb=beam_ssb)
+
+        if best_label is not None:
+            return LabelSearchResult(
+                path=_reconstruct(best_label),
+                ssb_weight=best_ssb,
+                s_weight=best_label[0],
+                b_weight=max(best_label[1]) if best_label[1] else 0.0,
+                stats=stats)
+        if fallback_ssb < incumbent:
+            # nothing beat the fallback path, but it beats the caller's incumbent
+            return LabelSearchResult(
+                path=fallback_path,
+                ssb_weight=fallback_ssb,
+                s_weight=self.measures.s_weight(fallback_path),
+                b_weight=self.measures.b_weight_colored(fallback_path),
+                stats=stats)
+        return _not_found(stats)
+
+    # ------------------------------------------------------------------ sweep
+    def _sweep(self, order, out_edge_data, pot, source, target, zero_loads,
+               bound, beam_width: Optional[int] = None
+               ) -> Tuple[Optional[_Label], float, Tuple[int, int, int]]:
+        """One topological label sweep; the single kernel behind both passes.
+
+        ``beam_width=None`` is the exact pass: buckets keep their full
+        (dominance-filtered) label sets.  With a width the sweep becomes the
+        heuristic pre-pass: buckets are truncated to the ``beam_width``
+        labels of smallest SSB-so-far before extension and dominance is
+        skipped.  Any target label either mode returns is a real path, so
+        its SSB weight is a valid incumbent.
+        """
+        lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
+        created = dominated = pruned = 0
+        check_dominance = beam_width is None
+        labels: Dict[Node, List[_Label]] = {source: [(0.0, zero_loads, None, None)]}
+        best_label: Optional[_Label] = None
+        best_ssb = float("inf")
+        for node in order:
+            bucket = labels.pop(node, None)
+            if not bucket:
+                continue
+            extensions = out_edge_data.get(node)
+            if not extensions:
+                continue
+            if beam_width is not None and len(bucket) > beam_width:
+                # all labels in this bucket share pot[node], so ranking by
+                # λ_S·σ + λ_B·max(loads) orders them by completion bound
+                bucket.sort(key=lambda lab: lam_s * lab[0] +
+                            (lam_b * max(lab[1]) if lab[1] else 0.0))
+                del bucket[beam_width:]
+            for label in bucket:
+                s, loads = label[0], label[1]
+                for edge, sigma, betas, head in extensions:
+                    ns = s + sigma
+                    if betas:
+                        new_loads = list(loads)
+                        for ci, bv in betas:
+                            new_loads[ci] += bv
+                        nloads = tuple(new_loads)
+                        nmax = max(new_loads)
+                    else:
+                        nloads = loads
+                        nmax = max(loads) if loads else 0.0
+                    lower = lam_s * (ns + pot[head]) + lam_b * nmax
+                    if lower >= bound:
+                        pruned += 1
+                        continue
+                    new_label: _Label = (ns, nloads, edge, label)
+                    created += 1
+                    if head == target:
+                        ssb = lam_s * ns + lam_b * nmax
+                        if ssb < best_ssb and ssb < bound:
+                            best_label, best_ssb = new_label, ssb
+                            bound = ssb
+                        continue
+                    if check_dominance:
+                        if not _insert(labels.setdefault(head, []), new_label):
+                            dominated += 1
+                        if created % _ADAPTIVE_CHECK_EVERY == 0 and \
+                                dominated < created * _ADAPTIVE_MIN_HIT_RATE:
+                            check_dominance = False
+                    else:
+                        labels.setdefault(head, []).append(new_label)
+        return best_label, best_ssb, (created, dominated, pruned)
+
+
+def _insert(bucket: List[_Label], label: _Label,
+            scan_cap: int = _DOM_SCAN_CAP, evict_cap: int = _EVICT_CAP) -> bool:
+    """Insert ``label`` into a node's Pareto set; False when dominated.
+
+    Dominance is componentwise ``<=`` on (σ, per-colour loads); an exact tie
+    counts as dominated, so duplicates never accumulate.  Both scans are
+    capped: a label appended past the cap merely survives undeleted, which
+    costs time, never correctness.
+    """
+    s, loads = label[0], label[1]
+    for i in range(min(len(bucket), scan_cap)):
+        existing = bucket[i]
+        if existing[0] <= s:
+            for a, b in zip(existing[1], loads):
+                if a > b:
+                    break
+            else:
+                return False
+    if len(bucket) <= evict_cap:
+        kept = []
+        for existing in bucket:
+            if s <= existing[0]:
+                for a, b in zip(loads, existing[1]):
+                    if a > b:
+                        kept.append(existing)
+                        break
+                # fully dominated by the new label: dropped
+            else:
+                kept.append(existing)
+        if len(kept) != len(bucket):
+            bucket[:] = kept
+    bucket.append(label)
+    return True
+
+
+def _reconstruct(label: _Label) -> Path:
+    """Rebuild the path from a target label's predecessor chain."""
+    edges: List[Edge] = []
+    cursor: Optional[tuple] = label
+    while cursor is not None and cursor[2] is not None:
+        edges.append(cursor[2])
+        cursor = cursor[3]
+    edges.reverse()
+    return Path.from_edges(edges)
+
+
+def find_optimal_colored_ssb_path_labels(
+        dwg: DoublyWeightedGraph,
+        weighting: Optional[SSBWeighting] = None) -> LabelSearchResult:
+    """Convenience wrapper: run :class:`LabelDominanceSearch` with defaults."""
+    return LabelDominanceSearch(weighting=weighting).search(dwg)

@@ -69,10 +69,15 @@ def solve(problem: AssignmentProblem,
         The instance to solve.
     method:
         One of :func:`available_methods` (or a registered alias such as
-        ``"bokhari-sb"`` / ``"random"``).  ``"colored-ssb"`` (default) is the
-        paper's algorithm; ``"brute-force"`` and ``"pareto-dp"`` are exact
-        references; ``"sb-bottleneck"`` optimises Bokhari's objective;
-        the rest are the heuristics the paper lists as future work.
+        ``"bokhari-sb"`` / ``"random"`` / ``"labels"``).  ``"colored-ssb"``
+        (default) is the paper's algorithm (label-dominance finisher; pass
+        ``finisher="enumeration"`` for the historical Yen fallback);
+        ``"colored-ssb-labels"`` runs the label-dominance DAG sweep alone;
+        ``"brute-force"`` and ``"pareto-dp"`` are exact references;
+        ``"sb-bottleneck"`` optimises Bokhari's objective; ``"dag-heft"`` and
+        ``"dag-genetic"`` solve the §6 DAG relaxation and project the
+        placement back; the rest are the heuristics the paper lists as
+        future work.
     weighting:
         SSB weighting coefficients (default: plain sum ``S + B``, i.e. the
         end-to-end delay).

@@ -31,7 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.dwg import DoublyWeightedGraph, PathMeasures, SSBWeighting, SIGMA_ATTR
+from repro.core.dwg import (
+    DoublyWeightedGraph,
+    MaxBetaIndex,
+    PathMeasures,
+    SSBWeighting,
+    SIGMA_ATTR,
+)
 from repro.graphs.dijkstra import shortest_path
 from repro.graphs.paths import Path
 
@@ -88,6 +94,10 @@ class SSBSearch:
         """Run the iterative search and return the optimal path (if any)."""
         work = dwg.copy()
         source, target = work.source, work.target
+        # β-sorted elimination index: each iteration pops exactly the edges it
+        # removes instead of rescanning the whole edge set (plain SSB never
+        # adds edges, so the heap is built once)
+        beta_index = MaxBetaIndex(work.graph, DoublyWeightedGraph.beta)
 
         candidate: Optional[Path] = None
         candidate_ssb = float("inf")
@@ -122,8 +132,7 @@ class SSBSearch:
                 candidate_b = b_weight
 
             # eliminate edges that cannot be part of a better path
-            removable = [e for e in work.graph.edges()
-                         if DoublyWeightedGraph.beta(e) >= b_weight]
+            removable = beta_index.pop_at_least(b_weight)
             removed_keys = tuple(e.key for e in removable)
             work.graph.remove_edges(removed_keys)
 

@@ -11,7 +11,10 @@ research agenda:
 * :mod:`~repro.extensions.dag_heuristics` — list-scheduling (HEFT-style) and
   genetic heuristics, plus an exhaustive solver for small instances;
 * :mod:`~repro.extensions.dynamic` — re-assignment when profiles drift at run
-  time (the "instantaneous application adaptation" motivation of §1).
+  time (the "instantaneous application adaptation" motivation of §1);
+* :mod:`~repro.extensions.bridge` — lifts tree instances into the general
+  model and projects placements back, making the DAG heuristics available as
+  registered solvers (``dag-heft``, ``dag-genetic``) for the batch runtime.
 """
 
 from repro.extensions.dag_model import (
@@ -27,6 +30,7 @@ from repro.extensions.dag_heuristics import (
     exhaustive_dag_placement,
     genetic_dag_placement,
 )
+from repro.extensions.bridge import dag_placement_to_assignment, problem_to_dag
 from repro.extensions.dynamic import DynamicReassigner, ProfileDrift
 
 __all__ = [
@@ -41,4 +45,6 @@ __all__ = [
     "genetic_dag_placement",
     "DynamicReassigner",
     "ProfileDrift",
+    "problem_to_dag",
+    "dag_placement_to_assignment",
 ]

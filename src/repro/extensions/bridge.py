@@ -1,0 +1,133 @@
+"""Bridge between the paper's tree model and the §6 DAG generalisation.
+
+The DAG-extension heuristics (:mod:`repro.extensions.dag_heuristics`) solve
+the general *DAG-tasks-onto-resource-graph* problem.  A CRU tree on a
+host-satellites star is a special case, so every tree instance can be lifted
+into the general model, handed to HEFT or the genetic placer, and the
+resulting placement projected back onto a feasible tree assignment.  That is
+what makes the DAG solvers *batch-runnable*: through this bridge they appear
+in the runtime solver registry (``dag-heft``, ``dag-genetic``) alongside the
+paper's algorithm and sweep the same
+:class:`~repro.model.problem.AssignmentProblem` instances.
+
+Two caveats are inherent and documented rather than hidden:
+
+* the general model charges execution as ``work / resource.speed`` with one
+  speed per resource, while the tree profiles carry independent host and
+  satellite times per CRU — the bridge uses the satellite time as the work
+  and the mean host speed-up as the host speed, an approximation that is
+  exact for instances generated with a uniform speed-up (the paper's
+  experimental regime);
+* a general placement may violate the paper's subtree rule (a satellite CRU
+  needs its whole subtree on the same satellite), so the projection keeps a
+  CRU offloaded only when its entire processing subtree landed on its
+  correspondent satellite and reverts everything else to the host.  The
+  projected delay can therefore differ from the DAG makespan; both are
+  reported in the solver details.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.assignment import Assignment, HOST_DEVICE
+from repro.extensions.dag_model import (
+    DAGPlacement,
+    DAGTask,
+    DAGTaskGraph,
+    Resource,
+    ResourceGraph,
+)
+from repro.model.problem import AssignmentProblem
+
+#: Resource id the bridge gives the host (matches the placement device id).
+HOST_RESOURCE = HOST_DEVICE
+
+
+def problem_to_dag(problem: AssignmentProblem) -> Tuple[DAGTaskGraph, ResourceGraph]:
+    """Lift a tree instance into the general DAG-tasks/resource-graph model.
+
+    Tasks are the CRUs; dependencies run child -> parent (context flows up
+    the tree) carrying the communication cost as the data volume over
+    unit-rate links, so transfer times equal the tree model's ``c_{i,j}``.
+    Sensors are pinned to their wired satellite and the root to the host.
+    Satellites are not interconnected — exactly the star of the paper.
+    """
+    tree = problem.tree
+
+    resources = ResourceGraph()
+    host_speed = _mean_host_speedup(problem)
+    resources.add_resource(Resource(HOST_RESOURCE, speed=host_speed))
+    for satellite_id in problem.system.satellite_ids():
+        resources.add_resource(Resource(satellite_id, speed=1.0))
+        resources.connect(HOST_RESOURCE, satellite_id, rate=1.0)
+
+    tasks = DAGTaskGraph()
+    for cru_id in tree.cru_ids():
+        cru = tree.cru(cru_id)
+        if cru.is_sensor:
+            tasks.add_task(DAGTask(cru_id, work=0.0,
+                                   pinned_to=problem.satellite_of_sensor(cru_id)))
+        elif cru_id == tree.root_id:
+            tasks.add_task(DAGTask(cru_id, work=problem.satellite_time(cru_id),
+                                   pinned_to=HOST_RESOURCE))
+        else:
+            tasks.add_task(DAGTask(cru_id, work=problem.satellite_time(cru_id)))
+    for parent_id, child_id in tree.edges():
+        tasks.add_dependency(child_id, parent_id,
+                             data_volume=problem.comm_cost(child_id, parent_id))
+    return tasks, resources
+
+
+def dag_placement_to_assignment(problem: AssignmentProblem,
+                                placement: DAGPlacement) -> Assignment:
+    """Project a general placement onto a feasible tree assignment.
+
+    A processing CRU stays offloaded only when its whole processing subtree
+    was mapped to one satellite and that satellite is its correspondent one;
+    the maximal such subtrees become the cut, everything else runs on the
+    host.  The result always satisfies the paper's feasibility rules.
+    """
+    tree = problem.tree
+    mapping = placement.mapping
+
+    offloadable: Dict[str, bool] = {}
+    for cru_id in tree.postorder():
+        if tree.cru(cru_id).is_sensor:
+            continue
+        device = mapping.get(cru_id)
+        offloadable[cru_id] = (
+            device is not None
+            and device != HOST_RESOURCE
+            and device == problem.correspondent_satellite(cru_id)
+            and all(offloadable[child] for child in tree.children_ids(cru_id)
+                    if tree.cru(child).is_processing)
+        )
+
+    cut_children: List[str] = []
+
+    def collect(cru_id: str) -> None:
+        for child in tree.children_ids(cru_id):
+            if not tree.cru(child).is_processing:
+                continue
+            if offloadable[child]:
+                cut_children.append(child)
+            else:
+                collect(child)
+
+    # the root is pinned to the host, so the walk starts below it
+    collect(tree.root_id)
+    return Assignment.from_cut(problem, cut_children)
+
+
+def _mean_host_speedup(problem: AssignmentProblem) -> float:
+    """Mean satellite-to-host execution-time ratio over the processing CRUs."""
+    ratios = []
+    for cru_id in problem.tree.processing_ids():
+        host = problem.host_time(cru_id)
+        sat = problem.satellite_time(cru_id)
+        if host > 0 and sat > 0:
+            ratios.append(sat / host)
+    if not ratios:
+        return 1.0
+    return sum(ratios) / len(ratios)

@@ -23,6 +23,10 @@ Public API
     Yen-style loopless path enumeration in non-decreasing weight order.
 :func:`~repro.graphs.connectivity.is_connected_st`
     s-t reachability used by the SSB termination criterion.
+:class:`~repro.graphs.dag.DagIndex`
+    Mutation-aware cache of topological order, reachability and potentials.
+:func:`~repro.graphs.dag.dag_shortest_path`
+    Single-pass DAG shortest path (no heap, reusable topological order).
 :class:`~repro.graphs.trees.RootedTree`
     Rooted ordered tree with traversals, LCA and leaf-interval queries.
 """
@@ -36,7 +40,14 @@ from repro.graphs.enumeration import iter_st_paths_dag, count_st_paths_dag
 from repro.graphs.connectivity import (
     is_connected_st,
     reachable_from,
+    reachable_to,
     weakly_connected_components,
+)
+from repro.graphs.dag import (
+    DagIndex,
+    NotADagError,
+    dag_shortest_path,
+    min_weight_to_target,
 )
 from repro.graphs.trees import RootedTree
 
@@ -54,6 +65,11 @@ __all__ = [
     "count_st_paths_dag",
     "is_connected_st",
     "reachable_from",
+    "reachable_to",
     "weakly_connected_components",
+    "DagIndex",
+    "NotADagError",
+    "dag_shortest_path",
+    "min_weight_to_target",
     "RootedTree",
 ]

@@ -9,23 +9,17 @@ graphs never have, but generated test graphs may).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 
 from repro.graphs.digraph import DiGraph, Edge, Node
+# the *algorithm* stays independent of Dijkstra's; only the trivial
+# weight-spec parsing is shared so both resolve weights identically
+from repro.graphs.dijkstra import WeightSpec, weight_fn as _weight_fn
 from repro.graphs.paths import Path
-
-WeightSpec = Union[str, Callable[[Edge], float]]
 
 
 class NegativeCycleError(ValueError):
     """Raised when a negative-weight cycle reachable from the source exists."""
-
-
-def _weight_fn(weight: WeightSpec) -> Callable[[Edge], float]:
-    if callable(weight):
-        return weight
-    name = weight
-    return lambda edge: float(edge.data[name])
 
 
 def bellman_ford(

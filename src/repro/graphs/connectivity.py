@@ -29,6 +29,26 @@ def reachable_from(graph: DiGraph, source: Node) -> Set[Node]:
     return seen
 
 
+def reachable_to(graph: DiGraph, target: Node) -> Set[Node]:
+    """All nodes from which ``target`` is reachable (backward sweep over in-edges).
+
+    The in-edge adjacency makes an explicit reversed copy of the graph
+    unnecessary; the expansion step of the adapted SSB search used to build
+    one per call, which dominated its cost on large graphs.
+    """
+    if not graph.has_node(target):
+        raise KeyError(f"target {target!r} not in graph")
+    seen: Set[Node] = {target}
+    queue = deque([target])
+    while queue:
+        node = queue.popleft()
+        for edge in graph.in_edges(node):
+            if edge.tail not in seen:
+                seen.add(edge.tail)
+                queue.append(edge.tail)
+    return seen
+
+
 def is_connected_st(graph: DiGraph, source: Node, target: Node) -> bool:
     """True when ``target`` is reachable from ``source``."""
     if not graph.has_node(source) or not graph.has_node(target):

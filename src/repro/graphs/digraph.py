@@ -67,6 +67,18 @@ class DiGraph:
         self._pred: Dict[Node, Dict[int, Edge]] = {}
         self._edges: Dict[int, Edge] = {}
         self._key_counter = itertools.count()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural-mutation counter.
+
+        Incremented by every node/edge addition or removal, so derived
+        structures (topological orders, reachability sets, potentials — see
+        :class:`repro.graphs.dag.DagIndex`) can cache their results and
+        invalidate only when the graph actually changed.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: Node) -> Node:
@@ -74,6 +86,7 @@ class DiGraph:
         if node not in self._succ:
             self._succ[node] = {}
             self._pred[node] = {}
+            self._version += 1
         return node
 
     def remove_node(self, node: Node) -> None:
@@ -86,6 +99,7 @@ class DiGraph:
             self.remove_edge(edge.key)
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     def has_node(self, node: Node) -> bool:
         return node in self._succ
@@ -110,6 +124,7 @@ class DiGraph:
         self._edges[key] = edge
         self._succ[tail][key] = edge
         self._pred[head][key] = edge
+        self._version += 1
         return edge
 
     def remove_edge(self, key: int) -> Edge:
@@ -120,6 +135,7 @@ class DiGraph:
             raise KeyError(f"edge key {key} not in graph") from None
         del self._succ[edge.tail][key]
         del self._pred[edge.head][key]
+        self._version += 1
         return edge
 
     def remove_edges(self, keys: Iterable[int]) -> List[Edge]:

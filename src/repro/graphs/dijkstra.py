@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, Hashable, Optional, Tuple, Union
+from typing import AbstractSet, Callable, Dict, Hashable, Optional, Tuple, Union
 
 from repro.graphs.digraph import DiGraph, Edge, Node
 from repro.graphs.paths import Path
@@ -23,7 +23,12 @@ from repro.graphs.paths import Path
 WeightSpec = Union[str, Callable[[Edge], float]]
 
 
-def _weight_fn(weight: WeightSpec) -> Callable[[Edge], float]:
+def weight_fn(weight: WeightSpec) -> Callable[[Edge], float]:
+    """Normalise a weight spec (attribute name or callable) into a callable.
+
+    Shared by the weighted-graph routines (Dijkstra, Bellman-Ford, Yen, the
+    DAG sweeps) so weight resolution cannot diverge between them.
+    """
     if callable(weight):
         return weight
     name = weight
@@ -39,6 +44,8 @@ def dijkstra(
     source: Node,
     weight: WeightSpec = "weight",
     target: Optional[Node] = None,
+    banned_edge_keys: Optional[AbstractSet[int]] = None,
+    banned_nodes: Optional[AbstractSet[Node]] = None,
 ) -> Tuple[Dict[Node, float], Dict[Node, Optional[Edge]]]:
     """Single-source shortest path distances and predecessor edges.
 
@@ -52,6 +59,10 @@ def dijkstra(
         Edge attribute name or callable returning a non-negative weight.
     target:
         Optional early-exit target.
+    banned_edge_keys, banned_nodes:
+        Edges (by key) and nodes skipped during relaxation, as if deleted.
+        Yen's spur searches restrict the graph this way on every candidate;
+        filtering here avoids copying the whole graph per spur.
 
     Returns
     -------
@@ -69,7 +80,9 @@ def dijkstra(
     """
     if not graph.has_node(source):
         raise KeyError(f"source {source!r} not in graph")
-    wf = _weight_fn(weight)
+    wf = weight_fn(weight)
+    if banned_nodes and source in banned_nodes:
+        return {}, {}
 
     dist: Dict[Node, float] = {}
     pred: Dict[Node, Optional[Edge]] = {}
@@ -85,13 +98,15 @@ def dijkstra(
         if target is not None and node == target:
             break
         for edge in graph.out_edges(node):
+            if banned_edge_keys and edge.key in banned_edge_keys:
+                continue
             w = wf(edge)
             if w < 0:
                 raise ValueError(
                     f"Dijkstra requires non-negative weights, got {w} on {edge!r}"
                 )
             head = edge.head
-            if head not in dist:
+            if head not in dist and not (banned_nodes and head in banned_nodes):
                 heapq.heappush(heap, (d + w, next(counter), head, edge))
     return dist, pred
 
@@ -123,9 +138,13 @@ def shortest_path(
     source: Node,
     target: Node,
     weight: WeightSpec = "weight",
+    banned_edge_keys: Optional[AbstractSet[int]] = None,
+    banned_nodes: Optional[AbstractSet[Node]] = None,
 ) -> Optional[Path]:
     """Shortest ``source -> target`` path, or ``None`` when unreachable."""
-    dist, pred = dijkstra(graph, source, weight=weight, target=target)
+    dist, pred = dijkstra(graph, source, weight=weight, target=target,
+                          banned_edge_keys=banned_edge_keys,
+                          banned_nodes=banned_nodes)
     if target not in dist:
         return None
     return reconstruct_path(source, target, pred)

@@ -18,20 +18,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Iterator, List, Optional, Set, Tuple, Union
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.graphs.digraph import DiGraph, Edge, Node
-from repro.graphs.dijkstra import shortest_path
+from repro.graphs.dijkstra import WeightSpec, shortest_path, weight_fn as _weight_fn
 from repro.graphs.paths import Path
-
-WeightSpec = Union[str, Callable[[Edge], float]]
-
-
-def _weight_fn(weight: WeightSpec) -> Callable[[Edge], float]:
-    if callable(weight):
-        return weight
-    name = weight
-    return lambda edge: float(edge.data[name])
 
 
 def _shortest_avoiding(
@@ -42,17 +33,20 @@ def _shortest_avoiding(
     banned_edge_keys: Set[int],
     banned_nodes: Set[Node],
 ) -> Optional[Path]:
-    """Shortest path that avoids the given edge keys and nodes."""
-    work = graph.copy()
-    for node in banned_nodes:
-        if work.has_node(node):
-            work.remove_node(node)
-    for key in banned_edge_keys:
-        if work.has_edge(key):
-            work.remove_edge(key)
-    if not work.has_node(source) or not work.has_node(target):
+    """Shortest path that avoids the given edge keys and nodes.
+
+    The bans are applied during Dijkstra's relaxation instead of on a mutated
+    copy of the graph — Yen's algorithm issues one of these searches per spur
+    node per yielded path, so copying made the enumeration quadratic in graph
+    size per path.
+    """
+    if source in banned_nodes or target in banned_nodes:
         return None
-    return shortest_path(work, source, target, weight=weight)
+    if not graph.has_node(source) or not graph.has_node(target):
+        return None
+    return shortest_path(graph, source, target, weight=weight,
+                         banned_edge_keys=banned_edge_keys,
+                         banned_nodes=banned_nodes)
 
 
 def iter_paths_by_weight(

@@ -13,6 +13,8 @@ specs flagged ``stochastic``.
 The default registry carries the paper's algorithm plus every baseline:
 
 ``colored-ssb``        the paper's adapted SSB search (exact)
+``colored-ssb-labels`` label-dominance DAG sweep, no elimination loop (exact;
+                       aliases ``labels`` / ``label-search``)
 ``brute-force``        full enumeration (exact reference)
 ``pareto-dp``          Pareto-frontier tree DP (exact reference)
 ``branch-and-bound``   exact B&B over feasible cuts
@@ -20,6 +22,8 @@ The default registry carries the paper's algorithm plus every baseline:
 ``greedy``             hill-climbing heuristic
 ``random-search``      Monte-Carlo search (alias ``random``)
 ``genetic``            GA heuristic
+``dag-heft``           HEFT on the §6 DAG relaxation, projected to a feasible cut
+``dag-genetic``        GA on the §6 DAG relaxation, projected to a feasible cut
 """
 
 from __future__ import annotations
@@ -160,7 +164,8 @@ def _run_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeightin
     colored = color_tree(problem)
     graph = build_assignment_graph(problem, colored_tree=colored)
     search = ColoredSSBSearch(weighting=weighting,
-                              enable_expansion=options.get("enable_expansion", True))
+                              enable_expansion=options.get("enable_expansion", True),
+                              finisher=options.get("finisher", "labels"))
     result = search.search(graph.dwg)
     if not result.found:
         raise RuntimeError("the coloured assignment graph has no S-T path; "
@@ -174,6 +179,39 @@ def _run_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeightin
         "expansions": result.expansions,
         "enumerated_paths": result.enumerated_paths,
         "termination": result.termination,
+        "finisher": result.finisher,
+        "assignment_graph_edges": graph.number_of_edges(),
+        "search_result": result,
+        "assignment_graph": graph,
+    }
+    return assignment, details
+
+
+def _run_colored_ssb_labels(problem: AssignmentProblem,
+                            weighting: Optional[SSBWeighting],
+                            options: Mapping[str, Any]):
+    """Pure label-dominance solve: one DAG sweep, no elimination loop."""
+    from repro.core.assignment_graph import build_assignment_graph
+    from repro.core.coloring import color_tree
+    from repro.core.label_search import LabelDominanceSearch
+
+    colored = color_tree(problem)
+    graph = build_assignment_graph(problem, colored_tree=colored)
+    search = LabelDominanceSearch(weighting=weighting,
+                                  beam_width=options.get("beam_width", 128))
+    result = search.search(graph.dwg)
+    if not result.found:
+        raise RuntimeError("the coloured assignment graph has no S-T path; "
+                           "the instance admits no feasible assignment")
+    assignment = graph.path_to_assignment(result.path)
+    details = {
+        "ssb_weight": result.ssb_weight,
+        "s_weight": result.s_weight,
+        "b_weight": result.b_weight,
+        "labels_created": result.stats.labels_created,
+        "labels_dominated": result.stats.labels_dominated,
+        "labels_bound_pruned": result.stats.labels_bound_pruned,
+        "beam_ssb": result.stats.beam_ssb,
         "assignment_graph_edges": graph.number_of_edges(),
         "search_result": result,
         "assignment_graph": graph,
@@ -216,6 +254,34 @@ def _run_branch_and_bound(problem, weighting, options):
     return branch_and_bound_assignment(problem, **options)
 
 
+def _run_dag_heft(problem, weighting, options):
+    from repro.extensions.bridge import dag_placement_to_assignment, problem_to_dag
+    from repro.extensions.dag_heuristics import heft_placement
+
+    tasks, resources = problem_to_dag(problem)
+    placement, info = heft_placement(tasks, resources)
+    assignment = dag_placement_to_assignment(problem, placement)
+    return assignment, {"dag_makespan": info["makespan"],
+                        "projected_delay": assignment.end_to_end_delay()}
+
+
+def _run_dag_genetic(problem, weighting, options):
+    from repro.extensions.bridge import dag_placement_to_assignment, problem_to_dag
+    from repro.extensions.dag_heuristics import genetic_dag_placement
+
+    tasks, resources = problem_to_dag(problem)
+    placement, info = genetic_dag_placement(
+        tasks, resources,
+        population_size=options.get("population_size", 30),
+        generations=options.get("generations", 40),
+        mutation_rate=options.get("mutation_rate", 0.1),
+        seed=options.get("seed"))
+    assignment = dag_placement_to_assignment(problem, placement)
+    return assignment, {"dag_makespan": info["makespan"],
+                        "dag_evaluations": info["evaluations"],
+                        "projected_delay": assignment.end_to_end_delay()}
+
+
 _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="colored-ssb",
@@ -224,6 +290,15 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
         exact=True,
         supports_weighting=True,
         complexity="O(|V|^2 |E|) on the assignment graph",
+    ),
+    SolverSpec(
+        name="colored-ssb-labels",
+        runner=_run_colored_ssb_labels,
+        description="label-dominance DAG sweep on the coloured assignment graph",
+        exact=True,
+        supports_weighting=True,
+        complexity="O(labels * out-degree) with Pareto/bound pruning",
+        aliases=("labels", "label-search"),
     ),
     SolverSpec(
         name="brute-force",
@@ -275,6 +350,22 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
         description="exact branch-and-bound over feasible cuts",
         exact=True,
         complexity="exponential worst case, pruned in practice",
+    ),
+    SolverSpec(
+        name="dag-heft",
+        runner=_run_dag_heft,
+        description="HEFT list scheduling on the §6 DAG relaxation, "
+                    "projected back to a feasible cut",
+        complexity="O(|T|^2 * |R|)",
+        aliases=("heft",),
+    ),
+    SolverSpec(
+        name="dag-genetic",
+        runner=_run_dag_genetic,
+        description="genetic placement on the §6 DAG relaxation, "
+                    "projected back to a feasible cut",
+        stochastic=True,
+        complexity="O(generations * population * |T|)",
     ),
 )
 

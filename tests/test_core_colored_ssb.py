@@ -87,11 +87,15 @@ class TestOnPlainColoredGraphs:
         actions = {it.action for it in result.iterations}
         assert actions & {"eliminate", "expand", "enumerate", "terminate"}
 
-    def test_max_iterations_cap_falls_back_to_enumeration(self):
+    def test_max_iterations_cap_falls_back_to_the_finisher(self):
         dwg = expansion_graph()
         result = ColoredSSBSearch(max_iterations=1).search(dwg)
-        assert result.termination == "iteration-cap-enumeration"
+        assert result.termination == "iteration-cap-label-finish"
+        assert result.finisher == "labels"
         assert result.ssb_weight == pytest.approx(exhaustive_colored_optimum(dwg))
+        yen = ColoredSSBSearch(max_iterations=1, finisher="enumeration").search(dwg)
+        assert yen.termination == "iteration-cap-enumeration"
+        assert yen.ssb_weight == pytest.approx(result.ssb_weight)
 
     @pytest.mark.parametrize("lam", [0.2, 0.5, 0.8])
     def test_convex_weightings_remain_exact(self, lam):
@@ -138,6 +142,6 @@ class TestOnAssignmentGraphs:
             graph = build_assignment_graph(problem)
             result = ColoredSSBSearch().search(graph.dwg)
             terminations.append(result.termination)
-        assert "iteration-cap-enumeration" not in terminations
+        assert not any(t.startswith("iteration-cap") for t in terminations)
         assert any(t in {"s-weight-bound", "zero-bottleneck", "disconnected"}
                    for t in terminations)

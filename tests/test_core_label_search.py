@@ -1,0 +1,196 @@
+"""Property and unit tests for the label-dominance search engine.
+
+The randomized suites assert the engine's defining property: its optimum is
+*bit-identical* (same float, not approximately equal) to brute force and to
+the Yen-enumeration finisher on every instance both can finish — including
+the scattered-sensor regime the engine was built for.
+"""
+
+import pytest
+
+from repro.baselines import brute_force_assignment
+from repro.core.assignment_graph import build_assignment_graph
+from repro.core.colored_ssb import ColoredSSBSearch
+from repro.core.dwg import DoublyWeightedGraph, PathMeasures, SSBWeighting
+from repro.core.label_search import (
+    LabelDominanceSearch,
+    find_optimal_colored_ssb_path_labels,
+)
+from repro.graphs.dag import NotADagError
+from repro.workloads.generators import random_problem
+
+
+def two_color_graph():
+    dwg = DoublyWeightedGraph(source="S", target="T")
+    dwg.add_edge("S", "A", sigma=1.0, beta=2.0, color="red")
+    dwg.add_edge("A", "T", sigma=1.0, beta=3.0, color="blue")
+    dwg.add_edge("S", "T", sigma=5.0, beta=1.0, color="red")
+    return dwg
+
+
+class TestOnSmallGraphs:
+    def test_picks_the_min_ssb_path(self):
+        result = LabelDominanceSearch().search(two_color_graph())
+        # top route: S=2, loads red 2 / blue 3 -> SSB 5; bypass: 5 + 1 = 6
+        assert result.found
+        assert result.ssb_weight == pytest.approx(5.0)
+        assert result.s_weight == pytest.approx(2.0)
+        assert result.b_weight == pytest.approx(3.0)
+
+    def test_disconnected_graph(self):
+        dwg = DoublyWeightedGraph()
+        dwg.add_edge("S", "M", sigma=1.0, beta=1.0, color="red")
+        result = LabelDominanceSearch().search(dwg)
+        assert not result.found
+        assert result.ssb_weight == float("inf")
+
+    def test_cyclic_graph_raises(self):
+        dwg = DoublyWeightedGraph(source="a", target="c")
+        dwg.add_edge("a", "b", sigma=1.0, beta=1.0)
+        dwg.add_edge("b", "a", sigma=1.0, beta=1.0)
+        dwg.add_edge("b", "c", sigma=1.0, beta=1.0)
+        with pytest.raises(NotADagError):
+            LabelDominanceSearch().search(dwg)
+
+    def test_incumbent_already_optimal_returns_not_found(self):
+        dwg = two_color_graph()
+        optimum = LabelDominanceSearch().search(dwg).ssb_weight
+        result = LabelDominanceSearch().search(dwg, incumbent=optimum)
+        assert not result.found  # nothing strictly better than the incumbent
+
+    def test_loose_incumbent_still_finds_the_optimum(self):
+        dwg = two_color_graph()
+        result = LabelDominanceSearch().search(dwg, incumbent=100.0)
+        assert result.ssb_weight == pytest.approx(5.0)
+
+    def test_beam_disabled_remains_exact(self):
+        result = LabelDominanceSearch(beam_width=0).search(two_color_graph())
+        assert result.ssb_weight == pytest.approx(5.0)
+        assert result.stats.beam_ssb == float("inf")
+
+    def test_negative_beam_width_rejected(self):
+        with pytest.raises(ValueError, match="beam_width"):
+            LabelDominanceSearch(beam_width=-1)
+
+    def test_convenience_wrapper(self):
+        assert find_optimal_colored_ssb_path_labels(
+            two_color_graph()).ssb_weight == pytest.approx(5.0)
+
+    def test_path_weights_are_consistent(self):
+        result = LabelDominanceSearch().search(two_color_graph())
+        measures = PathMeasures()
+        assert result.s_weight == pytest.approx(measures.s_weight(result.path))
+        assert result.b_weight == pytest.approx(measures.b_weight_colored(result.path))
+
+
+class TestPropertyAgainstBruteForce:
+    """Randomized (seeded) scattered-sensor instances vs. the exact references."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_scattered_instances_match_the_exact_references(self, seed):
+        from repro.core.dwg import SIGMA_ATTR
+        from repro.graphs.kshortest import iter_paths_by_weight
+
+        problem = random_problem(n_processing=9, n_satellites=3, seed=seed,
+                                 sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        result = LabelDominanceSearch().search(graph.dwg)
+        # bit-identical against full path enumeration: both sum the same
+        # float path weights in the same (path) order
+        measures = PathMeasures()
+        exhaustive = min(
+            measures.ssb_colored(path)
+            for path in iter_paths_by_weight(graph.dwg.graph, graph.dwg.source,
+                                             graph.dwg.target, weight=SIGMA_ATTR))
+        assert result.ssb_weight == exhaustive
+        # brute force optimises in assignment space (different summation
+        # order), so the agreement there is up to float associativity
+        brute, _ = brute_force_assignment(problem)
+        assert result.ssb_weight == pytest.approx(brute.end_to_end_delay(),
+                                                  rel=1e-12)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("scatter", [0.0, 0.5, 1.0])
+    def test_engine_equals_enumeration_finisher(self, seed, scatter):
+        problem = random_problem(n_processing=8, n_satellites=3, seed=seed,
+                                 sensor_scatter=scatter)
+        graph = build_assignment_graph(problem)
+        labels = ColoredSSBSearch(keep_trace=False, finisher="labels").search(graph.dwg)
+        enum = ColoredSSBSearch(keep_trace=False, finisher="enumeration").search(graph.dwg)
+        assert labels.ssb_weight == enum.ssb_weight
+
+    @pytest.mark.parametrize("lam", [0.2, 0.5, 0.8])
+    def test_convex_weightings_remain_exact(self, lam):
+        weighting = SSBWeighting.convex(lam)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=5,
+                                 sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        labels = LabelDominanceSearch(weighting=weighting).search(graph.dwg)
+        enum = ColoredSSBSearch(weighting=weighting, keep_trace=False,
+                                finisher="enumeration").search(graph.dwg)
+        assert labels.ssb_weight == pytest.approx(enum.ssb_weight)
+
+    def test_beam_width_never_changes_the_optimum(self):
+        problem = random_problem(n_processing=10, n_satellites=4, seed=2,
+                                 sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        reference = LabelDominanceSearch(beam_width=0).search(graph.dwg).ssb_weight
+        for width in (1, 8, 128):
+            result = LabelDominanceSearch(beam_width=width).search(graph.dwg)
+            assert result.ssb_weight == reference
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(3))
+    def test_previously_infeasible_scattered_regime_solves_exactly(self, seed):
+        # n_processing = 20 scattered was the enumeration wall; the engine
+        # must agree with the Pareto-DP exact reference there
+        from repro.baselines import pareto_dp_assignment
+
+        problem = random_problem(n_processing=20, n_satellites=4, seed=seed,
+                                 sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        result = ColoredSSBSearch(keep_trace=False).search(graph.dwg)
+        dp, _ = pareto_dp_assignment(problem)
+        assert result.ssb_weight == pytest.approx(dp.end_to_end_delay(), abs=1e-9)
+
+
+class TestColoredSSBFinisherWiring:
+    def test_invalid_finisher_rejected(self):
+        with pytest.raises(ValueError, match="finisher"):
+            ColoredSSBSearch(finisher="magic")
+
+    def test_cyclic_graph_falls_back_to_enumeration_automatically(self):
+        # labels finisher requested, but the DWG has a cycle: the search must
+        # silently finish with Yen instead and stay exact
+        dwg = DoublyWeightedGraph(source="S", target="T")
+        dwg.add_edge("S", "A", sigma=1.0, beta=2.0, color="red")
+        dwg.add_edge("A", "B", sigma=1.0, beta=2.0, color="blue")
+        dwg.add_edge("B", "A", sigma=1.0, beta=2.0, color="blue")  # cycle
+        dwg.add_edge("A", "T", sigma=1.0, beta=3.0, color="red")
+        dwg.add_edge("S", "T", sigma=9.0, beta=0.5, color="blue")
+        result = ColoredSSBSearch(finisher="labels").search(dwg)
+        assert result.finisher == "enumeration"
+        assert result.termination == "enumeration"
+        # optimum: S->A->T with S=2, loads red 5 -> SSB 7 (bypass: 9.5)
+        assert result.ssb_weight == pytest.approx(7.0)
+        assert result.label_stats is None
+
+    def test_label_finisher_records_stats(self):
+        problem = random_problem(n_processing=10, n_satellites=3, seed=1,
+                                 sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        result = ColoredSSBSearch(keep_trace=False).search(graph.dwg)
+        if result.finisher == "labels":
+            assert result.label_stats is not None
+            assert result.label_stats.nodes_swept > 0
+            assert result.enumerated_paths == 0
+
+    def test_enumeration_finisher_still_counts_paths(self):
+        problem = random_problem(n_processing=10, n_satellites=3, seed=1,
+                                 sensor_scatter=1.0)
+        graph = build_assignment_graph(problem)
+        result = ColoredSSBSearch(keep_trace=False,
+                                  finisher="enumeration").search(graph.dwg)
+        if result.finisher == "enumeration":
+            assert result.enumerated_paths > 0
+            assert result.label_stats is None

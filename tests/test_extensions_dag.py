@@ -143,3 +143,65 @@ class TestSolvers:
         ga, _ = genetic_dag_placement(tasks, resources, seed=seed, generations=15)
         assert heft.makespan() >= exact.makespan() - 1e-9
         assert ga.makespan() >= exact.makespan() - 1e-9
+
+
+class TestTreeToDagBridge:
+    """The bridge that makes the DAG heuristics batch-runnable on tree instances."""
+
+    def test_lifted_instance_shape(self, paper_problem):
+        from repro.extensions import problem_to_dag
+
+        tasks, resources = problem_to_dag(paper_problem)
+        assert len(tasks) == len(paper_problem.tree.cru_ids())
+        assert set(resources.resource_ids()) == (
+            {"host"} | set(paper_problem.system.satellite_ids()))
+        # star topology: satellites talk to the host only
+        sats = paper_problem.system.satellite_ids()
+        for a in sats:
+            assert resources.are_connected("host", a)
+            for b in sats:
+                if a != b:
+                    assert not resources.are_connected(a, b)
+
+    def test_sensors_pinned_and_root_on_host(self, paper_problem):
+        from repro.extensions import problem_to_dag
+
+        tasks, _ = problem_to_dag(paper_problem)
+        for sensor_id in paper_problem.tree.sensor_ids():
+            assert tasks.task(sensor_id).pinned_to == \
+                paper_problem.satellite_of_sensor(sensor_id)
+        assert tasks.task(paper_problem.tree.root_id).pinned_to == "host"
+
+    def test_transfer_times_equal_comm_costs(self, paper_problem):
+        from repro.extensions import problem_to_dag
+
+        tasks, resources = problem_to_dag(paper_problem)
+        for parent_id, child_id in paper_problem.tree.edges():
+            expected = paper_problem.comm_cost(child_id, parent_id)
+            volume = tasks.data_volume(child_id, parent_id)
+            # unit-rate links make the transfer time equal the data volume
+            assert volume == pytest.approx(expected)
+
+    def test_projection_always_feasible(self):
+        from repro.extensions import dag_placement_to_assignment, problem_to_dag
+        from repro.extensions.dag_heuristics import heft_placement
+        from repro.workloads import random_problem
+
+        for seed in range(5):
+            problem = random_problem(n_processing=8, n_satellites=3, seed=seed,
+                                     sensor_scatter=0.5)
+            tasks, resources = problem_to_dag(problem)
+            placement, _ = heft_placement(tasks, resources)
+            assignment = dag_placement_to_assignment(problem, placement)
+            assert assignment.is_feasible()
+
+    def test_registered_dag_solvers_run_through_the_facade(self, paper_problem):
+        from repro.core.solver import solve
+
+        heft = solve(paper_problem, method="dag-heft")
+        ga = solve(paper_problem, method="dag-genetic", seed=0)
+        optimum = solve(paper_problem, method="colored-ssb").objective
+        for result in (heft, ga):
+            assert result.assignment.is_feasible()
+            assert result.objective >= optimum - 1e-9
+            assert "dag_makespan" in result.details

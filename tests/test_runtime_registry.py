@@ -10,12 +10,15 @@ class TestDefaultRegistry:
     def test_carries_every_facade_method(self):
         registry = default_registry()
         assert registry.names() == available_methods()
-        assert len(registry) == 8
+        assert len(registry) == 11
 
     def test_aliases_resolve_to_canonical_specs(self):
         registry = default_registry()
         assert registry.resolve("bokhari-sb").name == "sb-bottleneck"
         assert registry.resolve("random").name == "random-search"
+        assert registry.resolve("labels").name == "colored-ssb-labels"
+        assert registry.resolve("label-search").name == "colored-ssb-labels"
+        assert registry.resolve("heft").name == "dag-heft"
         assert "bokhari-sb" in registry
         assert "random" in registry.names(include_aliases=True)
 
@@ -29,9 +32,10 @@ class TestDefaultRegistry:
     def test_capability_metadata(self):
         registry = default_registry()
         exact = {spec.name for spec in registry if spec.exact}
-        assert exact == {"colored-ssb", "brute-force", "pareto-dp", "branch-and-bound"}
+        assert exact == {"colored-ssb", "colored-ssb-labels", "brute-force",
+                         "pareto-dp", "branch-and-bound"}
         stochastic = {spec.name for spec in registry if spec.stochastic}
-        assert stochastic == {"random-search", "genetic"}
+        assert stochastic == {"random-search", "genetic", "dag-genetic"}
         meta = registry.resolve("colored-ssb").metadata()
         assert meta["exact"] and meta["supports_weighting"]
         assert "complexity" in meta and meta["aliases"] == []
