@@ -29,7 +29,11 @@ from repro.baselines.brute_force import (
     enumerate_assignments,
     count_feasible_assignments,
 )
-from repro.baselines.pareto_dp import pareto_dp_assignment, pareto_frontier
+from repro.baselines.pareto_dp import (
+    FrontierExplosion,
+    pareto_dp_assignment,
+    pareto_frontier,
+)
 from repro.baselines.bokhari_sb import bokhari_sb_assignment
 from repro.baselines.greedy import greedy_assignment
 from repro.baselines.random_search import random_search_assignment, random_assignment
@@ -40,6 +44,7 @@ __all__ = [
     "brute_force_assignment",
     "enumerate_assignments",
     "count_feasible_assignments",
+    "FrontierExplosion",
     "pareto_dp_assignment",
     "pareto_frontier",
     "bokhari_sb_assignment",

@@ -28,6 +28,25 @@ from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 
 
+class FrontierExplosion(RuntimeError):
+    """The Pareto frontier outgrew ``max_frontier`` — the DP would hang.
+
+    On scattered-sensor instances around ``n_processing >= 30`` the frontier
+    is known to blow up combinatorially; this error converts the hang into a
+    fast, actionable failure (use the label-dominance engine instead, or
+    raise the cap).
+    """
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(
+            f"pareto-dp frontier reached {size} labels (max_frontier={limit}); "
+            f"the instance is in the known blowup regime (scattered n>=30) — "
+            f"use an exact method that scales (e.g. colored-ssb-labels) or "
+            f"raise max_frontier")
+        self.size = size
+        self.limit = limit
+
+
 @dataclass(frozen=True)
 class ParetoLabel:
     """One non-dominated cost point of a subtree."""
@@ -43,13 +62,30 @@ class ParetoLabel:
         return all(a <= b for a, b in zip(self.loads, other.loads))
 
 
-def _prune(labels: List[ParetoLabel]) -> List[ParetoLabel]:
-    """Remove dominated labels (quadratic, label sets stay small)."""
+#: Candidate sets this many times the frontier cap abort before pruning:
+#: the quadratic dominance scan over them would itself take minutes.
+_CANDIDATE_FACTOR = 4
+
+
+def _prune(labels: List[ParetoLabel],
+           max_frontier: Optional[int] = None) -> List[ParetoLabel]:
+    """Remove dominated labels (quadratic, label sets stay small).
+
+    ``max_frontier`` makes the guard *fail fast*, not merely fail: the raise
+    fires the moment the surviving set first exceeds the cap (mid-scan, so
+    the quadratic prune never completes over an exploded set), and a
+    candidate set larger than ``_CANDIDATE_FACTOR * max_frontier`` aborts
+    before the scan even starts — pruning it would already take minutes.
+    """
+    if max_frontier is not None and len(labels) > _CANDIDATE_FACTOR * max_frontier:
+        raise FrontierExplosion(len(labels), max_frontier)
     labels = sorted(labels, key=lambda l: (l.host_time, sum(l.loads)))
     kept: List[ParetoLabel] = []
     for label in labels:
         if not any(existing.dominates(label) for existing in kept):
             kept.append(label)
+            if max_frontier is not None and len(kept) > max_frontier:
+                raise FrontierExplosion(len(kept), max_frontier)
     return kept
 
 
@@ -62,18 +98,27 @@ def _combine(a: ParetoLabel, b: ParetoLabel) -> ParetoLabel:
 
 
 def _combine_children(children_labels: Sequence[List[ParetoLabel]],
-                      n_satellites: int) -> List[ParetoLabel]:
+                      n_satellites: int,
+                      max_frontier: Optional[int] = None) -> List[ParetoLabel]:
     acc = [ParetoLabel(host_time=0.0, loads=(0.0,) * n_satellites, cut=())]
     for labels in children_labels:
-        acc = _prune([_combine(x, y) for x in acc for y in labels])
+        if (max_frontier is not None
+                and len(acc) * len(labels) > _CANDIDATE_FACTOR * max_frontier):
+            # abort before materialising the cross product at all
+            raise FrontierExplosion(len(acc) * len(labels), max_frontier)
+        acc = _prune([_combine(x, y) for x in acc for y in labels],
+                     max_frontier)
     return acc
 
 
-def pareto_frontier(problem: AssignmentProblem) -> List[ParetoLabel]:
+def pareto_frontier(problem: AssignmentProblem,
+                    max_frontier: Optional[int] = None) -> List[ParetoLabel]:
     """Pareto-optimal (host time, per-satellite load) points of the instance.
 
     Every returned label corresponds to a feasible assignment (its ``cut``
     field) and no feasible assignment strictly dominates any returned label.
+    ``max_frontier`` bounds the label sets: past it the solve raises
+    :class:`FrontierExplosion` instead of grinding for hours.
     """
     tree = problem.tree
     satellite_ids = problem.system.satellite_ids()
@@ -100,34 +145,37 @@ def pareto_frontier(problem: AssignmentProblem) -> List[ParetoLabel]:
             children = tree.children_ids(cru_id)
             child_labels = [labels_of(c, cru_id) for c in children]
             if all(child_labels):
-                combined = _combine_children(child_labels, n)
+                combined = _combine_children(child_labels, n, max_frontier)
                 h = problem.host_time(cru_id)
                 options.extend(
                     ParetoLabel(host_time=l.host_time + h, loads=l.loads, cut=l.cut)
                     for l in combined)
-        return _prune(options)
+        return _prune(options, max_frontier)
 
     root_children = tree.children_ids(tree.root_id)
     child_labels = [labels_of(c, tree.root_id) for c in root_children]
     if not all(child_labels):
         raise RuntimeError("the instance admits no feasible assignment")
-    combined = _combine_children(child_labels, n)
+    combined = _combine_children(child_labels, n, max_frontier)
     h_root = problem.host_time(tree.root_id)
     frontier = [ParetoLabel(host_time=l.host_time + h_root, loads=l.loads, cut=l.cut)
                 for l in combined]
-    return _prune(frontier)
+    return _prune(frontier, max_frontier)
 
 
 def pareto_dp_assignment(problem: AssignmentProblem,
-                         weighting: Optional[SSBWeighting] = None
+                         weighting: Optional[SSBWeighting] = None,
+                         max_frontier: Optional[int] = None
                          ) -> Tuple[Assignment, Dict[str, object]]:
     """The optimal assignment selected from the Pareto frontier.
 
     With the default weighting the objective is the end-to-end delay
-    ``host time + max satellite load``.
+    ``host time + max satellite load``.  ``max_frontier`` converts the known
+    frontier blowup (scattered ``n >= 30``) into :class:`FrontierExplosion`
+    instead of an apparent hang.
     """
     weighting = weighting or SSBWeighting()
-    frontier = pareto_frontier(problem)
+    frontier = pareto_frontier(problem, max_frontier=max_frontier)
     best_label = min(
         frontier,
         key=lambda l: weighting.combine(l.host_time, max(l.loads) if l.loads else 0.0),

@@ -12,14 +12,28 @@ points without writing any Python:
   structure of an instance;
 * ``batch`` — sweep a fleet of instances through the parallel
   :class:`~repro.runtime.BatchRunner` (process pool, result cache, explicit
-  seeding) and print per-instance and aggregate statistics.
+  seeding) and print per-instance and aggregate statistics;
+* ``worker`` — run one distributed solve worker against a spool directory
+  (start any number of these, on any host sharing the filesystem);
+* ``serve`` — supervise a local fleet: spawn N worker subprocesses and run
+  the cache janitor on a timer;
+* ``submit`` — enqueue a sweep into a spool and stream the results back as
+  workers publish them (``--stream`` prints each result as it arrives).
+
+The two-terminal quickstart::
+
+    terminal A$ repro-assign serve  --spool /tmp/spool --workers 2
+    terminal B$ repro-assign submit --spool /tmp/spool --count 100 --stream
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import experiments as exp
@@ -59,6 +73,7 @@ _EXPERIMENTS: Dict[str, Callable[[], Dict[str, object]]] = {
     "complexity-ssb": exp.complexity_ssb_experiment,
     "complexity-colored": exp.complexity_colored_experiment,
     "label-engine": exp.label_engine_experiment,
+    "incremental-resolve": exp.incremental_resolve_experiment,
     "ssb-vs-sb": exp.ssb_vs_sb_experiment,
     "simulation": exp.simulation_validation_experiment,
     "optimality": exp.optimality_experiment,
@@ -238,6 +253,168 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+# ----------------------------------------------------------- distributed
+def _spool_cache(args: argparse.Namespace):
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.distributed import spool_cache
+
+    return spool_cache(args.spool)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import SolveWorker, WorkQueue
+
+    queue = WorkQueue(args.spool, lease_timeout=args.lease_timeout,
+                      poll_interval=args.poll_interval)
+    worker = SolveWorker(queue, cache=_spool_cache(args),
+                         worker_id=args.worker_id)
+    print(f"worker {worker.worker_id} pulling from {args.spool} "
+          f"(lease {args.lease_timeout:g}s)", flush=True)
+    try:
+        handled = worker.run(max_tasks=args.max_tasks, drain=args.drain,
+                             timeout=args.duration)
+    except KeyboardInterrupt:
+        handled = worker.processed
+    print(f"worker {worker.worker_id}: {handled} task(s) processed "
+          f"({worker.cache_hits} from cache)")
+    return 0
+
+
+def _worker_command(args: argparse.Namespace) -> List[str]:
+    command = [sys.executable, "-m", "repro", "worker", "--spool", args.spool,
+               "--lease-timeout", str(args.lease_timeout),
+               "--poll-interval", str(args.poll_interval)]
+    if getattr(args, "no_cache", False):
+        command.append("--no-cache")
+    if getattr(args, "drain", False):
+        command.append("--drain")
+    return command
+
+
+def _spawn_workers(args: argparse.Namespace, count: int) -> List[subprocess.Popen]:
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p)
+    return [subprocess.Popen(_worker_command(args), env=env)
+            for _ in range(count)]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.distributed import CacheJanitor, WorkQueue
+    from repro.distributed.worker import CACHE_DIR
+
+    WorkQueue(args.spool)    # materialise the spool before workers race to it
+    workers = _spawn_workers(args, args.workers)
+    print(f"serving {args.spool} with {args.workers} worker(s)"
+          + ("" if args.drain else " — Ctrl-C to stop"), flush=True)
+    janitor = None
+    if (args.cache_max_entries is not None or args.cache_max_mb is not None
+            or args.cache_max_age is not None):
+        janitor = CacheJanitor(
+            os.path.join(args.spool, CACHE_DIR),
+            max_entries=args.cache_max_entries,
+            max_bytes=(int(args.cache_max_mb * 1e6)
+                       if args.cache_max_mb is not None else None),
+            max_age_s=args.cache_max_age)
+    next_sweep = time.monotonic() + args.janitor_interval
+    try:
+        while True:
+            if all(proc.poll() is not None for proc in workers):
+                break               # --drain fleets exit on an empty spool
+            if janitor is not None and time.monotonic() >= next_sweep:
+                print(janitor.collect().summary(), flush=True)
+                next_sweep = time.monotonic() + args.janitor_interval
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            proc.wait()
+    if janitor is not None:
+        print(janitor.collect().summary())
+    # workers we terminated ourselves exit with a negative (signal) code;
+    # that is a clean shutdown, not a failure
+    return max((max(proc.returncode or 0, 0) for proc in workers),
+               default=0)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.distributed import SolveService, StreamTimeout
+
+    try:
+        problems = _batch_problems(args)
+        service = SolveService(args.spool, cache=_spool_cache(args),
+                               base_seed=args.seed)
+        submission = service.submit(problems, method=args.method)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.enqueue_only:
+        task_ids = service.enqueue(submission)
+        counts = service.queue.counts()
+        print(f"enqueued {len(task_ids)} task(s) "
+              f"({submission.cache_hits} already cached); "
+              f"spool now: {counts}")
+        return 0
+
+    local = _spawn_workers(args, args.local_workers) if args.local_workers else []
+    started = time.perf_counter()
+    items = []
+    failed = 0
+    try:
+        for item in service.stream(submission, ordered=args.ordered,
+                                   window=args.window, timeout=args.timeout):
+            items.append(item)
+            if not item.ok:
+                failed += 1
+            if args.stream and not args.quiet:
+                status = ("cached" if item.cached else "solved")
+                value = (f"{item.objective:.6g}" if item.ok
+                         else f"ERROR {item.error[:50]}")
+                print(f"[{len(items):>4}/{len(submission)}] "
+                      f"{item.tag or '#' + str(item.index)}: {value} "
+                      f"({status}, {item.elapsed_s * 1e3:.1f} ms)", flush=True)
+    except StreamTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        for proc in local:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in local:
+            proc.wait()
+
+    wall = time.perf_counter() - started
+    solved = sum(1 for item in items if item.ok and not item.cached)
+    cached = sum(1 for item in items if item.cached)
+    if not args.stream and not args.quiet:
+        rows = [{
+            "instance": item.tag or f"#{item.index}",
+            "objective": item.objective if item.ok else "-",
+            "cached": item.cached,
+            "elapsed_ms": item.elapsed_s * 1e3,
+            "error": (item.error or "")[:60],
+        } for item in sorted(items, key=lambda i: i.index)]
+        print(format_table(rows, title=f"submit: {len(problems)} instances, "
+                                       f"method={args.method}"))
+    print(f"{len(items)} tasks in {wall:.3f}s: {solved} solved, "
+          f"{cached} cached, {failed} failed")
+    if wall > 0 and items:
+        print(f"throughput: {len(items) / wall:.1f} instances/s")
+    objectives = [item.objective for item in items if item.ok]
+    if objectives:
+        print(f"objective: min={min(objectives):.6g} "
+              f"mean={sum(objectives) / len(objectives):.6g} "
+              f"max={max(objectives):.6g}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-assign",
@@ -306,6 +483,92 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--quiet", action="store_true",
                          help="suppress the per-instance table")
     p_batch.set_defaults(func=_cmd_batch)
+
+    # ------------------------------------------------------------ distributed
+    p_worker = sub.add_parser(
+        "worker", help="run one distributed solve worker against a spool")
+    p_worker.add_argument("--spool", required=True,
+                          help="spool directory shared by submitters and workers")
+    p_worker.add_argument("--lease-timeout", type=float, default=60.0,
+                          help="seconds before a crashed worker's task is requeued")
+    p_worker.add_argument("--poll-interval", type=float, default=0.05,
+                          help="idle sleep between claim attempts")
+    p_worker.add_argument("--worker-id", help="identifier recorded in results")
+    p_worker.add_argument("--max-tasks", type=int, default=None,
+                          help="exit after this many tasks")
+    p_worker.add_argument("--duration", type=float, default=None,
+                          help="exit after this many seconds")
+    p_worker.add_argument("--drain", action="store_true",
+                          help="exit as soon as the spool is empty")
+    p_worker.add_argument("--no-cache", action="store_true",
+                          help="do not consult/feed the shared result cache")
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="spawn a local worker fleet plus the cache janitor")
+    p_serve.add_argument("--spool", required=True,
+                         help="spool directory shared by submitters and workers")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker subprocesses to spawn (default: 2)")
+    p_serve.add_argument("--lease-timeout", type=float, default=60.0)
+    p_serve.add_argument("--poll-interval", type=float, default=0.05)
+    p_serve.add_argument("--drain", action="store_true",
+                         help="workers exit when the spool is empty (serve "
+                              "returns once all have exited)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="workers do not consult/feed the shared cache")
+    p_serve.add_argument("--janitor-interval", type=float, default=60.0,
+                         help="seconds between cache janitor passes")
+    p_serve.add_argument("--cache-max-entries", type=int, default=None,
+                         help="janitor cap: entries kept in the shared cache")
+    p_serve.add_argument("--cache-max-mb", type=float, default=None,
+                         help="janitor cap: total cache size in MB")
+    p_serve.add_argument("--cache-max-age", type=float, default=None,
+                         help="janitor cap: entry age in seconds")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a sweep into a spool and stream the results")
+    p_submit.add_argument("--spool", required=True,
+                          help="spool directory shared by submitters and workers")
+    p_submit.add_argument("--scenario", choices=list(_SCENARIOS) + ["random"],
+                          default="random",
+                          help="instance family to sweep (default: random)")
+    p_submit.add_argument("--problem-file", nargs="*",
+                          help="JSON problem files (overrides --scenario)")
+    p_submit.add_argument("--count", type=int, default=20,
+                          help="number of instances to generate (default: 20)")
+    p_submit.add_argument("--random-size", type=int, default=12,
+                          help="processing CRUs per random instance")
+    p_submit.add_argument("--random-satellites", type=int, default=3,
+                          help="satellites per random instance")
+    p_submit.add_argument("--sensor-scatter", type=float, default=0.3,
+                          help="sensor scatter of random instances")
+    p_submit.add_argument("--method", default="colored-ssb",
+                          help="solver method or alias (default: colored-ssb)")
+    p_submit.add_argument("--seed", type=int, default=0,
+                          help="base seed for instance generation and "
+                               "stochastic methods")
+    p_submit.add_argument("--stream", action="store_true",
+                          help="print each result the moment it arrives")
+    p_submit.add_argument("--ordered", action="store_true",
+                          help="yield results in submission order")
+    p_submit.add_argument("--window", type=int, default=None,
+                          help="backpressure: max tasks in flight at once")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="overall deadline in seconds")
+    p_submit.add_argument("--local-workers", type=int, default=0,
+                          help="spawn this many worker subprocesses for the "
+                               "duration of the sweep")
+    p_submit.add_argument("--lease-timeout", type=float, default=60.0)
+    p_submit.add_argument("--poll-interval", type=float, default=0.05)
+    p_submit.add_argument("--enqueue-only", action="store_true",
+                          help="spool the tasks and exit without waiting")
+    p_submit.add_argument("--no-cache", action="store_true",
+                          help="disable the shared result cache")
+    p_submit.add_argument("--quiet", action="store_true",
+                          help="suppress per-instance output")
+    p_submit.set_defaults(func=_cmd_submit, drain=False)
     return parser
 
 

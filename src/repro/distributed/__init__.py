@@ -1,0 +1,55 @@
+"""Distributed solve service.
+
+The batch runtime (:mod:`repro.runtime`) fans a sweep across the processes
+of *one* machine and blocks for the whole report.  This package turns the
+same prepared tasks into an always-on, multi-host service with nothing but a
+shared filesystem as infrastructure:
+
+* :mod:`~repro.distributed.spool` — :class:`WorkQueue`, a durable
+  filesystem-backed broker: atomic claim/ack/requeue, lease timeouts and
+  crash recovery, so any number of ``repro worker`` processes on any host
+  sharing the spool directory can pull tasks;
+* :mod:`~repro.distributed.worker` — :class:`SolveWorker`, the pull/solve/
+  publish loop dispatching through the solver registry and the shared
+  tiered result cache;
+* :mod:`~repro.distributed.stream` — :class:`ResultStream`, generator-based
+  iteration over results as they complete (or in submission order), with a
+  backpressure window bounding in-flight tasks;
+* :mod:`~repro.distributed.service` — :class:`SolveService`, the submitter
+  facade: same task preparation, cache keys and seeds as the
+  :class:`~repro.runtime.runner.BatchRunner`, execution by the worker fleet;
+* :mod:`~repro.distributed.incremental` — structure fingerprints and
+  :class:`IncrementalSolver`: re-submitted instances whose tree structure is
+  unchanged (only profiles/costs drifted) warm-start the label engine from
+  the previous optimum;
+* :mod:`~repro.distributed.janitor` — :class:`CacheJanitor`, size/age-capped
+  LRU eviction keeping million-entry on-disk stores bounded.
+"""
+
+from repro.distributed.incremental import (
+    IncrementalSolver,
+    WarmStartIndex,
+    structure_fingerprint,
+)
+from repro.distributed.janitor import CacheJanitor, JanitorReport
+from repro.distributed.service import SolveService, Submission
+from repro.distributed.spool import SpoolTask, WorkQueue, new_task_id
+from repro.distributed.stream import ResultStream, StreamTimeout
+from repro.distributed.worker import SolveWorker, spool_cache
+
+__all__ = [
+    "CacheJanitor",
+    "IncrementalSolver",
+    "JanitorReport",
+    "ResultStream",
+    "SolveService",
+    "SolveWorker",
+    "SpoolTask",
+    "StreamTimeout",
+    "Submission",
+    "WarmStartIndex",
+    "WorkQueue",
+    "new_task_id",
+    "spool_cache",
+    "structure_fingerprint",
+]

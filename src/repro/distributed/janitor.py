@@ -1,0 +1,173 @@
+"""Cache garbage collection for million-entry on-disk stores.
+
+An always-on solve service never stops writing result files; without
+eviction the sharded :class:`~repro.runtime.cache.JSONFileCache` grows until
+the disk is full.  :class:`CacheJanitor` enforces three independent caps —
+entry count, total bytes, entry age — by deleting the **oldest-mtime**
+entries first.  Since the cache touches an entry's mtime on every hit, the
+mtime order is a least-recently-*used* order, not merely
+least-recently-written, so hot entries survive arbitrarily many sweeps.
+
+The janitor is safe to run concurrently with workers: a deleted entry is
+just a future cache miss (the result is recomputed), a torn read is already
+a miss by design, and vanished-underfoot files are skipped.  Stale ``*.tmp``
+staging files (left by a writer that died between ``mkstemp`` and
+``os.replace``) are collected too once they are clearly abandoned.
+
+``repro serve`` runs a janitor pass on a timer; ``collect`` can also be
+called one-shot from operational scripts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: A ``.tmp`` staging file older than this is an abandoned write.
+_TMP_GRACE_S = 3600.0
+
+
+@dataclass
+class JanitorReport:
+    """Outcome of one collection pass."""
+
+    scanned: int             #: entries examined
+    bytes_scanned: int
+    evicted_age: int         #: removed because older than ``max_age_s``
+    evicted_count: int       #: removed to satisfy ``max_entries``
+    evicted_bytes: int       #: removed to satisfy ``max_bytes``
+    tmp_removed: int         #: abandoned staging files removed
+    remaining: int
+    bytes_remaining: int
+    elapsed_s: float
+
+    @property
+    def evicted(self) -> int:
+        return self.evicted_age + self.evicted_count + self.evicted_bytes
+
+    def summary(self) -> str:
+        return (f"janitor: scanned {self.scanned} entries "
+                f"({self.bytes_scanned / 1e6:.1f} MB), evicted {self.evicted} "
+                f"(age {self.evicted_age}, count {self.evicted_count}, "
+                f"size {self.evicted_bytes}), {self.remaining} remaining "
+                f"({self.bytes_remaining / 1e6:.1f} MB) in {self.elapsed_s:.3f}s")
+
+
+class CacheJanitor:
+    """Size/age-capped eviction over a sharded cache directory.
+
+    Parameters
+    ----------
+    directory:
+        The cache root (flat legacy entries and two-hex shard subdirectories
+        are both collected).
+    max_entries / max_bytes / max_age_s:
+        Independent caps; ``None`` disables a dimension.  At least one must
+        be set.
+    """
+
+    def __init__(self, directory: str,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 max_age_s: Optional[float] = None) -> None:
+        if max_entries is None and max_bytes is None and max_age_s is None:
+            raise ValueError("at least one of max_entries / max_bytes / "
+                             "max_age_s must be set")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError("max_age_s must be positive")
+        self.directory = directory
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
+
+    # ---------------------------------------------------------------- scanning
+    def _scan(self, now: float) -> Tuple[List[Tuple[float, int, str]], int]:
+        """(mtime, size, path) per entry, plus removed stale tmp files."""
+        entries: List[Tuple[float, int, str]] = []
+        tmp_removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return entries, tmp_removed
+        stack = [os.path.join(self.directory, name) for name in sorted(names)]
+        while stack:
+            path = stack.pop()
+            name = os.path.basename(path)
+            if os.path.isdir(path):
+                if len(name) == 2:      # shard subdirectory
+                    try:
+                        stack.extend(os.path.join(path, inner)
+                                     for inner in os.listdir(path))
+                    except OSError:
+                        pass
+                continue
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            if name.endswith(".tmp"):
+                if now - stat.st_mtime > _TMP_GRACE_S:
+                    tmp_removed += self._unlink(path)
+                continue
+            if name.endswith(".json"):
+                entries.append((stat.st_mtime, stat.st_size, path))
+        return entries, tmp_removed
+
+    @staticmethod
+    def _unlink(path: str) -> int:
+        try:
+            os.unlink(path)
+            return 1
+        except OSError:
+            return 0
+
+    # --------------------------------------------------------------- collection
+    def collect(self, now: Optional[float] = None) -> JanitorReport:
+        """One eviction pass; returns what was scanned and removed."""
+        started = time.perf_counter()
+        now = time.time() if now is None else now
+        entries, tmp_removed = self._scan(now)
+        scanned = len(entries)
+        bytes_scanned = sum(size for _, size, _ in entries)
+
+        entries.sort()                     # oldest mtime first
+        evicted_age = evicted_count = evicted_bytes = 0
+
+        if self.max_age_s is not None:
+            cutoff = now - self.max_age_s
+            keep: List[Tuple[float, int, str]] = []
+            for record in entries:
+                if record[0] < cutoff:
+                    evicted_age += self._unlink(record[2])
+                else:
+                    keep.append(record)
+            entries = keep
+
+        if self.max_entries is not None:
+            while len(entries) > self.max_entries:
+                record = entries.pop(0)
+                evicted_count += self._unlink(record[2])
+
+        if self.max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            while entries and total > self.max_bytes:
+                record = entries.pop(0)
+                total -= record[1]
+                evicted_bytes += self._unlink(record[2])
+
+        return JanitorReport(
+            scanned=scanned,
+            bytes_scanned=bytes_scanned,
+            evicted_age=evicted_age,
+            evicted_count=evicted_count,
+            evicted_bytes=evicted_bytes,
+            tmp_removed=tmp_removed,
+            remaining=len(entries),
+            bytes_remaining=sum(size for _, size, _ in entries),
+            elapsed_s=time.perf_counter() - started)

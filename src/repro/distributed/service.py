@@ -1,0 +1,320 @@
+"""The distributed solve service: submit sweeps, stream results.
+
+:class:`SolveService` is the submitter-side facade over the spool.  It
+prepares tasks with the exact same semantics as the in-process
+:class:`~repro.runtime.runner.BatchRunner` — same registry resolution, same
+derived seeds, same cache keys, same in-batch dedup — but hands execution to
+whatever ``repro worker`` processes share the spool, and gives results back
+as a stream instead of a blocking report:
+
+* cache hits (shared spool cache, probed at submission) are streamed
+  immediately without ever touching the queue;
+* duplicate instances inside one submission are enqueued once and fanned
+  out to every occurrence when the single result lands;
+* everything else is enqueued lazily under the stream's backpressure
+  window and yielded as workers publish results (or in submission order
+  with ``ordered=True``).
+
+``gather`` wraps the stream into the familiar :class:`BatchReport` when the
+caller does want to block for everything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.core.dwg import SSBWeighting
+from repro.distributed.spool import WorkQueue
+from repro.distributed.stream import ResultStream
+from repro.distributed.worker import spool_cache
+from repro.model.problem import AssignmentProblem
+from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
+from repro.runtime.payload import PreparedTask, prepare_tasks, task_payload
+from repro.runtime.registry import SolverRegistry, default_registry
+from repro.runtime.runner import BatchItemResult, BatchReport, BatchTask
+
+
+@dataclass
+class _Entry:
+    """One submission slot: a prepared task plus its execution route."""
+
+    prep: PreparedTask
+    index: int
+    cached_entry: Optional[Dict[str, Any]] = None
+    cache_source: Optional[str] = None
+    leader: Optional[int] = None     #: index of the identical task queued for us
+    task_id: Optional[str] = None    #: set once the task is spooled
+
+
+@dataclass
+class Submission:
+    """Handle for one submitted sweep (input order is preserved)."""
+
+    entries: List[_Entry]
+    started: float = field(default_factory=time.perf_counter)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.entries if e.cached_entry is not None)
+
+
+class SolveService:
+    """Submit assignment sweeps to a spool and stream their results.
+
+    Parameters
+    ----------
+    spool:
+        Spool directory or an existing :class:`WorkQueue`.
+    cache:
+        Result cache probed at submission and fed by streamed results.  The
+        default is the spool-colocated tiered store — the same one
+        ``repro worker`` uses — so submitter and workers stay coherent.
+        Pass ``cache=None`` explicitly to disable.
+    """
+
+    def __init__(self, spool: Union[str, WorkQueue],
+                 cache: Union[ResultCache, None, str] = "spool",
+                 registry: Optional[SolverRegistry] = None,
+                 base_seed: Optional[int] = None,
+                 validate: bool = True) -> None:
+        self.queue = WorkQueue(spool) if isinstance(spool, str) else spool
+        if cache == "spool":
+            cache = spool_cache(self.queue.directory)
+        self.cache = cache
+        self.registry = registry if registry is not None else default_registry()
+        self.base_seed = base_seed
+        self.validate = validate
+
+    # ------------------------------------------------------------------ submit
+    def submit(self, tasks: Sequence[Union[BatchTask, AssignmentProblem]],
+               method: str = "colored-ssb",
+               weighting: Optional[SSBWeighting] = None,
+               **options: Any) -> Submission:
+        """Prepare a sweep; nothing is enqueued until the stream pulls it."""
+        normalized = []
+        for task in tasks:
+            if isinstance(task, BatchTask):
+                normalized.append(task)
+            else:
+                normalized.append(BatchTask(problem=task, method=method,
+                                            options=dict(options),
+                                            weighting=weighting,
+                                            tag=task.name))
+        prepared = prepare_tasks(normalized, self.registry, self.base_seed)
+
+        entries: List[_Entry] = []
+        leaders: Dict[str, int] = {}
+        for index, prep in enumerate(prepared):
+            entry = _Entry(prep=prep, index=index)
+            if self.cache is not None and prep.cacheable:
+                cached, source = cache_get_with_source(self.cache, prep.key)
+                if cached is not None:
+                    entry.cached_entry = cached
+                    entry.cache_source = source
+            if entry.cached_entry is None:
+                leader = leaders.get(prep.key)
+                if leader is not None:
+                    entry.leader = leader
+                else:
+                    leaders[prep.key] = index
+            entries.append(entry)
+        return Submission(entries=entries)
+
+    def enqueue(self, submission: Submission) -> List[str]:
+        """Eagerly spool every non-cached leader task (no backpressure).
+
+        For fire-and-forget submission — results are left for the workers to
+        publish; a later :meth:`stream`/:meth:`gather` (or raw
+        :class:`~repro.distributed.stream.ResultStream`) can pick them up.
+        """
+        task_ids: List[str] = []
+        for entry in submission.entries:
+            if (entry.cached_entry is None and entry.leader is None
+                    and entry.task_id is None):
+                payload = task_payload(entry.prep, validate=self.validate)
+                payload["index"] = entry.index
+                entry.task_id = self.queue.submit(payload)
+                task_ids.append(entry.task_id)
+        return task_ids
+
+    # ------------------------------------------------------------------ stream
+    def stream(self, submission: Submission,
+               ordered: bool = False,
+               window: Optional[int] = None,
+               timeout: Optional[float] = None) -> Iterator[BatchItemResult]:
+        """Yield one :class:`BatchItemResult` per submitted task.
+
+        As-completed by default; ``ordered=True`` preserves input order.
+        ``window`` bounds how many queue tasks are outstanding at once
+        (backpressure: submission proceeds only as results drain).
+        """
+        # leaders to run on the queue, in input order; followers fan out
+        leaders = [e for e in submission.entries
+                   if e.cached_entry is None and e.leader is None]
+        followers: Dict[int, List[_Entry]] = {}
+        for entry in submission.entries:
+            if entry.leader is not None:
+                followers.setdefault(entry.leader, []).append(entry)
+
+        # leaders already spooled (via enqueue) are waited on directly;
+        # the rest are submitted lazily under the backpressure window
+        id_to_index: Dict[str, int] = {}
+        pre_submitted = []
+        to_submit = []
+        for entry in leaders:
+            if entry.task_id is not None:
+                id_to_index[entry.task_id] = entry.index
+                pre_submitted.append(entry.task_id)
+            else:
+                to_submit.append(entry)
+
+        def payloads() -> Iterator[Dict[str, Any]]:
+            for entry in to_submit:
+                payload = task_payload(entry.prep, validate=self.validate)
+                payload["index"] = entry.index
+                yield payload
+
+        def record(task_id: str, payload: Dict[str, Any]) -> None:
+            id_to_index[task_id] = payload["index"]
+            submission.entries[payload["index"]].task_id = task_id
+
+        stream = ResultStream(self.queue, task_ids=pre_submitted,
+                              source=payloads(), window=window,
+                              ordered=ordered, timeout=timeout,
+                              on_submit=record)
+
+        if not ordered:
+            # cache hits first: they are ready by definition
+            for entry in submission.entries:
+                if entry.cached_entry is not None:
+                    yield self._item_from_cache(entry)
+
+        emitted: Dict[int, BatchItemResult] = {}
+        position = 0
+
+        def ordered_flush() -> Iterator[BatchItemResult]:
+            nonlocal position
+            while position < len(submission.entries):
+                entry = submission.entries[position]
+                if entry.cached_entry is not None:
+                    yield self._item_from_cache(entry)
+                elif entry.leader is not None and entry.leader in emitted:
+                    yield self._follower_item(entry, emitted[entry.leader])
+                elif entry.index in emitted:
+                    yield emitted[entry.index]
+                else:
+                    return
+                position += 1
+
+        if ordered:
+            yield from ordered_flush()
+        for task_id, outcome in stream:
+            index = id_to_index[task_id]
+            entry = submission.entries[index]
+            item = self._item_from_outcome(entry, outcome)
+            self._feed_cache(entry, outcome)
+            emitted[index] = item
+            if ordered:
+                yield from ordered_flush()
+            else:
+                yield item
+                for follower in followers.get(index, ()):
+                    yield self._follower_item(follower, item)
+
+    # ------------------------------------------------------------------ gather
+    def gather(self, submission: Submission,
+               window: Optional[int] = None,
+               timeout: Optional[float] = None,
+               workers: int = 0) -> BatchReport:
+        """Block until every task finished; results in input order.
+
+        ``workers`` is purely informational for the report (the service
+        cannot know how many processes are pulling from the spool).
+        """
+        items = list(self.stream(submission, ordered=True, window=window,
+                                 timeout=timeout))
+        by_source = {"memory": 0, "disk": 0, "batch": 0}
+        for item in items:
+            if item.cached:
+                source = item.cache_source or "memory"
+                by_source[source] = by_source.get(source, 0) + 1
+        return BatchReport(
+            results=items,
+            wall_s=time.perf_counter() - submission.started,
+            workers=workers,
+            cache_hits=sum(1 for item in items if item.cached),
+            solved=sum(1 for item in items if item.ok and not item.cached),
+            failed=sum(1 for item in items if not item.ok),
+            cache_memory_hits=by_source["memory"],
+            cache_disk_hits=by_source["disk"],
+            cache_batch_hits=by_source["batch"])
+
+    # ------------------------------------------------------------- item builds
+    def _item_from_cache(self, entry: _Entry) -> BatchItemResult:
+        cached = entry.cached_entry or {}
+        item = self._base_item(entry)
+        item.cached = True
+        item.cache_source = entry.cache_source or "cache"
+        item.objective = cached.get("objective")
+        item.elapsed_s = cached.get("elapsed_s", 0.0)
+        item.placement = dict(cached.get("placement") or {})
+        item.details = dict(cached.get("details") or {})
+        self._attach_assignment(item, entry)
+        return item
+
+    def _item_from_outcome(self, entry: _Entry,
+                           outcome: Dict[str, Any]) -> BatchItemResult:
+        item = self._base_item(entry)
+        if not outcome.get("ok", False):
+            item.error = outcome.get("error", "unknown error")
+            return item
+        item.objective = outcome.get("objective")
+        item.elapsed_s = outcome.get("elapsed_s", 0.0)
+        item.placement = dict(outcome.get("placement") or {})
+        item.details = dict(outcome.get("details") or {})
+        if outcome.get("cached"):
+            item.cached = True
+            item.cache_source = outcome.get("cache_source") or "cache"
+        self._attach_assignment(item, entry)
+        return item
+
+    def _follower_item(self, entry: _Entry,
+                       leader_item: BatchItemResult) -> BatchItemResult:
+        item = self._base_item(entry)
+        item.error = leader_item.error
+        if item.ok:
+            item.objective = leader_item.objective
+            item.elapsed_s = leader_item.elapsed_s
+            item.placement = dict(leader_item.placement or {})
+            item.details = dict(leader_item.details or {})
+            item.cached = True
+            item.cache_source = "batch"
+            self._attach_assignment(item, entry)
+        return item
+
+    def _base_item(self, entry: _Entry) -> BatchItemResult:
+        return BatchItemResult(index=entry.index, tag=entry.prep.task.tag,
+                               method=entry.prep.spec.name, key=entry.prep.key,
+                               seed=entry.prep.seed)
+
+    def _attach_assignment(self, item: BatchItemResult, entry: _Entry) -> None:
+        if item.placement:
+            from repro.core.assignment import Assignment
+
+            item.assignment = Assignment(problem=entry.prep.task.problem,
+                                         placement=item.placement)
+
+    def _feed_cache(self, entry: _Entry, outcome: Dict[str, Any]) -> None:
+        """Keep the submitter-side cache coherent with worker results."""
+        if (self.cache is None or not entry.prep.cacheable
+                or not outcome.get("ok", False) or outcome.get("cached")):
+            return
+        self.cache.put(entry.prep.key, make_cache_entry(
+            outcome.get("method", entry.prep.spec.name),
+            outcome.get("objective"), outcome.get("elapsed_s", 0.0),
+            outcome.get("placement") or {}, outcome.get("details") or {}))

@@ -1,0 +1,395 @@
+"""Durable filesystem work queue (the spool).
+
+The broker behind the distributed solve service is a directory, not a server:
+any number of ``repro worker`` processes — on any host that can see the same
+filesystem — pull tasks from it concurrently with no coordinator and no
+dependencies beyond ``os.rename``.  Layout::
+
+    spool/
+      tasks/    pending task files, claimable by any worker
+      claimed/  tasks currently leased to a worker (mtime = lease heartbeat)
+      results/  one result file per finished task id
+      failed/   dead-lettered tasks (requeued past ``max_requeues``)
+      tmp/      staging area for atomic writes
+
+Every state transition is a single atomic ``os.replace``/``os.rename`` on one
+filesystem, which gives the queue its guarantees:
+
+* **claim** renames ``tasks/<name>`` to ``claimed/<name>`` — exactly one of
+  any number of racing workers wins (the losers get ``FileNotFoundError`` and
+  move on), so a task is never handed out twice while its lease is live;
+* **ack** writes the result via tempfile + rename and then drops the claim —
+  a crash before the rename loses nothing, a crash after it loses only the
+  claim file, which recovery simply requeues and the next claimant drops on
+  seeing the existing result;
+* **requeue/recovery** renames an expired ``claimed/`` entry back into
+  ``tasks/`` with its attempt counter bumped (the counter lives in the file
+  *name*, so the bump is still a pure rename).
+
+A worker that is SIGKILL'd mid-task leaves only a ``claimed/`` entry behind;
+once its lease (claim-file mtime + ``lease_timeout``) expires, any call to
+:meth:`WorkQueue.recover` — workers run it opportunistically while polling,
+as does the submitter's result stream — moves the task back for another
+worker.  Delivery is therefore *at-least-once*: a live worker that outlives
+its lease can race its replacement, in which case both solve the task and the
+result file (keyed by task id) is simply overwritten with identical content.
+Leases should be sized generously above the worst single solve time.
+
+Task files are named ``<task_id>.a<attempt>.json`` where ``task_id`` embeds a
+millisecond timestamp plus random suffix, so a plain sorted directory listing
+is FIFO submission order and ids never collide across submitters.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.runtime.cache import write_json_atomic
+
+TASKS_DIR = "tasks"
+CLAIMED_DIR = "claimed"
+RESULTS_DIR = "results"
+FAILED_DIR = "failed"
+TMP_DIR = "tmp"
+
+_SUBDIRS = (TASKS_DIR, CLAIMED_DIR, RESULTS_DIR, FAILED_DIR, TMP_DIR)
+
+
+class SpoolError(RuntimeError):
+    """Raised on unrecoverable spool corruption or misuse."""
+
+
+_SEQUENCE = itertools.count()
+
+
+def new_task_id() -> str:
+    """A sortable, collision-free task id.
+
+    Millisecond timestamp, then a per-process sequence number (strict FIFO
+    for one submitter even within a millisecond), then entropy so ids from
+    different submitters can never collide.
+    """
+    return (f"{int(time.time() * 1000):013d}-{next(_SEQUENCE):08d}-"
+            f"{uuid.uuid4().hex[:8]}")
+
+
+def _split_name(name: str) -> Optional[Dict[str, Any]]:
+    """Parse ``<task_id>.a<attempt>.json`` → parts, or None for foreign files."""
+    if not name.endswith(".json"):
+        return None
+    stem = name[: -len(".json")]
+    task_id, sep, attempt_text = stem.rpartition(".a")
+    if not sep or not task_id or not attempt_text.isdigit():
+        return None
+    return {"task_id": task_id, "attempt": int(attempt_text)}
+
+
+@dataclass
+class SpoolTask:
+    """One claimed unit of work, held under lease by a worker."""
+
+    task_id: str
+    payload: Dict[str, Any]
+    attempt: int              #: 0 on first delivery, +1 per requeue
+    path: str                 #: current location under ``claimed/``
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(self.path)
+
+
+class WorkQueue:
+    """Multi-process, crash-safe task broker over a shared directory.
+
+    Parameters
+    ----------
+    directory:
+        The spool root; subdirectories are created on demand.
+    lease_timeout:
+        Seconds a claim may go without a heartbeat before recovery requeues
+        it.  Size it well above the worst expected single-task solve time.
+    max_requeues:
+        After this many requeues a task is dead-lettered into ``failed/``
+        instead of being retried forever (a poison task must not wedge the
+        fleet).
+    poll_interval:
+        Sleep between directory scans in blocking :meth:`claim` /
+        :meth:`wait_result` loops.
+    """
+
+    def __init__(self, directory: str, lease_timeout: float = 60.0,
+                 max_requeues: int = 5, poll_interval: float = 0.05) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_requeues < 0:
+            raise ValueError("max_requeues must be >= 0")
+        self.directory = directory
+        self.lease_timeout = lease_timeout
+        self.max_requeues = max_requeues
+        self.poll_interval = poll_interval
+        for sub in _SUBDIRS:
+            os.makedirs(os.path.join(directory, sub), exist_ok=True)
+
+    # ------------------------------------------------------------ primitives
+    def _dir(self, sub: str) -> str:
+        return os.path.join(self.directory, sub)
+
+    def _write_atomic(self, target: str, data: Dict[str, Any]) -> None:
+        write_json_atomic(target, data, tmp_dir=self._dir(TMP_DIR))
+
+    def _listing(self, sub: str) -> List[str]:
+        try:
+            return sorted(os.listdir(self._dir(sub)))
+        except OSError:
+            return []
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, payload: Dict[str, Any],
+               task_id: Optional[str] = None) -> str:
+        """Enqueue one JSON-safe payload; returns the task id."""
+        task_id = task_id or new_task_id()
+        if "/" in task_id or task_id.startswith("."):
+            raise SpoolError(f"invalid task id {task_id!r}")
+        target = os.path.join(self._dir(TASKS_DIR), f"{task_id}.a0.json")
+        self._write_atomic(target, payload)
+        return task_id
+
+    def submit_many(self, payloads: Iterable[Dict[str, Any]]) -> List[str]:
+        return [self.submit(payload) for payload in payloads]
+
+    # ----------------------------------------------------------------- claim
+    def claim(self, block: bool = False, timeout: Optional[float] = None,
+              ) -> Optional[SpoolTask]:
+        """Atomically take one pending task, oldest first.
+
+        Non-blocking by default (``None`` when the spool is empty); with
+        ``block=True`` polls until a task arrives or ``timeout`` elapses.
+        Each scan also runs :meth:`recover` so expired leases resurface even
+        when every submitter is gone.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self.recover()
+            task = self._try_claim()
+            if task is not None:
+                return task
+            if not block or (deadline is not None
+                             and time.monotonic() >= deadline):
+                return None
+            time.sleep(self.poll_interval)
+
+    def _try_claim(self) -> Optional[SpoolTask]:
+        for name in self._listing(TASKS_DIR):
+            parts = _split_name(name)
+            if parts is None:
+                continue
+            source = os.path.join(self._dir(TASKS_DIR), name)
+            target = os.path.join(self._dir(CLAIMED_DIR), name)
+            if os.path.exists(self._result_path(parts["task_id"])):
+                # a slow ex-claimant finished after this entry was requeued:
+                # the task is done, silently retire the duplicate delivery
+                try:
+                    os.unlink(source)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.rename(source, target)
+            except OSError as exc:
+                if exc.errno in (errno.ENOENT, errno.EEXIST):
+                    continue       # another worker won the race
+                raise
+            try:
+                os.utime(target)   # lease heartbeat starts at claim time
+            except OSError:
+                pass
+            try:
+                with open(target, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                # torn submit (should be impossible) or vanished: skip
+                continue
+            return SpoolTask(task_id=parts["task_id"], payload=payload,
+                             attempt=parts["attempt"], path=target)
+        return None
+
+    def renew(self, task: SpoolTask) -> bool:
+        """Heartbeat a held lease; False when the claim no longer exists
+        (recovery already requeued it — the worker should drop the task)."""
+        try:
+            os.utime(task.path)
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------ completion
+    def _result_path(self, task_id: str) -> str:
+        return os.path.join(self._dir(RESULTS_DIR), f"{task_id}.json")
+
+    def ack(self, task: SpoolTask, result: Dict[str, Any]) -> None:
+        """Publish the result, then release the claim."""
+        payload = dict(result)
+        payload.setdefault("task_id", task.task_id)
+        payload.setdefault("attempt", task.attempt)
+        self._write_atomic(self._result_path(task.task_id), payload)
+        try:
+            os.unlink(task.path)
+        except OSError:
+            pass                   # lease expired and was requeued; harmless
+
+    def nack(self, task: SpoolTask) -> None:
+        """Return a claimed task to the queue immediately (attempt + 1)."""
+        self._requeue(os.path.basename(task.path))
+
+    def fail(self, task: SpoolTask, error: str) -> None:
+        """Dead-letter a claimed task (no more retries)."""
+        self._write_atomic(
+            os.path.join(self._dir(FAILED_DIR), f"{task.task_id}.json"),
+            {"task_id": task.task_id, "attempt": task.attempt,
+             "error": error, "payload": task.payload})
+        try:
+            os.unlink(task.path)
+        except OSError:
+            pass
+
+    # -------------------------------------------------------------- recovery
+    def recover(self, now: Optional[float] = None) -> int:
+        """Requeue every claimed task whose lease has expired.
+
+        Returns the number of tasks moved.  Safe to call from any process at
+        any time; workers and result streams call it opportunistically.
+        """
+        now = time.time() if now is None else now
+        moved = 0
+        for name in self._listing(CLAIMED_DIR):
+            parts = _split_name(name)
+            if parts is None:
+                continue
+            path = os.path.join(self._dir(CLAIMED_DIR), name)
+            try:
+                age = now - os.stat(path).st_mtime
+            except OSError:
+                continue           # acked or requeued meanwhile
+            if age < self.lease_timeout:
+                continue
+            if os.path.exists(self._result_path(parts["task_id"])):
+                # finished but the claim unlink was lost: just drop the claim
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            if self._requeue(name):
+                moved += 1
+        return moved
+
+    def _requeue(self, claimed_name: str) -> bool:
+        parts = _split_name(claimed_name)
+        if parts is None:
+            return False
+        source = os.path.join(self._dir(CLAIMED_DIR), claimed_name)
+        attempt = parts["attempt"] + 1
+        if attempt > self.max_requeues:
+            try:
+                with open(source, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = None
+            self._write_atomic(
+                os.path.join(self._dir(FAILED_DIR), f"{parts['task_id']}.json"),
+                {"task_id": parts["task_id"], "attempt": parts["attempt"],
+                 "error": f"requeued more than max_requeues={self.max_requeues} "
+                          f"times (poison task or fleet-wide crash loop)",
+                 "payload": payload})
+            try:
+                os.unlink(source)
+            except OSError:
+                pass
+            return False
+        target = os.path.join(self._dir(TASKS_DIR),
+                              f"{parts['task_id']}.a{attempt}.json")
+        try:
+            os.rename(source, target)
+            return True
+        except OSError:
+            return False           # acked or reclaimed concurrently
+
+    # --------------------------------------------------------------- results
+    def result(self, task_id: str) -> Optional[Dict[str, Any]]:
+        """The published result of a task, or None while it is outstanding."""
+        try:
+            with open(self._result_path(task_id), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def failure(self, task_id: str) -> Optional[Dict[str, Any]]:
+        """The dead-letter record of a task, if it was dead-lettered."""
+        path = os.path.join(self._dir(FAILED_DIR), f"{task_id}.json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def result_ids(self) -> List[str]:
+        """Task ids with a published result (one directory listing)."""
+        return [name[: -len(".json")] for name in self._listing(RESULTS_DIR)
+                if name.endswith(".json")]
+
+    def failure_ids(self) -> List[str]:
+        """Task ids with a dead-letter record (one directory listing)."""
+        return [name[: -len(".json")] for name in self._listing(FAILED_DIR)
+                if name.endswith(".json")]
+
+    def wait_result(self, task_id: str,
+                    timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Block until a task's result (or dead-letter record) appears."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            outcome = self.result(task_id)
+            if outcome is not None:
+                return outcome
+            failure = self.failure(task_id)
+            if failure is not None:
+                return failure
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            self.recover()
+            time.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------ accounting
+    def counts(self) -> Dict[str, int]:
+        """Spool occupancy: pending / claimed / results / failed."""
+        return {
+            "pending": sum(1 for n in self._listing(TASKS_DIR)
+                           if _split_name(n)),
+            "claimed": sum(1 for n in self._listing(CLAIMED_DIR)
+                           if _split_name(n)),
+            "results": sum(1 for n in self._listing(RESULTS_DIR)
+                           if n.endswith(".json")),
+            "failed": sum(1 for n in self._listing(FAILED_DIR)
+                          if n.endswith(".json")),
+        }
+
+    def purge_results(self) -> int:
+        """Delete published results (e.g. between benchmark repetitions)."""
+        removed = 0
+        for name in self._listing(RESULTS_DIR):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self._dir(RESULTS_DIR), name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"WorkQueue({self.directory!r}, {self.counts()})"

@@ -1,0 +1,180 @@
+"""The solve worker: pull, solve, publish, repeat.
+
+A :class:`SolveWorker` is the unit any host contributes to the fleet: point
+it at a spool directory (``repro worker --spool DIR``) and it claims tasks,
+dispatches them through the same :func:`repro.runtime.payload.solve_payload`
+path the batch runner uses, and publishes results back into the spool.  It
+consults the shared result cache before solving (so a re-submitted sweep is
+served without burning CPU) and feeds it after, and it injects the spool's
+shared warm-start directory into ``colored-ssb-incremental`` tasks so every
+worker benefits from every other worker's previous solve of the same tree
+structure.
+
+Crash safety comes entirely from the spool: a worker that dies mid-task
+holds a lease that expires, after which :meth:`WorkQueue.recover` (run by
+the surviving workers and by result streams) requeues the task.
+
+``REPRO_WORKER_SOLVE_DELAY`` (seconds, float) inserts an artificial pause
+before each solve — a deterministic hook for crash-recovery tests and demos
+that need to observe a worker mid-lease.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+from repro.distributed.spool import SpoolTask, WorkQueue
+from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
+from repro.runtime.payload import solve_payload
+from repro.runtime.registry import SolverRegistry, default_registry
+
+SOLVE_DELAY_ENV_VAR = "REPRO_WORKER_SOLVE_DELAY"
+
+#: Subdirectory of the spool holding the shared warm-start index.
+WARM_DIR = "warmstarts"
+#: Subdirectory of the spool holding the shared on-disk result cache.
+CACHE_DIR = "cache"
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class SolveWorker:
+    """One worker process draining a :class:`WorkQueue`.
+
+    Parameters
+    ----------
+    queue:
+        The spool to pull from (or a directory path).
+    cache:
+        Optional shared result cache, probed before and fed after each
+        solve.  Pass the spool-colocated store so all workers share it.
+    registry:
+        Solver registry used to resolve canonical method names (for the
+        warm-dir injection); solving itself goes through the facade.
+    worker_id:
+        Recorded in every published result; defaults to host-pid-entropy.
+    poll_interval:
+        Sleep between claim attempts while idle.
+    """
+
+    def __init__(self, queue: "WorkQueue | str",
+                 cache: Optional[ResultCache] = None,
+                 registry: Optional[SolverRegistry] = None,
+                 worker_id: Optional[str] = None,
+                 poll_interval: float = 0.05) -> None:
+        if isinstance(queue, str):
+            queue = WorkQueue(queue)
+        self.queue = queue
+        self.cache = cache
+        self.registry = registry if registry is not None else default_registry()
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_interval = poll_interval
+        self.processed = 0
+        self.cache_hits = 0
+        self._solve_delay = float(os.environ.get(SOLVE_DELAY_ENV_VAR, "0") or 0)
+
+    # -------------------------------------------------------------- main loop
+    def run(self, max_tasks: Optional[int] = None, drain: bool = False,
+            timeout: Optional[float] = None) -> int:
+        """Process tasks until a stop condition; returns the number handled.
+
+        ``drain=True`` exits as soon as no task is claimable (after expired
+        leases were recovered); otherwise the worker polls until ``max_tasks``
+        or ``timeout`` is reached.
+        """
+        started = time.monotonic()
+        handled = 0
+        while max_tasks is None or handled < max_tasks:
+            remaining = None
+            if timeout is not None:
+                remaining = timeout - (time.monotonic() - started)
+                if remaining <= 0:
+                    break
+            if drain:
+                task = self.queue.claim(block=False)
+                if task is None:
+                    break
+            else:
+                task = self.queue.claim(
+                    block=True,
+                    timeout=(min(1.0, remaining) if remaining is not None
+                             else 1.0))
+                if task is None:
+                    continue
+            self.process(task)
+            handled += 1
+        return handled
+
+    # ---------------------------------------------------------------- one task
+    def process(self, task: SpoolTask) -> Dict[str, Any]:
+        """Solve one claimed task and publish its outcome."""
+        payload = dict(task.payload)
+        outcome = self._cached_outcome(payload)
+        if outcome is None:
+            if self._solve_delay:
+                time.sleep(self._solve_delay)
+            self._inject_warm_dir(payload)
+            outcome = solve_payload(payload)
+            outcome["cached"] = False
+            if (outcome.get("ok") and self.cache is not None
+                    and payload.get("cacheable", True)):
+                self.cache.put(payload["key"], make_cache_entry(
+                    outcome["method"], outcome["objective"],
+                    outcome["elapsed_s"], outcome["placement"],
+                    outcome["details"]))
+        outcome["worker_id"] = self.worker_id
+        outcome["tag"] = payload.get("tag")
+        outcome["seed"] = payload.get("seed")
+        outcome["index"] = payload.get("index")
+        self.queue.ack(task, outcome)
+        self.processed += 1
+        return outcome
+
+    def _cached_outcome(self, payload: Dict[str, Any]
+                        ) -> Optional[Dict[str, Any]]:
+        if self.cache is None or not payload.get("cacheable", True):
+            return None
+        entry, source = cache_get_with_source(self.cache, payload["key"])
+        if entry is None:
+            return None
+        self.cache_hits += 1
+        return {
+            "key": payload["key"],
+            "ok": True,
+            "method": entry.get("method", payload.get("method")),
+            "objective": entry.get("objective"),
+            "elapsed_s": entry.get("elapsed_s", 0.0),
+            "placement": dict(entry.get("placement") or {}),
+            "details": dict(entry.get("details") or {}),
+            "cached": True,
+            "cache_source": source,
+        }
+
+    def _inject_warm_dir(self, payload: Dict[str, Any]) -> None:
+        """Point incremental tasks at the spool's shared warm-start index."""
+        try:
+            canonical = self.registry.canonical_name(payload.get("method", ""))
+        except Exception:  # noqa: BLE001 - unknown method fails in solve_payload
+            return
+        if canonical != "colored-ssb-incremental":
+            return
+        options = dict(payload.get("options") or {})
+        if "warm_dir" not in options and "index" not in options:
+            options["warm_dir"] = os.path.join(self.queue.directory, WARM_DIR)
+            payload["options"] = options
+
+
+def spool_cache(spool_directory: str):
+    """The spool-colocated tiered result cache every worker should share."""
+    from repro.runtime.cache import (JSONFileCache, LRUResultCache,
+                                     TieredResultCache)
+
+    return TieredResultCache(
+        memory=LRUResultCache(),
+        disk=JSONFileCache(os.path.join(spool_directory, CACHE_DIR)))

@@ -25,10 +25,19 @@ from repro.runtime.cache import (
     LRUResultCache,
     TieredResultCache,
     cache_entry_from_result,
+    cache_get_with_source,
     make_cache_entry,
     options_fingerprint,
     problem_fingerprint,
     result_key,
+    shard_of,
+)
+from repro.runtime.payload import (
+    PreparedTask,
+    prepare_task,
+    prepare_tasks,
+    solve_payload,
+    task_payload,
 )
 from repro.runtime.runner import (
     BatchReport,
@@ -48,10 +57,17 @@ __all__ = [
     "LRUResultCache",
     "TieredResultCache",
     "cache_entry_from_result",
+    "cache_get_with_source",
     "make_cache_entry",
     "options_fingerprint",
     "problem_fingerprint",
     "result_key",
+    "shard_of",
+    "PreparedTask",
+    "prepare_task",
+    "prepare_tasks",
+    "solve_payload",
+    "task_payload",
     "BatchReport",
     "BatchRunner",
     "BatchTask",

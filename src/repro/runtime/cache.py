@@ -9,10 +9,18 @@ identically regardless of construction order of dict-valued fields.
 Two stores are provided, plus a tier combining them:
 
 * :class:`LRUResultCache` — bounded in-memory store with LRU eviction;
-* :class:`JSONFileCache` — one JSON file per key under a directory, written
-  atomically, so sweeps survive process restarts and can be shared between
-  workers;
+* :class:`JSONFileCache` — one JSON file per key, **sharded** into 256
+  two-hex-character subdirectories (million-entry stores must not put every
+  file into one directory); writes are atomic, flat legacy entries migrate
+  into their shard transparently on first access, and hits touch the file
+  mtime so the :class:`~repro.distributed.janitor.CacheJanitor` can evict
+  least-recently-*used* entries first;
 * :class:`TieredResultCache` — memory in front of disk, promoting disk hits.
+
+Stores additionally expose ``get_with_source`` returning ``(entry, tier)``
+(``"memory"`` / ``"disk"``) so callers like the
+:class:`~repro.runtime.runner.BatchRunner` can report which tier served each
+hit; :func:`cache_get_with_source` adapts stores that only implement ``get``.
 
 Entries are plain JSON-safe dicts (method, objective, placement, elapsed_s,
 details) so they can cross process boundaries and be diffed on disk.
@@ -25,7 +33,7 @@ import json
 import os
 import tempfile
 from collections import OrderedDict
-from typing import Any, Dict, Mapping, Optional, Protocol
+from typing import Any, Dict, Iterator, Mapping, Optional, Protocol, Tuple
 
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
@@ -34,6 +42,29 @@ from repro.model.serialization import problem_to_dict
 CacheEntry = Dict[str, Any]
 
 _ENTRY_VERSION = 1
+
+
+def write_json_atomic(path: str, data: Any,
+                      tmp_dir: Optional[str] = None) -> None:
+    """Write JSON via tempfile + rename so readers never see a torn file.
+
+    The temp file is staged in ``tmp_dir`` (default: the target's directory —
+    it must be on the same filesystem for the rename to stay atomic) and
+    unlinked on failure.  Shared by the result cache, the work-queue spool
+    and the warm-start index.
+    """
+    directory = tmp_dir if tmp_dir is not None else (os.path.dirname(path) or ".")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 # ------------------------------------------------------------------- hashing
@@ -122,6 +153,21 @@ class ResultCache(Protocol):
     def put(self, key: str, entry: CacheEntry) -> None: ...
 
 
+def cache_get_with_source(cache: ResultCache, key: str
+                          ) -> Tuple[Optional[CacheEntry], Optional[str]]:
+    """Probe a store, reporting which tier served the hit when it can tell.
+
+    Stores implementing ``get_with_source`` answer directly; anything else is
+    probed through plain ``get`` and attributed to the generic ``"cache"``
+    source.
+    """
+    probe = getattr(cache, "get_with_source", None)
+    if probe is not None:
+        return probe(key)
+    entry = cache.get(key)
+    return entry, ("cache" if entry is not None else None)
+
+
 class _CacheStats:
     """Hit/miss accounting shared by all stores."""
 
@@ -153,6 +199,11 @@ class LRUResultCache(_CacheStats):
         self.hits += 1
         return entry
 
+    def get_with_source(self, key: str
+                        ) -> Tuple[Optional[CacheEntry], Optional[str]]:
+        entry = self.get(key)
+        return entry, ("memory" if entry is not None else None)
+
     def put(self, key: str, entry: CacheEntry) -> None:
         self._entries[key] = entry
         self._entries.move_to_end(key)
@@ -169,66 +220,115 @@ class LRUResultCache(_CacheStats):
         self._entries.clear()
 
 
-class JSONFileCache(_CacheStats):
-    """One JSON file per key under ``directory`` (created on demand).
+def shard_of(key: str) -> str:
+    """The two-hex-character shard subdirectory a key lives in.
 
-    Writes are atomic (tempfile + rename) so concurrent workers sharing the
-    directory can never observe a torn entry; unreadable files count as
-    misses instead of raising.
+    Sharding hashes the key instead of slicing it so arbitrary keys (not just
+    the hex-prefixed ones :func:`result_key` produces) spread uniformly over
+    exactly 256 directories.
+    """
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:2]
+
+
+def _is_shard_name(name: str) -> bool:
+    return len(name) == 2 and all(c in "0123456789abcdef" for c in name)
+
+
+class JSONFileCache(_CacheStats):
+    """One JSON file per key, sharded into 256 two-hex subdirectories.
+
+    ``directory/<shard>/<key>.json`` where ``shard`` is the first two hex
+    characters of SHA-256 of the key — a million-entry store puts ~4k files
+    per directory instead of a million in one.  Writes are atomic (tempfile +
+    rename inside the shard) so concurrent workers sharing the directory can
+    never observe a torn entry; unreadable files count as misses instead of
+    raising.  Flat legacy entries (``directory/<key>.json`` from the
+    pre-sharding layout) are migrated into their shard transparently on first
+    access.  Hits refresh the file mtime so the janitor's oldest-first
+    eviction approximates least-recently-used.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, touch_on_hit: bool = True) -> None:
         super().__init__()
         self.directory = directory
+        self.touch_on_hit = touch_on_hit
 
     def _path(self, key: str) -> str:
+        return os.path.join(self.directory, shard_of(key), f"{key}.json")
+
+    def _legacy_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
-    def get(self, key: str) -> Optional[CacheEntry]:
+    def _load(self, path: str) -> Optional[CacheEntry]:
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
             return None
         if not isinstance(entry, dict) or entry.get("entry_version") != _ENTRY_VERSION:
-            self.misses += 1
             return None
+        return entry
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        path = self._path(key)
+        entry = self._load(path)
+        if entry is None:
+            entry = self._load(self._legacy_path(key))
+            if entry is None:
+                self.misses += 1
+                return None
+            # migrate the flat legacy file into its shard (atomic; a loser
+            # of a concurrent migration race merely re-writes the same entry)
+            try:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                os.replace(self._legacy_path(key), path)
+            except OSError:
+                pass
+        if self.touch_on_hit:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         self.hits += 1
         return entry
 
+    def get_with_source(self, key: str
+                        ) -> Tuple[Optional[CacheEntry], Optional[str]]:
+        entry = self.get(key)
+        return entry, ("disk" if entry is not None else None)
+
     def put(self, key: str, entry: CacheEntry) -> None:
-        os.makedirs(self.directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp_path, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        os.makedirs(os.path.join(self.directory, shard_of(key)), exist_ok=True)
+        write_json_atomic(self._path(key), entry)
 
-    def __len__(self) -> int:
+    def paths(self) -> Iterator[str]:
+        """Every entry file currently in the store (shards + legacy flat)."""
         try:
-            return sum(1 for name in os.listdir(self.directory)
-                       if name.endswith(".json"))
-        except OSError:
-            return 0
-
-    def clear(self) -> None:
-        try:
-            names = os.listdir(self.directory)
+            names = sorted(os.listdir(self.directory))
         except OSError:
             return
         for name in names:
+            path = os.path.join(self.directory, name)
             if name.endswith(".json"):
+                yield path
+            elif _is_shard_name(name) and os.path.isdir(path):
                 try:
-                    os.unlink(os.path.join(self.directory, name))
+                    inner = sorted(os.listdir(path))
                 except OSError:
-                    pass
+                    continue
+                for entry_name in inner:
+                    if entry_name.endswith(".json"):
+                        yield os.path.join(path, entry_name)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.paths())
+
+    def clear(self) -> None:
+        for path in list(self.paths()):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
 
 class TieredResultCache(_CacheStats):
@@ -244,16 +344,22 @@ class TieredResultCache(_CacheStats):
         self.disk = disk
 
     def get(self, key: str) -> Optional[CacheEntry]:
+        return self.get_with_source(key)[0]
+
+    def get_with_source(self, key: str
+                        ) -> Tuple[Optional[CacheEntry], Optional[str]]:
+        source: Optional[str] = "memory"
         entry = self.memory.get(key)
         if entry is None and self.disk is not None:
             entry = self.disk.get(key)
+            source = "disk"
             if entry is not None:
                 self.memory.put(key, entry)
         if entry is None:
             self.misses += 1
-        else:
-            self.hits += 1
-        return entry
+            return None, None
+        self.hits += 1
+        return entry, source
 
     def put(self, key: str, entry: CacheEntry) -> None:
         self.memory.put(key, entry)

@@ -1,0 +1,156 @@
+"""Task preparation and the worker-side solve payload.
+
+One batch task goes through the same three steps no matter which execution
+backend runs it — the in-process loop, the ``ProcessPoolExecutor`` fan-out of
+:class:`~repro.runtime.runner.BatchRunner`, or a :mod:`repro.distributed`
+worker pulling from a filesystem spool on another host:
+
+1. **prepare** (:func:`prepare_tasks`) — resolve the method against the
+   registry, derive the explicit seed for stochastic specs, fingerprint the
+   instance and compute the cache key plus its *cacheability* (a seedless
+   stochastic task is a fresh independent draw: it must not dedup into
+   another task's result or be replayed from the cache);
+2. **encode** (:func:`task_payload`) — flatten the prepared task into a
+   JSON-safe dict that can cross a process boundary or rest in a spool file;
+3. **solve** (:func:`solve_payload`) — rebuild the instance from the payload
+   and dispatch through the solver facade, reporting errors as data.
+
+Keeping the three steps here (instead of private to the runner) is what lets
+the distributed queue path share semantics with the batch path bit-for-bit:
+identical keys, identical seeds, identical error envelopes.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.dwg import SSBWeighting
+from repro.runtime.cache import problem_fingerprint, result_key
+from repro.runtime.registry import SolverRegistry
+
+PAYLOAD_VERSION = 1
+
+
+def format_error(exc: BaseException) -> str:
+    """One-line error text carried in results instead of raising."""
+    return "".join(traceback.format_exception_only(type(exc), exc)).strip()
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """A stable 63-bit seed derived from ``base_seed`` and identifying parts.
+
+    Deterministic across processes and runs (unlike ``hash()``), and
+    independent of task submission order.
+    """
+    import hashlib
+
+    text = ":".join([str(base_seed), *map(str, parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass
+class PreparedTask:
+    """One task after method resolution, seeding and cache-key derivation."""
+
+    task: Any                      #: the originating BatchTask
+    spec: Any                      #: resolved SolverSpec
+    options: Dict[str, Any]        #: options with the derived seed folded in
+    key: str                       #: full result-cache key
+    cacheable: bool                #: False for seedless stochastic draws
+    seed: Optional[int]            #: effective seed (stochastic specs only)
+    problem_hash: str              #: canonical instance fingerprint
+
+
+def prepare_task(task: Any, registry: SolverRegistry,
+                 base_seed: Optional[int], index: int) -> PreparedTask:
+    """Resolve, seed and key one task (``index`` disambiguates fresh draws)."""
+    spec = registry.resolve(task.method)
+    options = dict(task.options)
+    seed = task.seed
+    problem_hash = problem_fingerprint(task.problem)
+    if spec.stochastic:
+        if seed is None:
+            seed = options.get("seed")
+        if seed is None and base_seed is not None:
+            seed = derive_seed(base_seed, problem_hash, spec.name,
+                               sorted(options.items()))
+        if seed is not None:
+            options["seed"] = seed
+    key = result_key(task.problem, spec.name, options=options,
+                     weighting=task.weighting, problem_hash=problem_hash)
+    # A stochastic task without a seed is a fresh independent draw: it must
+    # not collapse into another task's result via dedup, and its result must
+    # not be replayed from the cache.
+    cacheable = not (spec.stochastic and options.get("seed") is None)
+    if not cacheable:
+        key = f"{key}#draw{index}"
+    return PreparedTask(task=task, spec=spec, options=options, key=key,
+                        cacheable=cacheable, seed=seed,
+                        problem_hash=problem_hash)
+
+
+def prepare_tasks(tasks: Iterable[Any], registry: SolverRegistry,
+                  base_seed: Optional[int] = None) -> List[PreparedTask]:
+    return [prepare_task(task, registry, base_seed, index)
+            for index, task in enumerate(tasks)]
+
+
+def task_payload(prep: PreparedTask, validate: bool = True) -> Dict[str, Any]:
+    """The JSON-safe envelope a worker needs to solve one prepared task."""
+    from repro.model.serialization import problem_to_json
+
+    task = prep.task
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "key": prep.key,
+        "problem_json": problem_to_json(task.problem, indent=0),
+        "method": prep.spec.name,
+        "options": prep.options,
+        "weighting": (None if task.weighting is None else
+                      [task.weighting.lambda_s, task.weighting.lambda_b]),
+        "validate": validate,
+        "cacheable": prep.cacheable,
+        "tag": task.tag,
+        "seed": prep.seed,
+    }
+
+
+def solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Solve one JSON-encoded task; never raises (errors are data)."""
+    from repro.core.solver import solve
+    from repro.model.serialization import problem_from_json
+    from repro.runtime.cache import json_safe_details
+
+    try:
+        problem = problem_from_json(payload["problem_json"])
+        weighting = payload.get("weighting")
+        if weighting is not None:
+            weighting = SSBWeighting(*weighting)
+        started = time.perf_counter()
+        result = solve(problem, method=payload["method"], weighting=weighting,
+                       validate=payload.get("validate", True),
+                       **payload.get("options", {}))
+        elapsed = time.perf_counter() - started
+        return {
+            "key": payload["key"],
+            "ok": True,
+            "method": result.method,
+            "objective": result.objective,
+            "elapsed_s": elapsed,
+            "placement": dict(result.assignment.placement),
+            "details": json_safe_details(result.details),
+        }
+    except Exception as exc:  # noqa: BLE001 - worker must report, not crash
+        return {
+            "key": payload["key"],
+            "ok": False,
+            "error": format_error(exc),
+        }
+
+
+def solve_payload_chunk(chunk: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [solve_payload(payload) for payload in chunk]

@@ -15,6 +15,8 @@ The default registry carries the paper's algorithm plus every baseline:
 ``colored-ssb``        the paper's adapted SSB search (exact)
 ``colored-ssb-labels`` label-dominance DAG sweep, no elimination loop (exact;
                        aliases ``labels`` / ``label-search``)
+``colored-ssb-incremental`` label sweep warm-started from the last solve of
+                       the same tree structure (exact; alias ``incremental``)
 ``brute-force``        full enumeration (exact reference)
 ``pareto-dp``          Pareto-frontier tree DP (exact reference)
 ``branch-and-bound``   exact B&B over feasible cuts
@@ -64,6 +66,7 @@ class SolverSpec:
     supports_weighting: bool = False    #: honours an SSBWeighting objective
     complexity: str = "?"               #: informal worst-case complexity
     aliases: Tuple[str, ...] = ()
+    limits: Tuple[str, ...] = ()        #: known blowup regimes / hard caps
 
     def solve(self, problem: AssignmentProblem,
               weighting: Optional[SSBWeighting] = None,
@@ -92,6 +95,7 @@ class SolverSpec:
             "supports_weighting": self.supports_weighting,
             "complexity": self.complexity,
             "aliases": list(self.aliases),
+            "limits": list(self.limits),
         }
 
 
@@ -219,14 +223,40 @@ def _run_colored_ssb_labels(problem: AssignmentProblem,
     return assignment, details
 
 
+def _run_colored_ssb_incremental(problem, weighting, options):
+    """Label sweep with structure-keyed warm starts (distributed.incremental).
+
+    Options: ``index`` (a WarmStartIndex, in-process callers), ``warm_dir``
+    (directory of a shared on-disk index — what spool workers inject),
+    ``beam_width`` (cold-solve pre-pass width).
+    """
+    from repro.distributed.incremental import IncrementalSolver, WarmStartIndex
+
+    index = options.get("index")
+    if index is None and options.get("warm_dir"):
+        index = WarmStartIndex(directory=options["warm_dir"])
+    solver = IncrementalSolver(index=index, weighting=weighting,
+                               beam_width=options.get("beam_width", 128))
+    return solver.solve(problem)
+
+
 def _run_brute_force(problem, weighting, options):
     from repro.baselines import brute_force_assignment
     return brute_force_assignment(problem, weighting=weighting)
 
 
+#: Default frontier cap for the pareto-dp spec.  Calibrated: instances that
+#: solve in seconds keep their frontiers under ~2k labels (n=20 scattered:
+#: 1536), while the known scattered-n>=30 blowup shoots past this cap within
+#: ~1s — so the guard raises fast instead of grinding for minutes first.
+PARETO_DP_MAX_FRONTIER = 8192
+
+
 def _run_pareto_dp(problem, weighting, options):
     from repro.baselines import pareto_dp_assignment
-    return pareto_dp_assignment(problem, weighting=weighting)
+    return pareto_dp_assignment(
+        problem, weighting=weighting,
+        max_frontier=options.get("max_frontier", PARETO_DP_MAX_FRONTIER))
 
 
 def _run_bokhari_sb(problem, weighting, options):
@@ -301,6 +331,16 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
         aliases=("labels", "label-search"),
     ),
     SolverSpec(
+        name="colored-ssb-incremental",
+        runner=_run_colored_ssb_incremental,
+        description="label-dominance sweep warm-started from the last solve "
+                    "of the same tree structure (profiles/costs may differ)",
+        exact=True,
+        supports_weighting=True,
+        complexity="O(labels * out-degree), sharply pruned on warm re-solves",
+        aliases=("incremental",),
+    ),
+    SolverSpec(
         name="brute-force",
         runner=_run_brute_force,
         description="full enumeration of feasible cuts (exact reference)",
@@ -315,6 +355,9 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
         exact=True,
         supports_weighting=True,
         complexity="output-sensitive in the frontier size",
+        limits=(f"frontier blowup on scattered n>=30: raises FrontierExplosion "
+                f"past max_frontier (default {PARETO_DP_MAX_FRONTIER}) instead "
+                f"of hanging",),
     ),
     SolverSpec(
         name="sb-bottleneck",

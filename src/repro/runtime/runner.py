@@ -24,46 +24,39 @@ the experiment drivers use unless ``REPRO_BATCH_WORKERS`` says otherwise.
 
 from __future__ import annotations
 
-import hashlib
 import math
 import multiprocessing
 import os
 import time
-import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
-from repro.model.serialization import problem_from_json, problem_to_json
 from repro.runtime.cache import (
     ResultCache,
     cache_entry_from_result,
+    cache_get_with_source,
     json_safe_details,
     make_cache_entry,
-    problem_fingerprint,
-    result_key,
+)
+from repro.runtime.payload import (
+    PreparedTask,
+    derive_seed,
+    format_error as _format_error,
+    prepare_tasks,
+    solve_payload_chunk as _solve_payload_chunk,
+    task_payload,
 )
 from repro.runtime.registry import SolverRegistry, default_registry
 
 WORKERS_ENV_VAR = "REPRO_BATCH_WORKERS"
 
-
-def _format_error(exc: BaseException) -> str:
-    """One-line error text carried in results instead of raising."""
-    return "".join(traceback.format_exception_only(type(exc), exc)).strip()
-
-
-def derive_seed(base_seed: int, *parts: Any) -> int:
-    """A stable 63-bit seed derived from ``base_seed`` and identifying parts.
-
-    Deterministic across processes and runs (unlike ``hash()``), and
-    independent of task submission order.
-    """
-    text = ":".join([str(base_seed), *map(str, parts)])
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
+__all__ = [
+    "BatchTask", "BatchItemResult", "BatchReport", "BatchRunner",
+    "derive_seed", "serial_sweep",
+]
 
 
 @dataclass
@@ -89,6 +82,7 @@ class BatchItemResult:
     objective: Optional[float] = None
     elapsed_s: float = 0.0
     cached: bool = False
+    cache_source: Optional[str] = None  #: "memory" / "disk" / "batch" (in-batch dup)
     error: Optional[str] = None
     seed: Optional[int] = None
     placement: Optional[Dict[str, str]] = None
@@ -103,7 +97,13 @@ class BatchItemResult:
 
 @dataclass
 class BatchReport:
-    """All task outcomes plus sweep-level accounting."""
+    """All task outcomes plus sweep-level accounting.
+
+    ``cache_hits`` counts every task served without running a solver; the
+    three ``cache_*_hits`` fields split it by where the entry came from —
+    the in-memory tier, the on-disk tier, or an identical task earlier in
+    the *same* batch (in-batch dedup fan-out).
+    """
 
     results: List[BatchItemResult]
     wall_s: float
@@ -111,6 +111,9 @@ class BatchReport:
     cache_hits: int
     solved: int
     failed: int
+    cache_memory_hits: int = 0
+    cache_disk_hits: int = 0
+    cache_batch_hits: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -122,45 +125,23 @@ class BatchReport:
         return [r.objective for r in self.results]
 
     def summary(self) -> str:
+        if self.cache_hits:
+            # hits from stores that cannot report their tier (plain get/put
+            # caches) are in the total but none of the three buckets
+            other = self.cache_hits - (self.cache_memory_hits
+                                       + self.cache_disk_hits
+                                       + self.cache_batch_hits)
+            split = (f"{self.cache_memory_hits} memory, "
+                     f"{self.cache_disk_hits} disk, "
+                     f"{self.cache_batch_hits} batch-dedup")
+            if other > 0:
+                split += f", {other} untiered"
+            cached = f"{self.cache_hits} cached ({split})"
+        else:
+            cached = "0 cached"
         return (f"{len(self.results)} tasks in {self.wall_s:.3f}s "
                 f"({self.workers} workers): {self.solved} solved, "
-                f"{self.cache_hits} cached, {self.failed} failed")
-
-
-# ----------------------------------------------------------------- worker fn
-def _solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Solve one JSON-encoded task; never raises (errors are data)."""
-    from repro.core.solver import solve
-
-    try:
-        problem = problem_from_json(payload["problem_json"])
-        weighting = payload.get("weighting")
-        if weighting is not None:
-            weighting = SSBWeighting(*weighting)
-        started = time.perf_counter()
-        result = solve(problem, method=payload["method"], weighting=weighting,
-                       validate=payload.get("validate", True),
-                       **payload.get("options", {}))
-        elapsed = time.perf_counter() - started
-        return {
-            "key": payload["key"],
-            "ok": True,
-            "method": result.method,
-            "objective": result.objective,
-            "elapsed_s": elapsed,
-            "placement": dict(result.assignment.placement),
-            "details": json_safe_details(result.details),
-        }
-    except Exception as exc:  # noqa: BLE001 - worker must report, not crash
-        return {
-            "key": payload["key"],
-            "ok": False,
-            "error": _format_error(exc),
-        }
-
-
-def _solve_payload_chunk(chunk: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    return [_solve_payload(payload) for payload in chunk]
+                f"{cached}, {self.failed} failed")
 
 
 # -------------------------------------------------------------------- runner
@@ -249,57 +230,30 @@ class BatchRunner:
         normalized = [task if isinstance(task, BatchTask) else BatchTask(problem=task)
                       for task in tasks]
 
-        items: List[BatchItemResult] = []
-        prepared: List[Dict[str, Any]] = []     # one per task, aligned with items
-        for index, task in enumerate(normalized):
-            spec = self.registry.resolve(task.method)
-            options = dict(task.options)
-            seed = task.seed
-            if spec.stochastic:
-                if seed is None:
-                    seed = options.get("seed")
-                problem_hash = problem_fingerprint(task.problem)
-                if seed is None and self.base_seed is not None:
-                    seed = derive_seed(self.base_seed, problem_hash, spec.name,
-                                       sorted(options.items()))
-                if seed is not None:
-                    options["seed"] = seed
-            else:
-                problem_hash = problem_fingerprint(task.problem)
-            key = result_key(task.problem, spec.name, options=options,
-                             weighting=task.weighting, problem_hash=problem_hash)
-            # A stochastic task without a seed is a fresh independent draw:
-            # it must not collapse into another task's result via dedup, and
-            # its result must not be replayed from the cache.
-            cacheable = not (spec.stochastic and options.get("seed") is None)
-            if not cacheable:
-                key = f"{key}#draw{index}"
-            items.append(BatchItemResult(index=index, tag=task.tag, method=spec.name,
-                                         key=key, seed=seed))
-            prepared.append({
-                "task": task,
-                "spec": spec,
-                "options": options,
-                "key": key,
-                "cacheable": cacheable,
-            })
+        prepared = prepare_tasks(normalized, self.registry, self.base_seed)
+        items = [BatchItemResult(index=index, tag=prep.task.tag,
+                                 method=prep.spec.name, key=prep.key,
+                                 seed=prep.seed)
+                 for index, prep in enumerate(prepared)]
 
         # ------------------------------------------------------- cache probe
-        cache_hits = 0
         pending: List[int] = []
         for index, prep in enumerate(prepared):
-            entry = (self.cache.get(prep["key"])
-                     if self.cache is not None and prep["cacheable"] else None)
+            entry = source = None
+            if self.cache is not None and prep.cacheable:
+                entry, source = cache_get_with_source(self.cache, prep.key)
             if entry is not None:
                 self._apply_entry(items[index], prep, entry, cached=True)
-                cache_hits += 1
+                items[index].cache_source = source
             else:
                 pending.append(index)
 
         # Deduplicate identical keys inside the batch: solve once, fan out.
+        # The fan-out copies count as cache hits (source "batch"): once the
+        # first occurrence warms the cache, its duplicates are served from it.
         by_key: Dict[str, List[int]] = {}
         for index in pending:
-            by_key.setdefault(prepared[index]["key"], []).append(index)
+            by_key.setdefault(prepared[index].key, []).append(index)
         unique_indices = [indices[0] for indices in by_key.values()]
 
         if unique_indices:
@@ -308,50 +262,50 @@ class BatchRunner:
             else:
                 outcomes = self._run_parallel(unique_indices, prepared)
             for key, outcome in outcomes.items():
-                for index in by_key[key]:
+                for position, index in enumerate(by_key[key]):
                     self._apply_outcome(items[index], prepared[index], outcome)
+                    if position > 0 and items[index].ok:
+                        items[index].cached = True
+                        items[index].cache_source = "batch"
 
         solved = sum(1 for item in items if item.ok and not item.cached)
         failed = sum(1 for item in items if not item.ok)
+        by_source = {"memory": 0, "disk": 0, "batch": 0}
+        for item in items:
+            if item.cached:
+                by_source[item.cache_source or "memory"] = \
+                    by_source.get(item.cache_source or "memory", 0) + 1
         return BatchReport(results=items,
                            wall_s=time.perf_counter() - started,
                            workers=self.workers,
-                           cache_hits=cache_hits,
+                           cache_hits=sum(1 for item in items if item.cached),
                            solved=solved,
-                           failed=failed)
+                           failed=failed,
+                           cache_memory_hits=by_source["memory"],
+                           cache_disk_hits=by_source["disk"],
+                           cache_batch_hits=by_source["batch"])
 
     # ------------------------------------------------------------- backends
     def _run_serial(self, indices: List[int],
-                    prepared: List[Dict[str, Any]]) -> Dict[str, Any]:
+                    prepared: List[PreparedTask]) -> Dict[str, Any]:
         outcomes: Dict[str, Any] = {}
         for index in indices:
             prep = prepared[index]
-            task: BatchTask = prep["task"]
+            task: BatchTask = prep.task
             try:
                 if self.validate:
                     task.problem.validate()
-                result = prep["spec"].solve(task.problem, weighting=task.weighting,
-                                            **prep["options"])
-                outcomes[prep["key"]] = result
+                result = prep.spec.solve(task.problem, weighting=task.weighting,
+                                         **prep.options)
+                outcomes[prep.key] = result
             except Exception as exc:  # noqa: BLE001 - batch keeps going
-                outcomes[prep["key"]] = {"ok": False, "error": _format_error(exc)}
+                outcomes[prep.key] = {"ok": False, "error": _format_error(exc)}
         return outcomes
 
     def _run_parallel(self, indices: List[int],
-                      prepared: List[Dict[str, Any]]) -> Dict[str, Any]:
-        payloads = []
-        for index in indices:
-            prep = prepared[index]
-            task: BatchTask = prep["task"]
-            payloads.append({
-                "key": prep["key"],
-                "problem_json": problem_to_json(task.problem, indent=0),
-                "method": prep["spec"].name,
-                "options": prep["options"],
-                "weighting": (None if task.weighting is None else
-                              [task.weighting.lambda_s, task.weighting.lambda_b]),
-                "validate": self.validate,
-            })
+                      prepared: List[PreparedTask]) -> Dict[str, Any]:
+        payloads = [task_payload(prepared[index], validate=self.validate)
+                    for index in indices]
 
         chunk_size = self.chunk_size
         if chunk_size is None:
@@ -427,11 +381,11 @@ class BatchRunner:
         return outcomes
 
     # ------------------------------------------------------------ result fan
-    def _apply_entry(self, item: BatchItemResult, prep: Dict[str, Any],
+    def _apply_entry(self, item: BatchItemResult, prep: PreparedTask,
                      entry: Mapping[str, Any], cached: bool) -> None:
         from repro.core.assignment import Assignment
 
-        task: BatchTask = prep["task"]
+        task: BatchTask = prep.task
         item.cached = cached
         item.objective = entry.get("objective")
         item.elapsed_s = entry.get("elapsed_s", 0.0)
@@ -441,7 +395,7 @@ class BatchRunner:
             item.assignment = Assignment(problem=task.problem,
                                          placement=item.placement)
 
-    def _apply_outcome(self, item: BatchItemResult, prep: Dict[str, Any],
+    def _apply_outcome(self, item: BatchItemResult, prep: PreparedTask,
                        outcome: Any) -> None:
         # outcome is either a SolverResult (serial path) or a worker dict
         if isinstance(outcome, dict):
@@ -449,8 +403,8 @@ class BatchRunner:
                 item.error = outcome.get("error", "unknown error")
                 return
             self._apply_entry(item, prep, outcome, cached=False)
-            if self.cache is not None and prep["cacheable"]:
-                self.cache.put(prep["key"], make_cache_entry(
+            if self.cache is not None and prep.cacheable:
+                self.cache.put(prep.key, make_cache_entry(
                     item.method, item.objective, item.elapsed_s,
                     item.placement, item.details))
             return
@@ -461,8 +415,8 @@ class BatchRunner:
         item.details = json_safe_details(result.details)
         item.assignment = result.assignment
         item.solver_result = result
-        if self.cache is not None and prep["cacheable"]:
-            self.cache.put(prep["key"], cache_entry_from_result(result))
+        if self.cache is not None and prep.cacheable:
+            self.cache.put(prep.key, cache_entry_from_result(result))
 
 
 # ------------------------------------------------------------------ helpers

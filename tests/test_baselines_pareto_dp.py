@@ -3,9 +3,65 @@
 import pytest
 
 from repro.baselines.brute_force import brute_force_assignment, enumerate_assignments
-from repro.baselines.pareto_dp import ParetoLabel, pareto_dp_assignment, pareto_frontier
+from repro.baselines.pareto_dp import (
+    FrontierExplosion,
+    ParetoLabel,
+    pareto_dp_assignment,
+    pareto_frontier,
+)
 from repro.core.dwg import SSBWeighting
 from repro.workloads import paper_example_problem, random_problem, snmp_scenario
+
+
+class TestFrontierGuard:
+    def test_tiny_cap_raises_frontier_explosion(self):
+        problem = random_problem(n_processing=12, n_satellites=4, seed=2,
+                                 sensor_scatter=0.5)
+        with pytest.raises(FrontierExplosion) as excinfo:
+            pareto_dp_assignment(problem, max_frontier=1)
+        assert excinfo.value.limit == 1
+        assert excinfo.value.size > 1
+        assert "max_frontier" in str(excinfo.value)
+
+    @pytest.mark.timeout(120)
+    def test_blowup_regime_raises_fast_at_the_default_cap(self):
+        """The guard must fail *fast*: the known scattered-n=30 blowup has to
+        raise within seconds at the registry default, not grind for minutes
+        completing quadratic prunes first."""
+        import time
+
+        from repro.runtime.registry import PARETO_DP_MAX_FRONTIER
+
+        problem = random_problem(n_processing=30, n_satellites=4, seed=0,
+                                 sensor_scatter=1.0)
+        started = time.perf_counter()
+        with pytest.raises(FrontierExplosion):
+            pareto_dp_assignment(problem,
+                                 max_frontier=PARETO_DP_MAX_FRONTIER)
+        assert time.perf_counter() - started < 30.0
+
+    def test_generous_cap_does_not_change_the_result(self, paper_problem):
+        capped, _ = pareto_dp_assignment(paper_problem, max_frontier=10_000)
+        free, _ = pareto_dp_assignment(paper_problem)
+        assert capped == free
+
+    def test_registry_applies_a_default_cap_and_marks_the_limit(self):
+        from repro.core.solver import solve
+        from repro.runtime import default_registry
+        from repro.runtime.registry import PARETO_DP_MAX_FRONTIER
+
+        spec = default_registry().resolve("pareto-dp")
+        assert any("FrontierExplosion" in limit for limit in spec.limits)
+        assert any("FrontierExplosion" in limit
+                   for limit in spec.metadata()["limits"])
+        problem = random_problem(n_processing=10, n_satellites=3, seed=4,
+                                 sensor_scatter=0.5)
+        with pytest.raises(FrontierExplosion):
+            solve(problem, method="pareto-dp", max_frontier=2)
+        # default sits well above healthy frontiers (n=20 scattered: ~1.5k)
+        # but low enough that the blowup regime raises within seconds
+        assert 2_000 <= PARETO_DP_MAX_FRONTIER <= 50_000
+        assert solve(problem, method="pareto-dp").objective > 0.0
 
 
 class TestParetoLabel:

@@ -75,3 +75,53 @@ class TestOtherCommands:
         assert main(["methods"]) == 0
         out = capsys.readouterr().out
         assert "colored-ssb" in out and "brute-force" in out
+
+
+class TestDistributedCommands:
+    def test_submit_requires_a_spool(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_enqueue_only_then_worker_then_warm_submit(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "--spool", spool, "--scenario", "random",
+                     "--count", "3", "--random-size", "6",
+                     "--enqueue-only"]) == 0
+        assert "enqueued 3 task(s)" in capsys.readouterr().out
+        # drain in-process (the subprocess path is covered by the worker tests)
+        assert main(["worker", "--spool", spool, "--drain"]) == 0
+        assert "3 task(s) processed" in capsys.readouterr().out
+        # warm re-submit: everything streams from the shared cache instantly
+        assert main(["submit", "--spool", spool, "--scenario", "random",
+                     "--count", "3", "--random-size", "6", "--stream",
+                     "--timeout", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "3 cached" in out and "0 failed" in out
+
+    def test_submit_stream_with_inline_worker(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        import threading
+
+        from repro.distributed import SolveWorker, WorkQueue
+
+        queue = WorkQueue(spool, poll_interval=0.01)
+        worker = SolveWorker(queue, poll_interval=0.01)
+        thread = threading.Thread(
+            target=lambda: worker.run(max_tasks=2, timeout=30.0))
+        thread.start()
+        try:
+            code = main(["submit", "--spool", spool, "--scenario", "random",
+                         "--count", "2", "--random-size", "6", "--no-cache",
+                         "--stream", "--ordered", "--window", "1",
+                         "--timeout", "30"])
+        finally:
+            thread.join()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 solved" in out
+        assert "random-6x3-seed0-0" in out
+
+    def test_worker_drain_on_empty_spool(self, tmp_path, capsys):
+        assert main(["worker", "--spool", str(tmp_path / "spool"),
+                     "--drain"]) == 0
+        assert "0 task(s) processed" in capsys.readouterr().out

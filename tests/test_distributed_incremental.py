@@ -1,0 +1,162 @@
+"""Structure fingerprints, the warm-start index, and incremental re-solve."""
+
+import pytest
+
+from repro.core.solver import solve
+from repro.distributed import IncrementalSolver, WarmStartIndex, structure_fingerprint
+from repro.workloads import paper_example_problem, random_problem
+
+
+def perturbed(problem_factory, host_scale=1.1, sat_scale=0.95, cost_scale=1.05):
+    """A structurally identical instance with drifted profiles/costs."""
+    problem = problem_factory()
+    for cru_id, seconds in list(problem.profile.host_times().items()):
+        problem.profile.set_host_time(cru_id, seconds * host_scale)
+    for cru_id, seconds in list(problem.profile.satellite_times().items()):
+        problem.profile.set_satellite_time(cru_id, seconds * sat_scale)
+    for (child, parent), seconds in list(problem.costs.costs().items()):
+        problem.costs.set_cost(child, parent, seconds * cost_scale)
+    problem.invalidate_caches()
+    return problem
+
+
+def scattered(seed=3, n=12):
+    return random_problem(n_processing=n, n_satellites=4, seed=seed,
+                          sensor_scatter=0.5)
+
+
+class TestStructureFingerprint:
+    def test_profile_and_cost_drift_preserves_the_fingerprint(self):
+        base = scattered()
+        drifted = perturbed(scattered)
+        from repro.runtime import problem_fingerprint
+
+        assert structure_fingerprint(base) == structure_fingerprint(drifted)
+        # ...while the full instance fingerprint (cache key) must differ
+        assert problem_fingerprint(base) != problem_fingerprint(drifted)
+
+    def test_different_structures_fingerprint_differently(self):
+        a = random_problem(n_processing=10, n_satellites=3, seed=1)
+        b = random_problem(n_processing=10, n_satellites=3, seed=2)
+        c = random_problem(n_processing=11, n_satellites=3, seed=1)
+        assert len({structure_fingerprint(p) for p in (a, b, c)}) == 3
+
+    def test_sensor_rewiring_changes_the_fingerprint(self):
+        base = scattered()
+        rewired = scattered()
+        sensor, satellite = next(iter(rewired.sensor_attachment.items()))
+        others = [s for s in rewired.system.satellite_ids() if s != satellite]
+        rewired.sensor_attachment[sensor] = others[0]
+        rewired.invalidate_caches()
+        assert structure_fingerprint(base) != structure_fingerprint(rewired)
+
+
+class TestWarmStartIndex:
+    def test_memory_round_trip(self):
+        index = WarmStartIndex()
+        assert index.get("fp") is None
+        index.put("fp", ["F3", "F5"], 12.5)
+        assert index.get("fp") == {"cut": ["F3", "F5"], "objective": 12.5}
+        assert len(index) == 1
+
+    def test_disk_round_trip_shared_between_instances(self, tmp_path):
+        a = WarmStartIndex(directory=str(tmp_path))
+        a.put("fp", ["F1"], 3.0)
+        b = WarmStartIndex(directory=str(tmp_path))   # fresh memory tier
+        assert b.get("fp") == {"cut": ["F1"], "objective": 3.0}
+        assert len(b) == 1
+
+    def test_corrupt_disk_records_are_misses(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json", encoding="utf-8")
+        (tmp_path / "shapeless.json").write_text('{"x": 1}', encoding="utf-8")
+        index = WarmStartIndex(directory=str(tmp_path))
+        assert index.get("bad") is None
+        assert index.get("shapeless") is None
+
+
+class TestIncrementalSolver:
+    def test_cold_solve_matches_the_reference(self):
+        problem = scattered()
+        solver = IncrementalSolver(index=WarmStartIndex())
+        assignment, details = solver.solve(problem)
+        reference = solve(problem, method="colored-ssb-labels")
+        assert assignment.end_to_end_delay() == pytest.approx(reference.objective)
+        assert not details["warm_started"]
+        assert solver.cold_solves == 1 and solver.warm_hits == 0
+
+    def test_warm_resolve_is_exact_after_profile_drift(self):
+        solver = IncrementalSolver(index=WarmStartIndex())
+        for seed in range(4):
+            base = scattered(seed=seed)
+            solver.solve(base)
+            drifted = perturbed(lambda: scattered(seed=seed))
+            assignment, details = solver.solve(drifted)
+            assert details["warm_started"]
+            assert details["warm_incumbent"] >= assignment.end_to_end_delay()
+            reference = solve(drifted, method="colored-ssb-labels")
+            assert assignment.end_to_end_delay() == pytest.approx(
+                reference.objective)
+
+    def test_unchanged_resubmission_confirms_the_old_optimum(self):
+        problem_a = scattered(seed=9)
+        problem_b = scattered(seed=9)              # identical twin
+        solver = IncrementalSolver(index=WarmStartIndex())
+        first, _ = solver.solve(problem_a)
+        second, details = solver.solve(problem_b)
+        assert details["warm_started"]
+        assert second.end_to_end_delay() == pytest.approx(
+            first.end_to_end_delay())
+
+    def test_warm_start_prunes_labels(self):
+        """The warm incumbent must measurably shrink the label sweep."""
+        solver = IncrementalSolver(index=WarmStartIndex())
+        cold_labels = warm_labels = 0
+        for seed in range(3):
+            _, cold = solver.solve(scattered(seed=seed, n=16))
+            _, warm = solver.solve(perturbed(
+                lambda: scattered(seed=seed, n=16), host_scale=1.03,
+                sat_scale=0.98, cost_scale=1.0))
+            cold_labels += cold["labels_created"]
+            warm_labels += warm["labels_created"]
+        assert warm_labels < cold_labels
+
+    def test_registry_method_with_explicit_index(self):
+        index = WarmStartIndex()
+        problem = scattered(seed=11)
+        first = solve(problem, method="colored-ssb-incremental", index=index)
+        assert not first.details["warm_started"]
+        drifted = perturbed(lambda: scattered(seed=11))
+        second = solve(drifted, method="incremental", index=index)
+        assert second.details["warm_started"]
+        reference = solve(drifted, method="colored-ssb-labels")
+        assert second.objective == pytest.approx(reference.objective)
+
+    def test_registry_method_with_warm_dir(self, tmp_path):
+        problem = scattered(seed=12)
+        first = solve(problem, method="colored-ssb-incremental",
+                      warm_dir=str(tmp_path))
+        assert not first.details["warm_started"]
+        # a different process would build a fresh solver: only the disk
+        # directory carries the warm start across
+        second = solve(perturbed(lambda: scattered(seed=12)),
+                       method="colored-ssb-incremental",
+                       warm_dir=str(tmp_path))
+        assert second.details["warm_started"]
+
+    def test_stale_cut_from_foreign_structure_falls_back_to_cold(self):
+        index = WarmStartIndex()
+        problem = scattered(seed=13)
+        index.put(structure_fingerprint(problem), ["no-such-cru"], 1.0)
+        solver = IncrementalSolver(index=index)
+        assignment, details = solver.solve(problem)
+        assert not details["warm_started"]
+        reference = solve(problem, method="colored-ssb-labels")
+        assert assignment.end_to_end_delay() == pytest.approx(reference.objective)
+
+    def test_paper_example_round_trip(self, paper_problem):
+        solver = IncrementalSolver(index=WarmStartIndex())
+        first, _ = solver.solve(paper_problem)
+        second, details = solver.solve(paper_example_problem())
+        assert details["warm_started"]
+        assert first.end_to_end_delay() == pytest.approx(
+            second.end_to_end_delay())

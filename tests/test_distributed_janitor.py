@@ -1,0 +1,124 @@
+"""Cache janitor: age/count/size eviction over the sharded store."""
+
+import os
+import time
+
+import pytest
+
+from repro.distributed import CacheJanitor
+from repro.runtime import JSONFileCache
+
+
+def fill(directory, count, size_pad=0, start_mtime=1_000_000.0):
+    """Populate a sharded cache with entries of strictly increasing mtime."""
+    cache = JSONFileCache(directory, touch_on_hit=False)
+    for i in range(count):
+        cache.put(f"key{i}", {"entry_version": 1, "objective": float(i),
+                              "pad": "x" * size_pad})
+    for i in range(count):
+        path = cache._path(f"key{i}")
+        os.utime(path, (start_mtime + i, start_mtime + i))
+    return cache
+
+
+class TestValidation:
+    def test_requires_at_least_one_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            CacheJanitor(str(tmp_path))
+
+    def test_rejects_bad_caps(self, tmp_path):
+        with pytest.raises(ValueError):
+            CacheJanitor(str(tmp_path), max_entries=-1)
+        with pytest.raises(ValueError):
+            CacheJanitor(str(tmp_path), max_age_s=0)
+
+
+class TestEviction:
+    def test_count_cap_evicts_oldest_first(self, tmp_path):
+        cache = fill(str(tmp_path), 10)
+        janitor = CacheJanitor(str(tmp_path), max_entries=4)
+        report = janitor.collect()
+        assert report.scanned == 10
+        assert report.evicted_count == 6
+        assert report.remaining == 4
+        # the six oldest are gone, the four newest survive
+        assert all(cache.get(f"key{i}") is None for i in range(6))
+        assert all(cache.get(f"key{i}") is not None for i in range(6, 10))
+
+    def test_age_cap_evicts_expired_entries(self, tmp_path):
+        fill(str(tmp_path), 6, start_mtime=1_000_000.0)
+        janitor = CacheJanitor(str(tmp_path), max_age_s=2.5)
+        report = janitor.collect(now=1_000_003.0 + 2.5)   # keys 3.. survive
+        assert report.evicted_age == 3
+        assert report.remaining == 3
+
+    def test_byte_cap_evicts_until_under_budget(self, tmp_path):
+        fill(str(tmp_path), 8, size_pad=1000)
+        sizes = CacheJanitor(str(tmp_path), max_entries=10_000).collect()
+        per_entry = sizes.bytes_scanned // 8
+        janitor = CacheJanitor(str(tmp_path), max_bytes=3 * per_entry)
+        report = janitor.collect()
+        assert report.evicted_bytes == 5
+        assert report.bytes_remaining <= 3 * per_entry
+
+    def test_recently_used_entries_survive(self, tmp_path):
+        """touch-on-hit makes mtime order an LRU order for the janitor."""
+        cache = fill(str(tmp_path), 6)
+        touchy = JSONFileCache(str(tmp_path))         # touch_on_hit=True
+        assert touchy.get("key0") is not None         # refresh the oldest
+        report = CacheJanitor(str(tmp_path), max_entries=3).collect()
+        assert report.evicted_count == 3
+        assert cache.get("key0") is not None          # saved by the touch
+        assert cache.get("key1") is None
+
+    def test_stale_tmp_files_are_collected(self, tmp_path):
+        fill(str(tmp_path), 2)
+        stale = tmp_path / "ab"
+        stale.mkdir(exist_ok=True)
+        tmp_file = stale / "orphan.tmp"
+        tmp_file.write_text("partial", encoding="utf-8")
+        os.utime(tmp_file, (1.0, 1.0))                # ancient
+        fresh = stale / "inflight.tmp"
+        fresh.write_text("partial", encoding="utf-8") # current write: spared
+        report = CacheJanitor(str(tmp_path), max_entries=10).collect()
+        assert report.tmp_removed == 1
+        assert not tmp_file.exists()
+        assert fresh.exists()
+
+    def test_within_caps_is_a_no_op(self, tmp_path):
+        fill(str(tmp_path), 4)
+        report = CacheJanitor(str(tmp_path), max_entries=100,
+                              max_bytes=10**9,
+                              max_age_s=10 * 365 * 86400.0).collect(
+                                  now=1_000_010.0)
+        assert report.evicted == 0
+        assert report.remaining == 4
+        assert "evicted 0" in report.summary()
+
+    def test_legacy_flat_entries_are_governed_too(self, tmp_path):
+        (tmp_path / "legacy.json").write_text('{"entry_version": 1}',
+                                              encoding="utf-8")
+        os.utime(tmp_path / "legacy.json", (1.0, 1.0))
+        fill(str(tmp_path), 3)
+        report = CacheJanitor(str(tmp_path), max_entries=3).collect()
+        assert report.scanned == 4
+        assert report.evicted_count == 1
+        assert not (tmp_path / "legacy.json").exists()
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        janitor = CacheJanitor(str(tmp_path / "never-created"), max_entries=1)
+        report = janitor.collect()
+        assert report.scanned == 0 and report.evicted == 0
+
+
+class TestEndToEnd:
+    def test_cache_keeps_working_after_collection(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path))
+        for i in range(20):
+            cache.put(f"key{i}", {"entry_version": 1, "objective": float(i)})
+        CacheJanitor(str(tmp_path), max_entries=5).collect(
+            now=time.time() + 10)
+        assert len(cache) == 5
+        cache.put("fresh", {"entry_version": 1, "objective": 99.0})
+        assert cache.get("fresh")["objective"] == 99.0
+        assert len(cache) == 6

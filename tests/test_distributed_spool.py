@@ -1,0 +1,202 @@
+"""Unit tests for the filesystem work queue (claim/ack/requeue/recovery)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.distributed import WorkQueue
+from repro.distributed.spool import _split_name, new_task_id
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return WorkQueue(str(tmp_path / "spool"), lease_timeout=60.0)
+
+
+class TestNaming:
+    def test_task_ids_are_sortable_and_unique(self):
+        ids = [new_task_id() for _ in range(50)]
+        assert len(set(ids)) == 50
+
+    def test_split_name_round_trip(self):
+        parts = _split_name("0001-abc.a3.json")
+        assert parts == {"task_id": "0001-abc", "attempt": 3}
+        assert _split_name("stray.txt") is None
+        assert _split_name("noattempt.json") is None
+
+    def test_invalid_task_ids_rejected(self, queue):
+        with pytest.raises(Exception, match="invalid task id"):
+            queue.submit({"x": 1}, task_id="../escape")
+
+
+class TestLifecycle:
+    def test_submit_claim_ack(self, queue):
+        task_id = queue.submit({"method": "greedy", "n": 1})
+        assert queue.counts() == {"pending": 1, "claimed": 0,
+                                  "results": 0, "failed": 0}
+        task = queue.claim()
+        assert task is not None
+        assert task.task_id == task_id
+        assert task.payload == {"method": "greedy", "n": 1}
+        assert task.attempt == 0
+        assert queue.counts()["claimed"] == 1
+        queue.ack(task, {"ok": True, "objective": 2.5})
+        assert queue.counts() == {"pending": 0, "claimed": 0,
+                                  "results": 1, "failed": 0}
+        result = queue.result(task_id)
+        assert result["ok"] and result["objective"] == 2.5
+        assert result["task_id"] == task_id
+
+    def test_claims_are_fifo(self, queue):
+        ids = queue.submit_many([{"n": i} for i in range(5)])
+        claimed = [queue.claim().task_id for _ in range(5)]
+        assert claimed == ids
+
+    def test_empty_claim_returns_none(self, queue):
+        assert queue.claim() is None
+        assert queue.claim(block=True, timeout=0.05) is None
+
+    def test_two_queues_never_claim_the_same_task(self, queue, tmp_path):
+        other = WorkQueue(str(tmp_path / "spool"))
+        queue.submit_many([{"n": i} for i in range(20)])
+        seen = []
+        lock = threading.Lock()
+
+        def drain(q):
+            while True:
+                task = q.claim()
+                if task is None:
+                    return
+                with lock:
+                    seen.append(task.task_id)
+                q.ack(task, {"ok": True})
+
+        threads = [threading.Thread(target=drain, args=(q,))
+                   for q in (queue, other)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 20
+        assert len(set(seen)) == 20          # no task delivered twice
+        assert queue.counts()["results"] == 20
+
+    def test_nack_requeues_with_attempt_bump(self, queue):
+        queue.submit({"n": 1})
+        task = queue.claim()
+        queue.nack(task)
+        assert queue.counts()["pending"] == 1
+        retry = queue.claim()
+        assert retry.task_id == task.task_id
+        assert retry.attempt == 1
+
+    def test_fail_dead_letters(self, queue):
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        queue.fail(task, "poison")
+        assert queue.counts() == {"pending": 0, "claimed": 0,
+                                  "results": 0, "failed": 1}
+        record = queue.failure(task_id)
+        assert record["error"] == "poison"
+        assert record["payload"] == {"n": 1}
+
+
+class TestRecovery:
+    def test_expired_lease_is_requeued(self, tmp_path):
+        queue = WorkQueue(str(tmp_path), lease_timeout=0.01)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        assert queue.counts()["claimed"] == 1
+        # simulate a SIGKILL'd worker: the claim simply goes stale
+        moved = queue.recover(now=os.stat(task.path).st_mtime + 1.0)
+        assert moved == 1
+        retry = queue.claim()
+        assert retry is not None
+        assert retry.task_id == task_id and retry.attempt == 1
+
+    def test_live_lease_is_not_requeued(self, queue):
+        queue.submit({"n": 1})
+        queue.claim()
+        assert queue.recover() == 0
+        assert queue.counts()["claimed"] == 1
+
+    def test_renew_extends_the_lease(self, tmp_path):
+        queue = WorkQueue(str(tmp_path), lease_timeout=0.2)
+        queue.submit({"n": 1})
+        task = queue.claim()
+        before = os.stat(task.path).st_mtime
+        assert queue.renew(task)
+        os.utime(task.path, (before + 100, before + 100))
+        assert queue.recover(now=before + 100.1) == 0    # heartbeat held it
+
+    def test_renew_reports_lost_lease(self, tmp_path):
+        queue = WorkQueue(str(tmp_path), lease_timeout=0.01)
+        queue.submit({"n": 1})
+        task = queue.claim()
+        queue.recover(now=os.stat(task.path).st_mtime + 1.0)
+        assert not queue.renew(task)     # requeued: the claim file is gone
+
+    def test_poison_task_dead_letters_after_max_requeues(self, tmp_path):
+        queue = WorkQueue(str(tmp_path), lease_timeout=0.01, max_requeues=2)
+        task_id = queue.submit({"n": 1})
+        for expected_attempt in (0, 1, 2):
+            task = queue.claim()
+            assert task.attempt == expected_attempt
+            queue.recover(now=os.stat(task.path).st_mtime + 1.0)
+        assert queue.claim() is None
+        record = queue.failure(task_id)
+        assert record is not None and "max_requeues" in record["error"]
+        assert queue.counts()["failed"] == 1
+
+    def test_acked_task_is_not_requeued(self, tmp_path):
+        """A slow worker that acks after its lease expired must not cause a
+        duplicate delivery: the claim is dropped on sight of the result."""
+        queue = WorkQueue(str(tmp_path), lease_timeout=0.01)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        queue.ack(task, {"ok": True})
+        # a stale claim sneaks back in (crash between result write and unlink)
+        with open(task.path, "w", encoding="utf-8") as handle:
+            json.dump(task.payload, handle)
+        os.utime(task.path, (1, 1))
+        assert queue.recover() == 0          # dropped, not requeued
+        assert queue.counts()["pending"] == 0
+        assert queue.result(task_id)["ok"]
+
+    def test_requeued_but_already_solved_task_is_retired_at_claim(self, tmp_path):
+        queue = WorkQueue(str(tmp_path), lease_timeout=0.01)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        queue.recover(now=os.stat(task.path).st_mtime + 1.0)   # requeued
+        queue.ack(task, {"ok": True, "objective": 1.0})        # slow ack lands
+        assert queue.claim() is None         # duplicate delivery suppressed
+        assert queue.counts()["pending"] == 0
+        assert queue.result(task_id)["objective"] == 1.0
+
+
+class TestResults:
+    def test_wait_result_blocks_until_published(self, queue):
+        task_id = queue.submit({"n": 1})
+
+        def finish():
+            task = queue.claim(block=True, timeout=2.0)
+            queue.ack(task, {"ok": True, "objective": 9.0})
+
+        thread = threading.Thread(target=finish)
+        thread.start()
+        result = queue.wait_result(task_id, timeout=5.0)
+        thread.join()
+        assert result["objective"] == 9.0
+
+    def test_wait_result_times_out(self, queue):
+        task_id = queue.submit({"n": 1})
+        assert queue.wait_result(task_id, timeout=0.05) is None
+
+    def test_purge_results(self, queue):
+        queue.submit({"n": 1})
+        task = queue.claim()
+        queue.ack(task, {"ok": True})
+        assert queue.purge_results() == 1
+        assert queue.counts()["results"] == 0

@@ -1,0 +1,210 @@
+"""ResultStream ordering/backpressure and the SolveService facade."""
+
+import threading
+
+import pytest
+
+from repro.distributed import (
+    ResultStream,
+    SolveService,
+    SolveWorker,
+    StreamTimeout,
+    WorkQueue,
+    spool_cache,
+)
+from repro.workloads import random_problem
+
+PROBLEMS = [random_problem(n_processing=8, n_satellites=3, seed=seed,
+                           sensor_scatter=0.3)
+            for seed in range(6)]
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+class _BackgroundWorker:
+    """Drains a queue on a thread until stopped (in-process 'fleet')."""
+
+    def __init__(self, spool, cache=None):
+        self.queue = WorkQueue(spool, poll_interval=0.01)
+        self.worker = SolveWorker(self.queue, cache=cache, poll_interval=0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self):
+        while not self._stop.is_set():
+            task = self.queue.claim(block=True, timeout=0.05)
+            if task is not None:
+                self.worker.process(task)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join()
+
+
+class TestResultStream:
+    def test_yields_all_results_as_completed(self, spool):
+        queue = WorkQueue(spool, poll_interval=0.01)
+        task_ids = queue.submit_many([{"n": i} for i in range(4)])
+        # complete them out of order before iterating
+        claimed = [queue.claim() for _ in range(4)]
+        for task in reversed(claimed):
+            queue.ack(task, {"ok": True, "n": task.payload["n"]})
+        stream = ResultStream(queue, task_ids=task_ids, timeout=5.0)
+        seen = {tid: outcome["n"] for tid, outcome in stream}
+        assert set(seen) == set(task_ids)
+
+    def test_ordered_mode_preserves_submission_order(self, spool):
+        queue = WorkQueue(spool, poll_interval=0.01)
+        task_ids = queue.submit_many([{"n": i} for i in range(5)])
+
+        def complete_backwards():
+            tasks = [queue.claim(block=True, timeout=2.0) for _ in range(5)]
+            for task in reversed(tasks):
+                queue.ack(task, {"ok": True, "n": task.payload["n"]})
+
+        thread = threading.Thread(target=complete_backwards)
+        thread.start()
+        ordered = list(ResultStream(queue, task_ids=task_ids, ordered=True,
+                                    timeout=10.0))
+        thread.join()
+        assert [tid for tid, _ in ordered] == task_ids
+        assert [outcome["n"] for _, outcome in ordered] == list(range(5))
+
+    def test_window_bounds_outstanding_submissions(self, spool):
+        """Backpressure: with window=2 the spool never holds more than two
+        of the stream's unfinished tasks, and submission only proceeds as
+        results drain."""
+        queue = WorkQueue(spool, poll_interval=0.01)
+        observed_outstanding = []
+
+        def payloads():
+            for i in range(7):
+                yield {"n": i}
+
+        stream = ResultStream(queue, source=payloads(), window=2, timeout=10.0)
+
+        def drain():
+            done = 0
+            while done < 7:
+                task = queue.claim(block=True, timeout=2.0)
+                if task is None:
+                    return
+                counts = queue.counts()
+                observed_outstanding.append(
+                    counts["pending"] + counts["claimed"])
+                queue.ack(task, {"ok": True, "n": task.payload["n"]})
+                done += 1
+
+        thread = threading.Thread(target=drain)
+        thread.start()
+        results = list(stream)
+        thread.join()
+        assert len(results) == 7
+        assert observed_outstanding            # the drain actually sampled
+        assert max(observed_outstanding) <= 2
+        assert stream.outstanding == 0
+
+    def test_timeout_raises_stream_timeout(self, spool):
+        queue = WorkQueue(spool, poll_interval=0.01)
+        task_ids = queue.submit_many([{"n": 1}])
+        with pytest.raises(StreamTimeout, match="1 task"):
+            list(ResultStream(queue, task_ids=task_ids, timeout=0.1))
+
+    def test_dead_lettered_tasks_surface_as_errors(self, spool):
+        queue = WorkQueue(spool, poll_interval=0.01)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        queue.fail(task, "poison")
+        results = list(ResultStream(queue, task_ids=[task_id], timeout=5.0))
+        assert len(results) == 1
+        tid, outcome = results[0]
+        assert tid == task_id
+        assert not outcome["ok"] and outcome["dead_lettered"]
+        assert "poison" in outcome["error"]
+
+    def test_rejects_nonpositive_window(self, spool):
+        with pytest.raises(ValueError):
+            ResultStream(WorkQueue(spool), window=0)
+
+
+class TestSolveService:
+    def test_stream_matches_in_process_solves(self, spool):
+        from repro.core.solver import solve
+
+        service = SolveService(spool)
+        with _BackgroundWorker(spool):
+            submission = service.submit(PROBLEMS, method="colored-ssb")
+            report = service.gather(submission, timeout=60.0)
+        assert report.failed == 0
+        expected = [solve(p, method="colored-ssb").objective for p in PROBLEMS]
+        assert report.objectives() == pytest.approx(expected)
+        assert [item.index for item in report] == list(range(len(PROBLEMS)))
+        assert [item.tag for item in report] == [p.name for p in PROBLEMS]
+        for item in report:
+            assert item.assignment is not None and item.assignment.is_feasible()
+
+    def test_as_completed_streaming_with_window(self, spool):
+        service = SolveService(spool)
+        with _BackgroundWorker(spool):
+            submission = service.submit(PROBLEMS, method="colored-ssb")
+            items = list(service.stream(submission, window=2, timeout=60.0))
+        assert len(items) == len(PROBLEMS)
+        assert {item.index for item in items} == set(range(len(PROBLEMS)))
+        assert all(item.ok for item in items)
+
+    def test_warm_resubmission_streams_from_cache_without_workers(self, spool):
+        cache = spool_cache(spool)
+        service = SolveService(spool, cache=cache)
+        with _BackgroundWorker(spool, cache=cache):
+            cold = service.gather(service.submit(PROBLEMS), timeout=60.0)
+        # no workers are running now: the warm pass must not need any
+        warm = service.gather(service.submit(PROBLEMS), timeout=5.0)
+        assert warm.cache_hits == len(PROBLEMS)
+        assert warm.solved == 0
+        assert warm.objectives() == pytest.approx(cold.objectives())
+
+    def test_duplicates_enqueue_once_and_fan_out(self, spool):
+        service = SolveService(spool)
+        sweep = [PROBLEMS[0], PROBLEMS[0], PROBLEMS[1]]
+        with _BackgroundWorker(spool):
+            submission = service.submit(sweep)
+            report = service.gather(submission, timeout=60.0)
+        assert service.queue.counts()["results"] == 2    # one per unique task
+        assert report.results[0].objective == report.results[1].objective
+        assert report.results[1].cached
+        assert report.results[1].cache_source == "batch"
+        assert report.cache_batch_hits == 1
+
+    def test_worker_errors_stream_as_item_errors(self, spool):
+        from repro.runtime import BatchTask
+
+        service = SolveService(spool)
+        tasks = [BatchTask(problem=PROBLEMS[0], method="genetic",
+                           options={"generations": 0, "seed": 3}),
+                 BatchTask(problem=PROBLEMS[1], method="greedy")]
+        with _BackgroundWorker(spool):
+            report = service.gather(service.submit(tasks), timeout=60.0)
+        assert report.failed == 1
+        assert not report.results[0].ok
+        assert "generations" in report.results[0].error
+        assert report.results[1].ok
+
+    def test_enqueue_only_spools_without_waiting(self, spool):
+        service = SolveService(spool)
+        submission = service.submit(PROBLEMS[:3])
+        task_ids = service.enqueue(submission)
+        assert len(task_ids) == 3
+        assert service.queue.counts()["pending"] == 3
+
+    def test_stream_timeout_without_workers(self, spool):
+        service = SolveService(spool)
+        submission = service.submit(PROBLEMS[:2])
+        with pytest.raises(StreamTimeout):
+            list(service.stream(submission, timeout=0.2))

@@ -1,0 +1,190 @@
+"""Worker behaviour: solving, shared cache, warm-dir injection, crash recovery.
+
+The crash-recovery test SIGKILLs a real ``repro worker`` subprocess while it
+holds a lease (an env hook delays the solve so the kill reliably lands
+mid-task), then asserts the task is requeued and solved exactly once by a
+second worker.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.distributed import SolveWorker, WorkQueue, spool_cache
+from repro.distributed.worker import SOLVE_DELAY_ENV_VAR, WARM_DIR
+from repro.runtime import BatchTask, prepare_tasks, task_payload, default_registry
+from repro.workloads import random_problem
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+
+
+def payload_for(problem, method="colored-ssb", **options):
+    task = BatchTask(problem=problem, method=method, options=dict(options),
+                     tag=problem.name)
+    prep = prepare_tasks([task], default_registry())[0]
+    return task_payload(prep)
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+class TestProcessing:
+    def test_worker_solves_and_publishes(self, spool):
+        queue = WorkQueue(spool)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=1)
+        task_id = queue.submit(payload_for(problem))
+        worker = SolveWorker(queue)
+        assert worker.run(drain=True) == 1
+        result = queue.result(task_id)
+        assert result["ok"]
+        assert result["objective"] > 0.0
+        assert result["placement"]
+        assert result["worker_id"] == worker.worker_id
+        assert result["tag"] == problem.name
+
+    def test_solver_errors_are_published_not_raised(self, spool):
+        queue = WorkQueue(spool)
+        problem = random_problem(n_processing=6, n_satellites=2, seed=2)
+        task_id = queue.submit(payload_for(problem, method="genetic",
+                                           generations=0, seed=1))
+        SolveWorker(queue).run(drain=True)
+        result = queue.result(task_id)
+        assert not result["ok"]
+        assert "generations" in result["error"]
+
+    def test_workers_share_the_spool_cache(self, spool):
+        queue = WorkQueue(spool)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=3)
+        queue.submit(payload_for(problem))
+        first = SolveWorker(queue, cache=spool_cache(spool))
+        first.run(drain=True)
+        assert first.cache_hits == 0
+        # a different worker process (fresh memory tier) re-solves the same
+        # instance: served from the shared disk tier, not recomputed
+        queue.submit(payload_for(problem))
+        second = SolveWorker(queue, cache=spool_cache(spool))
+        second.run(drain=True)
+        assert second.cache_hits == 1
+        results = sorted(queue._listing("results"))
+        outcomes = []
+        for name in results:
+            with open(os.path.join(spool, "results", name), encoding="utf-8") as fh:
+                outcomes.append(json.load(fh))
+        assert [o.get("cached", False) for o in outcomes] == [False, True]
+        assert outcomes[0]["objective"] == outcomes[1]["objective"]
+
+    def test_seedless_stochastic_tasks_bypass_the_cache(self, spool):
+        queue = WorkQueue(spool)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=4)
+        worker = SolveWorker(queue, cache=spool_cache(spool))
+        for _ in range(2):
+            queue.submit(payload_for(problem, method="random-search", samples=2))
+        worker.run(drain=True)
+        assert worker.cache_hits == 0
+
+    def test_warm_dir_injected_for_incremental_method(self, spool):
+        queue = WorkQueue(spool)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=5,
+                                 sensor_scatter=0.5)
+        queue.submit(payload_for(problem, method="incremental"))
+        SolveWorker(queue).run(drain=True)
+        warm_files = os.listdir(os.path.join(spool, WARM_DIR))
+        assert len(warm_files) == 1          # the solve fed the shared index
+
+    def test_run_respects_max_tasks(self, spool):
+        queue = WorkQueue(spool)
+        problem = random_problem(n_processing=6, n_satellites=2, seed=6)
+        for _ in range(3):
+            queue.submit(payload_for(problem, method="greedy"))
+        assert SolveWorker(queue).run(max_tasks=2) == 2
+        assert queue.counts()["pending"] == 1
+
+
+class TestCrashRecovery:
+    def _spawn_worker(self, spool, delay=None, lease=1.0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (SRC_DIR, env.get("PYTHONPATH")) if p)
+        if delay:
+            env[SOLVE_DELAY_ENV_VAR] = str(delay)
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--spool", spool,
+             "--lease-timeout", str(lease), "--poll-interval", "0.02"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    @pytest.mark.timeout(120)
+    def test_sigkilled_worker_mid_lease_task_is_resolved_exactly_once(self, spool):
+        queue = WorkQueue(spool, lease_timeout=1.0)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=7)
+        task_id = queue.submit(payload_for(problem))
+
+        victim = self._spawn_worker(spool, delay=30.0, lease=1.0)
+        try:
+            # wait until the victim holds the lease (task moved to claimed/)
+            deadline = time.monotonic() + 30.0
+            while queue.counts()["claimed"] == 0:
+                assert time.monotonic() < deadline, "worker never claimed"
+                assert victim.poll() is None, "worker died prematurely"
+                time.sleep(0.02)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+
+        # nothing was published; the claim is now an orphan under lease
+        assert queue.result(task_id) is None
+        assert queue.counts() == {"pending": 0, "claimed": 1,
+                                  "results": 0, "failed": 0}
+
+        # a healthy worker recovers the expired lease and solves it
+        time.sleep(1.1)                      # let the 1s lease expire
+        rescuer = SolveWorker(queue)
+        assert rescuer.run(drain=True) == 1
+        result = queue.result(task_id)
+        assert result["ok"] and result["objective"] > 0.0
+        assert result["attempt"] == 1        # exactly one requeue
+        assert result["worker_id"] == rescuer.worker_id
+        # exactly one result file, zero stragglers anywhere in the spool
+        assert queue.counts() == {"pending": 0, "claimed": 0,
+                                  "results": 1, "failed": 0}
+
+    @pytest.mark.timeout(120)
+    def test_two_workers_drain_a_sweep_with_no_lost_or_duplicate_tasks(self, spool):
+        queue = WorkQueue(spool, lease_timeout=30.0)
+        task_ids = []
+        for seed in range(12):
+            problem = random_problem(n_processing=8, n_satellites=3, seed=seed)
+            task_ids.append(queue.submit(payload_for(problem)))
+
+        # a per-task delay keeps the sweep alive long enough that both
+        # workers (staggered by interpreter startup) demonstrably join in
+        workers = [self._spawn_worker(spool, delay=0.25, lease=30.0)
+                   for _ in range(2)]
+        try:
+            deadline = time.monotonic() + 90.0
+            while queue.counts()["results"] < len(task_ids):
+                assert time.monotonic() < deadline, (
+                    f"sweep stalled: {queue.counts()}")
+                time.sleep(0.05)
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                proc.wait()
+
+        results = [queue.result(tid) for tid in task_ids]
+        assert all(r is not None and r["ok"] for r in results)
+        assert all(r["attempt"] == 0 for r in results)     # no double delivery
+        assert queue.counts() == {"pending": 0, "claimed": 0,
+                                  "results": 12, "failed": 0}
+        # both workers actually participated
+        assert len({r["worker_id"] for r in results}) == 2

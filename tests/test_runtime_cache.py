@@ -13,8 +13,10 @@ from repro.runtime import (
     LRUResultCache,
     TieredResultCache,
     cache_entry_from_result,
+    cache_get_with_source,
     problem_fingerprint,
     result_key,
+    shard_of,
 )
 from repro.workloads import paper_example_problem, random_problem
 
@@ -103,13 +105,45 @@ class TestJSONFileCache:
         cache.clear()
         assert len(cache) == 0
 
-    def test_writes_are_atomic_files(self, tmp_path):
+    def test_writes_are_atomic_sharded_files(self, tmp_path):
         cache = JSONFileCache(str(tmp_path))
         cache.put("a", {"entry_version": 1, "objective": 1.0})
-        names = os.listdir(tmp_path)
-        assert names == ["a.json"]
-        with open(tmp_path / "a.json", encoding="utf-8") as handle:
+        shard = shard_of("a")
+        assert len(shard) == 2 and set(shard) <= set("0123456789abcdef")
+        assert os.listdir(tmp_path) == [shard]       # no stray tmp files
+        with open(tmp_path / shard / "a.json", encoding="utf-8") as handle:
             assert json.load(handle)["objective"] == 1.0
+
+    def test_keys_spread_over_two_hex_shards(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path))
+        for i in range(64):
+            cache.put(f"key{i}", {"entry_version": 1, "objective": float(i)})
+        shards = os.listdir(tmp_path)
+        assert all(len(s) == 2 and set(s) <= set("0123456789abcdef")
+                   for s in shards)
+        assert len(shards) > 1                       # actually spread out
+        assert len(cache) == 64
+        assert all(cache.get(f"key{i}") is not None for i in range(64))
+
+    def test_flat_legacy_entries_migrate_on_first_access(self, tmp_path):
+        # a pre-sharding store wrote directory/<key>.json directly
+        legacy = tmp_path / "old.json"
+        legacy.write_text(json.dumps({"entry_version": 1, "objective": 7.0}),
+                          encoding="utf-8")
+        cache = JSONFileCache(str(tmp_path))
+        assert len(cache) == 1                       # flat entries still counted
+        assert cache.get("old")["objective"] == 7.0
+        assert not legacy.exists()                   # moved into its shard
+        assert (tmp_path / shard_of("old") / "old.json").exists()
+        assert cache.get("old")["objective"] == 7.0  # now a sharded hit
+        assert len(cache) == 1
+
+    def test_get_with_source_reports_disk(self, tmp_path):
+        cache = JSONFileCache(str(tmp_path))
+        cache.put("k", {"entry_version": 1, "objective": 1.0})
+        assert cache.get_with_source("k") == ({"entry_version": 1,
+                                               "objective": 1.0}, "disk")
+        assert cache.get_with_source("absent") == (None, None)
 
 
 class TestTieredResultCache:
@@ -132,6 +166,33 @@ class TestTieredResultCache:
         assert tiered.get("nope") is None
         tiered.put("k", {"entry_version": 1})
         assert tiered.get("k") == {"entry_version": 1}
+
+    def test_get_with_source_distinguishes_tiers(self, tmp_path):
+        disk = JSONFileCache(str(tmp_path))
+        disk.put("k", {"entry_version": 1, "objective": 5.0})
+        tiered = TieredResultCache(memory=LRUResultCache(maxsize=8), disk=disk)
+        entry, source = tiered.get_with_source("k")
+        assert entry["objective"] == 5.0 and source == "disk"
+        entry, source = tiered.get_with_source("k")   # promoted on first hit
+        assert entry["objective"] == 5.0 and source == "memory"
+        assert tiered.get_with_source("missing") == (None, None)
+
+    def test_cache_get_with_source_adapts_plain_stores(self):
+        class PlainStore:
+            def __init__(self):
+                self.data = {}
+
+            def get(self, key):
+                return self.data.get(key)
+
+            def put(self, key, entry):
+                self.data[key] = entry
+
+        store = PlainStore()
+        assert cache_get_with_source(store, "k") == (None, None)
+        store.put("k", {"entry_version": 1})
+        assert cache_get_with_source(store, "k") == ({"entry_version": 1}, "cache")
+        assert cache_get_with_source(LRUResultCache(), "k") == (None, None)
 
 
 class TestEntryEquivalence:

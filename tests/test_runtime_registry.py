@@ -10,7 +10,7 @@ class TestDefaultRegistry:
     def test_carries_every_facade_method(self):
         registry = default_registry()
         assert registry.names() == available_methods()
-        assert len(registry) == 11
+        assert len(registry) == 12
 
     def test_aliases_resolve_to_canonical_specs(self):
         registry = default_registry()
@@ -18,6 +18,7 @@ class TestDefaultRegistry:
         assert registry.resolve("random").name == "random-search"
         assert registry.resolve("labels").name == "colored-ssb-labels"
         assert registry.resolve("label-search").name == "colored-ssb-labels"
+        assert registry.resolve("incremental").name == "colored-ssb-incremental"
         assert registry.resolve("heft").name == "dag-heft"
         assert "bokhari-sb" in registry
         assert "random" in registry.names(include_aliases=True)
@@ -32,7 +33,8 @@ class TestDefaultRegistry:
     def test_capability_metadata(self):
         registry = default_registry()
         exact = {spec.name for spec in registry if spec.exact}
-        assert exact == {"colored-ssb", "colored-ssb-labels", "brute-force",
+        assert exact == {"colored-ssb", "colored-ssb-labels",
+                         "colored-ssb-incremental", "brute-force",
                          "pareto-dp", "branch-and-bound"}
         stochastic = {spec.name for spec in registry if spec.stochastic}
         assert stochastic == {"random-search", "genetic", "dag-genetic"}

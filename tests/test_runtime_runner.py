@@ -189,6 +189,48 @@ class TestCaching:
         # only one entry was actually computed and stored
         assert len(cache) == 1
 
+    def test_in_batch_duplicates_count_as_cache_hits(self):
+        """Once the first occurrence warms the cache, its duplicates in the
+        same batch are cache hits (source "batch"), not fresh solves."""
+        runner = BatchRunner(workers=0, cache=LRUResultCache())
+        report = runner.solve_many([PROBLEMS[0], PROBLEMS[0], PROBLEMS[1]])
+        assert report.solved == 2                 # two distinct instances
+        assert report.cache_hits == 1
+        assert report.cache_batch_hits == 1
+        first, dup, other = report.results
+        assert not first.cached and first.cache_source is None
+        assert dup.cached and dup.cache_source == "batch"
+        assert not other.cached
+        assert dup.objective == first.objective
+
+    def test_summary_distinguishes_memory_and_disk_hits(self, tmp_path):
+        disk = JSONFileCache(str(tmp_path))
+        runner = BatchRunner(workers=0,
+                             cache=TieredResultCache(memory=LRUResultCache(),
+                                                     disk=disk))
+        runner.solve_many(PROBLEMS[:2])
+        # a fresh runner against the same disk store: hits come from disk
+        fresh = BatchRunner(workers=0,
+                            cache=TieredResultCache(memory=LRUResultCache(),
+                                                    disk=disk))
+        warm_disk = fresh.solve_many(PROBLEMS[:2])
+        assert warm_disk.cache_disk_hits == 2 and warm_disk.cache_memory_hits == 0
+        assert "2 disk" in warm_disk.summary()
+        # the same runner again: entries were promoted into memory
+        warm_mem = fresh.solve_many(PROBLEMS[:2])
+        assert warm_mem.cache_memory_hits == 2 and warm_mem.cache_disk_hits == 0
+        assert "2 memory" in warm_mem.summary()
+        assert all(item.cache_source == "memory" for item in warm_mem)
+
+    def test_failed_duplicates_are_not_marked_cached(self):
+        tasks = [BatchTask(problem=PROBLEMS[0], method="genetic",
+                           options={"generations": 0, "seed": 7})
+                 for _ in range(2)]
+        report = BatchRunner(workers=0, cache=LRUResultCache()).run(tasks)
+        assert report.failed == 2
+        assert report.cache_hits == 0
+        assert all(not item.cached for item in report)
+
     def test_disk_cache_survives_runner_restarts(self, tmp_path):
         disk_a = TieredResultCache(disk=JSONFileCache(str(tmp_path)))
         cold = BatchRunner(workers=0, cache=disk_a).solve_many(PROBLEMS[:3])
