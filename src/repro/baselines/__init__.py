@@ -32,6 +32,7 @@ from repro.baselines.brute_force import (
 from repro.baselines.pareto_dp import (
     FrontierExplosion,
     pareto_dp_assignment,
+    pareto_dp_pruned_assignment,
     pareto_frontier,
 )
 from repro.baselines.bokhari_sb import bokhari_sb_assignment
@@ -46,6 +47,7 @@ __all__ = [
     "count_feasible_assignments",
     "FrontierExplosion",
     "pareto_dp_assignment",
+    "pareto_dp_pruned_assignment",
     "pareto_frontier",
     "bokhari_sb_assignment",
     "greedy_assignment",

@@ -8,14 +8,38 @@ post-order) it maintains the set of Pareto-optimal cost labels
 
 where the load vector records, for every satellite, the execution plus uplink
 time the subtree's cut contributes to it.  Combining children is additive in
-every component; dominated labels (componentwise ≥ another label) are pruned,
-which keeps the label sets small in practice.  At the root the label
-minimising ``λ_S · host + λ_B · max(load)`` is selected — with the default
-weighting this is exactly the end-to-end delay.
+every component; dominated labels (componentwise ≥ another label) are pruned
+via the shared :class:`~repro.core.frontier.ParetoStore` (σ-sorted, exact,
+O(log F) staircase inserts on single-satellite instances).  At the root the
+label minimising ``λ_S · host + λ_B · max(load)`` is selected — with the
+default weighting this is exactly the end-to-end delay.
 
-The DP makes no use of the assignment graph, the colouring or the SSB search,
-so agreement with :mod:`repro.core.colored_ssb` on random instances is strong
-evidence that both are correct.
+Two entry points share the DP kernel:
+
+* :func:`pareto_dp_assignment` — the historical *frontier-exact* reference:
+  every per-node frontier is complete, so the root frontier is the full
+  Pareto set of the instance.  On scattered instances around
+  ``n_processing >= 30`` those frontiers blow up combinatorially;
+  ``max_frontier`` converts the hang into a fast :class:`FrontierExplosion`.
+* :func:`pareto_dp_pruned_assignment` — the *optimum-exact* rewrite that
+  survives the blowup regime: per-node frontiers are additionally pruned by
+  a **completion potential** (the minimum host time the rest of the tree
+  must still add — a shortest-path computation on a small "completion DAG"
+  through :func:`repro.graphs.dag.min_weight_to_target`) against an
+  **incumbent** found by a beam pre-pass over the same DP.  A label whose
+  ``λ_S·(host + potential) + λ_B·max(load)`` reaches the incumbent cannot
+  end in a better assignment (loads only grow, host grows by at least the
+  potential) and is dropped before it multiplies through the cross products.
+  The returned assignment is still exactly optimal — the pre-pass incumbent
+  is feasible, and only provably-not-better labels are discarded — but the
+  full frontier is no longer materialised, which is what makes scattered
+  ``n = 30`` solve in seconds instead of raising.
+
+The DP makes no use of the assignment graph, the colouring or the SSB search
+(the completion DAG is built from the CRU tree alone), so agreement with
+:mod:`repro.core.colored_ssb` on random instances is strong evidence that
+both are correct — the differential harness in ``tests/test_differential.py``
+pins exactly that.
 """
 
 from __future__ import annotations
@@ -25,15 +49,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.dwg import SSBWeighting
+from repro.core.frontier import ParetoStore
 from repro.model.problem import AssignmentProblem
+
+_INF = float("inf")
+
+# A DP label is (host_time, per-satellite load tuple, cut tuple).
+_Label = Tuple[float, Tuple[float, ...], Tuple[str, ...]]
 
 
 class FrontierExplosion(RuntimeError):
     """The Pareto frontier outgrew ``max_frontier`` — the DP would hang.
 
-    On scattered-sensor instances around ``n_processing >= 30`` the frontier
-    is known to blow up combinatorially; this error converts the hang into a
-    fast, actionable failure (use the label-dominance engine instead, or
+    On scattered-sensor instances around ``n_processing >= 30`` the
+    frontier-exact DP is known to blow up combinatorially; this error
+    converts the hang into a fast, actionable failure (use the bound-pruned
+    variant ``pareto-dp-pruned`` or the label-dominance engine instead, or
     raise the cap).
     """
 
@@ -41,8 +72,8 @@ class FrontierExplosion(RuntimeError):
         super().__init__(
             f"pareto-dp frontier reached {size} labels (max_frontier={limit}); "
             f"the instance is in the known blowup regime (scattered n>=30) — "
-            f"use an exact method that scales (e.g. colored-ssb-labels) or "
-            f"raise max_frontier")
+            f"use an exact method that scales (pareto-dp-pruned or "
+            f"colored-ssb-labels) or raise max_frontier")
         self.size = size
         self.limit = limit
 
@@ -62,55 +93,232 @@ class ParetoLabel:
         return all(a <= b for a, b in zip(self.loads, other.loads))
 
 
-#: Candidate sets this many times the frontier cap abort before pruning:
-#: the quadratic dominance scan over them would itself take minutes.
+#: Candidate cross products this many times the frontier cap abort before
+#: being materialised: even O(1)-rejected candidates cost a scan each.  The
+#: bound-pruned passes get a much larger factor — their candidates are mostly
+#: rejected in O(1) by the completion bound before touching the frontier, so
+#: a large cross product is routine there, not a symptom of blowup.
 _CANDIDATE_FACTOR = 4
+_BOUNDED_CANDIDATE_FACTOR = 256
+
+#: Default beam width of the pruned solver's incumbent pre-pass.
+_PRUNED_BEAM_WIDTH = 16
 
 
-def _prune(labels: List[ParetoLabel],
-           max_frontier: Optional[int] = None) -> List[ParetoLabel]:
-    """Remove dominated labels (quadratic, label sets stay small).
+# --------------------------------------------------------------------------
+# Completion potentials: the min host time the rest of the tree must add.
+# --------------------------------------------------------------------------
+def _min_host_times(problem: AssignmentProblem) -> Dict[str, float]:
+    """Minimum host time each subtree can contribute (``inf`` if infeasible).
 
-    ``max_frontier`` makes the guard *fail fast*, not merely fail: the raise
-    fires the moment the surviving set first exceeds the cap (mid-scan, so
-    the quadratic prune never completes over an exploded set), and a
-    candidate set larger than ``_CANDIDATE_FACTOR * max_frontier`` aborts
-    before the scan even starts — pruning it would already take minutes.
+    ``minhost(u) = min(0 if u is offloadable, h_u + Σ_children minhost)`` —
+    the host branch only exists for processing CRUs.  This is the edge-weight
+    oracle of the completion DAG below.
     """
-    if max_frontier is not None and len(labels) > _CANDIDATE_FACTOR * max_frontier:
-        raise FrontierExplosion(len(labels), max_frontier)
-    labels = sorted(labels, key=lambda l: (l.host_time, sum(l.loads)))
-    kept: List[ParetoLabel] = []
-    for label in labels:
-        if not any(existing.dominates(label) for existing in kept):
-            kept.append(label)
-            if max_frontier is not None and len(kept) > max_frontier:
-                raise FrontierExplosion(len(kept), max_frontier)
-    return kept
+    tree = problem.tree
+    minhost: Dict[str, float] = {}
+
+    def rec(cru_id: str) -> float:
+        off = 0.0 if problem.correspondent_satellite(cru_id) is not None else _INF
+        host = _INF
+        if tree.cru(cru_id).is_processing:
+            host = problem.host_time(cru_id)
+            for child in tree.children_ids(cru_id):
+                host += rec(child)
+        value = off if off < host else host
+        minhost[cru_id] = value
+        return value
+
+    for child in tree.children_ids(tree.root_id):
+        rec(child)
+    return minhost
 
 
-def _combine(a: ParetoLabel, b: ParetoLabel) -> ParetoLabel:
-    return ParetoLabel(
-        host_time=a.host_time + b.host_time,
-        loads=tuple(x + y for x, y in zip(a.loads, b.loads)),
-        cut=a.cut + b.cut,
-    )
+def _completion_potentials(problem: AssignmentProblem,
+                           minhost: Dict[str, float]
+                           ) -> Tuple[Dict[Tuple[str, int], float],
+                                      Dict[str, float]]:
+    """Lower bounds on the host time still missing from a partial DP label.
+
+    The DP's states form a DAG: ``(u, i)`` means "the first ``i`` children of
+    processing CRU ``u`` are folded into the label".  Each state has exactly
+    one way forward — fold the next child (weight ``minhost(child)``), or,
+    once complete, add ``h_u`` and join the parent's combination after the
+    already-folded elder siblings (weight ``h_u + Σ elder minhost``); the
+    root's complete state adds ``h_root`` and finishes.  The min σ from a
+    state to the finish node — one :func:`~repro.graphs.dag.min_weight_to_target`
+    pass over this *completion DAG* — is therefore a valid potential: every
+    feasible assignment containing a label of state ``(u, i)`` pays at least
+    that much additional host time.
+
+    Returns ``(pot_state, pot_opt)``: per DP state, and per tree node for
+    labels sitting in a node's finished option frontier (offload or
+    host-combined) awaiting their fold into the parent.
+    """
+    from repro.graphs.dag import min_weight_to_target
+    from repro.graphs.digraph import DiGraph
+
+    tree = problem.tree
+    graph = DiGraph()
+    target = ("done",)
+    graph.add_node(target)
+    prefix_sums: Dict[str, float] = {}   # node -> Σ minhost of elder siblings
+    for u in tree.processing_ids():
+        children = tree.children_ids(u)
+        running = 0.0
+        for i, child in enumerate(children):
+            graph.add_edge(("state", u, i), ("state", u, i + 1),
+                           weight=minhost[child])
+            prefix_sums[child] = running
+            running += minhost[child]
+        complete = ("state", u, len(children))
+        if u == tree.root_id:
+            graph.add_edge(complete, target, weight=problem.host_time(u))
+        else:
+            parent = tree.parent_id(u)
+            idx = tree.children_ids(parent).index(u)
+            graph.add_edge(complete, ("state", parent, idx + 1),
+                           weight=problem.host_time(u) + prefix_sums[u])
+    pot = min_weight_to_target(graph, target, weight="weight")
+
+    pot_state: Dict[Tuple[str, int], float] = {}
+    for node in graph.nodes():
+        if node != target:
+            _, u, i = node
+            pot_state[(u, i)] = pot.get(node, _INF)
+    pot_opt: Dict[str, float] = {}
+    for u in tree.cru_ids():
+        if u == tree.root_id:
+            continue
+        parent = tree.parent_id(u)
+        idx = tree.children_ids(parent).index(u)
+        pot_opt[u] = pot_state.get((parent, idx + 1), _INF) + \
+            prefix_sums.get(u, 0.0)
+    return pot_state, pot_opt
 
 
-def _combine_children(children_labels: Sequence[List[ParetoLabel]],
-                      n_satellites: int,
-                      max_frontier: Optional[int] = None) -> List[ParetoLabel]:
-    acc = [ParetoLabel(host_time=0.0, loads=(0.0,) * n_satellites, cut=())]
-    for labels in children_labels:
-        if (max_frontier is not None
-                and len(acc) * len(labels) > _CANDIDATE_FACTOR * max_frontier):
-            # abort before materialising the cross product at all
-            raise FrontierExplosion(len(acc) * len(labels), max_frontier)
-        acc = _prune([_combine(x, y) for x in acc for y in labels],
-                     max_frontier)
-    return acc
+# --------------------------------------------------------------------------
+# The DP kernel, shared by the frontier-exact and the bound-pruned solvers.
+# --------------------------------------------------------------------------
+def _dp_labels(problem: AssignmentProblem, *,
+               max_frontier: Optional[int] = None,
+               pot_state: Optional[Dict[Tuple[str, int], float]] = None,
+               pot_opt: Optional[Dict[str, float]] = None,
+               bound: float = _INF,
+               lam_s: float = 1.0, lam_b: float = 1.0,
+               beam_width: Optional[int] = None,
+               ) -> Tuple[List[_Label], Dict[str, int]]:
+    """Run the tree DP; returns the root frontier labels plus prune counters.
+
+    Without potentials/bound/beam this is the frontier-exact DP.  With them,
+    inserts go through :meth:`ParetoStore.insert_bounded` (labels provably at
+    or above ``bound`` are dropped) and ``beam_width`` truncates every
+    frontier to the labels of best completion bound — the heuristic pre-pass
+    whose best root label seeds the exact pass's incumbent.
+    """
+    tree = problem.tree
+    satellite_ids = problem.system.satellite_ids()
+    sat_index = {sid: i for i, sid in enumerate(satellite_ids)}
+    n = len(satellite_ids)
+    pot_state = pot_state or {}
+    pot_opt = pot_opt or {}
+    bounded = bound != _INF or beam_width is not None
+    stats = {"dominated": 0, "evicted": 0, "bound_rejected": 0,
+             "peak_frontier": 0}
+
+    def drain(store: ParetoStore, pot: float) -> List[_Label]:
+        stats["dominated"] += store.dominated
+        stats["evicted"] += store.evicted
+        stats["bound_rejected"] += store.bound_rejected
+        if len(store) > stats["peak_frontier"]:
+            stats["peak_frontier"] = len(store)
+        labels: List[_Label] = [(s, loads, cut) for s, loads, cut in store]
+        if beam_width is not None and len(labels) > beam_width:
+            labels.sort(key=lambda lab: lam_s * (lab[0] + pot) +
+                        lam_b * max(lab[1]))
+            del labels[beam_width:]
+        return labels
+
+    def insert(store: ParetoStore, label: _Label, pot: float) -> None:
+        if bounded:
+            kept = store.insert_bounded(label[0], label[1], label[2],
+                                        potential=pot, bound=bound,
+                                        lambda_s=lam_s, lambda_b=lam_b)
+        else:
+            kept = store.insert(label[0], label[1], label[2])
+        if kept and max_frontier is not None and len(store) > max_frontier:
+            raise FrontierExplosion(len(store), max_frontier)
+
+    def offload_label(cru_id: str, parent_id: str) -> Optional[_Label]:
+        satellite = problem.correspondent_satellite(cru_id)
+        if satellite is None:
+            return None
+        processing = [i for i in tree.subtree_ids(cru_id)
+                      if tree.cru(i).is_processing]
+        load = sum(problem.satellite_time(i) for i in processing)
+        load += problem.comm_cost(cru_id, parent_id)
+        loads = [0.0] * n
+        loads[sat_index[satellite]] = load
+        return (0.0, tuple(loads), (cru_id,))
+
+    def combine_children(cru_id: str,
+                         children_labels: Sequence[List[_Label]]
+                         ) -> List[_Label]:
+        acc: List[_Label] = [(0.0, (0.0,) * n, ())]
+        factor = _BOUNDED_CANDIDATE_FACTOR if bounded else _CANDIDATE_FACTOR
+        for i, labels in enumerate(children_labels):
+            if (max_frontier is not None
+                    and len(acc) * len(labels) > factor * max_frontier):
+                # abort before materialising the cross product at all
+                raise FrontierExplosion(len(acc) * len(labels), max_frontier)
+            pot = pot_state.get((cru_id, i + 1), 0.0)
+            store = ParetoStore(n)
+            for ah, aloads, acut in acc:
+                for bh, bloads, bcut in labels:
+                    insert(store,
+                           (ah + bh,
+                            tuple(x + y for x, y in zip(aloads, bloads)),
+                            acut + bcut),
+                           pot)
+            acc = drain(store, pot)
+        return acc
+
+    def labels_of(cru_id: str, parent_id: str) -> List[_Label]:
+        pot = pot_opt.get(cru_id, 0.0)
+        store = ParetoStore(n)
+        offload = offload_label(cru_id, parent_id)
+        if offload is not None:
+            insert(store, offload, pot)
+        if tree.cru(cru_id).is_processing:
+            children = tree.children_ids(cru_id)
+            child_labels = [labels_of(c, cru_id) for c in children]
+            if all(child_labels):
+                combined = combine_children(cru_id, child_labels)
+                h = problem.host_time(cru_id)
+                for ch, cloads, ccut in combined:
+                    insert(store, (ch + h, cloads, ccut), pot)
+        return drain(store, pot)
+
+    root = tree.root_id
+    root_children = tree.children_ids(root)
+    child_labels = [labels_of(c, root) for c in root_children]
+    if not bounded and not all(child_labels):
+        raise RuntimeError("the instance admits no feasible assignment")
+    if not all(child_labels):
+        return [], stats        # everything provably at/above the incumbent
+    combined = combine_children(root, child_labels)
+    h_root = problem.host_time(root)
+    store = ParetoStore(n)
+    for ch, cloads, ccut in combined:
+        # h_root folded in: the completion potential of a final label is 0,
+        # so the bound check compares the exact objective to the incumbent
+        insert(store, (ch + h_root, cloads, ccut), 0.0)
+    return drain(store, 0.0), stats
 
 
+# --------------------------------------------------------------------------
+# Public entry points.
+# --------------------------------------------------------------------------
 def pareto_frontier(problem: AssignmentProblem,
                     max_frontier: Optional[int] = None) -> List[ParetoLabel]:
     """Pareto-optimal (host time, per-satellite load) points of the instance.
@@ -120,73 +328,106 @@ def pareto_frontier(problem: AssignmentProblem,
     ``max_frontier`` bounds the label sets: past it the solve raises
     :class:`FrontierExplosion` instead of grinding for hours.
     """
-    tree = problem.tree
-    satellite_ids = problem.system.satellite_ids()
-    sat_index = {sid: i for i, sid in enumerate(satellite_ids)}
-    n = len(satellite_ids)
+    labels, _ = _dp_labels(problem, max_frontier=max_frontier)
+    return [ParetoLabel(host_time=h, loads=loads, cut=cut)
+            for h, loads, cut in labels]
 
-    def offload_label(cru_id: str, parent_id: str) -> Optional[ParetoLabel]:
-        satellite = problem.correspondent_satellite(cru_id)
-        if satellite is None:
-            return None
-        processing = [i for i in tree.subtree_ids(cru_id) if tree.cru(i).is_processing]
-        load = sum(problem.satellite_time(i) for i in processing)
-        load += problem.comm_cost(cru_id, parent_id)
-        loads = [0.0] * n
-        loads[sat_index[satellite]] = load
-        return ParetoLabel(host_time=0.0, loads=tuple(loads), cut=(cru_id,))
 
-    def labels_of(cru_id: str, parent_id: str) -> List[ParetoLabel]:
-        options: List[ParetoLabel] = []
-        offload = offload_label(cru_id, parent_id)
-        if offload is not None:
-            options.append(offload)
-        if tree.cru(cru_id).is_processing:
-            children = tree.children_ids(cru_id)
-            child_labels = [labels_of(c, cru_id) for c in children]
-            if all(child_labels):
-                combined = _combine_children(child_labels, n, max_frontier)
-                h = problem.host_time(cru_id)
-                options.extend(
-                    ParetoLabel(host_time=l.host_time + h, loads=l.loads, cut=l.cut)
-                    for l in combined)
-        return _prune(options, max_frontier)
-
-    root_children = tree.children_ids(tree.root_id)
-    child_labels = [labels_of(c, tree.root_id) for c in root_children]
-    if not all(child_labels):
-        raise RuntimeError("the instance admits no feasible assignment")
-    combined = _combine_children(child_labels, n, max_frontier)
-    h_root = problem.host_time(tree.root_id)
-    frontier = [ParetoLabel(host_time=l.host_time + h_root, loads=l.loads, cut=l.cut)
-                for l in combined]
-    return _prune(frontier, max_frontier)
+def _select(labels: Sequence[_Label], weighting: SSBWeighting) -> _Label:
+    return min(labels, key=lambda lab: weighting.combine(
+        lab[0], max(lab[1]) if lab[1] else 0.0))
 
 
 def pareto_dp_assignment(problem: AssignmentProblem,
                          weighting: Optional[SSBWeighting] = None,
                          max_frontier: Optional[int] = None
                          ) -> Tuple[Assignment, Dict[str, object]]:
-    """The optimal assignment selected from the Pareto frontier.
+    """The optimal assignment selected from the (full) Pareto frontier.
 
     With the default weighting the objective is the end-to-end delay
     ``host time + max satellite load``.  ``max_frontier`` converts the known
     frontier blowup (scattered ``n >= 30``) into :class:`FrontierExplosion`
-    instead of an apparent hang.
+    instead of an apparent hang; :func:`pareto_dp_pruned_assignment` solves
+    that regime exactly without materialising the frontier.
     """
     weighting = weighting or SSBWeighting()
-    frontier = pareto_frontier(problem, max_frontier=max_frontier)
-    best_label = min(
-        frontier,
-        key=lambda l: weighting.combine(l.host_time, max(l.loads) if l.loads else 0.0),
-    )
-    offloaded = [c for c in best_label.cut if problem.tree.cru(c).is_processing]
+    labels, stats = _dp_labels(problem, max_frontier=max_frontier)
+    best = _select(labels, weighting)
+    return _finish(problem, weighting, best, {
+        "frontier_size": len(labels),
+        "labels_dominated": stats["dominated"],
+        "labels_evicted": stats["evicted"],
+    })
+
+
+def pareto_dp_pruned_assignment(problem: AssignmentProblem,
+                                weighting: Optional[SSBWeighting] = None,
+                                max_frontier: Optional[int] = None,
+                                beam_width: int = _PRUNED_BEAM_WIDTH
+                                ) -> Tuple[Assignment, Dict[str, object]]:
+    """Exact optimum via the frontier-pruned DP (scattered ``n=30`` regime).
+
+    Two passes over the same DP kernel: a beam pre-pass (frontiers truncated
+    to the ``beam_width`` labels of best completion bound) finds a feasible
+    incumbent, then the exact pass prunes every label whose completion
+    potential proves it cannot beat that incumbent.  The optimum either
+    strictly beats the incumbent — then the exact pass finds it — or equals
+    it, in which case the pre-pass label is already optimal.  ``max_frontier``
+    stays as a true safety valve; it should only fire on instances whose
+    *pruned* frontiers still explode.
+    """
+    weighting = weighting or SSBWeighting()
+    if beam_width < 1:
+        raise ValueError("beam_width must be at least 1")
+    lam_s, lam_b = weighting.lambda_s, weighting.lambda_b
+    minhost = _min_host_times(problem)
+    pot_state, pot_opt = _completion_potentials(problem, minhost)
+
+    beam_labels, beam_stats = _dp_labels(
+        problem, pot_state=pot_state, pot_opt=pot_opt,
+        lam_s=lam_s, lam_b=lam_b, beam_width=beam_width)
+    if not beam_labels:
+        raise RuntimeError("the instance admits no feasible assignment")
+    incumbent = _select(beam_labels, weighting)
+    incumbent_objective = weighting.combine(
+        incumbent[0], max(incumbent[1]) if incumbent[1] else 0.0)
+
+    exact_labels, stats = _dp_labels(
+        problem, max_frontier=max_frontier,
+        pot_state=pot_state, pot_opt=pot_opt,
+        bound=incumbent_objective, lam_s=lam_s, lam_b=lam_b)
+    if exact_labels:
+        best = _select(exact_labels, weighting)
+        beaten = weighting.combine(
+            best[0], max(best[1]) if best[1] else 0.0) < incumbent_objective
+        if not beaten:
+            best = incumbent
+    else:
+        # nothing beat the pre-pass incumbent strictly: it is the optimum
+        best, beaten = incumbent, False
+    return _finish(problem, weighting, best, {
+        "frontier_size": len(exact_labels),
+        "peak_frontier": stats["peak_frontier"],
+        "labels_dominated": stats["dominated"],
+        "labels_evicted": stats["evicted"],
+        "labels_bound_pruned": stats["bound_rejected"],
+        "beam_objective": incumbent_objective,
+        "beam_confirmed": not beaten,
+        "beam_labels_bound_pruned": beam_stats["bound_rejected"],
+    })
+
+
+def _finish(problem: AssignmentProblem, weighting: SSBWeighting,
+            best: _Label, extra: Dict[str, object]
+            ) -> Tuple[Assignment, Dict[str, object]]:
+    host_time, loads, cut = best
+    offloaded = [c for c in cut if problem.tree.cru(c).is_processing]
     assignment = Assignment.from_cut(problem, offloaded)
-    objective = weighting.combine(best_label.host_time,
-                                  max(best_label.loads) if best_label.loads else 0.0)
-    return assignment, {
-        "frontier_size": len(frontier),
-        "objective": objective,
-        "host_time": best_label.host_time,
-        "max_load": max(best_label.loads) if best_label.loads else 0.0,
+    details: Dict[str, object] = {
+        "objective": weighting.combine(host_time,
+                                       max(loads) if loads else 0.0),
+        "host_time": host_time,
+        "max_load": max(loads) if loads else 0.0,
     }
+    details.update(extra)
+    return assignment, details

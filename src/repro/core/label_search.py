@@ -15,12 +15,18 @@ arXiv:1911.12716): sweep the nodes in topological order and propagate
 *labels* ``(σ-so-far, per-colour load vector, predecessor)``.  Three
 mechanisms keep the label sets small:
 
-* **Bound pruning** — with ``pot[v]`` the min σ from ``v`` to the target
-  (one backward DAG pass), any completion of a label ``(s, loads)`` at ``v``
-  costs at least ``λ_S·(s + pot[v]) + λ_B·max(loads)``; labels whose bound
-  reaches the incumbent SSB candidate are discarded.  A cheap *beam* pre-pass
-  (same sweep, buckets truncated to the ``beam_width`` most promising labels)
-  finds a strong feasible path first, so the exact pass starts with a tight
+* **Bound pruning** — three admissible completion bounds, each one backward
+  DAG pass, prune any label whose cheapest possible completion reaches the
+  incumbent SSB candidate.  With ``pot[v]`` the min σ from ``v`` to the
+  target, ``potβ_c[v]`` the min colour-``c`` load any ``v → T`` path adds,
+  and ``potJ[v] = min_p (λ_S·σ(p) + λ_B·β_total(p)/n_colors)`` the joint
+  σ/average-load potential, a label ``(s, loads)`` at ``v`` completes for at
+  least both ``λ_S·(s + pot[v]) + λ_B·max_c(loads_c + potβ_c[v])`` (per-colour
+  floors: every path must still feed each colour's remaining sensors) and
+  ``λ_S·s + λ_B·Σloads/n_colors + potJ[v]`` (the final bottleneck is at
+  least the average colour load).  A cheap *beam* pre-pass (same sweep,
+  buckets truncated to the ``beam_width`` most promising labels) finds a
+  strong feasible path first, so the exact pass starts with a tight
   incumbent — on scattered instances this cuts the surviving labels by an
   order of magnitude.
 * **Pareto dominance** — a label whose σ and *every* per-colour load are
@@ -28,12 +34,20 @@ mechanisms keep the label sets small:
   into a better path (suffixes add the same increments to both, and
   ``SSB = λ_S·S + λ_B·max_c load_c`` is monotone in each component), so it is
   dropped.  Colours are interned to indices and load vectors packed into
-  plain tuples so the componentwise comparisons are cheap.
-* **Adaptive capping** — dominance is an optimisation, never needed for
-  correctness (a kept dominated label only costs time), so the scans are
-  capped per insert and switched off entirely when they stop paying
-  (random-weight instances produce mostly incomparable labels; structured
-  graphs with super-edges and ties benefit from the dedup).
+  plain tuples so the componentwise comparisons are cheap.  Two frontier
+  backends implement the filter, selected by ``frontier=``:
+
+  - ``"bucketed"`` (default) — the shared σ-sorted
+    :class:`~repro.core.frontier.ParetoStore`: binary search on σ bounds
+    both scan directions, max/sum summaries gate the tuple walks, exact
+    duplicates retire in O(1).  The filter is *exact* at any bucket size,
+    so dominated labels never survive to be extended — this is what keeps
+    fully scattered ``n = 50`` in single-digit seconds.
+  - ``"linear"`` — the legacy capped scans with **adaptive capping**:
+    comparisons are capped per insert and switched off entirely when they
+    stop paying.  Exactness-preserving (a kept dominated label only costs
+    time), kept as the reference/fallback backend; on large scattered
+    instances its buckets outgrow the cap and the label population explodes.
 
 The sweep is a single pass: when node ``v`` is processed every label it will
 ever receive is already present (all in-edges come from earlier nodes), so
@@ -45,7 +59,8 @@ enumerating paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from operator import add as _add
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.dwg import (
     DoublyWeightedGraph,
@@ -53,14 +68,16 @@ from repro.core.dwg import (
     SSBWeighting,
     SIGMA_ATTR,
 )
+from repro.core.frontier import HAVE_NUMPY, ParetoStore, pareto_block_mask
 from repro.graphs.dag import DagIndex, NotADagError
 from repro.graphs.digraph import Edge, Node
 from repro.graphs.paths import Path
 
-# A label is (sigma_so_far, loads_tuple, edge_into_node, parent_label).
-# Plain tuples (not dataclasses) keep allocation and comparison cheap in the
-# hot sweep; the predecessor chain doubles as the path reconstruction.
-_Label = Tuple[float, Tuple[float, ...], Optional[Edge], Optional[tuple]]
+# A label is (sigma_so_far, loads_tuple, edge_into_node, parent_label,
+# sum_of_loads).  Plain tuples (not dataclasses) keep allocation and
+# comparison cheap in the hot sweep; the predecessor chain doubles as the
+# path reconstruction, and the running load sum feeds the average-load bound.
+_Label = Tuple[float, Tuple[float, ...], Optional[Edge], Optional[tuple], float]
 
 #: Per-insert cap on dominance comparisons; beyond it a label is appended
 #: unchecked (exactness-preserving — see the module docstring).
@@ -73,6 +90,14 @@ _EVICT_CAP = 256
 #: are switched off for the rest of the run.
 _ADAPTIVE_CHECK_EVERY = 1024
 _ADAPTIVE_MIN_HIT_RATE = 1.0 / 32.0
+#: The block sweep's windowed Pareto filter disables itself once this many
+#: labels were inspected at a hit-rate below the threshold: on random-weight
+#: scattered instances (~10% of labels dominated) the filter costs more than
+#: the surviving-label extensions it saves, while structured instances
+#: (clustered sensors, ties — 20-50% dominated) keep it for the rest of the
+#: sweep and collapse their label populations by orders of magnitude.
+_BLOCK_DOM_CHECK_AFTER = 2048
+_BLOCK_DOM_MIN_HIT_RATE = 1.0 / 6.0
 
 
 @dataclass(frozen=True)
@@ -120,12 +145,22 @@ class LabelDominanceSearch:
     """
 
     def __init__(self, weighting: Optional[SSBWeighting] = None,
-                 beam_width: int = 128) -> None:
+                 beam_width: int = 128, frontier: str = "bucketed",
+                 dominance_window: int = 128) -> None:
         if beam_width < 0:
             raise ValueError("beam_width must be non-negative (0 disables the pre-pass)")
+        if frontier not in ("bucketed", "linear"):
+            raise ValueError("frontier must be 'bucketed' or 'linear'")
+        if dominance_window < 0:
+            raise ValueError("dominance_window must be non-negative (0 disables "
+                             "dominance in the block sweep)")
         self.weighting = weighting or SSBWeighting()
         self.measures = PathMeasures(self.weighting)
         self.beam_width = beam_width
+        self.frontier = frontier
+        #: dominator-set cap of the bucketed block sweep's per-node filter
+        #: (see :func:`repro.core.frontier.pareto_block_mask`)
+        self.dominance_window = dominance_window
 
     # ------------------------------------------------------------------ main
     def search(self, dwg: DoublyWeightedGraph,
@@ -144,21 +179,41 @@ class LabelDominanceSearch:
         if source not in pot:
             return _not_found(LabelSearchStats())
 
-        # ---- colour interning and per-edge packing
+        # ---- colour interning, completion potentials and per-edge packing
         colors = dwg.all_colors()
         color_index = {c: i for i, c in enumerate(colors)}
         n_colors = len(colors)
         zero_loads: Tuple[float, ...] = (0.0,) * n_colors
-        out_edge_data: Dict[Node, List[Tuple[Edge, float, Tuple[Tuple[int, float], ...], Node]]] = {}
+        lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
+        # per-colour load floors: the colour-c β any completion must still add
+        potc_maps = [index.potentials_to(
+            target, lambda e, c=c: DoublyWeightedGraph.beta_map(e).get(c, 0.0))
+            for c in colors]
+        potc: Dict[Node, Tuple[float, ...]] = {
+            node: tuple(pm[node] for pm in potc_maps) for node in pot}
+        # joint σ/average-load potential: the final bottleneck is at least the
+        # average colour load, and β_total/n_colors is additive per edge
+        if n_colors:
+            inv_colors = 1.0 / n_colors
+            potj: Dict[Node, float] = index.potentials_to(
+                target, lambda e: lam_s * DoublyWeightedGraph.sigma(e) +
+                lam_b * DoublyWeightedGraph.beta(e) * inv_colors)
+        else:
+            inv_colors = 0.0
+            potj = {node: 0.0 for node in pot}
+        out_edge_data: Dict[Node, List[tuple]] = {}
         for node in order:
             packed = []
             for edge in graph.out_edges(node):
-                if edge.head not in pot:
+                head = edge.head
+                if head not in pot:
                     continue  # dead end: the target is unreachable from here
                 betas = tuple((color_index[c], float(v))
                               for c, v in DoublyWeightedGraph.beta_map(edge).items()
                               if v != 0.0)
-                packed.append((edge, DoublyWeightedGraph.sigma(edge), betas, edge.head))
+                packed.append((edge, DoublyWeightedGraph.sigma(edge), betas,
+                               sum(v for _, v in betas), head,
+                               pot[head], potc[head], potj[head]))
             if packed:
                 out_edge_data[node] = packed
 
@@ -172,27 +227,43 @@ class LabelDominanceSearch:
         beam_ssb = float("inf")
         if self.beam_width:
             beam_label, beam_ssb, _ = self._sweep(
-                order, out_edge_data, pot, source, target, zero_loads,
-                min(incumbent, fallback_ssb), beam_width=self.beam_width)
+                order, out_edge_data, pot, potc, inv_colors, source, target,
+                zero_loads, min(incumbent, fallback_ssb),
+                beam_width=self.beam_width)
             if beam_label is not None and beam_ssb < fallback_ssb:
                 fallback_path = _reconstruct(beam_label)
                 fallback_ssb = beam_ssb
         bound = min(incumbent, fallback_ssb)
 
-        # ---- exact pass
-        best_label, best_ssb, stats = self._sweep(
-            order, out_edge_data, pot, source, target, zero_loads, bound)
+        # ---- exact pass: block sweep (array buckets) when numpy is present,
+        # scalar sweep otherwise — identical semantics, identical optimum
+        if self.frontier == "bucketed" and HAVE_NUMPY:
+            (best_path, best_ssb, best_s, best_b,
+             sweep_stats) = self._sweep_blocks(
+                graph, order, out_edge_data, pot, potc, potj, inv_colors,
+                source, target, zero_loads, bound)
+        else:
+            best_label, best_ssb, sweep_stats = self._sweep(
+                order, out_edge_data, pot, potc, inv_colors, source, target,
+                zero_loads, bound)
+            if best_label is not None:
+                best_path = _reconstruct(best_label)
+                best_s = best_label[0]
+                best_b = max(best_label[1]) if best_label[1] else 0.0
+            else:
+                best_path = None
+                best_s = best_b = float("inf")
         stats = LabelSearchStats(
-            labels_created=stats[0], labels_dominated=stats[1],
-            labels_bound_pruned=stats[2], nodes_swept=len(order),
+            labels_created=sweep_stats[0], labels_dominated=sweep_stats[1],
+            labels_bound_pruned=sweep_stats[2], nodes_swept=len(order),
             colors=n_colors, beam_ssb=beam_ssb)
 
-        if best_label is not None:
+        if best_path is not None:
             return LabelSearchResult(
-                path=_reconstruct(best_label),
+                path=best_path,
                 ssb_weight=best_ssb,
-                s_weight=best_label[0],
-                b_weight=max(best_label[1]) if best_label[1] else 0.0,
+                s_weight=best_s,
+                b_weight=best_b,
                 stats=stats)
         if fallback_ssb < incumbent:
             # nothing beat the fallback path, but it beats the caller's incumbent
@@ -205,13 +276,15 @@ class LabelDominanceSearch:
         return _not_found(stats)
 
     # ------------------------------------------------------------------ sweep
-    def _sweep(self, order, out_edge_data, pot, source, target, zero_loads,
-               bound, beam_width: Optional[int] = None
+    def _sweep(self, order, out_edge_data, pot, potc, inv_colors, source,
+               target, zero_loads, bound, beam_width: Optional[int] = None
                ) -> Tuple[Optional[_Label], float, Tuple[int, int, int]]:
         """One topological label sweep; the single kernel behind both passes.
 
         ``beam_width=None`` is the exact pass: buckets keep their full
-        (dominance-filtered) label sets.  With a width the sweep becomes the
+        (dominance-filtered) label sets — a :class:`ParetoStore` per node
+        with the default ``frontier="bucketed"`` backend, the legacy capped
+        linear scans with ``"linear"``.  With a width the sweep becomes the
         heuristic pre-pass: buckets are truncated to the ``beam_width``
         labels of smallest SSB-so-far before extension and dominance is
         skipped.  Any target label either mode returns is a real path, so
@@ -219,8 +292,17 @@ class LabelDominanceSearch:
         """
         lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
         created = dominated = pruned = 0
-        check_dominance = beam_width is None
-        labels: Dict[Node, List[_Label]] = {source: [(0.0, zero_loads, None, None)]}
+        bucketed = beam_width is None and self.frontier == "bucketed"
+        check_dominance = beam_width is None and not bucketed
+        dim = len(zero_loads)
+        labels: Dict[Node, Any] = {}
+        seed: _Label = (0.0, zero_loads, None, None, 0.0)
+        if bucketed:
+            seed_store = ParetoStore(dim)
+            seed_store.insert(0.0, zero_loads, seed)
+            labels[source] = seed_store
+        else:
+            labels[source] = [seed]
         best_label: Optional[_Label] = None
         best_ssb = float("inf")
         for node in order:
@@ -230,30 +312,46 @@ class LabelDominanceSearch:
             extensions = out_edge_data.get(node)
             if not extensions:
                 continue
-            if beam_width is not None and len(bucket) > beam_width:
+            if bucketed:
+                # the settle re-checks the completion bound with the *current*
+                # incumbent — tighter than when these labels were queued —
+                # before paying for the dominance filter
+                bucket.settle(bound, potential=pot[node],
+                              load_potentials=potc[node],
+                              lambda_s=lam_s, lambda_b=lam_b)
+                dominated += bucket.dominated + bucket.evicted
+                pruned += bucket.bound_rejected
+                bucket = bucket.payloads()
+            elif beam_width is not None and len(bucket) > beam_width:
                 # all labels in this bucket share pot[node], so ranking by
                 # λ_S·σ + λ_B·max(loads) orders them by completion bound
                 bucket.sort(key=lambda lab: lam_s * lab[0] +
                             (lam_b * max(lab[1]) if lab[1] else 0.0))
                 del bucket[beam_width:]
             for label in bucket:
-                s, loads = label[0], label[1]
-                for edge, sigma, betas, head in extensions:
+                s, loads, lsum = label[0], label[1], label[4]
+                for edge, sigma, betas, btotal, head, pot_h, potc_h, potj_h \
+                        in extensions:
                     ns = s + sigma
                     if betas:
                         new_loads = list(loads)
                         for ci, bv in betas:
                             new_loads[ci] += bv
                         nloads = tuple(new_loads)
-                        nmax = max(new_loads)
                     else:
                         nloads = loads
-                        nmax = max(loads) if loads else 0.0
-                    lower = lam_s * (ns + pot[head]) + lam_b * nmax
+                    # per-colour floors (zero at the target, where the max is
+                    # the label's true bottleneck)
+                    nmax = max(map(_add, nloads, potc_h)) if nloads else 0.0
+                    lower = lam_s * (ns + pot_h) + lam_b * nmax
                     if lower >= bound:
                         pruned += 1
                         continue
-                    new_label: _Label = (ns, nloads, edge, label)
+                    nsum = lsum + btotal
+                    if lam_s * ns + lam_b * nsum * inv_colors + potj_h >= bound:
+                        pruned += 1
+                        continue
+                    new_label: _Label = (ns, nloads, edge, label, nsum)
                     created += 1
                     if head == target:
                         ssb = lam_s * ns + lam_b * nmax
@@ -261,7 +359,12 @@ class LabelDominanceSearch:
                             best_label, best_ssb = new_label, ssb
                             bound = ssb
                         continue
-                    if check_dominance:
+                    if bucketed:
+                        store = labels.get(head)
+                        if store is None:
+                            store = labels[head] = ParetoStore(dim)
+                        store.insert_lazy(ns, nloads, new_label)
+                    elif check_dominance:
                         if not _insert(labels.setdefault(head, []), new_label):
                             dominated += 1
                         if created % _ADAPTIVE_CHECK_EVERY == 0 and \
@@ -270,6 +373,143 @@ class LabelDominanceSearch:
                     else:
                         labels.setdefault(head, []).append(new_label)
         return best_label, best_ssb, (created, dominated, pruned)
+
+    # ------------------------------------------------------------ block sweep
+    def _sweep_blocks(self, graph, order, out_edge_data, pot, potc, potj,
+                      inv_colors, source, target, zero_loads, bound):
+        """The exact pass over *array buckets* (the default bucketed backend).
+
+        Labels never exist as Python objects here: a node's bucket is a set
+        of numpy blocks ``(σ, loads, Σloads, parent row, edge key)`` and
+        every step — the completion-bound checks, the settle-time re-check
+        against the tightened incumbent, the Pareto filter
+        (:func:`~repro.core.frontier.pareto_block_mask`, dominator set
+        capped at ``dominance_window``) and the per-edge extension — is one
+        vectorised operation per (node, edge) instead of per label.  Settled
+        buckets are retained so the best target label's predecessor chain
+        can be walked back into a :class:`~repro.graphs.paths.Path`.
+
+        Semantically identical to the scalar sweep: the same three bounds,
+        the same dominance relation (the window only lets some dominated
+        labels survive, which costs time, never correctness), the same
+        arithmetic on the same IEEE floats — the returned optimum is
+        bit-identical.
+        """
+        import numpy as np
+
+        lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
+        dim = len(zero_loads)
+        window = self.dominance_window
+        created = dominated = pruned = inspected = 0
+        potc_arr = {node: np.asarray(t, dtype=np.float64)
+                    for node, t in potc.items()}
+        beta_rows = {}
+        for packed in out_edge_data.values():
+            for ext in packed:
+                edge, betas = ext[0], ext[2]
+                row = np.zeros(dim, dtype=np.float64)
+                for ci, bv in betas:
+                    row[ci] = bv
+                beta_rows[edge.key] = row
+        # node -> list of (σ, loads, Σloads, parent_rows, edge_key) blocks
+        chunks: Dict[Node, List[tuple]] = {source: [(
+            np.zeros(1), np.zeros((1, dim)), np.zeros(1),
+            np.full(1, -1, dtype=np.int64), -1)]}
+        settled: Dict[Node, Tuple[Any, Any]] = {}
+        best = None                     # (edge_key, parent_row)
+        best_ssb = best_s = best_b = float("inf")
+        for node in order:
+            node_chunks = chunks.pop(node, None)
+            if not node_chunks:
+                continue
+            extensions = out_edge_data.get(node)
+            if not extensions:
+                continue
+            if len(node_chunks) == 1:
+                sig, lds, sums, parents, ekey = node_chunks[0]
+                ekeys = np.full(len(sig), ekey, dtype=np.int64)
+            else:
+                sig = np.concatenate([c[0] for c in node_chunks])
+                lds = np.concatenate([c[1] for c in node_chunks])
+                sums = np.concatenate([c[2] for c in node_chunks])
+                parents = np.concatenate([c[3] for c in node_chunks])
+                ekeys = np.concatenate([
+                    np.full(len(c[0]), c[4], dtype=np.int64)
+                    for c in node_chunks])
+            # settle: re-check both completion bounds with the *current*
+            # incumbent (tighter than when these labels were queued) ...
+            if dim:
+                peak = (lds + potc_arr[node]).max(axis=1)
+            else:
+                peak = np.zeros(len(sig))
+            keep = lam_s * (sig + pot[node]) + lam_b * peak < bound
+            keep &= lam_s * sig + lam_b * sums * inv_colors + potj[node] < bound
+            stale = len(sig) - int(keep.sum())
+            if stale:
+                pruned += stale
+                sig, lds, sums = sig[keep], lds[keep], sums[keep]
+                parents, ekeys = parents[keep], ekeys[keep]
+            if not len(sig):
+                continue
+            # ... then drop dominated labels (windowed Pareto filter, switched
+            # off for good once the observed hit-rate stops paying)
+            if window and len(sig) > 1:
+                mask = pareto_block_mask(sig, lds, window=window)
+                drop = len(sig) - int(mask.sum())
+                inspected += len(sig)
+                if drop:
+                    dominated += drop
+                    sig, lds, sums = sig[mask], lds[mask], sums[mask]
+                    parents, ekeys = parents[mask], ekeys[mask]
+                if inspected >= _BLOCK_DOM_CHECK_AFTER and \
+                        dominated < inspected * _BLOCK_DOM_MIN_HIT_RATE:
+                    window = 0
+            settled[node] = (parents, ekeys)
+            for edge, sigma, betas, btotal, head, pot_h, potc_h, potj_h \
+                    in extensions:
+                ns = sig + sigma
+                nl = lds + beta_rows[edge.key] if betas else lds
+                if dim:
+                    nmax = (nl + potc_arr[head]).max(axis=1)
+                else:
+                    nmax = np.zeros(len(ns))
+                keep_e = lam_s * (ns + pot_h) + lam_b * nmax < bound
+                nsum = sums + btotal
+                keep_e &= lam_s * ns + lam_b * nsum * inv_colors + potj_h < bound
+                count = int(keep_e.sum())
+                if not count:
+                    continue
+                created += count
+                rows = np.nonzero(keep_e)[0]
+                if head == target:
+                    # potc at the target is all-zero: nmax is the true
+                    # bottleneck, λ_S·σ + λ_B·nmax the true SSB weight
+                    ssb = lam_s * ns[rows] + lam_b * nmax[rows]
+                    i = int(ssb.argmin())
+                    if ssb[i] < bound:
+                        best = (edge.key, int(rows[i]))
+                        best_ssb = float(ssb[i])
+                        best_s = float(ns[rows[i]])
+                        best_b = float(nl[rows[i]].max()) if dim else 0.0
+                        bound = best_ssb
+                    continue
+                chunks.setdefault(head, []).append(
+                    (ns[rows], nl[rows], nsum[rows],
+                     rows.astype(np.int64), edge.key))
+        if best is None:
+            return None, float("inf"), float("inf"), float("inf"), \
+                (created, dominated, pruned)
+        edges: List[Edge] = []
+        edge_key, row = best
+        while edge_key != -1:
+            edge = graph.edge(edge_key)
+            edges.append(edge)
+            parents, ekeys = settled[edge.tail]
+            edge_key = int(ekeys[row])
+            row = int(parents[row])
+        edges.reverse()
+        return (Path.from_edges(edges), best_ssb, best_s, best_b,
+                (created, dominated, pruned))
 
 
 def _insert(bucket: List[_Label], label: _Label,

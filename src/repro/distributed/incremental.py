@@ -21,9 +21,14 @@ skeletons and identical feasible-cut sets; only the edge weights differ.
 * the previous optimum's **cut** is remembered per fingerprint in a
   :class:`WarmStartIndex` (in-memory, optionally persisted as JSON files so
   a fleet of workers sharing a spool also shares warm starts);
-* on re-solve, that cut is replayed against the *new* weights — it is still
-  a feasible S→T path, so its freshly evaluated SSB weight is a valid
-  incumbent bound for the label-dominance sweep;
+* the **assignment-graph skeleton** built for a fingerprint is kept
+  in-process and re-solves of the same structure only re-apply the σ/β
+  weights (:meth:`~repro.core.assignment_graph.ColoredAssignmentGraph.reweight`)
+  instead of re-colouring the tree and rebuilding faces, intervals and
+  edges from scratch;
+* on re-solve, the remembered cut is replayed against the *new* weights —
+  it is still a feasible S→T path, so its freshly evaluated SSB weight is a
+  valid incumbent bound for the label-dominance sweep;
 * the sweep then starts with a near-optimal incumbent (profiles rarely move
   the optimum far), which lets bound pruning discard almost every label, and
   the beam pre-pass — whose only job is finding an incumbent — is skipped
@@ -144,15 +149,20 @@ class IncrementalSolver:
     index: Optional[WarmStartIndex] = None
     weighting: Optional[SSBWeighting] = None
     beam_width: int = _COLD_BEAM_WIDTH
+    #: in-process assignment-graph skeletons kept per structure fingerprint
+    #: (graphs hold live problem references, so this cache is never persisted)
+    max_skeletons: int = 32
     #: counters across this solver's lifetime
     warm_hits: int = field(default=0, init=False)
     cold_solves: int = field(default=0, init=False)
+    skeleton_reuses: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.index is None:
             self.index = default_warm_index()
         self._weighting = self.weighting or SSBWeighting()
         self._measures = PathMeasures(self._weighting)
+        self._skeletons: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ solve
     def solve(self, problem: AssignmentProblem
@@ -162,9 +172,22 @@ class IncrementalSolver:
         from repro.core.coloring import color_tree
         from repro.core.label_search import LabelDominanceSearch
 
-        colored = color_tree(problem)
-        graph = build_assignment_graph(problem, colored_tree=colored)
         fingerprint = structure_fingerprint(problem)
+        graph = self._skeletons.get(fingerprint)
+        skeleton_reused = graph is not None
+        if skeleton_reused:
+            # same structure: keep the skeleton, re-apply the drifted weights
+            graph.reweight(problem)
+            self.skeleton_reuses += 1
+        else:
+            colored = color_tree(problem)
+            graph = build_assignment_graph(problem, colored_tree=colored)
+            if self.max_skeletons > 0:
+                if len(self._skeletons) >= self.max_skeletons:
+                    # drop the oldest insertion (structures churn rarely; a
+                    # FIFO keeps the one-structure deployment untouched)
+                    self._skeletons.pop(next(iter(self._skeletons)))
+                self._skeletons[fingerprint] = graph
 
         warm_path = None
         incumbent = float("inf")
@@ -212,6 +235,7 @@ class IncrementalSolver:
             "warm_started": warm,
             "warm_incumbent": (incumbent if warm else None),
             "warm_cut_still_optimal": warm and not result.found,
+            "skeleton_reused": skeleton_reused,
             "labels_created": result.stats.labels_created,
             "labels_bound_pruned": result.stats.labels_bound_pruned,
             "assignment_graph_edges": graph.number_of_edges(),

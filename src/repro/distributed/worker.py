@@ -12,17 +12,22 @@ structure.
 
 Crash safety comes entirely from the spool: a worker that dies mid-task
 holds a lease that expires, after which :meth:`WorkQueue.recover` (run by
-the surviving workers and by result streams) requeues the task.
+the surviving workers and by result streams) requeues the task.  A *live*
+worker on a long solve renews its own lease from a heartbeat thread
+(:class:`LeaseHeartbeat`), so a task that legitimately takes longer than
+``lease_timeout`` is not spuriously requeued and double-solved — leases
+bound *crash* detection latency, not solve time.
 
 ``REPRO_WORKER_SOLVE_DELAY`` (seconds, float) inserts an artificial pause
-before each solve — a deterministic hook for crash-recovery tests and demos
-that need to observe a worker mid-lease.
+before each solve — a deterministic hook for crash-recovery and
+lease-renewal tests that need to observe a worker mid-lease.
 """
 
 from __future__ import annotations
 
 import os
 import socket
+import threading
 import time
 import uuid
 from typing import Any, Dict, Optional
@@ -44,6 +49,53 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
 
 
+class LeaseHeartbeat:
+    """Daemon thread renewing one claim's lease while its task is solved.
+
+    Touches the claim file every ``interval`` seconds via
+    :meth:`WorkQueue.renew`; used as a context manager around the solve so
+    the lease can never expire under a live worker, however long the solve
+    runs.  If a renew fails (recovery already requeued the claim — e.g. the
+    whole process was suspended past the lease), :attr:`lost` turns True and
+    the thread stops; the worker still publishes its result, which the
+    duplicate claimant will observe and retire.
+    """
+
+    def __init__(self, queue: WorkQueue, task: SpoolTask,
+                 interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self._queue = queue
+        self._task = task
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{task.task_id}",
+            daemon=True)
+        self.renewals = 0
+        self.lost = False
+
+    def __enter__(self) -> "LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if self._queue.renew(self._task):
+                self.renewals += 1
+            elif not os.path.exists(self._task.path):
+                # the claim file is really gone (requeued or acked):
+                # nothing left to renew
+                self.lost = True
+                return
+            # else: transient filesystem error (NFS ESTALE/EIO) while the
+            # claim still exists — keep beating, the next renew may land
+
+
 class SolveWorker:
     """One worker process draining a :class:`WorkQueue`.
 
@@ -61,13 +113,18 @@ class SolveWorker:
         Recorded in every published result; defaults to host-pid-entropy.
     poll_interval:
         Sleep between claim attempts while idle.
+    heartbeat:
+        Renew the claim lease from a background thread during each solve
+        (default on).  Disable only in tests that need to observe lease
+        expiry under a live worker.
     """
 
     def __init__(self, queue: "WorkQueue | str",
                  cache: Optional[ResultCache] = None,
                  registry: Optional[SolverRegistry] = None,
                  worker_id: Optional[str] = None,
-                 poll_interval: float = 0.05) -> None:
+                 poll_interval: float = 0.05,
+                 heartbeat: bool = True) -> None:
         if isinstance(queue, str):
             queue = WorkQueue(queue)
         self.queue = queue
@@ -75,8 +132,13 @@ class SolveWorker:
         self.registry = registry if registry is not None else default_registry()
         self.worker_id = worker_id or default_worker_id()
         self.poll_interval = poll_interval
+        self.heartbeat = heartbeat
+        #: renew cadence: well inside the lease so several beats fit into
+        #: one timeout even under heavy filesystem latency
+        self.heartbeat_interval = max(0.01, queue.lease_timeout / 4.0)
         self.processed = 0
         self.cache_hits = 0
+        self.lease_renewals = 0
         self._solve_delay = float(os.environ.get(SOLVE_DELAY_ENV_VAR, "0") or 0)
 
     # -------------------------------------------------------------- main loop
@@ -117,11 +179,13 @@ class SolveWorker:
         payload = dict(task.payload)
         outcome = self._cached_outcome(payload)
         if outcome is None:
-            if self._solve_delay:
-                time.sleep(self._solve_delay)
-            self._inject_warm_dir(payload)
-            outcome = solve_payload(payload)
-            outcome["cached"] = False
+            if self.heartbeat:
+                with LeaseHeartbeat(self.queue, task,
+                                    self.heartbeat_interval) as beat:
+                    outcome = self._solve(payload)
+                self.lease_renewals += beat.renewals
+            else:
+                outcome = self._solve(payload)
             if (outcome.get("ok") and self.cache is not None
                     and payload.get("cacheable", True)):
                 self.cache.put(payload["key"], make_cache_entry(
@@ -134,6 +198,14 @@ class SolveWorker:
         outcome["index"] = payload.get("index")
         self.queue.ack(task, outcome)
         self.processed += 1
+        return outcome
+
+    def _solve(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._solve_delay:
+            time.sleep(self._solve_delay)
+        self._inject_warm_dir(payload)
+        outcome = solve_payload(payload)
+        outcome["cached"] = False
         return outcome
 
     def _cached_outcome(self, payload: Dict[str, Any]

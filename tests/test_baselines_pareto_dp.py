@@ -137,3 +137,71 @@ class TestOptimum:
         dp, _ = pareto_dp_assignment(paper_problem, weighting=weighting)
         brute, _ = brute_force_assignment(paper_problem, weighting=weighting)
         assert dp.host_load() == pytest.approx(brute.host_load())
+
+
+class TestPrunedSolver:
+    """The bound-pruned rewrite: optimum-exact without the full frontier."""
+
+    def test_matches_brute_force_on_the_paper_example(self, paper_problem):
+        from repro.baselines import pareto_dp_pruned_assignment
+
+        pruned, details = pareto_dp_pruned_assignment(paper_problem)
+        brute, _ = brute_force_assignment(paper_problem)
+        assert pruned.end_to_end_delay() == pytest.approx(
+            brute.end_to_end_delay())
+        assert details["objective"] == pytest.approx(
+            pruned.end_to_end_delay())
+        assert details["beam_objective"] >= details["objective"]
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("scatter", [0.0, 1.0])
+    def test_matches_the_frontier_exact_dp(self, seed, scatter):
+        from repro.baselines import pareto_dp_pruned_assignment
+
+        problem = random_problem(n_processing=10, n_satellites=3, seed=seed,
+                                 sensor_scatter=scatter)
+        pruned, _ = pareto_dp_pruned_assignment(problem)
+        full, _ = pareto_dp_assignment(problem)
+        assert pruned.end_to_end_delay() == full.end_to_end_delay()
+
+    def test_weighted_objective(self, paper_problem):
+        from repro.baselines import pareto_dp_pruned_assignment
+
+        weighting = SSBWeighting(1.0, 0.0)
+        pruned, _ = pareto_dp_pruned_assignment(paper_problem,
+                                                weighting=weighting)
+        brute, _ = brute_force_assignment(paper_problem, weighting=weighting)
+        assert pruned.host_load() == pytest.approx(brute.host_load())
+
+    def test_solves_the_blowup_regime_the_exact_dp_cannot(self):
+        """Acceptance: scattered n=30 solves exactly, no FrontierExplosion,
+        with per-state frontiers orders of magnitude under the old blowup."""
+        from repro.baselines import pareto_dp_pruned_assignment
+        from repro.core.solver import solve
+        from repro.runtime.registry import PARETO_DP_PRUNED_MAX_FRONTIER
+
+        problem = random_problem(n_processing=30, n_satellites=4, seed=0,
+                                 sensor_scatter=1.0)
+        pruned, details = pareto_dp_pruned_assignment(
+            problem, max_frontier=PARETO_DP_PRUNED_MAX_FRONTIER)
+        reference = solve(problem, method="colored-ssb-labels")
+        assert pruned.end_to_end_delay() == reference.objective
+        assert details["peak_frontier"] < PARETO_DP_PRUNED_MAX_FRONTIER // 10
+        assert details["labels_bound_pruned"] > 0
+
+    def test_beam_width_validation_and_tiny_beam(self, paper_problem):
+        from repro.baselines import pareto_dp_pruned_assignment
+
+        with pytest.raises(ValueError, match="beam_width"):
+            pareto_dp_pruned_assignment(paper_problem, beam_width=0)
+        tiny, _ = pareto_dp_pruned_assignment(paper_problem, beam_width=1)
+        full, _ = pareto_dp_assignment(paper_problem)
+        assert tiny.end_to_end_delay() == full.end_to_end_delay()
+
+    def test_safety_valve_still_fires(self):
+        from repro.baselines import pareto_dp_pruned_assignment
+
+        problem = random_problem(n_processing=12, n_satellites=4, seed=2,
+                                 sensor_scatter=0.5)
+        with pytest.raises(FrontierExplosion):
+            pareto_dp_pruned_assignment(problem, max_frontier=1)

@@ -1,0 +1,256 @@
+"""Property tests for the shared Pareto-frontier engine.
+
+Seeded fuzz loops (hypothesis-style, no dependency) pin the store's three
+contracts against a naive O(F²) reference filter:
+
+* the surviving set equals the maximal elements of everything inserted,
+  duplicates collapsed — *exactly*, for the eager inserts, the lazy
+  batch settle (vectorised when numpy is present) and the block-mask kernel;
+* the result is independent of insertion order;
+* the structural invariants hold after every insert: σ ascending, at most
+  one entry per load tuple, and for single-colour stores the full staircase
+  (σ strictly ascending, load strictly descending).
+
+Load values are drawn from small integer grids so ties and dominations are
+frequent — the regime where off-by-one tie handling would diverge from the
+reference.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.frontier import (
+    HAVE_NUMPY,
+    ParetoStore,
+    pareto_block_mask,
+    pareto_filter,
+)
+
+
+def naive_filter(items):
+    """Reference O(F²) sequential insert-and-prune; returns the survivor set.
+
+    Dominance is componentwise ``<=`` on (σ, loads); exact ties count as
+    dominated, so the first of two equal labels survives.
+    """
+    kept = []
+    for s, loads in items:
+        if any(es <= s and all(a <= b for a, b in zip(el, loads))
+               for es, el in kept):
+            continue
+        kept = [(es, el) for es, el in kept
+                if not (s <= es and all(a <= b for a, b in zip(loads, el)))]
+        kept.append((s, loads))
+    return set(kept)
+
+
+def random_items(rng, count, dim, grid=6):
+    return [(float(rng.randrange(grid)),
+             tuple(float(rng.randrange(grid)) for _ in range(dim)))
+            for _ in range(count)]
+
+
+def store_set(store):
+    return {(s, loads) for s, loads, _ in store}
+
+
+class TestEagerInsert:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_naive_filter(self, dim, seed):
+        rng = random.Random(seed * 101 + dim)
+        items = random_items(rng, 120, dim)
+        store = ParetoStore(dim)
+        for s, loads in items:
+            store.insert(s, loads)
+        assert store_set(store) == naive_filter(items)
+
+    @pytest.mark.parametrize("dim", [1, 3])
+    def test_invariants_hold_after_every_insert(self, dim):
+        rng = random.Random(99 + dim)
+        store = ParetoStore(dim)
+        for s, loads in random_items(rng, 200, dim):
+            store.insert(s, loads)
+            entries = list(store)
+            sigmas = [e[0] for e in entries]
+            assert sigmas == sorted(sigmas)
+            # at most one entry per load tuple (exact-duplicate collapse)
+            assert len({e[1] for e in entries}) == len(entries)
+            if dim == 1:
+                # the full staircase: σ strictly ascending, load strictly
+                # descending — this is what makes 1-d inserts O(log F)
+                loads_seq = [e[1][0] for e in entries]
+                assert all(a < b for a, b in zip(sigmas, sigmas[1:]))
+                assert all(a > b for a, b in zip(loads_seq, loads_seq[1:]))
+
+    def test_order_independence(self):
+        rng = random.Random(4242)
+        items = random_items(rng, 24, 2, grid=4)
+        reference = None
+        for _ in range(12):
+            rng.shuffle(items)
+            store = ParetoStore(2)
+            for s, loads in items:
+                store.insert(s, loads)
+            if reference is None:
+                reference = store_set(store)
+            assert store_set(store) == reference
+
+    def test_counters_and_payloads(self):
+        store = ParetoStore(2)
+        assert store.insert(1.0, (1.0, 1.0), "a")
+        assert not store.insert(2.0, (1.0, 1.0), "dup")   # dominated (tie)
+        assert store.dominated == 1
+        assert store.insert(0.5, (2.0, 0.5), "b")         # incomparable
+        assert store.insert(0.5, (1.0, 0.5), "c")         # evicts "a" AND "b"
+        assert store.evicted == 2
+        assert [p for _, _, p in store] == ["c"]
+        assert len(store) == 1 and store.min_sigma() == 0.5
+        store.clear()
+        assert len(store) == 0 and not store
+
+    def test_dim_mismatch_raises(self):
+        store = ParetoStore(2)
+        with pytest.raises(ValueError, match="components"):
+            store.insert(1.0, (1.0,))
+        store.insert_lazy(1.0, (1.0, 2.0, 3.0))
+        with pytest.raises(ValueError, match="components"):
+            store.settle()
+        with pytest.raises(ValueError):
+            ParetoStore(-1)
+
+
+class TestBoundedInsert:
+    def test_rejects_exactly_the_provably_worse_labels(self):
+        rng = random.Random(7)
+        items = random_items(rng, 150, 3)
+        bound, potential = 6.0, 1.0
+        store = ParetoStore(3)
+        for s, loads in items:
+            store.insert_bounded(s, loads, potential=potential, bound=bound)
+        admissible = [(s, loads) for s, loads in items
+                      if (s + potential) + max(loads) < bound]
+        assert store_set(store) == naive_filter(admissible)
+        assert store.bound_rejected == len(items) - len(admissible)
+
+    def test_weighted_bound(self):
+        store = ParetoStore(1)
+        # λ_S·(σ+pot) + λ_B·max = 2·(1+1) + 0.5·4 = 6
+        assert not store.insert_bounded(1.0, (4.0,), potential=1.0, bound=6.0,
+                                        lambda_s=2.0, lambda_b=0.5)
+        assert store.insert_bounded(1.0, (4.0,), potential=1.0, bound=6.1,
+                                    lambda_s=2.0, lambda_b=0.5)
+
+
+class TestLazySettle:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 4])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_settle_matches_naive_filter(self, dim, seed):
+        rng = random.Random(seed * 31 + dim)
+        # far above _SETTLE_VECTOR_MIN so numpy installs take the vector path
+        items = random_items(rng, 400, dim)
+        store = ParetoStore(dim)
+        for s, loads in items:
+            store.insert_lazy(s, loads)
+        assert store_set(store) == naive_filter(items)   # settles implicitly
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_settle_equals_eager_insertion(self, seed):
+        rng = random.Random(seed + 77)
+        items = random_items(rng, 300, 3)
+        eager = ParetoStore(3)
+        lazy = ParetoStore(3)
+        for s, loads in items:
+            eager.insert(s, loads)
+            lazy.insert_lazy(s, loads)
+        lazy.settle()
+        assert store_set(lazy) == store_set(eager)
+
+    def test_mixed_eager_and_lazy(self):
+        rng = random.Random(3)
+        items = random_items(rng, 200, 2)
+        store = ParetoStore(2)
+        for i, (s, loads) in enumerate(items):
+            if i % 3:
+                store.insert_lazy(s, loads)
+            else:
+                store.insert(s, loads)      # forces interleaved settles
+        assert store_set(store) == naive_filter(items)
+
+    def test_settle_bound_drops_stale_pending_labels(self):
+        store = ParetoStore(2)
+        store.insert_lazy(1.0, (1.0, 4.0))          # peak 5+1 -> at bound
+        store.insert_lazy(1.0, (1.0, 2.0))          # peak 3+1 -> admissible
+        store.settle(6.0, potential=1.0, load_potentials=(0.0, 1.0))
+        assert store_set(store) == {(1.0, (1.0, 2.0))}
+        assert store.bound_rejected == 1
+
+    def test_settle_bound_never_touches_stored_entries(self):
+        store = ParetoStore(1)
+        store.insert(9.0, (9.0,))
+        store.insert_lazy(8.0, (10.0,))             # over any sane bound
+        store.settle(1.0)
+        assert store_set(store) == {(9.0, (9.0,))}
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="block kernel requires numpy")
+class TestBlockMask:
+    @pytest.mark.parametrize("dim", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_mask_matches_naive_filter(self, dim, seed):
+        import numpy as np
+
+        rng = random.Random(seed * 13 + dim)
+        items = random_items(rng, 700, dim)   # several kernel blocks
+        sig = np.array([s for s, _ in items])
+        lds = np.array([l for _, l in items]).reshape(len(items), dim)
+        keep = pareto_block_mask(sig, lds)
+        survivors = {items[i] for i in range(len(items)) if keep[i]}
+        assert survivors == naive_filter(items)
+
+    def test_windowed_mask_is_sound_and_between_bounds(self):
+        import numpy as np
+
+        rng = random.Random(5)
+        items = random_items(rng, 600, 3)
+        sig = np.array([s for s, _ in items])
+        lds = np.array([l for _, l in items]).reshape(len(items), 3)
+        exact = pareto_block_mask(sig, lds)
+        for window in (1, 8, 64):
+            capped = pareto_block_mask(sig, lds, window=window)
+            # capped keeps a superset of the exact survivors ...
+            assert bool(np.all(capped >= exact))
+            # ... and every row it removes is genuinely dominated by some
+            # *other* row (an exact duplicate counts: its twin survives)
+            removed = np.nonzero(~capped)[0]
+            for i in removed.tolist():
+                s, loads = items[i]
+                assert any(j != i and es <= s
+                           and all(a <= b for a, b in zip(el, loads))
+                           for j, (es, el) in enumerate(items))
+
+
+class TestParetoFilter:
+    def test_batch_filter_matches_naive(self):
+        rng = random.Random(11)
+        items = random_items(rng, 80, 2)
+        result = pareto_filter(((s, loads, i) for i, (s, loads)
+                                in enumerate(items)), dim=2)
+        assert {(s, loads) for s, loads, _ in result} == naive_filter(items)
+        sigmas = [s for s, _, _ in result]
+        assert sigmas == sorted(sigmas)
+
+    def test_exhaustive_tiny_cases(self):
+        # every multiset of 4 labels over a 2x2x2 grid, every order
+        grid = [(float(s), (float(a), float(b)))
+                for s in range(2) for a in range(2) for b in range(2)]
+        rng = random.Random(0)
+        for _ in range(200):
+            items = [rng.choice(grid) for _ in range(4)]
+            for perm in itertools.permutations(items):
+                store = ParetoStore(2)
+                for s, loads in perm:
+                    store.insert(s, loads)
+                assert store_set(store) == naive_filter(perm)

@@ -188,3 +188,58 @@ class TestCrashRecovery:
                                   "results": 12, "failed": 0}
         # both workers actually participated
         assert len({r["worker_id"] for r in results}) == 2
+
+
+class TestLeaseHeartbeat:
+    """ROADMAP "lease renewal during long solves": a live worker on a task
+    longer than the lease must renew its claim so recovery never requeues it."""
+
+    def _run_delayed(self, spool, monkeypatch, heartbeat, delay=0.6,
+                     lease=0.2):
+        import threading
+
+        queue = WorkQueue(spool, lease_timeout=lease)
+        problem = random_problem(n_processing=6, n_satellites=2, seed=3)
+        task_id = queue.submit(payload_for(problem))
+        monkeypatch.setenv(SOLVE_DELAY_ENV_VAR, str(delay))
+        worker = SolveWorker(queue, heartbeat=heartbeat)
+        thread = threading.Thread(target=lambda: worker.run(max_tasks=1),
+                                  daemon=True)
+        thread.start()
+        # an impatient observer (another worker / a result stream) keeps
+        # running recovery the whole time the solve is in flight
+        requeued = 0
+        deadline = time.monotonic() + 4 * delay
+        while thread.is_alive() and time.monotonic() < deadline:
+            requeued += queue.recover()
+            time.sleep(lease / 4)
+        thread.join(timeout=4 * delay)
+        assert not thread.is_alive()
+        return queue, task_id, worker, requeued
+
+    def test_heartbeat_prevents_spurious_requeue(self, spool, monkeypatch):
+        queue, task_id, worker, requeued = self._run_delayed(
+            spool, monkeypatch, heartbeat=True)
+        assert requeued == 0, "recovery requeued a task held by a live worker"
+        result = queue.result(task_id)
+        assert result["ok"]
+        assert result["attempt"] == 0          # first delivery, no retries
+        assert worker.lease_renewals >= 1
+        counts = queue.counts()
+        assert counts["pending"] == 0 and counts["claimed"] == 0
+
+    def test_without_heartbeat_the_lease_expires_mid_solve(self, spool,
+                                                           monkeypatch):
+        # negative control: the very failure mode the heartbeat fixes —
+        # proves the positive test would catch a heartbeat regression
+        queue, task_id, worker, requeued = self._run_delayed(
+            spool, monkeypatch, heartbeat=False)
+        assert requeued >= 1
+        assert queue.result(task_id)["ok"]     # the slow ack still lands
+        assert worker.lease_renewals == 0
+
+    def test_heartbeat_interval_sits_well_inside_the_lease(self, spool):
+        queue = WorkQueue(spool, lease_timeout=60.0)
+        assert SolveWorker(queue).heartbeat_interval == pytest.approx(15.0)
+        tight = WorkQueue(spool + "-tight", lease_timeout=0.02)
+        assert SolveWorker(tight).heartbeat_interval >= 0.01

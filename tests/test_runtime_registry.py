@@ -10,7 +10,7 @@ class TestDefaultRegistry:
     def test_carries_every_facade_method(self):
         registry = default_registry()
         assert registry.names() == available_methods()
-        assert len(registry) == 12
+        assert len(registry) == 13
 
     def test_aliases_resolve_to_canonical_specs(self):
         registry = default_registry()
@@ -35,7 +35,7 @@ class TestDefaultRegistry:
         exact = {spec.name for spec in registry if spec.exact}
         assert exact == {"colored-ssb", "colored-ssb-labels",
                          "colored-ssb-incremental", "brute-force",
-                         "pareto-dp", "branch-and-bound"}
+                         "pareto-dp", "pareto-dp-pruned", "branch-and-bound"}
         stochastic = {spec.name for spec in registry if spec.stochastic}
         assert stochastic == {"random-search", "genetic", "dag-genetic"}
         meta = registry.resolve("colored-ssb").metadata()
