@@ -24,14 +24,25 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.greedy import greedy_assignment
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext
 from repro.model.problem import AssignmentProblem
+
+#: Explored nodes between two context polls (node bodies are tiny).
+_CONTEXT_STRIDE = 256
 
 
 def branch_and_bound_assignment(problem: AssignmentProblem,
                                 use_greedy_incumbent: bool = True,
                                 node_limit: Optional[int] = None,
+                                context: Optional[SolveContext] = None,
                                 **_ignored) -> Tuple[Assignment, Dict[str, object]]:
-    """Exact branch-and-bound over feasible cuts."""
+    """Exact branch-and-bound over feasible cuts.
+
+    Anytime: ``context`` is polled every :data:`_CONTEXT_STRIDE` explored
+    nodes; on expiry the exploration stops (like an exhausted node budget)
+    and the incumbent — seeded by the greedy heuristic before the first
+    branch — is returned with ``details["interrupted"]`` set.
+    """
     tree = problem.tree
     satellite_ids = problem.system.satellite_ids()
     sat_index = {sid: i for i, sid in enumerate(satellite_ids)}
@@ -55,25 +66,34 @@ def branch_and_bound_assignment(problem: AssignmentProblem,
 
     best_cut: Optional[List[str]] = None
     best_value = float("inf")
-    if use_greedy_incumbent:
+    if use_greedy_incumbent or context is not None:
+        # under a context the greedy incumbent doubles as the guaranteed
+        # anytime answer, so it is always seeded
         incumbent, _ = greedy_assignment(problem)
         best_value = incumbent.end_to_end_delay()
         best_cut = incumbent.cut_children()
+        if context is not None:
+            context.report_incumbent(best_value, source="b&b-greedy-seed")
 
     explored = 0
     pruned = 0
     limit_hit = False
+    interrupted: Optional[str] = None
 
     # Work list of "pending" nodes still to be covered, processed depth-first.
     def recurse(pending: List[str], host_time: float, loads: List[float],
                 cut: List[str]) -> None:
-        nonlocal best_cut, best_value, explored, pruned, limit_hit
-        if limit_hit:
+        nonlocal best_cut, best_value, explored, pruned, limit_hit, interrupted
+        if limit_hit or interrupted is not None:
             return
         explored += 1
         if node_limit is not None and explored > node_limit:
             limit_hit = True
             return
+        if context is not None and explored % _CONTEXT_STRIDE == 0:
+            interrupted = context.interrupted()
+            if interrupted is not None:
+                return
 
         bound = host_time + (max(loads) if loads else 0.0)
         if bound >= best_value - 1e-12:
@@ -83,6 +103,8 @@ def branch_and_bound_assignment(problem: AssignmentProblem,
             if bound < best_value:
                 best_value = bound
                 best_cut = list(cut)
+                if context is not None:
+                    context.report_incumbent(best_value, source="b&b")
             return
 
         node = pending[0]
@@ -109,9 +131,12 @@ def branch_and_bound_assignment(problem: AssignmentProblem,
         raise RuntimeError("the instance admits no feasible assignment")
     offloaded = [c for c in best_cut if tree.cru(c).is_processing]
     assignment = Assignment.from_cut(problem, offloaded)
-    return assignment, {
+    details: Dict[str, object] = {
         "explored": explored,
         "pruned": pruned,
         "delay": assignment.end_to_end_delay(),
         "node_limit_hit": limit_hit,
     }
+    if interrupted is not None:
+        details["interrupted"] = interrupted
+    return assignment, details

@@ -18,6 +18,7 @@ import itertools
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 
@@ -84,23 +85,41 @@ def count_feasible_assignments(problem: AssignmentProblem) -> int:
 
 
 def brute_force_assignment(problem: AssignmentProblem,
-                           weighting: Optional[SSBWeighting] = None
+                           weighting: Optional[SSBWeighting] = None,
+                           context: Optional[SolveContext] = None
                            ) -> Tuple[Assignment, Dict[str, object]]:
     """The delay-optimal assignment found by full enumeration.
 
     ``weighting`` generalises the objective to
     ``λ_S · host time + λ_B · max satellite load`` (default: plain sum, the
     end-to-end delay).
+
+    Anytime: ``context`` is polled every ``context.check_stride`` enumerated
+    cuts (the first cut always evaluates, so an incumbent always exists); on
+    expiry the best cut seen so far is returned with
+    ``details["interrupted"]`` set — no longer the proven optimum.
     """
     weighting = weighting or SSBWeighting()
     best: Optional[Assignment] = None
     best_value = float("inf")
     enumerated = 0
+    interrupted: Optional[str] = None
     for assignment in enumerate_assignments(problem):
+        if context is not None and enumerated \
+                and enumerated % context.check_stride == 0:
+            interrupted = context.interrupted()
+            if interrupted is not None:
+                break
         enumerated += 1
         value = weighting.combine(assignment.host_load(), assignment.max_satellite_load())
         if value < best_value:
             best, best_value = assignment, value
+            if context is not None:
+                context.report_incumbent(best_value, source="brute-force")
     if best is None:
         raise RuntimeError("the instance admits no feasible assignment")
-    return best, {"enumerated": enumerated, "objective": best_value}
+    details: Dict[str, object] = {"enumerated": enumerated,
+                                  "objective": best_value}
+    if interrupted is not None:
+        details["interrupted"] = interrupted
+    return best, details

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext
 from repro.model.problem import AssignmentProblem
 
 
@@ -90,6 +91,7 @@ def genetic_assignment(problem: AssignmentProblem,
                        parameters: Optional[GAParameters] = None,
                        seed: Optional[int] = None,
                        rng: Optional[random.Random] = None,
+                       context: Optional[SolveContext] = None,
                        **overrides) -> Tuple[Assignment, Dict[str, object]]:
     """Run the GA and return the best assignment found.
 
@@ -98,6 +100,11 @@ def genetic_assignment(problem: AssignmentProblem,
     reproducible and batch sweeps can thread one explicitly seeded stream per
     task.  Keyword overrides (``generations=...``, ``population_size=...``)
     are applied on top of ``parameters`` for convenience.
+
+    Anytime: ``context`` is polled once per generation; on expiry the loop
+    stops and the best chromosome evaluated so far is decoded and returned
+    with ``details["interrupted"]`` set (the initial population is always
+    evaluated, so an answer exists from the first poll on).
     """
     params = parameters or GAParameters()
     if overrides:
@@ -123,6 +130,10 @@ def genetic_assignment(problem: AssignmentProblem,
     scores = [fitness(c) for c in population]
     evaluations = len(population)
     best_history: List[float] = []
+    interrupted: Optional[str] = None
+    generations_run = 0
+    if context is not None:
+        context.report_incumbent(-max(scores), source="genetic")
 
     def tournament() -> List[int]:
         contenders = rng.sample(range(len(population)), min(params.tournament_size,
@@ -131,6 +142,11 @@ def genetic_assignment(problem: AssignmentProblem,
         return list(population[winner])
 
     for _generation in range(params.generations):
+        if context is not None:
+            interrupted = context.interrupted()
+            if interrupted is not None:
+                break
+        generations_run += 1
         ranked = sorted(range(len(population)), key=lambda i: scores[i], reverse=True)
         next_population = [list(population[i]) for i in ranked[:params.elite_count]]
         while len(next_population) < params.population_size:
@@ -145,13 +161,18 @@ def genetic_assignment(problem: AssignmentProblem,
         scores = [fitness(c) for c in population]
         evaluations += len(population)
         best_history.append(-max(scores))
+        if context is not None:
+            context.report_incumbent(-max(scores), source="genetic")
 
     best_index = max(range(len(population)), key=lambda i: scores[i])
     assignment = decode_chromosome(problem, population[best_index], offloadable)
-    return assignment, {
-        "generations_run": params.generations,
+    details: Dict[str, object] = {
+        "generations_run": generations_run,
         "evaluations": evaluations,
         "delay": assignment.end_to_end_delay(),
         "best_history": best_history,
         "genes": n_genes,
     }
+    if interrupted is not None:
+        details["interrupted"] = interrupted
+    return assignment, details

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext
 from repro.model.problem import AssignmentProblem
 
 
@@ -80,19 +81,30 @@ def _raise_moves(problem: AssignmentProblem, cut: List[str]) -> List[List[str]]:
 
 
 def greedy_assignment(problem: AssignmentProblem, max_steps: int = 10_000,
+                      context: Optional[SolveContext] = None,
                       **_ignored) -> Tuple[Assignment, Dict[str, object]]:
     """Hill-climbing from the maximal-offload cut.
 
     Returns the best assignment found and a details dict with the number of
-    improvement steps taken.
+    improvement steps taken.  The starting cut is already feasible, so under
+    a ``context`` (polled once per improvement step) the climb is anytime
+    from its very first instant — which is why the portfolio solver uses it
+    as the instant incumbent seed.
     """
     cut = maximal_offload_cut(problem)
     best = _cut_to_assignment(problem, cut)
     best_delay = best.end_to_end_delay()
     steps = 0
+    interrupted: Optional[str] = None
+    if context is not None:
+        context.report_incumbent(best_delay, source="greedy")
 
     improved = True
     while improved and steps < max_steps:
+        if context is not None:
+            interrupted = context.interrupted()
+            if interrupted is not None:
+                break
         improved = False
         for move in _lower_moves(problem, cut) + _raise_moves(problem, cut):
             candidate = _cut_to_assignment(problem, move)
@@ -101,6 +113,12 @@ def greedy_assignment(problem: AssignmentProblem, max_steps: int = 10_000,
                 cut, best, best_delay = move, candidate, delay
                 improved = True
                 steps += 1
+                if context is not None:
+                    context.report_incumbent(best_delay, source="greedy")
                 break
 
-    return best, {"steps": steps, "delay": best_delay, "cut_size": len(cut)}
+    details: Dict[str, object] = {"steps": steps, "delay": best_delay,
+                                  "cut_size": len(cut)}
+    if interrupted is not None:
+        details["interrupted"] = interrupted
+    return best, details

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext, SolveInterrupted
 from repro.core.dwg import SSBWeighting
 from repro.core.frontier import ParetoStore
 from repro.model.problem import AssignmentProblem
@@ -207,6 +208,7 @@ def _dp_labels(problem: AssignmentProblem, *,
                bound: float = _INF,
                lam_s: float = 1.0, lam_b: float = 1.0,
                beam_width: Optional[int] = None,
+               context: Optional[SolveContext] = None,
                ) -> Tuple[List[_Label], Dict[str, int]]:
     """Run the tree DP; returns the root frontier labels plus prune counters.
 
@@ -215,6 +217,12 @@ def _dp_labels(problem: AssignmentProblem, *,
     or above ``bound`` are dropped) and ``beam_width`` truncates every
     frontier to the labels of best completion bound — the heuristic pre-pass
     whose best root label seeds the exact pass's incumbent.
+
+    ``context`` is polled once per tree node and once per cross-product row
+    (the two loop granularities that dominate the runtime); when it fires the
+    kernel raises the matching :class:`SolveInterrupted` — the DP holds no
+    usable partial answer, so the entry points translate the interruption
+    into their own feasible fallbacks.
     """
     tree = problem.tree
     satellite_ids = problem.system.satellite_ids()
@@ -274,6 +282,8 @@ def _dp_labels(problem: AssignmentProblem, *,
             pot = pot_state.get((cru_id, i + 1), 0.0)
             store = ParetoStore(n)
             for ah, aloads, acut in acc:
+                if context is not None:
+                    context.checkpoint()
                 for bh, bloads, bcut in labels:
                     insert(store,
                            (ah + bh,
@@ -284,6 +294,8 @@ def _dp_labels(problem: AssignmentProblem, *,
         return acc
 
     def labels_of(cru_id: str, parent_id: str) -> List[_Label]:
+        if context is not None:
+            context.checkpoint()
         pot = pot_opt.get(cru_id, 0.0)
         store = ParetoStore(n)
         offload = offload_label(cru_id, parent_id)
@@ -338,9 +350,35 @@ def _select(labels: Sequence[_Label], weighting: SSBWeighting) -> _Label:
         lab[0], max(lab[1]) if lab[1] else 0.0))
 
 
+def _greedy_fallback(problem: AssignmentProblem, weighting: SSBWeighting,
+                     interrupted: str, context: Optional[SolveContext]
+                     ) -> Tuple[Assignment, Dict[str, object]]:
+    """Feasible anytime answer when the DP was interrupted mid-kernel.
+
+    The tree DP holds no usable partial solution (its labels only become
+    assignments at the root), so the best-so-far incumbent of an interrupted
+    DP is the near-instant greedy hill-climb — run context-free: the context
+    already fired.
+    """
+    from repro.baselines.greedy import greedy_assignment
+
+    assignment, greedy_details = greedy_assignment(problem)
+    objective = weighting.combine(assignment.host_load(),
+                                  assignment.max_satellite_load())
+    if context is not None:
+        context.report_incumbent(objective, source="greedy-fallback")
+    return assignment, {
+        "objective": objective,
+        "interrupted": interrupted,
+        "fallback": "greedy",
+        "greedy_steps": greedy_details["steps"],
+    }
+
+
 def pareto_dp_assignment(problem: AssignmentProblem,
                          weighting: Optional[SSBWeighting] = None,
-                         max_frontier: Optional[int] = None
+                         max_frontier: Optional[int] = None,
+                         context: Optional[SolveContext] = None
                          ) -> Tuple[Assignment, Dict[str, object]]:
     """The optimal assignment selected from the (full) Pareto frontier.
 
@@ -348,10 +386,16 @@ def pareto_dp_assignment(problem: AssignmentProblem,
     ``host time + max satellite load``.  ``max_frontier`` converts the known
     frontier blowup (scattered ``n >= 30``) into :class:`FrontierExplosion`
     instead of an apparent hang; :func:`pareto_dp_pruned_assignment` solves
-    that regime exactly without materialising the frontier.
+    that regime exactly without materialising the frontier.  A ``context``
+    deadline/cancellation mid-DP falls back to the greedy heuristic — a
+    valid feasible answer — with ``details["interrupted"]`` set.
     """
     weighting = weighting or SSBWeighting()
-    labels, stats = _dp_labels(problem, max_frontier=max_frontier)
+    try:
+        labels, stats = _dp_labels(problem, max_frontier=max_frontier,
+                                   context=context)
+    except SolveInterrupted as exc:
+        return _greedy_fallback(problem, weighting, exc.kind, context)
     best = _select(labels, weighting)
     return _finish(problem, weighting, best, {
         "frontier_size": len(labels),
@@ -363,7 +407,8 @@ def pareto_dp_assignment(problem: AssignmentProblem,
 def pareto_dp_pruned_assignment(problem: AssignmentProblem,
                                 weighting: Optional[SSBWeighting] = None,
                                 max_frontier: Optional[int] = None,
-                                beam_width: int = _PRUNED_BEAM_WIDTH
+                                beam_width: int = _PRUNED_BEAM_WIDTH,
+                                context: Optional[SolveContext] = None
                                 ) -> Tuple[Assignment, Dict[str, object]]:
     """Exact optimum via the frontier-pruned DP (scattered ``n=30`` regime).
 
@@ -375,6 +420,11 @@ def pareto_dp_pruned_assignment(problem: AssignmentProblem,
     it, in which case the pre-pass label is already optimal.  ``max_frontier``
     stays as a true safety valve; it should only fire on instances whose
     *pruned* frontiers still explode.
+
+    Anytime behaviour under a ``context``: an interruption during the beam
+    pre-pass falls back to greedy; one during the exact pass returns the beam
+    incumbent — both are valid feasible assignments, flagged via
+    ``details["interrupted"]``.
     """
     weighting = weighting or SSBWeighting()
     if beam_width < 1:
@@ -383,19 +433,33 @@ def pareto_dp_pruned_assignment(problem: AssignmentProblem,
     minhost = _min_host_times(problem)
     pot_state, pot_opt = _completion_potentials(problem, minhost)
 
-    beam_labels, beam_stats = _dp_labels(
-        problem, pot_state=pot_state, pot_opt=pot_opt,
-        lam_s=lam_s, lam_b=lam_b, beam_width=beam_width)
+    try:
+        beam_labels, beam_stats = _dp_labels(
+            problem, pot_state=pot_state, pot_opt=pot_opt,
+            lam_s=lam_s, lam_b=lam_b, beam_width=beam_width, context=context)
+    except SolveInterrupted as exc:
+        return _greedy_fallback(problem, weighting, exc.kind, context)
     if not beam_labels:
         raise RuntimeError("the instance admits no feasible assignment")
     incumbent = _select(beam_labels, weighting)
     incumbent_objective = weighting.combine(
         incumbent[0], max(incumbent[1]) if incumbent[1] else 0.0)
+    if context is not None:
+        context.report_incumbent(incumbent_objective, source="dp-beam")
 
-    exact_labels, stats = _dp_labels(
-        problem, max_frontier=max_frontier,
-        pot_state=pot_state, pot_opt=pot_opt,
-        bound=incumbent_objective, lam_s=lam_s, lam_b=lam_b)
+    try:
+        exact_labels, stats = _dp_labels(
+            problem, max_frontier=max_frontier,
+            pot_state=pot_state, pot_opt=pot_opt,
+            bound=incumbent_objective, lam_s=lam_s, lam_b=lam_b,
+            context=context)
+    except SolveInterrupted as exc:
+        return _finish(problem, weighting, incumbent, {
+            "interrupted": exc.kind,
+            "beam_objective": incumbent_objective,
+            "beam_confirmed": False,
+            "beam_labels_bound_pruned": beam_stats["bound_rejected"],
+        })
     if exact_labels:
         best = _select(exact_labels, weighting)
         beaten = weighting.combine(

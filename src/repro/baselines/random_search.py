@@ -13,6 +13,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext
 from repro.model.problem import AssignmentProblem
 
 
@@ -55,12 +56,17 @@ def random_search_assignment(problem: AssignmentProblem, samples: int = 200,
                              seed: Optional[int] = None,
                              offload_probability: float = 0.5,
                              rng: Optional[random.Random] = None,
+                             context: Optional[SolveContext] = None,
                              **_ignored) -> Tuple[Assignment, Dict[str, object]]:
     """Best of ``samples`` random feasible assignments.
 
     Randomness comes exclusively from ``rng`` (or a ``random.Random(seed)``
     built here) — never from the shared module-level generator — so batch
     sweeps can thread one explicitly seeded stream per task.
+
+    Anytime: ``context`` is polled every ``context.check_stride`` samples
+    (the first sample always runs, so an incumbent always exists); on expiry
+    the best sample so far is returned with ``details["interrupted"]`` set.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
@@ -68,12 +74,24 @@ def random_search_assignment(problem: AssignmentProblem, samples: int = 200,
         rng = random.Random(seed)
     best: Optional[Assignment] = None
     best_delay = float("inf")
-    for _ in range(samples):
+    drawn = 0
+    interrupted: Optional[str] = None
+    for index in range(samples):
+        if context is not None and index and index % context.check_stride == 0:
+            interrupted = context.interrupted()
+            if interrupted is not None:
+                break
         cut = random_cut(problem, rng, offload_probability)
         offloaded = [c for c in cut if problem.tree.cru(c).is_processing]
         assignment = Assignment.from_cut(problem, offloaded)
         delay = assignment.end_to_end_delay()
+        drawn += 1
         if delay < best_delay:
             best, best_delay = assignment, delay
+            if context is not None:
+                context.report_incumbent(best_delay, source="random-search")
     assert best is not None
-    return best, {"samples": samples, "delay": best_delay}
+    details: Dict[str, object] = {"samples": drawn, "delay": best_delay}
+    if interrupted is not None:
+        details["interrupted"] = interrupted
+    return best, details

@@ -106,15 +106,42 @@ def _add_problem_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.context import SolveContext
+
     problem = _load_problem(args)
-    result = solve(problem, method=args.method)
+    context = None
+    if args.deadline is not None or args.anytime:
+        on_incumbent = None
+        if args.anytime:
+            def on_incumbent(objective, payload, source):
+                print(f"  incumbent: {objective:.6g} ({source})", flush=True)
+        context = SolveContext(deadline_s=args.deadline,
+                               on_incumbent=on_incumbent)
+    result = solve(problem, method=args.method, context=context)
     print(problem.summary())
     print(result.summary())
-    print(result.assignment.describe())
+    if result.assignment is not None:
+        print(result.assignment.describe())
+        if context is not None:
+            note = (f" ({result.interrupted}-interrupted, best-so-far)"
+                    if result.interrupted else "")
+            print(f"status: {result.status}{note}")
+    else:
+        print(f"status: {result.status} — no feasible incumbent before the "
+              f"deadline")
     if args.json:
-        print(json.dumps({"method": result.method, "objective": result.objective,
-                          "placement": result.assignment.placement}, indent=2, sort_keys=True))
-    return 0
+        payload = {"method": result.method,
+                   "objective": (None if result.assignment is None
+                                 else result.objective),
+                   "status": result.status,
+                   "placement": (None if result.assignment is None
+                                 else result.assignment.placement)}
+        if result.incumbent_history:
+            payload["incumbent_history"] = [
+                [round(t, 6), obj, src]
+                for t, obj, src in result.incumbent_history]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 4 if result.assignment is None else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -165,7 +192,7 @@ def _cmd_methods(args: argparse.Namespace) -> int:
         for row in rows:
             row["aliases"] = ", ".join(row["aliases"]) or "-"
         print(format_table(rows, columns=["name", "exact", "stochastic",
-                                          "complexity", "aliases"],
+                                          "anytime", "complexity", "aliases"],
                            title="registered solvers"))
         return 0
     for method in available_methods():
@@ -205,7 +232,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                              task_timeout=args.timeout,
                              cache=cache,
                              base_seed=args.seed)
-        report = runner.solve_many(problems, method=args.method)
+        report = runner.solve_many(problems, method=args.method,
+                                   deadline_s=args.deadline)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -214,6 +242,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "instance": item.tag or f"#{item.index}",
         "method": item.method,
         "objective": item.objective if item.ok else "-",
+        "status": item.status or "-",
         "cached": item.cached,
         "elapsed_ms": item.elapsed_s * 1e3,
         "error": (item.error or "")[:60],
@@ -319,13 +348,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_bytes=(int(args.cache_max_mb * 1e6)
                        if args.cache_max_mb is not None else None),
             max_age_s=args.cache_max_age)
+    compact_results = None
+    if (args.results_max_entries is not None
+            or args.results_max_mb is not None
+            or args.results_max_age is not None):
+        queue = WorkQueue(args.spool)
+
+        def compact_results():
+            return queue.compact_results(
+                max_count=args.results_max_entries,
+                max_bytes=(int(args.results_max_mb * 1e6)
+                           if args.results_max_mb is not None else None),
+                max_age_s=args.results_max_age)
     next_sweep = time.monotonic() + args.janitor_interval
+
+    def sweep() -> None:
+        if janitor is not None:
+            print(janitor.collect().summary(), flush=True)
+        if compact_results is not None:
+            print(f"results {compact_results().summary()}", flush=True)
+
     try:
         while True:
             if all(proc.poll() is not None for proc in workers):
                 break               # --drain fleets exit on an empty spool
-            if janitor is not None and time.monotonic() >= next_sweep:
-                print(janitor.collect().summary(), flush=True)
+            if ((janitor is not None or compact_results is not None)
+                    and time.monotonic() >= next_sweep):
+                sweep()
                 next_sweep = time.monotonic() + args.janitor_interval
             time.sleep(0.2)
     except KeyboardInterrupt:
@@ -336,8 +385,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 proc.terminate()
         for proc in workers:
             proc.wait()
-    if janitor is not None:
-        print(janitor.collect().summary())
+    sweep()
     # workers we terminated ourselves exit with a negative (signal) code;
     # that is a clean shutdown, not a failure
     return max((max(proc.returncode or 0, 0) for proc in workers),
@@ -351,7 +399,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         problems = _batch_problems(args)
         service = SolveService(args.spool, cache=_spool_cache(args),
                                base_seed=args.seed)
-        submission = service.submit(problems, method=args.method)
+        submission = service.submit(problems, method=args.method,
+                                    deadline_s=args.deadline)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -376,6 +425,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 failed += 1
             if args.stream and not args.quiet:
                 status = ("cached" if item.cached else "solved")
+                if item.partial:
+                    # a feasible partial is NOT an error: the deadline fired
+                    # and the best incumbent came back
+                    status = f"feasible/{item.details.get('interrupted')}"
                 value = (f"{item.objective:.6g}" if item.ok
                          else f"ERROR {item.error[:50]}")
                 print(f"[{len(items):>4}/{len(submission)}] "
@@ -426,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve a scenario and print the assignment")
     _add_problem_arguments(p_solve)
     p_solve.add_argument("--method", choices=available_methods(), default="colored-ssb")
+    p_solve.add_argument("--deadline", type=float, default=None,
+                         help="wall-clock budget in seconds: anytime solvers "
+                              "return their best incumbent as a feasible "
+                              "result when it fires")
+    p_solve.add_argument("--anytime", action="store_true",
+                         help="print every improving incumbent as it is found")
     p_solve.add_argument("--json", action="store_true", help="also print the placement as JSON")
     p_solve.set_defaults(func=_cmd_solve)
 
@@ -473,7 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--chunk-size", type=int, default=None,
                          help="tasks per worker message")
     p_batch.add_argument("--timeout", type=float, default=None,
-                         help="per-task timeout in seconds")
+                         help="per-task budget in seconds (cooperative "
+                              "deadline for anytime solvers, hard-kill "
+                              "fallback for the rest)")
+    p_batch.add_argument("--deadline", type=float, default=None,
+                         help="cooperative per-task deadline in seconds "
+                              "(anytime solvers return feasible incumbents)")
     p_batch.add_argument("--seed", type=int, default=0,
                          help="base seed for instance generation and stochastic methods")
     p_batch.add_argument("--cache-dir",
@@ -526,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="janitor cap: total cache size in MB")
     p_serve.add_argument("--cache-max-age", type=float, default=None,
                          help="janitor cap: entry age in seconds")
+    p_serve.add_argument("--results-max-entries", type=int, default=None,
+                         help="spool compaction cap: result files kept")
+    p_serve.add_argument("--results-max-mb", type=float, default=None,
+                         help="spool compaction cap: total results/ size in MB")
+    p_serve.add_argument("--results-max-age", type=float, default=None,
+                         help="spool compaction cap: result age in seconds")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -550,6 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--seed", type=int, default=0,
                           help="base seed for instance generation and "
                                "stochastic methods")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          help="cooperative per-task deadline in seconds "
+                               "(anytime solvers publish feasible incumbents)")
     p_submit.add_argument("--stream", action="store_true",
                           help="print each result the moment it arrives")
     p_submit.add_argument("--ordered", action="store_true",

@@ -17,6 +17,9 @@ Module                  Paper section
                               the scattered-sensor regime; see DESIGN.md §5)
 ``assignment``          §3    Assignments and the end-to-end delay objective
 ``solver``              --    One-call facade combining the above
+``context``             --    Anytime solve control: deadlines, cancellation,
+                              incumbent progress (SolveContext)
+``portfolio``           --    Feature-scheduled racing portfolio solver
 ======================  =====================================================
 """
 
@@ -33,6 +36,14 @@ from repro.core.label_search import (
     LabelSearchStats,
 )
 from repro.core.assignment import Assignment, HOST_DEVICE
+from repro.core.context import (
+    DeadlineExpired,
+    SOLVE_STATUSES,
+    SolveCancelled,
+    SolveContext,
+    SolveInterrupted,
+)
+from repro.core.portfolio import PortfolioSolver, instance_features
 from repro.core.solver import solve, SolverResult, available_methods
 
 __all__ = [
@@ -58,6 +69,13 @@ __all__ = [
     "LabelSearchStats",
     "Assignment",
     "HOST_DEVICE",
+    "DeadlineExpired",
+    "PortfolioSolver",
+    "SOLVE_STATUSES",
+    "SolveCancelled",
+    "SolveContext",
+    "SolveInterrupted",
+    "instance_features",
     "solve",
     "SolverResult",
     "available_methods",

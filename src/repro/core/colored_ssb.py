@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.context import SolveContext
 from repro.core.dwg import (
     DoublyWeightedGraph,
     MaxBetaIndex,
@@ -100,6 +101,9 @@ class ColoredSSBResult:
     #: elimination/expansion machinery terminated the search by itself)
     finisher: str = "none"
     label_stats: Optional[LabelSearchStats] = None
+    #: why the search was cut short ("deadline"/"cancelled"), None when the
+    #: search ran to completion and the result is the proven optimum
+    interrupted: Optional[str] = None
 
     @property
     def found(self) -> bool:
@@ -136,7 +140,12 @@ class ColoredSSBSearch:
         self.label_frontier = label_frontier
 
     # ------------------------------------------------------------------ main
-    def search(self, dwg: DoublyWeightedGraph) -> ColoredSSBResult:
+    def search(self, dwg: DoublyWeightedGraph,
+               context: Optional[SolveContext] = None) -> ColoredSSBResult:
+        """Run the adapted search; ``context`` (optional) is polled once per
+        elimination iteration and forwarded into the exact finisher — when it
+        fires, the current candidate path is returned with ``interrupted``
+        set instead of the search running on."""
         work = dwg.copy()
         source, target = work.source, work.target
         index = DagIndex(work.graph)
@@ -152,6 +161,7 @@ class ColoredSSBSearch:
         enumerated = 0
         finisher_used = "none"
         label_stats: Optional[LabelSearchStats] = None
+        interrupted: Optional[str] = None
 
         max_iterations = self.max_iterations
         if max_iterations is None:
@@ -161,10 +171,26 @@ class ColoredSSBSearch:
         index_count = 0
         while True:
             index_count += 1
+            if context is not None:
+                interrupted = context.interrupted()
+                if interrupted is not None:
+                    if candidate is None:
+                        # nothing feasible yet: the min-σ path is one cheap
+                        # Dijkstra away and makes the result answerable
+                        path = shortest_path(work.graph, source, target,
+                                             weight=SIGMA_ATTR)
+                        if path is not None:
+                            cand_s = self.measures.s_weight(path)
+                            cand_b = self.measures.b_weight_colored(path)
+                            cand_ssb = self.weighting.combine(cand_s, cand_b)
+                            candidate = path
+                    termination = interrupted
+                    break
             if index_count > max_iterations:
                 (candidate, cand_ssb, cand_s, cand_b,
-                 enumerated, finisher_used, label_stats) = self._finish(
-                    work, index, candidate, cand_ssb, cand_s, cand_b)
+                 enumerated, finisher_used, label_stats,
+                 interrupted) = self._finish(
+                    work, index, candidate, cand_ssb, cand_s, cand_b, context)
                 termination = f"iteration-cap-{_FINISH_TERMINATIONS[finisher_used]}"
                 break
 
@@ -182,6 +208,8 @@ class ColoredSSBSearch:
             ssb_weight = self.weighting.combine(s_weight, b_weight)
             if ssb_weight < cand_ssb:
                 candidate, cand_ssb, cand_s, cand_b = path, ssb_weight, s_weight, b_weight
+                if context is not None:
+                    context.report_incumbent(cand_ssb, source="colored-ssb")
 
             if b_weight == 0.0:
                 # the min-S path has no bottleneck cost at all: no other path
@@ -215,9 +243,11 @@ class ColoredSSBSearch:
 
             # ---- expansion not applicable: finish exactly.
             (candidate, cand_ssb, cand_s, cand_b,
-             enumerated, finisher_used, label_stats) = self._finish(
-                work, index, candidate, cand_ssb, cand_s, cand_b)
-            termination = _FINISH_TERMINATIONS[finisher_used]
+             enumerated, finisher_used, label_stats,
+             interrupted) = self._finish(
+                work, index, candidate, cand_ssb, cand_s, cand_b, context)
+            termination = _FINISH_TERMINATIONS[finisher_used] if not interrupted \
+                else interrupted
             self._record(iterations, index_count, s_weight, b_weight, ssb_weight,
                          cand_ssb,
                          "enumerate" if finisher_used == "enumeration" else "finish-labels")
@@ -228,12 +258,14 @@ class ColoredSSBSearch:
                                     s_weight=float("inf"), b_weight=float("inf"),
                                     iterations=iterations, termination=termination,
                                     expansions=expansions, enumerated_paths=enumerated,
-                                    finisher=finisher_used, label_stats=label_stats)
+                                    finisher=finisher_used, label_stats=label_stats,
+                                    interrupted=interrupted)
         return ColoredSSBResult(path=candidate, ssb_weight=cand_ssb, s_weight=cand_s,
                                 b_weight=cand_b, iterations=iterations,
                                 termination=termination, expansions=expansions,
                                 enumerated_paths=enumerated,
-                                finisher=finisher_used, label_stats=label_stats)
+                                finisher=finisher_used, label_stats=label_stats,
+                                interrupted=interrupted)
 
     # ------------------------------------------------------------ inner steps
     def _record(self, iterations: List[ColoredSSBIteration], index: int, s: float,
@@ -248,31 +280,42 @@ class ColoredSSBSearch:
 
     def _finish(self, work: DoublyWeightedGraph, index: DagIndex,
                 candidate: Optional[Path], cand_ssb: float, cand_s: float,
-                cand_b: float) -> Tuple[Optional[Path], float, float, float,
-                                        int, str, Optional[LabelSearchStats]]:
+                cand_b: float, context: Optional[SolveContext] = None
+                ) -> Tuple[Optional[Path], float, float, float,
+                           int, str, Optional[LabelSearchStats], Optional[str]]:
         """Exact finisher: label sweep on DAGs, Yen enumeration otherwise."""
         if self.finisher == "labels" and index.is_dag():
             engine = LabelDominanceSearch(self.weighting,
                                           frontier=self.label_frontier)
-            result = engine.search(work, incumbent=cand_ssb, index=index)
+            result = engine.search(work, incumbent=cand_ssb, index=index,
+                                   context=context)
             if result.found and result.ssb_weight < cand_ssb:
                 candidate = result.path
                 cand_ssb = result.ssb_weight
                 cand_s = result.s_weight
                 cand_b = result.b_weight
-            return candidate, cand_ssb, cand_s, cand_b, 0, "labels", result.stats
-        candidate, cand_ssb, cand_s, cand_b, count = self._enumerate(
-            work, candidate, cand_ssb, cand_s, cand_b)
-        return candidate, cand_ssb, cand_s, cand_b, count, "enumeration", None
+            return (candidate, cand_ssb, cand_s, cand_b, 0, "labels",
+                    result.stats, result.interrupted)
+        candidate, cand_ssb, cand_s, cand_b, count, interrupted = \
+            self._enumerate(work, candidate, cand_ssb, cand_s, cand_b, context)
+        return (candidate, cand_ssb, cand_s, cand_b, count, "enumeration",
+                None, interrupted)
 
     def _enumerate(self, work: DoublyWeightedGraph, candidate: Optional[Path],
-                   cand_ssb: float, cand_s: float, cand_b: float
-                   ) -> Tuple[Optional[Path], float, float, float, int]:
+                   cand_ssb: float, cand_s: float, cand_b: float,
+                   context: Optional[SolveContext] = None
+                   ) -> Tuple[Optional[Path], float, float, float, int,
+                              Optional[str]]:
         """Exhaustive fallback: walk paths in non-decreasing S order."""
         count = 0
+        interrupted: Optional[str] = None
         for path in iter_paths_by_weight(work.graph, work.source, work.target,
                                          weight=SIGMA_ATTR):
             count += 1
+            if context is not None:
+                interrupted = context.interrupted()
+                if interrupted is not None:
+                    break
             s_weight = self.measures.s_weight(path)
             if self.weighting.lambda_s * s_weight >= cand_ssb:
                 break
@@ -280,7 +323,9 @@ class ColoredSSBSearch:
             ssb_weight = self.weighting.combine(s_weight, b_weight)
             if ssb_weight < cand_ssb:
                 candidate, cand_ssb, cand_s, cand_b = path, ssb_weight, s_weight, b_weight
-        return candidate, cand_ssb, cand_s, cand_b, count
+                if context is not None:
+                    context.report_incumbent(cand_ssb, source="enumeration")
+        return candidate, cand_ssb, cand_s, cand_b, count, interrupted
 
     # -------------------------------------------------------------- expansion
     def _try_expand(self, work: DoublyWeightedGraph, path: Path,

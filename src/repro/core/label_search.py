@@ -62,6 +62,7 @@ from dataclasses import dataclass
 from operator import add as _add
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.context import SolveContext
 from repro.core.dwg import (
     DoublyWeightedGraph,
     PathMeasures,
@@ -114,23 +115,83 @@ class LabelSearchStats:
 
 @dataclass
 class LabelSearchResult:
-    """Outcome of a label-dominance search."""
+    """Outcome of a label-dominance search.
+
+    ``interrupted`` is ``None`` for a completed (exact) sweep, or the
+    :class:`~repro.core.context.SolveContext` interruption kind
+    (``"deadline"``/``"cancelled"``) when the sweep stopped early — the path
+    is then the best incumbent held at that moment, not a proven optimum.
+    """
 
     path: Optional[Path]
     ssb_weight: float
     s_weight: float
     b_weight: float
     stats: LabelSearchStats = LabelSearchStats()
+    interrupted: Optional[str] = None
 
     @property
     def found(self) -> bool:
         return self.path is not None
 
 
-def _not_found(stats: LabelSearchStats) -> LabelSearchResult:
+def _not_found(stats: LabelSearchStats,
+               interrupted: Optional[str] = None) -> LabelSearchResult:
     return LabelSearchResult(path=None, ssb_weight=float("inf"),
                              s_weight=float("inf"), b_weight=float("inf"),
-                             stats=stats)
+                             stats=stats, interrupted=interrupted)
+
+
+@dataclass
+class CompletionPotentials:
+    """The three backward-DAG completion bounds of one weighted graph.
+
+    One backward pass each over the same DAG: ``pot`` (min σ to the target),
+    ``potc`` (per-colour load floors) and ``potj`` (joint σ/average-load
+    potential).  Valid only for the exact (graph contents, target,
+    weighting) they were computed from — callers that cache them (the
+    incremental solver keys on structure *and* cost fingerprints) are
+    responsible for that; ``lambda_s``/``lambda_b`` are kept so a mismatched
+    weighting is at least detected and recomputed.
+    """
+
+    colors: Tuple[Any, ...]
+    pot: Dict[Node, float]
+    potc: Dict[Node, Tuple[float, ...]]
+    potj: Dict[Node, float]
+    lambda_s: float
+    lambda_b: float
+
+
+def completion_potentials(dwg: DoublyWeightedGraph,
+                          weighting: Optional[SSBWeighting] = None,
+                          index: Optional[DagIndex] = None
+                          ) -> CompletionPotentials:
+    """Compute the three completion bounds the label sweep prunes with."""
+    weighting = weighting or SSBWeighting()
+    index = index or DagIndex(dwg.graph)
+    target = dwg.target
+    lam_s, lam_b = weighting.lambda_s, weighting.lambda_b
+    pot = index.potentials_to(target, SIGMA_ATTR)
+    colors = tuple(dwg.all_colors())
+    n_colors = len(colors)
+    # per-colour load floors: the colour-c β any completion must still add
+    potc_maps = [index.potentials_to(
+        target, lambda e, c=c: DoublyWeightedGraph.beta_map(e).get(c, 0.0))
+        for c in colors]
+    potc: Dict[Node, Tuple[float, ...]] = {
+        node: tuple(pm[node] for pm in potc_maps) for node in pot}
+    # joint σ/average-load potential: the final bottleneck is at least the
+    # average colour load, and β_total/n_colors is additive per edge
+    if n_colors:
+        inv_colors = 1.0 / n_colors
+        potj: Dict[Node, float] = index.potentials_to(
+            target, lambda e: lam_s * DoublyWeightedGraph.sigma(e) +
+            lam_b * DoublyWeightedGraph.beta(e) * inv_colors)
+    else:
+        potj = {node: 0.0 for node in pot}
+    return CompletionPotentials(colors=colors, pot=pot, potc=potc, potj=potj,
+                                lambda_s=lam_s, lambda_b=lam_b)
 
 
 class LabelDominanceSearch:
@@ -165,8 +226,22 @@ class LabelDominanceSearch:
     # ------------------------------------------------------------------ main
     def search(self, dwg: DoublyWeightedGraph,
                incumbent: float = float("inf"),
-               index: Optional[DagIndex] = None) -> LabelSearchResult:
-        """Run the sweep; raises :class:`NotADagError` on cyclic graphs."""
+               index: Optional[DagIndex] = None,
+               context: Optional[SolveContext] = None,
+               potentials: Optional[CompletionPotentials] = None
+               ) -> LabelSearchResult:
+        """Run the sweep; raises :class:`NotADagError` on cyclic graphs.
+
+        ``context`` (optional) is polled once per swept node in both the
+        beam pre-pass and the exact pass; when it fires the sweep stops and
+        the best incumbent held at that moment is returned with
+        ``interrupted`` set — a feasible path always exists once the
+        min-σ seed path is computed, so an interrupted search still answers.
+        ``potentials`` short-circuits the three backward completion-bound
+        passes with precomputed ones (see :func:`completion_potentials`);
+        they must match this graph's current weights and weighting — the
+        incremental solver caches them per structure+cost fingerprint.
+        """
         graph = dwg.graph
         source, target = dwg.source, dwg.target
         index = index or DagIndex(graph)
@@ -175,32 +250,20 @@ class LabelDominanceSearch:
                 "label-dominance search requires a DAG; use the enumeration "
                 "finisher for cyclic doubly weighted graphs")
         order = index.order()
-        pot = index.potentials_to(target, SIGMA_ATTR)
+        lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
+        if potentials is None or potentials.lambda_s != lam_s \
+                or potentials.lambda_b != lam_b:
+            potentials = completion_potentials(dwg, self.weighting, index)
+        colors = potentials.colors
+        pot, potc, potj = potentials.pot, potentials.potc, potentials.potj
         if source not in pot:
             return _not_found(LabelSearchStats())
 
-        # ---- colour interning, completion potentials and per-edge packing
-        colors = dwg.all_colors()
+        # ---- colour interning and per-edge packing
         color_index = {c: i for i, c in enumerate(colors)}
         n_colors = len(colors)
         zero_loads: Tuple[float, ...] = (0.0,) * n_colors
-        lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
-        # per-colour load floors: the colour-c β any completion must still add
-        potc_maps = [index.potentials_to(
-            target, lambda e, c=c: DoublyWeightedGraph.beta_map(e).get(c, 0.0))
-            for c in colors]
-        potc: Dict[Node, Tuple[float, ...]] = {
-            node: tuple(pm[node] for pm in potc_maps) for node in pot}
-        # joint σ/average-load potential: the final bottleneck is at least the
-        # average colour load, and β_total/n_colors is additive per edge
-        if n_colors:
-            inv_colors = 1.0 / n_colors
-            potj: Dict[Node, float] = index.potentials_to(
-                target, lambda e: lam_s * DoublyWeightedGraph.sigma(e) +
-                lam_b * DoublyWeightedGraph.beta(e) * inv_colors)
-        else:
-            inv_colors = 0.0
-            potj = {node: 0.0 for node in pot}
+        inv_colors = 1.0 / n_colors if n_colors else 0.0
         out_edge_data: Dict[Node, List[tuple]] = {}
         for node in order:
             packed = []
@@ -224,28 +287,37 @@ class LabelDominanceSearch:
         assert seed_path is not None  # source in pot implies reachability
         fallback_path = seed_path
         fallback_ssb = self.measures.ssb_colored(seed_path)
+        if context is not None:
+            context.report_incumbent(fallback_ssb, source="labels-seed")
         beam_ssb = float("inf")
-        if self.beam_width:
-            beam_label, beam_ssb, _ = self._sweep(
+        interrupted = context.interrupted() if context is not None else None
+        if self.beam_width and interrupted is None:
+            beam_label, beam_ssb, _, interrupted = self._sweep(
                 order, out_edge_data, pot, potc, inv_colors, source, target,
                 zero_loads, min(incumbent, fallback_ssb),
-                beam_width=self.beam_width)
+                beam_width=self.beam_width, context=context)
             if beam_label is not None and beam_ssb < fallback_ssb:
                 fallback_path = _reconstruct(beam_label)
                 fallback_ssb = beam_ssb
+                if context is not None:
+                    context.report_incumbent(beam_ssb, source="labels-beam")
         bound = min(incumbent, fallback_ssb)
 
         # ---- exact pass: block sweep (array buckets) when numpy is present,
         # scalar sweep otherwise — identical semantics, identical optimum
-        if self.frontier == "bucketed" and HAVE_NUMPY:
+        if interrupted is not None:
+            best_path, best_s, best_b = None, float("inf"), float("inf")
+            best_ssb = float("inf")
+            sweep_stats = (0, 0, 0)
+        elif self.frontier == "bucketed" and HAVE_NUMPY:
             (best_path, best_ssb, best_s, best_b,
-             sweep_stats) = self._sweep_blocks(
+             sweep_stats, interrupted) = self._sweep_blocks(
                 graph, order, out_edge_data, pot, potc, potj, inv_colors,
-                source, target, zero_loads, bound)
+                source, target, zero_loads, bound, context=context)
         else:
-            best_label, best_ssb, sweep_stats = self._sweep(
+            best_label, best_ssb, sweep_stats, interrupted = self._sweep(
                 order, out_edge_data, pot, potc, inv_colors, source, target,
-                zero_loads, bound)
+                zero_loads, bound, context=context)
             if best_label is not None:
                 best_path = _reconstruct(best_label)
                 best_s = best_label[0]
@@ -264,7 +336,8 @@ class LabelDominanceSearch:
                 ssb_weight=best_ssb,
                 s_weight=best_s,
                 b_weight=best_b,
-                stats=stats)
+                stats=stats,
+                interrupted=interrupted)
         if fallback_ssb < incumbent:
             # nothing beat the fallback path, but it beats the caller's incumbent
             return LabelSearchResult(
@@ -272,13 +345,16 @@ class LabelDominanceSearch:
                 ssb_weight=fallback_ssb,
                 s_weight=self.measures.s_weight(fallback_path),
                 b_weight=self.measures.b_weight_colored(fallback_path),
-                stats=stats)
-        return _not_found(stats)
+                stats=stats,
+                interrupted=interrupted)
+        return _not_found(stats, interrupted)
 
     # ------------------------------------------------------------------ sweep
     def _sweep(self, order, out_edge_data, pot, potc, inv_colors, source,
-               target, zero_loads, bound, beam_width: Optional[int] = None
-               ) -> Tuple[Optional[_Label], float, Tuple[int, int, int]]:
+               target, zero_loads, bound, beam_width: Optional[int] = None,
+               context: Optional[SolveContext] = None
+               ) -> Tuple[Optional[_Label], float, Tuple[int, int, int],
+                          Optional[str]]:
         """One topological label sweep; the single kernel behind both passes.
 
         ``beam_width=None`` is the exact pass: buckets keep their full
@@ -289,9 +365,15 @@ class LabelDominanceSearch:
         labels of smallest SSB-so-far before extension and dominance is
         skipped.  Any target label either mode returns is a real path, so
         its SSB weight is a valid incumbent.
+
+        ``context`` is polled once per swept node; on interruption the
+        sweep stops immediately (the last return element is the kind) and
+        the caller falls back to the best incumbent found so far.  An inert
+        context leaves the sweep bit-identical to no context at all.
         """
         lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
         created = dominated = pruned = 0
+        interrupted: Optional[str] = None
         bucketed = beam_width is None and self.frontier == "bucketed"
         check_dominance = beam_width is None and not bucketed
         dim = len(zero_loads)
@@ -306,6 +388,10 @@ class LabelDominanceSearch:
         best_label: Optional[_Label] = None
         best_ssb = float("inf")
         for node in order:
+            if context is not None:
+                interrupted = context.interrupted()
+                if interrupted is not None:
+                    break
             bucket = labels.pop(node, None)
             if not bucket:
                 continue
@@ -358,6 +444,8 @@ class LabelDominanceSearch:
                         if ssb < best_ssb and ssb < bound:
                             best_label, best_ssb = new_label, ssb
                             bound = ssb
+                            if context is not None:
+                                context.report_incumbent(ssb, source="labels")
                         continue
                     if bucketed:
                         store = labels.get(head)
@@ -372,11 +460,12 @@ class LabelDominanceSearch:
                             check_dominance = False
                     else:
                         labels.setdefault(head, []).append(new_label)
-        return best_label, best_ssb, (created, dominated, pruned)
+        return best_label, best_ssb, (created, dominated, pruned), interrupted
 
     # ------------------------------------------------------------ block sweep
     def _sweep_blocks(self, graph, order, out_edge_data, pot, potc, potj,
-                      inv_colors, source, target, zero_loads, bound):
+                      inv_colors, source, target, zero_loads, bound,
+                      context: Optional[SolveContext] = None):
         """The exact pass over *array buckets* (the default bucketed backend).
 
         Labels never exist as Python objects here: a node's bucket is a set
@@ -418,7 +507,12 @@ class LabelDominanceSearch:
         settled: Dict[Node, Tuple[Any, Any]] = {}
         best = None                     # (edge_key, parent_row)
         best_ssb = best_s = best_b = float("inf")
+        interrupted: Optional[str] = None
         for node in order:
+            if context is not None:
+                interrupted = context.interrupted()
+                if interrupted is not None:
+                    break
             node_chunks = chunks.pop(node, None)
             if not node_chunks:
                 continue
@@ -492,13 +586,15 @@ class LabelDominanceSearch:
                         best_s = float(ns[rows[i]])
                         best_b = float(nl[rows[i]].max()) if dim else 0.0
                         bound = best_ssb
+                        if context is not None:
+                            context.report_incumbent(best_ssb, source="labels")
                     continue
                 chunks.setdefault(head, []).append(
                     (ns[rows], nl[rows], nsum[rows],
                      rows.astype(np.int64), edge.key))
         if best is None:
             return None, float("inf"), float("inf"), float("inf"), \
-                (created, dominated, pruned)
+                (created, dominated, pruned), interrupted
         edges: List[Edge] = []
         edge_key, row = best
         while edge_key != -1:
@@ -509,7 +605,7 @@ class LabelDominanceSearch:
             row = int(parents[row])
         edges.reverse()
         return (Path.from_edges(edges), best_ssb, best_s, best_b,
-                (created, dominated, pruned))
+                (created, dominated, pruned), interrupted)
 
 
 def _insert(bucket: List[_Label], label: _Label,

@@ -1,0 +1,306 @@
+"""Racing portfolio solver: feature-scheduled stages under one context.
+
+No single engine is the best answer at every point of the instance space:
+the greedy hill-climb is effectively free but unproven, the label-dominance
+sweep is the production exact engine (and the only one standing on fully
+scattered large instances), and the bound-pruned Pareto DP is an independent
+exact construction that doubles as a cross-check oracle.  Metareasoning over
+continual operations and hybrid search/inference DCOP solvers both converge
+on the same production recipe for this class of problems: an *anytime
+incumbent* plus *adaptive algorithm selection*.
+
+:class:`PortfolioSolver` implements that recipe on top of the repo's
+existing plumbing:
+
+1. **features** — three cheap instance features (offloadable size ``n``,
+   colour count, and a *scatter ratio*: how non-contiguously each
+   satellite's sensors sit in the tree) pick the staged schedule;
+2. **greedy seed** — the hill-climb runs first and reports its objective
+   into the shared :class:`~repro.core.context.SolveContext`, so an answer
+   exists microseconds in, whatever happens later;
+3. **label sweep** — the main exact stage, warm-started from the best bound
+   so far (the same incumbent plumbing the incremental solver uses), under
+   the same shared context;
+4. **pruned-DP cross-check** — on small/compact instances (where it costs
+   little), the independent exact engine re-derives the optimum; agreement
+   is recorded in the details, disagreement is flagged loudly.
+
+The stages share one context: each later stage starts from the best
+incumbent any earlier stage reported, and a deadline or cancellation fires
+across all of them at once — the best result held at that moment comes back
+as a ``feasible`` answer with per-stage attribution in ``details``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.context import SolveContext
+from repro.core.dwg import SSBWeighting
+from repro.model.problem import AssignmentProblem
+
+#: ``cross_check="auto"`` runs the pruned-DP stage only up to this many
+#: offloadable processing CRUs — beyond it the DP costs multiples of the
+#: label sweep and would blow the portfolio's time-to-optimum regret.
+_CROSS_CHECK_MAX_N = 14
+
+#: "auto" also skips the cross-check on heavily scattered instances, where
+#: the DP's frontiers are known to be the expensive regime.
+_CROSS_CHECK_MAX_SCATTER = 0.75
+
+#: Wall budget of the greedy seed stage.  The seed exists to guarantee an
+#: incumbent from the first milliseconds — not to race the sweep — so its
+#: hill-climb is cut after this long (it completes well inside the budget on
+#: small instances; on large ones a partial climb is still a fine seed).
+#: This keeps the portfolio's time-to-optimum regret vs the best single
+#: solver within the 1.2x acceptance bar.  The initial maximal-offload cut
+#: is evaluated before the climb's first context poll, so an incumbent
+#: exists whatever the budget.
+_SEED_BUDGET_S = 0.001
+
+
+def instance_features(problem: AssignmentProblem) -> Dict[str, Any]:
+    """Cheap features steering the schedule: size, colours, scatter ratio.
+
+    The scatter ratio measures, per satellite, how many separate "runs" of
+    consecutive sensors (in tree DFS order) feed it: one run per satellite
+    (clustered sensors — the paper's Figure-9 expansion regime) gives 0.0;
+    every sensor its own run (fully scattered — the label engine's regime)
+    gives 1.0.
+    """
+    tree = problem.tree
+    n_processing = len(tree.processing_ids())
+    satellites = problem.system.satellite_ids()
+
+    # sensors in DFS order, labelled by their correspondent satellite
+    sensor_colors: List[str] = []
+    stack = [tree.root_id]
+    while stack:
+        cru_id = stack.pop()
+        cru = tree.cru(cru_id)
+        if cru.is_sensor:
+            satellite = problem.correspondent_satellite(cru_id)
+            if satellite is not None:
+                sensor_colors.append(satellite)
+        children = tree.children_ids(cru_id)
+        stack.extend(reversed(children))
+
+    runs: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    previous: Optional[str] = None
+    for color in sensor_colors:
+        counts[color] = counts.get(color, 0) + 1
+        if color != previous:
+            runs[color] = runs.get(color, 0) + 1
+        previous = color
+    ratios = [(runs[c] - 1) / (counts[c] - 1)
+              for c in counts if counts[c] > 1]
+    scatter = sum(ratios) / len(ratios) if ratios else 0.0
+    return {
+        "n_processing": n_processing,
+        "n_satellites": len(satellites),
+        "n_sensors": len(sensor_colors),
+        "scatter_ratio": scatter,
+    }
+
+
+@dataclass
+class StageOutcome:
+    """Attribution record for one portfolio stage (JSON-safe)."""
+
+    stage: str
+    objective: Optional[float]
+    elapsed_s: float
+    improved: bool = False
+    interrupted: Optional[str] = None
+    skipped: Optional[str] = None       #: why the stage did not run
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "stage": self.stage,
+            "objective": self.objective,
+            "elapsed_s": self.elapsed_s,
+            "improved": self.improved,
+        }
+        if self.interrupted:
+            record["interrupted"] = self.interrupted
+        if self.skipped:
+            record["skipped"] = self.skipped
+        if self.extra:
+            record.update(self.extra)
+        return record
+
+
+class PortfolioSolver:
+    """Staged racing portfolio over greedy / label sweep / pruned DP.
+
+    Parameters
+    ----------
+    weighting:
+        SSB weighting shared by every stage (default: end-to-end delay).
+    cross_check:
+        ``"auto"`` (default) runs the independent pruned-DP stage only when
+        it is cheap relative to the sweep (small, not heavily scattered
+        instances); ``True``/``"always"`` forces it, ``False``/``"never"``
+        disables it.
+    beam_width:
+        Beam width of the label stage's pre-pass (the greedy seed already
+        provides an incumbent, so the beam mostly refines it).
+    """
+
+    def __init__(self, weighting: Optional[SSBWeighting] = None,
+                 cross_check: Any = "auto",
+                 beam_width: int = 128,
+                 seed_budget_s: float = _SEED_BUDGET_S) -> None:
+        if cross_check not in ("auto", "always", "never", True, False):
+            raise ValueError("cross_check must be 'auto', 'always'/'never' "
+                             "or a boolean")
+        if seed_budget_s < 0:
+            raise ValueError("seed_budget_s must be non-negative")
+        self.weighting = weighting or SSBWeighting()
+        self.cross_check = cross_check
+        self.beam_width = beam_width
+        self.seed_budget_s = seed_budget_s
+
+    # ------------------------------------------------------------------ solve
+    def solve(self, problem: AssignmentProblem,
+              context: Optional[SolveContext] = None
+              ) -> Tuple[Any, Dict[str, Any]]:
+        """Run the schedule; returns ``(assignment, details)`` runner-style."""
+        from repro.baselines.greedy import greedy_assignment
+        from repro.baselines.pareto_dp import pareto_dp_pruned_assignment
+        from repro.core.assignment_graph import build_assignment_graph
+        from repro.core.coloring import color_tree
+        from repro.core.label_search import LabelDominanceSearch
+
+        features = instance_features(problem)
+        stages: List[StageOutcome] = []
+        interrupted: Optional[str] = None
+        optimal_proven = False
+
+        # ---- stage 1: greedy — the instant incumbent seed ----------------
+        # The climb runs under a few-millisecond sub-budget (clamped onto the
+        # caller's context, so a real deadline/cancel still wins): its job is
+        # an immediate incumbent, not racing the exact engine.
+        started = time.perf_counter()
+        seed_context = (context.clamped(self.seed_budget_s)
+                        if context is not None
+                        else SolveContext(deadline_s=self.seed_budget_s))
+        best_assignment, greedy_details = greedy_assignment(
+            problem, context=seed_context)
+        best_objective = self.weighting.combine(
+            best_assignment.host_load(), best_assignment.max_satellite_load())
+        if context is not None:
+            context.report_incumbent(best_objective, source="portfolio-greedy")
+        # only the caller's own context gates later stages — hitting the
+        # seed sub-budget is routine, not an interruption of the solve
+        interrupted = context.interrupted() if context is not None else None
+        stages.append(StageOutcome(
+            stage="greedy", objective=best_objective,
+            elapsed_s=time.perf_counter() - started, improved=True,
+            interrupted=greedy_details.get("interrupted"),
+            extra={"steps": greedy_details.get("steps")}))
+        winner = "greedy"
+
+        # ---- stage 2: label-dominance sweep — the main exact engine ------
+        if interrupted is None:
+            started = time.perf_counter()
+            colored = color_tree(problem)
+            graph = build_assignment_graph(problem, colored_tree=colored)
+            search = LabelDominanceSearch(weighting=self.weighting,
+                                          beam_width=self.beam_width)
+            result = search.search(graph.dwg, incumbent=best_objective,
+                                   context=context)
+            interrupted = result.interrupted
+            improved = result.found and result.ssb_weight < best_objective
+            if improved:
+                best_assignment = graph.path_to_assignment(result.path)
+                # re-derive the objective in assignment space: the path-space
+                # SSB weight can differ from it by an ulp (different summation
+                # order), and later stages compare in assignment space
+                best_objective = self.weighting.combine(
+                    best_assignment.host_load(),
+                    best_assignment.max_satellite_load())
+                winner = "labels"
+            elif interrupted is None:
+                # nothing beat the greedy seed: the sweep proved it optimal
+                winner = "greedy"
+            if interrupted is None:
+                optimal_proven = True
+            stages.append(StageOutcome(
+                stage="labels", objective=best_objective,
+                elapsed_s=time.perf_counter() - started, improved=improved,
+                interrupted=interrupted,
+                extra={"labels_created": result.stats.labels_created,
+                       "labels_bound_pruned": result.stats.labels_bound_pruned}))
+
+        # ---- stage 3: pruned-DP cross-check (independent construction) ---
+        cross_check_agreed: Optional[bool] = None
+        want_check = self._wants_cross_check(features)
+        if interrupted is not None:
+            stages.append(StageOutcome(
+                stage="dp-pruned", objective=None, elapsed_s=0.0,
+                skipped="context fired before the stage started"))
+        elif not want_check:
+            stages.append(StageOutcome(
+                stage="dp-pruned", objective=None, elapsed_s=0.0,
+                skipped=self._skip_reason(features)))
+        else:
+            started = time.perf_counter()
+            dp_assignment, dp_details = pareto_dp_pruned_assignment(
+                problem, weighting=self.weighting, context=context)
+            dp_objective = self.weighting.combine(
+                dp_assignment.host_load(), dp_assignment.max_satellite_load())
+            # an interrupted cross-check never downgrades the result: the
+            # main stages already completed (or optimality was proven) by
+            # the time this stage is allowed to run
+            dp_interrupted = dp_details.get("interrupted")
+            improved = dp_objective < best_objective
+            if improved:
+                # the sweep missed something the DP found: take it — and if
+                # the sweep claimed optimality this is a loud inconsistency
+                best_assignment, best_objective = dp_assignment, dp_objective
+                winner = "dp-pruned"
+                optimal_proven = False
+            cross_check_agreed = (dp_interrupted is None
+                                  and dp_objective == best_objective
+                                  and not improved)
+            stages.append(StageOutcome(
+                stage="dp-pruned", objective=dp_objective,
+                elapsed_s=time.perf_counter() - started, improved=improved,
+                interrupted=dp_interrupted,
+                extra={"agreed": cross_check_agreed}))
+
+        details: Dict[str, Any] = {
+            "objective": best_objective,
+            "winner": winner,
+            "features": features,
+            "stages": [stage.as_dict() for stage in stages],
+            "optimal_proven": optimal_proven and interrupted is None,
+        }
+        if cross_check_agreed is not None:
+            details["cross_check_agreed"] = cross_check_agreed
+        if interrupted is not None:
+            details["interrupted"] = interrupted
+        return best_assignment, details
+
+    # ---------------------------------------------------------------- policy
+    def _wants_cross_check(self, features: Dict[str, Any]) -> bool:
+        if self.cross_check in (False, "never"):
+            return False
+        if self.cross_check in (True, "always"):
+            return True
+        return (features["n_processing"] <= _CROSS_CHECK_MAX_N
+                and features["scatter_ratio"] <= _CROSS_CHECK_MAX_SCATTER)
+
+    def _skip_reason(self, features: Dict[str, Any]) -> str:
+        if self.cross_check in (False, "never"):
+            return "cross_check disabled"
+        if features["n_processing"] > _CROSS_CHECK_MAX_N:
+            return (f"n={features['n_processing']} > "
+                    f"{_CROSS_CHECK_MAX_N} (auto policy)")
+        return (f"scatter_ratio={features['scatter_ratio']:.2f} > "
+                f"{_CROSS_CHECK_MAX_SCATTER} (auto policy)")

@@ -17,22 +17,52 @@ batch runtime uses — the facade stays the convenient single-instance door.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.assignment import Assignment
+from repro.core.context import SolveContext, STATUS_OPTIMAL, ensure_context
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 
 
 @dataclass
 class SolverResult:
-    """Uniform result record returned by :func:`solve` for every method."""
+    """Uniform result record returned by :func:`solve` for every method.
+
+    ``status`` is one of :data:`repro.core.context.SOLVE_STATUSES`:
+    ``"optimal"`` (exact solver ran to completion), ``"feasible"`` (a valid
+    assignment without an optimality proof — a heuristic, or an anytime
+    solver cut short by a deadline/cancellation, in which case
+    ``details["interrupted"]`` records which), or ``"timeout"`` /
+    ``"cancelled"`` (the context fired before any incumbent existed;
+    ``assignment`` is ``None`` and ``objective`` is ``inf``).
+
+    ``incumbent_history`` lists every strictly improving incumbent the solve
+    reported, as ``(elapsed_s, objective, source)`` triples.
+    """
 
     method: str
-    assignment: Assignment
+    assignment: Optional[Assignment]
     objective: float                      #: end-to-end delay of the assignment
     elapsed_s: float
     details: Dict[str, Any] = field(default_factory=dict)
+    status: str = STATUS_OPTIMAL
+    incumbent_history: List[Tuple[float, float, Optional[str]]] = \
+        field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the result carries a valid assignment."""
+        return self.assignment is not None
+
+    @property
+    def proven_optimal(self) -> bool:
+        return self.status == STATUS_OPTIMAL
+
+    @property
+    def interrupted(self) -> Optional[str]:
+        """Why the solve was cut short (``"deadline"``/``"cancelled"``/None)."""
+        return self.details.get("interrupted")
 
     @property
     def end_to_end_delay(self) -> float:
@@ -43,7 +73,13 @@ class SolverResult:
         return self.assignment.bottleneck_time()
 
     def summary(self) -> str:
-        return (f"[{self.method}] delay={self.objective:.6g} "
+        if self.assignment is None:
+            return f"[{self.method}] {self.status}: no feasible incumbent " \
+                   f"({self.elapsed_s * 1e3:.2f} ms)"
+        note = "" if self.status == STATUS_OPTIMAL else f" {self.status}"
+        if self.interrupted:
+            note += f"/{self.interrupted}"
+        return (f"[{self.method}]{note} delay={self.objective:.6g} "
                 f"host={self.assignment.host_load():.6g} "
                 f"max-satellite={self.assignment.max_satellite_load():.6g} "
                 f"({self.elapsed_s * 1e3:.2f} ms)")
@@ -60,6 +96,8 @@ def solve(problem: AssignmentProblem,
           method: str = "colored-ssb",
           weighting: Optional[SSBWeighting] = None,
           validate: bool = True,
+          context: Optional[SolveContext] = None,
+          deadline_s: Optional[float] = None,
           **options: Any) -> SolverResult:
     """Solve an assignment problem with the requested method.
 
@@ -83,6 +121,16 @@ def solve(problem: AssignmentProblem,
         end-to-end delay).
     validate:
         Run structural validation of the instance before solving.
+    context:
+        Optional :class:`~repro.core.context.SolveContext` carrying a
+        deadline, a cancellation token and/or an incumbent callback.
+        Solvers whose spec is flagged ``supports_deadline`` observe it at
+        iteration granularity and return their best incumbent as a
+        ``feasible`` result when it fires; an inert context (no deadline,
+        no token) leaves every solver bit-identical to a context-free call.
+    deadline_s:
+        Convenience wall-clock budget in seconds; builds (or tightens) the
+        context.
     options:
         Method-specific keyword options (e.g. ``seed`` for the stochastic
         heuristics, ``generations`` for the genetic algorithm).
@@ -94,4 +142,5 @@ def solve(problem: AssignmentProblem,
     spec = default_registry().resolve(method)
     if validate:
         problem.validate()
-    return spec.solve(problem, weighting=weighting, **options)
+    return spec.solve(problem, weighting=weighting,
+                      context=ensure_context(context, deadline_s), **options)

@@ -46,12 +46,17 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.context import SolveContext
 from repro.core.dwg import PathMeasures, SSBWeighting
 from repro.model.problem import AssignmentProblem
 from repro.runtime.cache import write_json_atomic
 
 #: Default beam width for cold solves (matches LabelDominanceSearch).
 _COLD_BEAM_WIDTH = 128
+
+#: Per-skeleton cap on cached completion-potential sets (see
+#: :class:`IncrementalSolver`): one per distinct cost fingerprint, FIFO.
+_POTENTIALS_PER_SKELETON = 8
 
 
 def structure_fingerprint(problem: AssignmentProblem) -> str:
@@ -156,38 +161,65 @@ class IncrementalSolver:
     warm_hits: int = field(default=0, init=False)
     cold_solves: int = field(default=0, init=False)
     skeleton_reuses: int = field(default=0, init=False)
+    potentials_reuses: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.index is None:
             self.index = default_warm_index()
         self._weighting = self.weighting or SSBWeighting()
         self._measures = PathMeasures(self._weighting)
-        self._skeletons: Dict[str, Any] = {}
+        # fingerprint -> {"graph": skeleton, "potentials": {cost_fp: pots}}
+        self._skeletons: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------ solve
-    def solve(self, problem: AssignmentProblem
+    def solve(self, problem: AssignmentProblem,
+              context: Optional[SolveContext] = None
               ) -> Tuple[Any, Dict[str, Any]]:
         from repro.core.assignment import Assignment
         from repro.core.assignment_graph import build_assignment_graph
         from repro.core.coloring import color_tree
-        from repro.core.label_search import LabelDominanceSearch
+        from repro.core.label_search import (LabelDominanceSearch,
+                                             completion_potentials)
+        from repro.runtime.cache import problem_fingerprint
 
         fingerprint = structure_fingerprint(problem)
-        graph = self._skeletons.get(fingerprint)
-        skeleton_reused = graph is not None
+        entry = self._skeletons.get(fingerprint)
+        skeleton_reused = entry is not None
         if skeleton_reused:
+            graph = entry["graph"]
             # same structure: keep the skeleton, re-apply the drifted weights
             graph.reweight(problem)
             self.skeleton_reuses += 1
         else:
             colored = color_tree(problem)
             graph = build_assignment_graph(problem, colored_tree=colored)
+            entry = {"graph": graph, "potentials": {}}
             if self.max_skeletons > 0:
                 if len(self._skeletons) >= self.max_skeletons:
                     # drop the oldest insertion (structures churn rarely; a
                     # FIFO keeps the one-structure deployment untouched)
                     self._skeletons.pop(next(iter(self._skeletons)))
-                self._skeletons[fingerprint] = graph
+                self._skeletons[fingerprint] = entry
+
+        # The label sweep's three backward-DAG completion bounds depend only
+        # on the weighted skeleton, i.e. on structure *and* costs — so they
+        # are keyed by the full problem fingerprint and reused whenever the
+        # same costs are re-solved (identical re-submissions, replayed
+        # queries), instead of paying three DAG passes per solve.
+        from repro.graphs.dag import DagIndex
+
+        index = DagIndex(graph.dwg.graph)   # shared by potentials + sweep
+        cost_fp = problem_fingerprint(problem)
+        potentials = entry["potentials"].get(cost_fp)
+        potentials_reused = potentials is not None
+        if potentials_reused:
+            self.potentials_reuses += 1
+        else:
+            potentials = completion_potentials(graph.dwg, self._weighting,
+                                               index)
+            while len(entry["potentials"]) >= _POTENTIALS_PER_SKELETON:
+                entry["potentials"].pop(next(iter(entry["potentials"])))
+            entry["potentials"][cost_fp] = potentials
 
         warm_path = None
         incumbent = float("inf")
@@ -204,10 +236,13 @@ class IncrementalSolver:
                 incumbent = float("inf")
 
         warm = warm_path is not None
+        if warm and context is not None:
+            context.report_incumbent(incumbent, source="warm-start")
         # with a warm incumbent the beam pre-pass has nothing left to do
         search = LabelDominanceSearch(weighting=self._weighting,
                                       beam_width=0 if warm else self.beam_width)
-        result = search.search(graph.dwg, incumbent=incumbent)
+        result = search.search(graph.dwg, incumbent=incumbent, index=index,
+                               context=context, potentials=potentials)
 
         if result.found:
             best_path = result.path
@@ -223,7 +258,11 @@ class IncrementalSolver:
         assignment = graph.path_to_assignment(best_path)
         offloaded = [c for c in graph.path_to_cut(best_path)
                      if problem.tree.cru(c).is_processing]
-        self.index.put(fingerprint, offloaded, assignment.end_to_end_delay())
+        if result.interrupted is None:
+            # an interrupted sweep's best path is not proven optimal: it must
+            # not poison the shared warm-start index as if it were
+            self.index.put(fingerprint, offloaded,
+                           assignment.end_to_end_delay())
         if warm:
             self.warm_hits += 1
         else:
@@ -234,10 +273,14 @@ class IncrementalSolver:
             "structure_fingerprint": fingerprint,
             "warm_started": warm,
             "warm_incumbent": (incumbent if warm else None),
-            "warm_cut_still_optimal": warm and not result.found,
+            "warm_cut_still_optimal": (warm and not result.found
+                                       and result.interrupted is None),
             "skeleton_reused": skeleton_reused,
+            "potentials_reused": potentials_reused,
             "labels_created": result.stats.labels_created,
             "labels_bound_pruned": result.stats.labels_bound_pruned,
             "assignment_graph_edges": graph.number_of_edges(),
         }
+        if result.interrupted is not None:
+            details["interrupted"] = result.interrupted
         return assignment, details

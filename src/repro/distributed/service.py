@@ -94,8 +94,15 @@ class SolveService:
     def submit(self, tasks: Sequence[Union[BatchTask, AssignmentProblem]],
                method: str = "colored-ssb",
                weighting: Optional[SSBWeighting] = None,
+               deadline_s: Optional[float] = None,
                **options: Any) -> Submission:
-        """Prepare a sweep; nothing is enqueued until the stream pulls it."""
+        """Prepare a sweep; nothing is enqueued until the stream pulls it.
+
+        ``deadline_s`` gives every task a cooperative per-solve budget (the
+        clock starts when a worker picks the task up, not at submission);
+        anytime solvers publish their incumbent as a ``feasible`` partial
+        when it fires.
+        """
         normalized = []
         for task in tasks:
             if isinstance(task, BatchTask):
@@ -104,7 +111,8 @@ class SolveService:
                 normalized.append(BatchTask(problem=task, method=method,
                                             options=dict(options),
                                             weighting=weighting,
-                                            tag=task.name))
+                                            tag=task.name,
+                                            deadline_s=deadline_s))
         prepared = prepare_tasks(normalized, self.registry, self.base_seed)
 
         entries: List[_Entry] = []
@@ -264,12 +272,15 @@ class SolveService:
         item.elapsed_s = cached.get("elapsed_s", 0.0)
         item.placement = dict(cached.get("placement") or {})
         item.details = dict(cached.get("details") or {})
+        item.status = cached.get("status")
         self._attach_assignment(item, entry)
         return item
 
     def _item_from_outcome(self, entry: _Entry,
                            outcome: Dict[str, Any]) -> BatchItemResult:
         item = self._base_item(entry)
+        item.status = outcome.get("status")
+        item.incumbent_history = list(outcome.get("incumbent_history") or ())
         if not outcome.get("ok", False):
             item.error = outcome.get("error", "unknown error")
             return item
@@ -287,11 +298,13 @@ class SolveService:
                        leader_item: BatchItemResult) -> BatchItemResult:
         item = self._base_item(entry)
         item.error = leader_item.error
+        item.status = leader_item.status
         if item.ok:
             item.objective = leader_item.objective
             item.elapsed_s = leader_item.elapsed_s
             item.placement = dict(leader_item.placement or {})
             item.details = dict(leader_item.details or {})
+            item.incumbent_history = list(leader_item.incumbent_history)
             item.cached = True
             item.cache_source = "batch"
             self._attach_assignment(item, entry)
@@ -310,11 +323,19 @@ class SolveService:
                                          placement=item.placement)
 
     def _feed_cache(self, entry: _Entry, outcome: Dict[str, Any]) -> None:
-        """Keep the submitter-side cache coherent with worker results."""
+        """Keep the submitter-side cache coherent with worker results.
+
+        Interrupted (anytime-partial) outcomes are excluded: their objective
+        is only best-so-far for *this* request's budget and must not be
+        replayed as the answer to future budget-free submissions.
+        """
+        from repro.runtime.payload import outcome_cacheable
+
         if (self.cache is None or not entry.prep.cacheable
-                or not outcome.get("ok", False) or outcome.get("cached")):
+                or not outcome_cacheable(outcome) or outcome.get("cached")):
             return
         self.cache.put(entry.prep.key, make_cache_entry(
             outcome.get("method", entry.prep.spec.name),
             outcome.get("objective"), outcome.get("elapsed_s", 0.0),
-            outcome.get("placement") or {}, outcome.get("details") or {}))
+            outcome.get("placement") or {}, outcome.get("details") or {},
+            status=outcome.get("status")))

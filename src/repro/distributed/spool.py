@@ -229,6 +229,29 @@ class WorkQueue:
         except OSError:
             return False
 
+    def publish_progress(self, task: SpoolTask,
+                         progress: Dict[str, Any]) -> bool:
+        """Write best-so-far progress into the claim file and renew the lease.
+
+        The claim file is atomically replaced with the original payload plus
+        a ``"progress"`` key (best objective, incumbent count, …), so any
+        observer listing ``claimed/`` can read what a long solve has in hand;
+        the replace also bumps the file's mtime, making this a superset of
+        :meth:`renew`.  Returns False when the claim is gone (requeued or
+        acked) — like a failed renew, the worker should treat the lease as
+        lost.  A lost race against recovery can briefly resurrect the claim
+        file; that only re-triggers recovery later, which the at-least-once
+        contract already tolerates.
+        """
+        if not os.path.exists(task.path):
+            return False
+        try:
+            self._write_atomic(task.path, {**task.payload,
+                                           "progress": dict(progress)})
+            return True
+        except OSError:
+            return False
+
     # ------------------------------------------------------------ completion
     def _result_path(self, task_id: str) -> str:
         return os.path.join(self._dir(RESULTS_DIR), f"{task_id}.json")
@@ -247,6 +270,23 @@ class WorkQueue:
     def nack(self, task: SpoolTask) -> None:
         """Return a claimed task to the queue immediately (attempt + 1)."""
         self._requeue(os.path.basename(task.path))
+
+    def release(self, task: SpoolTask) -> bool:
+        """Return a claimed task *without* consuming a retry attempt.
+
+        For cooperative shutdown: the task was never actually attempted, so
+        — unlike :meth:`nack` — the attempt counter stays put and a task
+        released by any number of rolling worker restarts can never drift
+        into the dead-letter path.  A pure rename back into ``tasks/`` under
+        the same name; False when the claim is already gone (acked or
+        recovered meanwhile).
+        """
+        target = os.path.join(self._dir(TASKS_DIR), task.name)
+        try:
+            os.rename(task.path, target)
+            return True
+        except OSError:
+            return False
 
     def fail(self, task: SpoolTask, error: str) -> None:
         """Dead-letter a claimed task (no more retries)."""
@@ -390,6 +430,29 @@ class WorkQueue:
                 except OSError:
                     pass
         return removed
+
+    def compact_results(self, max_count: Optional[int] = None,
+                        max_bytes: Optional[int] = None,
+                        max_age_s: Optional[float] = None,
+                        now: Optional[float] = None):
+        """Cap the ``results/`` directory by count / bytes / age.
+
+        An always-on service publishes one result file per finished task and
+        nothing ever removed them short of a full :meth:`purge_results`; this
+        reuses :class:`~repro.distributed.janitor.CacheJanitor`'s
+        oldest-mtime-first policy (reads do not touch result mtimes, so the
+        order is oldest-*published*-first).  ``repro serve`` runs it on the
+        janitor timer.  A compacted result a stream still waits on simply
+        re-solves when the task is resubmitted — size the caps well above
+        the fleet's in-flight window.  Returns the janitor's report.
+        """
+        from repro.distributed.janitor import CacheJanitor
+
+        janitor = CacheJanitor(self._dir(RESULTS_DIR),
+                               max_entries=max_count,
+                               max_bytes=max_bytes,
+                               max_age_s=max_age_s)
+        return janitor.collect(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"WorkQueue({self.directory!r}, {self.counts()})"

@@ -19,8 +19,14 @@ plain generator over the spool that provides both:
   ``timeout`` turns a wedged fleet into a :class:`StreamTimeout` instead of
   an infinite wait.
 
-Dead-lettered tasks surface as error results (``ok=False``) rather than
-silently never arriving.
+Dead-lettered tasks surface as error results (``ok=False``,
+``status="error"``) rather than silently never arriving.  Anytime partials
+are surfaced *distinctly from errors*: a worker that ran out of deadline
+publishes its incumbent with ``ok=True``, ``status="feasible"`` and an
+``"interrupted"`` marker, and the stream normalises every yielded outcome to
+carry a ``status`` (``optimal`` / ``feasible`` / ``timeout`` / ``cancelled``
+/ ``error``) so consumers never have to guess which kind of result they are
+holding.
 """
 
 from __future__ import annotations
@@ -29,6 +35,20 @@ import time
 from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.distributed.spool import WorkQueue
+
+
+def _normalize_status(outcome: Dict[str, Any]) -> None:
+    """Ensure every published result carries a ``status``.
+
+    Workers since the anytime refactor publish one; results from older
+    workers (or hand-written spool files) default to ``"feasible"`` on
+    success — a valid assignment with no proof claim — and ``"error"``
+    otherwise.  A present ``status`` (e.g. ``timeout`` on a no-incumbent
+    expiry) is preserved, which is what keeps feasible partials
+    distinguishable from genuine failures.
+    """
+    if not outcome.get("status"):
+        outcome["status"] = "feasible" if outcome.get("ok") else "error"
 
 
 class StreamTimeout(RuntimeError):
@@ -136,9 +156,11 @@ class ResultStream:
                     outcome = self.queue.result(task_id)
                     if outcome is None:
                         continue          # torn rename race; next scan has it
+                    _normalize_status(outcome)
                 else:
                     failure = self.queue.failure(task_id) or {}
                     outcome = {"task_id": task_id, "ok": False,
+                               "status": "error",
                                "error": failure.get("error", "dead-lettered"),
                                "dead_lettered": True}
                 order = self._pending.pop(task_id)

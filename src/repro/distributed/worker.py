@@ -30,11 +30,12 @@ import socket
 import threading
 import time
 import uuid
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
+from repro.core.context import SolveContext
 from repro.distributed.spool import SpoolTask, WorkQueue
 from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
-from repro.runtime.payload import solve_payload
+from repro.runtime.payload import outcome_cacheable, solve_payload
 from repro.runtime.registry import SolverRegistry, default_registry
 
 SOLVE_DELAY_ENV_VAR = "REPRO_WORKER_SOLVE_DELAY"
@@ -59,20 +60,31 @@ class LeaseHeartbeat:
     whole process was suspended past the lease), :attr:`lost` turns True and
     the thread stops; the worker still publishes its result, which the
     duplicate claimant will observe and retire.
+
+    With a ``progress`` callable (returning the latest best-so-far record,
+    or ``None`` when nothing changed), a beat that has fresh progress
+    publishes it into the claim file via :meth:`WorkQueue.publish_progress`
+    — an atomic payload+progress replace whose mtime bump doubles as the
+    renewal — so any spool observer can read a long solve's incumbent.
     """
 
     def __init__(self, queue: WorkQueue, task: SpoolTask,
-                 interval: float) -> None:
+                 interval: float,
+                 progress: Optional[Callable[[], Optional[Dict[str, Any]]]]
+                 = None) -> None:
         if interval <= 0:
             raise ValueError("heartbeat interval must be positive")
         self._queue = queue
         self._task = task
         self._interval = interval
+        self._progress = progress
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=f"lease-heartbeat-{task.task_id}",
             daemon=True)
+        self._pending_record: Optional[Dict[str, Any]] = None
         self.renewals = 0
+        self.progress_published = 0
         self.lost = False
 
     def __enter__(self) -> "LeaseHeartbeat":
@@ -83,9 +95,25 @@ class LeaseHeartbeat:
         self._stop.set()
         self._thread.join()
 
+    def _beat(self) -> bool:
+        if self._progress is not None:
+            record = self._progress()
+            if record is None:
+                record = self._pending_record    # retry a failed publish
+            if record is not None:
+                if self._queue.publish_progress(self._task, record):
+                    self._pending_record = None
+                    self.progress_published += 1
+                    return True
+                # progress write failed (e.g. a full spool disk): keep the
+                # record for the next beat and fall back to the cheap utime
+                # renewal so the lease never expires under a live solve
+                self._pending_record = record
+        return self._queue.renew(self._task)
+
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
-            if self._queue.renew(self._task):
+            if self._beat():
                 self.renewals += 1
             elif not os.path.exists(self._task.path):
                 # the claim file is really gone (requeued or acked):
@@ -94,6 +122,34 @@ class LeaseHeartbeat:
                 return
             # else: transient filesystem error (NFS ESTALE/EIO) while the
             # claim still exists — keep beating, the next renew may land
+
+
+class _ProgressTracker:
+    """Thread-safe bridge from solver incumbents to the heartbeat thread.
+
+    The solve thread reports incumbents through the context callback; the
+    heartbeat thread drains the latest record — :meth:`take` returns ``None``
+    when nothing improved since the last publish, so idle beats stay plain
+    lease renewals.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._record: Optional[Dict[str, Any]] = None
+        self._count = 0
+
+    def report(self, objective: float, payload: Any,
+               source: Optional[str]) -> None:
+        with self._lock:
+            self._count += 1
+            self._record = {"best_objective": objective,
+                            "incumbents": self._count,
+                            "source": source}
+
+    def take(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record, self._record = self._record, None
+            return record
 
 
 class SolveWorker:
@@ -117,6 +173,18 @@ class SolveWorker:
         Renew the claim lease from a background thread during each solve
         (default on).  Disable only in tests that need to observe lease
         expiry under a live worker.
+
+    Anytime behaviour: a task payload's ``deadline_s`` becomes a cooperative
+    :class:`~repro.core.context.SolveContext` around the solve.  With the
+    heartbeat *disabled* the deadline is additionally clamped to the
+    remaining lease — a solve that outlived its lease would be requeued and
+    double-solved, so returning the incumbent at the lease boundary is
+    strictly better; with the heartbeat on, the lease renews and no clamp
+    applies.  Each heartbeat publishes the solve's best-so-far objective
+    into the claim file.  :meth:`request_stop` cancels cooperatively: a task
+    claimed but not yet solved is released back to the queue (requeued with
+    no retry attempt consumed — never dead-lettered, however many rolling
+    restarts it rides through), a solve in flight returns its incumbent.
     """
 
     def __init__(self, queue: "WorkQueue | str",
@@ -139,7 +207,13 @@ class SolveWorker:
         self.processed = 0
         self.cache_hits = 0
         self.lease_renewals = 0
+        self.stop_event = threading.Event()
         self._solve_delay = float(os.environ.get(SOLVE_DELAY_ENV_VAR, "0") or 0)
+
+    def request_stop(self) -> None:
+        """Cooperatively stop: claimed-but-unsolved tasks are requeued and
+        any in-flight anytime solve returns its incumbent."""
+        self.stop_event.set()
 
     # -------------------------------------------------------------- main loop
     def run(self, max_tasks: Optional[int] = None, drain: bool = False,
@@ -153,6 +227,8 @@ class SolveWorker:
         started = time.monotonic()
         handled = 0
         while max_tasks is None or handled < max_tasks:
+            if self.stop_event.is_set():
+                break
             remaining = None
             if timeout is not None:
                 remaining = timeout - (time.monotonic() - started)
@@ -169,29 +245,50 @@ class SolveWorker:
                              else 1.0))
                 if task is None:
                     continue
-            self.process(task)
+            if self.process(task) is None:
+                break           # stop requested between claim and solve
             handled += 1
         return handled
 
     # ---------------------------------------------------------------- one task
-    def process(self, task: SpoolTask) -> Dict[str, Any]:
-        """Solve one claimed task and publish its outcome."""
+    def process(self, task: SpoolTask) -> Optional[Dict[str, Any]]:
+        """Solve one claimed task and publish its outcome.
+
+        Returns ``None`` — after nacking the task back into the queue — when
+        a stop was requested before the solve started: the claim-to-ack
+        window must requeue, never dead-letter, on cooperative shutdown.
+        """
+        if self.stop_event.is_set():
+            self.queue.release(task)    # no attempt consumed: never solved
+            return None
         payload = dict(task.payload)
         outcome = self._cached_outcome(payload)
         if outcome is None:
             if self.heartbeat:
-                with LeaseHeartbeat(self.queue, task,
-                                    self.heartbeat_interval) as beat:
-                    outcome = self._solve(payload)
+                progress = _ProgressTracker()
+                context = self._task_context(payload, progress)
+                with LeaseHeartbeat(self.queue, task, self.heartbeat_interval,
+                                    progress=progress.take) as beat:
+                    outcome = self._solve(payload, context)
                 self.lease_renewals += beat.renewals
             else:
-                outcome = self._solve(payload)
-            if (outcome.get("ok") and self.cache is not None
-                    and payload.get("cacheable", True)):
+                outcome = self._solve(payload,
+                                      self._task_context(payload, None))
+            if (self.stop_event.is_set() and not outcome.get("ok")
+                    and outcome.get("status") == "cancelled"):
+                # the stop landed after the claim check but before the
+                # solver's first incumbent: nothing was produced, so the
+                # task goes back to the queue (same contract as the
+                # claimed-but-unsolved window — no attempt consumed), not
+                # into results as a terminal failure
+                self.queue.release(task)
+                return None
+            if (self.cache is not None and payload.get("cacheable", True)
+                    and outcome_cacheable(outcome)):
                 self.cache.put(payload["key"], make_cache_entry(
                     outcome["method"], outcome["objective"],
                     outcome["elapsed_s"], outcome["placement"],
-                    outcome["details"]))
+                    outcome["details"], status=outcome.get("status")))
         outcome["worker_id"] = self.worker_id
         outcome["tag"] = payload.get("tag")
         outcome["seed"] = payload.get("seed")
@@ -200,11 +297,39 @@ class SolveWorker:
         self.processed += 1
         return outcome
 
-    def _solve(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _task_context(self, payload: Dict[str, Any],
+                      progress: Optional[_ProgressTracker]
+                      ) -> Optional[SolveContext]:
+        """The task's cooperative context: payload deadline, lease clamp,
+        worker stop token, progress wiring.
+
+        With the heartbeat on, the lease renews under the solve, so only the
+        payload's own ``deadline_s`` applies; with it off, the deadline is
+        clamped to the lease timeout — past that the task would be requeued
+        and double-solved anyway.
+        """
+        deadline_s = payload.get("deadline_s")
+        if deadline_s is not None and not self.heartbeat:
+            # without renewals the lease is a hard wall: solving past it gets
+            # the task requeued and double-solved, so the incumbent at the
+            # lease boundary is strictly the better answer
+            deadline_s = min(deadline_s, self.queue.lease_timeout)
+        if (deadline_s is None and progress is None
+                and not self.stop_event.is_set()):
+            # inert context for a budget-less solve: skip the allocation so
+            # the no-deadline path stays exactly the historical one
+            return None
+        return SolveContext(
+            deadline_s=deadline_s,
+            cancel=self.stop_event,
+            on_incumbent=progress.report if progress is not None else None)
+
+    def _solve(self, payload: Dict[str, Any],
+               context: Optional[SolveContext] = None) -> Dict[str, Any]:
         if self._solve_delay:
             time.sleep(self._solve_delay)
         self._inject_warm_dir(payload)
-        outcome = solve_payload(payload)
+        outcome = solve_payload(payload, context=context)
         outcome["cached"] = False
         return outcome
 
@@ -216,7 +341,7 @@ class SolveWorker:
         if entry is None:
             return None
         self.cache_hits += 1
-        return {
+        outcome = {
             "key": payload["key"],
             "ok": True,
             "method": entry.get("method", payload.get("method")),
@@ -227,6 +352,9 @@ class SolveWorker:
             "cached": True,
             "cache_source": source,
         }
+        if entry.get("status"):
+            outcome["status"] = entry["status"]
+        return outcome
 
     def _inject_warm_dir(self, payload: Dict[str, Any]) -> None:
         """Point incremental tasks at the spool's shared warm-start index."""

@@ -114,9 +114,16 @@ def result_key(problem: AssignmentProblem, method: str,
 
 def make_cache_entry(method: str, objective: float, elapsed_s: float,
                      placement: Mapping[str, str],
-                     details: Mapping[str, Any]) -> CacheEntry:
-    """The one place the entry format (and its version stamp) is defined."""
-    return {
+                     details: Mapping[str, Any],
+                     status: Optional[str] = None) -> CacheEntry:
+    """The one place the entry format (and its version stamp) is defined.
+
+    Only *uninterrupted* results are ever cached (anytime partials would
+    serve sub-optimal objectives to future budget-free requests), so
+    ``status`` — recorded since the anytime refactor — is always
+    ``optimal`` or ``feasible`` when present.
+    """
+    entry: CacheEntry = {
         "entry_version": _ENTRY_VERSION,
         "method": method,
         "objective": objective,
@@ -124,12 +131,16 @@ def make_cache_entry(method: str, objective: float, elapsed_s: float,
         "placement": dict(placement),
         "details": json_safe_details(details),
     }
+    if status is not None:
+        entry["status"] = status
+    return entry
 
 
 def cache_entry_from_result(result: "Any") -> CacheEntry:
     """Build a JSON-safe cache entry from a :class:`SolverResult`."""
     return make_cache_entry(result.method, result.objective, result.elapsed_s,
-                            result.assignment.placement, result.details)
+                            result.assignment.placement, result.details,
+                            status=getattr(result, "status", None))
 
 
 def json_safe_details(details: Mapping[str, Any]) -> Dict[str, Any]:

@@ -27,6 +27,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.core.context import SolveContext
 from repro.core.dwg import SSBWeighting
 from repro.runtime.cache import problem_fingerprint, result_key
 from repro.runtime.registry import SolverRegistry
@@ -54,7 +55,14 @@ def derive_seed(base_seed: int, *parts: Any) -> int:
 
 @dataclass
 class PreparedTask:
-    """One task after method resolution, seeding and cache-key derivation."""
+    """One task after method resolution, seeding and cache-key derivation.
+
+    ``deadline_s`` is the task's cooperative wall-clock budget.  It is
+    deliberately **not** part of the cache key: a deadline changes *when* a
+    solve stops, not what the full answer is — and interrupted (partial)
+    results are never written to the cache, so a cached entry is always the
+    budget-free answer and serving it under any deadline is sound.
+    """
 
     task: Any                      #: the originating BatchTask
     spec: Any                      #: resolved SolverSpec
@@ -63,6 +71,7 @@ class PreparedTask:
     cacheable: bool                #: False for seedless stochastic draws
     seed: Optional[int]            #: effective seed (stochastic specs only)
     problem_hash: str              #: canonical instance fingerprint
+    deadline_s: Optional[float] = None  #: cooperative per-task budget
 
 
 def prepare_task(task: Any, registry: SolverRegistry,
@@ -90,7 +99,8 @@ def prepare_task(task: Any, registry: SolverRegistry,
         key = f"{key}#draw{index}"
     return PreparedTask(task=task, spec=spec, options=options, key=key,
                         cacheable=cacheable, seed=seed,
-                        problem_hash=problem_hash)
+                        problem_hash=problem_hash,
+                        deadline_s=getattr(task, "deadline_s", None))
 
 
 def prepare_tasks(tasks: Iterable[Any], registry: SolverRegistry,
@@ -104,7 +114,7 @@ def task_payload(prep: PreparedTask, validate: bool = True) -> Dict[str, Any]:
     from repro.model.serialization import problem_to_json
 
     task = prep.task
-    return {
+    payload = {
         "payload_version": PAYLOAD_VERSION,
         "key": prep.key,
         "problem_json": problem_to_json(task.problem, indent=0),
@@ -117,10 +127,25 @@ def task_payload(prep: PreparedTask, validate: bool = True) -> Dict[str, Any]:
         "tag": task.tag,
         "seed": prep.seed,
     }
+    if prep.deadline_s is not None:
+        # relative seconds, not an absolute time: the budget starts when a
+        # worker actually begins the solve, not when the task was spooled
+        payload["deadline_s"] = prep.deadline_s
+    return payload
 
 
-def solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Solve one JSON-encoded task; never raises (errors are data)."""
+def solve_payload(payload: Dict[str, Any],
+                  context: Optional[SolveContext] = None) -> Dict[str, Any]:
+    """Solve one JSON-encoded task; never raises (errors are data).
+
+    A ``"deadline_s"`` field in the payload builds a cooperative
+    :class:`~repro.core.context.SolveContext` when the caller does not
+    inject one (the distributed worker passes its own, clamped to the
+    remaining lease and wired to the progress heartbeat).  The outcome
+    carries ``status`` and ``incumbent_history``; a solve the context cut
+    short before any incumbent existed is reported as an error *with* its
+    terminal status, so streams can tell a timeout from a crash.
+    """
     from repro.core.solver import solve
     from repro.model.serialization import problem_from_json
     from repro.runtime.cache import json_safe_details
@@ -130,26 +155,55 @@ def solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         weighting = payload.get("weighting")
         if weighting is not None:
             weighting = SSBWeighting(*weighting)
+        if context is None and payload.get("deadline_s") is not None:
+            context = SolveContext(deadline_s=payload["deadline_s"])
         started = time.perf_counter()
         result = solve(problem, method=payload["method"], weighting=weighting,
                        validate=payload.get("validate", True),
+                       context=context,
                        **payload.get("options", {}))
         elapsed = time.perf_counter() - started
-        return {
+        history = [[round(t, 6), objective, source]
+                   for t, objective, source in result.incumbent_history]
+        if result.assignment is None:
+            return {
+                "key": payload["key"],
+                "ok": False,
+                "status": result.status,
+                "error": f"{result.status}: the context fired before any "
+                         f"feasible incumbent existed",
+                "incumbent_history": history,
+            }
+        outcome = {
             "key": payload["key"],
             "ok": True,
             "method": result.method,
+            "status": result.status,
             "objective": result.objective,
             "elapsed_s": elapsed,
             "placement": dict(result.assignment.placement),
             "details": json_safe_details(result.details),
+            "incumbent_history": history,
         }
+        if result.interrupted:
+            outcome["interrupted"] = result.interrupted
+        return outcome
     except Exception as exc:  # noqa: BLE001 - worker must report, not crash
         return {
             "key": payload["key"],
             "ok": False,
             "error": format_error(exc),
         }
+
+
+def outcome_cacheable(outcome: Dict[str, Any]) -> bool:
+    """True when a worker outcome may feed the shared result cache.
+
+    Interrupted (deadline/cancelled) results are partial answers for *this*
+    request's budget; caching them would serve a possibly sub-optimal
+    objective to future budget-free requests under the same key.
+    """
+    return bool(outcome.get("ok")) and not outcome.get("interrupted")
 
 
 def solve_payload_chunk(chunk: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

@@ -29,6 +29,15 @@ The default registry carries the paper's algorithm plus every baseline:
 ``genetic``            GA heuristic
 ``dag-heft``           HEFT on the §6 DAG relaxation, projected to a feasible cut
 ``dag-genetic``        GA on the §6 DAG relaxation, projected to a feasible cut
+``portfolio``          staged racing portfolio under one anytime context
+                       (alias ``auto``)
+
+Anytime capability metadata: specs flagged ``supports_deadline`` observe a
+:class:`~repro.core.context.SolveContext` cooperatively; ``anytime`` ones
+additionally return their best incumbent as a ``feasible`` result when the
+context fires.  Specs without the flag (``sb-bottleneck``, ``dag-heft``,
+``dag-genetic``) run to completion; the batch runner keeps a hard-kill
+process timeout as the fallback for exactly those.
 """
 
 from __future__ import annotations
@@ -37,6 +46,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro.core.context import (
+    STATUS_FEASIBLE,
+    STATUS_OPTIMAL,
+    SolveContext,
+    SolveInterrupted,
+)
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 
@@ -67,25 +82,70 @@ class SolverSpec:
     exact: bool = False                 #: guaranteed to return the optimum
     stochastic: bool = False            #: consumes a ``seed`` option
     supports_weighting: bool = False    #: honours an SSBWeighting objective
+    supports_deadline: bool = False     #: observes a SolveContext cooperatively
+    anytime: bool = False               #: returns a feasible incumbent on expiry
     complexity: str = "?"               #: informal worst-case complexity
     aliases: Tuple[str, ...] = ()
     limits: Tuple[str, ...] = ()        #: known blowup regimes / hard caps
 
     def solve(self, problem: AssignmentProblem,
               weighting: Optional[SSBWeighting] = None,
+              context: Optional[SolveContext] = None,
               **options: Any) -> "SolverResult":
-        """Run the method and wrap the outcome in a uniform result record."""
+        """Run the method and wrap the outcome in a uniform result record.
+
+        ``context`` is forwarded into the runner (as the ``"context"``
+        option) only for specs flagged ``supports_deadline`` — other
+        runners never see it and run to completion as before.  The result's
+        ``status`` is derived here: ``optimal`` for an exact spec that ran
+        uninterrupted, ``feasible`` otherwise; a context that fires before
+        the solver holds any incumbent surfaces as a ``timeout``/
+        ``cancelled`` result with no assignment.
+        """
         from repro.core.solver import SolverResult
 
         started = time.perf_counter()
-        assignment, details = self.runner(problem, weighting, dict(options))
+        run_options = dict(options)
+        if context is not None and self.supports_deadline:
+            run_options["context"] = context
+        try:
+            assignment, details = self.runner(problem, weighting, run_options)
+        except SolveInterrupted as exc:
+            return SolverResult(
+                method=self.name,
+                assignment=None,
+                objective=float("inf"),
+                elapsed_s=time.perf_counter() - started,
+                details={"interrupted": exc.kind},
+                status=exc.status,
+                incumbent_history=(list(context.incumbent_history)
+                                   if context is not None else []),
+            )
         elapsed = time.perf_counter() - started
+        objective = assignment.end_to_end_delay()
+        if (context is not None and not self.supports_deadline
+                and context.deadline is not None):
+            # this spec cannot observe the budget; say so rather than letting
+            # the caller believe their deadline was enforced (the batch
+            # runner's hard-kill fallback is the enforcing path for these)
+            details.setdefault("deadline_ignored", True)
+        interrupted = details.get("interrupted")
+        status = STATUS_OPTIMAL if (self.exact and not interrupted) \
+            else STATUS_FEASIBLE
+        history: List[Tuple[float, float, Optional[str]]] = []
+        if context is not None:
+            # the final objective always enters the history, even for solvers
+            # that report no intermediate incumbents
+            context.report_incumbent(objective, source=self.name)
+            history = list(context.incumbent_history)
         return SolverResult(
             method=self.name,
             assignment=assignment,
-            objective=assignment.end_to_end_delay(),
+            objective=objective,
             elapsed_s=elapsed,
             details=details,
+            status=status,
+            incumbent_history=history,
         )
 
     def metadata(self) -> Dict[str, Any]:
@@ -96,6 +156,8 @@ class SolverSpec:
             "exact": self.exact,
             "stochastic": self.stochastic,
             "supports_weighting": self.supports_weighting,
+            "supports_deadline": self.supports_deadline,
+            "anytime": self.anytime,
             "complexity": self.complexity,
             "aliases": list(self.aliases),
             "limits": list(self.limits),
@@ -175,7 +237,7 @@ def _run_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeightin
                               finisher=options.get("finisher", "labels"),
                               label_frontier=options.get("label_frontier",
                                                          "bucketed"))
-    result = search.search(graph.dwg)
+    result = search.search(graph.dwg, context=options.get("context"))
     if not result.found:
         raise RuntimeError("the coloured assignment graph has no S-T path; "
                            "the instance admits no feasible assignment")
@@ -193,6 +255,8 @@ def _run_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeightin
         "search_result": result,
         "assignment_graph": graph,
     }
+    if result.interrupted:
+        details["interrupted"] = result.interrupted
     return assignment, details
 
 
@@ -211,7 +275,7 @@ def _run_colored_ssb_labels(problem: AssignmentProblem,
         beam_width=options.get("beam_width", 128),
         frontier=options.get("frontier", "bucketed"),
         dominance_window=options.get("dominance_window", 128))
-    result = search.search(graph.dwg)
+    result = search.search(graph.dwg, context=options.get("context"))
     if not result.found:
         raise RuntimeError("the coloured assignment graph has no S-T path; "
                            "the instance admits no feasible assignment")
@@ -228,6 +292,8 @@ def _run_colored_ssb_labels(problem: AssignmentProblem,
         "search_result": result,
         "assignment_graph": graph,
     }
+    if result.interrupted:
+        details["interrupted"] = result.interrupted
     return assignment, details
 
 
@@ -245,12 +311,13 @@ def _run_colored_ssb_incremental(problem, weighting, options):
         index = WarmStartIndex(directory=options["warm_dir"])
     solver = IncrementalSolver(index=index, weighting=weighting,
                                beam_width=options.get("beam_width", 128))
-    return solver.solve(problem)
+    return solver.solve(problem, context=options.get("context"))
 
 
 def _run_brute_force(problem, weighting, options):
     from repro.baselines import brute_force_assignment
-    return brute_force_assignment(problem, weighting=weighting)
+    return brute_force_assignment(problem, weighting=weighting,
+                                  context=options.get("context"))
 
 
 #: Default frontier cap for the pareto-dp spec.  Calibrated: instances that
@@ -270,7 +337,8 @@ def _run_pareto_dp(problem, weighting, options):
     from repro.baselines import pareto_dp_assignment
     return pareto_dp_assignment(
         problem, weighting=weighting,
-        max_frontier=options.get("max_frontier", PARETO_DP_MAX_FRONTIER))
+        max_frontier=options.get("max_frontier", PARETO_DP_MAX_FRONTIER),
+        context=options.get("context"))
 
 
 def _run_pareto_dp_pruned(problem, weighting, options):
@@ -278,7 +346,8 @@ def _run_pareto_dp_pruned(problem, weighting, options):
     return pareto_dp_pruned_assignment(
         problem, weighting=weighting,
         max_frontier=options.get("max_frontier", PARETO_DP_PRUNED_MAX_FRONTIER),
-        beam_width=options.get("beam_width", 16))
+        beam_width=options.get("beam_width", 16),
+        context=options.get("context"))
 
 
 def _run_bokhari_sb(problem, weighting, options):
@@ -334,10 +403,22 @@ def _run_dag_genetic(problem, weighting, options):
                         "projected_delay": assignment.end_to_end_delay()}
 
 
+def _run_portfolio(problem, weighting, options):
+    """Staged racing portfolio (see :mod:`repro.core.portfolio`)."""
+    from repro.core.portfolio import PortfolioSolver
+
+    solver = PortfolioSolver(weighting=weighting,
+                             cross_check=options.get("cross_check", "auto"),
+                             beam_width=options.get("beam_width", 128))
+    return solver.solve(problem, context=options.get("context"))
+
+
 _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="colored-ssb",
         runner=_run_colored_ssb,
+        supports_deadline=True,
+        anytime=True,
         description="the paper's adapted SSB search on the coloured assignment graph",
         exact=True,
         supports_weighting=True,
@@ -346,6 +427,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="colored-ssb-labels",
         runner=_run_colored_ssb_labels,
+        supports_deadline=True,
+        anytime=True,
         description="label-dominance DAG sweep on the coloured assignment graph",
         exact=True,
         supports_weighting=True,
@@ -355,6 +438,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="colored-ssb-incremental",
         runner=_run_colored_ssb_incremental,
+        supports_deadline=True,
+        anytime=True,
         description="label-dominance sweep warm-started from the last solve "
                     "of the same tree structure (profiles/costs may differ)",
         exact=True,
@@ -365,6 +450,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="brute-force",
         runner=_run_brute_force,
+        supports_deadline=True,
+        anytime=True,
         description="full enumeration of feasible cuts (exact reference)",
         exact=True,
         supports_weighting=True,
@@ -373,6 +460,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="pareto-dp",
         runner=_run_pareto_dp,
+        supports_deadline=True,
+        anytime=True,
         description="Pareto-frontier tree DP (exact reference, full frontier)",
         exact=True,
         supports_weighting=True,
@@ -384,6 +473,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="pareto-dp-pruned",
         runner=_run_pareto_dp_pruned,
+        supports_deadline=True,
+        anytime=True,
         description="bound-pruned Pareto tree DP: beam-pre-pass incumbent + "
                     "completion-DAG potentials, exact optimum without "
                     "materialising the frontier",
@@ -406,12 +497,16 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="greedy",
         runner=_run_greedy,
+        supports_deadline=True,
+        anytime=True,
         description="hill-climbing from the maximal-offload cut",
         complexity="O(steps * |T|)",
     ),
     SolverSpec(
         name="random-search",
         runner=_run_random_search,
+        supports_deadline=True,
+        anytime=True,
         description="best of N uniformly sampled feasible cuts",
         stochastic=True,
         complexity="O(samples * |T|)",
@@ -420,6 +515,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="genetic",
         runner=_run_genetic,
+        supports_deadline=True,
+        anytime=True,
         description="genetic algorithm over offload-preference chromosomes",
         stochastic=True,
         complexity="O(generations * population * |T|)",
@@ -427,6 +524,8 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
     SolverSpec(
         name="branch-and-bound",
         runner=_run_branch_and_bound,
+        supports_deadline=True,
+        anytime=True,
         description="exact branch-and-bound over feasible cuts",
         exact=True,
         complexity="exponential worst case, pruned in practice",
@@ -446,6 +545,19 @@ _DEFAULT_SPECS: Tuple[SolverSpec, ...] = (
                     "projected back to a feasible cut",
         stochastic=True,
         complexity="O(generations * population * |T|)",
+    ),
+    SolverSpec(
+        name="portfolio",
+        runner=_run_portfolio,
+        description="feature-scheduled racing portfolio: greedy incumbent "
+                    "seed, label-dominance main stage, pruned-DP cross-check, "
+                    "all under one shared anytime context",
+        exact=True,
+        supports_weighting=True,
+        supports_deadline=True,
+        anytime=True,
+        complexity="dominated by the label sweep; greedy seed is O(steps·|T|)",
+        aliases=("auto",),
     ),
 )
 

@@ -69,6 +69,8 @@ class BatchTask:
     weighting: Optional[SSBWeighting] = None
     seed: Optional[int] = None          #: explicit seed (stochastic methods)
     tag: Optional[str] = None           #: caller-provided identifier
+    deadline_s: Optional[float] = None  #: cooperative per-task budget (anytime
+                                        #: specs return a feasible incumbent)
 
 
 @dataclass
@@ -89,10 +91,17 @@ class BatchItemResult:
     details: Dict[str, Any] = field(default_factory=dict)
     assignment: Optional[Any] = None        #: reconstructed Assignment
     solver_result: Optional[Any] = None     #: full SolverResult (in-process only)
+    status: Optional[str] = None            #: optimal/feasible/timeout/cancelled
+    incumbent_history: List[Any] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def partial(self) -> bool:
+        """A valid but deadline/cancel-interrupted (non-proven) answer."""
+        return self.ok and self.details.get("interrupted") is not None
 
 
 @dataclass
@@ -159,12 +168,17 @@ class BatchRunner:
         Tasks per inter-process message.  Default: enough chunks for ~4
         rounds per worker.
     task_timeout:
-        Per-task budget in seconds; a chunk's deadline is the sum over its
-        tasks.  Timed-out tasks are reported as errors, not exceptions.
-        Requires process workers (``workers >= 1``) — the in-process serial
-        path has no way to interrupt a running solver.  Worker-pool startup
-        and queue wait count toward the first chunks' deadlines, so budgets
-        well below a second will flag tasks that never got to run.
+        Per-task budget in seconds.  For specs flagged ``supports_deadline``
+        (every exact engine and heuristic except ``sb-bottleneck`` and the
+        DAG-relaxation bridges) this becomes a **cooperative deadline**: the
+        solver observes it at iteration granularity and returns its best
+        incumbent as a ``feasible`` result — no worker is killed, no pool is
+        respawned, and it works on the in-process serial path too.  Specs
+        without the flag fall back to the historical **hard-kill** path
+        (``multiprocessing.Pool`` with a chunk deadline of ``task_timeout *
+        len(chunk)``, timed-out tasks reported as errors), which requires
+        process workers; pool startup and queue wait count toward the first
+        chunks' deadlines there.
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; consulted before
         dispatch, fed after every successful solve.
@@ -193,9 +207,6 @@ class BatchRunner:
             raise ValueError("chunk_size must be positive")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
-        if task_timeout is not None and workers == 0:
-            raise ValueError("task_timeout requires process workers (workers >= 1); "
-                             "the in-process serial path cannot interrupt a solver")
         self.workers = workers
         self.chunk_size = chunk_size
         self.task_timeout = task_timeout
@@ -210,6 +221,7 @@ class BatchRunner:
                    method: str = "colored-ssb",
                    weighting: Optional[SSBWeighting] = None,
                    seeds: Optional[Sequence[Optional[int]]] = None,
+                   deadline_s: Optional[float] = None,
                    **options: Any) -> BatchReport:
         """Solve every problem with one method (the common sweep shape)."""
         problems = list(problems)
@@ -219,7 +231,8 @@ class BatchRunner:
             BatchTask(problem=problem, method=method, options=dict(options),
                       weighting=weighting,
                       seed=None if seeds is None else seeds[i],
-                      tag=problem.name)
+                      tag=problem.name,
+                      deadline_s=deadline_s)
             for i, problem in enumerate(problems)
         ]
         return self.run(tasks)
@@ -231,6 +244,18 @@ class BatchRunner:
                       for task in tasks]
 
         prepared = prepare_tasks(normalized, self.registry, self.base_seed)
+        # fold the runner-wide budget into every deadline-capable task: the
+        # effective budget is the tighter of task_timeout and the task's own
+        # deadline_s, so a loose per-task value can never bypass the runner
+        # cap; non-capable specs keep deadline_s as-is and are covered by
+        # the hard-kill fallback instead
+        if self.task_timeout is not None:
+            for prep in prepared:
+                if prep.spec.supports_deadline:
+                    prep.deadline_s = (self.task_timeout
+                                       if prep.deadline_s is None
+                                       else min(prep.deadline_s,
+                                                self.task_timeout))
         items = [BatchItemResult(index=index, tag=prep.task.tag,
                                  method=prep.spec.name, key=prep.key,
                                  seed=prep.seed)
@@ -288,33 +313,82 @@ class BatchRunner:
     # ------------------------------------------------------------- backends
     def _run_serial(self, indices: List[int],
                     prepared: List[PreparedTask]) -> Dict[str, Any]:
+        from repro.core.context import SolveContext
+
         outcomes: Dict[str, Any] = {}
         for index in indices:
             prep = prepared[index]
             task: BatchTask = prep.task
+            if ((self.task_timeout is not None or prep.deadline_s is not None)
+                    and not prep.spec.supports_deadline):
+                # the serial path cannot hard-kill a running solver, and the
+                # spec cannot observe a cooperative deadline either: flag it
+                # instead of silently running unbounded
+                outcomes[prep.key] = {
+                    "ok": False,
+                    "error": f"timeout: method {prep.spec.name!r} does not "
+                             f"support cooperative deadlines; the hard-kill "
+                             f"fallback requires process workers "
+                             f"(workers >= 1)",
+                }
+                continue
+            context = (SolveContext(deadline_s=prep.deadline_s)
+                       if prep.deadline_s is not None else None)
             try:
                 if self.validate:
                     task.problem.validate()
                 result = prep.spec.solve(task.problem, weighting=task.weighting,
-                                         **prep.options)
+                                         context=context, **prep.options)
                 outcomes[prep.key] = result
             except Exception as exc:  # noqa: BLE001 - batch keeps going
                 outcomes[prep.key] = {"ok": False, "error": _format_error(exc)}
         return outcomes
 
+    @staticmethod
+    def _cooperative(prep: PreparedTask) -> bool:
+        return prep.spec.supports_deadline
+
     def _run_parallel(self, indices: List[int],
                       prepared: List[PreparedTask]) -> Dict[str, Any]:
-        payloads = [task_payload(prepared[index], validate=self.validate)
-                    for index in indices]
+        """Fan out over processes.
 
+        Deadline-capable tasks carry their budget *inside* the payload (the
+        worker builds a cooperative context; the pool is a plain
+        ``ProcessPoolExecutor`` that is never killed).  Only budgeted tasks
+        whose spec lacks ``supports_deadline`` — whether the budget came
+        from ``task_timeout`` or a per-task ``deadline_s`` — go through the
+        hard-kill ``multiprocessing.Pool`` fallback, so the two timeout
+        mechanisms can never double-fire on the same task and a user-set
+        deadline is never silently dropped.
+        """
+        cooperative: List[Dict[str, Any]] = []
+        hard_kill: List[Dict[str, Any]] = []
+        for index in indices:
+            prep = prepared[index]
+            payload = task_payload(prep, validate=self.validate)
+            if self._cooperative(prep):
+                cooperative.append(payload)
+            elif self.task_timeout is not None or prep.deadline_s is not None:
+                hard_kill.append(payload)
+            else:
+                cooperative.append(payload)     # unbudgeted: plain executor
+
+        outcomes: Dict[str, Any] = {}
+        if cooperative:
+            outcomes.update(self._collect_executor(
+                self._chunked(cooperative)))
+        if hard_kill:
+            outcomes.update(self._collect_pool_with_deadlines(
+                self._chunked(hard_kill)))
+        return outcomes
+
+    def _chunked(self, payloads: List[Dict[str, Any]]
+                 ) -> List[List[Dict[str, Any]]]:
         chunk_size = self.chunk_size
         if chunk_size is None:
             chunk_size = max(1, math.ceil(len(payloads) / (self.workers * 4)))
-        chunks = [payloads[i:i + chunk_size]
-                  for i in range(0, len(payloads), chunk_size)]
-        if self.task_timeout is None:
-            return self._collect_executor(chunks)
-        return self._collect_pool_with_deadlines(chunks)
+        return [payloads[i:i + chunk_size]
+                for i in range(0, len(payloads), chunk_size)]
 
     def _collect_executor(self, chunks: List[List[Dict[str, Any]]]
                           ) -> Dict[str, Any]:
@@ -350,8 +424,18 @@ class BatchRunner:
                 # terminated anyway, so later chunks only get a token wait:
                 # finished results are still collected, everything else is
                 # flagged instead of serially burning one deadline per chunk.
-                deadline = (0.05 if timed_out
-                            else self.task_timeout * len(chunk))
+                # A task's budget is the tighter of its own deadline_s and
+                # the runner-wide task_timeout (every payload routed here
+                # has at least one of the two; 0.0 is a valid budget, so
+                # None-ness, not falsiness, picks the fallback) — a loose
+                # per-task value must not bypass the runner cap here any
+                # more than on the cooperative path.
+                per_task = [
+                    self.task_timeout if payload.get("deadline_s") is None
+                    else payload["deadline_s"] if self.task_timeout is None
+                    else min(payload["deadline_s"], self.task_timeout)
+                    for payload in chunk]
+                deadline = 0.05 if timed_out else sum(per_task)
                 try:
                     for outcome in async_result.get(timeout=deadline):
                         outcomes[outcome["key"]] = outcome
@@ -359,7 +443,7 @@ class BatchRunner:
                     message = (f"timeout: batch aborted after an earlier chunk "
                                f"exceeded its deadline" if timed_out else
                                f"timeout: chunk exceeded {deadline:.3g}s "
-                               f"({self.task_timeout:.3g}s/task)")
+                               f"({min(per_task):.3g}-{max(per_task):.3g}s/task)")
                     timed_out = True
                     for payload in chunk:
                         outcomes.setdefault(payload["key"], {
@@ -391,31 +475,46 @@ class BatchRunner:
         item.elapsed_s = entry.get("elapsed_s", 0.0)
         item.placement = dict(entry.get("placement") or {})
         item.details = dict(entry.get("details") or {})
+        item.status = entry.get("status") or item.status
+        item.incumbent_history = list(entry.get("incumbent_history") or ())
         if item.placement:
             item.assignment = Assignment(problem=task.problem,
                                          placement=item.placement)
 
     def _apply_outcome(self, item: BatchItemResult, prep: PreparedTask,
                        outcome: Any) -> None:
+        from repro.runtime.payload import outcome_cacheable
+
         # outcome is either a SolverResult (serial path) or a worker dict
         if isinstance(outcome, dict):
             if not outcome.get("ok", False):
                 item.error = outcome.get("error", "unknown error")
+                item.status = outcome.get("status") or item.status
                 return
             self._apply_entry(item, prep, outcome, cached=False)
-            if self.cache is not None and prep.cacheable:
+            if (self.cache is not None and prep.cacheable
+                    and outcome_cacheable(outcome)):
                 self.cache.put(prep.key, make_cache_entry(
                     item.method, item.objective, item.elapsed_s,
-                    item.placement, item.details))
+                    item.placement, item.details, status=item.status))
             return
         result = outcome
         item.objective = result.objective
         item.elapsed_s = result.elapsed_s
+        item.status = result.status
+        item.incumbent_history = [[round(t, 6), obj, src]
+                                  for t, obj, src in result.incumbent_history]
+        if result.assignment is None:
+            # the context fired before any incumbent existed
+            item.error = (f"{result.status}: the context fired before any "
+                          f"feasible incumbent existed")
+            return
         item.placement = dict(result.assignment.placement)
         item.details = json_safe_details(result.details)
         item.assignment = result.assignment
         item.solver_result = result
-        if self.cache is not None and prep.cacheable:
+        if (self.cache is not None and prep.cacheable
+                and result.interrupted is None):
             self.cache.put(prep.key, cache_entry_from_result(result))
 
 

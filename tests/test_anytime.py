@@ -1,0 +1,224 @@
+"""Anytime solve pipeline: deadlines, cancellation, feasible partials.
+
+The contract under test (the PR's acceptance bar):
+
+* with **no deadline** — or an inert context — every solver is bit-identical
+  to the historical context-free call;
+* with a deadline that fires mid-solve, every anytime solver returns a
+  **valid feasible assignment** (objective ≥ the true optimum, placement
+  verifies) with ``status="feasible"`` and ``details["interrupted"]`` set,
+  instead of raising or running on;
+* an interruption leaves no corrupted state behind: the same process solves
+  the same instance exactly afterwards;
+* a context that fires before *any* incumbent exists surfaces as a
+  ``timeout``/``cancelled`` result with no assignment.
+"""
+
+import time
+
+import pytest
+
+from repro.core.context import DeadlineExpired, SolveContext
+from repro.core.solver import solve
+from repro.workloads import random_problem
+
+#: Every registered anytime method (portfolio included).
+ANYTIME_METHODS = [
+    "colored-ssb", "colored-ssb-labels", "colored-ssb-incremental",
+    "brute-force", "pareto-dp", "pareto-dp-pruned", "branch-and-bound",
+    "greedy", "random-search", "genetic", "portfolio",
+]
+
+
+class SteppingClock:
+    """Monotonic clock advancing a fixed step per read: after N polls the
+    deadline deterministically fires, whatever the host machine's speed."""
+
+    def __init__(self, step: float) -> None:
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def scattered_problem(n=16, seed=7, n_satellites=4):
+    return random_problem(n_processing=n, n_satellites=n_satellites,
+                          seed=seed, sensor_scatter=1.0)
+
+
+PROBLEM = scattered_problem()
+OPTIMUM = solve(PROBLEM, method="colored-ssb-labels").objective
+
+
+class TestExpiredBudget:
+    """deadline_s=0: the context is expired before the solver starts — every
+    anytime method must still return a valid feasible assignment, because
+    each seeds a cheap incumbent before its first poll."""
+
+    @pytest.mark.parametrize("method", ANYTIME_METHODS)
+    def test_returns_valid_feasible_assignment(self, method):
+        result = solve(PROBLEM, method=method, seed=1,
+                       context=SolveContext(deadline_s=0.0))
+        assert result.assignment is not None
+        assert result.assignment.is_feasible()
+        assert result.status == "feasible"
+        assert result.objective >= OPTIMUM - 1e-12
+        assert result.objective == pytest.approx(
+            result.assignment.end_to_end_delay())
+
+    @pytest.mark.parametrize("method", ANYTIME_METHODS)
+    def test_interruption_is_attributed(self, method):
+        result = solve(PROBLEM, method=method, seed=1,
+                       context=SolveContext(deadline_s=0.0))
+        assert result.interrupted == "deadline"
+        assert result.incumbent_history, "no incumbent was ever recorded"
+        objectives = [obj for _, obj, _ in result.incumbent_history]
+        assert objectives == sorted(objectives, reverse=True)
+
+
+class TestMidSolveDeadline:
+    """A stepping clock fires the deadline after a fixed number of context
+    polls — deterministically mid-sweep on these instances."""
+
+    @pytest.mark.parametrize("method", ["colored-ssb-labels", "colored-ssb",
+                                        "pareto-dp-pruned", "brute-force",
+                                        "branch-and-bound"])
+    def test_feasible_incumbent_comes_back(self, method):
+        clock = SteppingClock(step=0.01)
+        context = SolveContext(deadline_s=1.0, clock=clock)
+        result = solve(PROBLEM, method=method, context=context)
+        assert result.assignment is not None
+        assert result.assignment.is_feasible()
+        assert result.objective >= OPTIMUM - 1e-12
+        # either the sweep finished inside the poll budget (optimal) or it
+        # was cut and attributed — both are valid anytime outcomes
+        assert result.status in ("optimal", "feasible")
+        if result.status == "feasible":
+            assert result.interrupted == "deadline"
+
+    def test_interruption_leaves_no_corrupted_state(self):
+        # an interrupted sweep must not poison later solves in the same
+        # process (ParetoStore buckets, DagIndex caches, skeletons...)
+        clock = SteppingClock(step=0.05)
+        interrupted = solve(PROBLEM, method="colored-ssb-labels",
+                            context=SolveContext(deadline_s=1.0, clock=clock))
+        assert interrupted.assignment.is_feasible()
+        clean = solve(PROBLEM, method="colored-ssb-labels")
+        assert clean.status == "optimal"
+        assert clean.objective == OPTIMUM
+
+
+class TestCancellation:
+    def test_cancel_after_first_incumbent(self):
+        context = SolveContext()
+
+        def cancel_on_first(objective, payload, source):
+            context.cancel()
+
+        context.on_incumbent = cancel_on_first
+        result = solve(PROBLEM, method="colored-ssb-labels", context=context)
+        assert result.assignment is not None
+        assert result.assignment.is_feasible()
+        assert result.status == "feasible"
+        assert result.interrupted == "cancelled"
+
+    def test_cancel_during_settle_leaves_pareto_state_consistent(self,
+                                                                 monkeypatch):
+        # fire the cancel from inside ParetoStore.settle — mid-sweep, between
+        # dominance filtering and extension — and verify both that the
+        # interrupted solve still answers and that the engine solves exactly
+        # afterwards (no half-settled store leaks into anything shared).
+        # The scalar bucketed backend is forced (numpy "absent"): it is the
+        # one that settles a ParetoStore per swept node.
+        from repro.core import frontier, label_search
+
+        monkeypatch.setattr(label_search, "HAVE_NUMPY", False)
+        context = SolveContext()
+        original = frontier.ParetoStore.settle
+
+        def cancelling_settle(self, *args, **kwargs):
+            context.cancel()
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(frontier.ParetoStore, "settle", cancelling_settle)
+        result = solve(PROBLEM, method="colored-ssb-labels", context=context)
+        assert result.assignment is not None
+        assert result.assignment.is_feasible()
+        assert result.interrupted == "cancelled"
+        assert result.objective >= OPTIMUM - 1e-12
+        monkeypatch.undo()
+        assert solve(PROBLEM, method="colored-ssb-labels").objective == OPTIMUM
+
+    def test_cancelled_status_when_no_incumbent_possible(self):
+        # a runner that checkpoints before holding any incumbent surfaces as
+        # a timeout/cancelled result with no assignment
+        from repro.runtime.registry import SolverRegistry, SolverSpec
+
+        def hopeless_runner(problem, weighting, options):
+            options["context"].checkpoint()
+            raise AssertionError("unreachable")
+
+        registry = SolverRegistry()
+        spec = registry.register(SolverSpec(
+            name="hopeless", runner=hopeless_runner, supports_deadline=True))
+        result = spec.solve(PROBLEM, context=SolveContext(deadline_s=0.0))
+        assert result.status == "timeout"
+        assert result.assignment is None
+        assert result.objective == float("inf")
+        assert result.details["interrupted"] == "deadline"
+
+    def test_checkpoint_raises_outside_spec_solve(self):
+        context = SolveContext(deadline_s=0.0)
+        with pytest.raises(DeadlineExpired):
+            context.checkpoint()
+
+
+class TestNoDeadlineBitIdentical:
+    """An inert context must leave every engine bit-identical to no context."""
+
+    @pytest.mark.parametrize("method", ["colored-ssb", "colored-ssb-labels",
+                                        "pareto-dp-pruned", "branch-and-bound"])
+    def test_inert_context_is_bit_identical(self, method):
+        bare = solve(PROBLEM, method=method)
+        inert = solve(PROBLEM, method=method, context=SolveContext())
+        assert inert.objective == bare.objective          # exact, no approx
+        assert inert.assignment.placement == bare.assignment.placement
+        assert inert.status == "optimal"
+        assert inert.interrupted is None
+
+    def test_status_defaults(self):
+        assert solve(PROBLEM, method="colored-ssb-labels").status == "optimal"
+        assert solve(PROBLEM, method="greedy").status == "feasible"
+        assert solve(PROBLEM, method="genetic", seed=0,
+                     generations=3).status == "feasible"
+
+
+class TestDeadlineSmoke:
+    """The CI smoke bar: scattered n=50 under a 100 ms budget must return a
+    valid feasible answer within 2x-ish of the deadline, never hang."""
+
+    @pytest.mark.parametrize("method", ["colored-ssb-labels", "portfolio"])
+    def test_scattered_n50_100ms(self, method):
+        problem = scattered_problem(n=50, seed=3)
+        started = time.perf_counter()
+        result = solve(problem, method=method, deadline_s=0.1)
+        elapsed = time.perf_counter() - started
+        assert result.assignment is not None
+        assert result.assignment.is_feasible()
+        assert result.status in ("optimal", "feasible")
+        # generous wall bound: 1s covers graph construction + the final
+        # sweep iteration on slow CI boxes; the budget itself is 0.1s
+        assert elapsed < 1.0, f"{method} took {elapsed:.2f}s on a 100ms budget"
+
+    def test_pruned_dp_scattered_n50_100ms(self):
+        # the DP is the engine the 100ms budget genuinely interrupts at n=50
+        problem = scattered_problem(n=50, seed=3)
+        started = time.perf_counter()
+        result = solve(problem, method="pareto-dp-pruned", deadline_s=0.1)
+        elapsed = time.perf_counter() - started
+        assert result.assignment is not None and result.assignment.is_feasible()
+        assert result.status == "feasible"
+        assert result.interrupted == "deadline"
+        assert elapsed < 1.0, f"pruned DP took {elapsed:.2f}s on a 100ms budget"

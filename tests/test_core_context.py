@@ -1,0 +1,155 @@
+"""Unit tests for SolveContext: deadlines, cancellation, incumbents."""
+
+import threading
+
+import pytest
+
+from repro.core.context import (
+    DeadlineExpired,
+    SOLVE_STATUSES,
+    SolveCancelled,
+    SolveContext,
+    SolveInterrupted,
+    ensure_context,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock tests advance by hand."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_inert_context_never_interrupts(self):
+        context = SolveContext()
+        assert context.interrupted() is None
+        assert context.remaining() is None
+        context.checkpoint()          # must not raise
+
+    def test_deadline_fires_exactly_at_the_boundary(self):
+        clock = FakeClock()
+        context = SolveContext(deadline_s=5.0, clock=clock)
+        clock.advance(4.999)
+        assert context.interrupted() is None
+        assert context.remaining() == pytest.approx(0.001)
+        clock.advance(0.001)
+        assert context.interrupted() == "deadline"
+        assert context.remaining() == pytest.approx(0.0)
+
+    def test_checkpoint_raises_typed_errors(self):
+        clock = FakeClock()
+        context = SolveContext(deadline_s=1.0, clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExpired) as excinfo:
+            context.checkpoint()
+        assert isinstance(excinfo.value, SolveInterrupted)
+        assert excinfo.value.kind == "deadline"
+        assert excinfo.value.status == "timeout"
+        assert excinfo.value.status in SOLVE_STATUSES
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SolveContext(deadline_s=-1.0)
+
+    def test_zero_deadline_is_immediately_expired(self):
+        assert SolveContext(deadline_s=0.0).interrupted() == "deadline"
+
+
+class TestCancellation:
+    def test_cancel_event_observed(self):
+        event = threading.Event()
+        context = SolveContext(cancel=event)
+        assert context.interrupted() is None
+        event.set()
+        assert context.interrupted() == "cancelled"
+        with pytest.raises(SolveCancelled):
+            context.checkpoint()
+
+    def test_cancel_creates_token_on_demand(self):
+        context = SolveContext()
+        context.cancel()
+        assert context.interrupted() == "cancelled"
+
+    def test_cancellation_wins_over_deadline(self):
+        clock = FakeClock()
+        context = SolveContext(deadline_s=1.0, clock=clock)
+        clock.advance(2.0)
+        context.cancel()
+        assert context.interrupted() == "cancelled"
+
+
+class TestIncumbents:
+    def test_history_is_strictly_improving(self):
+        context = SolveContext()
+        assert context.report_incumbent(10.0, source="a")
+        assert not context.report_incumbent(10.0, source="b")   # tie: ignored
+        assert not context.report_incumbent(12.0, source="c")   # worse
+        assert context.report_incumbent(8.0, source="d")
+        objectives = [objective for _, objective, _ in context.incumbent_history]
+        assert objectives == [10.0, 8.0]
+        assert context.best_bound() == 8.0
+
+    def test_callback_fires_only_on_improvement(self):
+        seen = []
+        context = SolveContext(
+            on_incumbent=lambda obj, payload, source: seen.append((obj, source)))
+        context.report_incumbent(5.0, source="x")
+        context.report_incumbent(6.0, source="y")
+        context.report_incumbent(4.0, source="z")
+        assert seen == [(5.0, "x"), (4.0, "z")]
+
+    def test_payload_tracks_the_best(self):
+        context = SolveContext()
+        context.report_incumbent(3.0, payload="first")
+        context.report_incumbent(2.0, payload="second")
+        assert context.best_payload == "second"
+
+
+class TestClamping:
+    def test_clamped_tightens_never_loosens(self):
+        clock = FakeClock()
+        parent = SolveContext(deadline_s=10.0, clock=clock)
+        child = parent.clamped(2.0)
+        assert child.remaining() == pytest.approx(2.0)
+        # clamping with a looser budget keeps the parent deadline
+        loose = parent.clamped(100.0)
+        assert loose.remaining() == pytest.approx(10.0)
+
+    def test_clamped_shares_cancel_and_history(self):
+        parent = SolveContext()
+        child = parent.clamped(5.0)
+        child.report_incumbent(1.0, source="child")
+        assert parent.incumbent_history == child.incumbent_history
+        parent.cancel()
+        assert child.interrupted() == "cancelled"
+
+    def test_clamped_shares_the_best_incumbent_cursor(self):
+        # an improvement reported through the child must not re-record (or
+        # re-fire the callback) when re-reported through the parent — the
+        # portfolio reports its seed stage's result through both
+        fired = []
+        parent = SolveContext(
+            on_incumbent=lambda obj, payload, source: fired.append(obj))
+        child = parent.clamped(5.0)
+        assert child.report_incumbent(3.0, source="seed")
+        assert parent.best_bound() == 3.0
+        assert not parent.report_incumbent(3.0, source="parent-echo")
+        assert fired == [3.0]
+        assert len(parent.incumbent_history) == 1
+
+    def test_ensure_context_normalisation(self):
+        assert ensure_context(None) is None
+        built = ensure_context(None, deadline_s=1.0)
+        assert built is not None and built.remaining() is not None
+        context = SolveContext()
+        assert ensure_context(context) is context
+        clamped = ensure_context(context, deadline_s=1.0)
+        assert clamped is not context and clamped.remaining() is not None

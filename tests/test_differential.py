@@ -124,6 +124,37 @@ class TestTripleAgreement:
                        frontier="linear")
         assert bucketed.objective == linear.objective
 
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_portfolio_matches_the_exact_grid(self, topology, n):
+        """The racing portfolio is itself an exact method on the reduced
+        differential grid (its label stage completes unhindered)."""
+        for n_satellites in (2, 4):
+            problem = make_instance(topology, n, n_satellites,
+                                    seed=n + n_satellites)
+            assert_identical(problem, ["brute-force", "colored-ssb-labels",
+                                       "portfolio"])
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_no_deadline_context_is_bit_identical(self, topology):
+        """deadline=None equals no-context: threading an inert SolveContext
+        through the whole pipeline must not move a single bit of the optimum
+        (the anytime checks only ever *stop* a sweep, never reroute it)."""
+        from repro.core.context import SolveContext
+
+        for n in (8, 12):
+            problem = make_instance(topology, n, 3, seed=n)
+            for method in ("colored-ssb", "colored-ssb-labels",
+                           "pareto-dp-pruned"):
+                bare = solve(problem, method=method)
+                inert = solve(problem, method=method,
+                              context=SolveContext())
+                assert inert.objective == bare.objective, (
+                    f"{method} moved under an inert context on "
+                    f"{problem.name}")
+                assert inert.assignment.placement == bare.assignment.placement
+                assert inert.status == "optimal"
+
 
 # --------------------------------------------------------------- slow lane
 @pytest.mark.slow

@@ -101,11 +101,34 @@ class TestIncrementalSolver:
         problem_a = scattered(seed=9)
         problem_b = scattered(seed=9)              # identical twin
         solver = IncrementalSolver(index=WarmStartIndex())
-        first, _ = solver.solve(problem_a)
+        first, cold_details = solver.solve(problem_a)
         second, details = solver.solve(problem_b)
         assert details["warm_started"]
         assert second.end_to_end_delay() == pytest.approx(
             first.end_to_end_delay())
+        # identical costs on a reused skeleton: the three backward-DAG
+        # completion potentials are served from the per-skeleton cache
+        assert not cold_details["potentials_reused"]
+        assert details["potentials_reused"]
+        assert solver.potentials_reuses == 1
+
+    def test_drifted_costs_recompute_potentials(self):
+        solver = IncrementalSolver(index=WarmStartIndex())
+        solver.solve(scattered(seed=13))
+        _, details = solver.solve(perturbed(lambda: scattered(seed=13)))
+        # the potentials depend on the edge weights, so drifted costs must
+        # miss the cache (a stale reuse would silently break exactness)
+        assert details["skeleton_reused"]
+        assert not details["potentials_reused"]
+
+    def test_potentials_reuse_is_exact(self):
+        solver = IncrementalSolver(index=WarmStartIndex())
+        for _ in range(3):
+            assignment, _ = solver.solve(scattered(seed=21, n=14))
+            reference = solve(scattered(seed=21, n=14),
+                              method="colored-ssb-labels")
+            assert assignment.end_to_end_delay() == reference.objective
+        assert solver.potentials_reuses == 2
 
     def test_warm_start_prunes_labels(self):
         """The warm incumbent must measurably shrink the label sweep."""

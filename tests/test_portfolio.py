@@ -1,0 +1,128 @@
+"""PortfolioSolver: feature schedule, incumbent sharing, exactness, anytime."""
+
+import pytest
+
+from repro.core.context import SolveContext
+from repro.core.portfolio import PortfolioSolver, instance_features
+from repro.core.solver import solve
+from repro.workloads import random_problem
+
+
+def make(n=10, scatter=1.0, seed=1, sats=3, **kwargs):
+    return random_problem(n_processing=n, n_satellites=sats, seed=seed,
+                          sensor_scatter=scatter, **kwargs)
+
+
+class TestFeatures:
+    def test_clustered_instances_have_low_scatter(self):
+        clustered = instance_features(make(scatter=0.0, seed=2))
+        scattered = instance_features(make(scatter=1.0, seed=2))
+        assert 0.0 <= clustered["scatter_ratio"] <= scattered["scatter_ratio"] <= 1.0
+        assert clustered["n_processing"] == scattered["n_processing"] == 10
+        assert clustered["n_satellites"] == 3
+
+    def test_fully_scattered_ratio_is_high(self):
+        features = instance_features(make(n=20, scatter=1.0, seed=4))
+        assert features["scatter_ratio"] > 0.5
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("scatter", [0.0, 0.5, 1.0])
+    def test_matches_brute_force(self, seed, scatter):
+        problem = make(n=8, scatter=scatter, seed=seed)
+        reference = solve(problem, method="brute-force").objective
+        result = solve(problem, method="portfolio")
+        assert result.objective == reference
+        assert result.status == "optimal"
+        assert result.details["optimal_proven"]
+
+    def test_matches_labels_where_brute_force_cannot_reach(self):
+        problem = make(n=24, scatter=1.0, seed=9, sats=4)
+        reference = solve(problem, method="colored-ssb-labels").objective
+        result = solve(problem, method="portfolio")
+        assert result.objective == reference
+
+    def test_cross_check_runs_on_small_compact_instances(self):
+        problem = make(n=8, scatter=0.0, seed=3)
+        result = solve(problem, method="portfolio")
+        stages = {s["stage"]: s for s in result.details["stages"]}
+        assert not stages["dp-pruned"].get("skipped")
+        assert result.details["cross_check_agreed"] is True
+
+    def test_cross_check_skipped_on_large_scattered_instances(self):
+        problem = make(n=30, scatter=1.0, seed=3, sats=4)
+        result = solve(problem, method="portfolio")
+        stages = {s["stage"]: s for s in result.details["stages"]}
+        assert stages["dp-pruned"].get("skipped")
+        assert "cross_check_agreed" not in result.details
+
+    def test_cross_check_can_be_forced_and_disabled(self):
+        problem = make(n=18, scatter=1.0, seed=5)
+        forced = solve(problem, method="portfolio", cross_check="always")
+        stages = {s["stage"]: s for s in forced.details["stages"]}
+        assert not stages["dp-pruned"].get("skipped")
+        off = solve(problem, method="portfolio", cross_check="never")
+        stages = {s["stage"]: s for s in off.details["stages"]}
+        assert stages["dp-pruned"]["skipped"] == "cross_check disabled"
+
+
+class TestAttribution:
+    def test_per_stage_records(self):
+        result = solve(make(n=10, scatter=1.0, seed=7), method="portfolio")
+        stages = result.details["stages"]
+        assert [s["stage"] for s in stages][:2] == ["greedy", "labels"]
+        greedy, labels = stages[0], stages[1]
+        assert greedy["improved"] and greedy["objective"] >= labels["objective"]
+        assert all(s["elapsed_s"] >= 0.0 for s in stages)
+        assert result.details["winner"] in ("greedy", "labels", "dp-pruned")
+        assert result.details["features"]["n_processing"] == 10
+
+    def test_greedy_seed_enters_the_shared_context(self):
+        context = SolveContext()
+        solver = PortfolioSolver()
+        solver.solve(make(n=10, scatter=1.0, seed=7), context=context)
+        sources = [source for _, _, source in context.incumbent_history]
+        assert any(source in ("greedy", "portfolio-greedy")
+                   for source in sources)
+        objectives = [obj for _, obj, _ in context.incumbent_history]
+        assert objectives == sorted(objectives, reverse=True)
+
+
+class TestAnytime:
+    def test_expired_budget_returns_greedy_seed(self):
+        result = solve(make(n=20, scatter=1.0, seed=2, sats=4),
+                       method="portfolio",
+                       context=SolveContext(deadline_s=0.0))
+        assert result.status == "feasible"
+        assert result.interrupted == "deadline"
+        assert result.assignment is not None
+        assert result.assignment.is_feasible()
+        stages = {s["stage"]: s for s in result.details["stages"]}
+        assert stages["dp-pruned"].get("skipped")
+
+    def test_interrupted_cross_check_does_not_downgrade_optimality(self):
+        # labels completes, proving the optimum; a context firing during the
+        # forced DP cross-check must not relabel the result as feasible
+        problem = make(n=8, scatter=0.0, seed=3)
+
+        class FiresAfter:
+            """Clock that expires the deadline only after N reads."""
+
+            def __init__(self, reads):
+                self.reads = reads
+                self.now = 0.0
+
+            def __call__(self):
+                self.now += 0.0 if self.reads > 0 else 10.0
+                self.reads -= 1
+                return self.now
+
+        reference = solve(problem, method="portfolio").objective
+        # enough reads to carry greedy + the sweep, too few for the DP
+        context = SolveContext(deadline_s=5.0, clock=FiresAfter(600))
+        result = solve(problem, method="portfolio", cross_check="always",
+                       context=context)
+        assert result.objective == reference
+        if result.details["stages"][-1].get("interrupted"):
+            assert result.status == "optimal"

@@ -10,7 +10,7 @@ class TestDefaultRegistry:
     def test_carries_every_facade_method(self):
         registry = default_registry()
         assert registry.names() == available_methods()
-        assert len(registry) == 13
+        assert len(registry) == 14
 
     def test_aliases_resolve_to_canonical_specs(self):
         registry = default_registry()
@@ -20,6 +20,7 @@ class TestDefaultRegistry:
         assert registry.resolve("label-search").name == "colored-ssb-labels"
         assert registry.resolve("incremental").name == "colored-ssb-incremental"
         assert registry.resolve("heft").name == "dag-heft"
+        assert registry.resolve("auto").name == "portfolio"
         assert "bokhari-sb" in registry
         assert "random" in registry.names(include_aliases=True)
 
@@ -35,11 +36,19 @@ class TestDefaultRegistry:
         exact = {spec.name for spec in registry if spec.exact}
         assert exact == {"colored-ssb", "colored-ssb-labels",
                          "colored-ssb-incremental", "brute-force",
-                         "pareto-dp", "pareto-dp-pruned", "branch-and-bound"}
+                         "pareto-dp", "pareto-dp-pruned", "branch-and-bound",
+                         "portfolio"}
         stochastic = {spec.name for spec in registry if spec.stochastic}
         assert stochastic == {"random-search", "genetic", "dag-genetic"}
+        no_deadline = {spec.name for spec in registry
+                       if not spec.supports_deadline}
+        assert no_deadline == {"sb-bottleneck", "dag-heft", "dag-genetic"}
+        anytime = {spec.name for spec in registry if spec.anytime}
+        assert anytime == {spec.name for spec in registry
+                           if spec.supports_deadline}
         meta = registry.resolve("colored-ssb").metadata()
         assert meta["exact"] and meta["supports_weighting"]
+        assert meta["supports_deadline"] and meta["anytime"]
         assert "complexity" in meta and meta["aliases"] == []
 
     def test_spec_solve_returns_uniform_result(self, paper_problem):
