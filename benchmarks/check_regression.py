@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: diff nightly ``BENCH_*.json`` against baselines.
+
+The nightly lane runs every ``bench_*.py`` file through
+``benchmarks/run_smoke.py``, producing one pytest-benchmark JSON per file.
+This script compares those results against the committed baseline set in
+``benchmarks/baselines/`` and **fails (exit 1) when any bench file's
+geometric-mean slowdown exceeds the threshold** (default 1.5x, overridable
+via ``--threshold`` or ``REPRO_BENCH_THRESHOLD``).
+
+Design notes:
+
+* the unit of gating is the *bench file* (geo-mean across its benchmark
+  cases), not the single case — individual microbenchmark cases on shared
+  CI runners are far too noisy to gate at 1.5x, but a whole file regressing
+  1.5x in geo-mean is a real signal;
+* baselines are *reduced*: one small JSON per bench file mapping each
+  case's ``fullname`` to its baseline mean seconds, so the committed set
+  stays reviewable (full pytest-benchmark JSONs are megabytes of machine
+  noise);
+* new bench files or cases without a baseline PASS with a note — the gate
+  must never punish adding coverage; refresh with ``--update``;
+* speedups just print (and should prompt a ``--update`` commit so the
+  trajectory ratchets down).
+
+Usage::
+
+    python benchmarks/check_regression.py --results DIR   # gate (CI)
+    python benchmarks/check_regression.py --results DIR --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_THRESHOLD = 1.5
+THRESHOLD_ENV_VAR = "REPRO_BENCH_THRESHOLD"
+
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
+
+BENCH_PREFIX = "BENCH_"
+
+
+def load_results(results_dir: str) -> Dict[str, Dict[str, float]]:
+    """``{bench_name: {case fullname: mean seconds}}`` from BENCH_*.json."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in sorted(os.listdir(results_dir)):
+        if not (name.startswith(BENCH_PREFIX) and name.endswith(".json")):
+            continue
+        bench = name[len(BENCH_PREFIX) : -len(".json")]
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"warning: unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        cases = {
+            record["fullname"]: float(record["stats"]["mean"])
+            for record in data.get("benchmarks", [])
+            if record.get("stats", {}).get("mean") is not None
+        }
+        if cases:
+            results[bench] = cases
+    return results
+
+
+def baseline_path(bench: str, baseline_dir: str) -> str:
+    return os.path.join(baseline_dir, f"{bench}.json")
+
+
+def load_baseline(bench: str, baseline_dir: str) -> Optional[Dict[str, float]]:
+    path = baseline_path(bench, baseline_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError:
+        return None
+    except ValueError as exc:
+        print(f"warning: corrupt baseline {path}: {exc}", file=sys.stderr)
+        return None
+    means = data.get("means", {})
+    return {case: float(mean) for case, mean in means.items()}
+
+
+def write_baseline(
+    bench: str,
+    cases: Dict[str, float],
+    baseline_dir: str,
+    source: str,
+) -> str:
+    os.makedirs(baseline_dir, exist_ok=True)
+    path = baseline_path(bench, baseline_dir)
+    payload = {
+        "bench": bench,
+        "source": source,
+        "means": {case: cases[case] for case in sorted(cases)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def geo_mean(ratios: List[float]) -> float:
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+) -> Tuple[Optional[float], List[str], int]:
+    """(geo-mean ratio over shared cases, unbaselined case names, shared)."""
+    ratios: List[float] = []
+    missing: List[str] = []
+    for case, mean in current.items():
+        base = baseline.get(case)
+        if base is None:
+            missing.append(case)
+        elif base > 0 and mean > 0:
+            ratios.append(mean / base)
+    if not ratios:
+        return None, missing, 0
+    return geo_mean(ratios), missing, len(ratios)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        required=True,
+        help="directory holding the run's BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=BASELINE_DIR,
+        help="committed baseline directory (default: benchmarks/baselines/)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "failing geo-mean slowdown per bench file "
+            f"(default: {THRESHOLD_ENV_VAR} or {DEFAULT_THRESHOLD})"
+        ),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from these results instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(os.environ.get(THRESHOLD_ENV_VAR, "") or DEFAULT_THRESHOLD)
+    if threshold <= 1.0:
+        print("error: threshold must be > 1.0", file=sys.stderr)
+        return 2
+
+    results = load_results(args.results)
+    if not results:
+        print(f"error: no {BENCH_PREFIX}*.json in {args.results}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        for bench, cases in results.items():
+            path = write_baseline(bench, cases, args.baselines, args.results)
+            print(f"baseline updated: {path} ({len(cases)} cases)")
+        return 0
+
+    failures: List[str] = []
+    for bench, cases in results.items():
+        baseline = load_baseline(bench, args.baselines)
+        if baseline is None:
+            blurb = f"no baseline yet ({len(cases)} cases)"
+            print(f"PASS {bench}: {blurb} — run with --update to start gating it")
+            continue
+        ratio, missing, shared = compare(cases, baseline)
+        if ratio is None:
+            print(f"PASS {bench}: no overlapping cases with the baseline")
+            continue
+        note = f", {len(missing)} unbaselined" if missing else ""
+        verdict = "FAIL" if ratio > threshold else "PASS"
+        direction = "slower" if ratio >= 1.0 else "faster"
+        factor = ratio if ratio >= 1.0 else 1.0 / ratio
+        detail = f"{shared} cases{note}, threshold {threshold:g}x"
+        print(f"{verdict} {bench}: geo-mean {factor:.2f}x {direction} ({detail})")
+        if verdict == "FAIL":
+            failures.append(bench)
+
+    if failures:
+        names = ", ".join(failures)
+        cause = f"exceeded {threshold:g}x geo-mean slowdown"
+        print(f"\nperf regression gate FAILED: {names} {cause}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

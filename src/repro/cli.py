@@ -293,12 +293,23 @@ def _spool_cache(args: argparse.Namespace):
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.distributed import SolveWorker, WorkQueue
 
     queue = WorkQueue(args.spool, lease_timeout=args.lease_timeout,
                       poll_interval=args.poll_interval)
     worker = SolveWorker(queue, cache=_spool_cache(args),
                          worker_id=args.worker_id)
+    # SIGTERM (e.g. submit --local-workers tearing the fleet down) becomes a
+    # cooperative stop: in-flight anytime solves return their incumbent,
+    # unclaimed work is released, and the metrics snapshot still gets written
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda signum, frame: worker.request_stop())
+    except ValueError:
+        pass                        # not the main thread (e.g. tests)
     print(f"worker {worker.worker_id} pulling from {args.spool} "
           f"(lease {args.lease_timeout:g}s)", flush=True)
     try:
@@ -306,6 +317,15 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                              timeout=args.duration)
     except KeyboardInterrupt:
         handled = worker.processed
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+        if getattr(args, "metrics_dir", None):
+            base = os.path.join(args.metrics_dir,
+                                f"metrics-{worker.worker_id}")
+            worker.metrics.write_snapshot(base + ".json")
+            worker.metrics.write_prometheus(base + ".prom")
+            print(f"metrics snapshot: {base}.json", flush=True)
     print(f"worker {worker.worker_id}: {handled} task(s) processed "
           f"({worker.cache_hits} from cache)")
     return 0
@@ -319,6 +339,8 @@ def _worker_command(args: argparse.Namespace) -> List[str]:
         command.append("--no-cache")
     if getattr(args, "drain", False):
         command.append("--drain")
+    if getattr(args, "metrics_dir", None):
+        command.extend(["--metrics-dir", args.metrics_dir])
     return command
 
 
@@ -469,6 +491,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+# ---------------------------------------------------------- observability
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.observability.top import render_top, run_top, spool_snapshot
+
+    if args.once:
+        print(render_top(spool_snapshot(args.spool), width=args.width))
+        return 0
+    run_top(args.spool, interval=args.interval, iterations=args.iterations,
+            width=args.width)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.observability.audit import build_timelines, render_audit
+
+    timelines = build_timelines(args.spool)
+    if args.json:
+        print(json.dumps(timelines, indent=2, sort_keys=True))
+        return 0
+    print(render_audit(timelines, task_id=args.task))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-assign",
@@ -567,6 +612,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exit as soon as the spool is empty")
     p_worker.add_argument("--no-cache", action="store_true",
                           help="do not consult/feed the shared result cache")
+    p_worker.add_argument("--metrics-dir",
+                          help="write a metrics snapshot (JSON + Prometheus "
+                               "text) into this directory on exit")
     p_worker.set_defaults(func=_cmd_worker)
 
     p_serve = sub.add_parser(
@@ -596,6 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="spool compaction cap: total results/ size in MB")
     p_serve.add_argument("--results-max-age", type=float, default=None,
                          help="spool compaction cap: result age in seconds")
+    p_serve.add_argument("--metrics-dir",
+                         help="each worker writes a metrics snapshot into "
+                              "this directory on exit")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -642,7 +693,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the shared result cache")
     p_submit.add_argument("--quiet", action="store_true",
                           help="suppress per-instance output")
+    p_submit.add_argument("--metrics-dir",
+                          help="each local worker writes a metrics snapshot "
+                               "into this directory on exit")
     p_submit.set_defaults(func=_cmd_submit, drain=False)
+
+    # ---------------------------------------------------------- observability
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a spool directory")
+    p_top.add_argument("--spool", required=True,
+                       help="spool directory to observe")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between redraws (default: 1)")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       help="stop after this many frames (default: forever)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame without clearing the screen")
+    p_top.add_argument("--width", type=int, default=100,
+                       help="maximum rendered line width (default: 100)")
+    p_top.set_defaults(func=_cmd_top)
+
+    p_audit = sub.add_parser(
+        "audit", help="reconstruct per-task solve timelines from a spool")
+    p_audit.add_argument("--spool", required=True,
+                         help="spool directory to audit")
+    p_audit.add_argument("--task", default=None,
+                         help="print the full event timeline of one task id")
+    p_audit.add_argument("--json", action="store_true",
+                         help="dump raw timelines as JSON instead of a table")
+    p_audit.set_defaults(func=_cmd_audit)
     return parser
 
 

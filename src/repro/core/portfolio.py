@@ -50,6 +50,13 @@ _CROSS_CHECK_MAX_N = 14
 #: the DP's frontiers are known to be the expensive regime.
 _CROSS_CHECK_MAX_SCATTER = 0.75
 
+#: "auto" also skips the cross-check on star-shaped trees: a node fanning
+#: out to a large fraction of the instance makes the DP combine its
+#: children's frontiers into one huge product at that node (the
+#: ``bench_portfolio`` wide-star grinding regime near n≈40), while the label
+#: sweep is untroubled.  ``star_width`` is ``max_branching / n_processing``.
+_CROSS_CHECK_MAX_STAR_WIDTH = 0.5
+
 #: Wall budget of the greedy seed stage.  The seed exists to guarantee an
 #: incumbent from the first milliseconds — not to race the sweep — so its
 #: hill-climb is cut after this long (it completes well inside the budget on
@@ -74,8 +81,10 @@ def instance_features(problem: AssignmentProblem) -> Dict[str, Any]:
     n_processing = len(tree.processing_ids())
     satellites = problem.system.satellite_ids()
 
-    # sensors in DFS order, labelled by their correspondent satellite
+    # sensors in DFS order, labelled by their correspondent satellite;
+    # the same walk records the widest fan-out of any node (star shape)
     sensor_colors: List[str] = []
+    max_branching = 0
     stack = [tree.root_id]
     while stack:
         cru_id = stack.pop()
@@ -85,6 +94,7 @@ def instance_features(problem: AssignmentProblem) -> Dict[str, Any]:
             if satellite is not None:
                 sensor_colors.append(satellite)
         children = tree.children_ids(cru_id)
+        max_branching = max(max_branching, len(children))
         stack.extend(reversed(children))
 
     runs: Dict[str, int] = {}
@@ -103,6 +113,8 @@ def instance_features(problem: AssignmentProblem) -> Dict[str, Any]:
         "n_satellites": len(satellites),
         "n_sensors": len(sensor_colors),
         "scatter_ratio": scatter,
+        "max_branching": max_branching,
+        "star_width": max_branching / max(1, n_processing),
     }
 
 
@@ -294,11 +306,17 @@ class PortfolioSolver:
         if self.cross_check in (True, "always"):
             return True
         return (features["n_processing"] <= _CROSS_CHECK_MAX_N
-                and features["scatter_ratio"] <= _CROSS_CHECK_MAX_SCATTER)
+                and features["scatter_ratio"] <= _CROSS_CHECK_MAX_SCATTER
+                and features["star_width"] <= _CROSS_CHECK_MAX_STAR_WIDTH)
 
     def _skip_reason(self, features: Dict[str, Any]) -> str:
         if self.cross_check in (False, "never"):
             return "cross_check disabled"
+        if features["star_width"] > _CROSS_CHECK_MAX_STAR_WIDTH:
+            # checked first: on a wide star the DP grinds whatever n is, and
+            # the star shape is the actionable thing to report
+            return (f"star_width={features['star_width']:.2f} > "
+                    f"{_CROSS_CHECK_MAX_STAR_WIDTH} (auto policy)")
         if features["n_processing"] > _CROSS_CHECK_MAX_N:
             return (f"n={features['n_processing']} > "
                     f"{_CROSS_CHECK_MAX_N} (auto policy)")

@@ -25,6 +25,8 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.observability.metrics import default_metrics
+
 #: A ``.tmp`` staging file older than this is an abandoned write.
 _TMP_GRACE_S = 3600.0
 
@@ -161,7 +163,7 @@ class CacheJanitor:
                 total -= record[1]
                 evicted_bytes += self._unlink(record[2])
 
-        return JanitorReport(
+        report = JanitorReport(
             scanned=scanned,
             bytes_scanned=bytes_scanned,
             evicted_age=evicted_age,
@@ -171,3 +173,24 @@ class CacheJanitor:
             remaining=len(entries),
             bytes_remaining=sum(size for _, size, _ in entries),
             elapsed_s=time.perf_counter() - started)
+        metrics = default_metrics()
+        evictions = metrics.counter(
+            "repro_janitor_evictions_total",
+            "Janitor evictions by triggering cap (age/count/bytes/tmp)")
+        evictions.inc(evicted_age, reason="age")
+        evictions.inc(evicted_count, reason="count")
+        evictions.inc(evicted_bytes, reason="bytes")
+        evictions.inc(tmp_removed, reason="tmp")
+        metrics.gauge(
+            "repro_janitor_remaining_entries",
+            "Entries left in the swept directory after the last pass").set(
+            report.remaining)
+        metrics.gauge(
+            "repro_janitor_remaining_bytes",
+            "Bytes left in the swept directory after the last pass").set(
+            report.bytes_remaining)
+        metrics.histogram(
+            "repro_janitor_sweep_seconds",
+            "Wall-clock seconds per janitor collection pass").observe(
+            report.elapsed_s)
+        return report

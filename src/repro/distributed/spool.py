@@ -51,6 +51,9 @@ import uuid
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.observability import events as _events
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry, default_metrics
 from repro.runtime.cache import write_json_atomic
 
 TASKS_DIR = "tasks"
@@ -122,10 +125,20 @@ class WorkQueue:
     poll_interval:
         Sleep between directory scans in blocking :meth:`claim` /
         :meth:`wait_result` loops.
+    events:
+        Event log for lifecycle events (submit/claim/ack/...).  By default
+        one is opened at ``<directory>/events.jsonl`` so ``repro audit``
+        works with no flags; pass ``False`` to disable logging, or an
+        :class:`~repro.observability.events.EventLog` to redirect it.
+    metrics:
+        Metrics registry for transition counters and depth gauges; defaults
+        to the process-wide :func:`default_metrics` registry.
     """
 
     def __init__(self, directory: str, lease_timeout: float = 60.0,
-                 max_requeues: int = 5, poll_interval: float = 0.05) -> None:
+                 max_requeues: int = 5, poll_interval: float = 0.05,
+                 events=None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
         if max_requeues < 0:
@@ -136,6 +149,20 @@ class WorkQueue:
         self.poll_interval = poll_interval
         for sub in _SUBDIRS:
             os.makedirs(os.path.join(directory, sub), exist_ok=True)
+        if events is None:
+            events = EventLog.for_spool(directory)
+        self.events: Optional[EventLog] = (
+            events if isinstance(events, EventLog) else None)
+        self.metrics = metrics if metrics is not None else default_metrics()
+        self._transitions = self.metrics.counter(
+            "repro_spool_transitions_total",
+            "Spool state transitions by kind (submit/claim/ack/...)")
+
+    def _emit(self, kind: str, task_id: Optional[str] = None,
+              **fields: Any) -> None:
+        self._transitions.inc(kind=kind)
+        if self.events is not None:
+            self.events.emit(kind, task_id=task_id, **fields)
 
     # ------------------------------------------------------------ primitives
     def _dir(self, sub: str) -> str:
@@ -159,6 +186,7 @@ class WorkQueue:
             raise SpoolError(f"invalid task id {task_id!r}")
         target = os.path.join(self._dir(TASKS_DIR), f"{task_id}.a0.json")
         self._write_atomic(target, payload)
+        self._emit(_events.EVENT_SUBMIT, task_id)
         return task_id
 
     def submit_many(self, payloads: Iterable[Dict[str, Any]]) -> List[str]:
@@ -216,6 +244,8 @@ class WorkQueue:
             except (OSError, ValueError):
                 # torn submit (should be impossible) or vanished: skip
                 continue
+            self._emit(_events.EVENT_CLAIM, parts["task_id"],
+                       attempt=parts["attempt"])
             return SpoolTask(task_id=parts["task_id"], payload=payload,
                              attempt=parts["attempt"], path=target)
         return None
@@ -248,6 +278,8 @@ class WorkQueue:
         try:
             self._write_atomic(task.path, {**task.payload,
                                            "progress": dict(progress)})
+            self._emit(_events.EVENT_PROGRESS, task.task_id,
+                       progress=dict(progress))
             return True
         except OSError:
             return False
@@ -262,6 +294,8 @@ class WorkQueue:
         payload.setdefault("task_id", task.task_id)
         payload.setdefault("attempt", task.attempt)
         self._write_atomic(self._result_path(task.task_id), payload)
+        self._emit(_events.EVENT_ACK, task.task_id, attempt=task.attempt,
+                   method=payload.get("method"), status=payload.get("status"))
         try:
             os.unlink(task.path)
         except OSError:
@@ -284,9 +318,10 @@ class WorkQueue:
         target = os.path.join(self._dir(TASKS_DIR), task.name)
         try:
             os.rename(task.path, target)
-            return True
         except OSError:
             return False
+        self._emit(_events.EVENT_RELEASE, task.task_id, attempt=task.attempt)
+        return True
 
     def fail(self, task: SpoolTask, error: str) -> None:
         """Dead-letter a claimed task (no more retries)."""
@@ -294,6 +329,8 @@ class WorkQueue:
             os.path.join(self._dir(FAILED_DIR), f"{task.task_id}.json"),
             {"task_id": task.task_id, "attempt": task.attempt,
              "error": error, "payload": task.payload})
+        self._emit(_events.EVENT_DEAD_LETTER, task.task_id,
+                   attempt=task.attempt, reason="failed", error=error)
         try:
             os.unlink(task.path)
         except OSError:
@@ -352,14 +389,17 @@ class WorkQueue:
                 os.unlink(source)
             except OSError:
                 pass
+            self._emit(_events.EVENT_DEAD_LETTER, parts["task_id"],
+                       attempt=parts["attempt"], reason="max_requeues")
             return False
         target = os.path.join(self._dir(TASKS_DIR),
                               f"{parts['task_id']}.a{attempt}.json")
         try:
             os.rename(source, target)
-            return True
         except OSError:
             return False           # acked or reclaimed concurrently
+        self._emit(_events.EVENT_REQUEUE, parts["task_id"], attempt=attempt)
+        return True
 
     # --------------------------------------------------------------- results
     def result(self, task_id: str) -> Optional[Dict[str, Any]]:
@@ -407,8 +447,12 @@ class WorkQueue:
 
     # ------------------------------------------------------------ accounting
     def counts(self) -> Dict[str, int]:
-        """Spool occupancy: pending / claimed / results / failed."""
-        return {
+        """Spool occupancy: pending / claimed / results / failed.
+
+        Also publishes each depth as a ``repro_spool_depth{state=...}``
+        gauge, so any caller that polls occupancy keeps the registry fresh.
+        """
+        occupancy = {
             "pending": sum(1 for n in self._listing(TASKS_DIR)
                            if _split_name(n)),
             "claimed": sum(1 for n in self._listing(CLAIMED_DIR)
@@ -418,6 +462,11 @@ class WorkQueue:
             "failed": sum(1 for n in self._listing(FAILED_DIR)
                           if n.endswith(".json")),
         }
+        depth = self.metrics.gauge(
+            "repro_spool_depth", "Spool occupancy by state")
+        for state, value in occupancy.items():
+            depth.set(value, state=state)
+        return occupancy
 
     def purge_results(self) -> int:
         """Delete published results (e.g. between benchmark repetitions)."""

@@ -34,6 +34,8 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.core.context import SolveContext
 from repro.distributed.spool import SpoolTask, WorkQueue
+from repro.observability import events as _events
+from repro.observability.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
 from repro.runtime.payload import outcome_cacheable, solve_payload
 from repro.runtime.registry import SolverRegistry, default_registry
@@ -192,7 +194,8 @@ class SolveWorker:
                  registry: Optional[SolverRegistry] = None,
                  worker_id: Optional[str] = None,
                  poll_interval: float = 0.05,
-                 heartbeat: bool = True) -> None:
+                 heartbeat: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if isinstance(queue, str):
             queue = WorkQueue(queue)
         self.queue = queue
@@ -209,6 +212,26 @@ class SolveWorker:
         self.lease_renewals = 0
         self.stop_event = threading.Event()
         self._solve_delay = float(os.environ.get(SOLVE_DELAY_ENV_VAR, "0") or 0)
+        #: shares the spool's registry by default so one snapshot covers both
+        self.metrics = metrics if metrics is not None else queue.metrics
+        self._tasks_total = self.metrics.counter(
+            "repro_worker_tasks_total",
+            "Tasks handled by this worker, by outcome "
+            "(solved/cached/released)")
+        self._cache_hits_total = self.metrics.counter(
+            "repro_worker_cache_hits_total",
+            "Pre-solve result-cache hits by tier the entry came from")
+        self._renewals_total = self.metrics.counter(
+            "repro_worker_lease_renewals_total",
+            "Lease heartbeat renewals across all solves")
+        self._solve_seconds = self.metrics.histogram(
+            "repro_solve_seconds",
+            "Wall-clock solve latency by solver method and final status")
+
+    def _event(self, kind: str, task_id: str, **fields: Any) -> None:
+        if self.queue.events is not None:
+            self.queue.events.emit(kind, task_id=task_id,
+                                   worker_id=self.worker_id, **fields)
 
     def request_stop(self) -> None:
         """Cooperatively stop: claimed-but-unsolved tasks are requeued and
@@ -260,10 +283,19 @@ class SolveWorker:
         """
         if self.stop_event.is_set():
             self.queue.release(task)    # no attempt consumed: never solved
+            self._tasks_total.inc(outcome="released")
             return None
         payload = dict(task.payload)
         outcome = self._cached_outcome(payload)
-        if outcome is None:
+        if outcome is not None:
+            self._event(_events.EVENT_CACHE_HIT, task.task_id,
+                        source=outcome.get("cache_source"))
+            self._tasks_total.inc(outcome="cached")
+        else:
+            self._event(_events.EVENT_SOLVE_START, task.task_id,
+                        method=payload.get("method"),
+                        attempt=task.attempt)
+            solve_started = time.monotonic()
             if self.heartbeat:
                 progress = _ProgressTracker()
                 context = self._task_context(payload, progress)
@@ -271,9 +303,23 @@ class SolveWorker:
                                     progress=progress.take) as beat:
                     outcome = self._solve(payload, context)
                 self.lease_renewals += beat.renewals
+                if beat.renewals:
+                    self._renewals_total.inc(beat.renewals)
             else:
                 outcome = self._solve(payload,
                                       self._task_context(payload, None))
+            solve_elapsed = time.monotonic() - solve_started
+            self._solve_seconds.observe(
+                solve_elapsed,
+                method=str(outcome.get("method") or payload.get("method")),
+                status=str(outcome.get("status") or
+                           ("ok" if outcome.get("ok") else "error")))
+            self._event(_events.EVENT_SOLVE_END, task.task_id,
+                        method=outcome.get("method"),
+                        status=outcome.get("status"),
+                        ok=outcome.get("ok"),
+                        objective=outcome.get("objective"),
+                        elapsed_s=solve_elapsed)
             if (self.stop_event.is_set() and not outcome.get("ok")
                     and outcome.get("status") == "cancelled"):
                 # the stop landed after the claim check but before the
@@ -282,7 +328,9 @@ class SolveWorker:
                 # claimed-but-unsolved window — no attempt consumed), not
                 # into results as a terminal failure
                 self.queue.release(task)
+                self._tasks_total.inc(outcome="released")
                 return None
+            self._tasks_total.inc(outcome="solved")
             if (self.cache is not None and payload.get("cacheable", True)
                     and outcome_cacheable(outcome)):
                 self.cache.put(payload["key"], make_cache_entry(
@@ -341,6 +389,7 @@ class SolveWorker:
         if entry is None:
             return None
         self.cache_hits += 1
+        self._cache_hits_total.inc(source=str(source))
         outcome = {
             "key": payload["key"],
             "ok": True,

@@ -1,0 +1,206 @@
+"""``repro audit`` — post-hoc solve timelines from spool artifacts.
+
+Reconstructs, for every task a spool has ever seen, the full
+submit → claim → progress → ack (or requeue/dead-letter) story by joining
+three durable sources:
+
+* the **event log** (``events.jsonl``) for ordered lifecycle transitions
+  with timestamps;
+* **result files** for the authoritative outcome (method, status,
+  objective, worker, solve time);
+* **dead-letter files** for terminal failures.
+
+The join is deliberately forgiving: a spool whose event log was rotated
+away still audits from result files alone, and events for compacted
+results still describe the lifecycle.  Output is a per-task summary table
+(or JSON), plus an optional single-task timeline listing every event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.observability import events as _events
+from repro.observability.events import EventLog
+
+#: Event kinds that terminate one delivery of a task.
+_TERMINAL_KINDS = (_events.EVENT_ACK, _events.EVENT_DEAD_LETTER)
+
+
+def _load_json_dir(directory: str) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return out
+    for name in sorted(names):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(record, dict):
+            out[name[: -len(".json")]] = record
+    return out
+
+
+def build_timelines(directory: str) -> List[Dict[str, Any]]:
+    """One timeline record per task, sorted by first-seen time.
+
+    Each record carries the raw ``events`` list plus derived fields:
+    ``queue_wait_s`` (submit → first claim), ``solve_s`` (solve_start →
+    solve_end), ``attempts`` (claims observed), ``outcome`` and the
+    result-file overlay when one exists.
+    """
+    by_task: Dict[str, Dict[str, Any]] = {}
+
+    def task(task_id: str) -> Dict[str, Any]:
+        return by_task.setdefault(task_id, {"task_id": task_id, "events": []})
+
+    for event in EventLog.for_spool(directory).iter_events():
+        task_id = event.get("task_id")
+        if task_id is None:
+            continue
+        task(str(task_id))["events"].append(event)
+
+    results_dir = os.path.join(directory, "results")
+    for task_id, result in _load_json_dir(results_dir).items():
+        task(task_id)["result"] = result
+    failed_dir = os.path.join(directory, "failed")
+    for task_id, failure in _load_json_dir(failed_dir).items():
+        task(task_id)["failure"] = failure
+
+    timelines = []
+    for record in by_task.values():
+        _derive(record)
+        timelines.append(record)
+    timelines.sort(key=lambda r: (r.get("first_ts") or 0.0, r["task_id"]))
+    return timelines
+
+
+def _first_ts(record: Dict[str, Any], kind: str) -> Optional[float]:
+    for event in record["events"]:
+        if event.get("kind") == kind:
+            return event.get("ts")
+    return None
+
+
+def _count(events: List[Dict[str, Any]], kind: str) -> int:
+    return sum(1 for e in events if e.get("kind") == kind)
+
+
+def _derive(record: Dict[str, Any]) -> None:
+    events: List[Dict[str, Any]] = record["events"]
+    record["first_ts"] = events[0].get("ts") if events else None
+    record["attempts"] = _count(events, _events.EVENT_CLAIM)
+    record["requeues"] = _count(events, _events.EVENT_REQUEUE)
+    record["progress_reports"] = _count(events, _events.EVENT_PROGRESS)
+
+    submitted = _first_ts(record, _events.EVENT_SUBMIT)
+    claimed = _first_ts(record, _events.EVENT_CLAIM)
+    if submitted is not None and claimed is not None:
+        record["queue_wait_s"] = claimed - submitted
+    else:
+        record["queue_wait_s"] = None
+    solve_start = _first_ts(record, _events.EVENT_SOLVE_START)
+    solve_end = _first_ts(record, _events.EVENT_SOLVE_END)
+    if solve_start is not None and solve_end is not None:
+        record["solve_s"] = solve_end - solve_start
+    else:
+        record["solve_s"] = None
+
+    result = record.get("result")
+    failure = record.get("failure")
+    if result is not None:
+        if result.get("cached"):
+            record["outcome"] = "cached"
+        else:
+            status = result.get("status")
+            record["outcome"] = status or ("ok" if result.get("ok") else "error")
+        record["method"] = result.get("method")
+        record["objective"] = result.get("objective")
+        record["worker_id"] = result.get("worker_id")
+    elif failure is not None:
+        record["outcome"] = "dead-letter"
+        record["error"] = failure.get("error")
+    elif any(e.get("kind") in _TERMINAL_KINDS for e in events):
+        # acked but the result file was compacted away since
+        record["outcome"] = "acked"
+    elif claimed is not None:
+        record["outcome"] = "in-flight"
+    else:
+        record["outcome"] = "pending"
+
+    kinds = [e.get("kind") for e in events]
+    record["complete"] = (
+        _events.EVENT_SUBMIT in kinds
+        and _events.EVENT_CLAIM in kinds
+        and _events.EVENT_ACK in kinds
+    )
+
+
+def render_audit(
+    timelines: List[Dict[str, Any]],
+    task_id: Optional[str] = None,
+) -> str:
+    """The per-task summary table, or one task's full event timeline."""
+    from repro.analysis.reporting import format_table
+
+    if task_id is not None:
+        matches = [r for r in timelines if r["task_id"] == task_id]
+        if not matches:
+            return f"no such task in this spool: {task_id}"
+        record = matches[0]
+        lines = [f"task {task_id}: {record.get('outcome')}"]
+        base = record.get("first_ts")
+        skip = ("ts", "kind", "task_id")
+        for event in record["events"]:
+            ts = event.get("ts", 0.0)
+            offset = ts - base if base is not None else 0.0
+            detail = {k: v for k, v in event.items() if k not in skip}
+            detail_text = ""
+            if detail:
+                detail_text = " " + json.dumps(detail, sort_keys=True)
+            kind = str(event.get("kind"))
+            lines.append(f"  +{offset:8.3f}s {kind:<12}{detail_text}")
+        result = record.get("result")
+        if result is not None:
+            summary = " ".join(
+                [
+                    f"method={result.get('method')}",
+                    f"status={result.get('status')}",
+                    f"objective={result.get('objective')}",
+                    f"worker={result.get('worker_id')}",
+                ]
+            )
+            lines.append(f"  result: {summary}")
+        return "\n".join(lines)
+
+    rows = []
+    for record in timelines:
+        objective = record.get("objective")
+        queue_wait = record.get("queue_wait_s")
+        solve_s = record.get("solve_s")
+        worker = record.get("worker_id") or "-"
+        rows.append(
+            {
+                "task": record["task_id"][-17:],
+                "outcome": record.get("outcome"),
+                "method": record.get("method") or "-",
+                "objective": objective if objective is not None else "-",
+                "attempts": record.get("attempts", 0),
+                "queue_wait_s": queue_wait if queue_wait is not None else "-",
+                "solve_s": solve_s if solve_s is not None else "-",
+                "progress": record.get("progress_reports", 0),
+                "worker": worker[-14:],
+            }
+        )
+    complete = sum(1 for r in timelines if r.get("complete"))
+    table = format_table(rows, title="solve audit", precision=4)
+    note = f"{complete} with complete submit->claim->ack timelines"
+    return f"{table}\n{len(timelines)} tasks, {note}"

@@ -1,0 +1,473 @@
+"""Process-local metrics registry: counters, gauges, bounded histograms.
+
+Everything the fleet knows about itself — claim rates, spool depths, cache
+hit splits, solve latencies, incumbent convergence — funnels through one
+:class:`MetricsRegistry`.  The registry is deliberately small and
+dependency-free:
+
+* **thread-safe** — one registry-wide lock; every hot-path operation
+  (counter increment, histogram observe) is a dict lookup plus a couple of
+  float updates under it;
+* **labelled** — each metric holds independent series per label set
+  (``solve_seconds.observe(0.2, method="greedy")``), the same data model
+  Prometheus uses;
+* **bounded** — histograms keep exact ``count``/``sum``/``min``/``max`` and
+  a fixed-size reservoir (Vitter's algorithm R with a deterministic RNG) for
+  quantile estimates, so a million observations cost the same memory as a
+  thousand;
+* **dual serialisation** — :meth:`MetricsRegistry.snapshot` returns a
+  JSON-safe dict for artifacts and dashboards, :meth:`to_prometheus` emits
+  the Prometheus text exposition format (histograms as summaries) for
+  anything that scrapes.
+
+Wired-in call sites share the process-wide :func:`default_metrics` registry;
+tests and embedders can pass their own registry into the worker, queue,
+runner and janitor instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import re
+import tempfile
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_metrics",
+    "parse_prometheus_text",
+]
+
+#: Label-set key: a tuple of sorted ``(label, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Quantiles exported by histogram snapshots and the Prometheus summary.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [*key, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared plumbing: a name, help text and one series per label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._series: Dict[LabelKey, Any] = {}
+
+    def _check_labels(self, labels: Dict[str, Any]) -> LabelKey:
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        return _label_key(labels)
+
+    def labels_seen(self) -> List[LabelKey]:
+        with self._lock:
+            return list(self._series)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (``repro_spool_acks_total``-style)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._check_labels(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def _snapshot_series(self, key: LabelKey) -> Dict[str, Any]:
+        return {"labels": dict(key), "value": self._series[key]}
+
+    def _prometheus_lines(self) -> Iterable[str]:
+        for key in sorted(self._series):
+            yield f"{self.name}{_format_labels(key)} {_format_value(self._series[key])}"
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, lease age, bytes held)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    _snapshot_series = Counter._snapshot_series
+    _prometheus_lines = Counter._prometheus_lines
+
+
+class _Reservoir:
+    """Exact count/sum/min/max plus a bounded sample for quantiles.
+
+    Vitter's algorithm R: once the reservoir is full, observation ``n``
+    replaces a random slot with probability ``size/n`` — an unbiased uniform
+    sample of everything seen, at fixed memory.  The RNG is deterministic
+    per series so snapshots are reproducible in tests.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "sample", "size", "_rng")
+
+    def __init__(self, size: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.sample: List[float] = []
+        self.size = size
+        self._rng = random.Random(0x5EED)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.sample) < self.size:
+            self.sample.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.size:
+                self.sample[slot] = value
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.sample:
+            return math.nan
+        ordered = sorted(self.sample)
+        # nearest-rank with linear interpolation between adjacent samples
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class Histogram(_Metric):
+    """Distribution sketch: exact moments, reservoir-estimated quantiles."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.RLock,
+        reservoir_size: int = 1024,
+    ) -> None:
+        super().__init__(name, help, lock)
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be positive")
+        self.reservoir_size = reservoir_size
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Reservoir(self.reservoir_size)
+            series.observe(float(value))
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.total if series is not None else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.quantile(q) if series is not None else math.nan
+
+    def _snapshot_series(self, key: LabelKey) -> Dict[str, Any]:
+        series: _Reservoir = self._series[key]
+        return {
+            "labels": dict(key),
+            "count": series.count,
+            "sum": series.total,
+            "min": series.minimum,
+            "max": series.maximum,
+            "quantiles": {str(q): series.quantile(q) for q in SUMMARY_QUANTILES},
+        }
+
+    def _prometheus_lines(self) -> Iterable[str]:
+        for key in sorted(self._series):
+            series: _Reservoir = self._series[key]
+            labels_text = _format_labels(key)
+            for q in SUMMARY_QUANTILES:
+                quantile_labels = _format_labels(key, (("quantile", str(q)),))
+                quantile_value = _format_value(series.quantile(q))
+                yield f"{self.name}{quantile_labels} {quantile_value}"
+            yield f"{self.name}_sum{labels_text} {_format_value(series.total)}"
+            yield f"{self.name}_count{labels_text} {series.count}"
+
+
+class MetricsRegistry:
+    """Named metrics, one shared lock, JSON + Prometheus serialisation.
+
+    ``counter``/``gauge``/``histogram`` are idempotent per name (the same
+    object comes back), so any module can declare the metrics it uses
+    without coordinating; asking for an existing name as a different kind
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, self._lock, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}",
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", reservoir_size: int = 1024
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram,
+            name,
+            help,
+            reservoir_size=reservoir_size,
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation between cases)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------ serialise
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of every series of every metric."""
+        with self._lock:
+            out: Dict[str, Any] = {"metrics": {}}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                out["metrics"][name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "series": [
+                        metric._snapshot_series(key)
+                        for key in sorted(metric._series)
+                    ],
+                }
+            return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (histograms as summaries)."""
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+                kind = "summary" if metric.kind == "histogram" else metric.kind
+                lines.append(f"# TYPE {name} {kind}")
+                lines.extend(metric._prometheus_lines())
+            return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_snapshot(self, path: str) -> None:
+        """Atomically write the JSON snapshot to ``path``."""
+        _write_atomic(path, json.dumps(self.snapshot(), indent=2, sort_keys=True))
+
+    def write_prometheus(self, path: str) -> None:
+        """Atomically write the Prometheus exposition text to ``path``."""
+        _write_atomic(path, self.to_prometheus())
+
+
+def _write_atomic(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------- parsing
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*'
+)
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> Dict[Tuple[str, LabelKey], float]:
+    """Strictly parse exposition-format text into ``(name, labels) -> value``.
+
+    Raises :class:`ValueError` on any line that does not match the grammar —
+    the CI smoke step and the round-trip tests use this as the conformance
+    check for :meth:`MetricsRegistry.to_prometheus`.
+    """
+    samples: Dict[Tuple[str, LabelKey], float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    raise ValueError(
+                        f"line {line_number}: malformed {parts[1]} comment",
+                    )
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) == 4 else ""
+                    if kind not in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                        "summary",
+                        "untyped",
+                    ):
+                        raise ValueError(
+                            f"line {line_number}: unknown TYPE {kind!r}",
+                        )
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        labels: Dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            position = 0
+            while position < len(body):
+                pair = _LABEL_PAIR_RE.match(body, position)
+                if pair is None:
+                    raise ValueError(
+                        f"line {line_number}: malformed label set {body!r}",
+                    )
+                raw = pair.group("value")
+                labels[pair.group("label")] = (
+                    raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+                )
+                position = pair.end()
+                if position < len(body):
+                    if body[position] != ",":
+                        raise ValueError(
+                            f"line {line_number}: malformed label set {body!r}",
+                        )
+                    position += 1
+        key = (match.group("name"), _label_key(labels))
+        samples[key] = _parse_value(match.group("value"))
+    return samples
+
+
+# ---------------------------------------------------------------- default
+_default_lock = threading.Lock()
+_default: Optional[MetricsRegistry] = None
+
+
+def default_metrics() -> MetricsRegistry:
+    """The process-wide registry every wired-in call site shares."""
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = MetricsRegistry()
+    return _default

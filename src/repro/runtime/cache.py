@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Protocol, Tuple
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 from repro.model.serialization import problem_to_dict
+from repro.observability.metrics import default_metrics
 
 CacheEntry = Dict[str, Any]
 
@@ -180,11 +181,31 @@ def cache_get_with_source(cache: ResultCache, key: str
 
 
 class _CacheStats:
-    """Hit/miss accounting shared by all stores."""
+    """Hit/miss accounting shared by all stores.
+
+    Each probe also feeds the process-wide
+    ``repro_cache_requests_total{tier,outcome}`` counter, so the memory /
+    disk / tiered hit split shows up in metrics snapshots without callers
+    polling every store's ``stats``.
+    """
+
+    #: metrics label identifying the store tier; overridden per subclass
+    _metrics_tier = "cache"
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        self._requests = default_metrics().counter(
+            "repro_cache_requests_total",
+            "Result-cache probes by store tier and hit/miss outcome")
+
+    def _hit(self) -> None:
+        self.hits += 1
+        self._requests.inc(tier=self._metrics_tier, outcome="hit")
+
+    def _miss(self) -> None:
+        self.misses += 1
+        self._requests.inc(tier=self._metrics_tier, outcome="miss")
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -193,6 +214,8 @@ class _CacheStats:
 
 class LRUResultCache(_CacheStats):
     """Bounded in-memory result store with least-recently-used eviction."""
+
+    _metrics_tier = "memory"
 
     def __init__(self, maxsize: int = 4096) -> None:
         super().__init__()
@@ -204,10 +227,10 @@ class LRUResultCache(_CacheStats):
     def get(self, key: str) -> Optional[CacheEntry]:
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._miss()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hit()
         return entry
 
     def get_with_source(self, key: str
@@ -220,6 +243,7 @@ class LRUResultCache(_CacheStats):
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self._requests.inc(tier=self._metrics_tier, outcome="eviction")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -259,6 +283,8 @@ class JSONFileCache(_CacheStats):
     eviction approximates least-recently-used.
     """
 
+    _metrics_tier = "disk"
+
     def __init__(self, directory: str, touch_on_hit: bool = True) -> None:
         super().__init__()
         self.directory = directory
@@ -286,7 +312,7 @@ class JSONFileCache(_CacheStats):
         if entry is None:
             entry = self._load(self._legacy_path(key))
             if entry is None:
-                self.misses += 1
+                self._miss()
                 return None
             # migrate the flat legacy file into its shard (atomic; a loser
             # of a concurrent migration race merely re-writes the same entry)
@@ -300,7 +326,7 @@ class JSONFileCache(_CacheStats):
                 os.utime(path)
             except OSError:
                 pass
-        self.hits += 1
+        self._hit()
         return entry
 
     def get_with_source(self, key: str
@@ -348,6 +374,8 @@ class TieredResultCache(_CacheStats):
     Disk hits are promoted into memory; writes go to both tiers.
     """
 
+    _metrics_tier = "tiered"
+
     def __init__(self, memory: Optional[LRUResultCache] = None,
                  disk: Optional[JSONFileCache] = None) -> None:
         super().__init__()
@@ -367,9 +395,9 @@ class TieredResultCache(_CacheStats):
             if entry is not None:
                 self.memory.put(key, entry)
         if entry is None:
-            self.misses += 1
+            self._miss()
             return None, None
-        self.hits += 1
+        self._hit()
         return entry, source
 
     def put(self, key: str, entry: CacheEntry) -> None:

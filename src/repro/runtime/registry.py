@@ -54,6 +54,28 @@ from repro.core.context import (
 )
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
+from repro.observability.metrics import default_metrics
+
+
+def _observe_convergence(method: str, history: List[Any]) -> None:
+    """Feed a solve's incumbent history into the convergence histograms.
+
+    ``history[0]`` is the first feasible incumbent, ``history[-1]`` the best
+    one found; their elapsed offsets are the paper-relevant anytime quality
+    signals (how fast a feasible answer exists, how fast it stops
+    improving), aggregated per method.
+    """
+    if not history:
+        return
+    metrics = default_metrics()
+    metrics.histogram(
+        "repro_incumbent_first_seconds",
+        "Seconds until a solve's first feasible incumbent, by method",
+    ).observe(history[0][0], method=method)
+    metrics.histogram(
+        "repro_incumbent_best_seconds",
+        "Seconds until a solve's final best incumbent, by method",
+    ).observe(history[-1][0], method=method)
 
 
 class UnknownSolverError(ValueError):
@@ -111,6 +133,9 @@ class SolverSpec:
         try:
             assignment, details = self.runner(problem, weighting, run_options)
         except SolveInterrupted as exc:
+            interrupted_history = (list(context.incumbent_history)
+                                   if context is not None else [])
+            _observe_convergence(self.name, interrupted_history)
             return SolverResult(
                 method=self.name,
                 assignment=None,
@@ -118,8 +143,7 @@ class SolverSpec:
                 elapsed_s=time.perf_counter() - started,
                 details={"interrupted": exc.kind},
                 status=exc.status,
-                incumbent_history=(list(context.incumbent_history)
-                                   if context is not None else []),
+                incumbent_history=interrupted_history,
             )
         elapsed = time.perf_counter() - started
         objective = assignment.end_to_end_delay()
@@ -138,6 +162,7 @@ class SolverSpec:
             # that report no intermediate incumbents
             context.report_incumbent(objective, source=self.name)
             history = list(context.incumbent_history)
+            _observe_convergence(self.name, history)
         return SolverResult(
             method=self.name,
             assignment=assignment,

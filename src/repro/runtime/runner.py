@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
+from repro.observability.metrics import default_metrics
 from repro.runtime.cache import (
     ResultCache,
     cache_entry_from_result,
@@ -300,6 +301,18 @@ class BatchRunner:
             if item.cached:
                 by_source[item.cache_source or "memory"] = \
                     by_source.get(item.cache_source or "memory", 0) + 1
+        metrics = default_metrics()
+        tasks_total = metrics.counter(
+            "repro_batch_tasks_total",
+            "Batch tasks by final status (solved/cached/failed)")
+        tasks_total.inc(solved, status="solved")
+        tasks_total.inc(sum(1 for item in items if item.cached),
+                        status="cached")
+        tasks_total.inc(failed, status="failed")
+        metrics.histogram(
+            "repro_batch_wall_seconds",
+            "Wall-clock seconds per BatchRunner.run call").observe(
+            time.perf_counter() - started)
         return BatchReport(results=items,
                            wall_s=time.perf_counter() - started,
                            workers=self.workers,
@@ -315,6 +328,10 @@ class BatchRunner:
                     prepared: List[PreparedTask]) -> Dict[str, Any]:
         from repro.core.context import SolveContext
 
+        default_metrics().counter(
+            "repro_batch_lane_total",
+            "Batch tasks routed per dispatch lane").inc(
+            len(indices), lane="serial")
         outcomes: Dict[str, Any] = {}
         for index in indices:
             prep = prepared[index]
@@ -373,11 +390,15 @@ class BatchRunner:
             else:
                 cooperative.append(payload)     # unbudgeted: plain executor
 
+        lane_total = default_metrics().counter(
+            "repro_batch_lane_total", "Batch tasks routed per dispatch lane")
         outcomes: Dict[str, Any] = {}
         if cooperative:
+            lane_total.inc(len(cooperative), lane="cooperative")
             outcomes.update(self._collect_executor(
                 self._chunked(cooperative)))
         if hard_kill:
+            lane_total.inc(len(hard_kill), lane="hard_kill")
             outcomes.update(self._collect_pool_with_deadlines(
                 self._chunked(hard_kill)))
         return outcomes

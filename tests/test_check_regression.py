@@ -1,0 +1,140 @@
+"""The CI perf-regression gate (benchmarks/check_regression.py) end to end.
+
+Exercised via subprocess — the script is a standalone CLI, not a package
+module — against synthetic pytest-benchmark JSON so the tests are fast and
+deterministic.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                      "benchmarks", "check_regression.py")
+
+
+def write_bench(directory, bench, means):
+    """Minimal pytest-benchmark JSON with the fields the gate reads."""
+    payload = {
+        "machine_info": {"python_version": "3.11.7"},
+        "benchmarks": [
+            {"fullname": fullname, "stats": {"mean": mean}}
+            for fullname, mean in means.items()
+        ],
+    }
+    path = os.path.join(str(directory), f"BENCH_{bench}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def run_gate(*args):
+    proc = subprocess.run([sys.executable, SCRIPT, *args],
+                          capture_output=True, text=True, timeout=60)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    return results, baselines
+
+
+class TestGate:
+    def test_update_then_identical_run_passes(self, dirs):
+        results, baselines = dirs
+        write_bench(results, "alpha", {"t::case[a]": 0.010, "t::case[b]": 0.020})
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines), "--update")
+        assert code == 0, out
+        assert (baselines / "alpha.json").exists()
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines))
+        assert code == 0, out
+        assert "PASS alpha" in out and "gate passed" in out
+
+    def test_geo_mean_slowdown_past_threshold_fails(self, dirs):
+        results, baselines = dirs
+        write_bench(results, "alpha", {"t::case[a]": 0.010, "t::case[b]": 0.020})
+        run_gate("--results", str(results), "--baselines", str(baselines),
+                 "--update")
+        write_bench(results, "alpha", {"t::case[a]": 0.020, "t::case[b]": 0.040})
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines))
+        assert code == 1
+        assert "FAIL alpha" in out and "2.00x slower" in out
+
+    def test_single_noisy_case_does_not_trip_the_geo_mean(self, dirs):
+        # one case 2x slower among four steady ones: geo-mean 2^(1/5) ≈ 1.15
+        results, baselines = dirs
+        means = {f"t::case[{i}]": 0.010 for i in range(5)}
+        write_bench(results, "alpha", means)
+        run_gate("--results", str(results), "--baselines", str(baselines),
+                 "--update")
+        means["t::case[0]"] = 0.020
+        write_bench(results, "alpha", means)
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines))
+        assert code == 0, out
+
+    def test_new_bench_without_baseline_passes_with_note(self, dirs):
+        results, baselines = dirs
+        write_bench(results, "brandnew", {"t::case[a]": 0.010})
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines))
+        assert code == 0
+        assert "no baseline yet" in out
+
+    def test_new_cases_in_known_bench_are_noted_not_gated(self, dirs):
+        results, baselines = dirs
+        write_bench(results, "alpha", {"t::case[a]": 0.010})
+        run_gate("--results", str(results), "--baselines", str(baselines),
+                 "--update")
+        write_bench(results, "alpha", {"t::case[a]": 0.010,
+                                       "t::case[new]": 9.9})
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines))
+        assert code == 0, out
+        assert "1 unbaselined" in out
+
+    def test_custom_threshold_via_flag(self, dirs):
+        results, baselines = dirs
+        write_bench(results, "alpha", {"t::case[a]": 0.010})
+        run_gate("--results", str(results), "--baselines", str(baselines),
+                 "--update")
+        write_bench(results, "alpha", {"t::case[a]": 0.013})
+        code, _ = run_gate("--results", str(results),
+                           "--baselines", str(baselines), "--threshold", "1.2")
+        assert code == 1
+        code, _ = run_gate("--results", str(results),
+                           "--baselines", str(baselines), "--threshold", "1.4")
+        assert code == 0
+
+    def test_empty_results_dir_is_an_error(self, dirs):
+        results, baselines = dirs
+        code, out = run_gate("--results", str(results),
+                             "--baselines", str(baselines))
+        assert code == 2
+        assert "no BENCH_" in out
+
+    def test_committed_baselines_cover_every_bench_file(self):
+        """Every bench_*.py in benchmarks/ has a committed baseline."""
+        bench_dir = os.path.dirname(SCRIPT)
+        baseline_dir = os.path.join(bench_dir, "baselines")
+        benches = {name[: -len(".py")] for name in os.listdir(bench_dir)
+                   if name.startswith("bench_") and name.endswith(".py")}
+        baselines = {name[: -len(".json")] for name in os.listdir(baseline_dir)
+                     if name.endswith(".json")}
+        assert benches, "no benchmark files found"
+        missing = benches - baselines
+        assert not missing, f"bench files without committed baselines: {missing}"
+        for name in sorted(baselines):
+            path = os.path.join(baseline_dir, f"{name}.json")
+            data = json.load(open(path))
+            assert data["means"], f"empty baseline: {path}"

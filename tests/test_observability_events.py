@@ -1,0 +1,114 @@
+"""Event log: append atomicity (including under SIGKILL), torn-line tolerance."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.observability import EVENTS_FILENAME, EventLog
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+
+
+class TestBasics:
+    def test_emit_read_round_trip(self, tmp_path):
+        log = EventLog(str(tmp_path / "events.jsonl"))
+        log.emit("submit", task_id="t1", n=8)
+        log.emit("claim", task_id="t1", attempt=0)
+        events = log.read()
+        assert [e["kind"] for e in events] == ["submit", "claim"]
+        assert events[0]["task_id"] == "t1" and events[0]["n"] == 8
+        assert events[0]["ts"] <= events[1]["ts"]
+        assert len(log) == 2
+
+    def test_for_spool_places_log_at_root(self, tmp_path):
+        log = EventLog.for_spool(str(tmp_path))
+        log.emit("submit", task_id="t1")
+        assert os.path.exists(str(tmp_path / EVENTS_FILENAME))
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert EventLog(str(tmp_path / "absent.jsonl")).read() == []
+
+    def test_emit_never_raises(self, tmp_path):
+        # unwritable destination: telemetry must drop, not propagate
+        log = EventLog(str(tmp_path / "no" / "such" / "dir" / "events.jsonl"))
+        log.emit("submit", task_id="t1")
+        assert log.read() == []
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit("submit", task_id="t1")
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "claim", "task_id": "t')  # no newline
+        assert [e["kind"] for e in log.read()] == ["submit"]
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b'not json\n[1, 2]\n{"no_kind": 1}\n'
+                         b'{"kind": "ack", "task_id": "t1"}\n')
+        events = EventLog(str(path)).read()
+        assert [e["kind"] for e in events] == ["ack"]
+
+
+_WRITER = r"""
+import sys
+from repro.observability.events import EventLog
+
+log = EventLog(sys.argv[1])
+i = 0
+while True:
+    log.emit("progress", task_id="t%05d" % (i % 7), seq=i, pad="x" * 300)
+    i += 1
+"""
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"), reason="needs SIGKILL")
+class TestSigkillAtomicity:
+    def test_append_atomic_under_sigkill(self, tmp_path):
+        """SIGKILL a busy writer: every complete line must still parse.
+
+        The emit path is one ``os.write`` on an ``O_APPEND`` fd, so a kill
+        can truncate at most the final line — never interleave or corrupt
+        earlier ones.  The writer tags events with a sequence number so we
+        can also assert nothing was lost or reordered before the cut.
+        """
+        path = str(tmp_path / "events.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen([sys.executable, "-c", _WRITER, path], env=env)
+        try:
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                if os.path.exists(path) and os.path.getsize(path) > 20000:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("writer produced no output before the deadline")
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+
+        raw = open(path, "rb").read()
+        assert len(raw) > 20000
+        lines = raw.split(b"\n")
+        torn = lines[-1]  # empty when the final write completed
+        complete = lines[:-1]
+        assert complete, "no complete lines survived"
+        seqs = []
+        for line in complete:
+            event = json.loads(line)  # must parse — no interleaved garbage
+            assert event["kind"] == "progress"
+            assert event["pad"] == "x" * 300
+            seqs.append(event["seq"])
+        assert seqs == list(range(len(seqs)))
+        # the reader applies exactly the newline-terminated-lines contract
+        assert len(EventLog(path).read()) == len(complete)
+        if torn:
+            with pytest.raises(ValueError):
+                json.loads(torn)

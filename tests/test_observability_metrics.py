@@ -1,0 +1,198 @@
+"""Metrics registry: thread safety, quantile accuracy, serialization round-trips."""
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    default_metrics,
+    parse_prometheus_text,
+)
+from repro.observability.metrics import SUMMARY_QUANTILES
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRegistry:
+    def test_metrics_memoized_by_name(self, registry):
+        a = registry.counter("repro_x_total", "help")
+        b = registry.counter("repro_x_total")
+        assert a is b
+
+    def test_kind_collision_rejected(self, registry):
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        counter = registry.counter("repro_ok_total")
+        with pytest.raises(ValueError, match="invalid label name"):
+            counter.inc(**{"bad-label": "x"})
+
+    def test_default_metrics_is_a_singleton(self):
+        assert default_metrics() is default_metrics()
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("repro_x_total").inc()
+        registry.reset()
+        assert registry.get("repro_x_total") is None
+
+
+class TestCounterGauge:
+    def test_counter_rejects_decrease(self, registry):
+        counter = registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("repro_x_total")
+        counter.inc(worker="a")
+        counter.inc(2, worker="b")
+        assert counter.value(worker="a") == 1
+        assert counter.value(worker="b") == 2
+        assert counter.value(worker="absent") == 0
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("repro_depth")
+        gauge.set(5, state="pending")
+        gauge.dec(2, state="pending")
+        gauge.inc(state="pending")
+        assert gauge.value(state="pending") == 4
+
+    def test_concurrent_increments_sum_exactly(self, registry):
+        counter = registry.counter("repro_hits_total")
+        histogram = registry.histogram("repro_lat_seconds")
+        threads, per_thread = 8, 500
+        barrier = threading.Barrier(threads)
+
+        def hammer(thread_index):
+            barrier.wait()
+            for i in range(per_thread):
+                counter.inc(worker=str(thread_index % 2))
+                histogram.observe(float(i), method="m")
+
+        pool = [threading.Thread(target=hammer, args=(t,)) for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = counter.value(worker="0") + counter.value(worker="1")
+        assert total == threads * per_thread
+        assert histogram.count(method="m") == threads * per_thread
+        expected_sum = threads * sum(range(per_thread))
+        assert histogram.sum(method="m") == pytest.approx(expected_sum)
+
+
+class TestHistogramQuantiles:
+    def test_exact_quantiles_match_naive_reference(self, registry):
+        # fewer observations than the reservoir: the sample is the data, so
+        # quantiles must agree with a naive sorted linear interpolation
+        # (numpy's default percentile definition) to float precision.
+        histogram = registry.histogram("repro_lat_seconds")
+        rng = np.random.default_rng(7)
+        values = rng.gamma(2.0, 3.0, size=500)
+        for v in values:
+            histogram.observe(float(v))
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            naive = float(np.percentile(values, 100.0 * q))
+            assert histogram.quantile(q) == pytest.approx(naive, rel=1e-12)
+
+    def test_reservoir_quantiles_stay_close_on_overflow(self, registry):
+        # 20k uniform observations through a 1024-slot reservoir: algorithm R
+        # keeps an unbiased sample, so mid quantiles land within a few
+        # percent of truth (RNG is deterministic per series).
+        histogram = registry.histogram("repro_lat_seconds")
+        for i in range(20000):
+            histogram.observe(i / 20000.0)
+        assert histogram.count() == 20000
+        for q in (0.25, 0.5, 0.9):
+            assert histogram.quantile(q) == pytest.approx(q, abs=0.05)
+
+    def test_moments_are_exact_despite_sampling(self, registry):
+        histogram = registry.histogram("repro_lat_seconds", reservoir_size=16)
+        for i in range(1000):
+            histogram.observe(float(i))
+        assert histogram.count() == 1000
+        assert histogram.sum() == sum(range(1000))
+
+    def test_empty_histogram_quantile_is_nan(self, registry):
+        histogram = registry.histogram("repro_lat_seconds")
+        assert math.isnan(histogram.quantile(0.5))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestSerialization:
+    def _populate(self, registry):
+        counter = registry.counter("repro_acks_total", "acks by worker")
+        counter.inc(3, worker="w1")
+        counter.inc(worker="w2")
+        registry.gauge("repro_depth", "queue depth").set(7, state="pending")
+        histogram = registry.histogram("repro_solve_seconds", "solve latency")
+        for i in range(50):
+            histogram.observe(i / 10.0, method="ssb")
+
+    def test_json_snapshot_structure(self, registry):
+        self._populate(registry)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # JSON-safe
+        metrics = snapshot["metrics"]
+        assert metrics["repro_acks_total"]["kind"] == "counter"
+        by_labels = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in metrics["repro_acks_total"]["series"]
+        }
+        assert by_labels[(("worker", "w1"),)] == 3
+        hist = metrics["repro_solve_seconds"]["series"][0]
+        assert hist["count"] == 50
+        assert set(hist["quantiles"]) == {str(q) for q in SUMMARY_QUANTILES}
+
+    def test_prometheus_round_trip(self, registry):
+        self._populate(registry)
+        parsed = parse_prometheus_text(registry.to_prometheus())
+        assert parsed[("repro_acks_total", (("worker", "w1"),))] == 3.0
+        assert parsed[("repro_depth", (("state", "pending"),))] == 7.0
+        assert parsed[("repro_solve_seconds_count", (("method", "ssb"),))] == 50.0
+        key = ("repro_solve_seconds", (("method", "ssb"), ("quantile", "0.5")))
+        assert parsed[key] == pytest.approx(2.45)
+
+    def test_label_escaping_round_trips(self, registry):
+        counter = registry.counter("repro_x_total")
+        hostile = 'a"b\\c\nd'
+        counter.inc(5, tag=hostile)
+        parsed = parse_prometheus_text(registry.to_prometheus())
+        assert parsed[("repro_x_total", (("tag", hostile),))] == 5.0
+
+    def test_non_finite_values_serialize(self, registry):
+        registry.gauge("repro_g").set(math.inf)
+        registry.gauge("repro_h").set(math.nan)
+        parsed = parse_prometheus_text(registry.to_prometheus())
+        assert parsed[("repro_g", ())] == math.inf
+        assert math.isnan(parsed[("repro_h", ())])
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("not a metric line at all!")
+        with pytest.raises(ValueError, match="malformed label set"):
+            parse_prometheus_text('x{oops} 1')
+        with pytest.raises(ValueError, match="unknown TYPE"):
+            parse_prometheus_text("# TYPE x sideways\nx 1")
+
+    def test_snapshot_files_written_atomically(self, registry, tmp_path):
+        self._populate(registry)
+        json_path = tmp_path / "deep" / "metrics.json"
+        prom_path = tmp_path / "deep" / "metrics.prom"
+        registry.write_snapshot(str(json_path))
+        registry.write_prometheus(str(prom_path))
+        assert json.loads(json_path.read_text())["metrics"]
+        assert parse_prometheus_text(prom_path.read_text())
+        assert not list(tmp_path.glob("**/*.tmp"))

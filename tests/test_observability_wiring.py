@@ -1,0 +1,185 @@
+"""Observability wiring: spool/worker instrumentation, top snapshots, audit."""
+
+import os
+
+import pytest
+
+from repro.distributed import SolveWorker, WorkQueue, spool_cache
+from repro.observability import EVENTS_FILENAME, MetricsRegistry
+from repro.observability.audit import build_timelines, render_audit
+from repro.observability.top import render_top, run_top, sparkline, spool_snapshot
+from repro.runtime import BatchTask, default_registry, prepare_tasks, task_payload
+from repro.workloads import random_problem
+
+
+def payload_for(problem, method="colored-ssb", **options):
+    task = BatchTask(problem=problem, method=method, options=dict(options),
+                     tag=problem.name)
+    prep = prepare_tasks([task], default_registry())[0]
+    return task_payload(prep)
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+class TestQueueInstrumentation:
+    def test_lifecycle_emits_events_and_counts_transitions(self, spool):
+        registry = MetricsRegistry()
+        queue = WorkQueue(spool, metrics=registry)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        queue.publish_progress(task, {"best_objective": 3.0, "incumbents": 1})
+        queue.ack(task, {"ok": True, "objective": 3.0, "method": "greedy"})
+
+        kinds = [e["kind"] for e in queue.events.read()]
+        assert kinds == ["submit", "claim", "progress", "ack"]
+        assert all(e["task_id"] == task_id for e in queue.events.read())
+        transitions = registry.get("repro_spool_transitions_total")
+        for kind in kinds:
+            assert transitions.value(kind=kind) == 1
+
+    def test_counts_publishes_depth_gauge(self, spool):
+        registry = MetricsRegistry()
+        queue = WorkQueue(spool, metrics=registry)
+        queue.submit({"n": 1})
+        queue.submit({"n": 2})
+        queue.claim()
+        counts = queue.counts()
+        depth = registry.get("repro_spool_depth")
+        assert depth.value(state="pending") == counts["pending"] == 1
+        assert depth.value(state="claimed") == counts["claimed"] == 1
+
+    def test_events_can_be_disabled(self, spool):
+        queue = WorkQueue(spool, events=False)
+        assert queue.events is None
+        queue.submit({"n": 1})
+        assert not os.path.exists(os.path.join(spool, EVENTS_FILENAME))
+
+
+class TestWorkerInstrumentation:
+    def test_solve_populates_latency_histogram_and_outcomes(self, spool):
+        registry = MetricsRegistry()
+        queue = WorkQueue(spool, metrics=registry)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=11)
+        queue.submit(payload_for(problem))
+        worker = SolveWorker(queue)
+        assert worker.metrics is registry  # shares the queue's registry
+        assert worker.run(drain=True) == 1
+
+        tasks_total = registry.get("repro_worker_tasks_total")
+        assert tasks_total.value(outcome="solved") == 1
+        solve_seconds = registry.get("repro_solve_seconds")
+        (label_key,) = solve_seconds.labels_seen()
+        labels = dict(label_key)
+        assert labels["method"] == "colored-ssb"
+        assert labels["status"] == "optimal"
+        assert solve_seconds.count(**labels) == 1
+        assert solve_seconds.sum(**labels) > 0.0
+        kinds = [e["kind"] for e in queue.events.read()]
+        assert kinds == ["submit", "claim", "solve_start", "solve_end", "ack"]
+
+    def test_cached_resubmit_counts_a_cache_hit(self, spool):
+        registry = MetricsRegistry()
+        queue = WorkQueue(spool, metrics=registry)
+        problem = random_problem(n_processing=8, n_satellites=3, seed=12)
+        queue.submit(payload_for(problem))
+        SolveWorker(queue, cache=spool_cache(spool)).run(drain=True)
+        queue.submit(payload_for(problem))  # same content hash: cache hit
+        SolveWorker(queue, cache=spool_cache(spool)).run(drain=True)
+        tasks_total = registry.get("repro_worker_tasks_total")
+        assert tasks_total.value(outcome="cached") == 1
+        hits = registry.get("repro_worker_cache_hits_total")
+        assert sum(hits.value(**dict(k)) for k in hits.labels_seen()) == 1
+        assert "cache_hit" in [e["kind"] for e in queue.events.read()]
+
+
+class TestTop:
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+        falling = sparkline([4.0, 3.0, 2.0, 1.0])
+        assert falling[0] == "█" and falling[-1] == "▁"
+        assert len(sparkline(list(range(100)), width=16)) == 16
+
+    def test_snapshot_counts_leases_and_throughput(self, spool):
+        queue = WorkQueue(spool)
+        queue.submit({"n": 1})
+        queue.submit({"method": "greedy", "n": 2})
+        task = queue.claim()
+        queue.publish_progress(task, {"best_objective": 9.0, "incumbents": 1})
+        queue.publish_progress(task, {"best_objective": 4.0, "incumbents": 2})
+
+        snapshot = spool_snapshot(spool)
+        assert snapshot["counts"] == {"tasks": 1, "claimed": 1,
+                                      "results": 0, "failed": 0}
+        (lease,) = snapshot["claimed"]
+        assert lease["task_id"] == task.task_id
+        assert lease["lease_age_s"] >= 0.0
+        assert lease["best_objective"] == 4.0
+        assert snapshot["progress_series"][task.task_id] == [9.0, 4.0]
+
+        queue.ack(task, {"ok": True, "method": "greedy", "objective": 4.0})
+        throughput = spool_snapshot(spool)["throughput"]
+        assert throughput["greedy"]["total"] == 1
+        assert throughput["greedy"]["recent"] == 1
+        assert throughput["greedy"]["per_s"] > 0.0
+
+    def test_render_and_run_once(self, spool, capsys):
+        queue = WorkQueue(spool)
+        queue.submit({"n": 1})
+        frame = render_top(spool_snapshot(spool), width=100)
+        assert "queue depth: 1 pending" in frame
+        assert "solver throughput" in frame
+
+        import io
+
+        stream = io.StringIO()
+        frames = run_top(spool, iterations=1, stream=stream, clear=False)
+        assert frames == 1
+        assert "queue depth: 1 pending" in stream.getvalue()
+
+
+class TestAudit:
+    def test_full_timeline_is_reconstructed(self, spool):
+        queue = WorkQueue(spool)
+        task_id = queue.submit({"method": "greedy", "n": 1})
+        task = queue.claim()
+        queue.publish_progress(task, {"best_objective": 9.0, "incumbents": 1})
+        queue.publish_progress(task, {"best_objective": 4.0, "incumbents": 2})
+        queue.ack(task, {"ok": True, "objective": 4.0, "method": "greedy",
+                         "worker_id": "w-test"})
+
+        (record,) = build_timelines(spool)
+        assert record["task_id"] == task_id
+        assert record["complete"]
+        assert record["attempts"] == 1
+        assert record["progress_reports"] == 2
+        assert record["queue_wait_s"] >= 0.0
+        assert record["outcome"] == "ok"
+        assert record["worker_id"] == "w-test"
+
+        table = render_audit(build_timelines(spool))
+        assert "1 tasks, 1 with complete submit->claim->ack timelines" in table
+        single = render_audit(build_timelines(spool), task_id=task_id)
+        for kind in ("submit", "claim", "progress", "ack"):
+            assert kind in single
+
+    def test_dead_letter_outcome(self, spool):
+        queue = WorkQueue(spool, max_requeues=0)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        queue.fail(task, "boom")
+        (record,) = build_timelines(spool)
+        assert record["task_id"] == task_id
+        assert record["outcome"] == "dead-letter"
+        assert not record["complete"]
+        assert "dead_letter" in [e["kind"] for e in record["events"]]
+
+    def test_unclaimed_task_is_pending(self, spool):
+        queue = WorkQueue(spool)
+        queue.submit({"n": 1})
+        (record,) = build_timelines(spool)
+        assert record["outcome"] == "pending"
+        assert record["attempts"] == 0

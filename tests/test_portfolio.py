@@ -126,3 +126,84 @@ class TestAnytime:
         assert result.objective == reference
         if result.details["stages"][-1].get("interrupted"):
             assert result.status == "optimal"
+
+
+def star_problem(n=12, sats=3):
+    """A genuine wide star: the root fans out to every other processing CRU.
+
+    The random generator's uniform parent attachment never produces this
+    shape even with a huge ``max_children`` cap, so the star-gate regression
+    builds it directly.
+    """
+    from repro.model.costs import CommunicationCostModel
+    from repro.model.cru import CRU, CRUTree
+    from repro.model.platform import Host, HostSatelliteSystem, Satellite
+    from repro.model.problem import AssignmentProblem
+    from repro.model.profiles import ExecutionProfile
+
+    tree = CRUTree(CRU("P0"))
+    for i in range(1, n):
+        tree.add_processing("P0", f"P{i}")
+    system = HostSatelliteSystem(Host(speed_factor=2.0))
+    satellite_ids = [f"sat{i}" for i in range(sats)]
+    for sid in satellite_ids:
+        system.add_satellite(Satellite(sid))
+    profile = ExecutionProfile()
+    costs = CommunicationCostModel()
+    attachment = {}
+    for i in range(n):
+        cru_id = f"P{i}"
+        profile.set_host_time(cru_id, 0.4 + 0.05 * i)
+        profile.set_satellite_time(cru_id, 0.9 + 0.1 * i)
+        if not tree.children_ids(cru_id):
+            sensor_id = f"s{i}"
+            tree.add_sensor(cru_id, sensor_id)
+            attachment[sensor_id] = satellite_ids[i % sats]
+            profile.set_times(sensor_id, 0.0, 0.0)
+            costs.set_cost(sensor_id, cru_id, 0.1)
+    for parent, child in tree.edges():
+        if tree.cru(child).is_processing:
+            costs.set_cost(child, parent, 0.2)
+    return AssignmentProblem(tree=tree, system=system,
+                             sensor_attachment=attachment,
+                             profile=profile, costs=costs, name=f"star-{n}")
+
+
+class TestStarGate:
+    """Auto policy must not pick the pruned-DP cross-check on wide stars,
+    where combining every child frontier at the hub node grinds."""
+
+    def test_star_features_report_high_star_width(self):
+        features = instance_features(star_problem(n=12))
+        assert features["max_branching"] == 11
+        assert features["star_width"] > 0.5
+        balanced = instance_features(make(n=12, scatter=0.0, seed=3))
+        assert balanced["star_width"] <= 0.5
+
+    def test_cross_check_skipped_on_wide_star_despite_small_n(self):
+        # n=12 passes the old n<=14 + scatter gates; only the star gate trips
+        result = solve(star_problem(n=12), method="portfolio")
+        stages = {s["stage"]: s for s in result.details["stages"]}
+        assert "star_width" in (stages["dp-pruned"].get("skipped") or "")
+        assert "cross_check_agreed" not in result.details
+
+    def test_cross_check_still_runs_on_balanced_small_instances(self):
+        result = solve(make(n=12, scatter=0.0, seed=3), method="portfolio")
+        stages = {s["stage"]: s for s in result.details["stages"]}
+        assert not stages["dp-pruned"].get("skipped")
+
+    def test_wide_star_near_40_is_gated(self):
+        from repro.core.portfolio import PortfolioSolver
+
+        features = instance_features(star_problem(n=40, sats=4))
+        assert features["star_width"] > 0.9
+        solver = PortfolioSolver()
+        assert not solver._wants_cross_check(features)
+        assert "star_width" in solver._skip_reason(features)
+
+    def test_portfolio_stays_exact_on_stars(self):
+        problem = star_problem(n=8)
+        reference = solve(problem, method="brute-force").objective
+        result = solve(problem, method="portfolio")
+        assert result.objective == reference
+        assert result.details["optimal_proven"]
