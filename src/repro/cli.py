@@ -33,6 +33,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -384,18 +385,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_age_s=args.results_max_age)
     next_sweep = time.monotonic() + args.janitor_interval
 
+    sweep_queue = WorkQueue(args.spool)
+
     def sweep() -> None:
         if janitor is not None:
             print(janitor.collect().summary(), flush=True)
         if compact_results is not None:
             print(f"results {compact_results().summary()}", flush=True)
+        reaped = sweep_queue.sweep_tmp()
+        if reaped:
+            print(f"spool tmp sweep: reaped {reaped} abandoned staging "
+                  f"file(s)", flush=True)
 
     try:
         while True:
             if all(proc.poll() is not None for proc in workers):
                 break               # --drain fleets exit on an empty spool
-            if ((janitor is not None or compact_results is not None)
-                    and time.monotonic() >= next_sweep):
+            if time.monotonic() >= next_sweep:
+                # always runs: even with no cache/result caps configured the
+                # spool's abandoned-staging-file sweep should happen
                 sweep()
                 next_sweep = time.monotonic() + args.janitor_interval
             time.sleep(0.2)
@@ -501,6 +509,27 @@ def _cmd_top(args: argparse.Namespace) -> int:
     run_top(args.spool, interval=args.interval, iterations=args.iterations,
             width=args.width)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.distributed.chaos import run_chaos
+    from repro.distributed.faults import FaultPlan
+
+    if args.show_plan:
+        plan = FaultPlan.from_seed(args.plan, rate=args.rate)
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        return 0
+    spool = args.spool or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = run_chaos(spool, seed=args.plan, tasks=args.tasks,
+                       workers=args.workers, rate=args.rate,
+                       method=args.method, timeout_s=args.timeout)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        print(f"  spool: {spool} (journal: chaos-journal.jsonl, "
+              f"quarantine: quarantine/)")
+    return 0 if report.ok else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -712,6 +741,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--width", type=int, default=100,
                        help="maximum rendered line width (default: 100)")
     p_top.set_defaults(func=_cmd_top)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection plan against a live worker fleet "
+             "and verify the exactly-once invariants")
+    p_chaos.add_argument("--spool", default=None,
+                         help="spool directory to abuse (default: a fresh "
+                              "temporary directory, left in place for "
+                              "forensics)")
+    p_chaos.add_argument("--plan", type=int, default=0, metavar="SEED",
+                         help="fault-plan seed; the same seed replays the "
+                              "same fault schedule (default: 0)")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="worker threads to run (default: 2)")
+    p_chaos.add_argument("--tasks", type=int, default=200,
+                         help="tasks to submit (default: 200)")
+    p_chaos.add_argument("--rate", type=float, default=0.05,
+                         help="base per-call fault probability (default: "
+                              "0.05)")
+    p_chaos.add_argument("--method", default="greedy",
+                         help="solver method for the chaos tasks (default: "
+                              "greedy — fast, so the run stresses the spool "
+                              "rather than the solver)")
+    p_chaos.add_argument("--timeout", type=float, default=120.0,
+                         help="overall budget in seconds before the run is "
+                              "declared wedged (default: 120)")
+    p_chaos.add_argument("--show-plan", action="store_true",
+                         help="print the fault plan as JSON and exit")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_audit = sub.add_parser(
         "audit", help="reconstruct per-task solve timelines from a spool")

@@ -23,15 +23,25 @@ shared filesystem as infrastructure:
   unchanged (only profiles/costs drifted) warm-start the label engine from
   the previous optimum;
 * :mod:`~repro.distributed.janitor` — :class:`CacheJanitor`, size/age-capped
-  LRU eviction keeping million-entry on-disk stores bounded.
+  LRU eviction keeping million-entry on-disk stores bounded;
+* :mod:`~repro.distributed.faults` — :class:`FaultPlan` / :class:`FaultyFS`,
+  seeded deterministic filesystem fault injection (ENOSPC, EIO, torn writes,
+  corruption, hangs, clock skew) behind the
+  :class:`~repro.runtime.fsio.FilesystemAdapter` seam every store routes
+  through;
+* :mod:`~repro.distributed.chaos` — :func:`run_chaos`, the harness running a
+  live fleet under a fault plan and asserting the standing exactly-once /
+  no-crash / metered-transition invariants.
 """
 
+from repro.distributed.chaos import ChaosReport, run_chaos
+from repro.distributed.faults import FaultPlan, FaultRule, FaultyFS
 from repro.distributed.incremental import (
     IncrementalSolver,
     WarmStartIndex,
     structure_fingerprint,
 )
-from repro.distributed.janitor import CacheJanitor, JanitorReport
+from repro.distributed.janitor import CacheJanitor, JanitorReport, sweep_stale_tmp
 from repro.distributed.service import SolveService, Submission
 from repro.distributed.spool import SpoolTask, WorkQueue, new_task_id
 from repro.distributed.stream import ResultStream, StreamTimeout
@@ -39,6 +49,10 @@ from repro.distributed.worker import SolveWorker, spool_cache
 
 __all__ = [
     "CacheJanitor",
+    "ChaosReport",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyFS",
     "IncrementalSolver",
     "JanitorReport",
     "ResultStream",
@@ -50,6 +64,8 @@ __all__ = [
     "WarmStartIndex",
     "WorkQueue",
     "new_task_id",
+    "run_chaos",
     "spool_cache",
     "structure_fingerprint",
+    "sweep_stale_tmp",
 ]

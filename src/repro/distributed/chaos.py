@@ -1,0 +1,306 @@
+"""The chaos harness: a live fleet under a seeded fault schedule.
+
+``repro chaos --spool DIR --plan SEED`` (and ``tests/test_chaos.py``) run a
+real submitter and real :class:`~repro.distributed.worker.SolveWorker`
+threads against a real spool directory, with every actor's filesystem calls
+routed through a :class:`~repro.distributed.faults.FaultyFS` drawing from
+one seeded :class:`~repro.distributed.faults.FaultPlan`.  Nothing is
+mocked: injected ``ENOSPC`` is a real ``OSError`` out of a real write,
+injected torn writes land real garbage bytes that the hardened readers must
+quarantine.
+
+The harness then asserts the **standing invariants** the distributed layer
+promises to keep under arbitrary filesystem weather:
+
+* *exactly-once accounting* — every successfully submitted task reaches
+  exactly one of result / dead-letter / quarantine (classified in that
+  precedence order); none is lost, none is counted twice;
+* *no double solve* — no task is acked more than once (best-effort check
+  via the event log, which is itself under fault injection);
+* *no reader crash* — no worker thread ever dies on an exception;
+* *metrics account for every transition* — the submit counter matches the
+  accepted submissions and the quarantine counter matches the quarantined
+  files.
+
+Because the plan is a pure function of its seed, a failing run is replayed
+exactly by seed alone; the per-fault journal at
+``<spool>/chaos-journal.jsonl`` says which injections the run saw.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.distributed.faults import FaultPlan, FaultyFS
+from repro.distributed.spool import WorkQueue
+from repro.distributed.worker import CACHE_DIR, SolveWorker
+from repro.observability import events as _events
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime.cache import JSONFileCache, LRUResultCache, TieredResultCache
+from repro.runtime.fsio import RetryPolicy
+from repro.runtime.payload import prepare_tasks
+from repro.runtime.registry import default_registry
+from repro.runtime.runner import BatchTask
+from repro.workloads import random_problem
+
+#: Journal of injected faults, appended next to the spool's subdirectories.
+JOURNAL_FILENAME = "chaos-journal.jsonl"
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: accounting, injections, verdicts."""
+
+    seed: int
+    tasks: int                    #: tasks the harness tried to submit
+    submitted: int                #: accepted by the spool (submit survived)
+    submit_rejected: int          #: submit raised past the retry budget
+    results: int
+    dead_lettered: int
+    quarantined: int
+    unaccounted: List[str]        #: submitted ids that reached no terminal state
+    double_acked: List[str]       #: ids with >1 ack event (should be empty)
+    worker_errors: List[str]      #: tracebacks of crashed worker threads
+    fault_counts: Dict[str, int]  #: injected faults, "site:kind" → count
+    io_retries: int               #: transient-I/O retries across all actors
+    elapsed_s: float
+    timed_out: bool
+    invariants: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.invariants.values())
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        broken = [name for name, held in self.invariants.items() if not held]
+        lines = [
+            f"chaos plan seed={self.seed}: {verdict}"
+            + (f" (broken: {', '.join(broken)})" if broken else ""),
+            f"  tasks: {self.submitted}/{self.tasks} submitted "
+            f"({self.submit_rejected} rejected by injected faults)",
+            f"  terminal: {self.results} results, "
+            f"{self.dead_lettered} dead-lettered, "
+            f"{self.quarantined} quarantined, "
+            f"{len(self.unaccounted)} unaccounted",
+            f"  injected: {sum(self.fault_counts.values())} faults over "
+            f"{len(self.fault_counts)} site:kind pairs; "
+            f"{self.io_retries} transient-I/O retries",
+            f"  workers: {len(self.worker_errors)} crashed, "
+            f"{len(self.double_acked)} double-acked tasks, "
+            f"{self.elapsed_s:.1f}s elapsed"
+            + (" (TIMED OUT)" if self.timed_out else ""),
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed, "tasks": self.tasks,
+            "submitted": self.submitted,
+            "submit_rejected": self.submit_rejected,
+            "results": self.results, "dead_lettered": self.dead_lettered,
+            "quarantined": self.quarantined,
+            "unaccounted": list(self.unaccounted),
+            "double_acked": list(self.double_acked),
+            "worker_errors": list(self.worker_errors),
+            "fault_counts": dict(self.fault_counts),
+            "io_retries": self.io_retries,
+            "elapsed_s": self.elapsed_s, "timed_out": self.timed_out,
+            "invariants": dict(self.invariants), "ok": self.ok,
+        }
+
+
+def _chaos_payloads(count: int, method: str, seed: int) -> List[Dict[str, Any]]:
+    """``count`` solvable task payloads over a small pool of instances.
+
+    A pool (rather than all-distinct problems) keeps the run fast and
+    exercises the shared result cache under faults; distinct task ids keep
+    the exactly-once accounting per *task* meaningful regardless.
+    """
+    pool = [random_problem(n_processing=6, n_satellites=2, seed=seed + i)
+            for i in range(min(count, 8))]
+    tasks = [BatchTask(problem=pool[i % len(pool)], method=method,
+                       tag=f"chaos-{i}")
+             for i in range(count)]
+    prepared = prepare_tasks(tasks, default_registry(), seed)
+    from repro.runtime.payload import task_payload
+
+    return [task_payload(prep) for prep in prepared]
+
+
+def _worker_queue(spool_dir: str, plan: FaultPlan, stream: str,
+                  journal: str, lease_timeout: float,
+                  metrics: MetricsRegistry) -> WorkQueue:
+    fs = FaultyFS(plan, stream=stream, journal_path=journal)
+    return WorkQueue(spool_dir, lease_timeout=lease_timeout,
+                     events=EventLog.for_spool(spool_dir, fs=fs),
+                     metrics=metrics, fs=fs,
+                     retry=RetryPolicy(seed=plan.seed))
+
+
+def run_chaos(spool_dir: str, seed: int, tasks: int = 200, workers: int = 2,
+              rate: float = 0.05, method: str = "greedy",
+              lease_timeout: float = 6.0, timeout_s: float = 120.0,
+              plan: Optional[FaultPlan] = None,
+              metrics: Optional[MetricsRegistry] = None) -> ChaosReport:
+    """Run one seeded chaos plan against a live ``workers``-thread fleet.
+
+    Submits ``tasks`` solvable payloads through a fault-injected submitter,
+    drains them with ``workers`` :class:`SolveWorker` threads (each with its
+    own fault stream over the same plan), waits until every accepted task
+    reaches a terminal state (or ``timeout_s``), and returns a
+    :class:`ChaosReport` with the invariant verdicts.  Everything is
+    deterministic in ``seed`` except thread scheduling — which the
+    invariants are precisely required to be robust against.
+    """
+    started = time.monotonic()
+    deadline = started + timeout_s
+    plan = plan if plan is not None else FaultPlan.from_seed(seed, rate=rate)
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    journal = os.path.join(spool_dir, JOURNAL_FILENAME)
+
+    # --- submit through a fault-injected queue ------------------------------
+    submit_queue = _worker_queue(spool_dir, plan, "submit", journal,
+                                 lease_timeout, metrics)
+    submitted_ids: List[str] = []
+    submit_rejected = 0
+    for payload in _chaos_payloads(tasks, method, seed):
+        try:
+            submitted_ids.append(submit_queue.submit(payload))
+        except OSError:
+            submit_rejected += 1    # rejected loudly — not lost silently
+
+    # --- fleet of worker threads, one fault stream each ---------------------
+    fleet: List[SolveWorker] = []
+    threads: List[threading.Thread] = []
+    errors: List[str] = []
+    errors_lock = threading.Lock()
+    for i in range(workers):
+        fs_stream = f"worker{i}"
+        queue = _worker_queue(spool_dir, plan, fs_stream, journal,
+                              lease_timeout, metrics)
+        cache = TieredResultCache(
+            memory=LRUResultCache(),
+            disk=JSONFileCache(os.path.join(spool_dir, CACHE_DIR),
+                               fs=queue.fs,
+                               retry=RetryPolicy(seed=plan.seed)))
+        worker = SolveWorker(queue, cache=cache, worker_id=fs_stream,
+                             metrics=metrics)
+        fleet.append(worker)
+
+        def drain(worker: SolveWorker = worker) -> None:
+            try:
+                worker.run(timeout=timeout_s)
+            except BaseException:   # noqa: BLE001 - the invariant under test
+                with errors_lock:
+                    errors.append(traceback.format_exc())
+
+        thread = threading.Thread(target=drain, name=fs_stream, daemon=True)
+        threads.append(thread)
+        thread.start()
+
+    # --- fault-free observer for the accounting loop ------------------------
+    observer = WorkQueue(spool_dir, lease_timeout=lease_timeout,
+                         events=False, metrics=metrics)
+    pending = set(submitted_ids)
+    timed_out = False
+    while pending:
+        done = (set(observer.result_ids()) | set(observer.failure_ids())
+                | set(observer.quarantined_ids()))
+        pending -= done
+        if not pending:
+            break
+        if time.monotonic() >= deadline:
+            timed_out = True
+            break
+        observer.recover()
+        time.sleep(0.1)
+    for worker in fleet:
+        worker.request_stop()
+    for thread in threads:
+        thread.join(timeout=10.0)
+
+    # --- classify + verify ---------------------------------------------------
+    results = set(observer.result_ids())
+    failures = set(observer.failure_ids())
+    quarantined = set(observer.quarantined_ids())
+    accounted: Dict[str, str] = {}
+    for task_id in submitted_ids:
+        # precedence: a published result wins (a late quarantine of a stale
+        # claim, or a dead-letter raced by a slow ack, does not unsettle a
+        # delivered answer), then quarantine, then dead-letter
+        if task_id in results:
+            accounted[task_id] = "result"
+        elif task_id in quarantined and task_id not in failures:
+            accounted[task_id] = "quarantine"
+        elif task_id in failures:
+            accounted[task_id] = "dead_letter"
+    unaccounted = [tid for tid in submitted_ids if tid not in accounted]
+
+    ack_counts: Dict[str, int] = {}
+    for event in EventLog.for_spool(spool_dir).iter_events():
+        if event.get("kind") == _events.EVENT_ACK and event.get("task_id"):
+            ack_counts[event["task_id"]] = ack_counts.get(
+                event["task_id"], 0) + 1
+    double_acked = sorted(tid for tid, count in ack_counts.items()
+                          if count > 1)
+
+    fault_counts: Dict[str, int] = {}
+    for queue in [submit_queue] + [w.queue for w in fleet]:
+        for key, value in queue.fs.fault_counts().items():
+            fault_counts[key] = fault_counts.get(key, 0) + value
+
+    submit_count = metrics.counter(
+        "repro_spool_transitions_total").value(kind="submit")
+    retries = sum(q.retry.retries for q in [submit_queue]
+                  + [w.queue for w in fleet])
+    retries += sum(w.cache.disk.retry.retries for w in fleet)
+
+    report = ChaosReport(
+        seed=seed, tasks=tasks, submitted=len(submitted_ids),
+        submit_rejected=submit_rejected,
+        results=sum(1 for v in accounted.values() if v == "result"),
+        dead_lettered=sum(1 for v in accounted.values()
+                          if v == "dead_letter"),
+        quarantined=sum(1 for v in accounted.values()
+                        if v == "quarantine"),
+        unaccounted=unaccounted, double_acked=double_acked,
+        worker_errors=errors, fault_counts=fault_counts,
+        io_retries=retries,
+        elapsed_s=time.monotonic() - started, timed_out=timed_out)
+    report.invariants = {
+        "every_task_accounted": not unaccounted and not timed_out,
+        "no_task_solved_twice": not double_acked,
+        "no_worker_crashed": not errors,
+        "submits_metered": submit_count == len(submitted_ids),
+        # spool-reason quarantines (not cache_entry, which lives under
+        # cache/quarantine/) must match the files actually present
+        "quarantines_metered": _spool_quarantine_total(metrics)
+        == _count_dir(os.path.join(spool_dir, "quarantine")),
+    }
+    return report
+
+
+def _spool_quarantine_total(metrics: MetricsRegistry) -> float:
+    """Quarantine counter total excluding the cache's own entries.
+
+    Cache-entry quarantines are counted on the process-wide default
+    registry (the cache is not spool-specific), so the chaos registry's
+    counter holds exactly the spool-reason series.
+    """
+    counter = metrics.counter("repro_spool_quarantined_total")
+    return sum(counter.value(**dict(key)) for key in counter.labels_seen()
+               if dict(key).get("reason") != "cache_entry")
+
+
+def _count_dir(path: str) -> int:
+    try:
+        return len(os.listdir(path))
+    except OSError:
+        return 0

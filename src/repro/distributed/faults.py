@@ -1,0 +1,351 @@
+"""Deterministic fault injection for the spool, the cache and the event log.
+
+The distributed layer survives SIGKILL because every transition is an atomic
+rename — but real fleets also see the filesystem itself misbehave: full
+disks (``ENOSPC``), flaky media and NFS hiccups (``EIO``), torn writes from
+crashed writers, garbage bytes in files that should be JSON, skewed clocks
+and stalled syscalls.  This module makes those failures *reproducible*:
+
+* :class:`FaultPlan` — a seeded, serialisable schedule of faults.  Whether
+  call number *i* at a given site fails, and how, is a pure function of
+  ``(seed, stream, site, kind, i)`` — no global RNG state, no ordering
+  dependence — so the same seed replays the same schedule on any host and
+  the chaos harness (``repro chaos --plan <seed>``) is a deterministic
+  regression test, not a flake generator.
+* :class:`FaultyFS` — a :class:`~repro.runtime.fsio.FilesystemAdapter`
+  applying a plan.  Construct :class:`~repro.distributed.spool.WorkQueue`,
+  :class:`~repro.runtime.cache.JSONFileCache`,
+  :class:`~repro.observability.events.EventLog` or
+  :class:`~repro.distributed.janitor.CacheJanitor` with ``fs=FaultyFS(plan)``
+  and every filesystem call they make becomes a potential injection point.
+  Production code never sees this class: the default adapter is a plain
+  passthrough.
+
+Injected errors are real ``OSError`` instances with real errnos, and torn /
+corrupt writes put real garbage bytes on disk — the hardened readers are
+exercised end to end, not against mocks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import errno
+
+from repro.runtime.fsio import FilesystemAdapter
+
+__all__ = ["FaultPlan", "FaultRule", "FaultyFS", "DEFAULT_SITES"]
+
+#: Sites a plan can target — the operations :class:`FaultyFS` intercepts.
+DEFAULT_SITES = ("write_json", "rename", "replace", "unlink", "listdir",
+                 "stat", "utime", "read", "append", "clock")
+
+#: Fault kinds and the sites they make sense on.
+_KINDS = ("enospc", "eio", "torn", "corrupt", "hang", "skew")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault schedule: at ``site``, fire ``kind`` at ``rate``."""
+
+    site: str                 #: operation to target (see DEFAULT_SITES)
+    kind: str                 #: enospc | eio | torn | corrupt | hang | skew
+    rate: float               #: per-call firing probability in [0, 1]
+    after: int = 0            #: skip the first N calls at this site
+    limit: Optional[int] = None  #: cap on total firings per stream (None = ∞)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+
+def _draw(seed: int, stream: str, site: str, kind: str, index: int) -> float:
+    """Uniform [0,1) that is a pure function of its arguments."""
+    text = f"{seed}:{stream}:{site}:{kind}:{index}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+
+class FaultPlan:
+    """A seeded, serialisable fault schedule.
+
+    ``decide(stream, site, index)`` answers "does call number ``index`` at
+    ``site`` (made by actor ``stream``) fail, and how?" deterministically:
+    two plans built from the same seed agree on every answer, which is what
+    makes a chaos run replayable by seed alone.
+    """
+
+    def __init__(self, seed: int, rules: List[FaultRule],
+                 hang_s: float = 0.02, skew_s: float = 2.0) -> None:
+        self.seed = int(seed)
+        self.rules = list(rules)
+        self.hang_s = hang_s          #: injected stall duration
+        self.skew_s = skew_s          #: injected wall-clock offset
+        self._fired: Dict[tuple, int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_seed(cls, seed: int, rate: float = 0.05,
+                  hang_s: float = 0.02, skew_s: float = 2.0) -> "FaultPlan":
+        """The standard chaos schedule: every failure family, ≥5 syscall
+        sites, including ENOSPC and torn writes.
+
+        ``after`` grace on the write sites lets a run's very first
+        submissions land, so a plan never degenerates into "nothing was
+        ever enqueued".
+        """
+        half = rate / 2.0
+        rules = [
+            FaultRule("write_json", "enospc", rate, after=2),
+            FaultRule("write_json", "torn", half, after=2),
+            FaultRule("write_json", "corrupt", half, after=2),
+            FaultRule("write_json", "hang", half),
+            FaultRule("rename", "eio", rate),
+            FaultRule("replace", "eio", half),
+            FaultRule("listdir", "eio", half),
+            FaultRule("stat", "eio", rate),
+            FaultRule("utime", "eio", rate),
+            FaultRule("unlink", "eio", half),
+            FaultRule("read", "eio", rate),
+            FaultRule("append", "eio", half),
+            FaultRule("append", "torn", half),
+            FaultRule("clock", "skew", half),
+        ]
+        return cls(seed, rules, hang_s=hang_s, skew_s=skew_s)
+
+    # ------------------------------------------------------------- scheduling
+    def decide(self, stream: str, site: str, index: int) -> Optional[FaultRule]:
+        """The fault (or None) for call ``index`` at ``site`` by ``stream``.
+
+        First matching rule wins, in rule order — deterministic for a given
+        plan.  ``limit`` caps are per ``(stream, rule)`` and are the only
+        stateful part (they monotonically disable a rule; they never change
+        *which* call would have fired).
+        """
+        for position, rule in enumerate(self.rules):
+            if rule.site != site or index < rule.after:
+                continue
+            if _draw(self.seed, stream, site, rule.kind, index) < rule.rate:
+                if rule.limit is not None:
+                    fired_key = (stream, position)
+                    with self._lock:
+                        fired = self._fired.get(fired_key, 0)
+                        if fired >= rule.limit:
+                            continue
+                        self._fired[fired_key] = fired + 1
+                return rule
+        return None
+
+    def schedule(self, stream: str, site: str, count: int) -> List[Optional[str]]:
+        """The first ``count`` decisions at one site — for reproducibility
+        asserts and for eyeballing a plan (``repro chaos --show-plan``)."""
+        return [
+            (rule.kind if rule is not None else None)
+            for rule in (self.decide(stream, site, i) for i in range(count))
+        ]
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "hang_s": self.hang_s,
+            "skew_s": self.skew_s,
+            "rules": [{"site": r.site, "kind": r.kind, "rate": r.rate,
+                       "after": r.after, "limit": r.limit}
+                      for r in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(data["seed"],
+                   [FaultRule(**rule) for rule in data.get("rules", ())],
+                   hang_s=data.get("hang_s", 0.02),
+                   skew_s=data.get("skew_s", 2.0))
+
+
+@dataclass
+class InjectedFault:
+    """Journal record of one injected fault."""
+
+    site: str
+    kind: str
+    path: str
+    index: int
+    stream: str
+    ts: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"site": self.site, "kind": self.kind, "path": self.path,
+                "index": self.index, "stream": self.stream, "ts": self.ts}
+
+
+class FaultyFS(FilesystemAdapter):
+    """A filesystem adapter that injects a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The seeded schedule.
+    stream:
+        Identifier for this actor (e.g. ``"worker0"``): distinct streams
+        draw independent — but each individually deterministic — schedules
+        from the same plan.
+    journal_path:
+        Optional JSONL file appended to (directly, never through the shim)
+        with one record per injected fault; the chaos harness uploads this
+        as a CI artifact on failure.
+    """
+
+    def __init__(self, plan: FaultPlan, stream: str = "0",
+                 journal_path: Optional[str] = None,
+                 sleep: Any = time.sleep) -> None:
+        self.plan = plan
+        self.stream = stream
+        self.journal_path = journal_path
+        self.injected: List[InjectedFault] = []
+        self._sleep = sleep
+        self._counts: Dict[str, int] = {}
+        self._skew = 0.0
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- injection
+    def _record(self, site: str, kind: str, path: str, index: int) -> None:
+        fault = InjectedFault(site=site, kind=kind, path=path, index=index,
+                              stream=self.stream)
+        with self._lock:
+            self.injected.append(fault)
+        if self.journal_path is not None:
+            line = (json.dumps(fault.to_dict(), sort_keys=True) + "\n").encode()
+            try:
+                fd = os.open(self.journal_path,
+                             os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
+            except OSError:       # the journal must never add failure modes
+                pass
+
+    def _maybe(self, site: str, path: str) -> Optional[FaultRule]:
+        """Draw the schedule for this call; raise for error kinds, sleep for
+        hangs, return torn/corrupt rules for the caller to apply."""
+        with self._lock:
+            index = self._counts.get(site, 0)
+            self._counts[site] = index + 1
+        rule = self.plan.decide(self.stream, site, index)
+        if rule is None:
+            return None
+        self._record(site, rule.kind, path, index)
+        if rule.kind == "hang":
+            self._sleep(self.plan.hang_s)
+            return None
+        if rule.kind == "enospc":
+            raise OSError(errno.ENOSPC,
+                          "injected fault: no space left on device", path)
+        if rule.kind == "eio":
+            raise OSError(errno.EIO, "injected fault: input/output error",
+                          path)
+        if rule.kind == "skew":
+            with self._lock:
+                # alternate direction so skew wanders instead of ratcheting
+                self._skew = (self.plan.skew_s
+                              if self._skew <= 0 else -self.plan.skew_s)
+            return None
+        return rule               # torn / corrupt: applied by the caller
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected faults aggregated as ``site:kind`` → count."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for fault in self.injected:
+                key = f"{fault.site}:{fault.kind}"
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------- intercepted operations
+    def listdir(self, path: str) -> List[str]:
+        self._maybe("listdir", path)
+        return super().listdir(path)
+
+    def stat(self, path: str) -> os.stat_result:
+        self._maybe("stat", path)
+        return super().stat(path)
+
+    def rename(self, source: str, target: str) -> None:
+        self._maybe("rename", source)
+        super().rename(source, target)
+
+    def replace(self, source: str, target: str) -> None:
+        self._maybe("replace", source)
+        super().replace(source, target)
+
+    def unlink(self, path: str) -> None:
+        self._maybe("unlink", path)
+        super().unlink(path)
+
+    def utime(self, path: str) -> None:
+        self._maybe("utime", path)
+        super().utime(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        self._maybe("read", path)
+        return super().read_bytes(path)
+
+    def write_json_atomic(self, path: str, data: Any,
+                          tmp_dir: Optional[str] = None) -> None:
+        rule = self._maybe("write_json", path)
+        if rule is not None and rule.kind in ("torn", "corrupt"):
+            payload = json.dumps(data, sort_keys=True).encode("utf-8")
+            if rule.kind == "torn":
+                # a torn write: the file lands, but only a prefix of it —
+                # what a crash on a non-atomic filesystem leaves behind
+                payload = payload[: max(1, len(payload) // 2)]
+            else:
+                payload = b'\x00\xffnot json {' + payload[:16]
+            self._land_bytes(path, payload, tmp_dir)
+            return
+        super().write_json_atomic(path, data, tmp_dir=tmp_dir)
+
+    def _land_bytes(self, path: str, payload: bytes,
+                    tmp_dir: Optional[str]) -> None:
+        """Place damaged bytes at ``path`` (via the real atomic machinery so
+        only the *content* is corrupt, not the directory state)."""
+        import tempfile
+
+        directory = (tmp_dir if tmp_dir is not None
+                     else (os.path.dirname(path) or "."))
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def append_line(self, path: str, line: bytes) -> None:
+        rule = self._maybe("append", path)
+        if rule is not None and rule.kind == "torn":
+            # drop the trailing newline and half the payload: the reader
+            # must skip this line, not crash on it
+            line = line[: max(1, len(line) // 2)]
+        super().append_line(path, line)
+
+    def time(self) -> float:
+        self._maybe("clock", "<time>")
+        with self._lock:
+            skew = self._skew
+        return super().time() + skew

@@ -23,12 +23,55 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.observability.metrics import default_metrics
+from repro.runtime.fsio import FilesystemAdapter, default_fs
 
 #: A ``.tmp`` staging file older than this is an abandoned write.
 _TMP_GRACE_S = 3600.0
+
+
+def sweep_stale_tmp(dirs: Sequence[str], grace_s: float = _TMP_GRACE_S,
+                    now: Optional[float] = None,
+                    fs: Optional[FilesystemAdapter] = None) -> int:
+    """Remove abandoned ``*.tmp`` staging files from the given directories.
+
+    An atomic write stages through ``mkstemp`` then ``os.replace``; a writer
+    killed between the two leaves an orphan ``.tmp`` behind.  The **age
+    guard** is what makes this safe to run concurrently with live writers:
+    only files whose mtime is older than ``grace_s`` (default one hour —
+    many orders of magnitude above any in-flight write) are reaped, so an
+    atomic write in progress can never lose its staging file.  Returns the
+    number of files removed; missing directories and vanished files are
+    skipped silently.
+    """
+    fs = fs if fs is not None else default_fs()
+    if now is None:
+        now = time.time()
+    removed = 0
+    for directory in dirs:
+        try:
+            names = fs.listdir(directory)
+        except OSError:
+            continue
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                if now - fs.stat(path).st_mtime <= grace_s:
+                    continue
+                fs.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+    if removed:
+        default_metrics().counter(
+            "repro_janitor_evictions_total",
+            "Janitor evictions by triggering cap (age/count/bytes/tmp)").inc(
+            removed, reason="tmp")
+    return removed
 
 
 @dataclass
@@ -68,12 +111,24 @@ class CacheJanitor:
     max_entries / max_bytes / max_age_s:
         Independent caps; ``None`` disables a dimension.  At least one must
         be set.
+    tmp_grace_s:
+        Age below which a ``.tmp`` staging file is presumed in-flight and
+        left alone.
+    extra_tmp_dirs:
+        Additional directories to reap stale ``.tmp`` files from (the spool
+        passes its ``claimed/`` and ``tmp/`` here) — these are *only*
+        tmp-swept, never evicted.
+    fs:
+        Filesystem adapter (fault-injection seam); defaults to passthrough.
     """
 
     def __init__(self, directory: str,
                  max_entries: Optional[int] = None,
                  max_bytes: Optional[int] = None,
-                 max_age_s: Optional[float] = None) -> None:
+                 max_age_s: Optional[float] = None,
+                 tmp_grace_s: float = _TMP_GRACE_S,
+                 extra_tmp_dirs: Sequence[str] = (),
+                 fs: Optional[FilesystemAdapter] = None) -> None:
         if max_entries is None and max_bytes is None and max_age_s is None:
             raise ValueError("at least one of max_entries / max_bytes / "
                              "max_age_s must be set")
@@ -83,10 +138,15 @@ class CacheJanitor:
             raise ValueError("max_bytes must be >= 0")
         if max_age_s is not None and max_age_s <= 0:
             raise ValueError("max_age_s must be positive")
+        if tmp_grace_s < 0:
+            raise ValueError("tmp_grace_s must be >= 0")
         self.directory = directory
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.max_age_s = max_age_s
+        self.tmp_grace_s = tmp_grace_s
+        self.extra_tmp_dirs = tuple(extra_tmp_dirs)
+        self.fs = fs if fs is not None else default_fs()
 
     # ---------------------------------------------------------------- scanning
     def _scan(self, now: float) -> Tuple[List[Tuple[float, int, str]], int]:
@@ -94,37 +154,40 @@ class CacheJanitor:
         entries: List[Tuple[float, int, str]] = []
         tmp_removed = 0
         try:
-            names = os.listdir(self.directory)
+            names = self.fs.listdir(self.directory)
         except OSError:
             return entries, tmp_removed
         stack = [os.path.join(self.directory, name) for name in sorted(names)]
         while stack:
             path = stack.pop()
             name = os.path.basename(path)
-            if os.path.isdir(path):
+            try:
+                is_dir = self.fs.isdir(path)
+            except OSError:
+                continue
+            if is_dir:
                 if len(name) == 2:      # shard subdirectory
                     try:
                         stack.extend(os.path.join(path, inner)
-                                     for inner in os.listdir(path))
+                                     for inner in self.fs.listdir(path))
                     except OSError:
                         pass
                 continue
             try:
-                stat = os.stat(path)
+                stat = self.fs.stat(path)
             except OSError:
                 continue
             if name.endswith(".tmp"):
-                if now - stat.st_mtime > _TMP_GRACE_S:
+                if now - stat.st_mtime > self.tmp_grace_s:
                     tmp_removed += self._unlink(path)
                 continue
             if name.endswith(".json"):
                 entries.append((stat.st_mtime, stat.st_size, path))
         return entries, tmp_removed
 
-    @staticmethod
-    def _unlink(path: str) -> int:
+    def _unlink(self, path: str) -> int:
         try:
-            os.unlink(path)
+            self.fs.unlink(path)
             return 1
         except OSError:
             return 0
@@ -135,6 +198,13 @@ class CacheJanitor:
         started = time.perf_counter()
         now = time.time() if now is None else now
         entries, tmp_removed = self._scan(now)
+        tmp_removed_main = tmp_removed
+        if self.extra_tmp_dirs:
+            # sweep_stale_tmp counts its own removals in the metrics, so
+            # the local counter below only covers the main directory
+            tmp_removed += sweep_stale_tmp(
+                self.extra_tmp_dirs, grace_s=self.tmp_grace_s, now=now,
+                fs=self.fs)
         scanned = len(entries)
         bytes_scanned = sum(size for _, size, _ in entries)
 
@@ -180,7 +250,7 @@ class CacheJanitor:
         evictions.inc(evicted_age, reason="age")
         evictions.inc(evicted_count, reason="count")
         evictions.inc(evicted_bytes, reason="bytes")
-        evictions.inc(tmp_removed, reason="tmp")
+        evictions.inc(tmp_removed_main, reason="tmp")
         metrics.gauge(
             "repro_janitor_remaining_entries",
             "Entries left in the swept directory after the last pass").set(

@@ -283,6 +283,11 @@ class SolveService:
         item.incumbent_history = list(outcome.get("incumbent_history") or ())
         if not outcome.get("ok", False):
             item.error = outcome.get("error", "unknown error")
+            if outcome.get("error_kind"):
+                # poison / quarantined / max_requeues / result_corrupted —
+                # kept in details so report consumers can triage by class
+                item.details = dict(item.details or {})
+                item.details["error_kind"] = outcome["error_kind"]
             return item
         item.objective = outcome.get("objective")
         item.elapsed_s = outcome.get("elapsed_s", 0.0)
@@ -334,8 +339,13 @@ class SolveService:
         if (self.cache is None or not entry.prep.cacheable
                 or not outcome_cacheable(outcome) or outcome.get("cached")):
             return
-        self.cache.put(entry.prep.key, make_cache_entry(
-            outcome.get("method", entry.prep.spec.name),
-            outcome.get("objective"), outcome.get("elapsed_s", 0.0),
-            outcome.get("placement") or {}, outcome.get("details") or {},
-            status=outcome.get("status")))
+        try:
+            self.cache.put(entry.prep.key, make_cache_entry(
+                outcome.get("method", entry.prep.spec.name),
+                outcome.get("objective"), outcome.get("elapsed_s", 0.0),
+                outcome.get("placement") or {}, outcome.get("details") or {},
+                status=outcome.get("status")))
+        except OSError:
+            # cache write failed (disk full past the retry budget): the
+            # result was already streamed, losing the cache copy is fine
+            pass

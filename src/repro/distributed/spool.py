@@ -6,11 +6,13 @@ filesystem — pull tasks from it concurrently with no coordinator and no
 dependencies beyond ``os.rename``.  Layout::
 
     spool/
-      tasks/    pending task files, claimable by any worker
-      claimed/  tasks currently leased to a worker (mtime = lease heartbeat)
-      results/  one result file per finished task id
-      failed/   dead-lettered tasks (requeued past ``max_requeues``)
-      tmp/      staging area for atomic writes
+      tasks/      pending task files, claimable by any worker
+      claimed/    tasks currently leased to a worker (mtime = lease heartbeat)
+      results/    one result file per finished task id
+      failed/     dead-lettered tasks (requeued past ``max_requeues``)
+      quarantine/ corrupt files moved aside for forensics, never re-read
+      poison/     crash markers written around each solve (see worker.py)
+      tmp/        staging area for atomic writes
 
 Every state transition is a single atomic ``os.replace``/``os.rename`` on one
 filesystem, which gives the queue its guarantees:
@@ -35,6 +37,16 @@ its lease can race its replacement, in which case both solve the task and the
 result file (keyed by task id) is simply overwritten with identical content.
 Leases should be sized generously above the worst single solve time.
 
+**Failure hardening.**  All filesystem calls route through a
+:class:`~repro.runtime.fsio.FilesystemAdapter` (prod default: passthrough;
+the chaos harness swaps in a fault-injecting shim), transient I/O errors on
+writes retry under a shared :class:`~repro.runtime.fsio.RetryPolicy`, and a
+file that should be JSON but is not — a torn write, bit rot, a truncated
+submit — is **quarantined** into ``quarantine/`` (with a
+``repro_spool_quarantined_total{reason}`` counter and a ``quarantine`` event)
+instead of crashing a reader.  A quarantined *task* also gets a dead-letter
+record so its submitter sees a typed error result rather than a hang.
+
 Task files are named ``<task_id>.a<attempt>.json`` where ``task_id`` embeds a
 millisecond timestamp plus random suffix, so a plain sorted directory listing
 is FIFO submission order and ids never collide across submitters.
@@ -49,20 +61,23 @@ import os
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.observability import events as _events
 from repro.observability.events import EventLog
 from repro.observability.metrics import MetricsRegistry, default_metrics
-from repro.runtime.cache import write_json_atomic
+from repro.runtime.fsio import FilesystemAdapter, RetryPolicy, default_fs
 
 TASKS_DIR = "tasks"
 CLAIMED_DIR = "claimed"
 RESULTS_DIR = "results"
 FAILED_DIR = "failed"
+QUARANTINE_DIR = "quarantine"
+POISON_DIR = "poison"
 TMP_DIR = "tmp"
 
-_SUBDIRS = (TASKS_DIR, CLAIMED_DIR, RESULTS_DIR, FAILED_DIR, TMP_DIR)
+_SUBDIRS = (TASKS_DIR, CLAIMED_DIR, RESULTS_DIR, FAILED_DIR, QUARANTINE_DIR,
+            POISON_DIR, TMP_DIR)
 
 
 class SpoolError(RuntimeError):
@@ -77,7 +92,8 @@ def new_task_id() -> str:
 
     Millisecond timestamp, then a per-process sequence number (strict FIFO
     for one submitter even within a millisecond), then entropy so ids from
-    different submitters can never collide.
+    different submitters can never collide.  Contains no ``.``, so the task
+    id of any spool artifact is recoverable from its filename alone.
     """
     return (f"{int(time.time() * 1000):013d}-{next(_SEQUENCE):08d}-"
             f"{uuid.uuid4().hex[:8]}")
@@ -133,12 +149,22 @@ class WorkQueue:
     metrics:
         Metrics registry for transition counters and depth gauges; defaults
         to the process-wide :func:`default_metrics` registry.
+    fs:
+        Filesystem adapter every call routes through; defaults to the
+        passthrough.  The chaos harness passes a
+        :class:`~repro.distributed.faults.FaultyFS` here.
+    retry:
+        Retry policy for transient I/O on the write paths (submit, ack,
+        dead-letter, progress).  Defaults to a fresh
+        :class:`~repro.runtime.fsio.RetryPolicy`.
     """
 
     def __init__(self, directory: str, lease_timeout: float = 60.0,
                  max_requeues: int = 5, poll_interval: float = 0.05,
                  events=None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 fs: Optional[FilesystemAdapter] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
         if max_requeues < 0:
@@ -147,16 +173,21 @@ class WorkQueue:
         self.lease_timeout = lease_timeout
         self.max_requeues = max_requeues
         self.poll_interval = poll_interval
+        self.fs = fs if fs is not None else default_fs()
+        self.retry = retry if retry is not None else RetryPolicy()
         for sub in _SUBDIRS:
             os.makedirs(os.path.join(directory, sub), exist_ok=True)
         if events is None:
-            events = EventLog.for_spool(directory)
+            events = EventLog.for_spool(directory, fs=self.fs)
         self.events: Optional[EventLog] = (
             events if isinstance(events, EventLog) else None)
         self.metrics = metrics if metrics is not None else default_metrics()
         self._transitions = self.metrics.counter(
             "repro_spool_transitions_total",
             "Spool state transitions by kind (submit/claim/ack/...)")
+        self._quarantined = self.metrics.counter(
+            "repro_spool_quarantined_total",
+            "Corrupt spool files moved into quarantine/, by reason")
 
     def _emit(self, kind: str, task_id: Optional[str] = None,
               **fields: Any) -> None:
@@ -168,14 +199,103 @@ class WorkQueue:
     def _dir(self, sub: str) -> str:
         return os.path.join(self.directory, sub)
 
-    def _write_atomic(self, target: str, data: Dict[str, Any]) -> None:
-        write_json_atomic(target, data, tmp_dir=self._dir(TMP_DIR))
+    def _write_atomic(self, target: str, data: Dict[str, Any],
+                      op: str = "spool_write") -> None:
+        self.retry.call(self.fs.write_json_atomic, target, data,
+                        tmp_dir=self._dir(TMP_DIR), op=op)
 
     def _listing(self, sub: str) -> List[str]:
         try:
-            return sorted(os.listdir(self._dir(sub)))
+            return sorted(self.fs.listdir(self._dir(sub)))
         except OSError:
             return []
+
+    def _read_json(self, path: str) -> Tuple[Optional[Dict[str, Any]],
+                                             Optional[str]]:
+        """Guarded JSON read: ``(data, error)``.
+
+        ``error`` is ``None`` on success, ``"missing"`` when the file is
+        gone (a lost race, not a fault), ``"io"`` on a persistent transient
+        error, and ``"corrupt"`` when the bytes exist but are not a JSON
+        object — the case that must flow to quarantine, never raise into
+        the claim or solve path.
+        """
+        try:
+            raw = self.retry.call(self.fs.read_bytes, path, op="spool_read")
+        except FileNotFoundError:
+            return None, "missing"
+        except OSError:
+            return None, "io"
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None, "corrupt"
+        if not isinstance(data, dict):
+            return None, "corrupt"
+        return data, None
+
+    # ------------------------------------------------------------ quarantine
+    def quarantine(self, path: str, reason: str,
+                   task_id: Optional[str] = None) -> Optional[str]:
+        """Move a corrupt file into ``quarantine/`` (atomic rename).
+
+        Returns the quarantine path, or ``None`` when the file vanished
+        first (a concurrent reader won the same race) or the rename itself
+        failed — in which case the file stays put and the next reader
+        retries.  Never raises.
+        """
+        name = os.path.basename(path)
+        target = os.path.join(self._dir(QUARANTINE_DIR), name)
+        try:
+            if self.fs.exists(target):
+                target = f"{target}.{uuid.uuid4().hex[:6]}"
+        except OSError:
+            pass
+        try:
+            self.fs.rename(path, target)
+        except OSError:
+            return None
+        self._quarantined.inc(reason=reason)
+        self._emit(_events.EVENT_QUARANTINE, task_id, reason=reason,
+                   source=name)
+        return target
+
+    def quarantined_ids(self) -> List[str]:
+        """Task ids recoverable from quarantined file names.
+
+        Task ids never contain ``.``, so the id of any quarantined spool
+        artifact (task, claim, result or dead-letter file) is the part of
+        its name before the first dot.
+        """
+        ids = []
+        for name in self._listing(QUARANTINE_DIR):
+            stem = name.split(".", 1)[0]
+            if stem:
+                ids.append(stem)
+        return ids
+
+    def _dead_letter_record(self, task_id: str, attempt: int, error: str,
+                            kind: str,
+                            payload: Optional[Dict[str, Any]] = None,
+                            **extra: Any) -> bool:
+        """Write ``failed/<task_id>.json`` (the structured error envelope).
+
+        Returns False — without raising — when even the retried write
+        fails; callers must then leave the source artifact in place so a
+        later pass can retry the dead-lettering.
+        """
+        record = {"task_id": task_id, "attempt": attempt, "error": error,
+                  "kind": kind, "payload": payload}
+        record.update(extra)
+        try:
+            self._write_atomic(
+                os.path.join(self._dir(FAILED_DIR), f"{task_id}.json"),
+                record, op="spool_dead_letter")
+        except OSError:
+            return False
+        self._emit(_events.EVENT_DEAD_LETTER, task_id, attempt=attempt,
+                   reason=kind, error=error)
+        return True
 
     # ---------------------------------------------------------------- submit
     def submit(self, payload: Dict[str, Any],
@@ -185,7 +305,7 @@ class WorkQueue:
         if "/" in task_id or task_id.startswith("."):
             raise SpoolError(f"invalid task id {task_id!r}")
         target = os.path.join(self._dir(TASKS_DIR), f"{task_id}.a0.json")
-        self._write_atomic(target, payload)
+        self._write_atomic(target, payload, op="spool_submit")
         self._emit(_events.EVENT_SUBMIT, task_id)
         return task_id
 
@@ -220,30 +340,41 @@ class WorkQueue:
                 continue
             source = os.path.join(self._dir(TASKS_DIR), name)
             target = os.path.join(self._dir(CLAIMED_DIR), name)
-            if os.path.exists(self._result_path(parts["task_id"])):
+            if self._result_exists(parts["task_id"]):
                 # a slow ex-claimant finished after this entry was requeued:
                 # the task is done, silently retire the duplicate delivery
                 try:
-                    os.unlink(source)
+                    self.fs.unlink(source)
                 except OSError:
                     pass
                 continue
             try:
-                os.rename(source, target)
+                self.fs.rename(source, target)
             except OSError as exc:
                 if exc.errno in (errno.ENOENT, errno.EEXIST):
                     continue       # another worker won the race
-                raise
+                continue           # transient (EIO, ...): skip this scan
             try:
-                os.utime(target)   # lease heartbeat starts at claim time
+                self.fs.utime(target)   # lease heartbeat starts at claim time
             except OSError:
                 pass
-            try:
-                with open(target, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            except (OSError, ValueError):
-                # torn submit (should be impossible) or vanished: skip
+            payload, error = self._read_json(target)
+            if error == "corrupt":
+                # a torn or garbage submit: this payload can never be
+                # solved — quarantine the file and dead-letter the task so
+                # its submitter gets a typed error instead of a hang
+                if self._dead_letter_record(
+                        parts["task_id"], parts["attempt"],
+                        error="task payload is not valid JSON "
+                              "(torn write or corruption); quarantined",
+                        kind="quarantined"):
+                    self.quarantine(target, reason="task_payload",
+                                    task_id=parts["task_id"])
+                # if even the dead-letter write failed, leave the claim:
+                # its lease expires and a later pass retries the path
                 continue
+            if error is not None:
+                continue           # vanished or transient: next scan decides
             self._emit(_events.EVENT_CLAIM, parts["task_id"],
                        attempt=parts["attempt"])
             return SpoolTask(task_id=parts["task_id"], payload=payload,
@@ -254,7 +385,7 @@ class WorkQueue:
         """Heartbeat a held lease; False when the claim no longer exists
         (recovery already requeued it — the worker should drop the task)."""
         try:
-            os.utime(task.path)
+            self.fs.utime(task.path)
             return True
         except OSError:
             return False
@@ -273,11 +404,15 @@ class WorkQueue:
         file; that only re-triggers recovery later, which the at-least-once
         contract already tolerates.
         """
-        if not os.path.exists(task.path):
+        try:
+            if not self.fs.exists(task.path):
+                return False
+        except OSError:
             return False
         try:
             self._write_atomic(task.path, {**task.payload,
-                                           "progress": dict(progress)})
+                                           "progress": dict(progress)},
+                               op="spool_progress")
             self._emit(_events.EVENT_PROGRESS, task.task_id,
                        progress=dict(progress))
             return True
@@ -288,16 +423,27 @@ class WorkQueue:
     def _result_path(self, task_id: str) -> str:
         return os.path.join(self._dir(RESULTS_DIR), f"{task_id}.json")
 
+    def _result_exists(self, task_id: str) -> bool:
+        try:
+            return self.fs.exists(self._result_path(task_id))
+        except OSError:
+            return False
+
     def ack(self, task: SpoolTask, result: Dict[str, Any]) -> None:
-        """Publish the result, then release the claim."""
+        """Publish the result, then release the claim.
+
+        Raises ``OSError`` when even the retried result write fails — the
+        worker then nacks the task so another attempt can publish.
+        """
         payload = dict(result)
         payload.setdefault("task_id", task.task_id)
         payload.setdefault("attempt", task.attempt)
-        self._write_atomic(self._result_path(task.task_id), payload)
+        self._write_atomic(self._result_path(task.task_id), payload,
+                           op="spool_ack")
         self._emit(_events.EVENT_ACK, task.task_id, attempt=task.attempt,
                    method=payload.get("method"), status=payload.get("status"))
         try:
-            os.unlink(task.path)
+            self.fs.unlink(task.path)
         except OSError:
             pass                   # lease expired and was requeued; harmless
 
@@ -317,22 +463,24 @@ class WorkQueue:
         """
         target = os.path.join(self._dir(TASKS_DIR), task.name)
         try:
-            os.rename(task.path, target)
+            self.fs.rename(task.path, target)
         except OSError:
             return False
         self._emit(_events.EVENT_RELEASE, task.task_id, attempt=task.attempt)
         return True
 
-    def fail(self, task: SpoolTask, error: str) -> None:
-        """Dead-letter a claimed task (no more retries)."""
-        self._write_atomic(
-            os.path.join(self._dir(FAILED_DIR), f"{task.task_id}.json"),
-            {"task_id": task.task_id, "attempt": task.attempt,
-             "error": error, "payload": task.payload})
-        self._emit(_events.EVENT_DEAD_LETTER, task.task_id,
-                   attempt=task.attempt, reason="failed", error=error)
+    def fail(self, task: SpoolTask, error: str, kind: str = "failed",
+             **extra: Any) -> None:
+        """Dead-letter a claimed task (no more retries).
+
+        ``kind`` labels the structured error envelope (``"failed"`` for an
+        ordinary solve failure, ``"poison"`` for the worker's crash-loop
+        breaker, ...); ``extra`` fields land in the record verbatim.
+        """
+        self._dead_letter_record(task.task_id, task.attempt, error=error,
+                                 kind=kind, payload=task.payload, **extra)
         try:
-            os.unlink(task.path)
+            self.fs.unlink(task.path)
         except OSError:
             pass
 
@@ -343,7 +491,11 @@ class WorkQueue:
         Returns the number of tasks moved.  Safe to call from any process at
         any time; workers and result streams call it opportunistically.
         """
-        now = time.time() if now is None else now
+        if now is None:
+            try:
+                now = self.fs.time()
+            except OSError:
+                now = time.time()
         moved = 0
         for name in self._listing(CLAIMED_DIR):
             parts = _split_name(name)
@@ -351,15 +503,15 @@ class WorkQueue:
                 continue
             path = os.path.join(self._dir(CLAIMED_DIR), name)
             try:
-                age = now - os.stat(path).st_mtime
+                age = now - self.fs.stat(path).st_mtime
             except OSError:
                 continue           # acked or requeued meanwhile
             if age < self.lease_timeout:
                 continue
-            if os.path.exists(self._result_path(parts["task_id"])):
+            if self._result_exists(parts["task_id"]):
                 # finished but the claim unlink was lost: just drop the claim
                 try:
-                    os.unlink(path)
+                    self.fs.unlink(path)
                 except OSError:
                     pass
                 continue
@@ -374,28 +526,27 @@ class WorkQueue:
         source = os.path.join(self._dir(CLAIMED_DIR), claimed_name)
         attempt = parts["attempt"] + 1
         if attempt > self.max_requeues:
-            try:
-                with open(source, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            except (OSError, ValueError):
-                payload = None
-            self._write_atomic(
-                os.path.join(self._dir(FAILED_DIR), f"{parts['task_id']}.json"),
-                {"task_id": parts["task_id"], "attempt": parts["attempt"],
-                 "error": f"requeued more than max_requeues={self.max_requeues} "
-                          f"times (poison task or fleet-wide crash loop)",
-                 "payload": payload})
-            try:
-                os.unlink(source)
-            except OSError:
-                pass
-            self._emit(_events.EVENT_DEAD_LETTER, parts["task_id"],
-                       attempt=parts["attempt"], reason="max_requeues")
+            payload, error = self._read_json(source)
+            if not self._dead_letter_record(
+                    parts["task_id"], parts["attempt"],
+                    error=f"requeued more than max_requeues="
+                          f"{self.max_requeues} times (poison task or "
+                          f"fleet-wide crash loop)",
+                    kind="max_requeues", payload=payload):
+                return False       # record write failed: leave the claim
+            if error == "corrupt":
+                self.quarantine(source, reason="task_payload",
+                                task_id=parts["task_id"])
+            else:
+                try:
+                    self.fs.unlink(source)
+                except OSError:
+                    pass
             return False
         target = os.path.join(self._dir(TASKS_DIR),
                               f"{parts['task_id']}.a{attempt}.json")
         try:
-            os.rename(source, target)
+            self.fs.rename(source, target)
         except OSError:
             return False           # acked or reclaimed concurrently
         self._emit(_events.EVENT_REQUEUE, parts["task_id"], attempt=attempt)
@@ -403,21 +554,43 @@ class WorkQueue:
 
     # --------------------------------------------------------------- results
     def result(self, task_id: str) -> Optional[Dict[str, Any]]:
-        """The published result of a task, or None while it is outstanding."""
-        try:
-            with open(self._result_path(task_id), "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+        """The published result of a task, or None while it is outstanding.
+
+        A result file that exists but does not parse — a torn write landed
+        past the atomic rename, or the disk corrupted it — is quarantined
+        and replaced by a dead-letter record (``kind="result_corrupted"``),
+        so the submitter's next poll surfaces a typed error instead of
+        waiting forever on a file that will never parse.
+        """
+        path = self._result_path(task_id)
+        data, error = self._read_json(path)
+        if error == "corrupt":
+            if self.quarantine(path, reason="result",
+                               task_id=task_id) is not None:
+                self._dead_letter_record(
+                    task_id, attempt=-1,
+                    error="published result file was corrupt and has been "
+                          "quarantined; the solve outcome is lost",
+                    kind="result_corrupted")
             return None
+        return data
 
     def failure(self, task_id: str) -> Optional[Dict[str, Any]]:
-        """The dead-letter record of a task, if it was dead-lettered."""
+        """The dead-letter record of a task, if it was dead-lettered.
+
+        A corrupt record is quarantined and a synthesized envelope returned
+        — a dead-lettered task must stay visibly dead-lettered even when
+        its record file rotted.
+        """
         path = os.path.join(self._dir(FAILED_DIR), f"{task_id}.json")
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
+        data, error = self._read_json(path)
+        if error == "corrupt":
+            self.quarantine(path, reason="dead_letter_record",
+                            task_id=task_id)
+            return {"task_id": task_id, "kind": "quarantined",
+                    "error": "dead-letter record was corrupt and has been "
+                             "quarantined"}
+        return data
 
     def result_ids(self) -> List[str]:
         """Task ids with a published result (one directory listing)."""
@@ -447,7 +620,7 @@ class WorkQueue:
 
     # ------------------------------------------------------------ accounting
     def counts(self) -> Dict[str, int]:
-        """Spool occupancy: pending / claimed / results / failed.
+        """Spool occupancy: pending / claimed / results / failed / quarantined.
 
         Also publishes each depth as a ``repro_spool_depth{state=...}``
         gauge, so any caller that polls occupancy keeps the registry fresh.
@@ -461,6 +634,7 @@ class WorkQueue:
                            if n.endswith(".json")),
             "failed": sum(1 for n in self._listing(FAILED_DIR)
                           if n.endswith(".json")),
+            "quarantined": len(self._listing(QUARANTINE_DIR)),
         }
         depth = self.metrics.gauge(
             "repro_spool_depth", "Spool occupancy by state")
@@ -474,11 +648,29 @@ class WorkQueue:
         for name in self._listing(RESULTS_DIR):
             if name.endswith(".json"):
                 try:
-                    os.unlink(os.path.join(self._dir(RESULTS_DIR), name))
+                    self.fs.unlink(os.path.join(self._dir(RESULTS_DIR), name))
                     removed += 1
                 except OSError:
                     pass
         return removed
+
+    def sweep_tmp(self, grace_s: float = 3600.0,
+                  now: Optional[float] = None) -> int:
+        """Reap orphaned ``*.tmp`` staging files across the spool.
+
+        Sweeps ``tmp/`` (the normal staging area) **and** ``claimed/`` /
+        ``results/`` / ``failed/`` (where a writer using a colocated temp
+        dir could have died between ``mkstemp`` and ``os.replace``).  The
+        age guard keeps in-flight atomic writes safe: only files older than
+        ``grace_s`` are removed.  ``repro serve`` runs this on the janitor
+        timer.
+        """
+        from repro.distributed.janitor import sweep_stale_tmp
+
+        return sweep_stale_tmp(
+            [self._dir(sub) for sub in (TMP_DIR, CLAIMED_DIR, RESULTS_DIR,
+                                        FAILED_DIR)],
+            grace_s=grace_s, now=now, fs=self.fs)
 
     def compact_results(self, max_count: Optional[int] = None,
                         max_bytes: Optional[int] = None,
@@ -493,14 +685,19 @@ class WorkQueue:
         order is oldest-*published*-first).  ``repro serve`` runs it on the
         janitor timer.  A compacted result a stream still waits on simply
         re-solves when the task is resubmitted — size the caps well above
-        the fleet's in-flight window.  Returns the janitor's report.
+        the fleet's in-flight window.  The sweep also reaps abandoned
+        ``*.tmp`` staging files in ``claimed/`` and ``tmp/`` (age-guarded).
+        Returns the janitor's report.
         """
         from repro.distributed.janitor import CacheJanitor
 
         janitor = CacheJanitor(self._dir(RESULTS_DIR),
                                max_entries=max_count,
                                max_bytes=max_bytes,
-                               max_age_s=max_age_s)
+                               max_age_s=max_age_s,
+                               extra_tmp_dirs=(self._dir(CLAIMED_DIR),
+                                               self._dir(TMP_DIR)),
+                               fs=self.fs)
         return janitor.collect(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

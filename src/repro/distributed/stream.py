@@ -163,6 +163,11 @@ class ResultStream:
                                "status": "error",
                                "error": failure.get("error", "dead-lettered"),
                                "dead_lettered": True}
+                    # typed failure class (poison / quarantined /
+                    # max_requeues / result_corrupted / failed) so consumers
+                    # can branch without parsing the error string
+                    if failure.get("kind"):
+                        outcome["error_kind"] = failure["kind"]
                 order = self._pending.pop(task_id)
                 progressed = True
                 if self.ordered:

@@ -33,7 +33,8 @@ import uuid
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.context import SolveContext
-from repro.distributed.spool import SpoolTask, WorkQueue
+from repro.distributed.spool import (POISON_DIR, TMP_DIR, SpoolTask,
+                                     WorkQueue, _split_name)
 from repro.observability import events as _events
 from repro.observability.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
@@ -175,6 +176,24 @@ class SolveWorker:
         Renew the claim lease from a background thread during each solve
         (default on).  Disable only in tests that need to observe lease
         expiry under a live worker.
+    poison_threshold:
+        Dead-letter a task once this many *previous* attempts left crash
+        markers behind (see below).  The default of 2 means a task that
+        hard-crashed two workers is dead-lettered before it takes down a
+        third.
+
+    **Poison-task circuit breaker.**  A task whose *solve itself* crashes
+    the process (segfault in a native solver, OOM kill) never reaches the
+    dead-letter path through ``max_requeues`` alone until it has crashed
+    ``max_requeues + 1`` workers.  To bound the blast radius, each worker
+    drops a crash marker — ``poison/<task_id>.a<attempt>.json`` — just
+    before the solve and removes it just after.  A clean crash-free attempt
+    leaves no marker; a hard crash leaves one that nothing cleans up.  The
+    claimant of a *retry* (attempt > 0) counts leftover markers from
+    earlier attempts: at ``poison_threshold`` the task is dead-lettered
+    with a structured error envelope (``kind="poison"``) instead of being
+    solved, so its submitter gets a typed error and the fleet keeps its
+    workers.
 
     Anytime behaviour: a task payload's ``deadline_s`` becomes a cooperative
     :class:`~repro.core.context.SolveContext` around the solve.  With the
@@ -195,15 +214,19 @@ class SolveWorker:
                  worker_id: Optional[str] = None,
                  poll_interval: float = 0.05,
                  heartbeat: bool = True,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 poison_threshold: int = 2) -> None:
         if isinstance(queue, str):
             queue = WorkQueue(queue)
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
         self.queue = queue
         self.cache = cache
         self.registry = registry if registry is not None else default_registry()
         self.worker_id = worker_id or default_worker_id()
         self.poll_interval = poll_interval
         self.heartbeat = heartbeat
+        self.poison_threshold = poison_threshold
         #: renew cadence: well inside the lease so several beats fit into
         #: one timeout even under heavy filesystem latency
         self.heartbeat_interval = max(0.01, queue.lease_timeout / 4.0)
@@ -286,6 +309,9 @@ class SolveWorker:
             self._tasks_total.inc(outcome="released")
             return None
         payload = dict(task.payload)
+        poisoned = self._poison_check(task)
+        if poisoned is not None:
+            return poisoned
         outcome = self._cached_outcome(payload)
         if outcome is not None:
             self._event(_events.EVENT_CACHE_HIT, task.task_id,
@@ -296,18 +322,25 @@ class SolveWorker:
                         method=payload.get("method"),
                         attempt=task.attempt)
             solve_started = time.monotonic()
-            if self.heartbeat:
-                progress = _ProgressTracker()
-                context = self._task_context(payload, progress)
-                with LeaseHeartbeat(self.queue, task, self.heartbeat_interval,
-                                    progress=progress.take) as beat:
-                    outcome = self._solve(payload, context)
-                self.lease_renewals += beat.renewals
-                if beat.renewals:
-                    self._renewals_total.inc(beat.renewals)
-            else:
-                outcome = self._solve(payload,
-                                      self._task_context(payload, None))
+            self._mark_crash(task)
+            try:
+                if self.heartbeat:
+                    progress = _ProgressTracker()
+                    context = self._task_context(payload, progress)
+                    with LeaseHeartbeat(self.queue, task,
+                                        self.heartbeat_interval,
+                                        progress=progress.take) as beat:
+                        outcome = self._solve(payload, context)
+                    self.lease_renewals += beat.renewals
+                    if beat.renewals:
+                        self._renewals_total.inc(beat.renewals)
+                else:
+                    outcome = self._solve(payload,
+                                          self._task_context(payload, None))
+            finally:
+                # a hard crash (SIGKILL, segfault) never reaches this, which
+                # is exactly how the marker survives to incriminate the task
+                self._unmark_crash(task)
             solve_elapsed = time.monotonic() - solve_started
             self._solve_seconds.observe(
                 solve_elapsed,
@@ -333,17 +366,112 @@ class SolveWorker:
             self._tasks_total.inc(outcome="solved")
             if (self.cache is not None and payload.get("cacheable", True)
                     and outcome_cacheable(outcome)):
-                self.cache.put(payload["key"], make_cache_entry(
-                    outcome["method"], outcome["objective"],
-                    outcome["elapsed_s"], outcome["placement"],
-                    outcome["details"], status=outcome.get("status")))
+                try:
+                    self.cache.put(payload["key"], make_cache_entry(
+                        outcome["method"], outcome["objective"],
+                        outcome["elapsed_s"], outcome["placement"],
+                        outcome["details"], status=outcome.get("status")))
+                except OSError:
+                    # cache unavailable (disk full, I/O errors past the
+                    # retry budget): the solve result still ships
+                    pass
         outcome["worker_id"] = self.worker_id
         outcome["tag"] = payload.get("tag")
         outcome["seed"] = payload.get("seed")
         outcome["index"] = payload.get("index")
-        self.queue.ack(task, outcome)
+        try:
+            self.queue.ack(task, outcome)
+        except OSError:
+            # even the retried result write failed (e.g. the spool disk is
+            # full): hand the task back so a later attempt — here or on
+            # another worker — can publish; recovery covers us if even the
+            # nack rename fails
+            self.queue.nack(task)
+            self._tasks_total.inc(outcome="ack_failed")
+            self.processed += 1
+            return outcome
         self.processed += 1
         return outcome
+
+    # ------------------------------------------------------- poison breaker
+    def _poison_dir(self) -> str:
+        return os.path.join(self.queue.directory, POISON_DIR)
+
+    def _marker_path(self, task: SpoolTask) -> str:
+        return os.path.join(self._poison_dir(),
+                            f"{task.task_id}.a{task.attempt}.json")
+
+    def _crash_markers(self, task: SpoolTask) -> int:
+        """Markers left by *earlier* attempts that never finished their solve."""
+        try:
+            names = self.queue.fs.listdir(self._poison_dir())
+        except OSError:
+            return 0
+        count = 0
+        for name in names:
+            parts = _split_name(name)
+            if (parts is not None and parts["task_id"] == task.task_id
+                    and parts["attempt"] < task.attempt):
+                count += 1
+        return count
+
+    def _mark_crash(self, task: SpoolTask) -> None:
+        """Drop the crash marker; best-effort (a failed write just weakens
+        the breaker by one attempt, it must never block the solve)."""
+        try:
+            self.queue.fs.write_json_atomic(
+                self._marker_path(task),
+                {"task_id": task.task_id, "attempt": task.attempt,
+                 "worker_id": self.worker_id},
+                tmp_dir=os.path.join(self.queue.directory, TMP_DIR))
+        except OSError:
+            pass
+
+    def _unmark_crash(self, task: SpoolTask) -> None:
+        try:
+            self.queue.fs.unlink(self._marker_path(task))
+        except OSError:
+            pass
+
+    def _clear_markers(self, task: SpoolTask) -> None:
+        """Remove every marker for a task once its fate is sealed."""
+        try:
+            names = self.queue.fs.listdir(self._poison_dir())
+        except OSError:
+            return
+        for name in names:
+            parts = _split_name(name)
+            if parts is not None and parts["task_id"] == task.task_id:
+                try:
+                    self.queue.fs.unlink(
+                        os.path.join(self._poison_dir(), name))
+                except OSError:
+                    pass
+
+    def _poison_check(self, task: SpoolTask) -> Optional[Dict[str, Any]]:
+        """Dead-letter a repeat crasher before it takes down this worker.
+
+        Returns the typed error outcome when the breaker trips, ``None``
+        when the task is safe to solve.  Only retries (attempt > 0) can
+        trip: a first delivery has no history to judge.
+        """
+        if task.attempt == 0:
+            return None
+        markers = self._crash_markers(task)
+        if markers < self.poison_threshold:
+            return None
+        error = (f"poison task: {markers} previous attempt(s) crashed their "
+                 f"worker mid-solve (threshold {self.poison_threshold}); "
+                 f"dead-lettered without solving")
+        self.queue.fail(task, error=error, kind="poison",
+                        crash_markers=markers, worker_id=self.worker_id)
+        self._event(_events.EVENT_POISON, task.task_id,
+                    attempt=task.attempt, crash_markers=markers)
+        self._clear_markers(task)
+        self._tasks_total.inc(outcome="poisoned")
+        self.processed += 1
+        return {"task_id": task.task_id, "ok": False, "status": "error",
+                "error": error, "error_kind": "poison"}
 
     def _task_context(self, payload: Dict[str, Any],
                       progress: Optional[_ProgressTracker]

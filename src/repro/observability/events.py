@@ -37,6 +37,8 @@ EVENT_FAIL = "fail"
 EVENT_REQUEUE = "requeue"
 EVENT_RELEASE = "release"
 EVENT_DEAD_LETTER = "dead_letter"
+EVENT_QUARANTINE = "quarantine"
+EVENT_POISON = "poison"
 
 KNOWN_KINDS = (
     EVENT_SUBMIT,
@@ -50,18 +52,27 @@ KNOWN_KINDS = (
     EVENT_REQUEUE,
     EVENT_RELEASE,
     EVENT_DEAD_LETTER,
+    EVENT_QUARANTINE,
+    EVENT_POISON,
 )
 
 
 class EventLog:
-    """Append-only JSONL event stream with torn-write-tolerant reads."""
+    """Append-only JSONL event stream with torn-write-tolerant reads.
 
-    def __init__(self, path: str) -> None:
+    ``fs`` routes the append through a
+    :class:`~repro.runtime.fsio.FilesystemAdapter` so the chaos harness can
+    inject EIO/torn faults into telemetry too; by default the append is a
+    direct ``os.open``/``os.write`` with no indirection.
+    """
+
+    def __init__(self, path: str, fs=None) -> None:
         self.path = os.path.abspath(path)
+        self.fs = fs
 
     @classmethod
-    def for_spool(cls, directory: str) -> "EventLog":
-        return cls(os.path.join(directory, EVENTS_FILENAME))
+    def for_spool(cls, directory: str, fs=None) -> "EventLog":
+        return cls(os.path.join(directory, EVENTS_FILENAME), fs=fs)
 
     def emit(self, kind: str, task_id: Optional[str] = None, **fields: Any) -> None:
         """Append one event; never raises into the hot path."""
@@ -71,6 +82,9 @@ class EventLog:
         event.update(fields)
         line = json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
         try:
+            if self.fs is not None:
+                self.fs.append_line(self.path, line.encode("utf-8"))
+                return
             fd = os.open(
                 self.path,
                 os.O_APPEND | os.O_CREAT | os.O_WRONLY,

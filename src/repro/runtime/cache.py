@@ -276,19 +276,31 @@ class JSONFileCache(_CacheStats):
     characters of SHA-256 of the key — a million-entry store puts ~4k files
     per directory instead of a million in one.  Writes are atomic (tempfile +
     rename inside the shard) so concurrent workers sharing the directory can
-    never observe a torn entry; unreadable files count as misses instead of
-    raising.  Flat legacy entries (``directory/<key>.json`` from the
-    pre-sharding layout) are migrated into their shard transparently on first
-    access.  Hits refresh the file mtime so the janitor's oldest-first
-    eviction approximates least-recently-used.
+    never observe a torn entry.  An entry file that exists but is not valid
+    JSON — a torn write that landed, bit rot — is **quarantined** into
+    ``directory/quarantine/`` (counted under
+    ``repro_spool_quarantined_total{reason="cache_entry"}``) and served as a
+    miss, so it is recomputed once instead of poisoning every future probe.
+    Flat legacy entries (``directory/<key>.json`` from the pre-sharding
+    layout) are migrated into their shard transparently on first access.
+    Hits refresh the file mtime so the janitor's oldest-first eviction
+    approximates least-recently-used.
     """
 
     _metrics_tier = "disk"
 
-    def __init__(self, directory: str, touch_on_hit: bool = True) -> None:
+    def __init__(self, directory: str, touch_on_hit: bool = True,
+                 fs=None, retry=None) -> None:
         super().__init__()
+        from repro.runtime.fsio import RetryPolicy, default_fs
+
         self.directory = directory
         self.touch_on_hit = touch_on_hit
+        self.fs = fs if fs is not None else default_fs()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._quarantined = default_metrics().counter(
+            "repro_spool_quarantined_total",
+            "Corrupt spool files moved into quarantine/, by reason")
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, shard_of(key), f"{key}.json")
@@ -296,11 +308,26 @@ class JSONFileCache(_CacheStats):
     def _legacy_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside so it cannot poison future probes."""
+        target_dir = os.path.join(self.directory, "quarantine")
+        try:
+            self.fs.makedirs(target_dir, exist_ok=True)
+            self.fs.rename(
+                path, os.path.join(target_dir, os.path.basename(path)))
+        except OSError:
+            return
+        self._quarantined.inc(reason="cache_entry")
+
     def _load(self, path: str) -> Optional[CacheEntry]:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
+            raw = self.fs.read_bytes(path)
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._quarantine(path)
             return None
         if not isinstance(entry, dict) or entry.get("entry_version") != _ENTRY_VERSION:
             return None
@@ -317,13 +344,13 @@ class JSONFileCache(_CacheStats):
             # migrate the flat legacy file into its shard (atomic; a loser
             # of a concurrent migration race merely re-writes the same entry)
             try:
-                os.makedirs(os.path.dirname(path), exist_ok=True)
-                os.replace(self._legacy_path(key), path)
+                self.fs.makedirs(os.path.dirname(path), exist_ok=True)
+                self.fs.replace(self._legacy_path(key), path)
             except OSError:
                 pass
         if self.touch_on_hit:
             try:
-                os.utime(path)
+                self.fs.utime(path)
             except OSError:
                 pass
         self._hit()
@@ -335,8 +362,17 @@ class JSONFileCache(_CacheStats):
         return entry, ("disk" if entry is not None else None)
 
     def put(self, key: str, entry: CacheEntry) -> None:
-        os.makedirs(os.path.join(self.directory, shard_of(key)), exist_ok=True)
-        write_json_atomic(self._path(key), entry)
+        """Store one entry (atomic write, transient-I/O retry).
+
+        A persistently failing write still raises ``OSError`` — callers on
+        the solve path (worker, service) treat that as "cache unavailable"
+        and carry on with the solve result.
+        """
+        shard_dir = os.path.join(self.directory, shard_of(key))
+        self.retry.call(self.fs.makedirs, shard_dir, exist_ok=True,
+                        op="cache_put")
+        self.retry.call(self.fs.write_json_atomic, self._path(key), entry,
+                        op="cache_put")
 
     def paths(self) -> Iterator[str]:
         """Every entry file currently in the store (shards + legacy flat)."""

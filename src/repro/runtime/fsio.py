@@ -1,0 +1,212 @@
+"""Filesystem indirection and retry policy for the durable stores.
+
+Everything the spool, the on-disk result cache, the event log and the cache
+janitor do to disk goes through a :class:`FilesystemAdapter` — a thin
+passthrough over :mod:`os` in production (the default, module-singleton
+adapter adds one bound-method call per operation and nothing else), and the
+seam where the chaos harness's :class:`~repro.distributed.faults.FaultyFS`
+injects deterministic ENOSPC/EIO/torn-write faults in tests.
+
+:class:`RetryPolicy` is the shared answer to *transient* I/O failure: capped
+exponential backoff with deterministic jitter (seeded per operation, so two
+runs of the same plan back off identically) and per-operation attempt
+budgets.  Only errnos that plausibly clear on their own are retried —
+``EIO``, ``ENOSPC``, ``EAGAIN``, ``ESTALE``, ``EBUSY``; semantic errors like
+``ENOENT``/``EEXIST`` (a lost claim race) propagate immediately.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["FilesystemAdapter", "RetryPolicy", "default_fs"]
+
+
+class FilesystemAdapter:
+    """Passthrough filesystem primitives; subclass to intercept.
+
+    The surface is exactly what the durable stores need — nothing here is a
+    general filesystem API.  Methods mirror :mod:`os` semantics (including
+    raised ``OSError`` subclasses) so callers keep their existing error
+    handling whether or not an adapter is in the path.
+    """
+
+    # ----------------------------------------------------------- metadata ops
+    def listdir(self, path: str) -> List[str]:
+        return os.listdir(path)
+
+    def stat(self, path: str) -> os.stat_result:
+        return os.stat(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def isdir(self, path: str) -> bool:
+        return os.path.isdir(path)
+
+    def makedirs(self, path: str, exist_ok: bool = True) -> None:
+        os.makedirs(path, exist_ok=exist_ok)
+
+    # ----------------------------------------------------------- mutation ops
+    def rename(self, source: str, target: str) -> None:
+        os.rename(source, target)
+
+    def replace(self, source: str, target: str) -> None:
+        os.replace(source, target)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    def utime(self, path: str) -> None:
+        os.utime(path)
+
+    # --------------------------------------------------------------- data ops
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write_json_atomic(self, path: str, data: Any,
+                          tmp_dir: Optional[str] = None) -> None:
+        """Tempfile + rename so readers never observe a torn file.
+
+        ``tmp_dir`` must be on the same filesystem as ``path`` for the
+        rename to stay atomic; it defaults to the target's directory.
+        """
+        directory = (tmp_dir if tmp_dir is not None
+                     else (os.path.dirname(path) or "."))
+        payload = json.dumps(data, sort_keys=True).encode("utf-8")
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            self.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def append_line(self, path: str, line: bytes) -> None:
+        """One ``O_APPEND`` write: atomic w.r.t. other appenders (POSIX)."""
+        fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------ clock
+    def time(self) -> float:
+        """Wall-clock reads route here so clock-skew faults are injectable."""
+        return time.time()
+
+
+_DEFAULT_FS = FilesystemAdapter()
+
+
+def default_fs() -> FilesystemAdapter:
+    """The process-wide passthrough adapter (prod path: no indirection cost
+    beyond one bound-method call)."""
+    return _DEFAULT_FS
+
+
+#: Errnos worth retrying: they plausibly clear without caller intervention.
+_TRANSIENT_ERRNOS = frozenset(
+    code for code in (
+        errno.EIO,
+        errno.ENOSPC,
+        errno.EAGAIN,
+        errno.EBUSY,
+        getattr(errno, "ESTALE", None),     # NFS; absent on some platforms
+        getattr(errno, "EDQUOT", None),
+    ) if code is not None)
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    attempts:
+        Default total tries per operation (first call + retries).
+    base_delay_s / max_delay_s:
+        Backoff starts at ``base_delay_s`` and doubles per retry, capped at
+        ``max_delay_s``.
+    jitter:
+        Fractional jitter added on top of the backoff delay.  The jitter is
+        **deterministic**: drawn from a RNG seeded by ``(seed, op, attempt)``,
+        so identical runs of a seeded fault plan back off identically (no
+        hidden nondeterminism in chaos replays) while distinct operations
+        still de-synchronise.
+    budgets:
+        Per-operation attempt overrides, e.g. ``{"spool_write": 6}``.
+    seed:
+        Jitter seed; fold the fault-plan seed in for chaos runs.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(self, attempts: int = 4,
+                 base_delay_s: float = 0.005,
+                 max_delay_s: float = 0.25,
+                 jitter: float = 0.5,
+                 budgets: Optional[Dict[str, int]] = None,
+                 seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 retryable_errnos: frozenset = _TRANSIENT_ERRNOS) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.budgets = dict(budgets or {})
+        self.seed = seed
+        self.sleep = sleep
+        self.retryable_errnos = retryable_errnos
+        self.retries = 0          #: total retries performed (all operations)
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return (isinstance(exc, OSError)
+                and exc.errno in self.retryable_errnos)
+
+    def delay_s(self, op: str, attempt: int) -> float:
+        """Deterministic backoff delay before retry number ``attempt``."""
+        backoff = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        draw = random.Random(f"{self.seed}:{op}:{attempt}").random()
+        return backoff * (1.0 + self.jitter * draw)
+
+    def call(self, fn: Callable[..., Any], *args: Any,
+             op: str = "io", **kwargs: Any) -> Any:
+        """Run ``fn`` retrying transient ``OSError`` up to the op's budget.
+
+        Non-transient errors (and the final transient one) propagate so
+        callers keep their semantic error handling (``ENOENT`` == lost
+        race, etc.).
+        """
+        budget = max(1, self.budgets.get(op, self.attempts))
+        for attempt in range(budget):
+            try:
+                return fn(*args, **kwargs)
+            except OSError as exc:
+                if not self.is_transient(exc) or attempt + 1 >= budget:
+                    raise
+                self.retries += 1
+                self._count_retry(op)
+                self.sleep(self.delay_s(op, attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _count_retry(self, op: str) -> None:
+        from repro.observability.metrics import default_metrics
+
+        default_metrics().counter(
+            "repro_io_retries_total",
+            "Transient-I/O retries by operation").inc(op=op)

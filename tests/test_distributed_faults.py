@@ -1,0 +1,215 @@
+"""Unit tests for the fault-injection layer and the shared retry policy."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.distributed.faults import DEFAULT_SITES, FaultPlan, FaultRule, FaultyFS
+from repro.runtime.fsio import FilesystemAdapter, RetryPolicy, default_fs
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.from_seed(42)
+        b = FaultPlan.from_seed(42)
+        for site in DEFAULT_SITES:
+            assert a.schedule("worker0", site, 500) == \
+                b.schedule("worker0", site, 500)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.from_seed(1).schedule("w", "write_json", 500)
+        b = FaultPlan.from_seed(2).schedule("w", "write_json", 500)
+        assert a != b
+
+    def test_streams_are_independent(self):
+        plan = FaultPlan.from_seed(3)
+        assert plan.schedule("worker0", "rename", 500) != \
+            plan.schedule("worker1", "rename", 500)
+
+    def test_decide_is_order_independent(self):
+        plan = FaultPlan.from_seed(9)
+        forward = [plan.decide("w", "stat", i) for i in range(100)]
+        fresh = FaultPlan.from_seed(9)
+        backward = [fresh.decide("w", "stat", i)
+                    for i in reversed(range(100))]
+        assert forward == list(reversed(backward))
+
+    def test_after_grace_skips_early_calls(self):
+        plan = FaultPlan(0, [FaultRule("write_json", "enospc", 1.0, after=3)])
+        kinds = plan.schedule("w", "write_json", 6)
+        assert kinds == [None, None, None, "enospc", "enospc", "enospc"]
+
+    def test_limit_caps_firings_per_stream(self):
+        plan = FaultPlan(0, [FaultRule("rename", "eio", 1.0, limit=2)])
+        assert plan.schedule("w", "rename", 5) == \
+            ["eio", "eio", None, None, None]
+        # an independent stream has its own budget
+        assert plan.schedule("other", "rename", 1) == ["eio"]
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan.from_seed(7, rate=0.1, hang_s=0.5, skew_s=3.0)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.seed == 7 and clone.skew_s == 3.0
+        for site in DEFAULT_SITES:
+            assert plan.schedule("w", site, 200) == \
+                clone.schedule("w", site, 200)
+
+    def test_standard_plan_covers_required_failure_families(self):
+        plan = FaultPlan.from_seed(0)
+        kinds = {(r.site, r.kind) for r in plan.rules}
+        assert ("write_json", "enospc") in kinds
+        assert ("write_json", "torn") in kinds
+        assert len({site for site, _ in kinds}) >= 5
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("rename", "explode", 0.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule("rename", "eio", 1.5)
+
+
+class TestFaultyFS:
+    def _fs(self, rules, tmp_path, **plan_kwargs):
+        plan = FaultPlan(0, rules, **plan_kwargs)
+        return FaultyFS(plan, stream="t",
+                        journal_path=str(tmp_path / "journal.jsonl"))
+
+    def test_enospc_is_a_real_oserror(self, tmp_path):
+        fs = self._fs([FaultRule("write_json", "enospc", 1.0)], tmp_path)
+        with pytest.raises(OSError) as exc:
+            fs.write_json_atomic(str(tmp_path / "x.json"), {"a": 1})
+        assert exc.value.errno == errno.ENOSPC
+        assert not (tmp_path / "x.json").exists()
+
+    def test_eio_on_rename(self, tmp_path):
+        (tmp_path / "src").write_text("x")
+        fs = self._fs([FaultRule("rename", "eio", 1.0)], tmp_path)
+        with pytest.raises(OSError) as exc:
+            fs.rename(str(tmp_path / "src"), str(tmp_path / "dst"))
+        assert exc.value.errno == errno.EIO
+        assert (tmp_path / "src").exists()       # nothing moved
+
+    def test_torn_write_lands_a_prefix(self, tmp_path):
+        fs = self._fs([FaultRule("write_json", "torn", 1.0)], tmp_path)
+        fs.write_json_atomic(str(tmp_path / "x.json"), {"key": "v" * 100})
+        raw = (tmp_path / "x.json").read_bytes()
+        assert raw                                # the file landed...
+        with pytest.raises(ValueError):
+            json.loads(raw)                       # ...but is not JSON
+
+    def test_corrupt_write_lands_garbage(self, tmp_path):
+        fs = self._fs([FaultRule("write_json", "corrupt", 1.0)], tmp_path)
+        fs.write_json_atomic(str(tmp_path / "x.json"), {"a": 1})
+        raw = (tmp_path / "x.json").read_bytes()
+        with pytest.raises((ValueError, UnicodeDecodeError)):
+            json.loads(raw.decode("utf-8"))
+
+    def test_clock_skew_offsets_time(self, tmp_path):
+        fs = self._fs([FaultRule("clock", "skew", 1.0)], tmp_path, skew_s=5.0)
+        import time as _time
+
+        skewed = fs.time()
+        assert abs(abs(skewed - _time.time()) - 5.0) < 1.0
+
+    def test_hang_sleeps_and_then_succeeds(self, tmp_path):
+        naps = []
+        plan = FaultPlan(0, [FaultRule("write_json", "hang", 1.0)],
+                         hang_s=0.25)
+        fs = FaultyFS(plan, stream="t", sleep=naps.append)
+        fs.write_json_atomic(str(tmp_path / "x.json"), {"a": 1})
+        assert naps == [0.25]
+        assert json.loads((tmp_path / "x.json").read_text()) == {"a": 1}
+
+    def test_torn_append_drops_the_newline(self, tmp_path):
+        fs = self._fs([FaultRule("append", "torn", 1.0)], tmp_path)
+        fs.append_line(str(tmp_path / "log"), b'{"kind":"x"}\n')
+        raw = (tmp_path / "log").read_bytes()
+        assert raw and not raw.endswith(b"\n")
+
+    def test_journal_records_every_injection(self, tmp_path):
+        fs = self._fs([FaultRule("stat", "eio", 1.0)], tmp_path)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                fs.stat(str(tmp_path / "whatever"))
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 3
+        assert all(r["site"] == "stat" and r["kind"] == "eio"
+                   for r in records)
+        assert fs.fault_counts() == {"stat:eio": 3}
+
+    def test_passthrough_when_no_rule_matches(self, tmp_path):
+        fs = self._fs([], tmp_path)
+        fs.write_json_atomic(str(tmp_path / "x.json"), {"a": 1})
+        assert fs.read_bytes(str(tmp_path / "x.json")) == b'{"a": 1}'
+        assert fs.injected == []
+
+
+class TestRetryPolicy:
+    def _flaky(self, failures, err=errno.EIO):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise OSError(err, "injected")
+            return "ok"
+
+        return fn, calls
+
+    def test_transient_errors_are_retried(self):
+        policy = RetryPolicy(attempts=4, sleep=lambda _: None)
+        fn, calls = self._flaky(2)
+        assert policy.call(fn, op="w") == "ok"
+        assert calls["n"] == 3
+        assert policy.retries == 2
+
+    def test_budget_exhaustion_propagates_the_error(self):
+        policy = RetryPolicy(attempts=3, sleep=lambda _: None)
+        fn, calls = self._flaky(99)
+        with pytest.raises(OSError):
+            policy.call(fn, op="w")
+        assert calls["n"] == 3
+
+    def test_semantic_errors_never_retry(self):
+        policy = RetryPolicy(attempts=5, sleep=lambda _: None)
+        fn, calls = self._flaky(99, err=errno.ENOENT)
+        with pytest.raises(FileNotFoundError):
+            policy.call(fn, op="w")
+        assert calls["n"] == 1                    # a lost race is semantic
+
+    def test_per_op_budgets_override_the_default(self):
+        policy = RetryPolicy(attempts=2, budgets={"spool_write": 5},
+                             sleep=lambda _: None)
+        fn, calls = self._flaky(4)
+        assert policy.call(fn, op="spool_write") == "ok"
+        assert calls["n"] == 5
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=1)
+        c = RetryPolicy(seed=2)
+        delays_a = [a.delay_s("w", i) for i in range(5)]
+        assert delays_a == [b.delay_s("w", i) for i in range(5)]
+        assert delays_a != [c.delay_s("w", i) for i in range(5)]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.05, jitter=0.0)
+        assert policy.delay_s("w", 0) == pytest.approx(0.01)
+        assert policy.delay_s("w", 1) == pytest.approx(0.02)
+        assert policy.delay_s("w", 10) == pytest.approx(0.05)
+
+
+class TestFilesystemAdapter:
+    def test_default_fs_is_a_shared_passthrough(self):
+        assert default_fs() is default_fs()
+        assert type(default_fs()) is FilesystemAdapter
+
+    def test_atomic_write_cleans_up_its_staging_file(self, tmp_path):
+        fs = FilesystemAdapter()
+        fs.write_json_atomic(str(tmp_path / "out.json"), {"a": 1},
+                             tmp_dir=str(tmp_path))
+        assert json.loads((tmp_path / "out.json").read_text()) == {"a": 1}
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]

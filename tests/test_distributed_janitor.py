@@ -122,3 +122,91 @@ class TestEndToEnd:
         cache.put("fresh", {"entry_version": 1, "objective": 99.0})
         assert cache.get("fresh")["objective"] == 99.0
         assert len(cache) == 6
+
+
+class TestTmpSweep:
+    """Stale-``.tmp`` reaping across the spool (satellite: claimed/ and
+    results/ must be swept too, with an age guard protecting in-flight
+    atomic writes)."""
+
+    def _tmp(self, directory, name, age_s, now):
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, name)
+        with open(path, "w") as handle:
+            handle.write("{")
+        os.utime(path, (now - age_s, now - age_s))
+        return path
+
+    def test_sweep_stale_tmp_respects_the_age_guard(self, tmp_path):
+        from repro.distributed import sweep_stale_tmp
+
+        now = time.time()
+        stale = self._tmp(str(tmp_path), "old.tmp", age_s=7200, now=now)
+        fresh = self._tmp(str(tmp_path), "inflight.tmp", age_s=10, now=now)
+        entry = self._tmp(str(tmp_path), "kept.json", age_s=7200, now=now)
+        assert sweep_stale_tmp([str(tmp_path)], now=now) == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)       # in-flight write never reaped
+        assert os.path.exists(entry)       # only .tmp files are touched
+
+    def test_sweep_stale_tmp_skips_missing_directories(self, tmp_path):
+        from repro.distributed import sweep_stale_tmp
+
+        assert sweep_stale_tmp([str(tmp_path / "nope")]) == 0
+
+    def test_workqueue_sweep_covers_claimed_and_results(self, tmp_path):
+        from repro.distributed import WorkQueue
+
+        queue = WorkQueue(str(tmp_path / "spool"))
+        now = time.time()
+        stale = [self._tmp(os.path.join(queue.directory, sub),
+                           "orphan.tmp", age_s=7200, now=now)
+                 for sub in ("tmp", "claimed", "results", "failed")]
+        fresh = self._tmp(os.path.join(queue.directory, "claimed"),
+                          "inflight.tmp", age_s=1, now=now)
+        assert queue.sweep_tmp(now=now) == 4
+        assert all(not os.path.exists(path) for path in stale)
+        assert os.path.exists(fresh)
+
+    def test_sweep_never_reaps_live_spool_artifacts(self, tmp_path):
+        from repro.distributed import WorkQueue
+
+        queue = WorkQueue(str(tmp_path / "spool"))
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        # make the claim file ancient: age alone must not endanger it
+        os.utime(task.path, (1, 1))
+        assert queue.sweep_tmp(now=time.time() + 10_000) == 0
+        assert os.path.exists(task.path)
+        queue.ack(task, {"ok": True})
+        assert queue.result(task_id)["ok"]
+
+    def test_compact_results_reaps_spool_staging_dirs(self, tmp_path):
+        from repro.distributed import WorkQueue
+
+        queue = WorkQueue(str(tmp_path / "spool"))
+        now = time.time()
+        in_claimed = self._tmp(os.path.join(queue.directory, "claimed"),
+                               "orphan.tmp", age_s=7200, now=now)
+        in_tmp = self._tmp(os.path.join(queue.directory, "tmp"),
+                           "orphan.tmp", age_s=7200, now=now)
+        report = queue.compact_results(max_count=100, now=now)
+        assert report.tmp_removed == 2
+        assert not os.path.exists(in_claimed)
+        assert not os.path.exists(in_tmp)
+
+
+class TestJanitorFaultTolerance:
+    def test_collect_survives_injected_io_errors(self, tmp_path):
+        from repro.distributed.faults import FaultPlan, FaultRule, FaultyFS
+
+        fill(str(tmp_path), 10)
+        fs = FaultyFS(FaultPlan(0, [FaultRule("unlink", "eio", 0.5),
+                                    FaultRule("stat", "eio", 0.3)]),
+                      stream="janitor")
+        janitor = CacheJanitor(str(tmp_path), max_entries=2, fs=fs)
+        report = janitor.collect()           # must not raise
+        assert report.scanned <= 10
+        # a second, fault-free pass finishes the job the faults blocked
+        CacheJanitor(str(tmp_path), max_entries=2).collect()
+        assert len(fill(str(tmp_path), 0)) <= 2

@@ -1,0 +1,167 @@
+"""The poison-task circuit breaker: crash markers and dead-lettering."""
+
+import json
+import os
+
+import pytest
+
+from repro.distributed import ResultStream, WorkQueue
+from repro.distributed.spool import POISON_DIR
+from repro.distributed.worker import SolveWorker
+from repro.observability.metrics import MetricsRegistry
+from repro.workloads import random_problem
+from repro.runtime.payload import prepare_tasks, task_payload
+from repro.runtime.registry import default_registry
+from repro.runtime.runner import BatchTask
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return WorkQueue(str(tmp_path / "spool"), lease_timeout=60.0,
+                     metrics=MetricsRegistry())
+
+
+def _solvable_payload(seed: int = 0) -> dict:
+    problem = random_problem(n_processing=5, n_satellites=2, seed=seed)
+    [prep] = prepare_tasks([BatchTask(problem=problem, method="greedy")],
+                           default_registry(), 0)
+    return task_payload(prep)
+
+
+def _leave_crash_marker(queue: WorkQueue, task_id: str, attempt: int) -> None:
+    """Simulate a worker that died mid-solve: its marker is never removed."""
+    path = os.path.join(queue.directory, POISON_DIR,
+                        f"{task_id}.a{attempt}.json")
+    with open(path, "w") as handle:
+        json.dump({"task_id": task_id, "attempt": attempt,
+                   "worker_id": "crashed"}, handle)
+
+
+def _requeue_to_attempt(queue: WorkQueue, task_id: str, attempt: int) -> None:
+    """Rename the pending file as if it had been requeued ``attempt`` times."""
+    tasks_dir = os.path.join(queue.directory, "tasks")
+    os.rename(os.path.join(tasks_dir, f"{task_id}.a0.json"),
+              os.path.join(tasks_dir, f"{task_id}.a{attempt}.json"))
+
+
+class TestBreaker:
+    def test_two_crashes_dead_letter_before_a_third_solve(self, queue):
+        task_id = queue.submit(_solvable_payload())
+        _leave_crash_marker(queue, task_id, 0)
+        _leave_crash_marker(queue, task_id, 1)
+        _requeue_to_attempt(queue, task_id, 2)
+
+        worker = SolveWorker(queue, cache=None)
+        task = queue.claim()
+        outcome = worker.process(task)
+
+        assert outcome["ok"] is False
+        assert outcome["error_kind"] == "poison"
+        record = queue.failure(task_id)
+        assert record["kind"] == "poison"
+        assert record["crash_markers"] == 2
+        assert "crashed their worker" in record["error"]
+        counts = queue.counts()
+        assert counts["failed"] == 1
+        assert counts["results"] == counts["pending"] == \
+            counts["claimed"] == 0
+        # markers are cleared once the task's fate is sealed
+        assert os.listdir(os.path.join(queue.directory, POISON_DIR)) == []
+        assert worker.metrics.counter("repro_worker_tasks_total").value(
+            outcome="poisoned") == 1
+
+    def test_one_crash_is_not_enough(self, queue):
+        task_id = queue.submit(_solvable_payload())
+        _leave_crash_marker(queue, task_id, 0)
+        _requeue_to_attempt(queue, task_id, 1)
+
+        worker = SolveWorker(queue, cache=None)
+        outcome = worker.process(queue.claim())
+        assert outcome["ok"] is True              # solved normally
+        assert queue.result(task_id)["ok"]
+
+    def test_first_delivery_never_trips(self, queue):
+        # even a poison-looking marker pile cannot condemn attempt 0 —
+        # markers from *other* generations of the same id are attempt >= 0
+        # and the check only counts attempts strictly before ours
+        task_id = queue.submit(_solvable_payload())
+        worker = SolveWorker(queue, cache=None)
+        outcome = worker.process(queue.claim())
+        assert outcome["ok"] is True
+
+    def test_threshold_is_configurable(self, queue):
+        task_id = queue.submit(_solvable_payload())
+        _leave_crash_marker(queue, task_id, 0)
+        _requeue_to_attempt(queue, task_id, 1)
+        worker = SolveWorker(queue, cache=None, poison_threshold=1)
+        outcome = worker.process(queue.claim())
+        assert outcome["error_kind"] == "poison"
+
+    def test_stream_surfaces_poison_as_typed_error(self, queue):
+        task_id = queue.submit(_solvable_payload())
+        _leave_crash_marker(queue, task_id, 0)
+        _leave_crash_marker(queue, task_id, 1)
+        _requeue_to_attempt(queue, task_id, 2)
+        SolveWorker(queue, cache=None).process(queue.claim())
+
+        [(got_id, outcome)] = list(
+            ResultStream(queue, task_ids=[task_id], timeout=5.0))
+        assert got_id == task_id
+        assert outcome["ok"] is False
+        assert outcome["error_kind"] == "poison"
+
+    def test_poison_event_is_logged(self, queue):
+        task_id = queue.submit(_solvable_payload())
+        _leave_crash_marker(queue, task_id, 0)
+        _leave_crash_marker(queue, task_id, 1)
+        _requeue_to_attempt(queue, task_id, 2)
+        SolveWorker(queue, cache=None).process(queue.claim())
+        kinds = [(e["kind"], e.get("task_id"))
+                 for e in queue.events.iter_events()]
+        assert ("poison", task_id) in kinds
+        assert ("dead_letter", task_id) in kinds
+
+
+class TestMarkerLifecycle:
+    def test_marker_exists_during_solve_and_is_removed_after(self, queue):
+        task_id = queue.submit(_solvable_payload())
+        worker = SolveWorker(queue, cache=None)
+        seen = {}
+        original = worker._solve
+
+        def spying_solve(payload, context=None):
+            marker = os.path.join(queue.directory, POISON_DIR,
+                                  f"{task_id}.a0.json")
+            seen["during"] = os.path.exists(marker)
+            return original(payload, context)
+
+        worker._solve = spying_solve
+        outcome = worker.process(queue.claim())
+        assert outcome["ok"]
+        assert seen["during"] is True
+        assert os.listdir(os.path.join(queue.directory, POISON_DIR)) == []
+
+    def test_marker_removed_even_when_solve_errors(self, queue):
+        # an unknown method makes solve_payload return an error outcome
+        # (without raising); the marker must still be cleaned up
+        task_id = queue.submit({"key": "k", "method": "no-such-method",
+                                "problem": {}})
+        worker = SolveWorker(queue, cache=None)
+        outcome = worker.process(queue.claim())
+        assert outcome["ok"] is False
+        assert os.listdir(os.path.join(queue.directory, POISON_DIR)) == []
+
+    def test_distinct_tasks_never_cross_contaminate(self, queue):
+        poisoned = queue.submit(_solvable_payload(seed=1))
+        healthy = queue.submit(_solvable_payload(seed=2))
+        _leave_crash_marker(queue, poisoned, 0)
+        _leave_crash_marker(queue, poisoned, 1)
+        _requeue_to_attempt(queue, poisoned, 2)
+
+        worker = SolveWorker(queue, cache=None)
+        outcomes = {}
+        for _ in range(2):
+            task = queue.claim()
+            outcomes[task.task_id] = worker.process(task)
+        assert outcomes[poisoned]["error_kind"] == "poison"
+        assert outcomes[healthy]["ok"] is True

@@ -35,7 +35,7 @@ class TestLifecycle:
     def test_submit_claim_ack(self, queue):
         task_id = queue.submit({"method": "greedy", "n": 1})
         assert queue.counts() == {"pending": 1, "claimed": 0,
-                                  "results": 0, "failed": 0}
+                                  "results": 0, "failed": 0, "quarantined": 0}
         task = queue.claim()
         assert task is not None
         assert task.task_id == task_id
@@ -44,7 +44,7 @@ class TestLifecycle:
         assert queue.counts()["claimed"] == 1
         queue.ack(task, {"ok": True, "objective": 2.5})
         assert queue.counts() == {"pending": 0, "claimed": 0,
-                                  "results": 1, "failed": 0}
+                                  "results": 1, "failed": 0, "quarantined": 0}
         result = queue.result(task_id)
         assert result["ok"] and result["objective"] == 2.5
         assert result["task_id"] == task_id
@@ -97,7 +97,7 @@ class TestLifecycle:
         task = queue.claim()
         queue.fail(task, "poison")
         assert queue.counts() == {"pending": 0, "claimed": 0,
-                                  "results": 0, "failed": 1}
+                                  "results": 0, "failed": 1, "quarantined": 0}
         record = queue.failure(task_id)
         assert record["error"] == "poison"
         assert record["payload"] == {"n": 1}
@@ -200,3 +200,78 @@ class TestResults:
         queue.ack(task, {"ok": True})
         assert queue.purge_results() == 1
         assert queue.counts()["results"] == 0
+
+
+class TestRecoverHeartbeatRace:
+    """Satellite invariant: expired-lease requeue racing a live heartbeat
+    renewal must neither lose the task nor let it be solved twice."""
+
+    def test_recover_racing_publish_progress(self, tmp_path):
+        import time
+
+        queue = WorkQueue(str(tmp_path / "spool"), lease_timeout=0.15,
+                          max_requeues=100, poll_interval=0.01)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        stop = threading.Event()
+        errors = []
+
+        def heartbeat():
+            beat = 0
+            try:
+                while not stop.is_set():
+                    # a real worker alternates cheap renews with progress
+                    # publishes; both race recover()'s claimed->tasks rename
+                    if beat % 3 == 0:
+                        queue.renew(task)
+                    else:
+                        queue.publish_progress(
+                            task, {"best_objective": float(beat)})
+                    beat += 1
+                    time.sleep(0.01)
+            except BaseException:       # noqa: BLE001 - the invariant
+                import traceback
+
+                errors.append(traceback.format_exc())
+
+        def recoverer():
+            try:
+                while not stop.is_set():
+                    # pretend the clock runs ahead so expiry keeps firing
+                    queue.recover(now=time.time() + 0.1)
+                    time.sleep(0.005)
+            except BaseException:       # noqa: BLE001
+                import traceback
+
+                errors.append(traceback.format_exc())
+
+        threads = [threading.Thread(target=fn)
+                   for fn in (heartbeat, recoverer)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.7)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        # settle: let any live lease expire, then recover everything
+        time.sleep(0.2)
+        queue.recover(now=time.time() + 1.0)
+        counts = queue.counts()
+        assert counts["failed"] == 0            # the task was never lost
+        assert counts["results"] == 0
+
+        # drain: however many generations the race left behind, the task is
+        # *solved* exactly once — later duplicates are retired at claim time
+        acks = 0
+        while True:
+            survivor = queue.claim()
+            if survivor is None:
+                break
+            assert survivor.task_id == task_id
+            queue.ack(survivor, {"ok": True, "generation": acks})
+            acks += 1
+        assert acks == 1
+        assert queue.result(task_id)["ok"]
+        assert queue.counts()["pending"] == 0

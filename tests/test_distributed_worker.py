@@ -143,7 +143,7 @@ class TestCrashRecovery:
         # nothing was published; the claim is now an orphan under lease
         assert queue.result(task_id) is None
         assert queue.counts() == {"pending": 0, "claimed": 1,
-                                  "results": 0, "failed": 0}
+                                  "results": 0, "failed": 0, "quarantined": 0}
 
         # a healthy worker recovers the expired lease and solves it
         time.sleep(1.1)                      # let the 1s lease expire
@@ -155,7 +155,7 @@ class TestCrashRecovery:
         assert result["worker_id"] == rescuer.worker_id
         # exactly one result file, zero stragglers anywhere in the spool
         assert queue.counts() == {"pending": 0, "claimed": 0,
-                                  "results": 1, "failed": 0}
+                                  "results": 1, "failed": 0, "quarantined": 0}
 
     @pytest.mark.timeout(120)
     def test_two_workers_drain_a_sweep_with_no_lost_or_duplicate_tasks(self, spool):
@@ -185,7 +185,7 @@ class TestCrashRecovery:
         assert all(r is not None and r["ok"] for r in results)
         assert all(r["attempt"] == 0 for r in results)     # no double delivery
         assert queue.counts() == {"pending": 0, "claimed": 0,
-                                  "results": 12, "failed": 0}
+                                  "results": 12, "failed": 0, "quarantined": 0}
         # both workers actually participated
         assert len({r["worker_id"] for r in results}) == 2
 

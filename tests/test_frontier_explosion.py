@@ -94,7 +94,7 @@ class TestWorkerAndStream:
         assert "FrontierExplosion" in result["error"]
         # the error is a published result, not a dead letter: no retries
         assert queue.counts() == {"pending": 0, "claimed": 0,
-                                  "results": 1, "failed": 0}
+                                  "results": 1, "failed": 0, "quarantined": 0}
 
     def test_stream_yields_explosion_error_without_hanging(self, tmp_path,
                                                            blowup_problem):
