@@ -209,6 +209,7 @@ def _dp_labels(problem: AssignmentProblem, *,
                lam_s: float = 1.0, lam_b: float = 1.0,
                beam_width: Optional[int] = None,
                context: Optional[SolveContext] = None,
+               profile=None,
                ) -> Tuple[List[_Label], Dict[str, int]]:
     """Run the tree DP; returns the root frontier labels plus prune counters.
 
@@ -231,15 +232,23 @@ def _dp_labels(problem: AssignmentProblem, *,
     pot_state = pot_state or {}
     pot_opt = pot_opt or {}
     bounded = bound != _INF or beam_width is not None
-    stats = {"dominated": 0, "evicted": 0, "bound_rejected": 0,
-             "peak_frontier": 0}
+    stats = {"created": 0, "dominated": 0, "evicted": 0, "bound_rejected": 0,
+             "peak_frontier": 0, "drains": 0}
 
-    def drain(store: ParetoStore, pot: float) -> List[_Label]:
+    def drain(store: ParetoStore, pot: float, node=None) -> List[_Label]:
         stats["dominated"] += store.dominated
         stats["evicted"] += store.evicted
         stats["bound_rejected"] += store.bound_rejected
+        stats["drains"] += 1
         if len(store) > stats["peak_frontier"]:
             stats["peak_frontier"] = len(store)
+        if profile is not None and node is not None:
+            profile.record_node(
+                node,
+                created=len(store) + store.dominated + store.bound_rejected,
+                dominated=store.dominated + store.evicted,
+                pruned_floor=store.bound_rejected,
+                frontier=len(store), settle_batches=1)
         labels: List[_Label] = [(s, loads, cut) for s, loads, cut in store]
         if beam_width is not None and len(labels) > beam_width:
             labels.sort(key=lambda lab: lam_s * (lab[0] + pot) +
@@ -248,6 +257,7 @@ def _dp_labels(problem: AssignmentProblem, *,
         return labels
 
     def insert(store: ParetoStore, label: _Label, pot: float) -> None:
+        stats["created"] += 1
         if bounded:
             kept = store.insert_bounded(label[0], label[1], label[2],
                                         potential=pot, bound=bound,
@@ -290,7 +300,7 @@ def _dp_labels(problem: AssignmentProblem, *,
                             tuple(x + y for x, y in zip(aloads, bloads)),
                             acut + bcut),
                            pot)
-            acc = drain(store, pot)
+            acc = drain(store, pot, node=f"{cru_id}/{i + 1}")
         return acc
 
     def labels_of(cru_id: str, parent_id: str) -> List[_Label]:
@@ -309,7 +319,7 @@ def _dp_labels(problem: AssignmentProblem, *,
                 h = problem.host_time(cru_id)
                 for ch, cloads, ccut in combined:
                     insert(store, (ch + h, cloads, ccut), pot)
-        return drain(store, pot)
+        return drain(store, pot, node=cru_id)
 
     root = tree.root_id
     root_children = tree.children_ids(root)
@@ -325,7 +335,7 @@ def _dp_labels(problem: AssignmentProblem, *,
         # h_root folded in: the completion potential of a final label is 0,
         # so the bound check compares the exact objective to the incumbent
         insert(store, (ch + h_root, cloads, ccut), 0.0)
-    return drain(store, 0.0), stats
+    return drain(store, 0.0, node=root), stats
 
 
 # --------------------------------------------------------------------------
@@ -375,6 +385,37 @@ def _greedy_fallback(problem: AssignmentProblem, weighting: SSBWeighting,
     }
 
 
+def _span_profile(context: Optional[SolveContext]):
+    """The active span's profile accumulator on a traced solve, else None."""
+    if context is None:
+        return None
+    span = getattr(context, "span", None)
+    if span is None:
+        return None
+    return span.ensure_profile("pareto-dp")
+
+
+def _dp_profile(stats: Dict[str, int]) -> Dict[str, object]:
+    """Bound-effectiveness profile of one DP run (flat scalars).
+
+    The DP prunes with a single completion bound (state potential plus load
+    floors — a floor-type bound), so ``pruned_floor`` carries all of its
+    rejections; the joint/settle slots exist only in the label sweep.
+    """
+    return {
+        "engine": "pareto-dp",
+        "labels_created": stats["created"],
+        "labels_dominated": stats["dominated"] + stats["evicted"],
+        "pruned_floor": stats["bound_rejected"],
+        "pruned_joint": 0,
+        "pruned_settle": 0,
+        "pruned_total": stats["bound_rejected"],
+        "frontier_peak": stats["peak_frontier"],
+        "settle_batches": stats["drains"],
+        "nodes_swept": stats["drains"],
+    }
+
+
 def pareto_dp_assignment(problem: AssignmentProblem,
                          weighting: Optional[SSBWeighting] = None,
                          max_frontier: Optional[int] = None,
@@ -393,7 +434,8 @@ def pareto_dp_assignment(problem: AssignmentProblem,
     weighting = weighting or SSBWeighting()
     try:
         labels, stats = _dp_labels(problem, max_frontier=max_frontier,
-                                   context=context)
+                                   context=context,
+                                   profile=_span_profile(context))
     except SolveInterrupted as exc:
         return _greedy_fallback(problem, weighting, exc.kind, context)
     best = _select(labels, weighting)
@@ -401,6 +443,7 @@ def pareto_dp_assignment(problem: AssignmentProblem,
         "frontier_size": len(labels),
         "labels_dominated": stats["dominated"],
         "labels_evicted": stats["evicted"],
+        "profile": _dp_profile(stats),
     })
 
 
@@ -452,7 +495,7 @@ def pareto_dp_pruned_assignment(problem: AssignmentProblem,
             problem, max_frontier=max_frontier,
             pot_state=pot_state, pot_opt=pot_opt,
             bound=incumbent_objective, lam_s=lam_s, lam_b=lam_b,
-            context=context)
+            context=context, profile=_span_profile(context))
     except SolveInterrupted as exc:
         return _finish(problem, weighting, incumbent, {
             "interrupted": exc.kind,
@@ -478,6 +521,7 @@ def pareto_dp_pruned_assignment(problem: AssignmentProblem,
         "beam_objective": incumbent_objective,
         "beam_confirmed": not beaten,
         "beam_labels_bound_pruned": beam_stats["bound_rejected"],
+        "profile": _dp_profile(stats),
     })
 
 

@@ -428,7 +428,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     try:
         problems = _batch_problems(args)
         service = SolveService(args.spool, cache=_spool_cache(args),
-                               base_seed=args.seed)
+                               base_seed=args.seed, trace=args.trace,
+                               trace_sample=args.trace_sample)
         submission = service.submit(problems, method=args.method,
                                     deadline_s=args.deadline)
     except (ValueError, OSError) as exc:
@@ -540,6 +541,73 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print(json.dumps(timelines, indent=2, sort_keys=True))
         return 0
     print(render_audit(timelines, task_id=args.task))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.tracing import (group_traces, load_spans,
+                                             render_profile, render_waterfall,
+                                             write_chrome_trace)
+
+    try:
+        spans = load_spans(args.spool)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print("no trace spans recorded in this spool "
+              "(submit with --trace to record them)")
+        return 1
+    traces = group_traces(spans)
+    if args.id:
+        # accept a trace-id prefix or a task id (suffix-match, same as the
+        # truncated ids repro top / audit print)
+        matched = {tid: group for tid, group in traces.items()
+                   if tid.startswith(args.id)}
+        if not matched:
+            matched = {
+                tid: group for tid, group in traces.items()
+                if any(args.id in str(span.get("task_id") or "")
+                       for span in group)
+            }
+        if not matched:
+            print(f"no trace matching {args.id!r} in this spool",
+                  file=sys.stderr)
+            return 2
+        traces = matched
+        spans = [span for group in traces.values() for span in group]
+
+    if args.export:
+        path = write_chrome_trace(spans, args.export)
+        print(f"wrote {len(spans)} span(s) to {path} "
+              f"(load in Perfetto / chrome://tracing)")
+
+    shown = 0
+    for trace_id in sorted(traces, key=lambda t: traces[t][0].get("start", 0.0)):
+        if shown >= args.limit:
+            print(f"... {len(traces) - shown} more trace(s) "
+                  f"(raise --limit or pass an id)")
+            break
+        print(render_waterfall(traces[trace_id]))
+        print()
+        shown += 1
+
+    if args.profile:
+        profiles = 0
+        for trace_id, group in traces.items():
+            for span in group:
+                profile = span.get("profile")
+                if isinstance(profile, dict):
+                    print(render_profile(
+                        profile,
+                        title=f"bound-effectiveness — span "
+                              f"{span.get('name')} · trace {trace_id[:16]} "
+                              f"({profile.get('engine')})"))
+                    print()
+                    profiles += 1
+        if not profiles:
+            print("no solver profiles recorded (profiles attach to the "
+                  "solve/method spans of exact-engine solves)")
     return 0
 
 
@@ -722,6 +790,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the shared result cache")
     p_submit.add_argument("--quiet", action="store_true",
                           help="suppress per-instance output")
+    p_submit.add_argument("--trace", action="store_true",
+                          help="record distributed trace spans (submit/claim/"
+                               "solve/ack) into the spool event log")
+    p_submit.add_argument("--trace-sample", type=float, default=1.0,
+                          help="head-sampling rate for --trace, deterministic "
+                               "per problem hash (default: 1.0 = everything)")
     p_submit.add_argument("--metrics-dir",
                           help="each local worker writes a metrics snapshot "
                                "into this directory on exit")
@@ -782,6 +856,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--json", action="store_true",
                          help="dump raw timelines as JSON instead of a table")
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect distributed trace spans recorded in a spool")
+    p_trace.add_argument("--spool", required=True,
+                         help="spool directory whose event log holds the spans")
+    p_trace.add_argument("id", nargs="?", default=None,
+                         help="trace-id prefix or task id to focus on "
+                              "(default: every trace)")
+    p_trace.add_argument("--export", default=None, metavar="FILE",
+                         help="write the selected spans as Chrome trace-event "
+                              "JSON (Perfetto / chrome://tracing loadable)")
+    p_trace.add_argument("--profile", action="store_true",
+                         help="print the bound-effectiveness pruning table "
+                              "for each span that carries a solver profile")
+    p_trace.add_argument("--limit", type=int, default=10,
+                         help="max waterfalls to print without an id "
+                              "(default: 10)")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -143,7 +143,7 @@ class SolveContext:
 
     __slots__ = ("clock", "started", "deadline", "cancel_event",
                  "on_incumbent", "check_stride", "incumbent_history",
-                 "_best")
+                 "_best", "span")
 
     def __init__(self, deadline_s: Optional[float] = None,
                  cancel: Optional[Any] = None,
@@ -173,6 +173,9 @@ class SolveContext:
         # must not re-fire through the other)
         self._best: Dict[str, Any] = {"objective": float("inf"),
                                       "payload": None}
+        # the active tracing span (repro.observability.tracing.Span) when
+        # this solve is traced; None keeps the untraced path allocation-free
+        self.span: Optional[Any] = None
 
     @property
     def best_objective(self) -> float:
@@ -202,6 +205,7 @@ class SolveContext:
         child.check_stride = self.check_stride
         child.incumbent_history = self.incumbent_history
         child._best = self._best
+        child.span = self.span
         return child
 
     # ------------------------------------------------------------ interruption
@@ -255,6 +259,8 @@ class SolveContext:
         self._best["objective"] = objective
         self._best["payload"] = payload
         self.incumbent_history.append((self.elapsed(), objective, source))
+        if self.span is not None:
+            self.span.add_event("incumbent", objective=objective, source=source)
         if self.on_incumbent is not None:
             self.on_incumbent(objective, payload, source)
         return True

@@ -100,10 +100,24 @@ _ADAPTIVE_MIN_HIT_RATE = 1.0 / 32.0
 _BLOCK_DOM_CHECK_AFTER = 2048
 _BLOCK_DOM_MIN_HIT_RATE = 1.0 / 6.0
 
+#: ``(created, dominated, pruned_floor, pruned_joint, pruned_settle,
+#: frontier_peak, settle_batches)`` — the counter tuple both sweep kernels
+#: return; the bound-pruned total is the sum of the three pruned_* slots.
+_EMPTY_SWEEP_STATS = (0, 0, 0, 0, 0, 0, 0)
+
 
 @dataclass(frozen=True)
 class LabelSearchStats:
-    """Counters describing one label sweep (exposed via solver details)."""
+    """Counters describing one label sweep (exposed via solver details).
+
+    ``labels_bound_pruned`` is split by *which* completion bound fired:
+    ``pruned_floor`` (the σ + per-colour load-floor bound at extension time),
+    ``pruned_joint`` (the joint σ/average-load bound at extension time) and
+    ``pruned_settle`` (the re-check against the tightened incumbent when a
+    lazy bucket settles).  ``frontier_peak`` is the largest settled bucket
+    and ``settle_batches`` the number of settle passes — together the
+    bound-effectiveness profile the tracing layer surfaces.
+    """
 
     labels_created: int = 0
     labels_dominated: int = 0
@@ -111,6 +125,11 @@ class LabelSearchStats:
     nodes_swept: int = 0
     colors: int = 0
     beam_ssb: float = float("inf")   #: incumbent produced by the beam pre-pass
+    pruned_floor: int = 0            #: σ + colour-load floor bound rejections
+    pruned_joint: int = 0            #: joint average-load bound rejections
+    pruned_settle: int = 0           #: settle-time incumbent re-check rejections
+    frontier_peak: int = 0           #: largest bucket ever settled
+    settle_batches: int = 0          #: settle passes over lazy buckets
 
 
 @dataclass
@@ -305,19 +324,27 @@ class LabelDominanceSearch:
 
         # ---- exact pass: block sweep (array buckets) when numpy is present,
         # scalar sweep otherwise — identical semantics, identical optimum
+        profile = None
+        if context is not None:
+            span = getattr(context, "span", None)
+            if span is not None:
+                # traced solve: the exact pass records per-node sweep rows
+                # into the active span's profile accumulator
+                profile = span.ensure_profile("label-search")
         if interrupted is not None:
             best_path, best_s, best_b = None, float("inf"), float("inf")
             best_ssb = float("inf")
-            sweep_stats = (0, 0, 0)
+            sweep_stats = _EMPTY_SWEEP_STATS
         elif self.frontier == "bucketed" and HAVE_NUMPY:
             (best_path, best_ssb, best_s, best_b,
              sweep_stats, interrupted) = self._sweep_blocks(
                 graph, order, out_edge_data, pot, potc, potj, inv_colors,
-                source, target, zero_loads, bound, context=context)
+                source, target, zero_loads, bound, context=context,
+                profile=profile)
         else:
             best_label, best_ssb, sweep_stats, interrupted = self._sweep(
                 order, out_edge_data, pot, potc, inv_colors, source, target,
-                zero_loads, bound, context=context)
+                zero_loads, bound, context=context, profile=profile)
             if best_label is not None:
                 best_path = _reconstruct(best_label)
                 best_s = best_label[0]
@@ -327,8 +354,12 @@ class LabelDominanceSearch:
                 best_s = best_b = float("inf")
         stats = LabelSearchStats(
             labels_created=sweep_stats[0], labels_dominated=sweep_stats[1],
-            labels_bound_pruned=sweep_stats[2], nodes_swept=len(order),
-            colors=n_colors, beam_ssb=beam_ssb)
+            labels_bound_pruned=(sweep_stats[2] + sweep_stats[3]
+                                 + sweep_stats[4]),
+            nodes_swept=len(order), colors=n_colors, beam_ssb=beam_ssb,
+            pruned_floor=sweep_stats[2], pruned_joint=sweep_stats[3],
+            pruned_settle=sweep_stats[4], frontier_peak=sweep_stats[5],
+            settle_batches=sweep_stats[6])
 
         if best_path is not None:
             return LabelSearchResult(
@@ -352,8 +383,8 @@ class LabelDominanceSearch:
     # ------------------------------------------------------------------ sweep
     def _sweep(self, order, out_edge_data, pot, potc, inv_colors, source,
                target, zero_loads, bound, beam_width: Optional[int] = None,
-               context: Optional[SolveContext] = None
-               ) -> Tuple[Optional[_Label], float, Tuple[int, int, int],
+               context: Optional[SolveContext] = None, profile=None
+               ) -> Tuple[Optional[_Label], float, Tuple[int, ...],
                           Optional[str]]:
         """One topological label sweep; the single kernel behind both passes.
 
@@ -372,7 +403,9 @@ class LabelDominanceSearch:
         context leaves the sweep bit-identical to no context at all.
         """
         lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
-        created = dominated = pruned = 0
+        created = dominated = 0
+        pruned_floor = pruned_joint = pruned_settle = 0
+        peak = settles = 0
         interrupted: Optional[str] = None
         bucketed = beam_width is None and self.frontier == "bucketed"
         check_dominance = beam_width is None and not bucketed
@@ -398,6 +431,9 @@ class LabelDominanceSearch:
             extensions = out_edge_data.get(node)
             if not extensions:
                 continue
+            if profile is not None:
+                node_base = (created, dominated, pruned_floor, pruned_joint,
+                             pruned_settle)
             if bucketed:
                 # the settle re-checks the completion bound with the *current*
                 # incumbent — tighter than when these labels were queued —
@@ -406,7 +442,8 @@ class LabelDominanceSearch:
                               load_potentials=potc[node],
                               lambda_s=lam_s, lambda_b=lam_b)
                 dominated += bucket.dominated + bucket.evicted
-                pruned += bucket.bound_rejected
+                pruned_settle += bucket.bound_rejected
+                settles += 1
                 bucket = bucket.payloads()
             elif beam_width is not None and len(bucket) > beam_width:
                 # all labels in this bucket share pot[node], so ranking by
@@ -414,6 +451,8 @@ class LabelDominanceSearch:
                 bucket.sort(key=lambda lab: lam_s * lab[0] +
                             (lam_b * max(lab[1]) if lab[1] else 0.0))
                 del bucket[beam_width:]
+            if len(bucket) > peak:
+                peak = len(bucket)
             for label in bucket:
                 s, loads, lsum = label[0], label[1], label[4]
                 for edge, sigma, betas, btotal, head, pot_h, potc_h, potj_h \
@@ -431,11 +470,11 @@ class LabelDominanceSearch:
                     nmax = max(map(_add, nloads, potc_h)) if nloads else 0.0
                     lower = lam_s * (ns + pot_h) + lam_b * nmax
                     if lower >= bound:
-                        pruned += 1
+                        pruned_floor += 1
                         continue
                     nsum = lsum + btotal
                     if lam_s * ns + lam_b * nsum * inv_colors + potj_h >= bound:
-                        pruned += 1
+                        pruned_joint += 1
                         continue
                     new_label: _Label = (ns, nloads, edge, label, nsum)
                     created += 1
@@ -460,12 +499,20 @@ class LabelDominanceSearch:
                             check_dominance = False
                     else:
                         labels.setdefault(head, []).append(new_label)
-        return best_label, best_ssb, (created, dominated, pruned), interrupted
+            if profile is not None:
+                profile.record_node(
+                    node, created - node_base[0], dominated - node_base[1],
+                    pruned_floor - node_base[2], pruned_joint - node_base[3],
+                    pruned_settle - node_base[4], frontier=len(bucket),
+                    settle_batches=1 if bucketed else 0)
+        return best_label, best_ssb, (created, dominated, pruned_floor,
+                                      pruned_joint, pruned_settle, peak,
+                                      settles), interrupted
 
     # ------------------------------------------------------------ block sweep
     def _sweep_blocks(self, graph, order, out_edge_data, pot, potc, potj,
                       inv_colors, source, target, zero_loads, bound,
-                      context: Optional[SolveContext] = None):
+                      context: Optional[SolveContext] = None, profile=None):
         """The exact pass over *array buckets* (the default bucketed backend).
 
         Labels never exist as Python objects here: a node's bucket is a set
@@ -489,7 +536,9 @@ class LabelDominanceSearch:
         lam_s, lam_b = self.weighting.lambda_s, self.weighting.lambda_b
         dim = len(zero_loads)
         window = self.dominance_window
-        created = dominated = pruned = inspected = 0
+        created = dominated = inspected = 0
+        pruned_floor = pruned_joint = pruned_settle = 0
+        peak = settles = 0
         potc_arr = {node: np.asarray(t, dtype=np.float64)
                     for node, t in potc.items()}
         beta_rows = {}
@@ -530,20 +579,31 @@ class LabelDominanceSearch:
                 ekeys = np.concatenate([
                     np.full(len(c[0]), c[4], dtype=np.int64)
                     for c in node_chunks])
+            if profile is not None:
+                node_base = (created, dominated, pruned_floor, pruned_joint,
+                             pruned_settle)
+            bucket_size = len(sig)
+            if bucket_size > peak:
+                peak = bucket_size
+            settles += 1
             # settle: re-check both completion bounds with the *current*
             # incumbent (tighter than when these labels were queued) ...
             if dim:
-                peak = (lds + potc_arr[node]).max(axis=1)
+                bottleneck = (lds + potc_arr[node]).max(axis=1)
             else:
-                peak = np.zeros(len(sig))
-            keep = lam_s * (sig + pot[node]) + lam_b * peak < bound
+                bottleneck = np.zeros(len(sig))
+            keep = lam_s * (sig + pot[node]) + lam_b * bottleneck < bound
             keep &= lam_s * sig + lam_b * sums * inv_colors + potj[node] < bound
             stale = len(sig) - int(keep.sum())
             if stale:
-                pruned += stale
+                pruned_settle += stale
                 sig, lds, sums = sig[keep], lds[keep], sums[keep]
                 parents, ekeys = parents[keep], ekeys[keep]
             if not len(sig):
+                if profile is not None:
+                    profile.record_node(
+                        node, pruned_settle=stale, frontier=bucket_size,
+                        settle_batches=1)
                 continue
             # ... then drop dominated labels (windowed Pareto filter, switched
             # off for good once the observed hit-rate stops paying)
@@ -568,9 +628,12 @@ class LabelDominanceSearch:
                 else:
                     nmax = np.zeros(len(ns))
                 keep_e = lam_s * (ns + pot_h) + lam_b * nmax < bound
+                floor_kept = int(keep_e.sum())
+                pruned_floor += len(ns) - floor_kept
                 nsum = sums + btotal
                 keep_e &= lam_s * ns + lam_b * nsum * inv_colors + potj_h < bound
                 count = int(keep_e.sum())
+                pruned_joint += floor_kept - count
                 if not count:
                     continue
                 created += count
@@ -592,9 +655,17 @@ class LabelDominanceSearch:
                 chunks.setdefault(head, []).append(
                     (ns[rows], nl[rows], nsum[rows],
                      rows.astype(np.int64), edge.key))
+            if profile is not None:
+                profile.record_node(
+                    node, created - node_base[0], dominated - node_base[1],
+                    pruned_floor - node_base[2], pruned_joint - node_base[3],
+                    pruned_settle - node_base[4], frontier=bucket_size,
+                    settle_batches=1)
+        sweep_stats = (created, dominated, pruned_floor, pruned_joint,
+                       pruned_settle, peak, settles)
         if best is None:
             return None, float("inf"), float("inf"), float("inf"), \
-                (created, dominated, pruned), interrupted
+                sweep_stats, interrupted
         edges: List[Edge] = []
         edge_key, row = best
         while edge_key != -1:
@@ -605,7 +676,7 @@ class LabelDominanceSearch:
             row = int(parents[row])
         edges.reverse()
         return (Path.from_edges(edges), best_ssb, best_s, best_b,
-                (created, dominated, pruned), interrupted)
+                sweep_stats, interrupted)
 
 
 def _insert(bucket: List[_Label], label: _Label,

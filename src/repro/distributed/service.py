@@ -30,6 +30,7 @@ from repro.distributed.spool import WorkQueue
 from repro.distributed.stream import ResultStream
 from repro.distributed.worker import spool_cache
 from repro.model.problem import AssignmentProblem
+from repro.observability.tracing import Span, Tracer
 from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
 from repro.runtime.payload import PreparedTask, prepare_tasks, task_payload
 from repro.runtime.registry import SolverRegistry, default_registry
@@ -46,6 +47,7 @@ class _Entry:
     cache_source: Optional[str] = None
     leader: Optional[int] = None     #: index of the identical task queued for us
     task_id: Optional[str] = None    #: set once the task is spooled
+    span: Optional[Span] = None      #: root tracing span, open until the result
 
 
 @dataclass
@@ -81,7 +83,10 @@ class SolveService:
                  cache: Union[ResultCache, None, str] = "spool",
                  registry: Optional[SolverRegistry] = None,
                  base_seed: Optional[int] = None,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 tracer: Optional[Tracer] = None,
+                 trace: bool = False,
+                 trace_sample: float = 1.0) -> None:
         self.queue = WorkQueue(spool) if isinstance(spool, str) else spool
         if cache == "spool":
             cache = spool_cache(self.queue.directory)
@@ -89,6 +94,11 @@ class SolveService:
         self.registry = registry if registry is not None else default_registry()
         self.base_seed = base_seed
         self.validate = validate
+        if tracer is None and trace:
+            tracer = Tracer.for_spool(self.queue.directory,
+                                      sample_rate=trace_sample,
+                                      registry=self.queue.metrics)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------ submit
     def submit(self, tasks: Sequence[Union[BatchTask, AssignmentProblem]],
@@ -144,11 +154,39 @@ class SolveService:
         for entry in submission.entries:
             if (entry.cached_entry is None and entry.leader is None
                     and entry.task_id is None):
-                payload = task_payload(entry.prep, validate=self.validate)
-                payload["index"] = entry.index
-                entry.task_id = self.queue.submit(payload)
+                entry.task_id = self.queue.submit(self._payload(entry))
                 task_ids.append(entry.task_id)
         return task_ids
+
+    def _payload(self, entry: _Entry) -> Dict[str, Any]:
+        """Build the spool payload, opening the task's root span when traced.
+
+        The root span is created *before* the payload so its context rides
+        along to whatever process solves the task; it stays open until the
+        result comes back through :meth:`stream` (fire-and-forget submissions
+        that are never streamed simply leave it unrecorded — child spans
+        still share its trace id).
+        """
+        trace = None
+        if self.tracer is not None and self.tracer.enabled:
+            span = self.tracer.root("task", problem_hash=entry.prep.key,
+                                    method=entry.prep.spec.name,
+                                    tag=entry.prep.task.tag,
+                                    index=entry.index)
+            if span is not None:
+                entry.span = span
+                trace = span.context()
+        payload = task_payload(entry.prep, validate=self.validate, trace=trace)
+        payload["index"] = entry.index
+        return payload
+
+    def _finish_span(self, entry: _Entry, outcome: Dict[str, Any]) -> None:
+        if entry.span is not None:
+            entry.span.finish(status=outcome.get("status"),
+                              ok=outcome.get("ok"),
+                              objective=outcome.get("objective"),
+                              cached=bool(outcome.get("cached")))
+            entry.span = None
 
     # ------------------------------------------------------------------ stream
     def stream(self, submission: Submission,
@@ -183,9 +221,7 @@ class SolveService:
 
         def payloads() -> Iterator[Dict[str, Any]]:
             for entry in to_submit:
-                payload = task_payload(entry.prep, validate=self.validate)
-                payload["index"] = entry.index
-                yield payload
+                yield self._payload(entry)
 
         def record(task_id: str, payload: Dict[str, Any]) -> None:
             id_to_index[task_id] = payload["index"]
@@ -225,6 +261,7 @@ class SolveService:
             index = id_to_index[task_id]
             entry = submission.entries[index]
             item = self._item_from_outcome(entry, outcome)
+            self._finish_span(entry, outcome)
             self._feed_cache(entry, outcome)
             emitted[index] = item
             if ordered:

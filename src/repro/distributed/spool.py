@@ -99,6 +99,17 @@ def new_task_id() -> str:
             f"{uuid.uuid4().hex[:8]}")
 
 
+def payload_trace_id(payload: Optional[Dict[str, Any]]) -> Optional[str]:
+    """The trace id carried in a task payload's trace context, if any."""
+    if not isinstance(payload, dict):
+        return None
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    trace_id = trace.get("trace_id")
+    return str(trace_id) if trace_id else None
+
+
 def _split_name(name: str) -> Optional[Dict[str, Any]]:
     """Parse ``<task_id>.a<attempt>.json`` → parts, or None for foreign files."""
     if not name.endswith(".json"):
@@ -195,6 +206,24 @@ class WorkQueue:
         if self.events is not None:
             self.events.emit(kind, task_id=task_id, **fields)
 
+    def _trace_span(self, payload: Optional[Dict[str, Any]], name: str,
+                    task_id: Optional[str]):
+        """A queue-op span continuing the payload's trace, or ``None``.
+
+        The span writes through this spool's own event log; failures leave
+        the operation untraced — telemetry never takes down the queue.
+        """
+        trace = payload.get("trace") if isinstance(payload, dict) else None
+        if not isinstance(trace, dict) or self.events is None:
+            return None
+        try:
+            from repro.observability.tracing import Tracer
+
+            tracer = Tracer(self.events, registry=self.metrics)
+            return tracer.resume(trace, name, task_id=task_id)
+        except Exception:  # noqa: BLE001 - tracing is best-effort
+            return None
+
     # ------------------------------------------------------------ primitives
     def _dir(self, sub: str) -> str:
         return os.path.join(self.directory, sub)
@@ -236,7 +265,8 @@ class WorkQueue:
 
     # ------------------------------------------------------------ quarantine
     def quarantine(self, path: str, reason: str,
-                   task_id: Optional[str] = None) -> Optional[str]:
+                   task_id: Optional[str] = None,
+                   trace_id: Optional[str] = None) -> Optional[str]:
         """Move a corrupt file into ``quarantine/`` (atomic rename).
 
         Returns the quarantine path, or ``None`` when the file vanished
@@ -257,7 +287,8 @@ class WorkQueue:
             return None
         self._quarantined.inc(reason=reason)
         self._emit(_events.EVENT_QUARANTINE, task_id, reason=reason,
-                   source=name)
+                   source=name,
+                   **({"trace_id": trace_id} if trace_id else {}))
         return target
 
     def quarantined_ids(self) -> List[str]:
@@ -287,14 +318,22 @@ class WorkQueue:
         record = {"task_id": task_id, "attempt": attempt, "error": error,
                   "kind": kind, "payload": payload}
         record.update(extra)
+        # stamp the originating trace so audit/chaos triage can correlate a
+        # dead-lettered task back to its submitter's trace
+        trace_id = record.get("trace_id") or payload_trace_id(payload)
+        if trace_id:
+            record["trace_id"] = trace_id
         try:
             self._write_atomic(
                 os.path.join(self._dir(FAILED_DIR), f"{task_id}.json"),
                 record, op="spool_dead_letter")
         except OSError:
             return False
-        self._emit(_events.EVENT_DEAD_LETTER, task_id, attempt=attempt,
-                   reason=kind, error=error)
+        event_fields: Dict[str, Any] = {"attempt": attempt, "reason": kind,
+                                        "error": error}
+        if trace_id:
+            event_fields["trace_id"] = trace_id
+        self._emit(_events.EVENT_DEAD_LETTER, task_id, **event_fields)
         return True
 
     # ---------------------------------------------------------------- submit
@@ -305,8 +344,13 @@ class WorkQueue:
         if "/" in task_id or task_id.startswith("."):
             raise SpoolError(f"invalid task id {task_id!r}")
         target = os.path.join(self._dir(TASKS_DIR), f"{task_id}.a0.json")
+        span = self._trace_span(payload, "submit", task_id)
         self._write_atomic(target, payload, op="spool_submit")
-        self._emit(_events.EVENT_SUBMIT, task_id)
+        trace_id = payload_trace_id(payload)
+        self._emit(_events.EVENT_SUBMIT, task_id,
+                   **({"trace_id": trace_id} if trace_id else {}))
+        if span is not None:
+            span.finish()
         return task_id
 
     def submit_many(self, payloads: Iterable[Dict[str, Any]]) -> List[str]:
@@ -375,8 +419,13 @@ class WorkQueue:
                 continue
             if error is not None:
                 continue           # vanished or transient: next scan decides
+            span = self._trace_span(payload, "claim", parts["task_id"])
+            trace_id = payload_trace_id(payload)
             self._emit(_events.EVENT_CLAIM, parts["task_id"],
-                       attempt=parts["attempt"])
+                       attempt=parts["attempt"],
+                       **({"trace_id": trace_id} if trace_id else {}))
+            if span is not None:
+                span.finish(attempt=parts["attempt"])
             return SpoolTask(task_id=parts["task_id"], payload=payload,
                              attempt=parts["attempt"], path=target)
         return None
@@ -438,10 +487,15 @@ class WorkQueue:
         payload = dict(result)
         payload.setdefault("task_id", task.task_id)
         payload.setdefault("attempt", task.attempt)
+        span = self._trace_span(task.payload, "ack", task.task_id)
         self._write_atomic(self._result_path(task.task_id), payload,
                            op="spool_ack")
+        trace_id = payload_trace_id(task.payload)
         self._emit(_events.EVENT_ACK, task.task_id, attempt=task.attempt,
-                   method=payload.get("method"), status=payload.get("status"))
+                   method=payload.get("method"), status=payload.get("status"),
+                   **({"trace_id": trace_id} if trace_id else {}))
+        if span is not None:
+            span.finish(status=payload.get("status"))
         try:
             self.fs.unlink(task.path)
         except OSError:
@@ -549,7 +603,15 @@ class WorkQueue:
             self.fs.rename(source, target)
         except OSError:
             return False           # acked or reclaimed concurrently
-        self._emit(_events.EVENT_REQUEUE, parts["task_id"], attempt=attempt)
+        # requeues are rare (lease expiry only), so the extra read purely
+        # for trace correlation stays off the hot path
+        payload, _read_error = self._read_json(target)
+        span = self._trace_span(payload, "requeue", parts["task_id"])
+        trace_id = payload_trace_id(payload)
+        self._emit(_events.EVENT_REQUEUE, parts["task_id"], attempt=attempt,
+                   **({"trace_id": trace_id} if trace_id else {}))
+        if span is not None:
+            span.finish(attempt=attempt)
         return True
 
     # --------------------------------------------------------------- results

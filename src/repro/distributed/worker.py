@@ -34,7 +34,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.core.context import SolveContext
 from repro.distributed.spool import (POISON_DIR, TMP_DIR, SpoolTask,
-                                     WorkQueue, _split_name)
+                                     WorkQueue, _split_name, payload_trace_id)
 from repro.observability import events as _events
 from repro.observability.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache, cache_get_with_source, make_cache_entry
@@ -147,7 +147,11 @@ class _ProgressTracker:
             self._count += 1
             self._record = {"best_objective": objective,
                             "incumbents": self._count,
-                            "source": source}
+                            "source": source,
+                            # wall-clock stamp so observers (``repro top``)
+                            # can age the lease from real activity instead of
+                            # the claim file's mtime, which idle renewals bump
+                            "ts": time.time()}
 
     def take(self) -> Optional[Dict[str, Any]]:
         with self._lock:
@@ -309,18 +313,23 @@ class SolveWorker:
             self._tasks_total.inc(outcome="released")
             return None
         payload = dict(task.payload)
+        # let downstream spans (solve/method) carry the spool task id instead
+        # of falling back to the cache key, so audit joins line up exactly
+        payload.setdefault("task_id", task.task_id)
+        trace_id = payload_trace_id(payload)
+        trace_field = {"trace_id": trace_id} if trace_id else {}
         poisoned = self._poison_check(task)
         if poisoned is not None:
             return poisoned
         outcome = self._cached_outcome(payload)
         if outcome is not None:
             self._event(_events.EVENT_CACHE_HIT, task.task_id,
-                        source=outcome.get("cache_source"))
+                        source=outcome.get("cache_source"), **trace_field)
             self._tasks_total.inc(outcome="cached")
         else:
             self._event(_events.EVENT_SOLVE_START, task.task_id,
                         method=payload.get("method"),
-                        attempt=task.attempt)
+                        attempt=task.attempt, **trace_field)
             solve_started = time.monotonic()
             self._mark_crash(task)
             try:
@@ -352,7 +361,7 @@ class SolveWorker:
                         status=outcome.get("status"),
                         ok=outcome.get("ok"),
                         objective=outcome.get("objective"),
-                        elapsed_s=solve_elapsed)
+                        elapsed_s=solve_elapsed, **trace_field)
             if (self.stop_event.is_set() and not outcome.get("ok")
                     and outcome.get("status") == "cancelled"):
                 # the stop landed after the claim check but before the
@@ -463,10 +472,14 @@ class SolveWorker:
         error = (f"poison task: {markers} previous attempt(s) crashed their "
                  f"worker mid-solve (threshold {self.poison_threshold}); "
                  f"dead-lettered without solving")
+        trace_id = payload_trace_id(task.payload)
+        trace_field = {"trace_id": trace_id} if trace_id else {}
         self.queue.fail(task, error=error, kind="poison",
-                        crash_markers=markers, worker_id=self.worker_id)
+                        crash_markers=markers, worker_id=self.worker_id,
+                        **trace_field)
         self._event(_events.EVENT_POISON, task.task_id,
-                    attempt=task.attempt, crash_markers=markers)
+                    attempt=task.attempt, crash_markers=markers,
+                    **trace_field)
         self._clear_markers(task)
         self._tasks_total.inc(outcome="poisoned")
         self.processed += 1

@@ -15,6 +15,14 @@ from repro.observability.metrics import (
     default_metrics,
     parse_prometheus_text,
 )
+from repro.observability.tracing import (
+    ProfileAccumulator,
+    Span,
+    Tracer,
+    chrome_trace,
+    group_traces,
+    load_spans,
+)
 
 __all__ = [
     "Counter",
@@ -23,6 +31,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProfileAccumulator",
+    "Span",
+    "Tracer",
+    "chrome_trace",
     "default_metrics",
+    "group_traces",
+    "load_spans",
     "parse_prometheus_text",
 ]

@@ -143,6 +143,15 @@ def _derive(record: Dict[str, Any]) -> None:
         and _events.EVENT_ACK in kinds
     )
 
+    # trace join: lifecycle events and span records stamp the task's
+    # trace_id, so the audit table can hand off to ``repro trace``
+    trace_id = None
+    for event in events:
+        if event.get("trace_id"):
+            trace_id = str(event["trace_id"])
+            break
+    record["trace_id"] = trace_id
+
 
 def render_audit(
     timelines: List[Dict[str, Any]],
@@ -156,7 +165,10 @@ def render_audit(
         if not matches:
             return f"no such task in this spool: {task_id}"
         record = matches[0]
-        lines = [f"task {task_id}: {record.get('outcome')}"]
+        header = f"task {task_id}: {record.get('outcome')}"
+        if record.get("trace_id"):
+            header += f" (trace {record['trace_id']})"
+        lines = [header]
         base = record.get("first_ts")
         skip = ("ts", "kind", "task_id")
         for event in record["events"]:
@@ -198,6 +210,7 @@ def render_audit(
                 "solve_s": solve_s if solve_s is not None else "-",
                 "progress": record.get("progress_reports", 0),
                 "worker": worker[-14:],
+                "trace": (record.get("trace_id") or "-")[:16],
             }
         )
     complete = sum(1 for r in timelines if r.get("complete"))

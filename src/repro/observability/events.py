@@ -39,6 +39,9 @@ EVENT_RELEASE = "release"
 EVENT_DEAD_LETTER = "dead_letter"
 EVENT_QUARANTINE = "quarantine"
 EVENT_POISON = "poison"
+# A finished tracing span (see repro.observability.tracing); rides the same
+# crash-safe log so a SIGKILL'd worker loses at most its open spans.
+EVENT_SPAN = "span"
 
 KNOWN_KINDS = (
     EVENT_SUBMIT,
@@ -54,6 +57,7 @@ KNOWN_KINDS = (
     EVENT_DEAD_LETTER,
     EVENT_QUARANTINE,
     EVENT_POISON,
+    EVENT_SPAN,
 )
 
 

@@ -92,7 +92,6 @@ def spool_snapshot(
         record: Dict[str, Any] = {
             "task_id": parts["task_id"],
             "attempt": parts["attempt"],
-            "lease_age_s": max(0.0, now - stat.st_mtime),
         }
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -103,6 +102,15 @@ def spool_snapshot(
         progress = payload.get("progress") or {}
         record["best_objective"] = progress.get("best_objective")
         record["incumbents"] = progress.get("incumbents")
+        # lease age measures *solver activity*: prefer the wall-clock stamp
+        # the worker publishes with each progress record — the raw mtime is
+        # bumped by every idle lease renewal (utime), so it only says the
+        # worker is alive, not when the solve last improved
+        progress_ts = progress.get("ts")
+        if isinstance(progress_ts, (int, float)) and progress_ts > 0:
+            record["lease_age_s"] = max(0.0, now - float(progress_ts))
+        else:
+            record["lease_age_s"] = max(0.0, now - stat.st_mtime)
         claimed.append(record)
     snapshot["claimed"] = claimed
 

@@ -1,0 +1,637 @@
+"""Distributed tracing and solver-internal profiling, zero-dependency.
+
+A :class:`Tracer` mints :class:`Span` records — ``trace_id`` / ``span_id`` /
+``parent_id`` triples with wall-clock anchors and monotonic durations — and
+persists each *finished* span as one ``kind="span"`` line through the
+existing SIGKILL-atomic :class:`~repro.observability.events.EventLog`.  A
+killed worker therefore loses at most its still-open spans; everything
+already finished survives, torn-line tolerant, next to the ordinary
+lifecycle events it interleaves with.
+
+Trace context crosses process boundaries as a plain dict
+(``{"trace_id", "span_id", "log"}``) carried inside the task payload: the
+``log`` entry is the absolute path of the submitter's event log, so any
+process — spool worker, batch pool child — can continue the trace by
+appending to the same crash-safe file.  Sampling is **deterministic and
+head-based**: whether a task is traced is decided once at submit time from
+the canonical problem hash (:func:`sampled`), so re-running the same
+instance set at the same rate traces the same instances.
+
+The module also ships the read side: :func:`load_spans` /
+:func:`group_traces` replay a spool's span records, :func:`chrome_trace`
+exports Chrome trace-event JSON loadable by Perfetto or
+``chrome://tracing``, :func:`render_waterfall` draws an ASCII waterfall and
+:func:`render_profile` a bound-effectiveness table for the exact engines
+(which of the three completion potentials — the sigma/colour-load floor,
+the joint-average bound, the incumbent re-check at settle time — actually
+killed labels).  :class:`ProfileAccumulator` is the low-overhead carrier
+the label engines write per-node sweep counters into; it only exists on
+traced solves, so the untraced hot path pays a single ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.observability.events import EVENT_SPAN, EVENTS_FILENAME, EventLog
+from repro.observability.metrics import MetricsRegistry, default_metrics
+
+__all__ = [
+    "ProfileAccumulator",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "group_traces",
+    "load_spans",
+    "render_profile",
+    "render_waterfall",
+    "sampled",
+    "trace_context",
+]
+
+#: Metric: one increment per finished span, labelled by span name.
+SPANS_TOTAL = "repro_trace_spans_total"
+
+# Denominator for head-based sampling: the first 8 hex digits of the
+# canonical problem hash, read as a 32-bit integer.
+_SAMPLE_BUCKETS = float(1 << 32)
+
+
+def sampled(problem_hash: str, rate: float) -> bool:
+    """Deterministic head-based sampling decision for one problem.
+
+    Keyed on the canonical problem fingerprint, so the same instance is
+    either always or never traced at a given rate — across submitters,
+    re-runs and spool shards alike.
+    """
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    try:
+        bucket = int(problem_hash[:8], 16)
+    except (TypeError, ValueError):
+        return False
+    return bucket / _SAMPLE_BUCKETS < rate
+
+
+def trace_context(span: Optional["Span"]) -> Optional[Dict[str, str]]:
+    """Payload-embeddable trace context for ``span`` (None when untraced)."""
+    if span is None:
+        return None
+    return span.context()
+
+
+class ProfileAccumulator:
+    """Per-node sweep counters for one traced exact solve.
+
+    The label engines call :meth:`record_node` **once per swept node** —
+    never per label — so the traced overhead is a handful of integer adds
+    per node.  Totals split bound rejections by which completion potential
+    fired: the sigma + per-colour load *floor* bound, the *joint* average
+    bound, and the incumbent re-check when a lazy bucket *settles*.
+    """
+
+    __slots__ = (
+        "engine",
+        "labels_created",
+        "labels_dominated",
+        "pruned_floor",
+        "pruned_joint",
+        "pruned_settle",
+        "frontier_peak",
+        "settle_batches",
+        "nodes_swept",
+        "per_node",
+        "node_cap",
+    )
+
+    def __init__(self, engine: str = "", node_cap: int = 512) -> None:
+        self.engine = engine
+        self.labels_created = 0
+        self.labels_dominated = 0
+        self.pruned_floor = 0
+        self.pruned_joint = 0
+        self.pruned_settle = 0
+        self.frontier_peak = 0
+        self.settle_batches = 0
+        self.nodes_swept = 0
+        self.per_node: List[List[Any]] = []
+        self.node_cap = node_cap
+
+    def record_node(
+        self,
+        node: Any,
+        created: int = 0,
+        dominated: int = 0,
+        pruned_floor: int = 0,
+        pruned_joint: int = 0,
+        pruned_settle: int = 0,
+        frontier: int = 0,
+        settle_batches: int = 0,
+    ) -> None:
+        self.labels_created += created
+        self.labels_dominated += dominated
+        self.pruned_floor += pruned_floor
+        self.pruned_joint += pruned_joint
+        self.pruned_settle += pruned_settle
+        if frontier > self.frontier_peak:
+            self.frontier_peak = frontier
+        self.settle_batches += settle_batches
+        self.nodes_swept += 1
+        if len(self.per_node) < self.node_cap:
+            self.per_node.append(
+                [
+                    str(node),
+                    int(created),
+                    int(dominated),
+                    int(pruned_floor),
+                    int(pruned_joint),
+                    int(pruned_settle),
+                ]
+            )
+
+    @property
+    def pruned_total(self) -> int:
+        return self.pruned_floor + self.pruned_joint + self.pruned_settle
+
+    def totals(self) -> Dict[str, int]:
+        """Flat scalar totals — safe to embed in ``details['profile']``."""
+        out = {
+            "labels_created": self.labels_created,
+            "labels_dominated": self.labels_dominated,
+            "pruned_floor": self.pruned_floor,
+            "pruned_joint": self.pruned_joint,
+            "pruned_settle": self.pruned_settle,
+            "pruned_total": self.pruned_total,
+            "frontier_peak": self.frontier_peak,
+            "settle_batches": self.settle_batches,
+            "nodes_swept": self.nodes_swept,
+        }
+        if self.engine:
+            out["engine"] = self.engine
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Totals plus per-node rows — attached to the span record."""
+        out: Dict[str, Any] = self.totals()
+        out["per_node"] = [list(row) for row in self.per_node]
+        return out
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Wall-clock ``start`` anchors the span on the shared epoch axis (so
+    spans from different processes line up in a waterfall); the duration is
+    measured with ``time.perf_counter`` so clock steps cannot produce
+    negative or inflated spans.  ``finish`` is idempotent and writes the
+    record through the tracer's event log.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "task_id",
+        "start",
+        "_perf0",
+        "attrs",
+        "events",
+        "profile",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        task_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.task_id = task_id
+        self.start = time.time()
+        self._perf0 = time.perf_counter()
+        self.attrs: Dict[str, Any] = dict(attrs)
+        self.events: List[Dict[str, Any]] = []
+        self.profile: Optional[ProfileAccumulator] = None
+        self._finished = False
+
+    # ------------------------------------------------------------- plumbing
+    def context(self) -> Dict[str, str]:
+        """Cross-process continuation context (carried in task payloads)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "log": self.tracer.log_path,
+        }
+
+    def child(self, name: str, **attrs: Any) -> "Span":
+        return self.tracer.start(
+            name,
+            trace_id=self.trace_id,
+            parent_id=self.span_id,
+            task_id=self.task_id,
+            **attrs,
+        )
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        event: Dict[str, Any] = {
+            "name": name,
+            "at": self.start + (time.perf_counter() - self._perf0),
+        }
+        if attrs:
+            event.update(attrs)
+        self.events.append(event)
+
+    def ensure_profile(self, engine: str = "") -> ProfileAccumulator:
+        if self.profile is None:
+            self.profile = ProfileAccumulator(engine=engine)
+        elif engine and not self.profile.engine:
+            self.profile.engine = engine
+        return self.profile
+
+    def finish(self, **attrs: Any) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if attrs:
+            self.attrs.update(attrs)
+        self.tracer._record(self, time.perf_counter() - self._perf0)
+
+    # ------------------------------------------------------- context manager
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self.finish()
+
+
+class Tracer:
+    """Mints spans and persists them through a crash-safe event log.
+
+    A tracer is enabled iff it has a log; :meth:`start` on a disabled
+    tracer raises, but the convenience constructors (:meth:`root`,
+    :meth:`resume`) return ``None`` instead so call sites stay a single
+    ``if span is not None`` on the untraced path.
+    """
+
+    __slots__ = ("log", "sample_rate", "registry")
+
+    def __init__(
+        self,
+        log: Optional[EventLog] = None,
+        sample_rate: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.log = log
+        self.sample_rate = sample_rate
+        self.registry = registry
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def for_spool(
+        cls,
+        directory: str,
+        sample_rate: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "Tracer":
+        return cls(
+            EventLog.for_spool(directory), sample_rate=sample_rate, registry=registry
+        )
+
+    @classmethod
+    def from_context(
+        cls, context: Mapping[str, Any], registry: Optional[MetricsRegistry] = None
+    ) -> Optional["Tracer"]:
+        """Tracer continuing a payload-carried trace (None if malformed)."""
+        log_path = context.get("log") if isinstance(context, Mapping) else None
+        if not log_path or not context.get("trace_id"):
+            return None
+        return cls(EventLog(str(log_path)), registry=registry)
+
+    # ------------------------------------------------------------ decisions
+    @property
+    def enabled(self) -> bool:
+        return self.log is not None
+
+    @property
+    def log_path(self) -> str:
+        return self.log.path if self.log is not None else ""
+
+    def sampled(self, problem_hash: str) -> bool:
+        return self.enabled and sampled(problem_hash, self.sample_rate)
+
+    # ----------------------------------------------------------------- mint
+    def start(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        task_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        if self.log is None:
+            raise RuntimeError("cannot start a span on a disabled tracer")
+        return Span(
+            self,
+            name,
+            trace_id=trace_id or os.urandom(8).hex(),
+            span_id=os.urandom(4).hex(),
+            parent_id=parent_id,
+            task_id=task_id,
+            **attrs,
+        )
+
+    def root(
+        self, name: str, problem_hash: Optional[str] = None, **kwargs: Any
+    ) -> Optional[Span]:
+        """New trace root, or ``None`` when disabled / sampled out."""
+        if not self.enabled:
+            return None
+        if problem_hash is not None and not sampled(problem_hash, self.sample_rate):
+            return None
+        return self.start(name, **kwargs)
+
+    def resume(
+        self,
+        context: Optional[Mapping[str, Any]],
+        name: str,
+        task_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Continue a payload-carried trace context (None when untraced)."""
+        if not self.enabled or not isinstance(context, Mapping):
+            return None
+        trace_id = context.get("trace_id")
+        if not trace_id:
+            return None
+        return self.start(
+            name,
+            trace_id=str(trace_id),
+            parent_id=context.get("span_id"),
+            task_id=task_id,
+            **attrs,
+        )
+
+    # -------------------------------------------------------------- persist
+    def _record(self, span: Span, duration: float) -> None:
+        if self.log is None:
+            return
+        fields: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "name": span.name,
+            "start": span.start,
+            "dur_s": round(duration, 9),
+            "pid": os.getpid(),
+        }
+        if span.parent_id:
+            fields["parent_id"] = span.parent_id
+        if span.attrs:
+            fields["attrs"] = span.attrs
+        if span.events:
+            fields["events"] = span.events
+        if span.profile is not None:
+            fields["profile"] = span.profile.as_dict()
+        self.log.emit(EVENT_SPAN, task_id=span.task_id, **fields)
+        registry = self.registry if self.registry is not None else default_metrics()
+        try:
+            registry.counter(
+                SPANS_TOTAL, "Finished tracing spans by span name"
+            ).inc(kind=span.name)
+        except ValueError:
+            pass
+
+
+# ---------------------------------------------------------------- read side
+def load_spans(source: Any) -> List[Dict[str, Any]]:
+    """Span records from an :class:`EventLog`, events file, or spool dir."""
+    if isinstance(source, EventLog):
+        log = source
+    else:
+        path = str(source)
+        if os.path.isdir(path):
+            path = os.path.join(path, EVENTS_FILENAME)
+        log = EventLog(path)
+    spans = [
+        event
+        for event in log.iter_events()
+        if event.get("kind") == EVENT_SPAN and event.get("trace_id")
+    ]
+    spans.sort(key=lambda record: record.get("start", 0.0))
+    return spans
+
+
+def group_traces(spans: Iterable[Mapping[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Spans grouped by ``trace_id``, each group sorted by start time."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        traces.setdefault(str(span.get("trace_id")), []).append(dict(span))
+    for group in traces.values():
+        group.sort(key=lambda record: record.get("start", 0.0))
+    return traces
+
+
+def chrome_trace(spans: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable).
+
+    Spans become complete (``ph="X"``) events on a per-pid track; span
+    events become instant (``ph="i"``) marks; each pid gets a
+    ``process_name`` metadata record so the Perfetto track picker reads
+    ``repro pid <n>`` instead of bare numbers.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    pids_seen: Dict[int, bool] = {}
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        if pid not in pids_seen:
+            pids_seen[pid] = True
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {"name": f"repro pid {pid}"},
+                }
+            )
+        start_us = float(span.get("start", 0.0)) * 1e6
+        args: Dict[str, Any] = {
+            "trace_id": span.get("trace_id"),
+            "span_id": span.get("span_id"),
+        }
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        if span.get("task_id"):
+            args["task_id"] = span["task_id"]
+        for key, value in (span.get("attrs") or {}).items():
+            args[key] = value
+        profile = span.get("profile")
+        if isinstance(profile, Mapping):
+            args["profile"] = {
+                key: value for key, value in profile.items() if key != "per_node"
+            }
+        trace_events.append(
+            {
+                "name": str(span.get("name", "span")),
+                "cat": "repro",
+                "ph": "X",
+                "ts": start_us,
+                "dur": max(0.0, float(span.get("dur_s", 0.0)) * 1e6),
+                "pid": pid,
+                "tid": pid,
+                "args": args,
+            }
+        )
+        for event in span.get("events") or ():
+            trace_events.append(
+                {
+                    "name": str(event.get("name", "event")),
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": float(event.get("at", span.get("start", 0.0))) * 1e6,
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {
+                        key: value
+                        for key, value in event.items()
+                        if key not in ("name", "at")
+                    },
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Mapping[str, Any]], path: str) -> str:
+    payload = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _span_depths(spans: List[Mapping[str, Any]]) -> Dict[str, int]:
+    by_id = {str(span.get("span_id")): span for span in spans}
+    depths: Dict[str, int] = {}
+
+    def depth(span_id: str) -> int:
+        if span_id in depths:
+            return depths[span_id]
+        span = by_id.get(span_id)
+        parent = str(span.get("parent_id") or "") if span else ""
+        depths[span_id] = 1 + depth(parent) if parent in by_id else 0
+        return depths[span_id]
+
+    for span in spans:
+        depth(str(span.get("span_id")))
+    return depths
+
+
+def render_waterfall(spans: List[Mapping[str, Any]], width: int = 40) -> str:
+    """ASCII waterfall for one trace's spans (pass one group_traces value)."""
+    if not spans:
+        return "(no spans)"
+    t0 = min(float(span.get("start", 0.0)) for span in spans)
+    t1 = max(
+        float(span.get("start", 0.0)) + float(span.get("dur_s", 0.0)) for span in spans
+    )
+    window = max(t1 - t0, 1e-9)
+    depths = _span_depths(spans)
+    trace_id = spans[0].get("trace_id", "?")
+    task_ids = sorted(
+        {str(span["task_id"]) for span in spans if span.get("task_id")}
+    )
+    header = f"trace {trace_id} · {window:.3f}s window"
+    if task_ids:
+        header += f" · task {', '.join(task_ids)}"
+    lines = [header]
+    name_width = max(
+        len("  " * depths.get(str(span.get("span_id")), 0) + str(span.get("name", "")))
+        for span in spans
+    )
+    for span in spans:
+        start = float(span.get("start", 0.0)) - t0
+        dur = float(span.get("dur_s", 0.0))
+        lead = min(width - 1, int(round(start / window * width)))
+        body = max(1, int(round(dur / window * width)))
+        body = min(body, width - lead)
+        bar = " " * lead + "#" * body + " " * (width - lead - body)
+        indent = "  " * depths.get(str(span.get("span_id")), 0)
+        label = f"{indent}{span.get('name', '')}"
+        pid = span.get("pid", "?")
+        lines.append(
+            f"  {label:<{name_width}}  |{bar}|  "
+            f"+{start * 1e3:8.2f}ms  {dur * 1e3:8.2f}ms  pid {pid}"
+        )
+        for event in span.get("events") or ():
+            at = float(event.get("at", 0.0)) - t0
+            mark = min(width - 1, max(0, int(round(at / window * width))))
+            tick = " " * mark + "^" + " " * (width - mark - 1)
+            lines.append(
+                f"  {'':<{name_width}}  |{tick}|  "
+                f"+{at * 1e3:8.2f}ms  · {event.get('name', 'event')}"
+            )
+    return "\n".join(lines)
+
+
+#: Human labels for the three completion-bound rejection counters.
+_BOUND_ROWS = (
+    ("pruned_floor", "sigma + colour-load floor bound"),
+    ("pruned_joint", "joint average-load bound"),
+    ("pruned_settle", "incumbent re-check at settle"),
+)
+
+
+def render_profile(profile: Mapping[str, Any], title: str = "") -> str:
+    """Bound-effectiveness table for one solve's pruning profile."""
+    lines = []
+    engine = profile.get("engine") or "label engine"
+    heading = title or f"bound-effectiveness profile ({engine})"
+    lines.append(heading)
+    created = int(profile.get("labels_created", 0) or 0)
+    lines.append(f"  labels created            {created:>12,}")
+    lines.append(
+        f"  dominance-retired         "
+        f"{int(profile.get('labels_dominated', 0) or 0):>12,}"
+    )
+    pruned_total = int(profile.get("pruned_total", 0) or 0)
+    denominator = max(1, pruned_total)
+    for key, label in _BOUND_ROWS:
+        count = int(profile.get(key, 0) or 0)
+        share = 100.0 * count / denominator
+        lines.append(f"  rejected: {label:<31} {count:>12,}  ({share:5.1f}%)")
+    lines.append(f"  rejected total            {pruned_total:>12,}")
+    lines.append(
+        f"  frontier peak             "
+        f"{int(profile.get('frontier_peak', 0) or 0):>12,}"
+    )
+    lines.append(
+        f"  settle batches            "
+        f"{int(profile.get('settle_batches', 0) or 0):>12,}"
+    )
+    lines.append(
+        f"  nodes swept               "
+        f"{int(profile.get('nodes_swept', 0) or 0):>12,}"
+    )
+    return "\n".join(lines)

@@ -144,15 +144,32 @@ def cache_entry_from_result(result: "Any") -> CacheEntry:
                             status=getattr(result, "status", None))
 
 
+def _json_safe_scalar_or_list(value: Any) -> bool:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return True
+    return isinstance(value, (list, tuple)) and all(
+        isinstance(v, (str, int, float, bool)) or v is None for v in value)
+
+
 def json_safe_details(details: Mapping[str, Any]) -> Dict[str, Any]:
-    """Keep only the JSON-representable part of a details dict."""
+    """Keep only the JSON-representable part of a details dict.
+
+    Scalars, flat scalar lists, and **one level** of nested dicts of those
+    (e.g. the solver's ``details["profile"]`` bound-effectiveness table) are
+    kept; everything else — graphs, search results, arbitrary objects — is
+    dropped so the result can cross a process boundary or rest in a cache
+    file.
+    """
     safe: Dict[str, Any] = {}
     for key, value in details.items():
-        if isinstance(value, (str, int, float, bool)) or value is None:
-            safe[key] = value
-        elif isinstance(value, (list, tuple)) and all(
-                isinstance(v, (str, int, float, bool)) or v is None for v in value):
-            safe[key] = list(value)
+        if _json_safe_scalar_or_list(value):
+            safe[key] = list(value) if isinstance(value, (list, tuple)) else value
+        elif isinstance(value, Mapping):
+            nested = {k: (list(v) if isinstance(v, (list, tuple)) else v)
+                      for k, v in value.items()
+                      if _json_safe_scalar_or_list(v)}
+            if nested:
+                safe[key] = nested
     return safe
 
 

@@ -109,7 +109,8 @@ def prepare_tasks(tasks: Iterable[Any], registry: SolverRegistry,
             for index, task in enumerate(tasks)]
 
 
-def task_payload(prep: PreparedTask, validate: bool = True) -> Dict[str, Any]:
+def task_payload(prep: PreparedTask, validate: bool = True,
+                 trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """The JSON-safe envelope a worker needs to solve one prepared task."""
     from repro.model.serialization import problem_to_json
 
@@ -131,6 +132,11 @@ def task_payload(prep: PreparedTask, validate: bool = True) -> Dict[str, Any]:
         # relative seconds, not an absolute time: the budget starts when a
         # worker actually begins the solve, not when the task was spooled
         payload["deadline_s"] = prep.deadline_s
+    if trace is not None:
+        # trace context is, like deadline_s, added after key computation:
+        # whether a task is traced changes what we observe, never the answer,
+        # so it must not fragment the result cache
+        payload["trace"] = trace
     return payload
 
 
@@ -150,13 +156,32 @@ def solve_payload(payload: Dict[str, Any],
     from repro.model.serialization import problem_from_json
     from repro.runtime.cache import json_safe_details
 
+    span = None
+    trace = payload.get("trace")
+    if trace is not None:
+        # continue the submitter's trace in this process; tracing must never
+        # take down a solve, so any failure just leaves the task untraced
+        try:
+            from repro.observability.tracing import Tracer
+
+            tracer = Tracer.from_context(trace)
+            if tracer is not None:
+                span = tracer.resume(
+                    trace, "solve",
+                    task_id=payload.get("task_id") or payload.get("key"),
+                    method=payload.get("method"))
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            span = None
     try:
         problem = problem_from_json(payload["problem_json"])
         weighting = payload.get("weighting")
         if weighting is not None:
             weighting = SSBWeighting(*weighting)
-        if context is None and payload.get("deadline_s") is not None:
-            context = SolveContext(deadline_s=payload["deadline_s"])
+        if context is None and (payload.get("deadline_s") is not None
+                                or span is not None):
+            context = SolveContext(deadline_s=payload.get("deadline_s"))
+        if context is not None and span is not None and context.span is None:
+            context.span = span
         started = time.perf_counter()
         result = solve(problem, method=payload["method"], weighting=weighting,
                        validate=payload.get("validate", True),
@@ -165,6 +190,11 @@ def solve_payload(payload: Dict[str, Any],
         elapsed = time.perf_counter() - started
         history = [[round(t, 6), objective, source]
                    for t, objective, source in result.incumbent_history]
+        if span is not None:
+            span.set_attr("status", result.status)
+            if result.objective is not None:
+                span.set_attr("objective", result.objective)
+            span.finish()
         if result.assignment is None:
             return {
                 "key": payload["key"],
@@ -189,6 +219,8 @@ def solve_payload(payload: Dict[str, Any],
             outcome["interrupted"] = result.interrupted
         return outcome
     except Exception as exc:  # noqa: BLE001 - worker must report, not crash
+        if span is not None:
+            span.finish(error=format_error(exc))
         return {
             "key": payload["key"],
             "ok": False,

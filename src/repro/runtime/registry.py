@@ -130,9 +130,21 @@ class SolverSpec:
         run_options = dict(options)
         if context is not None and self.supports_deadline:
             run_options["context"] = context
+        # On a traced solve, wrap this method in its own child span and point
+        # context.span at it for the runner's duration, so hot-path profiling
+        # (and incumbent events fired inside the runner) attach to the method
+        # that produced them — the portfolio runs several methods per solve.
+        parent_span = context.span if context is not None else None
+        method_span = None
+        if parent_span is not None:
+            method_span = parent_span.child(f"method:{self.name}")
+            context.span = method_span
         try:
             assignment, details = self.runner(problem, weighting, run_options)
         except SolveInterrupted as exc:
+            if method_span is not None:
+                context.span = parent_span
+                method_span.finish(interrupted=exc.kind, status=exc.status)
             interrupted_history = (list(context.incumbent_history)
                                    if context is not None else [])
             _observe_convergence(self.name, interrupted_history)
@@ -145,6 +157,11 @@ class SolverSpec:
                 status=exc.status,
                 incumbent_history=interrupted_history,
             )
+        except BaseException as exc:
+            if method_span is not None:
+                context.span = parent_span
+                method_span.finish(error=f"{type(exc).__name__}: {exc}")
+            raise
         elapsed = time.perf_counter() - started
         objective = assignment.end_to_end_delay()
         if (context is not None and not self.supports_deadline
@@ -156,6 +173,11 @@ class SolverSpec:
         interrupted = details.get("interrupted")
         status = STATUS_OPTIMAL if (self.exact and not interrupted) \
             else STATUS_FEASIBLE
+        if method_span is not None:
+            context.span = parent_span
+            method_span.set_attr("status", status)
+            method_span.set_attr("objective", objective)
+            method_span.finish()
         history: List[Tuple[float, float, Optional[str]]] = []
         if context is not None:
             # the final objective always enters the history, even for solvers
@@ -280,9 +302,27 @@ def _run_colored_ssb(problem: AssignmentProblem, weighting: Optional[SSBWeightin
         "search_result": result,
         "assignment_graph": graph,
     }
+    if result.label_stats is not None:
+        details["profile"] = _label_search_profile(result.label_stats)
     if result.interrupted:
         details["interrupted"] = result.interrupted
     return assignment, details
+
+
+def _label_search_profile(stats) -> Dict[str, Any]:
+    """Bound-effectiveness profile from one sweep's stats (flat scalars)."""
+    return {
+        "engine": "label-search",
+        "labels_created": stats.labels_created,
+        "labels_dominated": stats.labels_dominated,
+        "pruned_floor": stats.pruned_floor,
+        "pruned_joint": stats.pruned_joint,
+        "pruned_settle": stats.pruned_settle,
+        "pruned_total": stats.labels_bound_pruned,
+        "frontier_peak": stats.frontier_peak,
+        "settle_batches": stats.settle_batches,
+        "nodes_swept": stats.nodes_swept,
+    }
 
 
 def _run_colored_ssb_labels(problem: AssignmentProblem,
@@ -313,6 +353,7 @@ def _run_colored_ssb_labels(problem: AssignmentProblem,
         "labels_dominated": result.stats.labels_dominated,
         "labels_bound_pruned": result.stats.labels_bound_pruned,
         "beam_ssb": result.stats.beam_ssb,
+        "profile": _label_search_profile(result.stats),
         "assignment_graph_edges": graph.number_of_edges(),
         "search_result": result,
         "assignment_graph": graph,

@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from repro.core.dwg import SSBWeighting
 from repro.model.problem import AssignmentProblem
 from repro.observability.metrics import default_metrics
+from repro.observability.tracing import Tracer
 from repro.runtime.cache import (
     ResultCache,
     cache_entry_from_result,
@@ -190,6 +191,12 @@ class BatchRunner:
         seed derived from ``(base_seed, problem hash, method, options)``.
     validate:
         Forwarded to :func:`repro.core.solver.solve`.
+    tracer:
+        Optional :class:`~repro.observability.tracing.Tracer`.  When set
+        (and enabled), every dispatched task gets a root span whose context
+        rides inside the payload, so pool children continue the submitter's
+        trace; serial solves attach the span to their cooperative context
+        directly.
     """
 
     def __init__(self,
@@ -199,7 +206,8 @@ class BatchRunner:
                  cache: Optional[ResultCache] = None,
                  registry: Optional[SolverRegistry] = None,
                  base_seed: Optional[int] = None,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 tracer: Optional[Tracer] = None) -> None:
         if workers is None:
             workers = int(os.environ.get(WORKERS_ENV_VAR, "0") or "0")
         if workers < 0:
@@ -215,6 +223,13 @@ class BatchRunner:
         self.registry = registry if registry is not None else default_registry()
         self.base_seed = base_seed
         self.validate = validate
+        self.tracer = tracer
+
+    def _root_span(self, prep: PreparedTask, name: str = "task"):
+        if self.tracer is None or not self.tracer.enabled:
+            return None
+        return self.tracer.root(name, problem_hash=prep.key,
+                                method=prep.spec.name, tag=prep.task.tag)
 
     # ------------------------------------------------------------- frontend
     def solve_many(self,
@@ -351,13 +366,23 @@ class BatchRunner:
                 continue
             context = (SolveContext(deadline_s=prep.deadline_s)
                        if prep.deadline_s is not None else None)
+            span = self._root_span(prep, name="solve")
+            if span is not None:
+                if context is None:
+                    context = SolveContext()
+                context.span = span
             try:
                 if self.validate:
                     task.problem.validate()
                 result = prep.spec.solve(task.problem, weighting=task.weighting,
                                          context=context, **prep.options)
                 outcomes[prep.key] = result
+                if span is not None:
+                    span.finish(status=getattr(result, "status", None),
+                                objective=getattr(result, "objective", None))
             except Exception as exc:  # noqa: BLE001 - batch keeps going
+                if span is not None:
+                    span.finish(error=_format_error(exc))
                 outcomes[prep.key] = {"ok": False, "error": _format_error(exc)}
         return outcomes
 
@@ -380,9 +405,15 @@ class BatchRunner:
         """
         cooperative: List[Dict[str, Any]] = []
         hard_kill: List[Dict[str, Any]] = []
+        spans: Dict[str, Any] = {}
         for index in indices:
             prep = prepared[index]
-            payload = task_payload(prep, validate=self.validate)
+            trace = None
+            span = self._root_span(prep)
+            if span is not None:
+                spans[prep.key] = span
+                trace = span.context()
+            payload = task_payload(prep, validate=self.validate, trace=trace)
             if self._cooperative(prep):
                 cooperative.append(payload)
             elif self.task_timeout is not None or prep.deadline_s is not None:
@@ -401,6 +432,14 @@ class BatchRunner:
             lane_total.inc(len(hard_kill), lane="hard_kill")
             outcomes.update(self._collect_pool_with_deadlines(
                 self._chunked(hard_kill)))
+        for key, span in spans.items():
+            outcome = outcomes.get(key)
+            if isinstance(outcome, Mapping):
+                span.finish(status=outcome.get("status"),
+                            ok=outcome.get("ok"),
+                            objective=outcome.get("objective"))
+            else:
+                span.finish()
         return outcomes
 
     def _chunked(self, payloads: List[Dict[str, Any]]

@@ -1,0 +1,283 @@
+"""Distributed tracing: span model, sampling, cross-process continuity.
+
+The continuity test runs a real two-worker fleet (``repro worker``
+subprocesses) against a spool and asserts one shared trace id threads
+submit → claim → solve → ack across process boundaries.  The bit-identity
+test pins the observability contract: tracing a solve must not change its
+result.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.distributed import SolveService, SolveWorker, WorkQueue
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import (
+    ProfileAccumulator,
+    Tracer,
+    chrome_trace,
+    group_traces,
+    load_spans,
+    render_profile,
+    render_waterfall,
+    sampled,
+    write_chrome_trace,
+)
+from repro.workloads import random_problem
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+class TestSpanModel:
+    def test_span_round_trip_through_event_log(self, tmp_path):
+        log = EventLog(str(tmp_path / "events.jsonl"))
+        tracer = Tracer(log, registry=MetricsRegistry())
+        with tracer.start("root", task_id="t-1", method="colored-ssb") as root:
+            root.add_event("incumbent", objective=4.0)
+            with root.child("inner") as inner:
+                inner.set_attr("depth", 1)
+
+        spans = load_spans(log)
+        assert [s["name"] for s in spans] == ["root", "inner"]
+        root_rec, inner_rec = spans
+        assert root_rec["trace_id"] == inner_rec["trace_id"]
+        assert inner_rec["parent_id"] == root_rec["span_id"]
+        assert root_rec["task_id"] == "t-1"
+        assert root_rec["attrs"]["method"] == "colored-ssb"
+        assert root_rec["events"][0]["name"] == "incumbent"
+        assert inner_rec["attrs"]["depth"] == 1
+        assert root_rec["dur_s"] >= inner_rec["dur_s"] >= 0.0
+
+    def test_finish_is_idempotent(self, tmp_path):
+        log = EventLog(str(tmp_path / "events.jsonl"))
+        tracer = Tracer(log, registry=MetricsRegistry())
+        span = tracer.start("once")
+        span.finish()
+        span.finish()
+        assert len(load_spans(log)) == 1
+
+    def test_spans_total_counter(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = Tracer(EventLog(str(tmp_path / "e.jsonl")), registry=registry)
+        tracer.start("solve").finish()
+        tracer.start("solve").finish()
+        assert registry.get("repro_trace_spans_total").value(kind="solve") == 2
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(None)
+        assert not tracer.enabled
+        assert tracer.root("task", problem_hash="ff" * 16) is None
+        assert tracer.resume({"trace_id": "x", "log": ""}, "solve") is None
+        assert Tracer.from_context(None) is None
+        assert Tracer.from_context({"trace_id": "x"}) is None
+
+
+class TestSampling:
+    def test_head_sampling_is_deterministic_and_bounded(self):
+        digest = "deadbeef" + "0" * 56
+        assert sampled(digest, 1.0)
+        assert not sampled(digest, 0.0)
+        assert all(sampled(digest, 0.5) == sampled(digest, 0.5)
+                   for _ in range(5))
+
+    def test_rate_selects_roughly_that_share(self):
+        import hashlib
+
+        digests = [hashlib.sha256(str(i).encode()).hexdigest()
+                   for i in range(2000)]
+        share = sum(sampled(d, 0.25) for d in digests) / len(digests)
+        assert 0.18 < share < 0.32
+
+    def test_sampled_out_root_returns_none(self, tmp_path):
+        tracer = Tracer(EventLog(str(tmp_path / "e.jsonl")), sample_rate=0.0)
+        assert tracer.root("task", problem_hash="ab" * 32) is None
+
+
+class TestBitIdentity:
+    def test_traced_solve_matches_untraced_solve(self, tmp_path):
+        """Tracing observes; it must never change the solver's answer."""
+        from repro.runtime.runner import BatchRunner
+
+        problem = random_problem(n_processing=14, n_satellites=3, seed=11,
+                                 sensor_scatter=1.0)
+        plain = BatchRunner(workers=0).run([problem]).results[0]
+        tracer = Tracer.for_spool(str(tmp_path), registry=MetricsRegistry())
+        traced = BatchRunner(workers=0, tracer=tracer).run([problem]).results[0]
+
+        assert traced.objective == plain.objective
+        assert traced.placement == plain.placement
+        assert traced.details == plain.details
+        # and the traced run actually recorded solve + method spans
+        names = [s["name"] for s in load_spans(str(tmp_path))]
+        assert "solve" in names
+        assert any(name.startswith("method:") for name in names)
+
+    def test_profile_rides_span_and_details(self, tmp_path):
+        from repro.runtime.runner import BatchRunner
+
+        problem = random_problem(n_processing=12, n_satellites=3, seed=5,
+                                 sensor_scatter=1.0)
+        tracer = Tracer.for_spool(str(tmp_path), registry=MetricsRegistry())
+        item = BatchRunner(workers=0, tracer=tracer).run([problem]).results[0]
+
+        profile = item.details["profile"]
+        assert profile["engine"] == "label-search"
+        assert profile["labels_created"] > 0
+        assert profile["pruned_total"] == (profile["pruned_floor"]
+                                           + profile["pruned_joint"]
+                                           + profile["pruned_settle"])
+        method_spans = [s for s in load_spans(str(tmp_path))
+                        if str(s["name"]).startswith("method:")]
+        span_profile = next(s["profile"] for s in method_spans
+                            if s.get("profile"))
+        assert span_profile["labels_created"] == profile["labels_created"]
+        assert span_profile["per_node"], "traced solves keep per-node rows"
+
+
+class TestCrossProcessContinuity:
+    def _spawn_worker(self, spool):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (SRC_DIR, env.get("PYTHONPATH")) if p)
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--spool", spool,
+             "--poll-interval", "0.02"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    @pytest.mark.timeout(180)
+    def test_one_trace_id_spans_submit_claim_solve_ack(self, spool):
+        problems = [random_problem(n_processing=8, n_satellites=3, seed=s)
+                    for s in (1, 2)]
+        service = SolveService(spool, cache=None, trace=True)
+        submission = service.submit(problems)
+        workers = [self._spawn_worker(spool) for _ in range(2)]
+        try:
+            report = service.gather(submission, timeout=120.0)
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                proc.wait()
+        assert report.failed == 0
+
+        traces = group_traces(load_spans(spool))
+        assert len(traces) == len(problems)
+        for spans in traces.values():
+            names = {s["name"] for s in spans}
+            assert {"task", "submit", "claim", "solve", "ack"} <= names
+            assert any(n.startswith("method:") for n in names)
+            assert len({s["trace_id"] for s in spans}) == 1
+            # submit side and solve side are different processes
+            submit_pid = next(s["pid"] for s in spans if s["name"] == "submit")
+            solve_pid = next(s["pid"] for s in spans if s["name"] == "solve")
+            assert submit_pid == os.getpid()
+            assert solve_pid != submit_pid
+            # child spans reference parents inside the same trace
+            ids = {s["span_id"] for s in spans}
+            solve = next(s for s in spans if s["name"] == "solve")
+            assert solve["parent_id"] in ids
+
+    def test_in_process_worker_continues_the_trace(self, spool):
+        problem = random_problem(n_processing=8, n_satellites=3, seed=3)
+        service = SolveService(spool, cache=None, trace=True)
+        submission = service.submit([problem])
+        service.enqueue(submission)
+        SolveWorker(service.queue, cache=None).run(drain=True)
+        (spans,) = group_traces(load_spans(spool)).values()
+        names = {s["name"] for s in spans}
+        assert {"submit", "claim", "solve", "ack"} <= names
+
+    def test_untraced_submission_records_no_spans(self, spool):
+        problem = random_problem(n_processing=8, n_satellites=3, seed=4)
+        service = SolveService(spool, cache=None)
+        submission = service.submit([problem])
+        service.enqueue(submission)
+        SolveWorker(service.queue, cache=None).run(drain=True)
+        assert load_spans(spool) == []
+
+
+class TestChromeExport:
+    def _spans(self, tmp_path):
+        log = EventLog(str(tmp_path / "events.jsonl"))
+        tracer = Tracer(log, registry=MetricsRegistry())
+        with tracer.start("solve", task_id="t-9") as span:
+            span.add_event("incumbent", objective=2.0)
+            span.ensure_profile("label-search").record_node(
+                0, created=3, pruned_floor=1, frontier=2, settle_batches=1)
+            span.child("method:colored-ssb").finish()
+        return load_spans(log)
+
+    def test_chrome_trace_schema(self, tmp_path):
+        payload = chrome_trace(self._spans(tmp_path))
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        for event in events:
+            assert isinstance(event["name"], str)
+            assert isinstance(event["pid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+                assert event["cat"] == "repro"
+            if event["ph"] == "i":
+                assert event["s"] == "p"
+        complete = [e for e in events if e["ph"] == "X"]
+        args = next(e["args"] for e in complete if e["name"] == "solve")
+        assert args["task_id"] == "t-9"
+        assert "per_node" not in args["profile"]
+        json.dumps(payload)    # must be JSON-serialisable as-is
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        out = str(tmp_path / "trace.json")
+        assert write_chrome_trace(self._spans(tmp_path), out) == out
+        with open(out, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["traceEvents"]
+
+
+class TestRendering:
+    def test_waterfall_lists_spans_and_events(self, tmp_path):
+        log = EventLog(str(tmp_path / "events.jsonl"))
+        tracer = Tracer(log, registry=MetricsRegistry())
+        with tracer.start("task", task_id="t-2") as root:
+            child = root.child("solve")
+            child.add_event("incumbent", objective=1.0)
+            time.sleep(0.001)
+            child.finish()
+        (spans,) = group_traces(load_spans(log)).values()
+        text = render_waterfall(spans)
+        assert "task" in text and "solve" in text
+        assert "incumbent" in text
+        assert spans[0]["trace_id"] in text
+
+    def test_profile_table_shares_sum_to_rejected_total(self):
+        acc = ProfileAccumulator("label-search")
+        acc.record_node(0, created=10, dominated=2, pruned_floor=6,
+                        pruned_joint=3, pruned_settle=1, frontier=4,
+                        settle_batches=1)
+        text = render_profile(acc.totals())
+        assert "label-search" in text
+        assert "10" in text
+        assert "floor bound" in text and "joint average-load" in text
+        assert "( 60.0%)" in text and "( 30.0%)" in text and "( 10.0%)" in text
+
+    def test_profile_node_cap_bounds_memory(self):
+        acc = ProfileAccumulator("label-search", node_cap=4)
+        for node in range(10):
+            acc.record_node(node, created=1)
+        assert len(acc.per_node) == 4
+        assert acc.totals()["labels_created"] == 10
+        assert acc.totals()["nodes_swept"] == 10

@@ -126,6 +126,25 @@ class TestTop:
         assert throughput["greedy"]["recent"] == 1
         assert throughput["greedy"]["per_s"] > 0.0
 
+    def test_lease_age_prefers_progress_timestamp_over_mtime(self, spool):
+        queue = WorkQueue(spool)
+        queue.submit({"n": 1})
+        task = queue.claim()
+        # an idle lease renewal bumps the claim file's mtime, but the solver
+        # last made progress 100s ago: the lease age must report the latter
+        import time as _time
+
+        queue.publish_progress(task, {"best_objective": 7.0, "incumbents": 1,
+                                      "ts": _time.time() - 100.0})
+        queue.renew(task)
+        (lease,) = spool_snapshot(spool)["claimed"]
+        assert lease["lease_age_s"] == pytest.approx(100.0, abs=5.0)
+
+        # a record without the stamp (older workers) falls back to mtime
+        queue.publish_progress(task, {"best_objective": 6.0, "incumbents": 2})
+        (lease,) = spool_snapshot(spool)["claimed"]
+        assert lease["lease_age_s"] < 5.0
+
     def test_render_and_run_once(self, spool, capsys):
         queue = WorkQueue(spool)
         queue.submit({"n": 1})
