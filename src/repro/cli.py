@@ -18,7 +18,10 @@ points without writing any Python:
 * ``serve`` — supervise a local fleet: spawn N worker subprocesses and run
   the cache janitor on a timer;
 * ``submit`` — enqueue a sweep into a spool and stream the results back as
-  workers publish them (``--stream`` prints each result as it arrives).
+  workers publish them (``--stream`` prints each result as it arrives);
+* ``gateway`` — the HTTP front door: admission control, per-client rate
+  limits, request coalescing and consistent-hash sharding over N spool
+  directories, with SSE progress streaming (see README "Gateway").
 
 The two-terminal quickstart::
 
@@ -422,6 +425,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                default=0)
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.distributed import Gateway, GatewayConfig, WorkQueue
+
+    shard_dirs = list(args.spool or [])
+    if not shard_dirs:
+        print("error: provide --spool DIR (repeatable), optionally with "
+              "--shards N to expand one directory into N shards",
+              file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        if len(shard_dirs) > 1:
+            print("error: --shards expands a single --spool directory; "
+                  "either repeat --spool or use --shards, not both",
+                  file=sys.stderr)
+            return 2
+        base = shard_dirs[0]
+        shard_dirs = [os.path.join(base, f"shard-{index}")
+                      for index in range(args.shards)]
+    queues = [WorkQueue(directory, lease_timeout=args.lease_timeout,
+                        poll_interval=args.poll_interval)
+              for directory in shard_dirs]
+    gateway = Gateway(queues, GatewayConfig(
+        host=args.host, port=args.port, rate_per_client=args.rate,
+        burst_per_client=args.burst, max_inflight=args.max_inflight,
+        default_timeout_s=args.timeout))
+    workers: List[subprocess.Popen] = []
+    if args.local_workers:
+        # round-robin the local fleet across the shard directories so every
+        # shard has at least one worker when workers >= shards
+        for index in range(args.local_workers):
+            shard_args = argparse.Namespace(
+                spool=shard_dirs[index % len(shard_dirs)],
+                lease_timeout=args.lease_timeout,
+                poll_interval=args.poll_interval)
+            workers.extend(_spawn_workers(shard_args, 1))
+        print(f"spawned {len(workers)} local worker(s) across "
+              f"{len(shard_dirs)} shard(s)", flush=True)
+    try:
+        gateway.serve_forever()
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            proc.wait()
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.distributed import SolveService, StreamTimeout
 
@@ -745,6 +796,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="each worker writes a metrics snapshot into "
                               "this directory on exit")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway", help="HTTP front door over sharded spools (admission "
+                        "control, coalescing, SSE progress)")
+    p_gateway.add_argument("--spool", action="append",
+                           help="spool shard directory (repeat for more "
+                                "shards)")
+    p_gateway.add_argument("--shards", type=int, default=0,
+                           help="expand one --spool DIR into "
+                                "DIR/shard-0..N-1")
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--port", type=int, default=8080,
+                           help="listen port (0 = ephemeral; the bound port "
+                                "is printed on startup)")
+    p_gateway.add_argument("--rate", type=float, default=None,
+                           help="per-client rate limit in requests/s "
+                                "(default: unlimited)")
+    p_gateway.add_argument("--burst", type=float, default=10.0,
+                           help="per-client burst size (token bucket depth)")
+    p_gateway.add_argument("--max-inflight", type=int, default=256,
+                           help="concurrent waiting solve requests before "
+                                "shedding with 503")
+    p_gateway.add_argument("--timeout", type=float, default=120.0,
+                           help="default per-request wait budget in seconds")
+    p_gateway.add_argument("--lease-timeout", type=float, default=60.0,
+                           help="shard lease timeout (crashed-worker "
+                                "requeue horizon)")
+    p_gateway.add_argument("--poll-interval", type=float, default=0.05)
+    p_gateway.add_argument("--local-workers", type=int, default=0,
+                           help="spawn N worker subprocesses round-robin "
+                                "across the shards")
+    p_gateway.set_defaults(func=_cmd_gateway)
 
     p_submit = sub.add_parser(
         "submit", help="enqueue a sweep into a spool and stream the results")

@@ -17,7 +17,15 @@ shared filesystem as infrastructure:
   backpressure window bounding in-flight tasks;
 * :mod:`~repro.distributed.service` — :class:`SolveService`, the submitter
   facade: same task preparation, cache keys and seeds as the
-  :class:`~repro.runtime.runner.BatchRunner`, execution by the worker fleet;
+  :class:`~repro.runtime.runner.BatchRunner`, execution by the worker fleet,
+  with cross-submission duplicate coalescing through an
+  :class:`InFlightIndex`;
+* :mod:`~repro.distributed.gateway` / :mod:`~repro.distributed.protocol` —
+  :class:`Gateway`, the asyncio HTTP front door: admission control,
+  per-client token-bucket rate limits, request coalescing on the canonical
+  problem hash, consistent-hash sharding across spool directories
+  (:class:`~repro.distributed.spool.ShardRouter`) with recovery-based
+  failover, and SSE streaming of incumbent progress;
 * :mod:`~repro.distributed.incremental` — structure fingerprints and
   :class:`IncrementalSolver`: re-submitted instances whose tree structure is
   unchanged (only profiles/costs drifted) warm-start the label engine from
@@ -36,14 +44,20 @@ shared filesystem as infrastructure:
 
 from repro.distributed.chaos import ChaosReport, run_chaos
 from repro.distributed.faults import FaultPlan, FaultRule, FaultyFS
+from repro.distributed.gateway import Gateway, GatewayConfig, TokenBucket
 from repro.distributed.incremental import (
     IncrementalSolver,
     WarmStartIndex,
     structure_fingerprint,
 )
 from repro.distributed.janitor import CacheJanitor, JanitorReport, sweep_stale_tmp
-from repro.distributed.service import SolveService, Submission
-from repro.distributed.spool import SpoolTask, WorkQueue, new_task_id
+from repro.distributed.service import InFlightIndex, SolveService, Submission
+from repro.distributed.spool import (
+    ShardRouter,
+    SpoolTask,
+    WorkQueue,
+    new_task_id,
+)
 from repro.distributed.stream import ResultStream, StreamTimeout
 from repro.distributed.worker import SolveWorker, spool_cache
 
@@ -53,14 +67,19 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultyFS",
+    "Gateway",
+    "GatewayConfig",
+    "InFlightIndex",
     "IncrementalSolver",
     "JanitorReport",
     "ResultStream",
+    "ShardRouter",
     "SolveService",
     "SolveWorker",
     "SpoolTask",
     "StreamTimeout",
     "Submission",
+    "TokenBucket",
     "WarmStartIndex",
     "WorkQueue",
     "new_task_id",

@@ -1,0 +1,234 @@
+"""Wire protocol for the solve gateway: HTTP/1.1 framing and request schema.
+
+The gateway speaks plain HTTP+JSON (plus Server-Sent Events for progress
+streaming) over asyncio streams, with no third-party server framework — the
+deployment story is "a Python interpreter and a shared filesystem", same as
+the workers.  This module owns everything about the wire:
+
+* :func:`read_request` — a small, strict HTTP/1.1 request parser over an
+  :class:`asyncio.StreamReader`.  Strict is the point: oversize request
+  lines, header floods and oversize bodies are rejected *while reading*,
+  before a byte of JSON is parsed, so malformed or abusive traffic cannot
+  balloon gateway memory (this is the first layer of admission control);
+* :func:`response` / :func:`json_response` — response framing.  Every
+  response carries an explicit ``Content-Length`` and honours
+  ``Connection: keep-alive`` so benchmark clients can reuse sockets;
+* :func:`sse_preamble` / :func:`sse_event` — Server-Sent-Events framing for
+  the incumbent-progress stream (``Connection: close``, no length: the
+  stream ends when the solve does);
+* :func:`parse_solve_request` — schema validation for ``POST /v1/solve``
+  bodies, normalising user input into one :class:`SolveRequest` and turning
+  every malformed field into a :class:`ProtocolError` with a client-facing
+  message (a 4xx, never a stack trace).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: hard framing limits (first layer of admission control)
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_COUNT = 64
+MAX_HEADER_LINE = 8 * 1024
+DEFAULT_MAX_BODY = 4 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """A client error that maps straight onto an HTTP status."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: enough HTTP for a JSON API, nothing more."""
+
+    method: str
+    path: str                          #: path only, query string stripped
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)  #: lowercase keys
+    body: bytes = b""
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from exc
+
+    def wants_sse(self) -> bool:
+        return "text/event-stream" in self.headers.get("accept", "")
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    line = await reader.readline()
+    if len(line) > limit:
+        raise ProtocolError(400, "request line or header too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = DEFAULT_MAX_BODY
+                       ) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request; ``None`` on a clean EOF between requests.
+
+    Only what a JSON API needs is supported: ``Content-Length`` bodies (no
+    chunked uploads), no continuation headers.  Violations raise
+    :class:`ProtocolError` with a 4xx status for the caller to serialise.
+    """
+    request_line = await _read_line(reader, MAX_REQUEST_LINE)
+    if not request_line:
+        return None                        # client closed between requests
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, "malformed request line")
+    method, target, _version = parts
+    path, _, query_string = target.partition("?")
+    query: Dict[str, str] = {}
+    for pair in query_string.split("&"):
+        if pair:
+            key, _, value = pair.partition("=")
+            query[key] = value
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, MAX_HEADER_LINE)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError(400, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise ProtocolError(400, "malformed Content-Length")
+        if length > max_body:
+            raise ProtocolError(413, f"body exceeds {max_body} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked request bodies are not supported")
+    return HttpRequest(method=method.upper(), path=path, query=query,
+                       headers=headers, body=body)
+
+
+def response(status: int, body: bytes,
+             content_type: str = "application/json",
+             headers: Optional[Dict[str, str]] = None,
+             keep_alive: bool = True) -> bytes:
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: Any,
+                  headers: Optional[Dict[str, str]] = None,
+                  keep_alive: bool = True) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response(status, body, headers=headers, keep_alive=keep_alive)
+
+
+def error_response(error: ProtocolError) -> bytes:
+    # framing errors leave the connection in an unknown state: always close
+    return json_response(error.status, {"error": error.message},
+                         headers=error.headers, keep_alive=False)
+
+
+def sse_preamble() -> bytes:
+    """Response head for an event stream (unknown length ⇒ close delimits)."""
+    return (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n")
+
+
+def sse_event(event: str, payload: Any) -> bytes:
+    data = json.dumps(payload, sort_keys=True)
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")
+
+
+# ----------------------------------------------------------- request schema
+@dataclass
+class SolveRequest:
+    """A validated ``POST /v1/solve`` body."""
+
+    problem_json: str                  #: canonical serialised instance
+    method: str = "colored-ssb"
+    options: Dict[str, Any] = field(default_factory=dict)
+    deadline_s: Optional[float] = None  #: per-solve budget on the worker
+    timeout_s: Optional[float] = None   #: how long this request will wait
+    stream: bool = False                #: SSE progress instead of one JSON
+
+
+def _positive_number(body: Dict[str, Any], key: str) -> Optional[float]:
+    value = body.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(400, f"'{key}' must be a number")
+    if value <= 0:
+        raise ProtocolError(400, f"'{key}' must be > 0")
+    return float(value)
+
+
+def parse_solve_request(request: HttpRequest) -> SolveRequest:
+    """Validate a solve body into a :class:`SolveRequest` (400 on any flaw).
+
+    The problem itself is round-tripped through the model deserialiser by
+    the gateway (which owns the registry); here we only require that
+    ``problem`` is a JSON object and re-serialise it canonically.
+    """
+    body = request.json()
+    if not isinstance(body, dict):
+        raise ProtocolError(400, "body must be a JSON object")
+    problem = body.get("problem")
+    if not isinstance(problem, dict):
+        raise ProtocolError(400, "'problem' must be a JSON object "
+                                 "(serialised assignment instance)")
+    method = body.get("method", "colored-ssb")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(400, "'method' must be a non-empty string")
+    options = body.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError(400, "'options' must be a JSON object")
+    stream = body.get("stream", False)
+    if not isinstance(stream, bool):
+        raise ProtocolError(400, "'stream' must be a boolean")
+    return SolveRequest(
+        problem_json=json.dumps(problem, sort_keys=True),
+        method=method,
+        options=dict(options),
+        deadline_s=_positive_number(body, "deadline_s"),
+        timeout_s=_positive_number(body, "timeout_s"),
+        stream=stream or request.wants_sse())

@@ -11,6 +11,13 @@ as a stream instead of a blocking report:
   immediately without ever touching the queue;
 * duplicate instances inside one submission are enqueued once and fanned
   out to every occurrence when the single result lands;
+* duplicate instances *across* submissions coalesce too: a persistent
+  :class:`InFlightIndex` keyed on the canonical problem hash maps every
+  in-flight problem to its spool task, and the actual spool write happens
+  under the index lock — so two concurrent submissions of the same problem
+  (from any number of threads, or from the gateway's concurrent clients)
+  produce exactly one spool task, with both submitters streaming the one
+  result;
 * everything else is enqueued lazily under the stream's backpressure
   window and yielded as workers publish results (or in submission order
   with ``ordered=True``).
@@ -21,9 +28,11 @@ caller does want to block for everything.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.core.dwg import SSBWeighting
 from repro.distributed.spool import WorkQueue
@@ -47,7 +56,74 @@ class _Entry:
     cache_source: Optional[str] = None
     leader: Optional[int] = None     #: index of the identical task queued for us
     task_id: Optional[str] = None    #: set once the task is spooled
+    coalesced: bool = False          #: attached to another submission's task
     span: Optional[Span] = None      #: root tracing span, open until the result
+
+
+class InFlightIndex:
+    """Canonical-problem-hash → in-flight spool task, across submissions.
+
+    The per-submission ``leaders`` dict in :meth:`SolveService.submit` only
+    coalesces duplicates *within* one call; without this index two
+    concurrent submissions of the same problem would both enqueue and both
+    solve.  The index is shared by every submission of one service (and by
+    the gateway's concurrent clients), and :meth:`acquire` runs the actual
+    spool write *inside* the lock — of any number of racing duplicate
+    submitters, exactly one creates the spool task and the rest attach to
+    it.
+
+    Entries validate against the spool on every lookup
+    (:meth:`WorkQueue.task_live`): a task that was dead-lettered or whose
+    artifacts vanished (compaction, manual cleanup) never absorbs new
+    submissions — those enqueue fresh.  :meth:`complete` drops an entry once
+    its result has been observed, so later submissions of the same problem
+    re-solve instead of chaining onto a stale task id forever.
+    """
+
+    def __init__(self, queue: WorkQueue) -> None:
+        self._queue = queue
+        self._lock = threading.Lock()
+        self._by_key: Dict[str, str] = {}
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The live in-flight task for ``key``, dropping stale entries."""
+        with self._lock:
+            return self._lookup_locked(key)
+
+    def _lookup_locked(self, key: str) -> Optional[str]:
+        task_id = self._by_key.get(key)
+        if task_id is None:
+            return None
+        if not self._queue.task_live(task_id):
+            del self._by_key[key]
+            return None
+        return task_id
+
+    def acquire(self, key: str,
+                submit: Callable[[], str]) -> Tuple[str, bool]:
+        """``(task_id, created)``: attach to the in-flight task or spool one.
+
+        ``submit`` runs under the index lock (one atomic spool write), which
+        is what makes K racing duplicate submissions produce exactly one
+        spool task.
+        """
+        with self._lock:
+            task_id = self._lookup_locked(key)
+            if task_id is not None:
+                return task_id, False
+            task_id = submit()
+            self._by_key[key] = task_id
+            return task_id, True
+
+    def complete(self, key: str, task_id: str) -> None:
+        """Forget ``key`` once ``task_id``'s outcome has been observed."""
+        with self._lock:
+            if self._by_key.get(key) == task_id:
+                del self._by_key[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_key)
 
 
 @dataclass
@@ -99,6 +175,12 @@ class SolveService:
                                       sample_rate=trace_sample,
                                       registry=self.queue.metrics)
         self.tracer = tracer
+        #: persistent cross-submission coalescing index (see InFlightIndex)
+        self.inflight = InFlightIndex(self.queue)
+        self._coalesced_total = self.queue.metrics.counter(
+            "repro_service_coalesced_total",
+            "Duplicate submissions attached to an already in-flight task "
+            "instead of enqueuing their own")
 
     # ------------------------------------------------------------------ submit
     def submit(self, tasks: Sequence[Union[BatchTask, AssignmentProblem]],
@@ -149,14 +231,45 @@ class SolveService:
         For fire-and-forget submission — results are left for the workers to
         publish; a later :meth:`stream`/:meth:`gather` (or raw
         :class:`~repro.distributed.stream.ResultStream`) can pick them up.
+        A task identical to one already in flight (enqueued by a concurrent
+        submission of this service) is coalesced: its entry attaches to the
+        existing spool task, whose id is still returned.
         """
         task_ids: List[str] = []
         for entry in submission.entries:
             if (entry.cached_entry is None and entry.leader is None
                     and entry.task_id is None):
-                entry.task_id = self.queue.submit(self._payload(entry))
-                task_ids.append(entry.task_id)
+                task_ids.append(self._spool_entry(entry))
         return task_ids
+
+    def _spool_entry(self, entry: _Entry,
+                     payload: Optional[Dict[str, Any]] = None) -> str:
+        """Spool one leader entry, coalescing onto an in-flight duplicate.
+
+        Cacheable tasks route through the persistent :class:`InFlightIndex`:
+        the spool write happens inside the index lock, so of any number of
+        racing duplicate submissions exactly one creates the task and the
+        rest attach to it (``entry.coalesced``).  Non-cacheable tasks —
+        seedless stochastic draws — are independent samples by contract and
+        never coalesce.  The payload (with its root tracing span) is built
+        lazily when not supplied, so an eagerly-enqueued entry that attaches
+        to an existing task opens no span of its own.
+        """
+        if not entry.prep.cacheable:
+            entry.task_id = self.queue.submit(
+                payload if payload is not None else self._payload(entry))
+            return entry.task_id
+
+        def spool() -> str:
+            return self.queue.submit(
+                payload if payload is not None else self._payload(entry))
+
+        task_id, created = self.inflight.acquire(entry.prep.key, spool)
+        if not created:
+            entry.coalesced = True
+            self._coalesced_total.inc()
+        entry.task_id = task_id
+        return task_id
 
     def _payload(self, entry: _Entry) -> Dict[str, Any]:
         """Build the spool payload, opening the task's root span when traced.
@@ -227,10 +340,16 @@ class SolveService:
             id_to_index[task_id] = payload["index"]
             submission.entries[payload["index"]].task_id = task_id
 
+        def spool(payload: Dict[str, Any]) -> str:
+            # route lazy submissions through the in-flight index so
+            # identical problems from concurrent submissions coalesce
+            return self._spool_entry(submission.entries[payload["index"]],
+                                     payload)
+
         stream = ResultStream(self.queue, task_ids=pre_submitted,
                               source=payloads(), window=window,
                               ordered=ordered, timeout=timeout,
-                              on_submit=record)
+                              on_submit=record, submit=spool)
 
         if not ordered:
             # cache hits first: they are ready by definition
@@ -260,6 +379,10 @@ class SolveService:
         for task_id, outcome in stream:
             index = id_to_index[task_id]
             entry = submission.entries[index]
+            if entry.prep.cacheable:
+                # outcome observed: later identical submissions must hit the
+                # result cache (or re-solve), not chain onto this task id
+                self.inflight.complete(entry.prep.key, task_id)
             item = self._item_from_outcome(entry, outcome)
             self._finish_span(entry, outcome)
             self._feed_cache(entry, outcome)

@@ -61,7 +61,7 @@ import os
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.observability import events as _events
 from repro.observability.events import EventLog
@@ -468,6 +468,48 @@ class WorkQueue:
         except OSError:
             return False
 
+    def progress(self, task_id: str) -> Optional[Dict[str, Any]]:
+        """The latest progress record a worker published for a claimed task.
+
+        Long solves publish best-so-far incumbents into their claim file on
+        every lease heartbeat (:meth:`publish_progress`); this reads the
+        ``"progress"`` key back out for any observer — ``repro top``, the
+        gateway's SSE stream — without touching the lease.  Returns ``None``
+        when the task is not currently claimed, has published no progress
+        yet, or the claim file is mid-replace (a lost read race, retried by
+        the caller's next poll).
+        """
+        for name in self._listing(CLAIMED_DIR):
+            parts = _split_name(name)
+            if parts is None or parts["task_id"] != task_id:
+                continue
+            data, error = self._read_json(
+                os.path.join(self._dir(CLAIMED_DIR), name))
+            if error is not None or data is None:
+                return None
+            record = data.get("progress")
+            return dict(record) if isinstance(record, dict) else None
+        return None
+
+    def task_live(self, task_id: str) -> bool:
+        """True while attaching a duplicate submission to this task is sound.
+
+        A task is *live* when it is pending, claimed, or already has a
+        published result (attaching then is just an immediate read).  A
+        dead-lettered or vanished task is **not** live: new submissions of
+        the same problem must enqueue fresh rather than inherit a terminal
+        failure.  This is the validity check behind the service's in-flight
+        coalescing index.
+        """
+        if self._result_exists(task_id):
+            return True
+        for sub in (TASKS_DIR, CLAIMED_DIR):
+            for name in self._listing(sub):
+                parts = _split_name(name)
+                if parts is not None and parts["task_id"] == task_id:
+                    return True
+        return False
+
     # ------------------------------------------------------------ completion
     def _result_path(self, task_id: str) -> str:
         return os.path.join(self._dir(RESULTS_DIR), f"{task_id}.json")
@@ -764,3 +806,129 @@ class WorkQueue:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"WorkQueue({self.directory!r}, {self.counts()})"
+
+
+# ------------------------------------------------------------------ sharding
+def _ring_point(text: str) -> int:
+    import hashlib
+
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Consistent-hash routing over several spool shards, with failover.
+
+    One spool directory is one shard; scaling the fleet past a single
+    directory's filesystem means splitting traffic across N of them.  The
+    router hashes each task's canonical problem key onto a ring of
+    ``replicas`` virtual points per shard, so:
+
+    * the same problem always lands on the same shard (which is what makes
+      cross-client request coalescing work — duplicates meet in one spool);
+    * adding or removing a shard remaps only ~1/N of the key space;
+    * an **unhealthy** shard is simply skipped on the ring walk: its keys
+      spill onto the next healthy shard, everything else stays put.
+
+    Health is judged by :meth:`probe` — a shard whose task directory cannot
+    be listed (unmounted volume, dead NFS server, deleted directory) is
+    marked unhealthy, and re-marked healthy the moment a later probe
+    succeeds.  Callers can also mark shards explicitly.  :meth:`recover_all`
+    runs :meth:`WorkQueue.recover` across the healthy shards — the poll-path
+    companion that requeues tasks leased by crashed workers.
+    """
+
+    def __init__(self, queues: Sequence[WorkQueue],
+                 replicas: int = 64) -> None:
+        if not queues:
+            raise ValueError("ShardRouter needs at least one shard")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.queues: List[WorkQueue] = list(queues)
+        self._healthy = [True] * len(self.queues)
+        ring: List[Tuple[int, int]] = []
+        for index in range(len(self.queues)):
+            for replica in range(replicas):
+                ring.append((_ring_point(f"shard-{index}:{replica}"), index))
+        ring.sort()
+        self._ring = ring
+
+    def __len__(self) -> int:
+        return len(self.queues)
+
+    # ---------------------------------------------------------------- health
+    def healthy_indices(self) -> List[int]:
+        return [i for i, ok in enumerate(self._healthy) if ok]
+
+    def is_healthy(self, index: int) -> bool:
+        return self._healthy[index]
+
+    def mark_unhealthy(self, index: int) -> None:
+        self._healthy[index] = False
+
+    def mark_healthy(self, index: int) -> None:
+        self._healthy[index] = True
+
+    def probe(self) -> List[bool]:
+        """Re-judge every shard by listing its task directory.
+
+        A failed listing marks the shard unhealthy; a successful one heals
+        it — transient outages (NFS hiccup, remount) recover without
+        operator action.  Returns the post-probe health vector.
+        """
+        for index, queue in enumerate(self.queues):
+            try:
+                queue.fs.listdir(os.path.join(queue.directory, TASKS_DIR))
+            except OSError:
+                self._healthy[index] = False
+            else:
+                self._healthy[index] = True
+        return list(self._healthy)
+
+    # --------------------------------------------------------------- routing
+    def route(self, key: str) -> int:
+        """The healthy shard index owning ``key`` on the ring.
+
+        Walks the ring clockwise from the key's point and returns the first
+        virtual point owned by a healthy shard, so an unhealthy shard's keys
+        spill deterministically onto its ring successors.  Raises
+        :class:`SpoolError` when every shard is unhealthy.
+        """
+        if not any(self._healthy):
+            raise SpoolError("no healthy spool shard to route to")
+        import bisect
+
+        start = bisect.bisect_right(self._ring, (_ring_point(key),))
+        for offset in range(len(self._ring)):
+            _, index = self._ring[(start + offset) % len(self._ring)]
+            if self._healthy[index]:
+                return index
+        raise SpoolError("no healthy spool shard to route to")
+
+    def shard(self, key: str) -> WorkQueue:
+        return self.queues[self.route(key)]
+
+    # ------------------------------------------------------------- fleet ops
+    def recover_all(self) -> int:
+        """Requeue expired leases across every healthy shard."""
+        moved = 0
+        for index in self.healthy_indices():
+            moved += self.queues[index].recover()
+        return moved
+
+    def find_task(self, task_id: str) -> Optional[int]:
+        """The shard currently holding any artifact of ``task_id``, if any."""
+        for index, queue in enumerate(self.queues):
+            if not self._healthy[index]:
+                continue
+            if queue.task_live(task_id) or queue.failure(task_id) is not None:
+                return index
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        """Aggregate occupancy across all shards (unhealthy ones included)."""
+        totals: Dict[str, int] = {}
+        for queue in self.queues:
+            for state, value in queue.counts().items():
+                totals[state] = totals.get(state, 0) + value
+        return totals

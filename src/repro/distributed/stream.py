@@ -14,10 +14,15 @@ plain generator over the spool that provides both:
   task tops the window back up.  A slow consumer therefore also slows
   submission — the spool never fills with more than ``window`` pending
   entries on this stream's behalf;
-* **liveness** — every poll runs :meth:`WorkQueue.recover`, so tasks leased
-  by a crashed worker are requeued even when no other worker notices, and a
+* **liveness** — every poll runs :meth:`WorkQueue.recover` *before* the
+  deadline check, so tasks leased by a crashed worker are requeued even when
+  no other worker notices — including one final recovery pass right before a
   ``timeout`` turns a wedged fleet into a :class:`StreamTimeout` instead of
-  an infinite wait.
+  an infinite wait (a stream must never give up on a task whose expired
+  lease that one pass would have requeued, nor leave the spool unrecovered
+  for whoever waits next).  The poll sleep is clamped to the remaining
+  deadline, so the timeout fires on time instead of overshooting by up to a
+  full ``poll_interval``.
 
 Dead-lettered tasks surface as error results (``ok=False``,
 ``status="error"``) rather than silently never arriving.  Anytime partials
@@ -84,6 +89,11 @@ class ResultStream:
         Yield in registration order instead of completion order.
     timeout:
         Overall deadline in seconds; ``StreamTimeout`` when exceeded.
+    submit:
+        Replacement for ``queue.submit`` on the lazy-submission path —
+        ``submit(payload) -> task_id``.  :class:`SolveService` passes its
+        coalescing-aware spooler here so identical in-flight problems from
+        concurrent submissions share one spool task.
     """
 
     def __init__(self, queue: WorkQueue,
@@ -93,7 +103,8 @@ class ResultStream:
                  ordered: bool = False,
                  timeout: Optional[float] = None,
                  poll_interval: Optional[float] = None,
-                 on_submit: Optional[Any] = None) -> None:
+                 on_submit: Optional[Any] = None,
+                 submit: Optional[Any] = None) -> None:
         if window is not None and window < 1:
             raise ValueError("window must be >= 1")
         self.queue = queue
@@ -102,6 +113,7 @@ class ResultStream:
         self.poll_interval = (queue.poll_interval if poll_interval is None
                               else poll_interval)
         self.on_submit = on_submit   #: callback(task_id, payload) per lazy submit
+        self.submit = submit if submit is not None else queue.submit
         self._pending: Dict[str, int] = {tid: i
                                          for i, tid in enumerate(task_ids)}
         self._next_order = len(self._pending)
@@ -128,7 +140,7 @@ class ResultStream:
             except StopIteration:
                 self._source_done = True
                 return
-            task_id = self.queue.submit(payload)
+            task_id = self.submit(payload)
             self.add(task_id)
             if self.on_submit is not None:
                 self.on_submit(task_id, payload)
@@ -181,7 +193,17 @@ class ResultStream:
                 return
             if progressed:
                 continue        # a finished task freed window room: no sleep
-            if deadline is not None and time.monotonic() >= deadline:
-                raise StreamTimeout(len(self._pending), self.timeout)
+            # recovery runs BEFORE the deadline check: an expired lease is
+            # requeued even on the very last pass, so the stream never times
+            # out on a task one recovery would have put back — and whoever
+            # polls this spool next inherits a recovered queue, not a wedge
             self.queue.recover()
-            time.sleep(self.poll_interval)
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                raise StreamTimeout(len(self._pending), self.timeout)
+            sleep_s = self.poll_interval
+            if deadline is not None:
+                # clamp to the remaining budget so the timeout fires on time
+                # instead of overshooting by up to a full poll interval
+                sleep_s = min(sleep_s, max(deadline - now, 0.0))
+            time.sleep(sleep_s)

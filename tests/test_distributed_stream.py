@@ -1,6 +1,8 @@
 """ResultStream ordering/backpressure and the SolveService facade."""
 
+import os
 import threading
+import time
 
 import pytest
 
@@ -208,3 +210,113 @@ class TestSolveService:
         submission = service.submit(PROBLEMS[:2])
         with pytest.raises(StreamTimeout):
             list(service.stream(submission, timeout=0.2))
+
+
+class TestStreamTimeoutPath:
+    """Regression tests for the timeout-path bugs fixed in this PR."""
+
+    def test_final_recovery_pass_runs_before_timeout(self, spool):
+        """A stream must never time out on a task whose expired lease one
+        recovery pass would have requeued — the last poll recovers first,
+        so the spool is left unwedged for whoever waits next."""
+        queue = WorkQueue(spool, lease_timeout=5.0, poll_interval=0.01)
+        task_id = queue.submit({"n": 1})
+        task = queue.claim()
+        # backdate the claim far past the lease: the worker died long ago
+        past = time.time() - 100.0
+        os.utime(task.path, (past, past))
+        with pytest.raises(StreamTimeout):
+            list(ResultStream(queue, task_ids=[task_id], timeout=0.0))
+        counts = queue.counts()
+        assert counts["claimed"] == 0
+        assert counts["pending"] == 1          # requeued, not abandoned
+
+    def test_poll_sleep_clamped_to_remaining_deadline(self, spool):
+        """A poll interval longer than the deadline must not stretch the
+        timeout: the sleep is clamped to the remaining budget."""
+        queue = WorkQueue(spool, poll_interval=0.01)
+        task_id = queue.submit({"n": 1})
+        started = time.monotonic()
+        with pytest.raises(StreamTimeout):
+            list(ResultStream(queue, task_ids=[task_id], timeout=0.2,
+                              poll_interval=5.0))
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0, (
+            f"timeout=0.2s stream took {elapsed:.2f}s — the poll sleep "
+            f"overshot the deadline")
+
+
+class TestCrossSubmissionCoalescing:
+    """The in-flight index: duplicate problems coalesce across submissions,
+    not just within one (the per-call ``leaders`` dict bug)."""
+
+    def test_concurrent_duplicate_submissions_spool_one_task(self, spool):
+        service = SolveService(spool, cache=None)
+        workers = 8
+        barrier = threading.Barrier(workers)
+        task_ids = []
+        lock = threading.Lock()
+
+        def submit_one():
+            submission = service.submit([PROBLEMS[0]])
+            barrier.wait()          # all spool writes race through acquire()
+            ids = service.enqueue(submission)
+            with lock:
+                task_ids.extend(ids)
+
+        threads = [threading.Thread(target=submit_one)
+                   for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(task_ids) == workers
+        assert len(set(task_ids)) == 1, (
+            f"{len(set(task_ids))} spool tasks for {workers} identical "
+            f"concurrent submissions — coalescing failed")
+        assert service.queue.counts()["pending"] == 1
+
+    def test_coalesced_submissions_all_stream_the_one_result(self, spool):
+        service = SolveService(spool, cache=None)
+        first = service.submit([PROBLEMS[0]])
+        second = service.submit([PROBLEMS[0]])
+        service.enqueue(first)
+        service.enqueue(second)
+        assert service.queue.counts()["pending"] == 1
+        assert second.entries[0].coalesced
+        with _BackgroundWorker(spool):
+            report_one = service.gather(first, timeout=30.0)
+            report_two = service.gather(second, timeout=30.0)
+        assert report_one.failed == 0 and report_two.failed == 0
+        assert report_one.objectives() == pytest.approx(
+            report_two.objectives())
+        assert len(service.inflight) == 0      # completed entries dropped
+
+    def test_seedless_stochastic_submissions_never_coalesce(self, spool):
+        """Independent random draws must stay independent: non-cacheable
+        tasks bypass the in-flight index entirely."""
+        from repro.runtime import BatchTask
+
+        service = SolveService(spool, cache=None)
+
+        def draw():
+            return BatchTask(problem=PROBLEMS[0], method="genetic",
+                             options={"generations": 1})
+
+        first = service.submit([draw()])
+        second = service.submit([draw()])
+        assert not first.entries[0].prep.cacheable
+        service.enqueue(first)
+        service.enqueue(second)
+        assert service.queue.counts()["pending"] == 2
+
+    def test_dead_lettered_task_does_not_absorb_new_submissions(self, spool):
+        service = SolveService(spool, cache=None)
+        first = service.submit([PROBLEMS[0]])
+        [task_id] = service.enqueue(first)
+        task = service.queue.claim()
+        service.queue.fail(task, "poisoned", kind="poison")
+        second = service.submit([PROBLEMS[0]])
+        ids = service.enqueue(second)
+        assert ids and ids[0] != task_id       # fresh task, not the corpse
+        assert service.queue.counts()["pending"] == 1
