@@ -50,8 +50,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.assignment import Assignment
 from repro.core.context import SolveContext, SolveInterrupted
 from repro.core.dwg import SSBWeighting
-from repro.core.frontier import ParetoStore
+from repro.core.frontier import HAVE_NUMPY, ParetoStore, pareto_block_mask
 from repro.model.problem import AssignmentProblem
+
+try:                                     # optional accelerator (see frontier)
+    import numpy as _np
+except ImportError:                      # pragma: no cover - numpy is in CI
+    _np = None
 
 _INF = float("inf")
 
@@ -69,14 +74,37 @@ class FrontierExplosion(RuntimeError):
     raise the cap).
     """
 
-    def __init__(self, size: int, limit: int) -> None:
+    def __init__(self, size: int, limit: int,
+                 labels_created: Optional[int] = None,
+                 peak_frontier: Optional[int] = None) -> None:
+        detail = ""
+        if labels_created is not None:
+            detail = (f" after {labels_created} labels created "
+                      f"(peak frontier {peak_frontier})")
         super().__init__(
-            f"pareto-dp frontier reached {size} labels (max_frontier={limit}); "
+            f"pareto-dp frontier reached {size} labels (max_frontier={limit})"
+            f"{detail}; "
             f"the instance is in the known blowup regime (scattered n>=30) — "
             f"use an exact method that scales (pareto-dp-pruned or "
             f"colored-ssb-labels) or raise max_frontier")
         self.size = size
         self.limit = limit
+        #: how much work the DP had done when the cap fired — surfaced in
+        #: the error envelope / dead-letter details so a blown-up task is
+        #: diagnosable from `repro audit` without a re-run
+        self.labels_created = labels_created
+        self.peak_frontier = peak_frontier
+
+    def error_details(self) -> Dict[str, int]:
+        """Structured diagnostics for the error envelope (duck-typed hook
+        picked up by :func:`repro.runtime.payload.solve_payload`)."""
+        details = {"frontier_size": int(self.size),
+                   "max_frontier": int(self.limit)}
+        if self.labels_created is not None:
+            details["labels_created"] = int(self.labels_created)
+        if self.peak_frontier is not None:
+            details["peak_frontier"] = int(self.peak_frontier)
+        return details
 
 
 @dataclass(frozen=True)
@@ -104,6 +132,25 @@ _BOUNDED_CANDIDATE_FACTOR = 256
 
 #: Default beam width of the pruned solver's incumbent pre-pass.
 _PRUNED_BEAM_WIDTH = 16
+
+#: Streamed cross products: folds with at least this many candidate pairs
+#: run through the vectorised chunked kernel (numpy) instead of the
+#: per-pair python loop; each chunk materialises at most this many pairs.
+_STREAM_MIN_PAIRS = 2048
+_STREAM_CHUNK_PAIRS = 1 << 18
+#: label-list size past which the host-time fold at a node bypasses the
+#: per-row ParetoStore inserts (O(frontier²) python) for the vectorised
+#: ``finish_fold`` tail.
+_STREAM_MIN_LABELS = 512
+#: dominator-window cap for the streamed fold's Pareto masks.  An
+#: unwindowed mask is quadratic in the frontier and dwarfs the whole fold
+#: on wide stars; the window makes it linear.  Rows a distant dominator
+#: would have removed merely survive into the next fold (extra work), they
+#: are never wrongly dropped — exactness is unaffected.  With the
+#: completion bounds doing the heavy pruning, a small window beats a
+#: thorough one: on wide stars at n=40 window 128 is ~3x faster end to end
+#: than 1024 while the peak frontier grows by less than half.
+_STREAM_MASK_WINDOW = 128
 
 
 # --------------------------------------------------------------------------
@@ -135,8 +182,98 @@ def _min_host_times(problem: AssignmentProblem) -> Dict[str, float]:
     return minhost
 
 
+def _joint_minima(problem: AssignmentProblem, lam_s: float, lam_b: float,
+                  n: int) -> Dict[str, float]:
+    """Minimum *objective* contribution each subtree must add.
+
+    Every subtree is eventually either offloaded — its load lands on one
+    satellite, raising the load sum by ``β_u`` and hence the max load by at
+    least ``β_u / n`` — or processed on the host, paying ``λ_S·h_u`` plus
+    its children's own minima.  ``jointmin(u)`` is the cheaper of the two:
+    a valid additive lower bound on ``λ_S·σ + λ_B·max-load`` still owed by
+    ``u``, the DP-side analogue of the label engine's joint σ/β potential.
+    """
+    tree = problem.tree
+    inv = 1.0 / n
+    jm: Dict[str, float] = {}
+
+    def rec(u: str, parent: str) -> float:
+        off = _INF
+        if problem.correspondent_satellite(u) is not None:
+            load = sum(problem.satellite_time(i)
+                       for i in tree.subtree_ids(u)
+                       if tree.cru(i).is_processing)
+            load += problem.comm_cost(u, parent)
+            off = lam_b * load * inv
+        host = _INF
+        if tree.cru(u).is_processing:
+            host = lam_s * problem.host_time(u)
+            for c in tree.children_ids(u):
+                host += rec(c, u)
+        jm[u] = off if off < host else host
+        return jm[u]
+
+    for c in tree.children_ids(tree.root_id):
+        rec(c, tree.root_id)
+    return jm
+
+
+def _per_colour_minima(problem: AssignmentProblem, lam_s: float,
+                       lam_b: float) -> List[Dict[str, float]]:
+    """Per-colour floors: min contribution of each subtree to one colour.
+
+    Offloading is colour-pinned — subtree ``u`` can only land on its one
+    correspondent satellite — so for a fixed colour ``c`` every subtree
+    either pays ``λ_B·β_u`` on colour ``c`` (offload, when its
+    correspondent has colour ``c``), pays nothing on ``c`` (offload to a
+    different colour), or pays ``λ_S·h_u`` plus its children's floors
+    (host).  ``pc[c][u]`` is the cheapest of the available options: an
+    additive lower bound on ``λ_S·σ + λ_B·load_c`` still owed by ``u``.
+    Unlike the avg-load joint bound this does not dilute offloaded mass by
+    ``1/n``, so it is strictly tighter whenever loads concentrate.
+    """
+    tree = problem.tree
+    satellite_ids = problem.system.satellite_ids()
+    sat_index = {sid: i for i, sid in enumerate(satellite_ids)}
+    dim = len(satellite_ids)
+    tables: List[Dict[str, float]] = [dict() for _ in range(dim)]
+
+    def rec(u: str, parent: str) -> List[float]:
+        sat = problem.correspondent_satellite(u)
+        beta = _INF
+        colour = -1
+        if sat is not None:
+            load = sum(problem.satellite_time(i)
+                       for i in tree.subtree_ids(u)
+                       if tree.cru(i).is_processing)
+            beta = load + problem.comm_cost(u, parent)
+            colour = sat_index[sat]
+        hostable = tree.cru(u).is_processing
+        child_vals: List[List[float]] = []
+        if hostable:
+            child_vals = [rec(ch, u) for ch in tree.children_ids(u)]
+        h = lam_s * problem.host_time(u)
+        out: List[float] = []
+        for c in range(dim):
+            off = _INF
+            if sat is not None:
+                off = lam_b * beta if colour == c else 0.0
+            host = _INF
+            if hostable:
+                host = h + sum(v[c] for v in child_vals)
+            val = off if off < host else host
+            tables[c][u] = val
+            out.append(val)
+        return out
+
+    for ch in tree.children_ids(tree.root_id):
+        rec(ch, tree.root_id)
+    return tables
+
+
 def _completion_potentials(problem: AssignmentProblem,
-                           minhost: Dict[str, float]
+                           minhost: Dict[str, float],
+                           host_scale: float = 1.0
                            ) -> Tuple[Dict[Tuple[str, int], float],
                                       Dict[str, float]]:
     """Lower bounds on the host time still missing from a partial DP label.
@@ -155,6 +292,10 @@ def _completion_potentials(problem: AssignmentProblem,
     Returns ``(pot_state, pot_opt)``: per DP state, and per tree node for
     labels sitting in a node's finished option frontier (offload or
     host-combined) awaiting their fold into the parent.
+
+    ``minhost`` doubles as a generic per-subtree weight oracle:
+    with :func:`_joint_minima` and ``host_scale=λ_S`` the same DAG yields
+    the *joint* σ/β potentials (objective units) behind the avg-load bound.
     """
     from repro.graphs.dag import min_weight_to_target
     from repro.graphs.digraph import DiGraph
@@ -174,12 +315,14 @@ def _completion_potentials(problem: AssignmentProblem,
             running += minhost[child]
         complete = ("state", u, len(children))
         if u == tree.root_id:
-            graph.add_edge(complete, target, weight=problem.host_time(u))
+            graph.add_edge(complete, target,
+                           weight=host_scale * problem.host_time(u))
         else:
             parent = tree.parent_id(u)
             idx = tree.children_ids(parent).index(u)
             graph.add_edge(complete, ("state", parent, idx + 1),
-                           weight=problem.host_time(u) + prefix_sums[u])
+                           weight=host_scale * problem.host_time(u)
+                           + prefix_sums[u])
     pot = min_weight_to_target(graph, target, weight="weight")
 
     pot_state: Dict[Tuple[str, int], float] = {}
@@ -205,6 +348,10 @@ def _dp_labels(problem: AssignmentProblem, *,
                max_frontier: Optional[int] = None,
                pot_state: Optional[Dict[Tuple[str, int], float]] = None,
                pot_opt: Optional[Dict[str, float]] = None,
+               jpot_state: Optional[Dict[Tuple[str, int], float]] = None,
+               jpot_opt: Optional[Dict[str, float]] = None,
+               cpot_state: Optional[List[Dict[Tuple[str, int], float]]] = None,
+               cpot_opt: Optional[List[Dict[str, float]]] = None,
                bound: float = _INF,
                lam_s: float = 1.0, lam_b: float = 1.0,
                beam_width: Optional[int] = None,
@@ -232,10 +379,51 @@ def _dp_labels(problem: AssignmentProblem, *,
     pot_state = pot_state or {}
     pot_opt = pot_opt or {}
     bounded = bound != _INF or beam_width is not None
+    # joint σ/β bound: λ_S·σ + λ_B·(Σ loads)/n + jpot ≤ the label's best
+    # completion (the max load is at least the average); prunes only with a
+    # finite incumbent, but the beam pre-pass still ranks by it
+    have_joint = (jpot_state is not None and jpot_opt is not None and n > 0)
+    joint = have_joint and bound != _INF
+    inv_n = 1.0 / n if n else 0.0
+    # per-colour floors: λ_S·σ + λ_B·load_c + cpot_c ≤ the label's best
+    # completion for every colour c — tighter than the avg bound whenever
+    # the remaining offloads concentrate on few colours
+    have_colour = (cpot_state is not None and cpot_opt is not None and n > 0)
+    colour = have_colour and bound != _INF
+
+    def cpots(key, table) -> Optional[Tuple[float, ...]]:
+        if not have_colour:
+            return None
+        return tuple(table[c].get(key, 0.0) for c in range(n))
+
+    def beam_key(pot: float, jpot: float,
+                 cpot: Optional[Tuple[float, ...]]):
+        """Best-completion estimate used to rank beam survivors: the max of
+        every admissible floor available.  A sharper rank keeps the labels
+        the exact pass would keep, so a narrow beam lands a near-optimal
+        incumbent."""
+        def key(lab: _Label) -> float:
+            sig, loads = lab[0], lab[1]
+            est = lam_s * (sig + pot) + \
+                lam_b * (max(loads) if loads else 0.0)
+            if have_joint:
+                alt = lam_s * sig + lam_b * sum(loads) * inv_n + jpot
+                if alt > est:
+                    est = alt
+            if cpot is not None:
+                base = lam_s * sig
+                for c in range(n):
+                    alt = base + lam_b * loads[c] + cpot[c]
+                    if alt > est:
+                        est = alt
+            return est
+        return key
     stats = {"created": 0, "dominated": 0, "evicted": 0, "bound_rejected": 0,
              "peak_frontier": 0, "drains": 0}
 
-    def drain(store: ParetoStore, pot: float, node=None) -> List[_Label]:
+    def drain(store: ParetoStore, pot: float, node=None,
+              jpot: float = 0.0,
+              cpot: Optional[Tuple[float, ...]] = None) -> List[_Label]:
         stats["dominated"] += store.dominated
         stats["evicted"] += store.evicted
         stats["bound_rejected"] += store.bound_rejected
@@ -251,13 +439,24 @@ def _dp_labels(problem: AssignmentProblem, *,
                 frontier=len(store), settle_batches=1)
         labels: List[_Label] = [(s, loads, cut) for s, loads, cut in store]
         if beam_width is not None and len(labels) > beam_width:
-            labels.sort(key=lambda lab: lam_s * (lab[0] + pot) +
-                        lam_b * max(lab[1]))
+            labels.sort(key=beam_key(pot, jpot, cpot))
             del labels[beam_width:]
         return labels
 
-    def insert(store: ParetoStore, label: _Label, pot: float) -> None:
+    def insert(store: ParetoStore, label: _Label, pot: float,
+               jpot: float = 0.0,
+               cpot: Optional[Tuple[float, ...]] = None) -> None:
         stats["created"] += 1
+        if joint and lam_s * label[0] + lam_b * sum(label[1]) * inv_n \
+                + jpot >= bound:
+            stats["bound_rejected"] += 1
+            return
+        if colour and cpot is not None:
+            sig = lam_s * label[0]
+            for c in range(n):
+                if sig + lam_b * label[1][c] + cpot[c] >= bound:
+                    stats["bound_rejected"] += 1
+                    return
         if bounded:
             kept = store.insert_bounded(label[0], label[1], label[2],
                                         potential=pot, bound=bound,
@@ -265,7 +464,10 @@ def _dp_labels(problem: AssignmentProblem, *,
         else:
             kept = store.insert(label[0], label[1], label[2])
         if kept and max_frontier is not None and len(store) > max_frontier:
-            raise FrontierExplosion(len(store), max_frontier)
+            raise FrontierExplosion(
+                len(store), max_frontier,
+                labels_created=stats["created"],
+                peak_frontier=max(stats["peak_frontier"], len(store)))
 
     def offload_label(cru_id: str, parent_id: str) -> Optional[_Label]:
         satellite = problem.correspondent_satellite(cru_id)
@@ -279,6 +481,107 @@ def _dp_labels(problem: AssignmentProblem, *,
         loads[sat_index[satellite]] = load
         return (0.0, tuple(loads), (cru_id,))
 
+    def combine_fold_stream(cru_id: str, i: int, acc: List[_Label],
+                            labels: List[_Label], pot: float,
+                            jpot: float = 0.0,
+                            cpot: Optional[Tuple[float, ...]] = None
+                            ) -> List[_Label]:
+        """One child fold as a chunked, vectorised cross product.
+
+        Identical semantics to the per-pair loop below — every candidate
+        pair counts as created, the completion bound drops pairs first
+        (``bound_rejected``), dominance is the exact componentwise filter of
+        :meth:`ParetoStore.insert` via :func:`pareto_block_mask`, and the
+        frontier cap raises :class:`FrontierExplosion` — but the ``A x B``
+        product streams through bounded-size chunks of float arrays instead
+        of materialising per-pair python tuples, and the cut tuples are
+        built only for the rows that survive both filters.
+        """
+        A, B = len(acc), len(labels)
+        base = (stats["created"], stats["dominated"],
+                stats["bound_rejected"])
+        ah = _np.array([lab[0] for lab in acc])
+        al = _np.array([lab[1] for lab in acc]).reshape(A, n)
+        bh = _np.array([lab[0] for lab in labels])
+        bl = _np.array([lab[1] for lab in labels]).reshape(B, n)
+        cp = _np.asarray(cpot) if cpot is not None else None
+        rows = max(1, _STREAM_CHUNK_PAIRS // B)
+        sigs: List[object] = []
+        loads: List[object] = []
+        pairs: List[object] = []
+        for a0 in range(0, A, rows):
+            if context is not None:
+                context.checkpoint()
+            a1 = min(a0 + rows, A)
+            hs = (ah[a0:a1, None] + bh[None, :]).ravel()
+            ld = (al[a0:a1, None, :] + bl[None, :, :]).reshape(-1, n)
+            stats["created"] += len(hs)
+            if bound != _INF:
+                obj = lam_s * (hs + pot) + lam_b * ld.max(axis=1)
+                keep = obj < bound
+                if joint:
+                    keep &= lam_s * hs + lam_b * ld.sum(axis=1) * inv_n \
+                        + jpot < bound
+                if cp is not None:
+                    keep &= (lam_s * hs[:, None] + lam_b * ld
+                             + cp[None, :] < bound).all(axis=1)
+                kept = int(keep.sum())
+                stats["bound_rejected"] += len(hs) - kept
+                if not kept:
+                    continue
+                idx = _np.nonzero(keep)[0]
+                hs, ld = hs[idx], ld[idx]
+            else:
+                idx = _np.arange(len(hs))
+            if len(hs) > 1:
+                # chunk-local dominance filter keeps the accumulation small
+                mask = pareto_block_mask(hs, ld,
+                                         window=_STREAM_MASK_WINDOW)
+                drop = len(hs) - int(mask.sum())
+                if drop:
+                    stats["dominated"] += drop
+                    hs, ld, idx = hs[mask], ld[mask], idx[mask]
+            sigs.append(hs)
+            loads.append(ld)
+            pairs.append(idx + a0 * B)     # chunk-flat -> product-flat index
+        if sigs:
+            sig = _np.concatenate(sigs)
+            ld = _np.concatenate(loads)
+            pair = _np.concatenate(pairs)
+            if len(sigs) > 1 and len(sig) > 1:
+                mask = pareto_block_mask(sig, ld,
+                                         window=_STREAM_MASK_WINDOW)
+                drop = len(sig) - int(mask.sum())
+                if drop:
+                    stats["dominated"] += drop
+                    sig, ld, pair = sig[mask], ld[mask], pair[mask]
+        else:
+            sig = ld = pair = ()
+        if max_frontier is not None and len(sig) > max_frontier:
+            raise FrontierExplosion(
+                len(sig), max_frontier,
+                labels_created=stats["created"],
+                peak_frontier=max(stats["peak_frontier"], len(sig)))
+        stats["drains"] += 1
+        if len(sig) > stats["peak_frontier"]:
+            stats["peak_frontier"] = len(sig)
+        if profile is not None:
+            profile.record_node(
+                f"{cru_id}/{i + 1}",
+                created=stats["created"] - base[0],
+                dominated=stats["dominated"] - base[1],
+                pruned_floor=stats["bound_rejected"] - base[2],
+                frontier=len(sig), settle_batches=1)
+        out: List[_Label] = []
+        for s, lo, p in zip(sig, ld, pair):
+            ai, bi = divmod(int(p), B)
+            out.append((float(s), tuple(lo.tolist()),
+                        acc[ai][2] + labels[bi][2]))
+        if beam_width is not None and len(out) > beam_width:
+            out.sort(key=beam_key(pot, jpot, cpot))
+            del out[beam_width:]
+        return out
+
     def combine_children(cru_id: str,
                          children_labels: Sequence[List[_Label]]
                          ) -> List[_Label]:
@@ -288,8 +591,18 @@ def _dp_labels(problem: AssignmentProblem, *,
             if (max_frontier is not None
                     and len(acc) * len(labels) > factor * max_frontier):
                 # abort before materialising the cross product at all
-                raise FrontierExplosion(len(acc) * len(labels), max_frontier)
+                raise FrontierExplosion(len(acc) * len(labels), max_frontier,
+                                        labels_created=stats["created"],
+                                        peak_frontier=stats["peak_frontier"])
             pot = pot_state.get((cru_id, i + 1), 0.0)
+            jpot = jpot_state.get((cru_id, i + 1), 0.0) \
+                if have_joint else 0.0
+            cpot = cpots((cru_id, i + 1), cpot_state)
+            if (HAVE_NUMPY and n
+                    and len(acc) * len(labels) >= _STREAM_MIN_PAIRS):
+                acc = combine_fold_stream(cru_id, i, acc, labels, pot,
+                                          jpot, cpot)
+                continue
             store = ParetoStore(n)
             for ah, aloads, acut in acc:
                 if context is not None:
@@ -299,27 +612,117 @@ def _dp_labels(problem: AssignmentProblem, *,
                            (ah + bh,
                             tuple(x + y for x, y in zip(aloads, bloads)),
                             acut + bcut),
-                           pot)
-            acc = drain(store, pot, node=f"{cru_id}/{i + 1}")
+                           pot, jpot, cpot)
+            acc = drain(store, pot, node=f"{cru_id}/{i + 1}",
+                        jpot=jpot, cpot=cpot)
         return acc
+
+    def finish_fold(node: str, combined: List[_Label], h: float,
+                    offload: Optional[_Label], pot: float,
+                    jpot: float = 0.0,
+                    cpot: Optional[Tuple[float, ...]] = None
+                    ) -> List[_Label]:
+        """Vectorised tail of :func:`labels_of`: fold the host time into an
+        already Pareto-filtered label list, apply the completion bound, and
+        merge the (single) offload label.  The per-row ``insert`` loop is
+        O(frontier²) python exactly where the stream fold just spent effort
+        keeping the frontier flat; adding the constant ``h`` to every σ
+        leaves dominance unchanged, so no re-filter is needed beyond the
+        offload cross-check."""
+        base = (stats["created"], stats["dominated"],
+                stats["bound_rejected"])
+        hs = _np.array([lab[0] for lab in combined]) + h
+        ld = _np.array([lab[1] for lab in combined]).reshape(-1, n)
+        stats["created"] += len(combined)
+        keep = _np.ones(len(combined), dtype=bool)
+        if bound != _INF:
+            obj = lam_s * (hs + pot) + lam_b * ld.max(axis=1)
+            keep &= obj < bound
+            if joint:
+                keep &= lam_s * hs + lam_b * ld.sum(axis=1) * inv_n \
+                    + jpot < bound
+            if cpot is not None:
+                cp = _np.asarray(cpot)
+                keep &= (lam_s * hs[:, None] + lam_b * ld
+                         + cp[None, :] < bound).all(axis=1)
+            stats["bound_rejected"] += len(combined) - int(keep.sum())
+        keep_off = False
+        if offload is not None:
+            stats["created"] += 1
+            oh, ol = offload[0], _np.asarray(offload[1], dtype=_np.float64)
+            keep_off = True
+            if bound != _INF and (
+                    lam_s * (oh + pot) + lam_b * float(ol.max()) >= bound
+                    or (joint and lam_s * oh + lam_b * float(ol.sum())
+                        * inv_n + jpot >= bound)
+                    or (cpot is not None and any(
+                        lam_s * oh + lam_b * float(ol[c]) + cpot[c] >= bound
+                        for c in range(n)))):
+                stats["bound_rejected"] += 1
+                keep_off = False
+            if keep_off:
+                # the offload label sits first in insertion order, so exact
+                # ties go to it — mirrored by `<=` in both directions here
+                dom_off = ((oh <= hs) & (ol[None, :] <= ld).all(axis=1)
+                           & keep)
+                dropped = int(dom_off.sum())
+                if dropped:
+                    stats["dominated"] += dropped
+                    keep &= ~dom_off
+                beats = ((hs <= oh) & (ld <= ol[None, :]).all(axis=1)
+                         & keep)
+                if bool(beats.any()):
+                    stats["dominated"] += 1
+                    keep_off = False
+        idx = _np.nonzero(keep)[0]
+        labels: List[_Label] = [offload] if keep_off else []
+        labels += [(float(hs[i]), tuple(ld[i].tolist()), combined[i][2])
+                   for i in idx.tolist()]
+        if max_frontier is not None and len(labels) > max_frontier:
+            raise FrontierExplosion(
+                len(labels), max_frontier,
+                labels_created=stats["created"],
+                peak_frontier=max(stats["peak_frontier"], len(labels)))
+        stats["drains"] += 1
+        if len(labels) > stats["peak_frontier"]:
+            stats["peak_frontier"] = len(labels)
+        if profile is not None:
+            profile.record_node(
+                node,
+                created=stats["created"] - base[0],
+                dominated=stats["dominated"] - base[1],
+                pruned_floor=stats["bound_rejected"] - base[2],
+                frontier=len(labels), settle_batches=1)
+        if beam_width is not None and len(labels) > beam_width:
+            labels.sort(key=beam_key(pot, jpot, cpot))
+            del labels[beam_width:]
+        return labels
 
     def labels_of(cru_id: str, parent_id: str) -> List[_Label]:
         if context is not None:
             context.checkpoint()
         pot = pot_opt.get(cru_id, 0.0)
-        store = ParetoStore(n)
+        jpot = jpot_opt.get(cru_id, 0.0) if have_joint else 0.0
+        cpot = cpots(cru_id, cpot_opt)
         offload = offload_label(cru_id, parent_id)
-        if offload is not None:
-            insert(store, offload, pot)
+        combined: Optional[List[_Label]] = None
         if tree.cru(cru_id).is_processing:
             children = tree.children_ids(cru_id)
             child_labels = [labels_of(c, cru_id) for c in children]
             if all(child_labels):
                 combined = combine_children(cru_id, child_labels)
-                h = problem.host_time(cru_id)
-                for ch, cloads, ccut in combined:
-                    insert(store, (ch + h, cloads, ccut), pot)
-        return drain(store, pot, node=cru_id)
+        if combined and HAVE_NUMPY and n \
+                and len(combined) >= _STREAM_MIN_LABELS:
+            return finish_fold(cru_id, combined, problem.host_time(cru_id),
+                               offload, pot, jpot, cpot)
+        store = ParetoStore(n)
+        if offload is not None:
+            insert(store, offload, pot, jpot, cpot)
+        if combined:
+            h = problem.host_time(cru_id)
+            for ch, cloads, ccut in combined:
+                insert(store, (ch + h, cloads, ccut), pot, jpot, cpot)
+        return drain(store, pot, node=cru_id, jpot=jpot, cpot=cpot)
 
     root = tree.root_id
     root_children = tree.children_ids(root)
@@ -330,10 +733,12 @@ def _dp_labels(problem: AssignmentProblem, *,
         return [], stats        # everything provably at/above the incumbent
     combined = combine_children(root, child_labels)
     h_root = problem.host_time(root)
+    # h_root folded in: the completion potential of a final label is 0,
+    # so the bound check compares the exact objective to the incumbent
+    if combined and HAVE_NUMPY and n and len(combined) >= _STREAM_MIN_LABELS:
+        return finish_fold(root, combined, h_root, None, 0.0), stats
     store = ParetoStore(n)
     for ch, cloads, ccut in combined:
-        # h_root folded in: the completion potential of a final label is 0,
-        # so the bound check compares the exact objective to the incumbent
         insert(store, (ch + h_root, cloads, ccut), 0.0)
     return drain(store, 0.0, node=root), stats
 
@@ -407,8 +812,10 @@ def _dp_profile(stats: Dict[str, int]) -> Dict[str, object]:
         "labels_created": stats["created"],
         "labels_dominated": stats["dominated"] + stats["evicted"],
         "pruned_floor": stats["bound_rejected"],
+        "pruned_colour": 0,
         "pruned_joint": 0,
         "pruned_settle": 0,
+        "pruned_meet": 0,
         "pruned_total": stats["bound_rejected"],
         "frontier_peak": stats["peak_frontier"],
         "settle_batches": stats["drains"],
@@ -475,10 +882,23 @@ def pareto_dp_pruned_assignment(problem: AssignmentProblem,
     lam_s, lam_b = weighting.lambda_s, weighting.lambda_b
     minhost = _min_host_times(problem)
     pot_state, pot_opt = _completion_potentials(problem, minhost)
+    n_sats = len(problem.system.satellite_ids())
+    jpot_state = jpot_opt = cpot_state = cpot_opt = None
+    if n_sats:
+        jpot_state, jpot_opt = _completion_potentials(
+            problem, _joint_minima(problem, lam_s, lam_b, n_sats),
+            host_scale=lam_s)
+        cpot_state, cpot_opt = [], []
+        for pc in _per_colour_minima(problem, lam_s, lam_b):
+            st, op = _completion_potentials(problem, pc, host_scale=lam_s)
+            cpot_state.append(st)
+            cpot_opt.append(op)
 
     try:
         beam_labels, beam_stats = _dp_labels(
             problem, pot_state=pot_state, pot_opt=pot_opt,
+            jpot_state=jpot_state, jpot_opt=jpot_opt,
+            cpot_state=cpot_state, cpot_opt=cpot_opt,
             lam_s=lam_s, lam_b=lam_b, beam_width=beam_width, context=context)
     except SolveInterrupted as exc:
         return _greedy_fallback(problem, weighting, exc.kind, context)
@@ -494,6 +914,8 @@ def pareto_dp_pruned_assignment(problem: AssignmentProblem,
         exact_labels, stats = _dp_labels(
             problem, max_frontier=max_frontier,
             pot_state=pot_state, pot_opt=pot_opt,
+            jpot_state=jpot_state, jpot_opt=jpot_opt,
+            cpot_state=cpot_state, cpot_opt=cpot_opt,
             bound=incumbent_objective, lam_s=lam_s, lam_b=lam_b,
             context=context, profile=_span_profile(context))
     except SolveInterrupted as exc:

@@ -144,6 +144,7 @@ class ParetoStore:
     def settle(self, bound: Optional[float] = None, *,
                potential: float = 0.0,
                load_potentials: Optional[Loads] = None,
+               joint_potentials: Optional[Loads] = None,
                lambda_s: float = 1.0, lambda_b: float = 1.0) -> None:
         """Fold queued labels into the store (exact, order-independent).
 
@@ -163,6 +164,13 @@ class ParetoStore:
         queued prunes it here, before any dominance work is spent on it.
         The bound applies to the queued batch only, never to already-stored
         entries.
+
+        ``joint_potentials`` selects the tighter per-colour *joint* bound
+        instead: component ``c`` must lower-bound ``λ_S·σ + λ_B·β_c`` over
+        every completion, so a label completes for at least
+        ``λ_S·(σ + potential) + max_c(λ_B·loads_c + joint_potentials_c)``
+        (``potential`` then defaults to 0 — the σ term is already folded
+        into each component).  Mutually exclusive with ``load_potentials``.
         """
         if not self._pending:
             return
@@ -175,7 +183,37 @@ class ParetoStore:
                     f"load tuple has {len(loads)} components, store has dim {dim}")
         vectorize = (_np is not None
                      and len(pending) + len(self._sigmas) >= _SETTLE_VECTOR_MIN)
-        if bound is not None:
+        if bound is not None and joint_potentials is not None:
+            if load_potentials is not None:
+                raise ValueError(
+                    "load_potentials and joint_potentials are mutually exclusive")
+            jp = joint_potentials
+            if len(jp) != dim:
+                raise ValueError(
+                    f"joint_potentials has {len(jp)} components, store has dim {dim}")
+            if vectorize and dim:
+                sig = _np.fromiter((e[0] for e in pending), dtype=_np.float64,
+                                   count=len(pending))
+                eff = _np.asarray([e[1] for e in pending],
+                                  dtype=_np.float64).reshape(len(pending), dim)
+                peak = (lambda_b * eff + _np.asarray(jp, dtype=_np.float64)) \
+                    .max(axis=1)
+                keep = lambda_s * (sig + potential) + peak < bound
+                self.bound_rejected += int(len(pending) - keep.sum())
+                pending = [pending[i] for i in _np.nonzero(keep)[0].tolist()]
+            else:
+                survivors = []
+                for sigma, loads, payload in pending:
+                    peak = max((lambda_b * a + b for a, b in zip(loads, jp)),
+                               default=0.0)
+                    if lambda_s * (sigma + potential) + peak >= bound:
+                        self.bound_rejected += 1
+                    else:
+                        survivors.append((sigma, loads, payload))
+                pending = survivors
+            if not pending:
+                return
+        elif bound is not None:
             lp = load_potentials if load_potentials is not None else (0.0,) * dim
             if len(lp) != dim:
                 raise ValueError(

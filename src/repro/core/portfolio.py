@@ -50,12 +50,26 @@ _CROSS_CHECK_MAX_N = 14
 #: the DP's frontiers are known to be the expensive regime.
 _CROSS_CHECK_MAX_SCATTER = 0.75
 
-#: "auto" also skips the cross-check on star-shaped trees: a node fanning
-#: out to a large fraction of the instance makes the DP combine its
-#: children's frontiers into one huge product at that node (the
-#: ``bench_portfolio`` wide-star grinding regime near n≈40), while the label
-#: sweep is untroubled.  ``star_width`` is ``max_branching / n_processing``.
+#: Star shape threshold: ``star_width`` is ``max_branching / n_processing``.
+#: Wide stars used to be the DP's grinding regime (one node folding most of
+#: the instance into a single huge product); the streamed fold plus
+#: per-colour completion floors fixed that, so past this width the
+#: cross-check is *enabled* — with its own, larger size cap below — rather
+#: than skipped.
 _CROSS_CHECK_MAX_STAR_WIDTH = 0.5
+
+#: Size cap of the wide-star cross-check: the streamed pruned DP solves
+#: wide stars exactly in well under a second through n≈44 (see
+#: ``bench_exact_engine``); past this cap even star-shaped folds get big.
+_CROSS_CHECK_MAX_STAR_N = 48
+
+#: The label stage switches to the bidirectional sweep on large scattered
+#: instances: half-depth frontiers stay orders of magnitude smaller than
+#: full-depth ones from about n=45 (the forward engine's blowup knee),
+#: while on small or clustered instances the forward sweep's single pass
+#: wins on constant factors.
+_BIDIR_MIN_N = 45
+_BIDIR_MIN_SCATTER = 0.75
 
 #: Wall budget of the greedy seed stage.  The seed exists to guarantee an
 #: incumbent from the first milliseconds — not to race the sweep — so its
@@ -222,8 +236,10 @@ class PortfolioSolver:
             started = time.perf_counter()
             colored = color_tree(problem)
             graph = build_assignment_graph(problem, colored_tree=colored)
+            direction = self._label_direction(features)
             search = LabelDominanceSearch(weighting=self.weighting,
-                                          beam_width=self.beam_width)
+                                          beam_width=self.beam_width,
+                                          direction=direction)
             result = search.search(graph.dwg, incumbent=best_objective,
                                    context=context)
             interrupted = result.interrupted
@@ -247,7 +263,8 @@ class PortfolioSolver:
                 elapsed_s=time.perf_counter() - started, improved=improved,
                 interrupted=interrupted,
                 extra={"labels_created": result.stats.labels_created,
-                       "labels_bound_pruned": result.stats.labels_bound_pruned}))
+                       "labels_bound_pruned": result.stats.labels_bound_pruned,
+                       "direction": direction}))
 
         # ---- stage 3: pruned-DP cross-check (independent construction) ---
         cross_check_agreed: Optional[bool] = None
@@ -300,23 +317,34 @@ class PortfolioSolver:
         return best_assignment, details
 
     # ---------------------------------------------------------------- policy
+    def _label_direction(self, features: Dict[str, Any]) -> str:
+        """Forward sweep by default; bidirectional on large scattered trees,
+        where meeting in the middle keeps both half-frontiers far below the
+        forward engine's full-depth blowup."""
+        if (features["n_processing"] >= _BIDIR_MIN_N
+                and features["scatter_ratio"] >= _BIDIR_MIN_SCATTER):
+            return "bidirectional"
+        return "forward"
+
     def _wants_cross_check(self, features: Dict[str, Any]) -> bool:
         if self.cross_check in (False, "never"):
             return False
         if self.cross_check in (True, "always"):
             return True
+        if features["star_width"] > _CROSS_CHECK_MAX_STAR_WIDTH:
+            # wide stars are the streamed DP's good regime now: the star
+            # fold runs through bounded chunks with per-colour floors
+            return features["n_processing"] <= _CROSS_CHECK_MAX_STAR_N
         return (features["n_processing"] <= _CROSS_CHECK_MAX_N
-                and features["scatter_ratio"] <= _CROSS_CHECK_MAX_SCATTER
-                and features["star_width"] <= _CROSS_CHECK_MAX_STAR_WIDTH)
+                and features["scatter_ratio"] <= _CROSS_CHECK_MAX_SCATTER)
 
     def _skip_reason(self, features: Dict[str, Any]) -> str:
         if self.cross_check in (False, "never"):
             return "cross_check disabled"
         if features["star_width"] > _CROSS_CHECK_MAX_STAR_WIDTH:
-            # checked first: on a wide star the DP grinds whatever n is, and
-            # the star shape is the actionable thing to report
-            return (f"star_width={features['star_width']:.2f} > "
-                    f"{_CROSS_CHECK_MAX_STAR_WIDTH} (auto policy)")
+            # wide stars only skip past the (large) star-specific size cap
+            return (f"star n={features['n_processing']} > "
+                    f"{_CROSS_CHECK_MAX_STAR_N} (auto policy)")
         if features["n_processing"] > _CROSS_CHECK_MAX_N:
             return (f"n={features['n_processing']} > "
                     f"{_CROSS_CHECK_MAX_N} (auto policy)")

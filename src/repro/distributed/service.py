@@ -443,6 +443,10 @@ class SolveService:
         item.incumbent_history = list(outcome.get("incumbent_history") or ())
         if not outcome.get("ok", False):
             item.error = outcome.get("error", "unknown error")
+            if outcome.get("details"):
+                # structured diagnostics riding the error envelope (e.g. a
+                # FrontierExplosion's labels-created / peak-frontier counts)
+                item.details = dict(outcome["details"])
             if outcome.get("error_kind"):
                 # poison / quarantined / max_requeues / result_corrupted —
                 # kept in details so report consumers can triage by class

@@ -571,7 +571,11 @@ class WorkQueue:
 
         ``kind`` labels the structured error envelope (``"failed"`` for an
         ordinary solve failure, ``"poison"`` for the worker's crash-loop
-        breaker, ...); ``extra`` fields land in the record verbatim.
+        breaker, ...); ``extra`` fields land in the record verbatim — in
+        particular a ``details`` dict of structured diagnostics (e.g. a
+        FrontierExplosion's labels-created / peak-frontier counts) is
+        surfaced by :class:`~repro.distributed.stream.ResultStream` and
+        ``repro audit``.
         """
         self._dead_letter_record(task.task_id, task.attempt, error=error,
                                  kind=kind, payload=task.payload, **extra)

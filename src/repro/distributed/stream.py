@@ -180,6 +180,10 @@ class ResultStream:
                     # can branch without parsing the error string
                     if failure.get("kind"):
                         outcome["error_kind"] = failure["kind"]
+                    # structured diagnostics from the dead-letter record
+                    # (e.g. FrontierExplosion's labels-created counts)
+                    if failure.get("details"):
+                        outcome["details"] = failure["details"]
                 order = self._pending.pop(task_id)
                 progressed = True
                 if self.ordered:

@@ -125,9 +125,17 @@ def _derive(record: Dict[str, Any]) -> None:
         record["method"] = result.get("method")
         record["objective"] = result.get("objective")
         record["worker_id"] = result.get("worker_id")
+        if not result.get("ok", True):
+            record["error"] = result.get("error")
+            if result.get("details"):
+                # structured diagnostics riding the error envelope (e.g. a
+                # FrontierExplosion's labels-created / peak-frontier counts)
+                record["error_details"] = result["details"]
     elif failure is not None:
         record["outcome"] = "dead-letter"
         record["error"] = failure.get("error")
+        if failure.get("details"):
+            record["error_details"] = failure["details"]
     elif any(e.get("kind") in _TERMINAL_KINDS for e in events):
         # acked but the result file was compacted away since
         record["outcome"] = "acked"
@@ -191,6 +199,11 @@ def render_audit(
                 ]
             )
             lines.append(f"  result: {summary}")
+        if record.get("error"):
+            lines.append(f"  error: {record['error']}")
+        if record.get("error_details"):
+            lines.append("  error details: "
+                         + json.dumps(record["error_details"], sort_keys=True))
         return "\n".join(lines)
 
     rows = []

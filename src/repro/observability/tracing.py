@@ -91,8 +91,10 @@ class ProfileAccumulator:
     The label engines call :meth:`record_node` **once per swept node** —
     never per label — so the traced overhead is a handful of integer adds
     per node.  Totals split bound rejections by which completion potential
-    fired: the sigma + per-colour load *floor* bound, the *joint* average
-    bound, and the incumbent re-check when a lazy bucket *settles*.
+    fired: the sigma + per-colour load *floor* bound (tree DP), the
+    per-*colour* joint sigma/load bound (label sweep), the *joint* average
+    bound, the incumbent re-check when a lazy bucket *settles*, and the
+    *meet*-in-the-middle join pre-filter (bidirectional sweep).
     """
 
     __slots__ = (
@@ -100,8 +102,10 @@ class ProfileAccumulator:
         "labels_created",
         "labels_dominated",
         "pruned_floor",
+        "pruned_colour",
         "pruned_joint",
         "pruned_settle",
+        "pruned_meet",
         "frontier_peak",
         "settle_batches",
         "nodes_swept",
@@ -114,8 +118,10 @@ class ProfileAccumulator:
         self.labels_created = 0
         self.labels_dominated = 0
         self.pruned_floor = 0
+        self.pruned_colour = 0
         self.pruned_joint = 0
         self.pruned_settle = 0
+        self.pruned_meet = 0
         self.frontier_peak = 0
         self.settle_batches = 0
         self.nodes_swept = 0
@@ -132,12 +138,16 @@ class ProfileAccumulator:
         pruned_settle: int = 0,
         frontier: int = 0,
         settle_batches: int = 0,
+        pruned_colour: int = 0,
+        pruned_meet: int = 0,
     ) -> None:
         self.labels_created += created
         self.labels_dominated += dominated
         self.pruned_floor += pruned_floor
+        self.pruned_colour += pruned_colour
         self.pruned_joint += pruned_joint
         self.pruned_settle += pruned_settle
+        self.pruned_meet += pruned_meet
         if frontier > self.frontier_peak:
             self.frontier_peak = frontier
         self.settle_batches += settle_batches
@@ -148,15 +158,16 @@ class ProfileAccumulator:
                     str(node),
                     int(created),
                     int(dominated),
-                    int(pruned_floor),
+                    int(pruned_floor + pruned_colour),
                     int(pruned_joint),
-                    int(pruned_settle),
+                    int(pruned_settle + pruned_meet),
                 ]
             )
 
     @property
     def pruned_total(self) -> int:
-        return self.pruned_floor + self.pruned_joint + self.pruned_settle
+        return (self.pruned_floor + self.pruned_colour + self.pruned_joint
+                + self.pruned_settle + self.pruned_meet)
 
     def totals(self) -> Dict[str, int]:
         """Flat scalar totals — safe to embed in ``details['profile']``."""
@@ -164,8 +175,10 @@ class ProfileAccumulator:
             "labels_created": self.labels_created,
             "labels_dominated": self.labels_dominated,
             "pruned_floor": self.pruned_floor,
+            "pruned_colour": self.pruned_colour,
             "pruned_joint": self.pruned_joint,
             "pruned_settle": self.pruned_settle,
+            "pruned_meet": self.pruned_meet,
             "pruned_total": self.pruned_total,
             "frontier_peak": self.frontier_peak,
             "settle_batches": self.settle_batches,
@@ -595,11 +608,13 @@ def render_waterfall(spans: List[Mapping[str, Any]], width: int = 40) -> str:
     return "\n".join(lines)
 
 
-#: Human labels for the three completion-bound rejection counters.
+#: Human labels for the completion-bound rejection counters.
 _BOUND_ROWS = (
     ("pruned_floor", "sigma + colour-load floor bound"),
+    ("pruned_colour", "per-colour joint sigma/load bound"),
     ("pruned_joint", "joint average-load bound"),
     ("pruned_settle", "incumbent re-check at settle"),
+    ("pruned_meet", "meet-in-the-middle join pre-filter"),
 )
 
 
@@ -620,7 +635,7 @@ def render_profile(profile: Mapping[str, Any], title: str = "") -> str:
     for key, label in _BOUND_ROWS:
         count = int(profile.get(key, 0) or 0)
         share = 100.0 * count / denominator
-        lines.append(f"  rejected: {label:<31} {count:>12,}  ({share:5.1f}%)")
+        lines.append(f"  rejected: {label:<36} {count:>12,}  ({share:5.1f}%)")
     lines.append(f"  rejected total            {pruned_total:>12,}")
     lines.append(
         f"  frontier peak             "

@@ -40,6 +40,29 @@ def format_error(exc: BaseException) -> str:
     return "".join(traceback.format_exception_only(type(exc), exc)).strip()
 
 
+def error_details(exc: BaseException) -> Optional[Dict[str, Any]]:
+    """Structured diagnostics an exception chooses to expose.
+
+    Duck-typed: an exception with a callable ``error_details()`` (e.g.
+    :class:`~repro.baselines.pareto_dp.FrontierExplosion`, which reports
+    how many labels the DP created and its peak frontier before the cap
+    fired) gets those fields carried in the error envelope next to the
+    one-line error text, so a blown-up task is diagnosable from the
+    dead-letter record / ``repro audit`` without a re-run.  Diagnostics
+    are best-effort: anything that fails or is malformed is dropped.
+    """
+    probe = getattr(exc, "error_details", None)
+    if not callable(probe):
+        return None
+    try:
+        details = probe()
+    except Exception:  # noqa: BLE001 - diagnostics must never mask the error
+        return None
+    if not isinstance(details, dict) or not details:
+        return None
+    return {str(key): value for key, value in details.items()}
+
+
 def derive_seed(base_seed: int, *parts: Any) -> int:
     """A stable 63-bit seed derived from ``base_seed`` and identifying parts.
 
@@ -221,11 +244,15 @@ def solve_payload(payload: Dict[str, Any],
     except Exception as exc:  # noqa: BLE001 - worker must report, not crash
         if span is not None:
             span.finish(error=format_error(exc))
-        return {
+        outcome = {
             "key": payload["key"],
             "ok": False,
             "error": format_error(exc),
         }
+        diagnostics = error_details(exc)
+        if diagnostics:
+            outcome["details"] = diagnostics
+        return outcome
 
 
 def outcome_cacheable(outcome: Dict[str, Any]) -> bool:

@@ -133,3 +133,66 @@ class TestWorkerAndStream:
         assert yielded_id == task_id
         assert outcome["ok"] is False
         assert outcome["dead_lettered"] is True
+
+
+class TestExplosionDiagnostics:
+    """The cap's work counters ride the error envelope end to end."""
+
+    def test_error_envelope_carries_the_work_counters(self, blowup_problem):
+        payload = payload_for(blowup_problem, "pareto-dp", max_frontier=2)
+        outcome = solve_payload(payload)
+        assert outcome["ok"] is False
+        details = outcome["details"]
+        assert details["max_frontier"] == 2
+        assert details["frontier_size"] > 2
+        assert details["labels_created"] >= details["peak_frontier"] > 0
+        assert all(isinstance(v, int) for v in details.values())
+
+    def test_exception_exposes_error_details(self, blowup_problem):
+        from repro.core.solver import solve
+
+        with pytest.raises(FrontierExplosion) as excinfo:
+            solve(blowup_problem, method="pareto-dp", max_frontier=2)
+        details = excinfo.value.error_details()
+        assert details["labels_created"] == excinfo.value.labels_created
+        assert details["peak_frontier"] == excinfo.value.peak_frontier
+
+    def test_worker_result_and_audit_surface_the_counters(self, tmp_path,
+                                                          blowup_problem):
+        from repro.observability.audit import build_timelines, render_audit
+
+        spool = str(tmp_path / "spool")
+        queue = WorkQueue(spool)
+        task_id = queue.submit(payload_for(blowup_problem, "pareto-dp",
+                                           max_frontier=2))
+        SolveWorker(queue).run(drain=True)
+        result = queue.result(task_id)
+        assert result["details"]["labels_created"] > 0
+
+        (timeline,) = build_timelines(spool)
+        assert timeline["outcome"] == "error"
+        assert "FrontierExplosion" in timeline["error"]
+        assert timeline["error_details"] == result["details"]
+        rendered = render_audit([timeline], task_id=task_id)
+        assert "error details:" in rendered
+        assert "labels_created" in rendered
+
+    def test_dead_letter_details_flow_through_stream_and_audit(self, tmp_path,
+                                                               blowup_problem):
+        from repro.observability.audit import build_timelines
+
+        spool = str(tmp_path / "spool")
+        queue = WorkQueue(spool)
+        task_id = queue.submit(payload_for(blowup_problem, "pareto-dp"))
+        task = queue.claim()
+        diagnostics = {"labels_created": 227639, "peak_frontier": 83696}
+        queue.fail(task, error="FrontierExplosion: capped",
+                   details=diagnostics)
+        assert queue.failure(task_id)["details"] == diagnostics
+
+        ((_, outcome),) = list(ResultStream(queue, [task_id], timeout=10.0))
+        assert outcome["dead_lettered"] is True
+        assert outcome["details"] == diagnostics
+        (timeline,) = build_timelines(spool)
+        assert timeline["outcome"] == "dead-letter"
+        assert timeline["error_details"] == diagnostics

@@ -89,6 +89,36 @@ class TestAttribution:
         assert objectives == sorted(objectives, reverse=True)
 
 
+class TestBidirRouting:
+    """Large scattered instances route the label stage through the
+    bidirectional sweep; everything else keeps the forward engine."""
+
+    def test_direction_forward_on_small_or_clustered(self):
+        solver = PortfolioSolver()
+        small = instance_features(make(n=20, scatter=1.0, seed=1))
+        assert solver._label_direction(small) == "forward"
+        clustered = instance_features(
+            make(n=50, scatter=0.0, seed=1, max_children=3))
+        assert solver._label_direction(clustered) == "forward"
+
+    def test_direction_bidirectional_on_large_scattered(self):
+        solver = PortfolioSolver()
+        features = instance_features(
+            make(n=48, scatter=1.0, seed=1, sats=4, max_children=3))
+        assert features["n_processing"] >= 45
+        assert features["scatter_ratio"] >= 0.75
+        assert solver._label_direction(features) == "bidirectional"
+
+    def test_portfolio_runs_bidir_and_stays_exact_on_large_scattered(self):
+        problem = make(n=46, scatter=1.0, seed=5, sats=4, max_children=3)
+        reference = solve(problem, method="colored-ssb-labels").objective
+        result = solve(problem, method="portfolio")
+        stages = {s["stage"]: s for s in result.details["stages"]}
+        assert stages["labels"]["direction"] == "bidirectional"
+        assert result.objective == reference
+        assert result.details["optimal_proven"]
+
+
 class TestAnytime:
     def test_expired_budget_returns_greedy_seed(self):
         result = solve(make(n=20, scatter=1.0, seed=2, sats=4),
@@ -170,8 +200,10 @@ def star_problem(n=12, sats=3):
 
 
 class TestStarGate:
-    """Auto policy must not pick the pruned-DP cross-check on wide stars,
-    where combining every child frontier at the hub node grinds."""
+    """Wide stars route through the streamed pruned DP now: the star fold
+    runs in bounded chunks under per-colour completion floors, so the auto
+    policy enables the cross-check up to a star-specific size cap instead
+    of skipping on shape alone."""
 
     def test_star_features_report_high_star_width(self):
         features = instance_features(star_problem(n=12))
@@ -180,26 +212,32 @@ class TestStarGate:
         balanced = instance_features(make(n=12, scatter=0.0, seed=3))
         assert balanced["star_width"] <= 0.5
 
-    def test_cross_check_skipped_on_wide_star_despite_small_n(self):
-        # n=12 passes the old n<=14 + scatter gates; only the star gate trips
+    def test_cross_check_runs_on_wide_star(self):
         result = solve(star_problem(n=12), method="portfolio")
         stages = {s["stage"]: s for s in result.details["stages"]}
-        assert "star_width" in (stages["dp-pruned"].get("skipped") or "")
-        assert "cross_check_agreed" not in result.details
+        assert not stages["dp-pruned"].get("skipped")
+        assert result.details["cross_check_agreed"] is True
 
     def test_cross_check_still_runs_on_balanced_small_instances(self):
         result = solve(make(n=12, scatter=0.0, seed=3), method="portfolio")
         stages = {s["stage"]: s for s in result.details["stages"]}
         assert not stages["dp-pruned"].get("skipped")
 
-    def test_wide_star_near_40_is_gated(self):
+    def test_wide_star_near_40_cross_checks(self):
         from repro.core.portfolio import PortfolioSolver
 
         features = instance_features(star_problem(n=40, sats=4))
         assert features["star_width"] > 0.9
         solver = PortfolioSolver()
+        assert solver._wants_cross_check(features)
+
+    def test_giant_star_past_the_cap_is_gated(self):
+        from repro.core.portfolio import PortfolioSolver
+
+        features = instance_features(star_problem(n=60, sats=4))
+        solver = PortfolioSolver()
         assert not solver._wants_cross_check(features)
-        assert "star_width" in solver._skip_reason(features)
+        assert "star n=60" in solver._skip_reason(features)
 
     def test_portfolio_stays_exact_on_stars(self):
         problem = star_problem(n=8)
